@@ -1,0 +1,70 @@
+// Extension bench: tree quality under sustained churn. Poisson arrivals
+// with exponential or heavy-tailed (Pareto) lifetimes replayed through the
+// online session at several churn intensities. Shape to check: the sampled
+// radius/lower-bound ratio stays bounded (no quality collapse) across
+// intensities and tail shapes, and control cost per operation stays flat.
+#include "common.h"
+#include "omt/protocol/churn.h"
+
+int main(int argc, char** argv) {
+  using namespace omt;
+  using namespace omt::bench;
+  const Args args = parseArgs(argc, argv);
+  const double duration = args.full ? 120.0 : 40.0;
+
+  std::cout << "Churn replay through the online session (out-degree 6)\n\n";
+  TextTable table({"Arrivals/s", "Lifetime", "Tail", "PeakLive", "Joins",
+                   "Leaves", "Crashes", "R/LB mean", "R/LB max",
+                   "Contacts/op"});
+  auto csv = openCsv(args, {"rate", "lifetime", "tail", "peak", "joins",
+                            "leaves", "crashes", "ratio_mean", "ratio_max",
+                            "contacts_per_op"});
+
+  for (const double rate : {20.0, 80.0, 320.0}) {
+    for (const double shape : {0.0, 1.5}) {
+      ChurnTraceOptions options;
+      options.arrivalRate = rate;
+      options.meanLifetime = 5.0;
+      options.paretoShape = shape;
+      options.crashFraction = 0.25;  // a quarter of departures are silent
+      options.duration = duration;
+      options.seed = deriveSeed(1400, static_cast<std::uint64_t>(rate) +
+                                          static_cast<std::uint64_t>(shape));
+      const auto trace = generateChurnTrace(options);
+      const ChurnReplayResult result =
+          replayChurnTrace(trace, 2, {.maxOutDegree = 6}, 20);
+      const double ops = static_cast<double>(result.joins + result.leaves +
+                                             result.crashes);
+      table.addRow(
+          {TextTable::num(rate, 0), TextTable::num(options.meanLifetime, 1),
+           shape == 0.0 ? "exp" : "pareto",
+           TextTable::count(result.peakLive), TextTable::count(result.joins),
+           TextTable::count(result.leaves), TextTable::count(result.crashes),
+           TextTable::num(result.radiusOverLowerBound.mean(), 3),
+           TextTable::num(result.radiusOverLowerBound.max(), 3),
+           TextTable::num(
+               static_cast<double>(result.sessionStats.contactCost) / ops,
+               1)});
+      if (csv) {
+        csv->writeRow({std::to_string(rate),
+                       std::to_string(options.meanLifetime),
+                       shape == 0.0 ? "exp" : "pareto",
+                       std::to_string(result.peakLive),
+                       std::to_string(result.joins),
+                       std::to_string(result.leaves),
+                       std::to_string(result.crashes),
+                       std::to_string(result.radiusOverLowerBound.mean()),
+                       std::to_string(result.radiusOverLowerBound.max()),
+                       std::to_string(
+                           static_cast<double>(
+                               result.sessionStats.contactCost) /
+                           ops)});
+      }
+    }
+  }
+  std::cout << table.str();
+  std::cout << "\nShape check: R/LB stays bounded (< 4) at every intensity "
+               "and tail, improving as the live population grows; "
+               "Contacts/op grows only mildly with the rate.\n";
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Reproduces Figure 7: algorithm running time vs n, including the paper's
+// small-n insert. The shape to check is near-linear growth (the paper
+// argues O(n) expected: one pass assigns points to cells, cells hold O(1)
+// points on average, so bisection is O(1) per cell over O(n) cells).
+// Absolute seconds differ from the paper's Pentium II, of course.
+#include "common.h"
+
+int main(int argc, char** argv) {
+  using namespace omt;
+  using namespace omt::bench;
+  const Args args = parseArgs(argc, argv);
+
+  std::cout << "Figure 7: running time vs n (out-degree 6)\n\n";
+  TextTable table({"Nodes", "Seconds", "ns/node", "vs-prev-row"});
+  auto csv = openCsv(args, {"n", "seconds", "ns_per_node", "scaling"});
+
+  double prevSeconds = 0.0;
+  std::int64_t prevN = 0;
+  for (const RowSpec& spec : tableOneSizes(args)) {
+    const RowStats row = runRow(spec.n, spec.trials, 6, 2, 100);
+    const double seconds = row.seconds.mean();
+    const double perNode = seconds / static_cast<double>(spec.n) * 1e9;
+    // Linear scaling means time ratio ~ size ratio; report their quotient
+    // (1.00 = perfectly linear step from the previous row).
+    std::string scaling = "-";
+    if (prevN > 0) {
+      const double expected =
+          prevSeconds * static_cast<double>(spec.n) / static_cast<double>(prevN);
+      scaling = TextTable::num(seconds / expected, 2);
+    }
+    table.addRow({TextTable::count(spec.n), TextTable::num(seconds, 4),
+                  TextTable::num(perNode, 0), scaling});
+    if (csv) {
+      csv->writeRow({std::to_string(spec.n), std::to_string(seconds),
+                     std::to_string(perNode), scaling});
+    }
+    prevSeconds = seconds;
+    prevN = spec.n;
+  }
+  std::cout << table.str();
+  std::cout << "\nShape check: ns/node stays roughly flat (near-linear "
+               "runtime; paper Figure 7). Paper: 0.02s @ 1k, 2.0s @ 100k, "
+               "23s @ 1M, 132s @ 5M on a Pentium II 400MHz.\n";
+  return 0;
+}

@@ -1,0 +1,149 @@
+// Micro-benchmarks (google-benchmark) for the hot paths: polar conversion,
+// grid assignment, tree construction at several sizes and degrees, the
+// standalone bisection, metrics, and the event-driven simulator.
+#include <benchmark/benchmark.h>
+
+#include "omt/baselines/delaunay.h"
+#include "omt/bisection/bisection.h"
+#include "omt/core/polar_grid_tree.h"
+#include "omt/geometry/enclosing_ball.h"
+#include "omt/grid/assignment.h"
+#include "omt/random/rng.h"
+#include "omt/random/samplers.h"
+#include "omt/sim/multicast_sim.h"
+#include "omt/spatial/kd_tree.h"
+#include "omt/tree/metrics.h"
+
+namespace {
+
+using namespace omt;
+
+std::vector<Point> diskPoints(std::int64_t n, int dim) {
+  Rng rng(42);
+  return sampleDiskWithCenterSource(rng, n, dim);
+}
+
+void BM_ToPolar(benchmark::State& state) {
+  const auto points = diskPoints(1024, static_cast<int>(state.range(0)));
+  const Point origin(static_cast<int>(state.range(0)));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(toPolar(points[i], origin));
+    i = (i + 1) % points.size();
+  }
+}
+BENCHMARK(BM_ToPolar)->Arg(2)->Arg(3)->Arg(8);
+
+void BM_GridAssignment(benchmark::State& state) {
+  const auto points = diskPoints(state.range(0), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(assignToGrid(points, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GridAssignment)->Arg(1000)->Arg(100000);
+
+void BM_PolarGridTree(benchmark::State& state) {
+  const auto points = diskPoints(state.range(0), 2);
+  const int degree = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        buildPolarGridTree(points, 0, {.maxOutDegree = degree}));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PolarGridTree)
+    ->Args({1000, 6})
+    ->Args({100000, 6})
+    ->Args({100000, 2});
+
+void BM_PolarGridTree3D(benchmark::State& state) {
+  const auto points = diskPoints(state.range(0), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        buildPolarGridTree(points, 0, {.maxOutDegree = 10}));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PolarGridTree3D)->Arg(100000);
+
+void BM_BisectionTree(benchmark::State& state) {
+  const auto points = diskPoints(state.range(0), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        buildBisectionTree(points, 0, {.maxOutDegree = 4}));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BisectionTree)->Arg(1000)->Arg(30000);
+
+void BM_ComputeMetrics(benchmark::State& state) {
+  const auto points = diskPoints(state.range(0), 2);
+  const auto result = buildPolarGridTree(points, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(computeMetrics(result.tree, points));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ComputeMetrics)->Arg(100000);
+
+void BM_SimulateParallel(benchmark::State& state) {
+  const auto points = diskPoints(state.range(0), 2);
+  const auto result = buildPolarGridTree(points, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulateMulticast(result.tree, points));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulateParallel)->Arg(100000);
+
+void BM_SimulateSerialized(benchmark::State& state) {
+  const auto points = diskPoints(state.range(0), 2);
+  const auto result = buildPolarGridTree(points, 0);
+  SimOptions options;
+  options.model = TransmissionModel::kSerialized;
+  options.serializationInterval = 0.001;
+  options.childOrder = ChildOrder::kDeepestFirst;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulateMulticast(result.tree, points, options));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulateSerialized)->Arg(100000);
+
+void BM_KdTreeNearest(benchmark::State& state) {
+  const auto points = diskPoints(state.range(0), 2);
+  KdTree tree(points);
+  for (NodeId i = 0; i < tree.size(); i += 2) tree.setActive(i, true);
+  Rng rng(7);
+  std::vector<Point> queries;
+  for (int i = 0; i < 512; ++i) queries.push_back(sampleUnitBall(rng, 2));
+  std::size_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.nearestActive(queries[q]));
+    q = (q + 1) % queries.size();
+  }
+}
+BENCHMARK(BM_KdTreeNearest)->Arg(100000);
+
+void BM_SmallestEnclosingBall(benchmark::State& state) {
+  const auto points = diskPoints(state.range(0), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(smallestEnclosingBall(points));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SmallestEnclosingBall)->Arg(100000);
+
+void BM_DelaunayTriangulate(benchmark::State& state) {
+  const auto points = diskPoints(state.range(0), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(delaunayTriangulate(points));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DelaunayTriangulate)->Arg(2000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

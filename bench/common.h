@@ -1,0 +1,154 @@
+// Shared experiment harness for the table/figure benches.
+//
+// Reproduces the paper's Section V protocol: for each problem size generate
+// `trials` random point sets uniformly distributed in the unit disk (or
+// ball) with the source at the center, build the tree, and average max
+// delay, core delay, ring count, the eq. (7) bound at j = 0, and wall-clock
+// seconds. Every bench accepts:
+//   --full         paper-scale sizes (up to 5,000,000) and trial counts
+//   --max-n N      cap the size sweep
+//   --trials T     fixed trial count for every row
+//   --csv PATH     also write the rows as CSV
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "omt/core/bounds.h"
+#include "omt/core/polar_grid_tree.h"
+#include "omt/random/rng.h"
+#include "omt/random/samplers.h"
+#include "omt/report/csv.h"
+#include "omt/report/parallel.h"
+#include "omt/report/stats.h"
+#include "omt/report/stopwatch.h"
+#include "omt/report/table.h"
+#include "omt/tree/metrics.h"
+#include "omt/tree/validation.h"
+
+namespace omt::bench {
+
+struct Args {
+  bool full = false;
+  std::optional<std::int64_t> maxN;
+  std::optional<int> trials;
+  std::optional<std::string> csvPath;
+  /// Worker threads for independent trials; 1 keeps builds timed without
+  /// contention (the default), --full runs benefit from more.
+  int threads = 1;
+};
+
+inline Args parseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--full") {
+      args.full = true;
+    } else if (arg == "--max-n" && i + 1 < argc) {
+      args.maxN = std::atoll(argv[++i]);
+    } else if (arg == "--trials" && i + 1 < argc) {
+      args.trials = std::atoi(argv[++i]);
+    } else if (arg == "--csv" && i + 1 < argc) {
+      args.csvPath = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
+      args.threads = std::atoi(argv[++i]);
+      if (args.threads <= 0) args.threads = defaultWorkerCount();
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " [--full] [--max-n N] [--trials T] [--csv PATH]"
+                   " [--threads T|0]\n";
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+struct RowSpec {
+  std::int64_t n;
+  int trials;
+};
+
+/// The paper's Table-I size column with trial counts scaled so the default
+/// whole-suite run stays minutes-long; --full restores 200 trials per row
+/// (and keeps a reduced count only at n >= 500k, where one trial costs
+/// seconds) and extends to 5,000,000.
+inline std::vector<RowSpec> tableOneSizes(const Args& args) {
+  std::vector<RowSpec> rows;
+  const std::vector<std::int64_t> sizes{100,    500,     1000,   5000,   10000,
+                                        50000,  100000,  500000, 1000000,
+                                        5000000};
+  for (const std::int64_t n : sizes) {
+    if (!args.full && n > 1000000) continue;
+    if (args.maxN && n > *args.maxN) continue;
+    int trials;
+    if (args.full) {
+      trials = n <= 100000 ? 200 : (n <= 1000000 ? 20 : 5);
+    } else {
+      trials = n <= 10000 ? 50 : (n <= 100000 ? 10 : (n <= 500000 ? 4 : 2));
+    }
+    if (args.trials) trials = *args.trials;
+    rows.push_back({n, trials});
+  }
+  return rows;
+}
+
+struct RowStats {
+  std::int64_t n = 0;
+  RunningStats rings;
+  RunningStats core;
+  RunningStats delay;
+  RunningStats bound;
+  RunningStats seconds;
+};
+
+/// One Table-I row: `trials` independent point sets, tree built with the
+/// given out-degree cap in the given dimension. experimentId seeds the
+/// per-trial RNG streams (same id + trial -> same points across benches).
+inline RowStats runRow(std::int64_t n, int trials, int degree, int dim,
+                       std::uint64_t experimentId, int threads = 1) {
+  std::vector<RowStats> partial(static_cast<std::size_t>(trials));
+  parallelFor(0, trials, threads, [&](std::int64_t trial) {
+    RowStats& local = partial[static_cast<std::size_t>(trial)];
+    Rng rng(deriveSeed(experimentId, static_cast<std::uint64_t>(trial)));
+    const std::vector<Point> points = sampleDiskWithCenterSource(rng, n, dim);
+    Stopwatch watch;
+    const PolarGridResult result =
+        buildPolarGridTree(points, 0, {.maxOutDegree = degree});
+    local.seconds.add(watch.seconds());
+    const ValidationResult valid =
+        validate(result.tree, {.maxOutDegree = degree});
+    OMT_CHECK(valid.ok, "invalid tree at n=" + std::to_string(n) +
+                            " trial=" + std::to_string(trial) + ": " +
+                            valid.message);
+    const TreeMetrics metrics = computeMetrics(result.tree, points);
+    local.delay.add(metrics.maxDelay);
+    local.core.add(metrics.coreDelay);
+    local.rings.add(static_cast<double>(result.rings()));
+    local.bound.add(result.upperBound);
+  });
+  RowStats row;
+  row.n = n;
+  for (const RowStats& local : partial) {
+    row.delay.merge(local.delay);
+    row.core.merge(local.core);
+    row.rings.merge(local.rings);
+    row.bound.merge(local.bound);
+    row.seconds.merge(local.seconds);
+  }
+  return row;
+}
+
+inline std::unique_ptr<CsvWriter> openCsv(const Args& args,
+                                          std::initializer_list<std::string> header) {
+  if (!args.csvPath) return nullptr;
+  auto csv = std::make_unique<CsvWriter>(*args.csvPath);
+  csv->writeRow(header);
+  return csv;
+}
+
+}  // namespace omt::bench

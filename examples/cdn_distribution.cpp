@@ -1,0 +1,86 @@
+// CDN content push: an origin server fans a software update out to edge
+// caches clustered in metro areas (the paper's Akamai-style motivation).
+//
+// Hosts are drawn from a clustered (non-uniform) distribution inside a
+// square service region — the paper's Section IV generalisation: density
+// bounded away from zero in a convex region, arbitrary source placement.
+// The example compares Algorithm Polar_Grid against the greedy compact-tree
+// and nearest-parent heuristics under several fan-out budgets, validates
+// every tree, and cross-checks the analytic radius with the discrete-event
+// simulator.
+#include <cstdlib>
+#include <iostream>
+
+#include "omt/baselines/baselines.h"
+#include "omt/core/bounds.h"
+#include "omt/core/polar_grid_tree.h"
+#include "omt/random/samplers.h"
+#include "omt/report/table.h"
+#include "omt/sim/multicast_sim.h"
+#include "omt/tree/metrics.h"
+#include "omt/tree/validation.h"
+
+int main(int argc, char** argv) {
+  using namespace omt;
+  const std::int64_t edges = argc > 1 ? std::atoll(argv[1]) : 4000;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 7;
+
+  // Service region: a 2000 x 2000 km square; 12 metro clusters hold 80% of
+  // the edge caches. Coordinates in km; delay ~ distance (speed-of-light
+  // propagation dominates on a private backbone).
+  Rng rng(seed);
+  const Box region(Point{-1000.0, -1000.0}, Point{1000.0, 1000.0});
+  std::vector<Point> hosts =
+      sampleClustered(rng, edges, region, /*clusters=*/12,
+                      /*clusterFraction=*/0.8, /*clusterSpread=*/60.0);
+  hosts[0] = Point{350.0, -200.0};  // the origin datacenter, off-center
+  const NodeId origin = 0;
+  const double lower = radiusLowerBound(hosts, origin);
+
+  std::cout << "CDN push to " << edges << " edge caches ("
+            << region.name() << ", origin off-center)\n"
+            << "straight-line lower bound: " << lower << " km\n\n";
+
+  TextTable table({"Fan-out", "Algorithm", "Radius(km)", "vs LB", "Depth",
+                   "TotalLink(km)"});
+  for (const int fanOut : {2, 4, 8}) {
+    struct Row {
+      const char* name;
+      MulticastTree tree;
+    };
+    Row rows[] = {
+        {"Polar_Grid",
+         buildPolarGridTree(hosts, origin, {.maxOutDegree = fanOut}).tree},
+        {"Greedy", buildGreedyInsertionTree(hosts, origin, fanOut)},
+        {"Nearest", buildNearestParentTree(hosts, origin, fanOut)},
+    };
+    for (Row& row : rows) {
+      const ValidationResult valid =
+          validate(row.tree, {.maxOutDegree = fanOut});
+      if (!valid) {
+        std::cerr << row.name << " produced an invalid tree: "
+                  << valid.message << "\n";
+        return 1;
+      }
+      const TreeMetrics m = computeMetrics(row.tree, hosts);
+      table.addRow({std::to_string(fanOut), row.name,
+                    TextTable::num(m.maxDelay, 0),
+                    TextTable::num(m.maxDelay / lower, 2),
+                    std::to_string(m.maxDepth),
+                    TextTable::num(m.totalLength, 0)});
+    }
+  }
+  std::cout << table.str();
+
+  // Cross-check: replay the fan-out-8 Polar_Grid tree in the simulator.
+  const auto tree =
+      buildPolarGridTree(hosts, origin, {.maxOutDegree = 8}).tree;
+  const SimResult sim = simulateMulticast(tree, hosts);
+  const TreeMetrics m = computeMetrics(tree, hosts);
+  std::cout << "\nsimulated worst-case delivery (fan-out 8): "
+            << sim.maxDelivery << " km of propagation ("
+            << (sim.maxDelivery == m.maxDelay ? "matches" : "MISMATCHES")
+            << " the analytic radius), " << sim.messagesSent
+            << " unicast transfers\n";
+  return 0;
+}

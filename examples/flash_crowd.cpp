@@ -1,0 +1,102 @@
+// Flash crowd: a live event's audience explodes from dozens to tens of
+// thousands of viewers in minutes, then drains away. The online session
+// (omt/protocol) absorbs both phases incrementally — the decentralized
+// regime the paper leaves as future work — while this example tracks tree
+// quality against the offline Algorithm Polar_Grid rebuilt from scratch at
+// every checkpoint.
+#include <cstdlib>
+#include <iostream>
+
+#include "omt/core/polar_grid_tree.h"
+#include "omt/protocol/overlay_session.h"
+#include "omt/random/samplers.h"
+#include "omt/report/table.h"
+#include "omt/tree/metrics.h"
+#include "omt/tree/validation.h"
+
+namespace {
+
+using namespace omt;
+
+struct Checkpoint {
+  std::string phase;
+  std::int64_t live;
+  double onlineRadius;
+  double offlineRadius;
+  std::int64_t regrids;
+};
+
+Checkpoint snapshotQuality(const OverlaySession& session,
+                           const std::string& phase) {
+  const SessionSnapshot snap = session.snapshot();
+  const ValidationResult valid = validate(snap.tree, {.maxOutDegree = 6});
+  if (!valid) {
+    std::cerr << "session tree invalid: " << valid.message << "\n";
+    std::exit(1);
+  }
+  NodeId source = 0;
+  for (std::size_t i = 0; i < snap.sessionIds.size(); ++i) {
+    if (snap.sessionIds[i] == 0) source = static_cast<NodeId>(i);
+  }
+  const double online =
+      computeMetrics(snap.tree, snap.positions).maxDelay;
+  const double offline = computeMetrics(
+      buildPolarGridTree(snap.positions, source, {.maxOutDegree = 6}).tree,
+      snap.positions).maxDelay;
+  return {phase, session.liveCount(), online, offline,
+          session.stats().regrids};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::int64_t peak = argc > 1 ? std::atoll(argv[1]) : 30000;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 5;
+
+  Rng rng(seed);
+  OverlaySession session(Point{0.0, 0.0}, {.maxOutDegree = 6});
+  std::vector<NodeId> viewers;
+  std::vector<Checkpoint> checkpoints;
+
+  // Ramp: exponential audience growth to the peak.
+  std::int64_t nextCheckpoint = 100;
+  while (session.liveCount() < peak) {
+    viewers.push_back(session.join(sampleUnitBall(rng, 2)));
+    if (session.liveCount() >= nextCheckpoint) {
+      checkpoints.push_back(snapshotQuality(
+          session, "ramp to " + TextTable::count(session.liveCount())));
+      nextCheckpoint *= 10;
+    }
+  }
+  checkpoints.push_back(snapshotQuality(session, "peak"));
+
+  // Drain: 90% of the audience leaves in random order.
+  const auto target = static_cast<std::int64_t>(viewers.size() / 10);
+  while (static_cast<std::int64_t>(viewers.size()) > target) {
+    const std::size_t pick = rng.uniformInt(viewers.size());
+    session.leave(viewers[pick]);
+    viewers[pick] = viewers.back();
+    viewers.pop_back();
+  }
+  checkpoints.push_back(snapshotQuality(session, "after 90% drain"));
+
+  TextTable table({"Phase", "Viewers", "Online radius", "Offline rebuild",
+                   "Online/Offline", "Regrids"});
+  for (const Checkpoint& c : checkpoints) {
+    table.addRow({c.phase, TextTable::count(c.live),
+                  TextTable::num(c.onlineRadius, 3),
+                  TextTable::num(c.offlineRadius, 3),
+                  TextTable::num(c.onlineRadius / c.offlineRadius, 2),
+                  TextTable::count(c.regrids)});
+  }
+  std::cout << "flash crowd to " << peak << " viewers and back\n\n"
+            << table.str();
+
+  const SessionStats& stats = session.stats();
+  std::cout << "\nprotocol cost: " << stats.joins << " joins, "
+            << stats.leaves << " leaves, " << stats.regrids
+            << " regrids; contact cost "
+            << stats.contactCost / (stats.joins + stats.leaves)
+            << "/op (+ regrid touches " << stats.regridCost << ")\n";
+  return 0;
+}

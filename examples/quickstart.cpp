@@ -1,0 +1,57 @@
+// Quickstart: build a minimal-delay overlay multicast tree.
+//
+// Generates hosts uniformly in the unit disk with the source at the center
+// (the paper's Table-I workload), builds the Polar_Grid tree with the
+// default out-degree cap of 6, validates it, and prints the headline
+// metrics: the max sender-to-receiver delay (tree radius), how close it is
+// to the lower bound, and the analytic bound of equation (7).
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "omt/core/bounds.h"
+#include "omt/core/polar_grid_tree.h"
+#include "omt/random/rng.h"
+#include "omt/random/samplers.h"
+#include "omt/tree/metrics.h"
+#include "omt/tree/validation.h"
+
+int main(int argc, char** argv) {
+  const std::int64_t n = argc > 1 ? std::atoll(argv[1]) : 10000;
+  const int degree = argc > 2 ? std::atoi(argv[2]) : 6;
+  const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 42;
+
+  omt::Rng rng(seed);
+  const std::vector<omt::Point> hosts =
+      omt::sampleDiskWithCenterSource(rng, n, /*dim=*/2);
+  const omt::NodeId source = 0;
+
+  omt::PolarGridOptions options;
+  options.maxOutDegree = degree;
+  const omt::PolarGridResult result =
+      omt::buildPolarGridTree(hosts, source, options);
+
+  const omt::ValidationResult valid =
+      omt::validate(result.tree, {.maxOutDegree = degree});
+  if (!valid) {
+    std::cerr << "tree validation failed: " << valid.message << "\n";
+    return 1;
+  }
+
+  const omt::TreeMetrics metrics = omt::computeMetrics(result.tree, hosts);
+  const double lower = omt::radiusLowerBound(hosts, source);
+
+  std::cout << "hosts:            " << n << "\n"
+            << "out-degree cap:   " << degree << "\n"
+            << "rings (k):        " << result.rings() << "\n"
+            << "occupied cells:   " << result.occupiedCells << "\n"
+            << "max delay:        " << metrics.maxDelay << "\n"
+            << "core delay:       " << metrics.coreDelay << "\n"
+            << "lower bound:      " << lower << "\n"
+            << "delay / lower:    " << metrics.maxDelay / lower << "\n"
+            << "eq.(7) bound:     " << result.upperBound << "\n"
+            << "max depth (hops): " << metrics.maxDepth << "\n"
+            << "max out-degree:   " << metrics.maxOutDegree << "\n";
+  return 0;
+}

@@ -1,0 +1,343 @@
+#include "omt/baselines/baselines.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "omt/common/error.h"
+#include "omt/spatial/kd_tree.h"
+
+namespace omt {
+namespace {
+
+void checkArgs(std::span<const Point> points, NodeId source, int minDegree,
+               int maxOutDegree) {
+  OMT_CHECK(!points.empty(), "empty point set");
+  OMT_CHECK(source >= 0 && source < static_cast<NodeId>(points.size()),
+            "source index out of range");
+  OMT_CHECK(maxOutDegree >= minDegree, "out-degree cap too small");
+}
+
+/// Non-source node ids sorted by increasing distance from the source
+/// (ties by id, for determinism).
+std::vector<NodeId> byDistanceFromSource(std::span<const Point> points,
+                                         NodeId source) {
+  const Point& origin = points[static_cast<std::size_t>(source)];
+  std::vector<NodeId> order;
+  order.reserve(points.size() - 1);
+  for (NodeId v = 0; v < static_cast<NodeId>(points.size()); ++v) {
+    if (v != source) order.push_back(v);
+  }
+  std::stable_sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return squaredDistance(points[static_cast<std::size_t>(a)], origin) <
+           squaredDistance(points[static_cast<std::size_t>(b)], origin);
+  });
+  return order;
+}
+
+std::vector<NodeId> randomJoinOrder(std::span<const Point> points,
+                                    NodeId source, Rng& rng) {
+  std::vector<NodeId> order;
+  order.reserve(points.size() - 1);
+  for (NodeId v = 0; v < static_cast<NodeId>(points.size()); ++v) {
+    if (v != source) order.push_back(v);
+  }
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.uniformInt(i)]);
+  }
+  return order;
+}
+
+/// Sequential-join scaffold shared by the O(n^2) heuristics:
+/// `better(tree, delay, p, incumbent, v)` returns true when feasible parent
+/// p improves on the incumbent for the joining node v.
+template <typename PickBetter>
+MulticastTree joinSequentially(std::span<const Point> points, NodeId source,
+                               int maxOutDegree,
+                               std::span<const NodeId> order,
+                               PickBetter better) {
+  MulticastTree tree(static_cast<NodeId>(points.size()), source);
+  std::vector<double> delay(points.size(), 0.0);
+  std::vector<NodeId> attached{source};
+  attached.reserve(points.size());
+
+  for (const NodeId v : order) {
+    NodeId bestParent = kNoNode;
+    for (const NodeId p : attached) {
+      if (tree.outDegree(p) >= maxOutDegree) continue;
+      if (bestParent == kNoNode || better(tree, delay, p, bestParent, v)) {
+        bestParent = p;
+      }
+    }
+    OMT_ASSERT(bestParent != kNoNode,
+               "no feasible parent despite cap >= 1");
+    tree.attach(v, bestParent, EdgeKind::kLocal);
+    delay[static_cast<std::size_t>(v)] =
+        delay[static_cast<std::size_t>(bestParent)] +
+        distance(points[static_cast<std::size_t>(bestParent)],
+                 points[static_cast<std::size_t>(v)]);
+    attached.push_back(v);
+  }
+  tree.finalize();
+  return tree;
+}
+
+}  // namespace
+
+MulticastTree buildStarTree(std::span<const Point> points, NodeId source) {
+  checkArgs(points, source, 0, 0);
+  MulticastTree tree(static_cast<NodeId>(points.size()), source);
+  for (NodeId v = 0; v < static_cast<NodeId>(points.size()); ++v) {
+    if (v != source) tree.attach(v, source, EdgeKind::kLocal);
+  }
+  tree.finalize();
+  return tree;
+}
+
+MulticastTree buildChainTree(std::span<const Point> points, NodeId source) {
+  checkArgs(points, source, 0, 0);
+  const std::vector<NodeId> order = byDistanceFromSource(points, source);
+  MulticastTree tree(static_cast<NodeId>(points.size()), source);
+  NodeId prev = source;
+  for (const NodeId v : order) {
+    tree.attach(v, prev, EdgeKind::kLocal);
+    prev = v;
+  }
+  tree.finalize();
+  return tree;
+}
+
+MulticastTree buildGreedyInsertionTree(std::span<const Point> points,
+                                       NodeId source, int maxOutDegree) {
+  checkArgs(points, source, 1, maxOutDegree);
+  const std::vector<NodeId> order = byDistanceFromSource(points, source);
+  return joinSequentially(
+      points, source, maxOutDegree, order,
+      [&points](const MulticastTree&, const std::vector<double>& delay,
+                NodeId p, NodeId incumbent, NodeId v) {
+        const auto vi = static_cast<std::size_t>(v);
+        const double dp = delay[static_cast<std::size_t>(p)] +
+                          distance(points[static_cast<std::size_t>(p)],
+                                   points[vi]);
+        const double di = delay[static_cast<std::size_t>(incumbent)] +
+                          distance(points[static_cast<std::size_t>(incumbent)],
+                                   points[vi]);
+        return dp < di;
+      });
+}
+
+MulticastTree buildBandwidthLatencyTree(std::span<const Point> points,
+                                        NodeId source, int maxOutDegree,
+                                        Rng& rng) {
+  checkArgs(points, source, 1, maxOutDegree);
+  const std::vector<NodeId> order = randomJoinOrder(points, source, rng);
+
+  // The Bandwidth-Latency rule of [5]/[19]: choose the attachment whose
+  // path has the greatest available bandwidth, breaking ties by lowest
+  // latency. In the degree-constrained overlay abstraction, a path's
+  // bandwidth is its bottleneck residual fan-out: min over the path's
+  // nodes of (cap - out-degree). bottleneck[] is maintained incrementally;
+  // attaching under p lowers p's residual, which can only lower bottleneck
+  // values inside p's subtree, recomputed by a subtree walk.
+  MulticastTree tree(static_cast<NodeId>(points.size()), source);
+  std::vector<double> delay(points.size(), 0.0);
+  std::vector<std::int32_t> bottleneck(points.size(), 0);
+  std::vector<std::vector<NodeId>> children(points.size());
+  bottleneck[static_cast<std::size_t>(source)] = maxOutDegree;
+  std::vector<NodeId> attached{source};
+  attached.reserve(points.size());
+
+  std::vector<NodeId> stack;
+  for (const NodeId v : order) {
+    const auto vi = static_cast<std::size_t>(v);
+    NodeId best = kNoNode;
+    double bestDelay = kInf;
+    for (const NodeId p : attached) {
+      const auto pi = static_cast<std::size_t>(p);
+      if (tree.outDegree(p) >= maxOutDegree) continue;
+      const double dp = delay[pi] + distance(points[pi], points[vi]);
+      const std::int32_t bw = bottleneck[pi];
+      const std::int32_t bestBw =
+          best == kNoNode ? -1 : bottleneck[static_cast<std::size_t>(best)];
+      if (bw > bestBw || (bw == bestBw && dp < bestDelay)) {
+        best = p;
+        bestDelay = dp;
+      }
+    }
+    OMT_ASSERT(best != kNoNode, "no feasible parent despite cap >= 1");
+    const auto bi = static_cast<std::size_t>(best);
+    tree.attach(v, best, EdgeKind::kLocal);
+    children[bi].push_back(v);
+    delay[vi] = bestDelay;
+    attached.push_back(v);
+
+    // best's residual dropped; refresh bottlenecks in its subtree.
+    const std::int32_t parentPathBound =
+        best == source
+            ? maxOutDegree
+            : bottleneck[static_cast<std::size_t>(tree.parentOf(best))];
+    bottleneck[bi] = std::min(parentPathBound,
+                              maxOutDegree - tree.outDegree(best));
+    stack.assign(1, best);
+    while (!stack.empty()) {
+      const NodeId x = stack.back();
+      stack.pop_back();
+      const auto xi = static_cast<std::size_t>(x);
+      for (const NodeId c : children[xi]) {
+        const auto ci = static_cast<std::size_t>(c);
+        bottleneck[ci] =
+            std::min(bottleneck[xi], maxOutDegree - tree.outDegree(c));
+        stack.push_back(c);
+      }
+    }
+  }
+  tree.finalize();
+  return tree;
+}
+
+MulticastTree buildNearestParentTree(std::span<const Point> points,
+                                     NodeId source, int maxOutDegree) {
+  checkArgs(points, source, 1, maxOutDegree);
+  const std::vector<NodeId> order = byDistanceFromSource(points, source);
+  return joinSequentially(
+      points, source, maxOutDegree, order,
+      [&points](const MulticastTree&, const std::vector<double>&, NodeId p,
+                NodeId incumbent, NodeId v) {
+        const auto vi = static_cast<std::size_t>(v);
+        return squaredDistance(points[static_cast<std::size_t>(p)],
+                               points[vi]) <
+               squaredDistance(points[static_cast<std::size_t>(incumbent)],
+                               points[vi]);
+      });
+}
+
+MulticastTree buildHmtpTree(std::span<const Point> points, NodeId source,
+                            int maxOutDegree, Rng& rng) {
+  checkArgs(points, source, 1, maxOutDegree);
+  const std::vector<NodeId> order = randomJoinOrder(points, source, rng);
+  MulticastTree tree(static_cast<NodeId>(points.size()), source);
+  std::vector<std::vector<NodeId>> children(points.size());
+
+  for (const NodeId v : order) {
+    const Point& self = points[static_cast<std::size_t>(v)];
+    // Greedy descent from the root toward self.
+    NodeId current = source;
+    for (;;) {
+      NodeId bestChild = kNoNode;
+      double bestDist = kInf;
+      for (const NodeId c : children[static_cast<std::size_t>(current)]) {
+        const double d =
+            squaredDistance(points[static_cast<std::size_t>(c)], self);
+        if (d < bestDist) {
+          bestDist = d;
+          bestChild = c;
+        }
+      }
+      const double currentDist = squaredDistance(
+          points[static_cast<std::size_t>(current)], self);
+      if (bestChild != kNoNode &&
+          (bestDist < currentDist ||
+           tree.outDegree(current) >= maxOutDegree)) {
+        current = bestChild;  // descend (forced when current is full)
+        continue;
+      }
+      if (tree.outDegree(current) >= maxOutDegree) {
+        // Full and childless cannot happen (full implies children); the
+        // forced-descent branch above consumed this case.
+        OMT_ASSERT(bestChild != kNoNode, "full node without children");
+        current = bestChild;
+        continue;
+      }
+      break;
+    }
+    tree.attach(v, current, EdgeKind::kLocal);
+    children[static_cast<std::size_t>(current)].push_back(v);
+  }
+  tree.finalize();
+  return tree;
+}
+
+MulticastTree buildLayeredTree(std::span<const Point> points, NodeId source,
+                               int maxOutDegree) {
+  checkArgs(points, source, 1, maxOutDegree);
+  const std::vector<NodeId> order = byDistanceFromSource(points, source);
+  MulticastTree tree(static_cast<NodeId>(points.size()), source);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const NodeId parent =
+        i < static_cast<std::size_t>(maxOutDegree)
+            ? source
+            : order[(i - static_cast<std::size_t>(maxOutDegree)) /
+                    static_cast<std::size_t>(maxOutDegree)];
+    tree.attach(order[i], parent, EdgeKind::kLocal);
+  }
+  tree.finalize();
+  return tree;
+}
+
+std::int32_t optimalHopRadius(NodeId n, int maxOutDegree) {
+  OMT_CHECK(n >= 1, "need at least one node");
+  OMT_CHECK(maxOutDegree >= 1, "degree cap must be positive");
+  // Smallest h with 1 + D + ... + D^h >= n.
+  std::int32_t height = 0;
+  std::int64_t capacity = 1;
+  std::int64_t layer = 1;
+  while (capacity < n) {
+    layer *= maxOutDegree;
+    capacity += layer;
+    ++height;
+  }
+  return height;
+}
+
+MulticastTree buildNearestParentTreeFast(std::span<const Point> points,
+                                         NodeId source, int maxOutDegree) {
+  checkArgs(points, source, 1, maxOutDegree);
+  const std::vector<NodeId> order = byDistanceFromSource(points, source);
+
+  MulticastTree tree(static_cast<NodeId>(points.size()), source);
+  KdTree index(points);
+  index.setActive(source, true);
+  for (const NodeId v : order) {
+    const NodeId parent =
+        index.nearestActive(points[static_cast<std::size_t>(v)], v);
+    OMT_ASSERT(parent != kNoNode, "no feasible parent despite cap >= 1");
+    tree.attach(v, parent, EdgeKind::kLocal);
+    if (tree.outDegree(parent) >= maxOutDegree)
+      index.setActive(parent, false);
+    index.setActive(v, true);
+  }
+  tree.finalize();
+  return tree;
+}
+
+MulticastTree buildRandomFeasibleTree(std::span<const Point> points,
+                                      NodeId source, int maxOutDegree,
+                                      Rng& rng) {
+  checkArgs(points, source, 1, maxOutDegree);
+  const std::vector<NodeId> order = randomJoinOrder(points, source, rng);
+  MulticastTree tree(static_cast<NodeId>(points.size()), source);
+  // Feasible set with O(1) removal when a node's capacity is exhausted.
+  std::vector<NodeId> feasible{source};
+  std::vector<std::int64_t> position(points.size(), -1);
+  position[static_cast<std::size_t>(source)] = 0;
+
+  for (const NodeId v : order) {
+    OMT_ASSERT(!feasible.empty(), "no feasible parent despite cap >= 1");
+    const NodeId p = feasible[rng.uniformInt(feasible.size())];
+    tree.attach(v, p, EdgeKind::kLocal);
+    if (tree.outDegree(p) >= maxOutDegree) {
+      const auto pos = position[static_cast<std::size_t>(p)];
+      feasible[static_cast<std::size_t>(pos)] = feasible.back();
+      position[static_cast<std::size_t>(feasible.back())] = pos;
+      feasible.pop_back();
+      position[static_cast<std::size_t>(p)] = -1;
+    }
+    position[static_cast<std::size_t>(v)] =
+        static_cast<std::int64_t>(feasible.size());
+    feasible.push_back(v);
+  }
+  tree.finalize();
+  return tree;
+}
+
+}  // namespace omt

@@ -1,0 +1,89 @@
+// Baseline tree-construction algorithms from the paper's related work,
+// used by the comparison benches ("who wins, by how much").
+//
+// * Greedy insertion (compact-tree style, Shi & Turner [16], [17]): hosts
+//   join in order of distance from the source; each attaches to the
+//   feasible parent minimising its resulting delay. The classic O(n^2)
+//   quality baseline for degree-bounded minimum-radius trees.
+// * Bandwidth-Latency (Chu et al. [5], Wang & Crowcroft [19]): hosts join
+//   in arrival order and pick the parent with the most remaining fan-out
+//   (bandwidth first), breaking ties by lowest resulting delay.
+// * Nearest parent (degree-constrained Prim-like): each host attaches to
+//   the closest feasible node already in the tree — the "connect to your
+//   nearest neighbour" folk heuristic.
+// * Random feasible tree: attach to a uniformly random feasible node; a
+//   sanity floor for comparisons.
+// * Star: the source serves everyone directly, ignoring the degree cap.
+//   Its radius equals the instance lower bound max_i dist(s, i).
+// * Radius-sorted chain: a degree-1 path through the hosts; the upper
+//   extreme of the degree/delay trade-off.
+//
+// All builders return finalized trees; every one except the star respects
+// maxOutDegree.
+#pragma once
+
+#include <span>
+
+#include "omt/common/types.h"
+#include "omt/geometry/point.h"
+#include "omt/random/rng.h"
+#include "omt/tree/multicast_tree.h"
+
+namespace omt {
+
+MulticastTree buildStarTree(std::span<const Point> points, NodeId source);
+
+MulticastTree buildChainTree(std::span<const Point> points, NodeId source);
+
+/// Greedy insertion in increasing distance from the source; O(n^2) — meant
+/// for comparison sizes (<= a few 10^4), not Table-I scale.
+MulticastTree buildGreedyInsertionTree(std::span<const Point> points,
+                                       NodeId source, int maxOutDegree);
+
+/// Bandwidth-Latency heuristic; join order is a random permutation drawn
+/// from `rng` (hosts arrive in arbitrary order in the protocol).
+MulticastTree buildBandwidthLatencyTree(std::span<const Point> points,
+                                        NodeId source, int maxOutDegree,
+                                        Rng& rng);
+
+/// Degree-constrained nearest-parent (Prim-like), joining in increasing
+/// distance from the source; O(n^2).
+MulticastTree buildNearestParentTree(std::span<const Point> points,
+                                     NodeId source, int maxOutDegree);
+
+/// Same policy accelerated by a k-d tree with capacity-aware activation
+/// (omt/spatial): O(n log n), usable at Table-I scale. Results match the
+/// quadratic version except when two feasible parents are exactly
+/// equidistant (ties break by id here, by join order there).
+MulticastTree buildNearestParentTreeFast(std::span<const Point> points,
+                                         NodeId source, int maxOutDegree);
+
+/// Uniformly random feasible parent for each host (join order randomised).
+MulticastTree buildRandomFeasibleTree(std::span<const Point> points,
+                                      NodeId source, int maxOutDegree,
+                                      Rng& rng);
+
+/// The complete D-ary "layered" tree over hosts sorted by distance from
+/// the source: host i (in sorted order) is the child of sorted host
+/// (i-1)/D. Minimises the HOP radius — Malouch et al. [11] show the
+/// unit-delay (hop-count) version of the problem is polynomially optimal,
+/// and this is that optimum: no degree-D tree on n nodes has smaller
+/// height. Under Euclidean delays it is a heuristic (good when delays are
+/// nearly uniform, poor when geometry matters).
+MulticastTree buildLayeredTree(std::span<const Point> points, NodeId source,
+                               int maxOutDegree);
+
+/// The minimum possible height (hop radius) of any tree on `n` nodes with
+/// out-degree at most `maxOutDegree` — what buildLayeredTree achieves.
+std::int32_t optimalHopRadius(NodeId n, int maxOutDegree);
+
+/// HMTP-style greedy descent (Zhang, Jamin & Zhang [20], "Host Multicast"):
+/// each joining host starts at the root and repeatedly descends to the
+/// child closest to itself while that child is closer than the current
+/// node; it attaches at the node where the walk stops (falling through to
+/// the closest child when the stop node's fan-out is exhausted). Join
+/// order is a random permutation from `rng`.
+MulticastTree buildHmtpTree(std::span<const Point> points, NodeId source,
+                            int maxOutDegree, Rng& rng);
+
+}  // namespace omt

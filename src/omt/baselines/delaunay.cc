@@ -1,0 +1,224 @@
+#include "omt/baselines/delaunay.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "omt/common/error.h"
+
+namespace omt {
+namespace {
+
+double cross(const Point& a, const Point& b, const Point& c) {
+  return (b[0] - a[0]) * (c[1] - a[1]) - (b[1] - a[1]) * (c[0] - a[0]);
+}
+
+/// Whether d lies strictly inside the circumcircle of the CCW triangle
+/// (a, b, c) — the standard 3x3 in-circle determinant.
+bool inCircumcircle(const Point& a, const Point& b, const Point& c,
+                    const Point& d) {
+  const double ax = a[0] - d[0];
+  const double ay = a[1] - d[1];
+  const double bx = b[0] - d[0];
+  const double by = b[1] - d[1];
+  const double cx = c[0] - d[0];
+  const double cy = c[1] - d[1];
+  const double det = (ax * ax + ay * ay) * (bx * cy - cx * by) -
+                     (bx * bx + by * by) * (ax * cy - cx * ay) +
+                     (cx * cx + cy * cy) * (ax * by - bx * ay);
+  return det > 0.0;
+}
+
+struct Triangle {
+  std::array<NodeId, 3> v;
+  bool alive = true;
+};
+
+}  // namespace
+
+DelaunayTriangulation delaunayTriangulate(std::span<const Point> points) {
+  OMT_CHECK(!points.empty(), "empty point set");
+  for (const Point& p : points)
+    OMT_CHECK(p.dim() == 2, "Delaunay triangulation is 2D only");
+  const auto n = static_cast<NodeId>(points.size());
+
+  DelaunayTriangulation out;
+  out.duplicateOf.resize(points.size());
+  out.neighbors.assign(points.size(), {});
+
+  // Collapse exact duplicates onto the first occurrence.
+  std::map<std::pair<double, double>, NodeId> canonical;
+  std::vector<NodeId> canonicalIds;
+  for (NodeId i = 0; i < n; ++i) {
+    const auto key = std::make_pair(points[static_cast<std::size_t>(i)][0],
+                                    points[static_cast<std::size_t>(i)][1]);
+    const auto [it, inserted] = canonical.emplace(key, i);
+    out.duplicateOf[static_cast<std::size_t>(i)] = it->second;
+    if (inserted) canonicalIds.push_back(i);
+  }
+
+  // Working vertex array: canonical points + the 3 super-triangle corners
+  // (ids n, n+1, n+2).
+  Point lo = points[0];
+  Point hi = points[0];
+  for (const Point& p : points) {
+    for (int c = 0; c < 2; ++c) {
+      lo[c] = std::min(lo[c], p[c]);
+      hi[c] = std::max(hi[c], p[c]);
+    }
+  }
+  const double extent = std::max({hi[0] - lo[0], hi[1] - lo[1], 1.0});
+  const Point mid = (lo + hi) / 2.0;
+  std::vector<Point> vertex(points.begin(), points.end());
+  vertex.push_back(Point{mid[0] - 30.0 * extent, mid[1] - 20.0 * extent});
+  vertex.push_back(Point{mid[0] + 30.0 * extent, mid[1] - 20.0 * extent});
+  vertex.push_back(Point{mid[0], mid[1] + 40.0 * extent});
+
+  std::vector<Triangle> triangles;
+  triangles.push_back(Triangle{{n, n + 1, n + 2}, true});
+
+  for (const NodeId id : canonicalIds) {
+    const Point& p = vertex[static_cast<std::size_t>(id)];
+    // Bad triangles: circumcircle contains p. Their once-only edges form
+    // the cavity boundary, re-triangulated as a fan around p.
+    std::map<std::pair<NodeId, NodeId>, int> edgeCount;
+    std::vector<std::pair<NodeId, NodeId>> cavity;
+    for (Triangle& t : triangles) {
+      if (!t.alive) continue;
+      if (!inCircumcircle(vertex[static_cast<std::size_t>(t.v[0])],
+                          vertex[static_cast<std::size_t>(t.v[1])],
+                          vertex[static_cast<std::size_t>(t.v[2])], p))
+        continue;
+      t.alive = false;
+      for (int e = 0; e < 3; ++e) {
+        NodeId a = t.v[static_cast<std::size_t>(e)];
+        NodeId b = t.v[static_cast<std::size_t>((e + 1) % 3)];
+        if (a > b) std::swap(a, b);
+        ++edgeCount[{a, b}];
+      }
+    }
+    for (const auto& [edge, count] : edgeCount) {
+      if (count == 1) cavity.push_back(edge);
+    }
+    for (const auto& [a, b] : cavity) {
+      Triangle t{{a, b, id}, true};
+      // Restore counter-clockwise orientation (in-circle test needs it).
+      if (cross(vertex[static_cast<std::size_t>(t.v[0])],
+                vertex[static_cast<std::size_t>(t.v[1])],
+                vertex[static_cast<std::size_t>(t.v[2])]) < 0.0)
+        std::swap(t.v[1], t.v[2]);
+      triangles.push_back(t);
+    }
+    // Compact occasionally so the bad-triangle scan stays proportional to
+    // the live triangulation (~2 * inserted points).
+    if (triangles.size() > 16 + 8 * canonicalIds.size()) {
+      std::erase_if(triangles, [](const Triangle& t) { return !t.alive; });
+    }
+  }
+
+  // Keep real triangles only, and derive the edge adjacency.
+  std::set<std::pair<NodeId, NodeId>> edges;
+  for (const Triangle& t : triangles) {
+    if (!t.alive) continue;
+    if (t.v[0] >= n || t.v[1] >= n || t.v[2] >= n) continue;
+    out.triangles.push_back(t.v);
+    for (int e = 0; e < 3; ++e) {
+      NodeId a = t.v[static_cast<std::size_t>(e)];
+      NodeId b = t.v[static_cast<std::size_t>((e + 1) % 3)];
+      if (a > b) std::swap(a, b);
+      edges.insert({a, b});
+    }
+  }
+
+  if (out.triangles.empty() && canonicalIds.size() > 1) {
+    // Fully degenerate (collinear) canonical set: fall back to the path in
+    // lexicographic order, which greedy routing can still descend.
+    std::vector<NodeId> order = canonicalIds;
+    std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+      const Point& pa = points[static_cast<std::size_t>(a)];
+      const Point& pb = points[static_cast<std::size_t>(b)];
+      return std::make_pair(pa[0], pa[1]) < std::make_pair(pb[0], pb[1]);
+    });
+    for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+      NodeId a = order[i];
+      NodeId b = order[i + 1];
+      if (a > b) std::swap(a, b);
+      edges.insert({a, b});
+    }
+  }
+
+  for (const auto& [a, b] : edges) {
+    out.neighbors[static_cast<std::size_t>(a)].push_back(b);
+    out.neighbors[static_cast<std::size_t>(b)].push_back(a);
+  }
+  // Duplicates inherit their canonical point's neighbourhood.
+  for (NodeId i = 0; i < n; ++i) {
+    const NodeId c = out.duplicateOf[static_cast<std::size_t>(i)];
+    if (c != i)
+      out.neighbors[static_cast<std::size_t>(i)] =
+          out.neighbors[static_cast<std::size_t>(c)];
+  }
+  return out;
+}
+
+MulticastTree buildDelaunayCompassTree(std::span<const Point> points,
+                                       NodeId source) {
+  const auto n = static_cast<NodeId>(points.size());
+  OMT_CHECK(source >= 0 && source < n, "source index out of range");
+
+  // Make the source canonical among its duplicates by reordering the
+  // dedupe preference: triangulate with the source swapped to position 0.
+  std::vector<Point> reordered(points.begin(), points.end());
+  std::swap(reordered[0], reordered[static_cast<std::size_t>(source)]);
+  const DelaunayTriangulation tri = delaunayTriangulate(reordered);
+  const auto mapBack = [&](NodeId reorderedId) {
+    if (reorderedId == 0) return source;
+    if (reorderedId == source) return NodeId{0};
+    return reorderedId;
+  };
+  const auto mapIn = [&](NodeId originalId) {
+    if (originalId == source) return NodeId{0};
+    if (originalId == 0) return source;
+    return originalId;
+  };
+
+  const Point& sourcePoint = points[static_cast<std::size_t>(source)];
+  MulticastTree tree(n, source);
+  for (NodeId v = 0; v < n; ++v) {
+    if (v == source) continue;
+    const auto rv = static_cast<std::size_t>(mapIn(v));
+    const Point& pv = points[static_cast<std::size_t>(v)];
+    if (tri.duplicateOf[rv] != static_cast<NodeId>(rv)) {
+      // Exact duplicate: hang off the canonical host.
+      tree.attach(v, mapBack(tri.duplicateOf[rv]), EdgeKind::kLocal);
+      continue;
+    }
+    const double own = squaredDistance(pv, sourcePoint);
+    NodeId best = kNoNode;
+    double bestDist = kInf;
+    for (const NodeId u : tri.neighbors[rv]) {
+      const NodeId original = mapBack(u);
+      const double d =
+          squaredDistance(points[static_cast<std::size_t>(original)],
+                          sourcePoint);
+      if (d < bestDist || (d == bestDist && original < best)) {
+        bestDist = d;
+        best = original;
+      }
+    }
+    if (best == kNoNode || bestDist >= own) {
+      // No strictly-closer neighbour (numerical tie or isolated point):
+      // fall back to a direct source link, as the protocol in [10] does
+      // for its leader.
+      tree.attach(v, source, EdgeKind::kLocal);
+      continue;
+    }
+    tree.attach(v, best, EdgeKind::kLocal);
+  }
+  tree.finalize();
+  return tree;
+}
+
+}  // namespace omt

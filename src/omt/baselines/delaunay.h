@@ -1,0 +1,51 @@
+// Delaunay-triangulation overlay baseline (the paper's reference [10],
+// Liebeherr & Nahas, "Application-layer Multicast with Delaunay
+// Triangulations").
+//
+// The overlay graph is the Delaunay triangulation of the host coordinates;
+// the multicast tree is the union of greedy (compass-style) routes toward
+// the source: every host forwards from the Delaunay neighbour that is
+// strictly closer to the source, which on a Delaunay graph always exists,
+// so the parent pointers form a tree. Node degrees are whatever the
+// triangulation induces (~6 on average in 2D, unbounded in the worst
+// case) — this baseline, like the star, is degree-UNconstrained and shows
+// what locality alone buys.
+//
+// The triangulation is the plain Bowyer–Watson incremental algorithm with
+// a global bad-triangle scan per insertion: O(n^2) worst case, which is
+// fine for baseline sizes (<= a few 10^4). 2D only.
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "omt/common/types.h"
+#include "omt/geometry/point.h"
+#include "omt/tree/multicast_tree.h"
+
+namespace omt {
+
+struct DelaunayTriangulation {
+  /// Triangles by vertex index (counter-clockwise); indices refer to the
+  /// input point span. Exact duplicate points are collapsed: only the
+  /// first occurrence appears in triangles.
+  std::vector<std::array<NodeId, 3>> triangles;
+  /// Adjacency lists of the triangulation's edges (per input point;
+  /// duplicates get their canonical point's neighbours).
+  std::vector<std::vector<NodeId>> neighbors;
+  /// duplicateOf[i] == i for canonical points, else the canonical index.
+  std::vector<NodeId> duplicateOf;
+};
+
+/// Delaunay triangulation of 2D points (n >= 1; degenerate all-collinear
+/// sets yield no triangles but still produce nearest-neighbour links).
+DelaunayTriangulation delaunayTriangulate(std::span<const Point> points);
+
+/// The compass-routing multicast tree over the triangulation: each host's
+/// parent is its Delaunay neighbour closest to the source (ties by id);
+/// exact duplicates attach to their canonical host.
+MulticastTree buildDelaunayCompassTree(std::span<const Point> points,
+                                       NodeId source);
+
+}  // namespace omt

@@ -1,0 +1,78 @@
+// The Bisection algorithm of Section II — the constant-factor approximation
+// used standalone (Theorem 1) and as the intra-cell subroutine of Algorithm
+// Polar_Grid.
+//
+// Given points inside a ring segment and a designated source, the algorithm
+// recursively divides the segment into 2^d aligned sub-segments (splitting
+// the radial interval at its midpoint and every angular-cube axis in half;
+// 4 sub-segments in 2D as in Figure 1, 8 in 3D), picks in each non-empty
+// sub-segment the representative whose radius is closest to the local
+// source's radius, connects the source to the representatives, and recurses
+// with each representative as the local source.
+//
+// Fan-out control: with maxChildren >= 2^d the source connects every
+// representative directly (the paper's out-degree-4 version in 2D). With
+// smaller maxChildren m the source connects m relay points (chosen with
+// radius closest to the source, as in the paper's out-degree-2 version) and
+// each relay forwards to a share of the sub-segments, cascading further if
+// needed; each relay layer doubles the arc term of the path bound, giving
+// the paper's max(R-q, q-r) + 4Ra for m = 2 in 2D.
+#pragma once
+
+#include <span>
+
+#include "omt/geometry/angular_cube.h"
+#include "omt/geometry/point.h"
+#include "omt/geometry/ring_segment.h"
+#include "omt/tree/multicast_tree.h"
+
+namespace omt {
+
+/// Attach all `members` (point indices; must exclude `rootNode` and any
+/// already-attached node) into `tree` under `rootNode`, keeping every
+/// node's out-degree contribution from this call at most `maxChildren`
+/// (>= 2). `memberPolar[i]` is the polar representation of `members[i]` in
+/// the same frame as `segment` (and `rootRadius` the root's radius in that
+/// frame); all members must lie inside `segment`. Edges are EdgeKind::kLocal.
+void bisectConnect(MulticastTree& tree, std::span<const NodeId> members,
+                   std::span<const PolarCoords> memberPolar, NodeId rootNode,
+                   double rootRadius, const RingSegment& segment,
+                   int maxChildren);
+
+struct BisectionTreeOptions {
+  /// Maximum out-degree of any node (>= 2). The paper's Theorem 1 covers 4
+  /// (factor 5) and 2 (factor 9).
+  int maxOutDegree = 4;
+};
+
+struct BisectionTreeResult {
+  MulticastTree tree;
+  /// The tight covering ring segment (about `ringCenter`) the bound refers
+  /// to; its radial interval is [r, R] and angle span is `a`.
+  Point ringCenter;
+  double segmentInnerRadius = 0.0;   ///< r
+  double segmentOuterRadius = 0.0;   ///< R
+  double segmentAngle = 0.0;         ///< a (radians)
+  double sourceRadius = 0.0;         ///< q
+  /// Path-length upper bound, eq. (1)/(2) generalised:
+  /// max(R-q, q-r) + 2 * ceil(d / log2(m)) * R * a.
+  double pathBound = 0.0;
+  /// Lower bound on any feasible tree's max delay:
+  /// max(R-q, q-r, r*sin a) — valid because the covering segment satisfies
+  /// the Theorem 1 preconditions (far ring center).
+  double lowerBound = 0.0;
+};
+
+/// The standalone constant-factor approximation: construct a covering ring
+/// segment with a far ring center (sin a > 5a/6, r > 0.6R, tight R, r, a),
+/// then run the bisection algorithm rooted at points[source].
+BisectionTreeResult buildBisectionTree(std::span<const Point> points,
+                                       NodeId source,
+                                       const BisectionTreeOptions& options = {});
+
+/// The arc-term multiplier of the path bound: one relay layer per
+/// ceil(d / log2(m)) links used at each recursion level (1 for m >= 2^d,
+/// 2 for the paper's out-degree-2 version in 2D).
+int relayLayers(int dim, int maxChildren);
+
+}  // namespace omt

@@ -1,0 +1,214 @@
+#include "omt/bisection/square_bisection.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "omt/bisection/bisection.h"  // relayLayers
+#include "omt/common/error.h"
+
+namespace omt {
+namespace {
+
+struct Box {
+  Point lo;
+  Point hi;
+
+  Point mid() const { return (lo + hi) / 2.0; }
+  double diagonal() const { return distance(lo, hi); }
+
+  int subboxIndex(const Point& p) const {
+    const Point m = mid();
+    int index = 0;
+    for (int c = 0; c < lo.dim(); ++c) {
+      if (p[c] > m[c]) index |= 1 << c;
+    }
+    return index;
+  }
+
+  Box subbox(int index) const {
+    Box out{lo, hi};
+    const Point m = mid();
+    for (int c = 0; c < lo.dim(); ++c) {
+      if ((index >> c) & 1) {
+        out.lo[c] = m[c];
+      } else {
+        out.hi[c] = m[c];
+      }
+    }
+    return out;
+  }
+};
+
+struct Member {
+  NodeId node = kNoNode;
+  Point position;
+};
+
+struct Job {
+  NodeId root = kNoNode;
+  Point rootPosition;
+  Box box;
+  std::vector<Member> members;
+  int depth = 0;
+};
+
+constexpr int kMaxDepth = 192;
+
+void attachFan(MulticastTree& tree, NodeId root,
+               std::span<const Member> members, int m) {
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    const NodeId parent =
+        i == 0 ? root : members[(i - 1) / static_cast<std::size_t>(m)].node;
+    tree.attach(members[i].node, parent, EdgeKind::kLocal);
+  }
+}
+
+Member extractClosest(std::vector<std::vector<Member>>& buckets,
+                      std::span<const int> bucketIds, const Point& target) {
+  int bestBucket = -1;
+  std::size_t bestPos = 0;
+  double bestDist = kInf;
+  NodeId bestNode = kNoNode;
+  for (const int b : bucketIds) {
+    const auto& bucket = buckets[static_cast<std::size_t>(b)];
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      const double d = squaredDistance(bucket[i].position, target);
+      if (d < bestDist || (d == bestDist && bucket[i].node < bestNode)) {
+        bestDist = d;
+        bestBucket = b;
+        bestPos = i;
+        bestNode = bucket[i].node;
+      }
+    }
+  }
+  if (bestBucket < 0) return {};
+  auto& bucket = buckets[static_cast<std::size_t>(bestBucket)];
+  Member out = bucket[bestPos];
+  bucket[bestPos] = bucket.back();
+  bucket.pop_back();
+  return out;
+}
+
+void connectBuckets(MulticastTree& tree, std::vector<Job>& stack,
+                    std::vector<std::vector<Member>>& buckets,
+                    std::span<const int> bucketIds, NodeId root,
+                    const Point& rootPosition, const Box& box, int m,
+                    int depth) {
+  if (static_cast<int>(bucketIds.size()) <= m) {
+    for (const int b : bucketIds) {
+      auto& bucket = buckets[static_cast<std::size_t>(b)];
+      if (bucket.empty()) continue;
+      std::size_t repPos = 0;
+      for (std::size_t i = 1; i < bucket.size(); ++i) {
+        const double cur = squaredDistance(bucket[i].position, rootPosition);
+        const double best =
+            squaredDistance(bucket[repPos].position, rootPosition);
+        if (cur < best || (cur == best && bucket[i].node < bucket[repPos].node))
+          repPos = i;
+      }
+      const Member rep = bucket[repPos];
+      bucket[repPos] = bucket.back();
+      bucket.pop_back();
+      tree.attach(rep.node, root, EdgeKind::kLocal);
+      stack.push_back(Job{rep.node, rep.position, box.subbox(b),
+                          std::move(bucket), depth + 1});
+      bucket = {};
+    }
+    return;
+  }
+
+  const std::size_t total = bucketIds.size();
+  const std::size_t groups = static_cast<std::size_t>(m);
+  std::size_t begin = 0;
+  for (std::size_t g = 0; g < groups && begin < total; ++g) {
+    const std::size_t size = (total - begin + (groups - g) - 1) / (groups - g);
+    const std::span<const int> group = bucketIds.subspan(begin, size);
+    begin += size;
+    const Member relay = extractClosest(buckets, group, rootPosition);
+    if (relay.node == kNoNode) continue;
+    tree.attach(relay.node, root, EdgeKind::kLocal);
+    connectBuckets(tree, stack, buckets, group, relay.node, relay.position,
+                   box, m, depth);
+  }
+}
+
+void processJob(MulticastTree& tree, std::vector<Job>& stack, Job job,
+                int m) {
+  if (job.members.empty()) return;
+  if (static_cast<int>(job.members.size()) <= m) {
+    for (const Member& member : job.members)
+      tree.attach(member.node, job.root, EdgeKind::kLocal);
+    return;
+  }
+  if (job.depth > kMaxDepth ||
+      job.box.diagonal() < 1e-12 * (1.0 + norm(job.box.hi))) {
+    attachFan(tree, job.root, job.members, m);
+    return;
+  }
+
+  std::vector<std::vector<Member>> buckets(
+      std::size_t{1} << job.box.lo.dim());
+  for (Member& member : job.members) {
+    buckets[static_cast<std::size_t>(job.box.subboxIndex(member.position))]
+        .push_back(member);
+  }
+  std::vector<int> nonEmpty;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    if (!buckets[b].empty()) nonEmpty.push_back(static_cast<int>(b));
+  }
+  connectBuckets(tree, stack, buckets, nonEmpty, job.root, job.rootPosition,
+                 job.box, m, job.depth);
+}
+
+}  // namespace
+
+SquareBisectionResult buildSquareBisectionTree(
+    std::span<const Point> points, NodeId source,
+    const SquareBisectionOptions& options) {
+  const auto n = static_cast<NodeId>(points.size());
+  OMT_CHECK(n >= 1, "empty point set");
+  OMT_CHECK(source >= 0 && source < n, "source index out of range");
+  OMT_CHECK(options.maxOutDegree >= 2, "out-degree cap must be at least 2");
+  const int d = points.front().dim();
+  OMT_CHECK(d >= 2 && d <= kMaxDim, "dimension out of range");
+
+  Box box{points[0], points[0]};
+  for (const Point& p : points) {
+    OMT_CHECK(p.dim() == d, "mixed dimensions in point set");
+    for (int c = 0; c < d; ++c) {
+      box.lo[c] = std::min(box.lo[c], p[c]);
+      box.hi[c] = std::max(box.hi[c], p[c]);
+    }
+  }
+
+  SquareBisectionResult result{.tree = MulticastTree(n, source),
+                               .boxLo = box.lo,
+                               .boxHi = box.hi,
+                               .pathBound = 0.0};
+  std::vector<Member> members;
+  members.reserve(points.size());
+  for (NodeId i = 0; i < n; ++i) {
+    if (i == source) continue;
+    members.push_back(Member{i, points[static_cast<std::size_t>(i)]});
+  }
+
+  std::vector<Job> stack;
+  stack.push_back(Job{source, points[static_cast<std::size_t>(source)], box,
+                      std::move(members), 0});
+  while (!stack.empty()) {
+    Job job = std::move(stack.back());
+    stack.pop_back();
+    processJob(result.tree, stack, std::move(job),
+               options.maxOutDegree);
+  }
+  result.tree.finalize();
+
+  // Each level's hop is bounded by that level's box diagonal; diagonals
+  // halve, so the total telescopes to 2 * diag, once per relay layer.
+  result.pathBound =
+      2.0 * relayLayers(d, options.maxOutDegree) * box.diagonal();
+  return result;
+}
+
+}  // namespace omt

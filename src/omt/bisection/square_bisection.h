@@ -1,0 +1,45 @@
+// The square (axis-aligned) variant of the Bisection algorithm.
+//
+// Section II notes that the constant-factor algorithm "is easier to
+// describe for a square"; this is that version, generalised to any
+// dimension: recursively halve the bounding box along every axis (2^d
+// aligned sub-boxes — a quadtree in 2D, octree in 3D), pick in every
+// non-empty sub-box the representative closest to the local source, connect
+// and recurse. The same relay cascade as the polar version handles fan-out
+// caps below 2^d.
+//
+// Compared with the polar version it needs no ring-center construction
+// (the box is the natural frame) and its path bound telescopes over the
+// box diagonal: l_p <= 2 * L * diag(box), with L = relayLayers(d, m) link
+// layers per level; the price is a weaker constant than Theorem 1's when
+// the point set is naturally ring-shaped. The ablation bench
+// (bench_square_vs_polar) measures both on identical inputs.
+#pragma once
+
+#include <span>
+
+#include "omt/geometry/point.h"
+#include "omt/tree/multicast_tree.h"
+
+namespace omt {
+
+struct SquareBisectionOptions {
+  /// Maximum out-degree of any node (>= 2).
+  int maxOutDegree = 4;
+};
+
+struct SquareBisectionResult {
+  MulticastTree tree;
+  Point boxLo;           ///< bounding box of the input
+  Point boxHi;
+  /// Telescoped path bound: 2 * relayLayers(d, m) * |diag|.
+  double pathBound = 0.0;
+};
+
+/// Build the quadtree-bisection tree over `points` rooted at
+/// points[source]. Requires n >= 1 and a uniform dimension in [2, kMaxDim].
+SquareBisectionResult buildSquareBisectionTree(
+    std::span<const Point> points, NodeId source,
+    const SquareBisectionOptions& options = {});
+
+}  // namespace omt

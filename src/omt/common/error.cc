@@ -1,0 +1,29 @@
+#include "omt/common/error.h"
+
+#include <sstream>
+
+namespace omt::detail {
+namespace {
+
+std::string format(const char* kind, const char* condition, const char* file,
+                   int line, const std::string& message) {
+  std::ostringstream out;
+  out << kind << ": " << message << " [failed: " << condition << " at " << file
+      << ":" << line << "]";
+  return out.str();
+}
+
+}  // namespace
+
+void throwInvalidArgument(const char* condition, const char* file, int line,
+                          const std::string& message) {
+  throw InvalidArgument(
+      format("invalid argument", condition, file, line, message));
+}
+
+void throwLogicError(const char* condition, const char* file, int line,
+                     const std::string& message) {
+  throw LogicError(format("internal error", condition, file, line, message));
+}
+
+}  // namespace omt::detail

@@ -1,0 +1,49 @@
+// Error types and precondition-checking macros.
+//
+// Library preconditions are enforced with OMT_CHECK (always on, throws
+// omt::InvalidArgument) and internal invariants with OMT_ASSERT (always on,
+// throws omt::LogicError). Algorithms never throw on valid input, so a
+// LogicError escaping the library is a bug in the library, not the caller.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace omt {
+
+/// Thrown when a caller violates a documented precondition.
+class InvalidArgument : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant fails; indicates a library bug.
+class LogicError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] void throwInvalidArgument(const char* condition, const char* file,
+                                       int line, const std::string& message);
+[[noreturn]] void throwLogicError(const char* condition, const char* file,
+                                  int line, const std::string& message);
+}  // namespace detail
+
+}  // namespace omt
+
+/// Validate a caller-facing precondition; `msg` is a std::string expression.
+#define OMT_CHECK(cond, msg)                                              \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::omt::detail::throwInvalidArgument(#cond, __FILE__, __LINE__, msg); \
+    }                                                                     \
+  } while (false)
+
+/// Validate an internal invariant; `msg` is a std::string expression.
+#define OMT_ASSERT(cond, msg)                                        \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      ::omt::detail::throwLogicError(#cond, __FILE__, __LINE__, msg); \
+    }                                                                \
+  } while (false)

@@ -1,0 +1,27 @@
+// Fundamental identifiers and compile-time configuration shared by every
+// omt subsystem.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace omt {
+
+/// Index of a node (host) in the point set / multicast tree. Dense, 0-based.
+using NodeId = std::int64_t;
+
+/// Sentinel meaning "no node" (e.g. the parent of the root).
+inline constexpr NodeId kNoNode = -1;
+
+/// Maximum supported Euclidean dimension. The paper evaluates d = 2 and
+/// d = 3; the generalised grid works for any d up to this bound.
+inline constexpr int kMaxDim = 8;
+
+/// Comparisons of geometric quantities use this absolute slack to absorb
+/// floating-point rounding (coordinates are O(1) after normalisation).
+inline constexpr double kGeomEps = 1e-12;
+
+/// Positive infinity shorthand for delays/distances.
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace omt

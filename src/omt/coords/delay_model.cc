@@ -1,0 +1,132 @@
+#include "omt/coords/delay_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "omt/common/error.h"
+#include "omt/random/rng.h"
+
+namespace omt {
+
+EuclideanDelayModel::EuclideanDelayModel(std::vector<Point> points)
+    : points_(std::move(points)) {
+  OMT_CHECK(!points_.empty(), "empty point set");
+}
+
+double EuclideanDelayModel::delay(NodeId a, NodeId b) const {
+  OMT_CHECK(a >= 0 && a < size() && b >= 0 && b < size(),
+            "node id out of range");
+  return distance(points_[static_cast<std::size_t>(a)],
+                  points_[static_cast<std::size_t>(b)]);
+}
+
+NoisyEuclideanDelayModel::NoisyEuclideanDelayModel(std::vector<Point> points,
+                                                   double mu, double sigma,
+                                                   double minDelay,
+                                                   std::uint64_t seed)
+    : points_(std::move(points)),
+      mu_(mu),
+      sigma_(sigma),
+      minDelay_(minDelay),
+      seed_(seed) {
+  OMT_CHECK(!points_.empty(), "empty point set");
+  OMT_CHECK(sigma >= 0.0, "negative noise sigma");
+  OMT_CHECK(minDelay >= 0.0, "negative delay floor");
+}
+
+double NoisyEuclideanDelayModel::delay(NodeId a, NodeId b) const {
+  OMT_CHECK(a >= 0 && a < size() && b >= 0 && b < size(),
+            "node id out of range");
+  if (a == b) return 0.0;
+  const double base = distance(points_[static_cast<std::size_t>(a)],
+                               points_[static_cast<std::size_t>(b)]);
+  // Symmetric deterministic noise: hash (seed, min, max) into a stretch.
+  const auto lo = static_cast<std::uint64_t>(std::min(a, b));
+  const auto hi = static_cast<std::uint64_t>(std::max(a, b));
+  std::uint64_t state = seed_ ^ (lo * 0x9E3779B97F4A7C15ULL) ^
+                        (hi * 0xC2B2AE3D27D4EB4FULL);
+  Rng rng(splitMix64(state));
+  const double stretch = rng.lognormal(mu_, sigma_);
+  return minDelay_ + base * stretch;
+}
+
+MatrixDelayModel::MatrixDelayModel(NodeId n, std::vector<double> matrix)
+    : n_(n), matrix_(std::move(matrix)) {
+  OMT_CHECK(n >= 1, "empty model");
+  OMT_CHECK(matrix_.size() == static_cast<std::size_t>(n) *
+                                  static_cast<std::size_t>(n),
+            "matrix size must be n*n");
+  for (NodeId a = 0; a < n_; ++a) {
+    OMT_CHECK(matrix_[static_cast<std::size_t>(a * n_ + a)] == 0.0,
+              "diagonal must be zero");
+    for (NodeId b = 0; b < n_; ++b) {
+      const double ab = matrix_[static_cast<std::size_t>(a * n_ + b)];
+      const double ba = matrix_[static_cast<std::size_t>(b * n_ + a)];
+      OMT_CHECK(ab >= 0.0, "delays must be non-negative");
+      OMT_CHECK(ab == ba, "delay matrix must be symmetric");
+    }
+  }
+}
+
+double MatrixDelayModel::delay(NodeId a, NodeId b) const {
+  OMT_CHECK(a >= 0 && a < n_ && b >= 0 && b < n_, "node id out of range");
+  return matrix_[static_cast<std::size_t>(a * n_ + b)];
+}
+
+TriangleViolationStats measureTriangleViolations(const DelayModel& model,
+                                                 std::int64_t sampleTriples,
+                                                 std::uint64_t seed) {
+  OMT_CHECK(sampleTriples >= 1, "need at least one sampled triple");
+  const NodeId n = model.size();
+  OMT_CHECK(n >= 3, "need at least three hosts");
+
+  Rng rng(seed);
+  TriangleViolationStats stats;
+  std::int64_t violations = 0;
+  double severitySum = 0.0;
+  for (std::int64_t s = 0; s < sampleTriples; ++s) {
+    NodeId a = static_cast<NodeId>(rng.uniformInt(static_cast<std::uint64_t>(n)));
+    NodeId b = static_cast<NodeId>(rng.uniformInt(static_cast<std::uint64_t>(n)));
+    NodeId c = static_cast<NodeId>(rng.uniformInt(static_cast<std::uint64_t>(n)));
+    if (a == b || b == c || a == c) {
+      --s;  // resample degenerate triples
+      continue;
+    }
+    const double direct = model.delay(a, c);
+    const double detour = model.delay(a, b) + model.delay(b, c);
+    if (direct > detour + kGeomEps && detour > kGeomEps) {
+      ++violations;
+      const double severity = direct / detour - 1.0;
+      severitySum += severity;
+      stats.maxSeverity = std::max(stats.maxSeverity, severity);
+    }
+  }
+  stats.violatingFraction =
+      static_cast<double>(violations) / static_cast<double>(sampleTriples);
+  stats.meanSeverity =
+      violations > 0 ? severitySum / static_cast<double>(violations) : 0.0;
+  return stats;
+}
+
+TrueDelayMetrics evaluateUnderModel(const MulticastTree& tree,
+                                    const DelayModel& model) {
+  OMT_CHECK(tree.finalized(), "tree must be finalized");
+  OMT_CHECK(tree.size() == model.size(), "tree/model size mismatch");
+  std::vector<double> delay(static_cast<std::size_t>(tree.size()), 0.0);
+  TrueDelayMetrics out;
+  double sum = 0.0;
+  for (const NodeId v : tree.bfsOrder()) {
+    if (v == tree.root()) continue;
+    const NodeId p = tree.parentOf(v);
+    delay[static_cast<std::size_t>(v)] =
+        delay[static_cast<std::size_t>(p)] + model.delay(p, v);
+    out.maxDelay = std::max(out.maxDelay, delay[static_cast<std::size_t>(v)]);
+    sum += delay[static_cast<std::size_t>(v)];
+  }
+  out.meanDelay = tree.size() > 1
+                      ? sum / static_cast<double>(tree.size() - 1)
+                      : 0.0;
+  return out;
+}
+
+}  // namespace omt

@@ -1,0 +1,114 @@
+// Synthetic "true delay" models.
+//
+// The paper assumes hosts have already been mapped to Euclidean points so
+// that unicast delays are approximated by distances (via GNP [12] or
+// geographic coordinates [16], [10]), and names the interaction between
+// mapping error and tree quality as future work. We cannot measure the 2004
+// Internet, so this module substitutes the closest synthetic equivalent: a
+// ground-truth delay matrix generated from hidden host positions with a
+// controllable multiplicative lognormal stretch (non-Euclidean noise, e.g.
+// access-link and routing-inflation effects). The embedding pipeline
+// (embedding.h) then has to *recover* coordinates from these delays, just
+// as GNP would, and trees built on recovered coordinates are evaluated
+// against the true delays.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "omt/common/types.h"
+#include "omt/geometry/point.h"
+#include "omt/tree/multicast_tree.h"
+
+namespace omt {
+
+/// Symmetric pairwise delays between n hosts. delay(a, a) == 0.
+class DelayModel {
+ public:
+  virtual ~DelayModel() = default;
+  virtual NodeId size() const = 0;
+  virtual double delay(NodeId a, NodeId b) const = 0;
+};
+
+/// Delays exactly equal to Euclidean distance between the given points
+/// (the paper's idealised model).
+class EuclideanDelayModel final : public DelayModel {
+ public:
+  explicit EuclideanDelayModel(std::vector<Point> points);
+
+  NodeId size() const override {
+    return static_cast<NodeId>(points_.size());
+  }
+  double delay(NodeId a, NodeId b) const override;
+
+  std::span<const Point> points() const { return points_; }
+
+ private:
+  std::vector<Point> points_;
+};
+
+/// Euclidean distance times a per-pair lognormal stretch factor
+/// exp(N(mu, sigma^2)), deterministic in (seed, a, b) and symmetric; no
+/// O(n^2) storage. sigma = 0 and mu = 0 reduce to the Euclidean model.
+/// `minDelay` adds a constant floor modelling last-hop latency.
+class NoisyEuclideanDelayModel final : public DelayModel {
+ public:
+  NoisyEuclideanDelayModel(std::vector<Point> points, double mu, double sigma,
+                           double minDelay, std::uint64_t seed);
+
+  NodeId size() const override {
+    return static_cast<NodeId>(points_.size());
+  }
+  double delay(NodeId a, NodeId b) const override;
+
+  std::span<const Point> points() const { return points_; }
+
+ private:
+  std::vector<Point> points_;
+  double mu_;
+  double sigma_;
+  double minDelay_;
+  std::uint64_t seed_;
+};
+
+/// Explicit matrix model (row-major, size n*n); validates symmetry and a
+/// zero diagonal. For small hand-built instances in tests.
+class MatrixDelayModel final : public DelayModel {
+ public:
+  MatrixDelayModel(NodeId n, std::vector<double> matrix);
+
+  NodeId size() const override { return n_; }
+  double delay(NodeId a, NodeId b) const override;
+
+ private:
+  NodeId n_;
+  std::vector<double> matrix_;
+};
+
+/// Max and mean root-to-node delay of `tree` when every edge costs its
+/// TRUE delay under `model` (not the embedded distance). This is the
+/// quantity a deployment actually experiences.
+struct TrueDelayMetrics {
+  double maxDelay = 0.0;
+  double meanDelay = 0.0;
+};
+TrueDelayMetrics evaluateUnderModel(const MulticastTree& tree,
+                                    const DelayModel& model);
+
+/// Triangle-inequality violations of a delay model — the paper's closing
+/// caveat ("there is usually a discrepancy between the Euclidean distances
+/// and the actual transmission delays") made quantitative. A triple
+/// (a, b, c) violates when delay(a, c) > delay(a, b) + delay(b, c); real
+/// Internet delay matrices violate a noticeable fraction, and no Euclidean
+/// embedding can represent a violating triple exactly.
+struct TriangleViolationStats {
+  double violatingFraction = 0.0;  ///< share of sampled triples violating
+  double meanSeverity = 0.0;       ///< mean of (longSide/detour - 1) over violators
+  double maxSeverity = 0.0;
+};
+TriangleViolationStats measureTriangleViolations(const DelayModel& model,
+                                                 std::int64_t sampleTriples,
+                                                 std::uint64_t seed);
+
+}  // namespace omt

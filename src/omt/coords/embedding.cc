@@ -1,0 +1,283 @@
+#include "omt/coords/embedding.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "omt/common/error.h"
+#include "omt/random/rng.h"
+
+namespace omt {
+namespace {
+
+/// Squared relative error between an estimated and a true delay; falls back
+/// to absolute error for zero true delays (coincident hosts).
+double pairError(double estimated, double truth) {
+  const double err = estimated - truth;
+  if (truth > kGeomEps) {
+    const double rel = err / truth;
+    return rel * rel;
+  }
+  return err * err;
+}
+
+Point pointFromSlice(std::span<const double> vars, std::size_t index,
+                     int dim) {
+  Point p(dim);
+  for (int c = 0; c < dim; ++c)
+    p[c] = vars[index * static_cast<std::size_t>(dim) +
+                static_cast<std::size_t>(c)];
+  return p;
+}
+
+std::vector<NodeId> chooseLandmarks(NodeId n, int count, Rng& rng) {
+  // Reservoir-free selection: shuffle ids and take a prefix. n is small in
+  // every embedding use case (the per-host stage is O(n * landmarks)).
+  std::vector<NodeId> ids(static_cast<std::size_t>(n));
+  for (NodeId i = 0; i < n; ++i) ids[static_cast<std::size_t>(i)] = i;
+  for (std::size_t i = ids.size(); i > 1; --i)
+    std::swap(ids[i - 1], ids[rng.uniformInt(i)]);
+  ids.resize(static_cast<std::size_t>(count));
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace
+
+EmbeddingResult embedGnp(const DelayModel& model, const GnpOptions& options) {
+  const NodeId n = model.size();
+  OMT_CHECK(options.dim >= 1 && options.dim <= kMaxDim,
+            "embedding dimension out of range");
+  OMT_CHECK(options.landmarks >= options.dim + 1,
+            "need at least dim + 1 landmarks");
+  OMT_CHECK(n >= options.landmarks, "fewer hosts than landmarks");
+  const int dim = options.dim;
+  const auto L = static_cast<std::size_t>(options.landmarks);
+
+  Rng rng(options.seed);
+  EmbeddingResult result;
+  result.landmarks = chooseLandmarks(n, options.landmarks, rng);
+
+  // Stage 1: landmark coordinates minimising squared relative error over
+  // all landmark pairs.
+  std::vector<double> x0(L * static_cast<std::size_t>(dim));
+  for (double& v : x0) v = rng.uniform(-0.5, 0.5);
+  const Objective landmarkObjective = [&](std::span<const double> vars) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < L; ++i) {
+      const Point pi = pointFromSlice(vars, i, dim);
+      for (std::size_t j = i + 1; j < L; ++j) {
+        const Point pj = pointFromSlice(vars, j, dim);
+        total += pairError(distance(pi, pj),
+                           model.delay(result.landmarks[i],
+                                       result.landmarks[j]));
+      }
+    }
+    return total;
+  };
+  const NelderMeadResult landmarkFit =
+      minimizeNelderMead(landmarkObjective, x0, options.optimizer);
+  result.landmarkObjective = landmarkFit.value;
+
+  std::vector<Point> landmarkCoords(L, Point(dim));
+  Point centroid(dim);
+  for (std::size_t i = 0; i < L; ++i) {
+    landmarkCoords[i] = pointFromSlice(landmarkFit.x, i, dim);
+    centroid += landmarkCoords[i];
+  }
+  centroid /= static_cast<double>(L);
+
+  // Stage 2: every other host fits its own coordinate against the
+  // landmarks only.
+  result.coords.assign(static_cast<std::size_t>(n), Point(dim));
+  std::vector<std::int64_t> landmarkIndex(static_cast<std::size_t>(n), -1);
+  for (std::size_t i = 0; i < L; ++i) {
+    landmarkIndex[static_cast<std::size_t>(result.landmarks[i])] =
+        static_cast<std::int64_t>(i);
+    result.coords[static_cast<std::size_t>(result.landmarks[i])] =
+        landmarkCoords[i];
+  }
+  NelderMeadOptions hostOptions = options.optimizer;
+  hostOptions.maxIterations = std::max(400, options.optimizer.maxIterations / 4);
+  // Host fits are tiny (dim variables) but non-convex — a host can land on
+  // the wrong side of the landmark constellation. Multi-start from the
+  // centroid and from the nearest landmark's neighbourhood, keep the best.
+  constexpr int kHostStarts = 4;
+  for (NodeId h = 0; h < n; ++h) {
+    if (landmarkIndex[static_cast<std::size_t>(h)] >= 0) continue;
+    const Objective hostObjective = [&](std::span<const double> vars) {
+      const Point p = pointFromSlice(vars, 0, dim);
+      double total = 0.0;
+      for (std::size_t i = 0; i < L; ++i) {
+        total += pairError(distance(p, landmarkCoords[i]),
+                           model.delay(h, result.landmarks[i]));
+      }
+      return total;
+    };
+    std::size_t nearestLandmark = 0;
+    for (std::size_t i = 1; i < L; ++i) {
+      if (model.delay(h, result.landmarks[i]) <
+          model.delay(h, result.landmarks[nearestLandmark]))
+        nearestLandmark = i;
+    }
+    double bestValue = kInf;
+    for (int attempt = 0; attempt < kHostStarts; ++attempt) {
+      const Point& anchor =
+          attempt % 2 == 0 ? centroid : landmarkCoords[nearestLandmark];
+      const double jitter = attempt < 2 ? 0.1 : 0.6;
+      std::vector<double> start(static_cast<std::size_t>(dim));
+      for (int c = 0; c < dim; ++c) {
+        start[static_cast<std::size_t>(c)] =
+            anchor[c] + rng.uniform(-jitter, jitter);
+      }
+      const NelderMeadResult fit =
+          minimizeNelderMead(hostObjective, start, hostOptions);
+      if (fit.value < bestValue) {
+        bestValue = fit.value;
+        result.coords[static_cast<std::size_t>(h)] =
+            pointFromSlice(fit.x, 0, dim);
+      }
+    }
+  }
+  return result;
+}
+
+EmbeddingResult embedVivaldi(const DelayModel& model,
+                             const VivaldiOptions& options) {
+  const NodeId n = model.size();
+  OMT_CHECK(options.dim >= 1 && options.dim <= kMaxDim,
+            "embedding dimension out of range");
+  OMT_CHECK(n >= 2, "need at least two hosts");
+  OMT_CHECK(options.rounds >= 1 && options.neighborsPerRound >= 1,
+            "rounds and neighbours must be positive");
+  OMT_CHECK(options.timestep > 0.0 && options.timestep <= 1.0,
+            "timestep outside (0, 1]");
+  const int dim = options.dim;
+
+  Rng rng(options.seed);
+  EmbeddingResult result;
+  result.coords.assign(static_cast<std::size_t>(n), Point(dim));
+  for (Point& p : result.coords) {
+    for (int c = 0; c < dim; ++c) p[c] = rng.uniform(-0.1, 0.1);
+  }
+  if (options.useHeight)
+    result.heights.assign(static_cast<std::size_t>(n), 0.0);
+
+  for (int round = 0; round < options.rounds; ++round) {
+    // Cool the timestep as rounds progress (Vivaldi's adaptive delta,
+    // simplified to a schedule).
+    const double dt = options.timestep /
+                      (1.0 + static_cast<double>(round) /
+                                 static_cast<double>(options.rounds));
+    for (NodeId i = 0; i < n; ++i) {
+      Point& xi = result.coords[static_cast<std::size_t>(i)];
+      for (int probe = 0; probe < options.neighborsPerRound; ++probe) {
+        NodeId j =
+            static_cast<NodeId>(rng.uniformInt(static_cast<std::uint64_t>(n)));
+        if (j == i) continue;
+        const Point& xj = result.coords[static_cast<std::size_t>(j)];
+        Point dir = xi - xj;
+        double len = norm(dir);
+        if (len <= kGeomEps) {
+          // Coincident estimates: pick a random direction to separate.
+          for (int c = 0; c < dim; ++c) dir[c] = rng.gaussian();
+          len = norm(dir);
+          if (len <= kGeomEps) continue;
+        }
+        dir /= len;
+        const double truth = model.delay(i, j);
+        if (options.useHeight) {
+          double& hi = result.heights[static_cast<std::size_t>(i)];
+          const double hj = result.heights[static_cast<std::size_t>(j)];
+          const double error = truth - (len + hi + hj);
+          // Split the correction between the planar part and the height,
+          // keeping heights non-negative (they model one-way access cost).
+          xi += dir * (dt * error * 0.5);
+          hi = std::max(0.0, hi + dt * error * 0.25);
+        } else {
+          xi += dir * (dt * (truth - len));
+        }
+      }
+    }
+  }
+  return result;
+}
+
+int chooseEmbeddingDimension(const DelayModel& model, int minDim, int maxDim,
+                             const GnpOptions& base) {
+  OMT_CHECK(minDim >= 1 && minDim <= maxDim && maxDim <= kMaxDim,
+            "invalid dimension range");
+  int bestDim = minDim;
+  double bestError = kInf;
+  for (int dim = minDim; dim <= maxDim; ++dim) {
+    GnpOptions options = base;
+    options.dim = dim;
+    options.landmarks = std::max(base.landmarks, dim + 1);
+    const EmbeddingResult embedding = embedGnp(model, options);
+    const double error =
+        embeddingError(model, embedding.coords, 5000, base.seed + 99)
+            .medianRelative;
+    if (error < bestError) {
+      bestError = error;
+      bestDim = dim;
+    }
+  }
+  return bestDim;
+}
+
+EmbeddingError embeddingError(const DelayModel& model,
+                              std::span<const Point> coords,
+                              std::int64_t samplePairs, std::uint64_t seed,
+                              std::span<const double> heights) {
+  const NodeId n = model.size();
+  OMT_CHECK(coords.size() == static_cast<std::size_t>(n),
+            "one coordinate per host required");
+  OMT_CHECK(heights.empty() || heights.size() == coords.size(),
+            "one height per host required (or none)");
+  OMT_CHECK(samplePairs >= 1, "need at least one sampled pair");
+
+  std::vector<double> relative;
+  auto consider = [&](NodeId a, NodeId b) {
+    const double truth = model.delay(a, b);
+    if (truth <= kGeomEps) return;
+    double est = distance(coords[static_cast<std::size_t>(a)],
+                          coords[static_cast<std::size_t>(b)]);
+    if (!heights.empty()) {
+      est += heights[static_cast<std::size_t>(a)] +
+             heights[static_cast<std::size_t>(b)];
+    }
+    relative.push_back(std::abs(est - truth) / truth);
+  };
+
+  const std::int64_t allPairs = n * (n - 1) / 2;
+  if (allPairs <= samplePairs) {
+    for (NodeId a = 0; a < n; ++a) {
+      for (NodeId b = a + 1; b < n; ++b) consider(a, b);
+    }
+  } else {
+    Rng rng(seed);
+    for (std::int64_t s = 0; s < samplePairs; ++s) {
+      const auto a = static_cast<NodeId>(rng.uniformInt(
+          static_cast<std::uint64_t>(n)));
+      auto b = static_cast<NodeId>(rng.uniformInt(
+          static_cast<std::uint64_t>(n - 1)));
+      if (b >= a) ++b;
+      consider(a, b);
+    }
+  }
+
+  EmbeddingError out;
+  if (relative.empty()) return out;
+  double sum = 0.0;
+  for (const double r : relative) {
+    sum += r;
+    out.maxRelative = std::max(out.maxRelative, r);
+  }
+  out.meanRelative = sum / static_cast<double>(relative.size());
+  const std::size_t mid = relative.size() / 2;
+  std::nth_element(relative.begin(), relative.begin() + static_cast<std::ptrdiff_t>(mid),
+                   relative.end());
+  out.medianRelative = relative[mid];
+  return out;
+}
+
+}  // namespace omt

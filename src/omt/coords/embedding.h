@@ -1,0 +1,87 @@
+// Network-coordinate embeddings: recover Euclidean host coordinates from
+// measured delays.
+//
+// Two embedders, mirroring the approaches the paper cites for producing its
+// input coordinates:
+//  * GNP-style landmark embedding (Ng & Zhang [12]): a small set of
+//    landmarks measures all pairwise delays and solves for its own
+//    coordinates by minimising the squared relative error (Nelder–Mead);
+//    every other host then measures only the landmarks and solves a small
+//    per-host problem.
+//  * Vivaldi-style spring relaxation: every host iteratively nudges its
+//    coordinate along the error gradient against randomly sampled
+//    neighbours — fully decentralised, no landmarks.
+//
+// embedGnp/embedVivaldi recover coordinates *up to an isometry* of the
+// underlying space — which is all the tree algorithms need, since they
+// depend only on inter-point distances.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "omt/coords/delay_model.h"
+#include "omt/geometry/point.h"
+#include "omt/opt/nelder_mead.h"
+
+namespace omt {
+
+struct GnpOptions {
+  int dim = 2;            ///< embedding dimension
+  int landmarks = 8;      ///< number of landmark hosts (>= dim + 1)
+  std::uint64_t seed = 1; ///< landmark choice + optimizer starts
+  NelderMeadOptions optimizer;
+};
+
+struct EmbeddingResult {
+  std::vector<Point> coords;     ///< one per host
+  double landmarkObjective = 0.0;///< residual of the landmark fit
+  std::vector<NodeId> landmarks; ///< hosts used as landmarks (GNP only)
+  /// Per-host height term (Vivaldi height-vector model): estimated delay =
+  /// ||x_a - x_b|| + h_a + h_b. Empty when the embedding has no heights.
+  std::vector<double> heights;
+};
+
+/// GNP-style embedding of every host in `model`.
+EmbeddingResult embedGnp(const DelayModel& model, const GnpOptions& options);
+
+struct VivaldiOptions {
+  int dim = 2;
+  int rounds = 64;           ///< relaxation sweeps over all hosts
+  int neighborsPerRound = 8; ///< random probes per host per sweep
+  double timestep = 0.25;    ///< fraction of the error moved per update
+  std::uint64_t seed = 1;
+  /// Height-vector variant (Dabek et al.): each host carries a
+  /// non-negative height modelling its access-link delay, added to every
+  /// estimated path. Fits models with a constant delay floor far better
+  /// than a pure Euclidean embedding can.
+  bool useHeight = false;
+};
+
+/// Vivaldi-style decentralised embedding.
+EmbeddingResult embedVivaldi(const DelayModel& model,
+                             const VivaldiOptions& options);
+
+struct EmbeddingError {
+  double meanRelative = 0.0;   ///< mean |est - true| / true over sampled pairs
+  double medianRelative = 0.0;
+  double maxRelative = 0.0;
+};
+
+/// Relative embedding error over `samplePairs` random host pairs (or all
+/// pairs if n*(n-1)/2 <= samplePairs). `heights` is empty for pure
+/// Euclidean embeddings, else one height per host (added to both ends of
+/// every estimated path).
+EmbeddingError embeddingError(const DelayModel& model,
+                              std::span<const Point> coords,
+                              std::int64_t samplePairs, std::uint64_t seed,
+                              std::span<const double> heights = {});
+
+/// Embed with GNP at each dimension in [minDim, maxDim] and return the
+/// dimension with the smallest median relative error — the model-selection
+/// step of the paper's ref [12], which found 3+ dimensions necessary for
+/// Internet delays.
+int chooseEmbeddingDimension(const DelayModel& model, int minDim, int maxDim,
+                             const GnpOptions& base);
+
+}  // namespace omt

@@ -1,0 +1,141 @@
+#include "omt/coords/geo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "omt/common/error.h"
+
+namespace omt {
+namespace {
+
+constexpr double kDegToRad = std::numbers::pi / 180.0;
+
+void checkPosition(const GeoPosition& p) {
+  OMT_CHECK(p.latitudeDeg >= -90.0 && p.latitudeDeg <= 90.0,
+            "latitude outside [-90, 90]");
+  OMT_CHECK(p.longitudeDeg >= -180.0 && p.longitudeDeg <= 180.0,
+            "longitude outside [-180, 180]");
+}
+
+double wrapLongitude(double lonDeg) {
+  while (lonDeg > 180.0) lonDeg -= 360.0;
+  while (lonDeg < -180.0) lonDeg += 360.0;
+  return lonDeg;
+}
+
+}  // namespace
+
+double geodesicKm(const GeoPosition& a, const GeoPosition& b) {
+  checkPosition(a);
+  checkPosition(b);
+  const double lat1 = a.latitudeDeg * kDegToRad;
+  const double lat2 = b.latitudeDeg * kDegToRad;
+  const double dLat = (b.latitudeDeg - a.latitudeDeg) * kDegToRad;
+  const double dLon = (b.longitudeDeg - a.longitudeDeg) * kDegToRad;
+  const double s1 = std::sin(dLat / 2.0);
+  const double s2 = std::sin(dLon / 2.0);
+  const double h = s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
+  return 2.0 * kEarthRadiusKm *
+         std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+Point projectToPlane(const GeoPosition& position,
+                     const GeoPosition& reference) {
+  checkPosition(position);
+  checkPosition(reference);
+  const double dLon =
+      wrapLongitude(position.longitudeDeg - reference.longitudeDeg) *
+      kDegToRad;
+  const double dLat =
+      (position.latitudeDeg - reference.latitudeDeg) * kDegToRad;
+  return Point{kEarthRadiusKm * dLon *
+                   std::cos(reference.latitudeDeg * kDegToRad),
+               kEarthRadiusKm * dLat};
+}
+
+GeoDelayModel::GeoDelayModel(std::vector<GeoPosition> hosts, double kmPerMs,
+                             double accessFloorMs)
+    : hosts_(std::move(hosts)),
+      kmPerMs_(kmPerMs),
+      accessFloorMs_(accessFloorMs) {
+  OMT_CHECK(!hosts_.empty(), "empty host set");
+  OMT_CHECK(kmPerMs > 0.0, "propagation speed must be positive");
+  OMT_CHECK(accessFloorMs >= 0.0, "negative access floor");
+  for (const GeoPosition& h : hosts_) checkPosition(h);
+}
+
+double GeoDelayModel::delay(NodeId a, NodeId b) const {
+  OMT_CHECK(a >= 0 && a < size() && b >= 0 && b < size(),
+            "node id out of range");
+  if (a == b) return 0.0;
+  return accessFloorMs_ +
+         geodesicKm(hosts_[static_cast<std::size_t>(a)],
+                    hosts_[static_cast<std::size_t>(b)]) /
+             kmPerMs_;
+}
+
+std::vector<GeoPosition> sampleWorldHosts(std::int64_t n,
+                                          const WorldOptions& options) {
+  OMT_CHECK(n >= 1, "need at least one host");
+  OMT_CHECK(options.cities >= 1, "need at least one city");
+  OMT_CHECK(options.citySpreadDeg > 0.0, "city spread must be positive");
+  OMT_CHECK(options.populationSkew >= 0.0, "negative population skew");
+  OMT_CHECK(options.maxAbsLatitudeDeg > 0.0 &&
+                options.maxAbsLatitudeDeg <= 90.0,
+            "latitude band outside (0, 90]");
+
+  Rng rng(options.seed);
+  // City centers: uniform on the sphere band (uniform in sin(latitude)).
+  std::vector<GeoPosition> cities;
+  const double sinBand = std::sin(options.maxAbsLatitudeDeg * kDegToRad);
+  for (int c = 0; c < options.cities; ++c) {
+    GeoPosition city;
+    city.latitudeDeg =
+        std::asin(rng.uniform(-sinBand, sinBand)) / kDegToRad;
+    city.longitudeDeg = rng.uniform(-180.0, 180.0);
+    cities.push_back(city);
+  }
+  // Zipf-like weights: city rank r gets weight 1 / (r+1)^skew.
+  std::vector<double> cumulative;
+  double total = 0.0;
+  for (int c = 0; c < options.cities; ++c) {
+    total += 1.0 / std::pow(static_cast<double>(c + 1),
+                            options.populationSkew);
+    cumulative.push_back(total);
+  }
+
+  std::vector<GeoPosition> hosts;
+  hosts.reserve(static_cast<std::size_t>(n));
+  while (hosts.size() < static_cast<std::size_t>(n)) {
+    const double u = rng.uniform(0.0, total);
+    const std::size_t city = static_cast<std::size_t>(
+        std::lower_bound(cumulative.begin(), cumulative.end(), u) -
+        cumulative.begin());
+    GeoPosition host = cities[std::min(city, cities.size() - 1)];
+    host.latitudeDeg += options.citySpreadDeg * rng.gaussian();
+    host.longitudeDeg =
+        wrapLongitude(host.longitudeDeg +
+                      options.citySpreadDeg * rng.gaussian());
+    if (std::abs(host.latitudeDeg) > options.maxAbsLatitudeDeg) continue;
+    hosts.push_back(host);
+  }
+  hosts[0] = cities[0];  // the source sits in the largest metro
+  return hosts;
+}
+
+std::vector<Point> projectAll(std::span<const GeoPosition> hosts,
+                              NodeId reference) {
+  OMT_CHECK(!hosts.empty(), "empty host set");
+  OMT_CHECK(reference >= 0 &&
+                reference < static_cast<NodeId>(hosts.size()),
+            "reference index out of range");
+  std::vector<Point> points;
+  points.reserve(hosts.size());
+  for (const GeoPosition& h : hosts)
+    points.push_back(
+        projectToPlane(h, hosts[static_cast<std::size_t>(reference)]));
+  return points;
+}
+
+}  // namespace omt

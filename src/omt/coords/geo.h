@@ -1,0 +1,83 @@
+// Geographic host mapping — the paper's second mapping option.
+//
+// Where GNP ([12]) measures delays, the geographic approach of Shi &
+// Turner [16] and Liebeherr & Nahas [10] simply places each host at its
+// latitude/longitude and lets great-circle distance stand in for delay.
+// This module provides that pipeline: haversine geodesics, a local
+// equirectangular projection onto a 2D plane (what a planar overlay
+// algorithm consumes), a propagation-delay model (distance over the speed
+// of light in fiber, plus a last-hop floor), and a synthetic
+// population-weighted "world cities" host generator for realistic global
+// workloads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "omt/coords/delay_model.h"
+#include "omt/geometry/point.h"
+#include "omt/random/rng.h"
+
+namespace omt {
+
+/// A geographic position in degrees; latitude in [-90, 90], longitude in
+/// [-180, 180].
+struct GeoPosition {
+  double latitudeDeg = 0.0;
+  double longitudeDeg = 0.0;
+};
+
+/// Mean Earth radius, km.
+inline constexpr double kEarthRadiusKm = 6371.0;
+
+/// Great-circle distance in km (haversine formula).
+double geodesicKm(const GeoPosition& a, const GeoPosition& b);
+
+/// Equirectangular projection onto a plane tangent near `reference`:
+/// x = R * dLon * cos(refLat), y = R * dLat (km). Accurate for regional
+/// extents; distorts at antipodal spans like every planar projection.
+Point projectToPlane(const GeoPosition& position,
+                     const GeoPosition& reference);
+
+/// Delays from geography: geodesic distance at `kmPerMs` (default: ~200 km
+/// of fiber per millisecond, i.e. 2/3 c) plus a constant access floor.
+/// delay() returns milliseconds.
+class GeoDelayModel final : public DelayModel {
+ public:
+  GeoDelayModel(std::vector<GeoPosition> hosts, double kmPerMs = 200.0,
+                double accessFloorMs = 2.0);
+
+  NodeId size() const override {
+    return static_cast<NodeId>(hosts_.size());
+  }
+  double delay(NodeId a, NodeId b) const override;
+
+  std::span<const GeoPosition> hosts() const { return hosts_; }
+
+ private:
+  std::vector<GeoPosition> hosts_;
+  double kmPerMs_;
+  double accessFloorMs_;
+};
+
+struct WorldOptions {
+  int cities = 40;              ///< number of metro areas
+  double citySpreadDeg = 1.5;   ///< Gaussian spread of hosts around a city
+  /// Zipf-like skew of city populations (0 = uniform; 1 = classic Zipf).
+  double populationSkew = 1.0;
+  std::uint64_t seed = 1;
+  /// Latitude band hosts live in (avoids projection blow-up at the poles).
+  double maxAbsLatitudeDeg = 65.0;
+};
+
+/// `n` hosts in population-weighted synthetic metro areas spread over the
+/// globe. The first host is re-centered on the largest city (a natural
+/// source placement).
+std::vector<GeoPosition> sampleWorldHosts(std::int64_t n,
+                                          const WorldOptions& options);
+
+/// Project all hosts onto the plane tangent at hosts[reference].
+std::vector<Point> projectAll(std::span<const GeoPosition> hosts,
+                              NodeId reference);
+
+}  // namespace omt

@@ -1,0 +1,32 @@
+#include "omt/core/bounds.h"
+
+#include <algorithm>
+
+#include "omt/common/error.h"
+
+namespace omt {
+
+double innerArcSum(const PolarGrid& grid) {
+  double sum = 0.0;
+  for (int i = 1; i <= grid.rings() - 1; ++i) sum += grid.arcLength(i);
+  return sum;
+}
+
+double upperBoundEq7(const PolarGrid& grid, int j, int arcFactor) {
+  OMT_CHECK(j >= 0 && j <= grid.rings(), "ring index out of range");
+  OMT_CHECK(arcFactor >= 1, "arc factor must be positive");
+  return grid.outerRadius() + 2.0 * arcFactor * grid.arcLength(j) +
+         innerArcSum(grid);
+}
+
+double radiusLowerBound(std::span<const Point> points, NodeId source) {
+  OMT_CHECK(!points.empty(), "empty point set");
+  OMT_CHECK(source >= 0 && source < static_cast<NodeId>(points.size()),
+            "source index out of range");
+  const Point& origin = points[static_cast<std::size_t>(source)];
+  double best = 0.0;
+  for (const Point& p : points) best = std::max(best, distance(origin, p));
+  return best;
+}
+
+}  // namespace omt

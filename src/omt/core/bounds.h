@@ -1,0 +1,38 @@
+// Analytic bounds of Section III-E.
+//
+// Delta_i is the arc length of a ring-i cell (2*pi*r_i / 2^i in 2D) and
+// S_k = sum_{i=1}^{k-1} Delta_i the total inner-arc budget of a core path.
+// Equation (7) bounds any path in the Polar_Grid tree by
+//     l_P <= R + 2 * Delta_j + S_k
+// (unit disk: R = 1), where j is the ring of the path's final cell; Table I
+// reports it at j = 0 since Delta_0 >= Delta_j for every j, with the
+// Delta_j coefficient doubled for out-degree-2 trees (each cell then spends
+// two links per level instead of one).
+#pragma once
+
+#include <span>
+
+#include "omt/common/types.h"
+#include "omt/geometry/point.h"
+#include "omt/grid/polar_grid.h"
+
+namespace omt {
+
+/// S_k: sum of the cell arc lengths of the inner rings 1..k-1.
+double innerArcSum(const PolarGrid& grid);
+
+/// Equation (7) evaluated at ring j with the given arc-term multiplier
+/// (1 for out-degree >= 2^d + 2 trees, i.e. one link per level; 2 for the
+/// paper's out-degree-2 trees in 2D; generally relayLayers(d, m)):
+///     R + 2 * arcFactor * Delta_j + S_k.
+/// Exactly the paper's bound in 2D; in higher dimensions the azimuthal-arc
+/// analogue (reported for completeness, not used by any theorem here).
+double upperBoundEq7(const PolarGrid& grid, int j, int arcFactor);
+
+/// Lower bound on the max delay of ANY spanning tree rooted at `source`:
+/// the largest source-to-point distance (every tree path to the farthest
+/// point is at least the straight line). This is the "1" that Table I's
+/// Delay column converges to on the unit disk.
+double radiusLowerBound(std::span<const Point> points, NodeId source);
+
+}  // namespace omt

@@ -1,0 +1,138 @@
+#include "omt/core/exact.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "omt/common/error.h"
+
+namespace omt {
+namespace {
+
+struct Search {
+  std::span<const Point> points;
+  NodeId source = kNoNode;
+  int cap = 0;
+  std::int64_t budget = 0;
+
+  NodeId n = 0;
+  std::vector<double> dist;        // n*n pairwise distances
+  std::vector<double> straight;    // straight-line source distance
+  std::vector<NodeId> parent;      // current partial assignment
+  std::vector<double> delay;
+  std::vector<int> degree;
+  std::vector<std::uint8_t> attached;
+
+  double bestRadius = kInf;
+  std::vector<NodeId> bestParent;
+  std::int64_t explored = 0;
+  bool budgetExhausted = false;
+
+  double at(NodeId a, NodeId b) const {
+    return dist[static_cast<std::size_t>(a) * static_cast<std::size_t>(n) +
+                static_cast<std::size_t>(b)];
+  }
+
+  /// Lower bound on any completion: the farthest unattached host cannot be
+  /// reached faster than in a straight line from the source.
+  double completionLowerBound(double currentRadius) const {
+    double bound = currentRadius;
+    for (NodeId v = 0; v < n; ++v) {
+      if (!attached[static_cast<std::size_t>(v)])
+        bound = std::max(bound, straight[static_cast<std::size_t>(v)]);
+    }
+    return bound;
+  }
+
+  void recurse(NodeId attachedCount, double currentRadius, double lastDelay) {
+    if (budgetExhausted) return;
+    if (++explored > budget) {
+      budgetExhausted = true;
+      return;
+    }
+    if (attachedCount == n) {
+      if (currentRadius < bestRadius) {
+        bestRadius = currentRadius;
+        bestParent = parent;
+      }
+      return;
+    }
+    if (completionLowerBound(currentRadius) >= bestRadius) return;
+
+    // Branch on the next attachment (node, parent). The canonical-order
+    // constraint (new delay >= lastDelay) prunes permutations of the same
+    // tree; the tiny slack admits zero-length edges.
+    for (NodeId v = 0; v < n; ++v) {
+      if (attached[static_cast<std::size_t>(v)]) continue;
+      for (NodeId p = 0; p < n; ++p) {
+        if (!attached[static_cast<std::size_t>(p)]) continue;
+        if (degree[static_cast<std::size_t>(p)] >= cap) continue;
+        const double d = delay[static_cast<std::size_t>(p)] + at(p, v);
+        if (d < lastDelay - 1e-12) continue;
+        const double radius = std::max(currentRadius, d);
+        if (radius >= bestRadius) continue;
+
+        attached[static_cast<std::size_t>(v)] = 1;
+        parent[static_cast<std::size_t>(v)] = p;
+        delay[static_cast<std::size_t>(v)] = d;
+        ++degree[static_cast<std::size_t>(p)];
+        recurse(attachedCount + 1, radius, d);
+        --degree[static_cast<std::size_t>(p)];
+        attached[static_cast<std::size_t>(v)] = 0;
+        if (budgetExhausted) return;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+ExactResult solveExactMinRadius(std::span<const Point> points, NodeId source,
+                                const ExactOptions& options) {
+  const auto n = static_cast<NodeId>(points.size());
+  OMT_CHECK(n >= 1, "empty point set");
+  OMT_CHECK(source >= 0 && source < n, "source index out of range");
+  OMT_CHECK(options.maxOutDegree >= 1, "degree cap must be positive");
+  OMT_CHECK(n <= options.maxNodes,
+            "instance too large for exact search (raise maxNodes knowingly)");
+
+  Search search;
+  search.points = points;
+  search.source = source;
+  search.cap = options.maxOutDegree;
+  search.budget = options.nodeBudget;
+  search.n = n;
+  search.dist.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+  search.straight.resize(static_cast<std::size_t>(n));
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = 0; b < n; ++b) {
+      search.dist[static_cast<std::size_t>(a) * static_cast<std::size_t>(n) +
+                  static_cast<std::size_t>(b)] =
+          distance(points[static_cast<std::size_t>(a)],
+                   points[static_cast<std::size_t>(b)]);
+    }
+    search.straight[static_cast<std::size_t>(a)] = search.at(source, a);
+  }
+  search.parent.assign(static_cast<std::size_t>(n), kNoNode);
+  search.delay.assign(static_cast<std::size_t>(n), 0.0);
+  search.degree.assign(static_cast<std::size_t>(n), 0);
+  search.attached.assign(static_cast<std::size_t>(n), 0);
+  search.attached[static_cast<std::size_t>(source)] = 1;
+
+  search.recurse(1, 0.0, 0.0);
+  OMT_ASSERT(!search.bestParent.empty() || n == 1,
+             "exact search found no tree");
+
+  ExactResult result{.tree = MulticastTree(n, source),
+                     .radius = n == 1 ? 0.0 : search.bestRadius,
+                     .provedOptimal = !search.budgetExhausted,
+                     .nodesExplored = search.explored};
+  for (NodeId v = 0; v < n; ++v) {
+    if (v == source) continue;
+    result.tree.attach(v, search.bestParent[static_cast<std::size_t>(v)],
+                       EdgeKind::kLocal);
+  }
+  result.tree.finalize();
+  return result;
+}
+
+}  // namespace omt

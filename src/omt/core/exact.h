@@ -1,0 +1,45 @@
+// Exact minimum-radius degree-constrained spanning tree, for small n.
+//
+// The problem is NP-hard (the paper cites Malouch et al. for the proof),
+// but tiny instances are solvable by branch and bound, which gives the
+// test suite and the optimality-gap bench a true optimum to measure the
+// heuristics against.
+//
+// Search space: trees grown one attachment at a time. Canonical order —
+// each newly attached node must have delay >= the previously attached
+// node's (valid for every tree, since a child's delay exceeds its
+// parent's) — collapses the attach-order permutations of the same tree.
+// Bounding: a completion's radius is at least max(current radius, largest
+// straight-line distance from the source to any unattached host).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "omt/geometry/point.h"
+#include "omt/tree/multicast_tree.h"
+
+namespace omt {
+
+struct ExactOptions {
+  int maxOutDegree = 2;
+  /// Hard cap on instance size; the search is exponential.
+  NodeId maxNodes = 12;
+  /// Give up (returning the best tree found, provedOptimal = false) after
+  /// this many explored branch nodes.
+  std::int64_t nodeBudget = 50'000'000;
+};
+
+struct ExactResult {
+  MulticastTree tree;
+  double radius = 0.0;
+  bool provedOptimal = false;
+  std::int64_t nodesExplored = 0;
+};
+
+/// Optimal (or best-within-budget) minimum-radius tree over `points`
+/// rooted at `source`, out-degrees <= options.maxOutDegree.
+ExactResult solveExactMinRadius(std::span<const Point> points, NodeId source,
+                                const ExactOptions& options = {});
+
+}  // namespace omt

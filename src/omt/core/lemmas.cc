@@ -1,0 +1,71 @@
+#include "omt/core/lemmas.h"
+
+#include <cmath>
+#include <vector>
+
+#include "omt/common/error.h"
+#include "omt/grid/polar_grid.h"
+
+namespace omt {
+
+double emptyBucketUnionBound(double balls, double buckets) {
+  OMT_CHECK(balls >= 0.0 && buckets >= 1.0, "invalid balls/buckets");
+  return std::min(1.0, buckets * std::pow(1.0 - 1.0 / buckets, balls));
+}
+
+double lemma1Bound(double n, double alpha) {
+  OMT_CHECK(n >= 1.0, "need at least one ball");
+  OMT_CHECK(alpha > 0.0 && alpha < 1.0, "alpha outside (0, 1)");
+  return std::min(1.0, std::pow(n, alpha) *
+                           std::exp(-std::pow(n, 1.0 - alpha)));
+}
+
+double lemma2PeakValue(double alpha) {
+  OMT_CHECK(alpha > 0.0 && alpha < 1.0, "alpha outside (0, 1)");
+  const double xStar =
+      std::pow(alpha / (1.0 - alpha), 1.0 / (1.0 - alpha));
+  return std::pow(xStar, alpha) * std::exp(-std::pow(xStar, 1.0 - alpha));
+}
+
+double estimateEmptyBucketProbability(std::int64_t balls,
+                                      std::int64_t buckets, int trials,
+                                      Rng& rng) {
+  OMT_CHECK(balls >= 0 && buckets >= 1, "invalid balls/buckets");
+  OMT_CHECK(trials >= 1, "need at least one trial");
+  std::vector<std::uint8_t> hit(static_cast<std::size_t>(buckets));
+  int withEmpty = 0;
+  for (int trial = 0; trial < trials; ++trial) {
+    std::fill(hit.begin(), hit.end(), 0);
+    std::int64_t covered = 0;
+    for (std::int64_t b = 0; b < balls && covered < buckets; ++b) {
+      auto& cell = hit[rng.uniformInt(static_cast<std::uint64_t>(buckets))];
+      if (!cell) {
+        cell = 1;
+        ++covered;
+      }
+    }
+    if (covered < buckets) ++withEmpty;
+  }
+  return static_cast<double>(withEmpty) / static_cast<double>(trials);
+}
+
+int predictedRings(std::int64_t n) {
+  OMT_CHECK(n >= 1, "need at least one point");
+  int best = 1;
+  for (int k = 1; k <= PolarGrid::kMaxRings; ++k) {
+    // Rings 1..k-1 hold 2^k - 2 cells, each covering a 2^-(k+1) area
+    // fraction of the unit disk.
+    const double innerCells = std::exp2(k) - 2.0;
+    if (innerCells <= 0.0) {
+      best = k;
+      continue;
+    }
+    const double missProbability =
+        innerCells * std::pow(1.0 - std::exp2(-(k + 1)),
+                              static_cast<double>(n));
+    if (missProbability <= 0.5) best = k;
+  }
+  return best;
+}
+
+}  // namespace omt

@@ -1,0 +1,46 @@
+// The probabilistic machinery of Section III-D (Lemmas 1 and 2).
+//
+// Lemma 1 bounds the probability that uniformly thrown balls leave a
+// bucket empty:  p_alpha(n) <= n^alpha * e^(-n^(1-alpha))  for n balls in
+// n^alpha buckets; the grid needs every inner-ring cell (bucket) occupied,
+// which with 2^(k+1) equal-volume cells yields k >= log2(n)/2 w.h.p.
+// (equation 5). Lemma 2 sharpens this: for alpha <= 1/2 the bound never
+// exceeds 1/e for any n >= 1.
+//
+// These functions exist so tests can tie the theory to the implementation:
+// the Monte-Carlo empty-bucket frequency must respect the Lemma-1 bound,
+// and predictedRings() — the k at which the occupancy union bound crosses
+// 1/2 — must track the maximal k that assignToGrid() actually selects.
+#pragma once
+
+#include <cstdint>
+
+#include "omt/random/rng.h"
+
+namespace omt {
+
+/// Union bound on P(at least one of `buckets` buckets is empty) after
+/// throwing `balls` uniform balls: buckets * (1 - 1/buckets)^balls.
+double emptyBucketUnionBound(double balls, double buckets);
+
+/// Lemma 1's closed form: n^alpha * exp(-n^(1-alpha)), an upper bound on
+/// the union bound for n balls in n^alpha buckets (0 < alpha < 1).
+double lemma1Bound(double n, double alpha);
+
+/// The maximum over x >= 0 of f_alpha(x) = x^alpha e^(-x^(1-alpha))
+/// (attained at x* = (alpha/(1-alpha))^(1/(1-alpha))); Lemma 2's proof
+/// shows this is what caps p_alpha(n) for small n.
+double lemma2PeakValue(double alpha);
+
+/// Monte-Carlo estimate of the true empty-bucket probability.
+double estimateEmptyBucketProbability(std::int64_t balls,
+                                      std::int64_t buckets, int trials,
+                                      Rng& rng);
+
+/// The ring count at which the grid's occupancy condition (property 3)
+/// starts holding with probability >= 1/2, per the union bound: the
+/// largest k such that (2^k - 2) * (1 - 2^-(k+1))^n <= 1/2. Tracks the
+/// average k chosen by assignToGrid on uniform-disk inputs.
+int predictedRings(std::int64_t n);
+
+}  // namespace omt

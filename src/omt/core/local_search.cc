@@ -1,0 +1,190 @@
+#include "omt/core/local_search.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "omt/common/error.h"
+#include "omt/spatial/kd_tree.h"
+#include "omt/tree/validation.h"
+
+namespace omt {
+namespace {
+
+/// Mutable working copy of the tree: parent pointers, child lists, and
+/// root-path delays, updated incrementally as subtrees are re-homed.
+class WorkingTree {
+ public:
+  WorkingTree(const MulticastTree& tree, std::span<const Point> points)
+      : points_(points),
+        root_(tree.root()),
+        parent_(static_cast<std::size_t>(tree.size()), kNoNode),
+        children_(static_cast<std::size_t>(tree.size())),
+        delay_(static_cast<std::size_t>(tree.size()), 0.0) {
+    for (NodeId v = 0; v < tree.size(); ++v) {
+      if (v == root_) continue;
+      const NodeId p = tree.parentOf(v);
+      parent_[static_cast<std::size_t>(v)] = p;
+      children_[static_cast<std::size_t>(p)].push_back(v);
+    }
+    for (const NodeId v : tree.bfsOrder()) refreshDelay(v);
+  }
+
+  NodeId root() const { return root_; }
+  NodeId size() const { return static_cast<NodeId>(parent_.size()); }
+  NodeId parentOf(NodeId v) const {
+    return parent_[static_cast<std::size_t>(v)];
+  }
+  double delayOf(NodeId v) const { return delay_[static_cast<std::size_t>(v)]; }
+  int outDegree(NodeId v) const {
+    return static_cast<int>(children_[static_cast<std::size_t>(v)].size());
+  }
+
+  /// The node with the largest delay (the critical leaf).
+  NodeId criticalNode() const {
+    NodeId best = root_;
+    for (NodeId v = 0; v < size(); ++v) {
+      if (delay_[static_cast<std::size_t>(v)] >
+          delay_[static_cast<std::size_t>(best)])
+        best = v;
+    }
+    return best;
+  }
+
+  /// Whether `candidate` lies in the subtree rooted at `node` (walks up).
+  bool inSubtree(NodeId node, NodeId candidate) const {
+    for (NodeId a = candidate; a != kNoNode;
+         a = parent_[static_cast<std::size_t>(a)]) {
+      if (a == node) return true;
+    }
+    return false;
+  }
+
+  /// Re-home `node` under `newParent` and refresh its subtree's delays.
+  void move(NodeId node, NodeId newParent) {
+    const NodeId old = parent_[static_cast<std::size_t>(node)];
+    auto& siblings = children_[static_cast<std::size_t>(old)];
+    siblings.erase(std::find(siblings.begin(), siblings.end(), node));
+    parent_[static_cast<std::size_t>(node)] = newParent;
+    children_[static_cast<std::size_t>(newParent)].push_back(node);
+    // Refresh delays below `node`.
+    std::vector<NodeId> stack{node};
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      refreshDelay(v);
+      for (const NodeId c : children_[static_cast<std::size_t>(v)])
+        stack.push_back(c);
+    }
+  }
+
+  MulticastTree materialize(const MulticastTree& original) const {
+    MulticastTree out(size(), root_);
+    for (NodeId v = 0; v < size(); ++v) {
+      if (v == root_) continue;
+      // Preserve the original edge-kind label when the parent is
+      // unchanged; re-homed edges are local.
+      const EdgeKind kind =
+          parent_[static_cast<std::size_t>(v)] == original.parentOf(v)
+              ? original.edgeKindOf(v)
+              : EdgeKind::kLocal;
+      out.attach(v, parent_[static_cast<std::size_t>(v)], kind);
+    }
+    out.finalize();
+    return out;
+  }
+
+ private:
+  void refreshDelay(NodeId v) {
+    if (v == root_) {
+      delay_[static_cast<std::size_t>(v)] = 0.0;
+      return;
+    }
+    const NodeId p = parent_[static_cast<std::size_t>(v)];
+    delay_[static_cast<std::size_t>(v)] =
+        delay_[static_cast<std::size_t>(p)] +
+        distance(points_[static_cast<std::size_t>(p)],
+                 points_[static_cast<std::size_t>(v)]);
+  }
+
+  std::span<const Point> points_;
+  NodeId root_;
+  std::vector<NodeId> parent_;
+  std::vector<std::vector<NodeId>> children_;
+  std::vector<double> delay_;
+};
+
+}  // namespace
+
+LocalSearchResult improveMaxDelay(const MulticastTree& tree,
+                                  std::span<const Point> points,
+                                  const LocalSearchOptions& options) {
+  OMT_CHECK(tree.finalized(), "tree must be finalized");
+  OMT_CHECK(points.size() == static_cast<std::size_t>(tree.size()),
+            "one point per tree node required");
+  OMT_CHECK(options.maxOutDegree >= 1, "degree cap must be positive");
+  OMT_CHECK(options.maxMoves >= 0, "negative move budget");
+  OMT_CHECK(options.candidateNeighbors >= 1, "need at least one candidate");
+  const ValidationResult valid =
+      validate(tree, {.maxOutDegree = options.maxOutDegree});
+  OMT_CHECK(valid.ok, "input tree invalid: " + valid.message);
+
+  WorkingTree work(tree, points);
+  KdTree index(points);
+  for (NodeId v = 0; v < work.size(); ++v) {
+    if (work.outDegree(v) < options.maxOutDegree) index.setActive(v, true);
+  }
+
+  LocalSearchResult result{
+      .tree = MulticastTree(1, 0),  // placeholder; replaced below
+      .initialMaxDelay = work.delayOf(work.criticalNode()),
+      .finalMaxDelay = 0.0,
+      .movesApplied = 0};
+
+  while (result.movesApplied < options.maxMoves) {
+    const NodeId critical = work.criticalNode();
+    if (critical == work.root()) break;
+
+    // Walk the critical path root-ward; take the best strictly-improving
+    // reattachment among the k-d tree's nearest feasible candidates.
+    NodeId bestNode = kNoNode;
+    NodeId bestParent = kNoNode;
+    double bestGain = 1e-12;
+    for (NodeId u = critical; u != work.root(); u = work.parentOf(u)) {
+      const Point& where = points[static_cast<std::size_t>(u)];
+      // Probe up to candidateNeighbors nearest active hosts, temporarily
+      // masking ineligible ones (the k-d tree returns one at a time).
+      std::vector<NodeId> masked;
+      for (int probe = 0; probe < options.candidateNeighbors; ++probe) {
+        const NodeId cand = index.nearestActive(where, u);
+        if (cand == kNoNode) break;
+        masked.push_back(cand);
+        index.setActive(cand, false);
+        if (work.inSubtree(u, cand)) continue;
+        const double newDelay =
+            work.delayOf(cand) +
+            distance(points[static_cast<std::size_t>(cand)], where);
+        const double gain = work.delayOf(u) - newDelay;
+        if (gain > bestGain) {
+          bestGain = gain;
+          bestNode = u;
+          bestParent = cand;
+        }
+      }
+      for (const NodeId m : masked) index.setActive(m, true);
+    }
+    if (bestNode == kNoNode) break;
+
+    const NodeId oldParent = work.parentOf(bestNode);
+    work.move(bestNode, bestParent);
+    ++result.movesApplied;
+    index.setActive(oldParent, true);  // regained a slot
+    if (work.outDegree(bestParent) >= options.maxOutDegree)
+      index.setActive(bestParent, false);
+  }
+
+  result.finalMaxDelay = work.delayOf(work.criticalNode());
+  result.tree = work.materialize(tree);
+  return result;
+}
+
+}  // namespace omt

@@ -1,0 +1,49 @@
+// Local-search refinement of a degree-constrained multicast tree.
+//
+// The paper's constructions are one-shot; this extension polishes any
+// feasible tree with critical-path reattachment moves: find the current
+// worst root-to-leaf path, and try to re-home one of its nodes (subtree
+// and all) under a nearby host with spare capacity so that the node's
+// delay strictly drops. Every applied move lowers the critical path and
+// never raises any other (the moved subtree only gets closer to the root;
+// nothing else changes), so max delay is monotone non-increasing and the
+// search terminates. Candidates come from the capacity-aware k-d tree
+// (omt/spatial), so a round costs O(path length * log n).
+//
+// Used by bench_local_search to ask: how much of the gap between the
+// O(n) Polar_Grid tree and the O(n^2) greedy ceiling can a cheap polish
+// recover?
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "omt/geometry/point.h"
+#include "omt/tree/multicast_tree.h"
+
+namespace omt {
+
+struct LocalSearchOptions {
+  /// Degree cap the refined tree must respect (>= 1; must be >= the input
+  /// tree's max out-degree).
+  int maxOutDegree = 6;
+  /// Maximum number of applied moves.
+  int maxMoves = 1000;
+  /// How many nearest candidate parents to examine per critical-path node.
+  int candidateNeighbors = 8;
+};
+
+struct LocalSearchResult {
+  MulticastTree tree;
+  double initialMaxDelay = 0.0;
+  double finalMaxDelay = 0.0;
+  int movesApplied = 0;
+};
+
+/// Refine `tree` (finalized, spanning, within the cap) over `points`.
+/// Deterministic; returns a new finalized tree.
+LocalSearchResult improveMaxDelay(const MulticastTree& tree,
+                                  std::span<const Point> points,
+                                  const LocalSearchOptions& options = {});
+
+}  // namespace omt

@@ -1,0 +1,54 @@
+#include "omt/core/min_diameter.h"
+
+#include "omt/common/error.h"
+#include "omt/tree/metrics.h"
+
+namespace omt {
+
+NodeId centerMostHost(std::span<const Point> points) {
+  OMT_CHECK(!points.empty(), "empty point set");
+  const EnclosingBall ball = smallestEnclosingBall(points);
+  NodeId best = 0;
+  double bestDist = kInf;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const double d = squaredDistance(points[i], ball.center);
+    if (d < bestDist) {
+      bestDist = d;
+      best = static_cast<NodeId>(i);
+    }
+  }
+  return best;
+}
+
+MinDiameterResult buildMinDiameterTree(std::span<const Point> points,
+                                       const MinDiameterOptions& options) {
+  OMT_CHECK(!points.empty(), "empty point set");
+  const EnclosingBall ball = smallestEnclosingBall(points);
+
+  NodeId root = 0;
+  double bestDist = kInf;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const double d = squaredDistance(points[i], ball.center);
+    if (d < bestDist) {
+      bestDist = d;
+      root = static_cast<NodeId>(i);
+    }
+  }
+
+  PolarGridOptions gridOptions;
+  gridOptions.maxOutDegree = options.maxOutDegree;
+  PolarGridResult built = buildPolarGridTree(points, root, gridOptions);
+
+  MinDiameterResult result{.tree = std::move(built.tree),
+                           .root = root,
+                           .diameter = 0.0,
+                           .radius = 0.0,
+                           .lowerBound = 0.0,
+                           .enclosingBall = ball};
+  result.diameter = diameter(result.tree, points);
+  result.radius = computeMetrics(result.tree, points).maxDelay;
+  result.lowerBound = maxPairwiseDistanceLowerBound(points);
+  return result;
+}
+
+}  // namespace omt

@@ -1,0 +1,45 @@
+// The minimum-diameter variant (Section VI).
+//
+// The MDDL problem of Shi, Turner & Waldvogel minimises the largest delay
+// between ANY pair of participants (messages relayed through the tree),
+// not just source-to-receiver. The paper's concluding remarks explain how
+// Polar_Grid applies: pick an artificial root among the hosts closest to
+// the center of the enclosing sphere and build the minimum-radius tree
+// from there — asymptotically optimal for uniform points in a sphere, and
+// within a factor of 2 of optimal in any convex region (tree diameter <=
+// 2 * radius, and the optimal diameter is at least the maximum pairwise
+// distance).
+#pragma once
+
+#include <span>
+
+#include "omt/common/types.h"
+#include "omt/core/polar_grid_tree.h"
+#include "omt/geometry/enclosing_ball.h"
+
+namespace omt {
+
+struct MinDiameterOptions {
+  int maxOutDegree = 6;
+};
+
+struct MinDiameterResult {
+  MulticastTree tree;   ///< rooted at `root`, the artificial center host
+  NodeId root = kNoNode;
+  double diameter = 0.0;       ///< weighted tree diameter (the objective)
+  double radius = 0.0;         ///< max root-to-host delay
+  /// Certified lower bound on any spanning tree's diameter: an actual
+  /// pairwise host distance (two-sweep farthest pair).
+  double lowerBound = 0.0;
+  EnclosingBall enclosingBall; ///< of the host set
+};
+
+/// Host index nearest to the center of the smallest enclosing ball.
+NodeId centerMostHost(std::span<const Point> points);
+
+/// Build a degree-constrained spanning tree minimising (approximately) the
+/// tree diameter: Polar_Grid rooted at the center-most host.
+MinDiameterResult buildMinDiameterTree(std::span<const Point> points,
+                                       const MinDiameterOptions& options = {});
+
+}  // namespace omt

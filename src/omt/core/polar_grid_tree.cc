@@ -1,0 +1,229 @@
+#include "omt/core/polar_grid_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "omt/bisection/bisection.h"
+#include "omt/common/error.h"
+#include "omt/core/bounds.h"
+#include "omt/grid/assignment.h"
+
+namespace omt {
+
+int cellBisectionFanOut(int dim, int maxOutDegree) {
+  OMT_CHECK(dim >= 2 && dim <= kMaxDim, "dimension out of range");
+  OMT_CHECK(maxOutDegree >= 2, "out-degree cap must be at least 2");
+  if (maxOutDegree >= 4) {
+    return std::min(maxOutDegree - 2,
+                    static_cast<int>(std::int64_t{1} << dim));
+  }
+  return 2;
+}
+
+namespace {
+
+/// Index (into `candidates`) of the minimum-radius point, ties by node id.
+std::size_t argMinRadius(std::span<const NodeId> candidates,
+                         std::span<const double> radius) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    const double cur = radius[static_cast<std::size_t>(candidates[i])];
+    const double bst = radius[static_cast<std::size_t>(candidates[best])];
+    if (cur < bst || (cur == bst && candidates[i] < candidates[best]))
+      best = i;
+  }
+  return best;
+}
+
+/// Index of the candidate closest to `target`, ties by node id. Used to
+/// pick the relay that forwards to the next ring: the two child
+/// representatives sit near the cell's outer arc, so the best relay is the
+/// point nearest the outer-arc midpoint.
+std::size_t argMinDistanceTo(std::span<const NodeId> candidates,
+                             std::span<const Point> points,
+                             const Point& target) {
+  std::size_t best = 0;
+  double bestDist = kInf;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const double cur =
+        squaredDistance(points[static_cast<std::size_t>(candidates[i])], target);
+    if (cur < bestDist ||
+        (cur == bestDist && candidates[i] < candidates[best])) {
+      bestDist = cur;
+      best = i;
+    }
+  }
+  return best;
+}
+
+/// Cartesian midpoint of a cell's inner or outer boundary arc (radius
+/// r_{ring-1} or r_ring, angular center), in the grid's frame about
+/// `origin`. The inner-arc center anchors cell representatives (the paper
+/// picks the point "closest to the center on the inner arc of the
+/// segment"); the outer-arc center is where next-ring relays aim, since
+/// the two child representatives sit on the cell's outer boundary.
+Point cellArcMid(const PolarGrid& grid, int ring, std::uint64_t cell,
+                 const Point& origin, bool outer) {
+  const RingSegment segment = grid.cellSegment(ring, cell);
+  PolarCoords mid;
+  mid.dim = grid.dim();
+  mid.radius = outer ? segment.radial().hi : segment.radial().lo;
+  for (int j = 0; j < segment.cubeAxes(); ++j) {
+    double m = segment.cubeAxis(j).mid();
+    if (j == azimuthAxis(grid.dim())) m -= std::floor(m);  // wrap into [0,1)
+    mid.cube[static_cast<std::size_t>(j)] = m;
+  }
+  return fromPolar(mid, origin);
+}
+
+void removeAt(std::vector<NodeId>& v, std::size_t pos) {
+  v[pos] = v.back();
+  v.pop_back();
+}
+
+}  // namespace
+
+PolarGridResult buildPolarGridTree(std::span<const Point> points,
+                                   NodeId source,
+                                   const PolarGridOptions& options) {
+  const auto n = static_cast<NodeId>(points.size());
+  OMT_CHECK(n >= 1, "empty point set");
+  OMT_CHECK(source >= 0 && source < n, "source index out of range");
+  OMT_CHECK(options.maxOutDegree >= 2, "out-degree cap must be at least 2");
+  const int d = points.front().dim();
+
+  AssignmentOptions assignOptions;
+  assignOptions.maxRings = options.maxRings;
+  assignOptions.outerRadius = options.outerRadius;
+  GridAssignment assignment = assignToGrid(points, source, assignOptions);
+  const PolarGrid& grid = assignment.grid;
+  const int k = grid.rings();
+  const Point& origin = points[static_cast<std::size_t>(source)];
+  const int fanOut = cellBisectionFanOut(d, options.maxOutDegree);
+  const int degree = options.maxOutDegree;
+
+  // Radii for representative selection.
+  std::vector<double> radius(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i)
+    radius[i] = distance(points[i], origin);
+
+  // Stage 2a: representative of every occupied cell = the point "closest
+  // to the center on the inner arc of the segment" (Section III-B): the
+  // member nearest the midpoint of the cell's inner boundary. The source
+  // represents ring 0 by definition.
+  const std::uint64_t heapIds = grid.heapIdCount();
+  std::vector<NodeId> rep(heapIds, kNoNode);
+  for (std::uint64_t h = 1; h < heapIds; ++h) {
+    const auto members = assignment.membersOf(h);
+    if (members.empty()) continue;
+    const int ring = grid.ringOfHeapId(h);
+    const Point innerMid = cellArcMid(grid, ring, grid.cellOfHeapId(h),
+                                      origin, /*outer=*/false);
+    rep[h] = members[argMinDistanceTo(members, points, innerMid)];
+  }
+  rep[1] = source;
+
+  PolarGridResult result{.tree = MulticastTree(n, source), .grid = grid};
+  MulticastTree& tree = result.tree;
+  result.occupiedCells = assignment.occupiedCells();
+
+  const auto attachCore = [&](NodeId child, NodeId parent) {
+    tree.attach(child, parent, EdgeKind::kCore);
+    ++result.coreEdgeCount;
+  };
+
+  // Stages 2b and 3, cell by cell.
+  std::vector<NodeId> locals;
+  std::vector<PolarCoords> localPolar;
+  for (std::uint64_t h = 1; h < heapIds; ++h) {
+    const NodeId cellRep = rep[h];
+    if (cellRep == kNoNode) {
+      // Property 3: only outermost-ring cells may be empty.
+      OMT_ASSERT(grid.ringOfHeapId(h) >= k,
+                 "empty cell in an inner ring despite property 3");
+      continue;
+    }
+    const int ring = grid.ringOfHeapId(h);
+    const std::uint64_t cell = grid.cellOfHeapId(h);
+
+    // Representatives of the two aligned cells in the next ring.
+    NodeId childReps[2];
+    int childCount = 0;
+    if (ring < k) {
+      for (std::uint64_t hc = 2 * h; hc <= 2 * h + 1; ++hc) {
+        if (rep[hc] != kNoNode) childReps[childCount++] = rep[hc];
+      }
+    }
+
+    // Remaining in-cell points.
+    locals.clear();
+    for (const NodeId member : assignment.membersOf(h)) {
+      if (member != cellRep && member != source) locals.push_back(member);
+    }
+
+    // Apply the degree policy; pick the bisection root and relay wiring.
+    NodeId bisectRoot = cellRep;
+    int bisectFanOut = fanOut;
+    if (degree >= 4) {
+      for (int c = 0; c < childCount; ++c) attachCore(childReps[c], cellRep);
+    } else if (degree == 3) {
+      if (childCount > 0 && !locals.empty()) {
+        const Point outerMid = cellArcMid(grid, ring, cell, origin, /*outer=*/true);
+        const std::size_t tPos = argMinDistanceTo(locals, points, outerMid);
+        const NodeId relay = locals[tPos];
+        removeAt(locals, tPos);
+        attachCore(relay, cellRep);
+        for (int c = 0; c < childCount; ++c) attachCore(childReps[c], relay);
+      } else {
+        for (int c = 0; c < childCount; ++c) attachCore(childReps[c], cellRep);
+      }
+    } else {  // degree == 2, the paper's Section IV-A cases
+      if (childCount == 0) {
+        // Outermost (or childless) cell: the representative roots the
+        // bisection directly.
+      } else if (locals.empty()) {
+        // Case 1: the representative is alone; it carries the core links.
+        for (int c = 0; c < childCount; ++c) attachCore(childReps[c], cellRep);
+      } else if (locals.size() == 1) {
+        // Case 2: the second point relays to the next ring.
+        const NodeId other = locals[0];
+        locals.clear();
+        attachCore(other, cellRep);
+        for (int c = 0; c < childCount; ++c) attachCore(childReps[c], other);
+      } else {
+        // Case 3: one special point relays to the next ring, another is the
+        // center for connecting the rest of the cell.
+        const Point outerMid = cellArcMid(grid, ring, cell, origin, /*outer=*/true);
+        const std::size_t tPos = argMinDistanceTo(locals, points, outerMid);
+        const NodeId relay = locals[tPos];
+        removeAt(locals, tPos);
+        attachCore(relay, cellRep);
+        for (int c = 0; c < childCount; ++c) attachCore(childReps[c], relay);
+        const std::size_t bPos = argMinRadius(locals, radius);
+        const NodeId center = locals[bPos];
+        removeAt(locals, bPos);
+        tree.attach(center, cellRep, EdgeKind::kLocal);
+        bisectRoot = center;
+      }
+    }
+
+    // Stage 3: connect the remaining in-cell points with Bisection.
+    if (!locals.empty()) {
+      localPolar.clear();
+      localPolar.reserve(locals.size());
+      for (const NodeId member : locals)
+        localPolar.push_back(toPolar(points[static_cast<std::size_t>(member)],
+                                     origin));
+      bisectConnect(tree, locals, localPolar, bisectRoot,
+                    radius[static_cast<std::size_t>(bisectRoot)],
+                    grid.cellSegment(ring, cell), bisectFanOut);
+    }
+  }
+
+  tree.finalize();
+  result.upperBound = upperBoundEq7(grid, 0, relayLayers(d, fanOut));
+  return result;
+}
+
+}  // namespace omt

@@ -1,0 +1,69 @@
+#include "omt/geometry/angular_cube.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "omt/common/error.h"
+#include "omt/geometry/sin_power_integral.h"
+
+namespace omt {
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+}  // namespace
+
+PolarCoords toPolar(const Point& p, const Point& origin) {
+  OMT_CHECK(p.dim() == origin.dim(), "dimension mismatch");
+  const int d = p.dim();
+  OMT_CHECK(d >= 2, "polar coordinates require dimension >= 2");
+
+  PolarCoords polar;
+  polar.dim = d;
+  const Point v = p - origin;
+  polar.radius = norm(v);
+  if (polar.radius <= 0.0) return polar;  // direction undefined; all-zero cube
+
+  // Suffix norms s[j] = |(v_j, ..., v_{d-1})| computed back to front.
+  std::array<double, kMaxDim> suffix{};
+  double acc = 0.0;
+  for (int j = d - 1; j >= 0; --j) {
+    acc += v[j] * v[j];
+    suffix[static_cast<std::size_t>(j)] = std::sqrt(acc);
+  }
+
+  // Hyperspherical angles theta_1..theta_{d-2} in [0, pi].
+  for (int j = 0; j < d - 2; ++j) {
+    const double theta = std::atan2(suffix[static_cast<std::size_t>(j + 1)], v[j]);
+    polar.cube[static_cast<std::size_t>(j)] = sinPowerCdf(d - 2 - j, theta);
+  }
+  // Azimuth in [0, 2*pi).
+  double phi = std::atan2(v[d - 1], v[d - 2]);
+  if (phi < 0.0) phi += kTwoPi;
+  polar.cube[static_cast<std::size_t>(d - 2)] = phi / kTwoPi;
+  return polar;
+}
+
+Point directionFromCube(std::array<double, kMaxDim - 1> cube, int dim) {
+  OMT_CHECK(dim >= 2 && dim <= kMaxDim, "dimension out of range");
+  Point u(dim);
+  double sinProduct = 1.0;
+  for (int j = 0; j < dim - 2; ++j) {
+    const double theta =
+        sinPowerQuantile(dim - 2 - j, cube[static_cast<std::size_t>(j)]);
+    u[j] = sinProduct * std::cos(theta);
+    sinProduct *= std::sin(theta);
+  }
+  const double phi = kTwoPi * cube[static_cast<std::size_t>(dim - 2)];
+  u[dim - 2] = sinProduct * std::cos(phi);
+  u[dim - 1] = sinProduct * std::sin(phi);
+  return u;
+}
+
+Point fromPolar(const PolarCoords& polar, const Point& origin) {
+  OMT_CHECK(polar.dim == origin.dim(), "dimension mismatch");
+  if (polar.radius == 0.0) return origin;
+  return origin + polar.radius * directionFromCube(polar.cube, polar.dim);
+}
+
+}  // namespace omt

@@ -1,0 +1,54 @@
+// Polar (hyperspherical) coordinates with the angular part expressed in
+// "angular cube" coordinates.
+//
+// A point p != origin in d dimensions is represented as
+//   radius r = |p - origin|   and   u in [0,1]^(d-1),
+// where u is the image of the direction (p - origin)/r under the
+// measure-preserving map of S^(d-1) onto the uniform cube: each
+// hyperspherical angle theta_j (marginal density ~ sin^(d-1-j)) goes through
+// its CDF (see sin_power_integral.h) and the azimuth phi through phi/(2*pi).
+//
+// Properties that the grid and bisection algorithms rely on:
+//  * Volume of {r in [r0,r1], u in B} equals (r1^d - r0^d)/d * |B| * area of
+//    S^(d-1) — so equal cube boxes at equal radial shells have equal volume,
+//    which is exactly the paper's equal-volume grid-cell requirement.
+//  * Halving a cube axis halves the volume: the paper's "split each cell in
+//    two along splitting axes, cycling through all the axes" (Section IV-B)
+//    is an exact binary digit operation on u.
+//  * For d = 2, u has one coordinate: angle/(2*pi). For d = 3, u is the
+//    standard equal-area (phi/(2*pi), (1-cos theta)/2) parametrisation.
+#pragma once
+
+#include <array>
+
+#include "omt/common/types.h"
+#include "omt/geometry/point.h"
+
+namespace omt {
+
+/// Polar representation of a point relative to some origin.
+struct PolarCoords {
+  double radius = 0.0;
+  /// Angular cube coordinates; entries [0, dim-2] are meaningful. The last
+  /// meaningful axis (index dim-2) is the azimuth axis and is periodic with
+  /// period 1; the others live in [0, 1].
+  std::array<double, kMaxDim - 1> cube{};
+  int dim = 0;
+
+  int cubeAxes() const { return dim - 1; }
+};
+
+/// Convert `p` to polar coordinates about `origin` (same dimension, d >= 2).
+/// A point exactly at the origin gets radius 0 and cube coordinates all 0.
+PolarCoords toPolar(const Point& p, const Point& origin);
+
+/// Inverse of toPolar: rebuild the Cartesian point.
+Point fromPolar(const PolarCoords& polar, const Point& origin);
+
+/// Unit direction vector for the given cube coordinates (d >= 2).
+Point directionFromCube(std::array<double, kMaxDim - 1> cube, int dim);
+
+/// Index of the periodic (azimuth) cube axis for dimension d.
+inline int azimuthAxis(int dim) { return dim - 2; }
+
+}  // namespace omt

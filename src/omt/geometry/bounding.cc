@@ -1,0 +1,114 @@
+#include "omt/geometry/bounding.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "omt/common/error.h"
+
+namespace omt {
+
+Interval circularHull(std::span<const double> values, double period) {
+  OMT_CHECK(period > 0.0, "period must be positive");
+  if (values.empty()) return {0.0, 0.0};
+
+  std::vector<double> reduced(values.begin(), values.end());
+  for (double& v : reduced) {
+    v = std::fmod(v, period);
+    if (v < 0.0) v += period;
+  }
+  std::sort(reduced.begin(), reduced.end());
+
+  // The hull is the complement of the largest gap between consecutive
+  // values on the circle.
+  double bestGap = period - reduced.back() + reduced.front();
+  std::size_t bestAfter = reduced.size() - 1;  // gap after this index
+  for (std::size_t i = 0; i + 1 < reduced.size(); ++i) {
+    const double gap = reduced[i + 1] - reduced[i];
+    if (gap > bestGap) {
+      bestGap = gap;
+      bestAfter = i;
+    }
+  }
+  const double lo = reduced[(bestAfter + 1) % reduced.size()];
+  double hi = reduced[bestAfter];
+  if (hi < lo) hi += period;
+  return {lo, hi};
+}
+
+Point farRingCenter(std::span<const Point> points) {
+  OMT_CHECK(!points.empty(), "empty point set");
+  const int d = points.front().dim();
+  OMT_CHECK(d >= 2, "need dimension >= 2");
+
+  Point lo = points.front();
+  Point hi = points.front();
+  for (const Point& p : points) {
+    OMT_CHECK(p.dim() == d, "mixed dimensions in point set");
+    for (int i = 0; i < d; ++i) {
+      lo[i] = std::min(lo[i], p[i]);
+      hi[i] = std::max(hi[i], p[i]);
+    }
+  }
+  const double diag = distance(lo, hi);
+  // Distance M = 8 * diagonal guarantees r/R >= (M - diag)/(M + diag) = 7/9
+  // > 0.6 and angle a <= 2 atan(diag / (2 (M - diag))) ~ 0.14 rad, well
+  // within sin a > 5a/6 (which holds up to a ~ 0.99 rad).
+  const double far = 8.0 * std::max(diag, 0.125);  // floor keeps M >= 1
+  Point center = (lo + hi) / 2.0;
+  center[0] -= far;
+  return center;
+}
+
+RingSegment tightSegment(std::span<const Point> points,
+                         const Point& ringCenter) {
+  OMT_CHECK(!points.empty(), "empty point set");
+  const int d = ringCenter.dim();
+  OMT_CHECK(d >= 2, "need dimension >= 2");
+
+  Interval radial{kInf, 0.0};
+  std::array<Interval, kMaxDim - 1> cube;
+  for (int j = 0; j < d - 1; ++j)
+    cube[static_cast<std::size_t>(j)] = Interval{kInf, -kInf};
+  std::vector<double> azimuths;
+  azimuths.reserve(points.size());
+  bool sawCenterPoint = false;
+
+  for (const Point& p : points) {
+    const PolarCoords polar = toPolar(p, ringCenter);
+    if (polar.radius <= 0.0) {
+      sawCenterPoint = true;  // direction undefined; handled via radial lo
+      continue;
+    }
+    radial.lo = std::min(radial.lo, polar.radius);
+    radial.hi = std::max(radial.hi, polar.radius);
+    for (int j = 0; j < d - 2; ++j) {
+      Interval& iv = cube[static_cast<std::size_t>(j)];
+      iv.lo = std::min(iv.lo, polar.cube[static_cast<std::size_t>(j)]);
+      iv.hi = std::max(iv.hi, polar.cube[static_cast<std::size_t>(j)]);
+    }
+    azimuths.push_back(polar.cube[static_cast<std::size_t>(d - 2)]);
+  }
+
+  if (azimuths.empty()) {
+    // Every point coincides with the ring center: a degenerate segment.
+    radial = {0.0, 0.0};
+    for (int j = 0; j < d - 1; ++j)
+      cube[static_cast<std::size_t>(j)] = Interval{0.0, 0.0};
+    return RingSegment(
+        d, radial,
+        std::span<const Interval>(cube.data(), static_cast<std::size_t>(d - 1)));
+  }
+
+  if (sawCenterPoint) radial.lo = 0.0;
+  cube[static_cast<std::size_t>(d - 2)] = circularHull(azimuths, 1.0);
+  for (int j = 0; j < d - 2; ++j) {
+    Interval& iv = cube[static_cast<std::size_t>(j)];
+    if (iv.lo > iv.hi) iv = Interval{0.0, 0.0};  // d == 2 has no such axes
+  }
+  return RingSegment(
+      d, radial,
+      std::span<const Interval>(cube.data(), static_cast<std::size_t>(d - 1)));
+}
+
+}  // namespace omt

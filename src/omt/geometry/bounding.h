@@ -1,0 +1,40 @@
+// Tight covering ring segments.
+//
+// The constant-factor wrapper of Section II needs a ring segment that covers
+// a whole point set with (a) a far-away ring center so the subtended angle a
+// satisfies sin a > (5/6) a and the radii satisfy r > 0.6 R, and (b) tight
+// bounds: R - r and a cannot be reduced without losing points. Those
+// preconditions are exactly what make the bound
+//   OPT >= max(R - q, q - r)   and   OPT >= r sin a >= R a / 2
+// valid, which in turn yields the factor-5 (out-degree 4) and factor-9
+// (out-degree 2) guarantees of Theorem 1. This header builds such segments.
+#pragma once
+
+#include <span>
+
+#include "omt/geometry/ring_segment.h"
+
+namespace omt {
+
+/// Smallest circular interval (in a coordinate with the given period)
+/// containing all values; returns {lo, hi} with hi - lo <= period and
+/// hi possibly exceeding `period`. Values may be any reals; they are reduced
+/// modulo the period. For an empty span returns {0, 0}.
+Interval circularHull(std::span<const double> values, double period);
+
+/// A ring center placed far from the point set (along -x from the bounding
+/// box center) so that the tight covering segment around it satisfies the
+/// Theorem 1 preconditions (r > 0.6 R and a small enough that
+/// sin a > 5a/6). Works in any dimension >= 2. The point set must be
+/// non-empty. If all points coincide, the center is placed at unit distance.
+Point farRingCenter(std::span<const Point> points);
+
+/// The tight ring segment about `ringCenter` covering all points: minimal
+/// radial interval and, per angular axis, minimal (circular, for the
+/// azimuth) interval in angular cube coordinates. The point set must be
+/// non-empty and must not contain the ring center itself unless it is the
+/// only location (a point at the center has undefined direction; it is
+/// covered by extending the radial interval to zero).
+RingSegment tightSegment(std::span<const Point> points, const Point& ringCenter);
+
+}  // namespace omt

@@ -1,0 +1,166 @@
+#include "omt/geometry/enclosing_ball.h"
+
+#include <array>
+#include <cstdint>
+#include <cmath>
+#include <vector>
+
+#include "omt/common/error.h"
+
+namespace omt {
+namespace {
+
+/// Local SplitMix64 step; geometry cannot depend on omt/random (which
+/// depends on geometry), and all we need is a deterministic shuffle.
+std::uint64_t nextRandom(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Solve the small SPD system A x = b (k <= kMaxDim) by Gaussian
+/// elimination with partial pivoting. Returns false if singular (affinely
+/// dependent support points), in which case the caller drops the point.
+bool solveSmallSystem(std::array<std::array<double, kMaxDim>, kMaxDim>& a,
+                      std::array<double, kMaxDim>& b, int k) {
+  for (int col = 0; col < k; ++col) {
+    int pivot = col;
+    for (int row = col + 1; row < k; ++row) {
+      if (std::abs(a[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)]) >
+          std::abs(a[static_cast<std::size_t>(pivot)][static_cast<std::size_t>(col)]))
+        pivot = row;
+    }
+    if (std::abs(a[static_cast<std::size_t>(pivot)][static_cast<std::size_t>(col)]) <
+        1e-12)
+      return false;
+    std::swap(a[static_cast<std::size_t>(col)], a[static_cast<std::size_t>(pivot)]);
+    std::swap(b[static_cast<std::size_t>(col)], b[static_cast<std::size_t>(pivot)]);
+    for (int row = col + 1; row < k; ++row) {
+      const double f = a[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] /
+                       a[static_cast<std::size_t>(col)][static_cast<std::size_t>(col)];
+      for (int c = col; c < k; ++c) {
+        a[static_cast<std::size_t>(row)][static_cast<std::size_t>(c)] -=
+            f * a[static_cast<std::size_t>(col)][static_cast<std::size_t>(c)];
+      }
+      b[static_cast<std::size_t>(row)] -= f * b[static_cast<std::size_t>(col)];
+    }
+  }
+  for (int row = k - 1; row >= 0; --row) {
+    double sum = b[static_cast<std::size_t>(row)];
+    for (int c = row + 1; c < k; ++c) {
+      sum -= a[static_cast<std::size_t>(row)][static_cast<std::size_t>(c)] *
+             b[static_cast<std::size_t>(c)];
+    }
+    b[static_cast<std::size_t>(row)] =
+        sum / a[static_cast<std::size_t>(row)][static_cast<std::size_t>(row)];
+  }
+  return true;
+}
+
+/// Circumball of up to d+1 affinely independent support points: the unique
+/// smallest ball with all of them on its boundary.
+EnclosingBall ballFromSupport(std::span<const Point> support, int dim) {
+  EnclosingBall ball{Point(dim), 0.0};
+  if (support.empty()) return ball;
+  if (support.size() == 1) {
+    ball.center = support[0];
+    return ball;
+  }
+  // Solve 2 (v_i . v_j) lambda_j = |v_i|^2 with v_i = support[i] - p0;
+  // center = p0 + sum lambda_j v_j.
+  const Point& p0 = support[0];
+  const int k = static_cast<int>(support.size()) - 1;
+  std::array<std::array<double, kMaxDim>, kMaxDim> a{};
+  std::array<double, kMaxDim> b{};
+  std::vector<Point> v;
+  v.reserve(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) v.push_back(support[static_cast<std::size_t>(i) + 1] - p0);
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j < k; ++j) {
+      a[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          2.0 * dot(v[static_cast<std::size_t>(i)], v[static_cast<std::size_t>(j)]);
+    }
+    b[static_cast<std::size_t>(i)] = squaredNorm(v[static_cast<std::size_t>(i)]);
+  }
+  if (!solveSmallSystem(a, b, k)) {
+    // Affinely dependent support: fall back to the first point's ball over
+    // the span that did resolve; callers only grow supports with points
+    // strictly outside the current ball, so this is a degenerate-input
+    // safety valve, not a hot path.
+    ball.center = p0;
+    for (const Point& s : support)
+      ball.radius = std::max(ball.radius, distance(p0, s));
+    return ball;
+  }
+  Point center = p0;
+  for (int j = 0; j < k; ++j) center += b[static_cast<std::size_t>(j)] * v[static_cast<std::size_t>(j)];
+  ball.center = center;
+  ball.radius = distance(center, p0);
+  return ball;
+}
+
+/// Welzl move-to-front: the ball over points[0..end) with `support` forced
+/// onto the boundary. Recursion depth is bounded by dim + 1.
+EnclosingBall welzl(std::vector<Point>& points, std::size_t end,
+                    std::vector<Point>& support, int dim) {
+  EnclosingBall ball = ballFromSupport(support, dim);
+  if (static_cast<int>(support.size()) == dim + 1) return ball;
+  for (std::size_t i = 0; i < end; ++i) {
+    if (ball.contains(points[i], 1e-12 * (1.0 + ball.radius))) continue;
+    support.push_back(points[i]);
+    ball = welzl(points, i, support, dim);
+    support.pop_back();
+    // Move-to-front keeps boundary-defining points early, which is what
+    // makes the expected running time linear.
+    Point hit = points[i];
+    for (std::size_t j = i; j > 0; --j) points[j] = points[j - 1];
+    points[0] = hit;
+  }
+  return ball;
+}
+
+}  // namespace
+
+EnclosingBall smallestEnclosingBall(std::span<const Point> points) {
+  OMT_CHECK(!points.empty(), "empty point set");
+  const int dim = points.front().dim();
+  OMT_CHECK(dim >= 1 && dim <= kMaxDim, "dimension out of range");
+  std::vector<Point> shuffled(points.begin(), points.end());
+  for (const Point& p : shuffled)
+    OMT_CHECK(p.dim() == dim, "mixed dimensions in point set");
+  // Deterministic shuffle (seeded by size) for expected-linear behaviour
+  // independent of adversarial input order.
+  std::uint64_t state = 0x5EB411ULL ^ points.size();
+  for (std::size_t i = shuffled.size(); i > 1; --i)
+    std::swap(shuffled[i - 1], shuffled[nextRandom(state) % i]);
+
+  std::vector<Point> support;
+  support.reserve(static_cast<std::size_t>(dim) + 1);
+  EnclosingBall ball = welzl(shuffled, shuffled.size(), support, dim);
+  // Guard against accumulated rounding: grow minimally to cover everything.
+  for (const Point& p : points)
+    ball.radius = std::max(ball.radius, distance(ball.center, p));
+  return ball;
+}
+
+double maxPairwiseDistanceLowerBound(std::span<const Point> points) {
+  OMT_CHECK(!points.empty(), "empty point set");
+  auto farthestFrom = [&](const Point& origin) {
+    std::size_t best = 0;
+    double bestDist = -1.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const double d = squaredDistance(points[i], origin);
+      if (d > bestDist) {
+        bestDist = d;
+        best = i;
+      }
+    }
+    return best;
+  };
+  const std::size_t a = farthestFrom(points[0]);
+  const std::size_t b = farthestFrom(points[a]);
+  return distance(points[a], points[b]);
+}
+
+}  // namespace omt

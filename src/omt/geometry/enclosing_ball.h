@@ -1,0 +1,35 @@
+// Smallest enclosing ball (minimum covering sphere) in any dimension
+// 2..kMaxDim, via Welzl's move-to-front algorithm.
+//
+// Used by the minimum-diameter variant of Section VI: "to construct an
+// optimal solution in the sphere, an artificial root node should be chosen
+// among nodes closest to the sphere center" — the sphere center being the
+// center of the smallest ball enclosing the hosts.
+#pragma once
+
+#include <span>
+
+#include "omt/geometry/point.h"
+
+namespace omt {
+
+struct EnclosingBall {
+  Point center;
+  double radius = 0.0;
+
+  bool contains(const Point& p, double eps = 1e-9) const {
+    return squaredDistance(p, center) <= (radius + eps) * (radius + eps);
+  }
+};
+
+/// The smallest ball containing every point. Deterministic for a fixed
+/// input order (the internal permutation is seeded from the input size).
+/// Requires a non-empty set of equal-dimension points.
+EnclosingBall smallestEnclosingBall(std::span<const Point> points);
+
+/// A valid lower bound on the maximum pairwise distance of the set, via a
+/// two-sweep walk (farthest point from points[0], then farthest from that);
+/// the returned value is an actual pairwise distance, hence a certificate.
+double maxPairwiseDistanceLowerBound(std::span<const Point> points);
+
+}  // namespace omt

@@ -1,0 +1,64 @@
+#include "omt/geometry/point.h"
+
+#include <cmath>
+#include <ostream>
+
+namespace omt {
+
+Point& Point::operator+=(const Point& o) {
+  OMT_CHECK(dim_ == o.dim_, "dimension mismatch");
+  for (int i = 0; i < dim_; ++i) (*this)[i] += o[i];
+  return *this;
+}
+
+Point& Point::operator-=(const Point& o) {
+  OMT_CHECK(dim_ == o.dim_, "dimension mismatch");
+  for (int i = 0; i < dim_; ++i) (*this)[i] -= o[i];
+  return *this;
+}
+
+Point& Point::operator*=(double s) {
+  for (int i = 0; i < dim_; ++i) (*this)[i] *= s;
+  return *this;
+}
+
+Point& Point::operator/=(double s) {
+  for (int i = 0; i < dim_; ++i) (*this)[i] /= s;
+  return *this;
+}
+
+double dot(const Point& a, const Point& b) {
+  OMT_CHECK(a.dim() == b.dim(), "dimension mismatch");
+  double sum = 0.0;
+  for (int i = 0; i < a.dim(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double squaredNorm(const Point& p) { return dot(p, p); }
+
+double norm(const Point& p) { return std::sqrt(squaredNorm(p)); }
+
+double squaredDistance(const Point& a, const Point& b) {
+  OMT_CHECK(a.dim() == b.dim(), "dimension mismatch");
+  double sum = 0.0;
+  for (int i = 0; i < a.dim(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+double distance(const Point& a, const Point& b) {
+  return std::sqrt(squaredDistance(a, b));
+}
+
+std::ostream& operator<<(std::ostream& out, const Point& p) {
+  out << '(';
+  for (int i = 0; i < p.dim(); ++i) {
+    if (i > 0) out << ", ";
+    out << p[i];
+  }
+  return out << ')';
+}
+
+}  // namespace omt

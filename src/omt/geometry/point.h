@@ -1,0 +1,105 @@
+// A small fixed-capacity Euclidean point/vector of runtime dimension.
+//
+// The paper maps every communicating host to a point in d-dimensional
+// Euclidean space and approximates unicast delay by Euclidean distance.
+// Point is the value type used everywhere for host coordinates. It holds up
+// to kMaxDim coordinates inline (no heap allocation), so arrays of millions
+// of points are contiguous and cache-friendly, which is what makes the
+// 5,000,000-node experiments of Table I feasible.
+#pragma once
+
+#include <array>
+#include <initializer_list>
+#include <iosfwd>
+#include <span>
+
+#include "omt/common/error.h"
+#include "omt/common/types.h"
+
+namespace omt {
+
+class Point {
+ public:
+  /// Zero-dimensional point; mostly useful as a placeholder before
+  /// assignment. Operations requiring coordinates check the dimension.
+  constexpr Point() = default;
+
+  /// The origin of `dim`-dimensional space.
+  explicit Point(int dim) : dim_(dim) {
+    OMT_CHECK(dim >= 0 && dim <= kMaxDim, "point dimension out of range");
+  }
+
+  /// Point with the given coordinates, e.g. Point{0.3, -1.2}.
+  Point(std::initializer_list<double> coords) {
+    OMT_CHECK(coords.size() <= static_cast<std::size_t>(kMaxDim),
+              "too many coordinates");
+    dim_ = static_cast<int>(coords.size());
+    int i = 0;
+    for (double c : coords) coords_[static_cast<std::size_t>(i++)] = c;
+  }
+
+  /// Point with coordinates copied from a span.
+  explicit Point(std::span<const double> coords) {
+    OMT_CHECK(coords.size() <= static_cast<std::size_t>(kMaxDim),
+              "too many coordinates");
+    dim_ = static_cast<int>(coords.size());
+    for (int i = 0; i < dim_; ++i)
+      coords_[static_cast<std::size_t>(i)] = coords[static_cast<std::size_t>(i)];
+  }
+
+  int dim() const { return dim_; }
+
+  double operator[](int i) const {
+    OMT_ASSERT(i >= 0 && i < dim_, "coordinate index out of range");
+    return coords_[static_cast<std::size_t>(i)];
+  }
+  double& operator[](int i) {
+    OMT_ASSERT(i >= 0 && i < dim_, "coordinate index out of range");
+    return coords_[static_cast<std::size_t>(i)];
+  }
+
+  std::span<const double> coords() const {
+    return {coords_.data(), static_cast<std::size_t>(dim_)};
+  }
+
+  Point& operator+=(const Point& o);
+  Point& operator-=(const Point& o);
+  Point& operator*=(double s);
+  Point& operator/=(double s);
+
+  friend Point operator+(Point a, const Point& b) { return a += b; }
+  friend Point operator-(Point a, const Point& b) { return a -= b; }
+  friend Point operator*(Point a, double s) { return a *= s; }
+  friend Point operator*(double s, Point a) { return a *= s; }
+  friend Point operator/(Point a, double s) { return a /= s; }
+
+  friend bool operator==(const Point& a, const Point& b) {
+    if (a.dim_ != b.dim_) return false;
+    for (int i = 0; i < a.dim_; ++i)
+      if (a[i] != b[i]) return false;
+    return true;
+  }
+
+ private:
+  std::array<double, kMaxDim> coords_{};
+  int dim_ = 0;
+};
+
+/// Inner product; both points must have the same dimension.
+double dot(const Point& a, const Point& b);
+
+/// Euclidean length of the vector from the origin to `p`.
+double norm(const Point& p);
+
+/// Squared Euclidean length (avoids the sqrt when comparing).
+double squaredNorm(const Point& p);
+
+/// Euclidean distance between `a` and `b` — the delay model of the paper.
+double distance(const Point& a, const Point& b);
+
+/// Squared Euclidean distance.
+double squaredDistance(const Point& a, const Point& b);
+
+std::ostream& operator<<(std::ostream& out, const Point& p);
+
+}  // namespace omt

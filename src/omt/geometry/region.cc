@@ -1,0 +1,131 @@
+#include "omt/geometry/region.h"
+
+#include <sstream>
+
+#include "omt/common/error.h"
+
+namespace omt {
+namespace {
+
+Point offsetAll(const Point& p, double delta) {
+  Point out = p;
+  for (int i = 0; i < out.dim(); ++i) out[i] += delta;
+  return out;
+}
+
+}  // namespace
+
+Ball::Ball(Point center, double radius)
+    : center_(std::move(center)), radius_(radius) {
+  OMT_CHECK(center_.dim() >= 1, "ball needs a positioned center");
+  OMT_CHECK(radius_ >= 0.0, "negative ball radius");
+}
+
+bool Ball::contains(const Point& p) const {
+  return p.dim() == dim() &&
+         squaredDistance(p, center_) <= radius_ * radius_ + kGeomEps;
+}
+
+std::pair<Point, Point> Ball::boundingBox() const {
+  return {offsetAll(center_, -radius_), offsetAll(center_, radius_)};
+}
+
+std::string Ball::name() const {
+  std::ostringstream out;
+  out << (dim() == 2 ? "disk" : "ball") << "(d=" << dim() << ", r=" << radius_
+      << ")";
+  return out.str();
+}
+
+Box::Box(Point lo, Point hi) : lo_(std::move(lo)), hi_(std::move(hi)) {
+  OMT_CHECK(lo_.dim() == hi_.dim(), "box corner dimension mismatch");
+  for (int i = 0; i < lo_.dim(); ++i)
+    OMT_CHECK(lo_[i] <= hi_[i], "box corners out of order");
+}
+
+bool Box::contains(const Point& p) const {
+  if (p.dim() != dim()) return false;
+  for (int i = 0; i < dim(); ++i) {
+    if (p[i] < lo_[i] - kGeomEps || p[i] > hi_[i] + kGeomEps) return false;
+  }
+  return true;
+}
+
+std::string Box::name() const {
+  std::ostringstream out;
+  out << "box(d=" << dim() << ")";
+  return out.str();
+}
+
+ConvexPolygon::ConvexPolygon(std::vector<Point> vertices)
+    : vertices_(std::move(vertices)) {
+  OMT_CHECK(vertices_.size() >= 3, "polygon needs at least three vertices");
+  for (const Point& v : vertices_)
+    OMT_CHECK(v.dim() == 2, "polygon vertices must be planar");
+  // Verify convexity and counter-clockwise orientation.
+  const std::size_t n = vertices_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point& a = vertices_[i];
+    const Point& b = vertices_[(i + 1) % n];
+    const Point& c = vertices_[(i + 2) % n];
+    const double cross =
+        (b[0] - a[0]) * (c[1] - b[1]) - (b[1] - a[1]) * (c[0] - b[0]);
+    OMT_CHECK(cross >= -kGeomEps,
+              "polygon must be convex with counter-clockwise vertices");
+  }
+}
+
+bool ConvexPolygon::contains(const Point& p) const {
+  if (p.dim() != 2) return false;
+  const std::size_t n = vertices_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point& a = vertices_[i];
+    const Point& b = vertices_[(i + 1) % n];
+    const double cross =
+        (b[0] - a[0]) * (p[1] - a[1]) - (b[1] - a[1]) * (p[0] - a[0]);
+    if (cross < -kGeomEps) return false;
+  }
+  return true;
+}
+
+std::pair<Point, Point> ConvexPolygon::boundingBox() const {
+  Point lo = vertices_.front();
+  Point hi = vertices_.front();
+  for (const Point& v : vertices_) {
+    for (int i = 0; i < 2; ++i) {
+      lo[i] = std::min(lo[i], v[i]);
+      hi[i] = std::max(hi[i], v[i]);
+    }
+  }
+  return {lo, hi};
+}
+
+std::string ConvexPolygon::name() const {
+  std::ostringstream out;
+  out << "polygon(" << vertices_.size() << " vertices)";
+  return out.str();
+}
+
+Annulus::Annulus(Point center, double innerRadius, double outerRadius)
+    : center_(std::move(center)), inner_(innerRadius), outer_(outerRadius) {
+  OMT_CHECK(center_.dim() == 2, "annulus is planar");
+  OMT_CHECK(0.0 <= inner_ && inner_ < outer_, "invalid annulus radii");
+}
+
+bool Annulus::contains(const Point& p) const {
+  if (p.dim() != 2) return false;
+  const double d2 = squaredDistance(p, center_);
+  return d2 >= inner_ * inner_ - kGeomEps && d2 <= outer_ * outer_ + kGeomEps;
+}
+
+std::pair<Point, Point> Annulus::boundingBox() const {
+  return {offsetAll(center_, -outer_), offsetAll(center_, outer_)};
+}
+
+std::string Annulus::name() const {
+  std::ostringstream out;
+  out << "annulus(r=" << inner_ << ".." << outer_ << ")";
+  return out.str();
+}
+
+}  // namespace omt

@@ -1,0 +1,104 @@
+// Regions hosts can be distributed in.
+//
+// The paper's main theorem assumes points uniformly distributed in a disk
+// (d-ball); Section IV-C extends the algorithm to arbitrary convex regions
+// with arbitrary source placement. Region is the interface the samplers
+// (omt/random) and the generalised experiments use. An Annulus is provided
+// as a deliberately NON-convex stress case: the asymptotic-optimality proof
+// does not cover it, but the algorithm must still return a valid tree.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "omt/geometry/point.h"
+
+namespace omt {
+
+class Region {
+ public:
+  virtual ~Region() = default;
+
+  virtual int dim() const = 0;
+  virtual bool contains(const Point& p) const = 0;
+  /// Axis-aligned bounding box (lo corner, hi corner); used for rejection
+  /// sampling and for placing far ring centers.
+  virtual std::pair<Point, Point> boundingBox() const = 0;
+  /// Human-readable name for reports.
+  virtual std::string name() const = 0;
+  /// Whether the region is convex (the asymptotic guarantee requires it).
+  virtual bool convex() const { return true; }
+};
+
+/// Closed ball (disk when dim == 2) of radius `radius` about `center`.
+class Ball final : public Region {
+ public:
+  Ball(Point center, double radius);
+
+  int dim() const override { return center_.dim(); }
+  bool contains(const Point& p) const override;
+  std::pair<Point, Point> boundingBox() const override;
+  std::string name() const override;
+
+  const Point& center() const { return center_; }
+  double radius() const { return radius_; }
+
+ private:
+  Point center_;
+  double radius_;
+};
+
+/// Axis-aligned box [lo, hi] in any dimension.
+class Box final : public Region {
+ public:
+  Box(Point lo, Point hi);
+
+  int dim() const override { return lo_.dim(); }
+  bool contains(const Point& p) const override;
+  std::pair<Point, Point> boundingBox() const override { return {lo_, hi_}; }
+  std::string name() const override;
+
+  const Point& lo() const { return lo_; }
+  const Point& hi() const { return hi_; }
+
+ private:
+  Point lo_;
+  Point hi_;
+};
+
+/// Convex polygon in the plane, vertices in counter-clockwise order.
+class ConvexPolygon final : public Region {
+ public:
+  explicit ConvexPolygon(std::vector<Point> vertices);
+
+  int dim() const override { return 2; }
+  bool contains(const Point& p) const override;
+  std::pair<Point, Point> boundingBox() const override;
+  std::string name() const override;
+
+  const std::vector<Point>& vertices() const { return vertices_; }
+
+ private:
+  std::vector<Point> vertices_;
+};
+
+/// Planar annulus (ring) — non-convex; a stress case outside the theory.
+class Annulus final : public Region {
+ public:
+  Annulus(Point center, double innerRadius, double outerRadius);
+
+  int dim() const override { return 2; }
+  bool contains(const Point& p) const override;
+  std::pair<Point, Point> boundingBox() const override;
+  std::string name() const override;
+  bool convex() const override { return false; }
+
+ private:
+  Point center_;
+  double inner_;
+  double outer_;
+};
+
+}  // namespace omt

@@ -1,0 +1,114 @@
+#include "omt/geometry/ring_segment.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "omt/common/error.h"
+
+namespace omt {
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+double wrapIntoUnitPeriod(double x, double lo) {
+  double y = std::fmod(x - lo, 1.0);
+  if (y < 0.0) y += 1.0;
+  return lo + y;
+}
+
+}  // namespace
+
+RingSegment::RingSegment(int dim, Interval radial,
+                         std::span<const Interval> cube)
+    : dim_(dim), radial_(radial) {
+  OMT_CHECK(dim >= 2 && dim <= kMaxDim, "segment dimension out of range");
+  OMT_CHECK(cube.size() == static_cast<std::size_t>(dim - 1),
+            "need one cube interval per angular axis");
+  OMT_CHECK(radial.lo >= -kGeomEps && radial.lo <= radial.hi + kGeomEps,
+            "invalid radial interval");
+  for (int j = 0; j < dim - 1; ++j) {
+    const Interval& iv = cube[static_cast<std::size_t>(j)];
+    OMT_CHECK(iv.lo <= iv.hi + kGeomEps, "invalid cube interval");
+    if (j == azimuthAxis(dim)) {
+      OMT_CHECK(iv.width() <= 1.0 + kGeomEps,
+                "azimuth interval wider than one period");
+    } else {
+      OMT_CHECK(iv.lo >= -kGeomEps && iv.hi <= 1.0 + kGeomEps,
+                "polar-angle cube interval outside [0, 1]");
+    }
+    cube_[static_cast<std::size_t>(j)] = iv;
+  }
+}
+
+RingSegment RingSegment::fullBall(int dim, double r) {
+  OMT_CHECK(r >= 0.0, "negative radius");
+  std::array<Interval, kMaxDim - 1> cube;
+  for (int j = 0; j < dim - 1; ++j)
+    cube[static_cast<std::size_t>(j)] = Interval{0.0, 1.0};
+  return RingSegment(
+      dim, Interval{0.0, r},
+      std::span<const Interval>(cube.data(), static_cast<std::size_t>(dim - 1)));
+}
+
+const Interval& RingSegment::cubeAxis(int j) const {
+  OMT_ASSERT(j >= 0 && j < cubeAxes(), "cube axis out of range");
+  return cube_[static_cast<std::size_t>(j)];
+}
+
+double RingSegment::angleSpan() const {
+  return cubeAxis(azimuthAxis(dim_)).width() * kTwoPi;
+}
+
+std::array<double, kMaxDim - 1> RingSegment::normalizedCube(
+    const PolarCoords& p) const {
+  OMT_ASSERT(p.dim == dim_, "dimension mismatch");
+  std::array<double, kMaxDim - 1> out = p.cube;
+  const int az = azimuthAxis(dim_);
+  out[static_cast<std::size_t>(az)] = wrapIntoUnitPeriod(
+      out[static_cast<std::size_t>(az)], cube_[static_cast<std::size_t>(az)].lo);
+  return out;
+}
+
+bool RingSegment::contains(const PolarCoords& p, double eps) const {
+  if (p.dim != dim_) return false;
+  if (!radial_.contains(p.radius, eps)) return false;
+  const auto cube = normalizedCube(p);
+  for (int j = 0; j < cubeAxes(); ++j) {
+    if (!cube_[static_cast<std::size_t>(j)].contains(
+            cube[static_cast<std::size_t>(j)], eps))
+      return false;
+  }
+  return true;
+}
+
+int RingSegment::subsegmentIndex(const PolarCoords& p) const {
+  OMT_ASSERT(p.dim == dim_, "dimension mismatch");
+  int index = 0;
+  if (p.radius > radial_.mid()) index |= 1;
+  const auto cube = normalizedCube(p);
+  for (int j = 0; j < cubeAxes(); ++j) {
+    if (cube[static_cast<std::size_t>(j)] >
+        cube_[static_cast<std::size_t>(j)].mid())
+      index |= 1 << (1 + j);
+  }
+  return index;
+}
+
+RingSegment RingSegment::subsegment(int index) const {
+  OMT_ASSERT(index >= 0 && index < subsegmentCount(),
+             "subsegment index out of range");
+  std::array<Interval, kMaxDim - 1> cube;
+  for (int j = 0; j < cubeAxes(); ++j) {
+    cube[static_cast<std::size_t>(j)] =
+        cube_[static_cast<std::size_t>(j)].half((index >> (1 + j)) & 1);
+  }
+  return RingSegment(
+      dim_, radial_.half(index & 1),
+      std::span<const Interval>(cube.data(), static_cast<std::size_t>(cubeAxes())));
+}
+
+double RingSegment::extentMeasure() const {
+  return std::max(radial_.width(), outerArcLength());
+}
+
+}  // namespace omt

@@ -1,0 +1,94 @@
+// Ring segments: the cells the paper's algorithms operate on.
+//
+// In two dimensions a ring segment is the region between two radii and two
+// rays (Figure 1 of the paper). Generalised to d dimensions via angular cube
+// coordinates (angular_cube.h), a segment is
+//     { radius in [r_lo, r_hi] }  x  { cube box in [0,1]^(d-1) },
+// i.e. a radial interval crossed with an axis-aligned box over the direction
+// sphere. The bisection algorithm halves every axis, producing 2^d aligned
+// sub-segments (4 in 2D, matching Figure 1; 8 in 3D, matching the paper's
+// out-degree-10 analysis).
+//
+// The azimuth cube axis is periodic with period 1; a segment's interval on
+// that axis may extend past 1 (e.g. [0.9, 1.3]) to represent an arc crossing
+// the branch cut. Membership tests wrap point coordinates accordingly.
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "omt/common/types.h"
+#include "omt/geometry/angular_cube.h"
+
+namespace omt {
+
+/// A closed real interval [lo, hi], lo <= hi.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  double width() const { return hi - lo; }
+  double mid() const { return lo + (hi - lo) / 2.0; }
+  bool contains(double x, double eps = kGeomEps) const {
+    return x >= lo - eps && x <= hi + eps;
+  }
+  /// Lower ([lo, mid]) or upper ([mid, hi]) half.
+  Interval half(int which) const {
+    return which == 0 ? Interval{lo, mid()} : Interval{mid(), hi};
+  }
+};
+
+class RingSegment {
+ public:
+  /// A segment of `dim`-dimensional space: radial interval `radial` and one
+  /// cube interval per angular axis (`cube.size() == dim - 1`). Radial
+  /// bounds must satisfy 0 <= lo <= hi; non-azimuth cube intervals must lie
+  /// within [0, 1]; the azimuth interval must have width <= 1.
+  RingSegment(int dim, Interval radial, std::span<const Interval> cube);
+
+  /// The full ball of radius `r` about the origin of `dim`-dimensional
+  /// space (radial [0, r], all cube axes [0, 1]).
+  static RingSegment fullBall(int dim, double r);
+
+  int dim() const { return dim_; }
+  int cubeAxes() const { return dim_ - 1; }
+  const Interval& radial() const { return radial_; }
+  const Interval& cubeAxis(int j) const;
+
+  /// Angle subtended on the azimuth axis, in radians (the paper's `a`).
+  double angleSpan() const;
+
+  /// Upper bound on arc length along the azimuth at the outer radius
+  /// (the paper's `R * a`).
+  double outerArcLength() const { return radial_.hi * angleSpan(); }
+
+  /// Whether the polar point lies in the segment (azimuth wrapped).
+  bool contains(const PolarCoords& p, double eps = kGeomEps) const;
+
+  /// The point's azimuth cube coordinate wrapped into [lo, lo + 1) of this
+  /// segment's azimuth interval; other axes returned unchanged.
+  std::array<double, kMaxDim - 1> normalizedCube(const PolarCoords& p) const;
+
+  /// Which of the 2^dim sub-segments produced by halving every axis the
+  /// point falls into. Bit 0 is the radial axis (0 = inner half), bit 1+j is
+  /// cube axis j (0 = lower half). The point must be inside the segment.
+  int subsegmentIndex(const PolarCoords& p) const;
+
+  /// The sub-segment for a given index (see subsegmentIndex).
+  RingSegment subsegment(int index) const;
+
+  /// Number of sub-segments a single bisection step produces (2^dim).
+  int subsegmentCount() const { return 1 << dim_; }
+
+  /// Max of all axis extents in natural units (radial width and azimuth arc
+  /// at the outer radius); used as a termination measure for bisection on
+  /// degenerate inputs.
+  double extentMeasure() const;
+
+ private:
+  int dim_;
+  Interval radial_;
+  std::array<Interval, kMaxDim - 1> cube_{};
+};
+
+}  // namespace omt

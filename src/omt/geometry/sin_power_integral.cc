@@ -1,0 +1,82 @@
+#include "omt/geometry/sin_power_integral.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "omt/common/error.h"
+
+namespace omt {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+}  // namespace
+
+double sinPowerIntegral(int k, double t) {
+  OMT_CHECK(k >= 0, "sin power must be non-negative");
+  OMT_CHECK(t >= -1e-9 && t <= kPi + 1e-9, "angle outside [0, pi]");
+  t = std::clamp(t, 0.0, kPi);
+  if (k == 0) return t;
+  if (k == 1) return 1.0 - std::cos(t);
+  // I_k = ((k-1) I_{k-2} - sin^{k-1}(t) cos(t)) / k, unrolled iteratively
+  // from the base case of matching parity.
+  double prev = (k % 2 == 0) ? t : 1.0 - std::cos(t);
+  const double s = std::sin(t);
+  const double c = std::cos(t);
+  for (int j = (k % 2 == 0) ? 2 : 3; j <= k; j += 2) {
+    const double cur =
+        ((j - 1) * prev - std::pow(s, j - 1) * c) / static_cast<double>(j);
+    prev = cur;
+  }
+  return prev;
+}
+
+double sinPowerTotal(int k) {
+  OMT_CHECK(k >= 0, "sin power must be non-negative");
+  // T_0 = pi, T_1 = 2, T_k = (k-1)/k * T_{k-2}.
+  double total = (k % 2 == 0) ? kPi : 2.0;
+  for (int j = (k % 2 == 0) ? 2 : 3; j <= k; j += 2) {
+    total *= static_cast<double>(j - 1) / static_cast<double>(j);
+  }
+  return total;
+}
+
+double sinPowerCdf(int k, double t) {
+  return sinPowerIntegral(k, t) / sinPowerTotal(k);
+}
+
+double sinPowerQuantile(int k, double u) {
+  OMT_CHECK(k >= 0, "sin power must be non-negative");
+  OMT_CHECK(u >= -1e-12 && u <= 1.0 + 1e-12, "quantile outside [0, 1]");
+  u = std::clamp(u, 0.0, 1.0);
+  if (u == 0.0) return 0.0;
+  if (u == 1.0) return kPi;
+  if (k == 0) return u * kPi;
+  if (k == 1) return std::acos(1.0 - 2.0 * u);
+
+  const double total = sinPowerTotal(k);
+  const double target = u * total;
+  // Newton iteration on g(t) = I_k(t) - target, g'(t) = sin^k(t), safeguarded
+  // by a shrinking bisection bracket: near t = 0 and t = pi the derivative
+  // vanishes for k >= 2, so unguarded Newton can escape the domain.
+  double lo = 0.0;
+  double hi = kPi;
+  double t = kPi * u;  // reasonable initial guess
+  for (int iter = 0; iter < 128; ++iter) {
+    const double g = sinPowerIntegral(k, t) - target;
+    if (g > 0.0) {
+      hi = t;
+    } else {
+      lo = t;
+    }
+    const double deriv = std::pow(std::sin(t), k);
+    double next = (deriv > 1e-300) ? t - g / deriv : (lo + hi) / 2.0;
+    if (!(next > lo && next < hi)) next = (lo + hi) / 2.0;
+    if (std::abs(next - t) < 1e-15) return next;
+    t = next;
+  }
+  return t;
+}
+
+}  // namespace omt

@@ -1,0 +1,34 @@
+// Incomplete integrals of sin^k and their inverses.
+//
+// The uniform (surface) measure on the sphere S^(d-1), written in
+// hyperspherical angles (theta_1, ..., theta_{d-2}, phi), factorises into
+// independent marginals with densities proportional to sin^k(theta) on
+// [0, pi] (k = d-1-j for angle j) and the uniform azimuth phi on [0, 2*pi).
+// Mapping each angle through its CDF therefore carries the sphere
+// measure-preservingly onto the uniform cube [0,1]^(d-1) — the coordinate
+// system in which the paper's "equal volume split, cycling through the
+// axes" (Section IV-B) becomes an exact binary split of an interval.
+//
+// This header provides the CDFs and their inverses:
+//   sinPowerIntegral(k, t)  =  integral_0^t sin^k(x) dx   (closed-form
+//       recurrence I_k = ((k-1) I_{k-2} - sin^{k-1} t cos t) / k)
+//   sinPowerCdf(k, t)       =  I_k(t) / I_k(pi), monotone [0,pi] -> [0,1]
+//   sinPowerQuantile(k, u)  =  the inverse of sinPowerCdf (Newton iteration
+//       with bisection fallback, accurate to ~1e-14)
+#pragma once
+
+namespace omt {
+
+/// integral_0^t sin^k(x) dx for t in [0, pi], k >= 0.
+double sinPowerIntegral(int k, double t);
+
+/// integral_0^pi sin^k(x) dx (the normalising constant T_k).
+double sinPowerTotal(int k);
+
+/// Normalised CDF F_k(t) = I_k(t) / T_k; strictly increasing on (0, pi).
+double sinPowerCdf(int k, double t);
+
+/// Inverse of sinPowerCdf: the t in [0, pi] with F_k(t) = u, u in [0, 1].
+double sinPowerQuantile(int k, double u);
+
+}  // namespace omt

@@ -1,0 +1,140 @@
+#include "omt/grid/assignment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "omt/common/error.h"
+
+namespace omt {
+namespace {
+
+/// Largest candidate ring count for n points: property 3 needs all 2^(k-1)
+/// cells of ring k-1 occupied, so 2^(k-1) <= n - 1 is necessary.
+int candidateRings(std::int64_t n, int cap) {
+  int k = 1;
+  while (k < cap && (std::int64_t{1} << k) <= n) ++k;
+  return k;
+}
+
+}  // namespace
+
+std::int64_t GridAssignment::occupiedCells() const {
+  std::int64_t occupied = 0;
+  for (std::size_t h = 1; h + 1 < cellStart.size(); ++h) {
+    if (cellStart[h + 1] > cellStart[h]) ++occupied;
+  }
+  return occupied;
+}
+
+GridAssignment assignToGrid(std::span<const Point> points, NodeId source,
+                            const AssignmentOptions& options) {
+  const auto n = static_cast<std::int64_t>(points.size());
+  OMT_CHECK(n >= 1, "empty point set");
+  OMT_CHECK(source >= 0 && source < n, "source index out of range");
+  const int d = points.front().dim();
+  OMT_CHECK(d >= 2 && d <= kMaxDim, "dimension out of range");
+  OMT_CHECK(options.maxRings >= 1 && options.maxRings <= PolarGrid::kMaxRings,
+            "ring cap out of range");
+
+  const Point& origin = points[static_cast<std::size_t>(source)];
+
+  // Pass 1: polar coordinates; outer radius R.
+  std::vector<PolarCoords> polar(points.size());
+  double maxRadius = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    OMT_CHECK(points[i].dim() == d, "mixed dimensions in point set");
+    polar[i] = toPolar(points[i], origin);
+    maxRadius = std::max(maxRadius, polar[i].radius);
+  }
+  double outerRadius = options.outerRadius.value_or(maxRadius);
+  if (outerRadius <= 0.0) outerRadius = 1.0;  // all points at the source
+  OMT_CHECK(maxRadius <= outerRadius * (1.0 + 1e-9),
+            "a point lies outside the requested outer radius");
+
+  // Pass 2: classify every point at the largest candidate k.
+  const int kMax = candidateRings(n, options.maxRings);
+  const PolarGrid gridMax(d, kMax, outerRadius);
+  std::vector<std::int32_t> ringMax(points.size());
+  std::vector<std::uint64_t> cellMax(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const int ring = gridMax.ringOf(std::min(polar[i].radius, outerRadius));
+    ringMax[i] = ring;
+    cellMax[i] = gridMax.cellOf(polar[i], ring);
+  }
+
+  // Occupancy bitmap over heap ids at kMax.
+  std::vector<std::uint8_t> occMax(gridMax.heapIdCount(), 0);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    occMax[gridMax.heapId(ringMax[i], cellMax[i])] = 1;
+  }
+
+  // Find the largest k whose rings 1..k-1 are fully occupied. Under
+  // k = kMax - delta, ring j (j >= 1) collects the points whose kMax-ring is
+  // j + delta, in cell cellMax >> delta; so ring j is fully occupied iff
+  // every length-j prefix occurs among occupied ring-(j+delta) cells —
+  // an OR-fold of the kMax occupancy row j+delta by blocks of 2^delta.
+  int chosen = 1;
+  for (int delta = 0; delta <= kMax - 1; ++delta) {
+    const int k = kMax - delta;
+    bool valid = true;
+    for (int j = 1; j <= k - 1 && valid; ++j) {
+      const int jMax = j + delta;
+      const std::uint64_t cells = std::uint64_t{1} << j;
+      const std::uint64_t base = std::uint64_t{1} << jMax;
+      for (std::uint64_t c = 0; c < cells; ++c) {
+        bool hit = false;
+        const std::uint64_t blockBegin = base + (c << delta);
+        const std::uint64_t blockEnd = blockBegin + (std::uint64_t{1} << delta);
+        for (std::uint64_t h = blockBegin; h < blockEnd && !hit; ++h) {
+          hit = occMax[h] != 0;
+        }
+        if (!hit) {
+          valid = false;
+          break;
+        }
+      }
+    }
+    if (valid) {
+      chosen = k;
+      break;
+    }
+  }
+
+  // Final assignment under the chosen k.
+  const int delta = kMax - chosen;
+  GridAssignment out{.grid = PolarGrid(d, chosen, outerRadius),
+                     .ringOfPoint = {},
+                     .cellOfPoint = {},
+                     .cellStart = {},
+                     .cellMembers = {}};
+  out.ringOfPoint.resize(points.size());
+  out.cellOfPoint.resize(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const int ring = std::max(0, ringMax[i] - delta);
+    out.ringOfPoint[i] = ring;
+    out.cellOfPoint[i] = ring == 0 ? 0 : (cellMax[i] >> delta);
+  }
+
+  // CSR by heap id.
+  const std::size_t heapIds = out.grid.heapIdCount();
+  out.cellStart.assign(heapIds + 1, 0);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const std::uint64_t h = out.grid.heapId(
+        out.ringOfPoint[i], out.cellOfPoint[i]);
+    ++out.cellStart[h + 1];
+  }
+  for (std::size_t h = 0; h < heapIds; ++h)
+    out.cellStart[h + 1] += out.cellStart[h];
+  out.cellMembers.resize(points.size());
+  std::vector<std::int64_t> cursor(out.cellStart.begin(),
+                                   out.cellStart.end() - 1);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const std::uint64_t h = out.grid.heapId(
+        out.ringOfPoint[i], out.cellOfPoint[i]);
+    out.cellMembers[static_cast<std::size_t>(cursor[h]++)] =
+        static_cast<NodeId>(i);
+  }
+  return out;
+}
+
+}  // namespace omt

@@ -1,0 +1,64 @@
+// Point-to-cell assignment and maximal ring-count selection (grid
+// property 3 of Section III-A).
+//
+// Given the host points and the source, this chooses the largest k such
+// that every cell of rings 1..k-1 contains at least one point (cells of the
+// outermost ring k may be empty), then groups point indices by cell. The
+// selection exploits the grid's self-similarity: a point's (ring, cell)
+// under k rings is (ring - 1, cell >> 1) under k - 1 rings (clamped at ring
+// 0), so one O(n) classification pass at the largest candidate k serves all
+// candidates, and the per-candidate occupancy check is an OR-fold over an
+// occupancy bitmap.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "omt/common/types.h"
+#include "omt/geometry/point.h"
+#include "omt/grid/polar_grid.h"
+
+namespace omt {
+
+struct GridAssignment {
+  PolarGrid grid;  ///< chosen grid (k maximal, outer radius = max distance)
+
+  /// Per-point ring index in [0, grid.rings()].
+  std::vector<std::int32_t> ringOfPoint;
+  /// Per-point cell index within its ring.
+  std::vector<std::uint64_t> cellOfPoint;
+
+  /// CSR of point indices grouped by cell heap id:
+  /// members of heap id h are cellMembers[cellStart[h] .. cellStart[h+1]).
+  std::vector<std::int64_t> cellStart;
+  std::vector<NodeId> cellMembers;
+
+  std::span<const NodeId> membersOf(std::uint64_t heapId) const {
+    const auto begin = cellStart[static_cast<std::size_t>(heapId)];
+    const auto end = cellStart[static_cast<std::size_t>(heapId) + 1];
+    return {cellMembers.data() + begin, static_cast<std::size_t>(end - begin)};
+  }
+
+  /// Number of cells (over all rings, including the outermost) that contain
+  /// at least one point.
+  std::int64_t occupiedCells() const;
+};
+
+struct AssignmentOptions {
+  /// Hard cap on k; the default never binds in practice.
+  int maxRings = PolarGrid::kMaxRings;
+  /// Optional fixed outer radius; by default the max source-to-point
+  /// distance is used. Useful when the region's radius is known a priori.
+  std::optional<double> outerRadius = std::nullopt;
+};
+
+/// Assign `points` to the maximal-k grid centered at points[source].
+/// Requires n >= 1, all points of equal dimension >= 2, and every point
+/// within the outer radius. Degenerate sets (all points at the source)
+/// yield a k = 1 grid with everything in ring 0.
+GridAssignment assignToGrid(std::span<const Point> points, NodeId source,
+                            const AssignmentOptions& options = {});
+
+}  // namespace omt

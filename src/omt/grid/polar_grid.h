@@ -1,0 +1,83 @@
+// The polar grid of Algorithm Polar_Grid (Section III-A, generalised to any
+// dimension per Section IV-B).
+//
+// A grid with k rings over outer radius R in dimension d consists of:
+//  * ring 0 — the central ball of radius r_0, a single cell holding the
+//    source;
+//  * rings i = 1..k — the shells between boundary radii r_{i-1} and r_i,
+//    where r_i = R * 2^{-(k-i)/d} (each shell has twice the volume of the
+//    previous one; for d = 2 this is the paper's r_i = 1/sqrt(2)^{k-i});
+//  * ring i is divided into 2^i equal-volume cells by i binary splits of the
+//    angular cube (axis cycling), so every cell of every ring has the same
+//    volume and each ring-i cell is aligned with exactly two ring-(i+1)
+//    cells — the paper's grid properties 1) and 2).
+//
+// Cells are addressed by *heap ids*: ring 0's cell is id 1 and ring-i cell c
+// is id 2^i + c, so the two aligned children of id h are 2h and 2h+1 and the
+// parent is h/2 — exactly the core-network topology of Section III-B.
+#pragma once
+
+#include <cstdint>
+
+#include "omt/common/types.h"
+#include "omt/geometry/angular_cube.h"
+#include "omt/geometry/ring_segment.h"
+
+namespace omt {
+
+class PolarGrid {
+ public:
+  /// Upper limit on k accepted by this implementation (heap ids use
+  /// 2^(k+1) values; 40 rings is far beyond any realistic point count).
+  static constexpr int kMaxRings = 40;
+
+  PolarGrid(int dim, int rings, double outerRadius);
+
+  int dim() const { return dim_; }
+  int rings() const { return rings_; }
+  double outerRadius() const { return outerRadius_; }
+
+  /// Boundary radius r_i for i in [0, rings]; ringRadius(rings) is the
+  /// outer radius R itself.
+  double ringRadius(int i) const;
+
+  /// Ring index of a radius: 0 if radius <= r_0, rings if radius is in the
+  /// outermost shell; radius must be <= R (within rounding).
+  int ringOf(double radius) const;
+
+  std::uint64_t cellsInRing(int ring) const {
+    return ring == 0 ? 1 : std::uint64_t{1} << ring;
+  }
+
+  /// Which ring-`ring` cell the direction of `polar` falls into (the first
+  /// `ring` binary digits of its angular-cube coordinates, axis-cycled).
+  /// Valid for any ring in [0, rings]; ring 0 always returns 0.
+  std::uint64_t cellOf(const PolarCoords& polar, int ring) const;
+
+  /// (ring, cell) -> heap id; ring 0 maps to id 1.
+  std::uint64_t heapId(int ring, std::uint64_t cell) const;
+
+  /// heap id -> ring (floor(log2(id))).
+  int ringOfHeapId(std::uint64_t id) const;
+
+  /// heap id -> cell within its ring.
+  std::uint64_t cellOfHeapId(std::uint64_t id) const;
+
+  /// One past the largest valid heap id (= 2^(rings+1)).
+  std::uint64_t heapIdCount() const { return std::uint64_t{1} << (rings_ + 1); }
+
+  /// The region of a cell as a RingSegment (ring 0 is the central ball).
+  RingSegment cellSegment(int ring, std::uint64_t cell) const;
+
+  /// The paper's Delta_i (2D): arc length of one ring-i cell on its outer
+  /// boundary circle, 2*pi*r_i / 2^i. Defined for every dimension as the
+  /// azimuthal arc of a cell at the outer boundary radius.
+  double arcLength(int ring) const;
+
+ private:
+  int dim_;
+  int rings_;
+  double outerRadius_;
+};
+
+}  // namespace omt

@@ -1,0 +1,36 @@
+// Plain-text serialization of point sets and multicast trees, so workloads
+// and built trees can move between the CLI tool, benches, and external
+// analysis scripts.
+//
+// Formats (line-oriented, '#' comments allowed between records):
+//   points:  "omt-points 1 <n> <dim>"  then n lines of <dim> coordinates
+//   tree:    "omt-tree 1 <n> <root>"   then n lines "<parent> <kind>"
+//            (parent -1 for the root; kind 0 = core, 1 = local)
+// Loading validates counts, ranges, and (for trees) structural integrity
+// via finalize(); malformed input throws omt::InvalidArgument.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "omt/geometry/point.h"
+#include "omt/tree/multicast_tree.h"
+
+namespace omt {
+
+void savePoints(std::ostream& out, std::span<const Point> points);
+void savePointsFile(const std::string& path, std::span<const Point> points);
+
+std::vector<Point> loadPoints(std::istream& in);
+std::vector<Point> loadPointsFile(const std::string& path);
+
+void saveTree(std::ostream& out, const MulticastTree& tree);
+void saveTreeFile(const std::string& path, const MulticastTree& tree);
+
+/// Loads and finalizes; the result is structurally usable but callers
+/// should still run validate() if they need the spanning/degree checks.
+MulticastTree loadTree(std::istream& in);
+MulticastTree loadTreeFile(const std::string& path);
+
+}  // namespace omt

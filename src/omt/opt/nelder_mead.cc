@@ -1,0 +1,104 @@
+#include "omt/opt/nelder_mead.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "omt/common/error.h"
+
+namespace omt {
+
+NelderMeadResult minimizeNelderMead(const Objective& f,
+                                    std::span<const double> x0,
+                                    const NelderMeadOptions& options) {
+  const std::size_t n = x0.size();
+  OMT_CHECK(n >= 1, "objective needs at least one variable");
+  OMT_CHECK(options.maxIterations >= 1, "iteration budget must be positive");
+
+  // Standard coefficients: reflection, expansion, contraction, shrink.
+  constexpr double kAlpha = 1.0;
+  constexpr double kGamma = 2.0;
+  constexpr double kRho = 0.5;
+  constexpr double kSigma = 0.5;
+
+  std::vector<std::vector<double>> simplex(n + 1,
+                                           std::vector<double>(x0.begin(),
+                                                               x0.end()));
+  for (std::size_t i = 0; i < n; ++i) simplex[i + 1][i] += options.initialStep;
+  std::vector<double> value(n + 1);
+  for (std::size_t i = 0; i <= n; ++i) value[i] = f(simplex[i]);
+
+  std::vector<std::size_t> rank(n + 1);
+  std::vector<double> centroid(n), candidate(n);
+  NelderMeadResult result;
+
+  for (result.iterations = 0; result.iterations < options.maxIterations;
+       ++result.iterations) {
+    // Order vertices by value.
+    for (std::size_t i = 0; i <= n; ++i) rank[i] = i;
+    std::sort(rank.begin(), rank.end(),
+              [&](std::size_t a, std::size_t b) { return value[a] < value[b]; });
+    const std::size_t best = rank[0];
+    const std::size_t worst = rank[n];
+    const std::size_t secondWorst = rank[n - 1];
+
+    if (std::abs(value[worst] - value[best]) <= options.tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    // Centroid of all but the worst vertex.
+    std::fill(centroid.begin(), centroid.end(), 0.0);
+    for (std::size_t i = 0; i <= n; ++i) {
+      if (i == worst) continue;
+      for (std::size_t j = 0; j < n; ++j) centroid[j] += simplex[i][j];
+    }
+    for (double& c : centroid) c /= static_cast<double>(n);
+
+    auto blend = [&](double t) {
+      for (std::size_t j = 0; j < n; ++j)
+        candidate[j] = centroid[j] + t * (centroid[j] - simplex[worst][j]);
+      return f(candidate);
+    };
+
+    const double reflected = blend(kAlpha);
+    if (reflected < value[best]) {
+      const std::vector<double> reflectedPoint = candidate;
+      const double expanded = blend(kGamma);
+      if (expanded < reflected) {
+        simplex[worst] = candidate;
+        value[worst] = expanded;
+      } else {
+        simplex[worst] = reflectedPoint;
+        value[worst] = reflected;
+      }
+      continue;
+    }
+    if (reflected < value[secondWorst]) {
+      simplex[worst] = candidate;
+      value[worst] = reflected;
+      continue;
+    }
+    const double contracted = blend(-kRho);
+    if (contracted < value[worst]) {
+      simplex[worst] = candidate;
+      value[worst] = contracted;
+      continue;
+    }
+    // Shrink toward the best vertex.
+    for (std::size_t i = 0; i <= n; ++i) {
+      if (i == best) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        simplex[i][j] =
+            simplex[best][j] + kSigma * (simplex[i][j] - simplex[best][j]);
+      }
+      value[i] = f(simplex[i]);
+    }
+  }
+
+  const auto bestIt = std::min_element(value.begin(), value.end());
+  result.value = *bestIt;
+  result.x = simplex[static_cast<std::size_t>(bestIt - value.begin())];
+  return result;
+}
+
+}  // namespace omt

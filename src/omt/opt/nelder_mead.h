@@ -1,0 +1,38 @@
+// Derivative-free minimisation (Nelder–Mead downhill simplex).
+//
+// Used by the GNP-style network-coordinate embedder (omt/coords), which —
+// like the original GNP system the paper cites as its source of host
+// coordinates — fits coordinates by minimising a sum of squared relative
+// delay errors, an objective that is cheap to evaluate but awkward to
+// differentiate through the relative-error weighting.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace omt {
+
+using Objective = std::function<double(std::span<const double>)>;
+
+struct NelderMeadOptions {
+  int maxIterations = 4000;
+  /// Stop when the simplex's value spread falls below this.
+  double tolerance = 1e-10;
+  /// Initial simplex step per coordinate.
+  double initialStep = 0.25;
+};
+
+struct NelderMeadResult {
+  std::vector<double> x;
+  double value = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Minimise `f` starting from `x0` (dimension = x0.size() >= 1).
+NelderMeadResult minimizeNelderMead(const Objective& f,
+                                    std::span<const double> x0,
+                                    const NelderMeadOptions& options = {});
+
+}  // namespace omt

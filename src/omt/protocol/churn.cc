@@ -1,0 +1,130 @@
+#include "omt/protocol/churn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "omt/common/error.h"
+#include "omt/random/samplers.h"
+#include "omt/tree/metrics.h"
+
+namespace omt {
+
+std::vector<ChurnEvent> generateChurnTrace(const ChurnTraceOptions& options) {
+  OMT_CHECK(options.arrivalRate > 0.0, "arrival rate must be positive");
+  OMT_CHECK(options.meanLifetime > 0.0, "mean lifetime must be positive");
+  OMT_CHECK(options.paretoShape == 0.0 || options.paretoShape > 1.0,
+            "Pareto shape must exceed 1 (or be 0 for exponential)");
+  OMT_CHECK(options.duration > 0.0, "duration must be positive");
+  OMT_CHECK(options.dim >= 2 && options.dim <= kMaxDim,
+            "dimension out of range");
+  OMT_CHECK(options.crashFraction >= 0.0 && options.crashFraction <= 1.0,
+            "crash fraction outside [0, 1]");
+
+  Rng rng(options.seed);
+  std::vector<ChurnEvent> events;
+  double now = 0.0;
+  std::int64_t entity = 0;
+  while (true) {
+    // Poisson arrivals: exponential inter-arrival gaps.
+    now += -std::log(1.0 - rng.uniform()) / options.arrivalRate;
+    if (now >= options.duration) break;
+
+    ChurnEvent join;
+    join.time = now;
+    join.type = ChurnEventType::kJoin;
+    join.entity = entity;
+    join.position = sampleUnitBall(rng, options.dim);
+    events.push_back(join);
+
+    double lifetime;
+    if (options.paretoShape == 0.0) {
+      lifetime = -options.meanLifetime * std::log(1.0 - rng.uniform());
+    } else {
+      // Pareto with mean = xm * shape / (shape - 1) matched to the option.
+      const double shape = options.paretoShape;
+      const double xm = options.meanLifetime * (shape - 1.0) / shape;
+      lifetime = xm / std::pow(1.0 - rng.uniform(), 1.0 / shape);
+    }
+    const double leaveTime = now + lifetime;
+    if (leaveTime < options.duration) {
+      ChurnEvent leave;
+      leave.time = leaveTime;
+      leave.type = rng.uniform() < options.crashFraction
+                       ? ChurnEventType::kCrash
+                       : ChurnEventType::kLeave;
+      leave.entity = entity;
+      events.push_back(leave);
+    }
+    ++entity;
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const ChurnEvent& a, const ChurnEvent& b) {
+                     return a.time < b.time;
+                   });
+  return events;
+}
+
+ChurnReplayResult replayChurnTrace(std::span<const ChurnEvent> trace, int dim,
+                                   const SessionOptions& sessionOptions,
+                                   int samples) {
+  OMT_CHECK(samples >= 1, "need at least one sample");
+  OverlaySession session(Point(dim), sessionOptions);
+  ChurnReplayResult result;
+  std::vector<NodeId> sessionIdOfEntity;
+
+  double endTime = trace.empty() ? 1.0 : trace.back().time;
+  double nextSample = endTime / samples;
+  double sampleStep = endTime / samples;
+
+  const auto sampleNow = [&]() {
+    // Heartbeat sweep first: quality is measured on a repaired overlay.
+    result.repairedSubtrees += session.detectAndRepair();
+    if (session.liveCount() < 2) return;
+    const SessionSnapshot snap = session.snapshot();
+    const TreeMetrics m = computeMetrics(snap.tree, snap.positions);
+    NodeId source = 0;
+    for (std::size_t i = 0; i < snap.sessionIds.size(); ++i) {
+      if (snap.sessionIds[i] == 0) source = static_cast<NodeId>(i);
+    }
+    double lower = 0.0;
+    const Point& origin = snap.positions[static_cast<std::size_t>(source)];
+    for (const Point& p : snap.positions)
+      lower = std::max(lower, distance(p, origin));
+    if (lower > kGeomEps)
+      result.radiusOverLowerBound.add(m.maxDelay / lower);
+  };
+
+  for (const ChurnEvent& event : trace) {
+    while (event.time >= nextSample) {
+      sampleNow();
+      nextSample += sampleStep;
+    }
+    if (event.type == ChurnEventType::kJoin) {
+      OMT_CHECK(event.entity ==
+                    static_cast<std::int64_t>(sessionIdOfEntity.size()),
+                "trace entities must join in id order");
+      sessionIdOfEntity.push_back(session.join(event.position));
+      ++result.joins;
+    } else {
+      OMT_CHECK(event.entity >= 0 &&
+                    event.entity <
+                        static_cast<std::int64_t>(sessionIdOfEntity.size()),
+                "leave before join in trace");
+      const NodeId who =
+          sessionIdOfEntity[static_cast<std::size_t>(event.entity)];
+      if (event.type == ChurnEventType::kCrash) {
+        session.crash(who);
+        ++result.crashes;
+      } else {
+        session.leave(who);
+        ++result.leaves;
+      }
+    }
+    result.peakLive = std::max(result.peakLive, session.liveCount());
+  }
+  sampleNow();  // final sweep + sample
+  result.sessionStats = session.stats();
+  return result;
+}
+
+}  // namespace omt

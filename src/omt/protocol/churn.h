@@ -1,0 +1,70 @@
+// Churn workloads: session traces with Poisson arrivals and heavy- or
+// light-tailed lifetimes, replayed against an OverlaySession.
+//
+// Overlay multicast's defining operational problem is that the relays are
+// end hosts that come and go. Measurement studies of peer-to-peer systems
+// report Poisson-ish arrivals with heavy-tailed (Pareto) session lengths;
+// this module generates such traces deterministically from a seed and
+// replays them through the online protocol, sampling the tree's quality
+// (radius over the instantaneous lower bound) on a fixed schedule.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "omt/geometry/point.h"
+#include "omt/protocol/overlay_session.h"
+#include "omt/report/stats.h"
+
+namespace omt {
+
+struct ChurnTraceOptions {
+  double arrivalRate = 20.0;  ///< Poisson arrivals per unit time
+  double meanLifetime = 5.0;  ///< mean session length
+  /// 0 = exponential lifetimes; > 1 = Pareto with this shape (heavier
+  /// tail for values near 1; mean matched to meanLifetime).
+  double paretoShape = 0.0;
+  double duration = 50.0;     ///< trace length in time units
+  int dim = 2;                ///< host positions uniform in the unit ball
+  std::uint64_t seed = 1;
+  /// Fraction of departures that are silent crashes (kCrash) instead of
+  /// graceful leaves; crashed hosts linger until a detection sweep.
+  double crashFraction = 0.0;
+};
+
+enum class ChurnEventType : std::uint8_t { kJoin, kLeave, kCrash };
+
+struct ChurnEvent {
+  double time = 0.0;
+  ChurnEventType type = ChurnEventType::kJoin;
+  /// Trace-local entity id; a kLeave refers to the entity of its kJoin.
+  std::int64_t entity = -1;
+  Point position;  ///< meaningful for kJoin
+};
+
+/// Generate a time-sorted trace. Every entity joins exactly once; entities
+/// whose lifetime extends past `duration` never leave (their kLeave is
+/// dropped — the session outlives the trace).
+std::vector<ChurnEvent> generateChurnTrace(const ChurnTraceOptions& options);
+
+struct ChurnReplayResult {
+  std::int64_t joins = 0;
+  std::int64_t leaves = 0;
+  std::int64_t crashes = 0;
+  std::int64_t repairedSubtrees = 0;  ///< orphan roots re-placed by sweeps
+  std::int64_t peakLive = 0;
+  /// Tree radius divided by the instantaneous straight-line lower bound,
+  /// sampled `samples` times at even intervals (only while >= 2 hosts).
+  RunningStats radiusOverLowerBound;
+  SessionStats sessionStats;
+};
+
+/// Replay `trace` against a fresh OverlaySession with the given options
+/// (source at the origin of `dim`-dimensional space). A failure-detection
+/// sweep (detectAndRepair) runs before every quality sample, so crashed
+/// hosts linger for up to one sample interval — the heartbeat period.
+ChurnReplayResult replayChurnTrace(std::span<const ChurnEvent> trace, int dim,
+                                   const SessionOptions& sessionOptions,
+                                   int samples);
+
+}  // namespace omt

@@ -1,0 +1,389 @@
+#include "omt/protocol/overlay_session.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "omt/common/error.h"
+
+namespace omt {
+namespace {
+
+/// Online target for the ring count: k ~ log2(n) - 3 tracks the offline
+/// maximal-k selection (which needs every inner-ring cell occupied, a
+/// coupon-collector condition) without inspecting cell occupancy.
+int onlineTargetRings(std::int64_t liveCount) {
+  int log2n = 0;
+  while ((std::int64_t{1} << (log2n + 1)) <= liveCount) ++log2n;
+  return std::clamp(log2n - 3, 1, PolarGrid::kMaxRings);
+}
+
+}  // namespace
+
+OverlaySession::OverlaySession(const Point& sourcePosition,
+                               const SessionOptions& options)
+    : options_(options),
+      grid_(sourcePosition.dim(), 1, options.initialRadius) {
+  OMT_CHECK(options.maxOutDegree >= 2, "out-degree cap must be at least 2");
+  OMT_CHECK(options.regridGrowthFactor > 1.0,
+            "regrid factor must exceed 1");
+  OMT_CHECK(options.initialRadius > 0.0, "initial radius must be positive");
+
+  Host source;
+  source.position = sourcePosition;
+  source.polar = toPolar(sourcePosition, sourcePosition);
+  source.heapId = 1;
+  source.alive = true;
+  hosts_.push_back(std::move(source));
+  cellMembers_.assign(grid_.heapIdCount(), {});
+  cellRep_.assign(grid_.heapIdCount(), kNoNode);
+  cellMembers_[1].push_back(0);
+  cellRep_[1] = 0;
+}
+
+bool OverlaySession::isLive(NodeId node) const {
+  return node >= 0 && node < static_cast<NodeId>(hosts_.size()) &&
+         hosts_[static_cast<std::size_t>(node)].alive;
+}
+
+void OverlaySession::attach(NodeId child, NodeId parent) {
+  OMT_ASSERT(hasCapacity(parent), "attach would exceed the degree cap");
+  auto& c = hosts_[static_cast<std::size_t>(child)];
+  OMT_ASSERT(c.parent == kNoNode, "host already attached");
+  c.parent = parent;
+  hosts_[static_cast<std::size_t>(parent)].children.push_back(child);
+}
+
+void OverlaySession::detach(NodeId child) {
+  auto& c = hosts_[static_cast<std::size_t>(child)];
+  if (c.parent == kNoNode) return;
+  auto& siblings = hosts_[static_cast<std::size_t>(c.parent)].children;
+  // The entry can already be gone when a crashed parent's child list was
+  // purged before this child's own crash is processed.
+  const auto it = std::find(siblings.begin(), siblings.end(), child);
+  if (it != siblings.end()) siblings.erase(it);
+  c.parent = kNoNode;
+}
+
+NodeId OverlaySession::ancestorRepresentative(std::uint64_t heapId) {
+  for (std::uint64_t h = heapId >> 1; h >= 1; h >>= 1) {
+    ++stats_.contactCost;
+    if (cellRep_[h] != kNoNode) return cellRep_[h];
+  }
+  return 0;  // the source, representative of ring 0
+}
+
+bool OverlaySession::eligibleParent(NodeId node, NodeId candidate) {
+  // A candidate is ineligible if attaching under it would create a cycle,
+  // i.e. it lies in `node`'s own (re-attaching) subtree.
+  if (candidate == node || !hasCapacity(candidate)) return false;
+  for (NodeId a = candidate; a != kNoNode;
+       a = hosts_[static_cast<std::size_t>(a)].parent) {
+    ++stats_.contactCost;
+    if (a == node) return false;
+  }
+  return true;
+}
+
+NodeId OverlaySession::findParent(NodeId node, std::uint64_t heapId) {
+  const Point& where = hosts_[static_cast<std::size_t>(node)].position;
+  const auto eligible = [&](NodeId candidate) {
+    return eligibleParent(node, candidate);
+  };
+
+  const auto bestInCell = [&](std::uint64_t h) {
+    NodeId best = kNoNode;
+    double bestDist = kInf;
+    for (const NodeId member : cellMembers_[h]) {
+      ++stats_.contactCost;
+      if (!eligible(member)) continue;
+      const double d = squaredDistance(
+          hosts_[static_cast<std::size_t>(member)].position, where);
+      if (d < bestDist) {
+        bestDist = d;
+        best = member;
+      }
+    }
+    return best;
+  };
+
+  // Own cell, then ancestor cells up to ring 0.
+  for (std::uint64_t h = heapId; h >= 1; h >>= 1) {
+    const NodeId candidate = bestInCell(h);
+    if (candidate != kNoNode) return candidate;
+  }
+
+  // Last resort: breadth-first capacity walk from the source; total
+  // capacity 2m always exceeds the m-1 edges, so a slot exists.
+  std::vector<NodeId> frontier{0};
+  for (std::size_t head = 0; head < frontier.size(); ++head) {
+    const NodeId v = frontier[head];
+    ++stats_.contactCost;
+    if (eligible(v)) return v;
+    for (const NodeId c : hosts_[static_cast<std::size_t>(v)].children)
+      frontier.push_back(c);
+  }
+  OMT_ASSERT(false, "no feasible parent in a session with cap >= 2");
+  return kNoNode;
+}
+
+void OverlaySession::place(NodeId node) {
+  const std::uint64_t h = hosts_[static_cast<std::size_t>(node)].heapId;
+  if (cellRep_[h] == kNoNode) cellRep_[h] = node;
+  if (cellRep_[h] == node) {
+    // Cell representative (first host of the cell, or a re-attaching
+    // orphan that already represents it): attach toward the nearest
+    // occupied ancestor cell's representative.
+    NodeId parent = ancestorRepresentative(h);
+    if (!eligibleParent(node, parent)) parent = findParent(node, h);
+    attach(node, parent);
+    return;
+  }
+  attach(node, findParent(node, h));
+}
+
+NodeId OverlaySession::join(const Point& position) {
+  OMT_CHECK(position.dim() == grid_.dim(), "dimension mismatch");
+  ++stats_.joins;
+  const auto id = static_cast<NodeId>(hosts_.size());
+  Host host;
+  host.position = position;
+  host.polar = toPolar(position, hosts_[0].position);
+  host.alive = true;
+  hosts_.push_back(std::move(host));
+  ++liveCount_;
+
+  const double radius = hosts_.back().polar.radius;
+  const bool outside = radius > grid_.outerRadius();
+  const bool grown =
+      static_cast<double>(liveCount_) >
+      static_cast<double>(lastRegridCount_) * options_.regridGrowthFactor;
+  if (outside || (grown && onlineTargetRings(liveCount_) != grid_.rings())) {
+    regrid(outside ? radius * 1.5 : grid_.outerRadius());
+    return id;
+  }
+
+  auto& self = hosts_[static_cast<std::size_t>(id)];
+  const int ring = grid_.ringOf(self.polar.radius);
+  self.heapId = grid_.heapId(ring, grid_.cellOf(self.polar, ring));
+  cellMembers_[self.heapId].push_back(id);
+  place(id);
+  return id;
+}
+
+void OverlaySession::leave(NodeId node) {
+  OMT_CHECK(isLive(node), "host is not live");
+  OMT_CHECK(node != 0, "the source cannot leave");
+  ++stats_.leaves;
+  auto& self = hosts_[static_cast<std::size_t>(node)];
+
+  // Remove from the overlay and its cell.
+  detach(node);
+  auto& members = cellMembers_[self.heapId];
+  members.erase(std::find(members.begin(), members.end(), node));
+  if (cellRep_[self.heapId] == node) promoteRepresentative(self.heapId);
+
+  const std::vector<NodeId> orphans = std::move(self.children);
+  self.children.clear();
+  self.alive = false;
+  --liveCount_;
+  for (const NodeId orphan : orphans) {
+    hosts_[static_cast<std::size_t>(orphan)].parent = kNoNode;
+    // A crashed-but-undetected orphan stays detached; the next
+    // detectAndRepair() sweep re-homes its own live children.
+    if (hosts_[static_cast<std::size_t>(orphan)].alive) place(orphan);
+  }
+
+  const bool shrunk =
+      static_cast<double>(liveCount_) * options_.regridGrowthFactor <
+      static_cast<double>(lastRegridCount_);
+  if (shrunk && onlineTargetRings(liveCount_) != grid_.rings()) {
+    regrid(grid_.outerRadius());
+  }
+}
+
+void OverlaySession::promoteRepresentative(std::uint64_t heapId) {
+  // The member closest to the cell's inner-arc midpoint (the
+  // representative rule of Section III-B); kNoNode for an empty cell.
+  const auto& members = cellMembers_[heapId];
+  NodeId promoted = kNoNode;
+  if (!members.empty()) {
+    const int ring = grid_.ringOfHeapId(heapId);
+    const RingSegment segment =
+        grid_.cellSegment(ring, grid_.cellOfHeapId(heapId));
+    PolarCoords mid;
+    mid.dim = grid_.dim();
+    mid.radius = segment.radial().lo;
+    for (int j = 0; j < segment.cubeAxes(); ++j) {
+      double m = segment.cubeAxis(j).mid();
+      if (j == azimuthAxis(grid_.dim())) m -= std::floor(m);
+      mid.cube[static_cast<std::size_t>(j)] = m;
+    }
+    const Point target = fromPolar(mid, hosts_[0].position);
+    double bestDist = kInf;
+    for (const NodeId member : members) {
+      ++stats_.contactCost;
+      const double d = squaredDistance(
+          hosts_[static_cast<std::size_t>(member)].position, target);
+      if (d < bestDist) {
+        bestDist = d;
+        promoted = member;
+      }
+    }
+  }
+  cellRep_[heapId] = promoted;
+}
+
+void OverlaySession::crash(NodeId node) {
+  OMT_CHECK(isLive(node), "host is not live");
+  OMT_CHECK(node != 0, "the source cannot crash");
+  ++stats_.crashes;
+  hosts_[static_cast<std::size_t>(node)].alive = false;
+  --liveCount_;
+  ++undetectedCrashes_;
+  crashedPending_.push_back(node);
+  // Nothing else: the overlay still points at the dead host until
+  // detectAndRepair() sweeps.
+}
+
+std::int64_t OverlaySession::detectAndRepair() {
+  // Heartbeat: every live non-source host probes its parent once.
+  stats_.contactCost += std::max<std::int64_t>(0, liveCount_ - 1);
+  if (crashedPending_.empty()) return 0;
+
+  // Purge crashed hosts from the structure; collect their live children.
+  // (A regrid between the crash and this sweep already removed the host
+  // from its cell — the erase is conditional for that case.)
+  std::vector<NodeId> orphans;
+  for (const NodeId dead : crashedPending_) {
+    Host& host = hosts_[static_cast<std::size_t>(dead)];
+    detach(dead);
+    auto& members = cellMembers_[host.heapId];
+    const auto it = std::find(members.begin(), members.end(), dead);
+    if (it != members.end()) members.erase(it);
+    if (cellRep_[host.heapId] == dead) promoteRepresentative(host.heapId);
+    for (const NodeId child : host.children) {
+      hosts_[static_cast<std::size_t>(child)].parent = kNoNode;
+      if (hosts_[static_cast<std::size_t>(child)].alive)
+        orphans.push_back(child);
+    }
+    host.children.clear();
+  }
+  crashedPending_.clear();
+  undetectedCrashes_ = 0;
+
+  for (const NodeId orphan : orphans) place(orphan);
+
+  const bool shrunk =
+      static_cast<double>(liveCount_) * options_.regridGrowthFactor <
+      static_cast<double>(lastRegridCount_);
+  if (shrunk && onlineTargetRings(liveCount_) != grid_.rings()) {
+    regrid(grid_.outerRadius());
+  }
+  return static_cast<std::int64_t>(orphans.size());
+}
+
+void OverlaySession::regrid(double newRadius) {
+  ++stats_.regrids;
+  stats_.regridCost += liveCount_;
+  lastRegridCount_ = liveCount_;
+  // A regrid rebuilds the overlay from live hosts only, which repairs any
+  // pending crashes as a side effect.
+  crashedPending_.clear();
+  undetectedCrashes_ = 0;
+
+  double maxRadius = newRadius;
+  for (const Host& host : hosts_) {
+    if (host.alive) maxRadius = std::max(maxRadius, host.polar.radius);
+  }
+  grid_ = PolarGrid(grid_.dim(), onlineTargetRings(liveCount_), maxRadius);
+  cellMembers_.assign(grid_.heapIdCount(), {});
+  cellRep_.assign(grid_.heapIdCount(), kNoNode);
+
+  // Reset the overlay and re-place: cell representatives first in ring
+  // order (so the core network exists before locals join), then everyone
+  // else.
+  for (auto& host : hosts_) {
+    host.parent = kNoNode;
+    host.children.clear();
+  }
+  for (std::size_t id = 0; id < hosts_.size(); ++id) {
+    Host& host = hosts_[id];
+    if (!host.alive) continue;
+    const int ring = grid_.ringOf(std::min(host.polar.radius, maxRadius));
+    host.heapId = grid_.heapId(ring, grid_.cellOf(host.polar, ring));
+    cellMembers_[host.heapId].push_back(static_cast<NodeId>(id));
+  }
+  cellRep_[1] = 0;
+
+  // Representatives by the inner-arc-midpoint rule, placed in heap order.
+  for (std::uint64_t h = 2; h < grid_.heapIdCount(); ++h) {
+    if (cellMembers_[h].empty()) continue;
+    const int ring = grid_.ringOfHeapId(h);
+    const RingSegment segment =
+        grid_.cellSegment(ring, grid_.cellOfHeapId(h));
+    PolarCoords mid;
+    mid.dim = grid_.dim();
+    mid.radius = segment.radial().lo;
+    for (int j = 0; j < segment.cubeAxes(); ++j) {
+      double m = segment.cubeAxis(j).mid();
+      if (j == azimuthAxis(grid_.dim())) m -= std::floor(m);
+      mid.cube[static_cast<std::size_t>(j)] = m;
+    }
+    const Point target = fromPolar(mid, hosts_[0].position);
+    NodeId rep = kNoNode;
+    double bestDist = kInf;
+    for (const NodeId member : cellMembers_[h]) {
+      const double d = squaredDistance(
+          hosts_[static_cast<std::size_t>(member)].position, target);
+      if (d < bestDist) {
+        bestDist = d;
+        rep = member;
+      }
+    }
+    cellRep_[h] = rep;
+    NodeId parent = ancestorRepresentative(h);
+    if (!hasCapacity(parent)) parent = findParent(rep, h >> 1);
+    attach(rep, parent);
+  }
+  // Locals.
+  for (std::uint64_t h = 1; h < grid_.heapIdCount(); ++h) {
+    for (const NodeId member : cellMembers_[h]) {
+      if (member == cellRep_[h]) continue;
+      if (member == 0) continue;
+      attach(member, findParent(member, h));
+    }
+  }
+}
+
+SessionSnapshot OverlaySession::snapshot() const {
+  OMT_CHECK(undetectedCrashes_ == 0,
+            "snapshot() with undetected crashes; run detectAndRepair()");
+  std::vector<NodeId> sessionIds;
+  std::vector<NodeId> toCompact(hosts_.size(), kNoNode);
+  for (std::size_t id = 0; id < hosts_.size(); ++id) {
+    if (!hosts_[id].alive) continue;
+    toCompact[id] = static_cast<NodeId>(sessionIds.size());
+    sessionIds.push_back(static_cast<NodeId>(id));
+  }
+
+  SessionSnapshot snap{
+      .tree = MulticastTree(static_cast<NodeId>(sessionIds.size()),
+                            toCompact[0]),
+      .sessionIds = std::move(sessionIds),
+      .positions = {}};
+  snap.positions.reserve(snap.sessionIds.size());
+  for (const NodeId id : snap.sessionIds)
+    snap.positions.push_back(hosts_[static_cast<std::size_t>(id)].position);
+  for (std::size_t i = 0; i < snap.sessionIds.size(); ++i) {
+    const Host& host = hosts_[static_cast<std::size_t>(snap.sessionIds[i])];
+    if (host.parent == kNoNode) continue;  // the source
+    const bool isRep = cellRep_[host.heapId] == snap.sessionIds[i];
+    snap.tree.attach(static_cast<NodeId>(i),
+                     toCompact[static_cast<std::size_t>(host.parent)],
+                     isRep ? EdgeKind::kCore : EdgeKind::kLocal);
+  }
+  snap.tree.finalize();
+  return snap;
+}
+
+}  // namespace omt

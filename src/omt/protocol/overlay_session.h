@@ -1,0 +1,163 @@
+// An online (join/leave) overlay multicast session — the "decentralized
+// version of the algorithm" the paper names as future work (Section VI).
+//
+// The session keeps the Polar_Grid structure incrementally instead of
+// rebuilding from scratch:
+//  * The grid frame is fixed by the source position; the ring count k
+//    tracks the live membership (k ~ log2 n) and the outer radius grows
+//    geometrically when a joiner lands outside — both trigger a *regrid*,
+//    the only global operation, amortised O(log n) times over a session.
+//  * A joiner computes its own (ring, cell). If the cell is empty it
+//    becomes the cell representative and attaches toward the representative
+//    of the nearest occupied *ancestor* cell (parent cell c/2 in ring i-1,
+//    grandparent c/4, ..., ring 0 = the source) — this generalises the
+//    paper's child alignment to grids with holes, which an online session
+//    cannot avoid. Otherwise it attaches to the member of its own cell
+//    with spare capacity closest to it.
+//  * A leaver's children re-attach through the same rule; a leaving
+//    representative is replaced by the cell member closest to the cell's
+//    inner-arc midpoint (the paper's representative rule).
+//
+// Every operation reports its *contact cost* — how many hosts the protocol
+// had to talk to — so benches can measure control overhead, and the
+// session can be snapshot at any time into a MulticastTree for validation
+// and delay metrics. Degree caps are never violated at any point in time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "omt/common/types.h"
+#include "omt/geometry/point.h"
+#include "omt/grid/polar_grid.h"
+#include "omt/tree/multicast_tree.h"
+
+namespace omt {
+
+struct SessionOptions {
+  int maxOutDegree = 6;          ///< per-host fan-out budget, >= 2
+  /// Regrid when the live count leaves [lastRegridCount / factor,
+  /// lastRegridCount * factor].
+  double regridGrowthFactor = 2.0;
+  /// Initial outer radius of the grid frame; grows (with a regrid) when a
+  /// joiner lands outside.
+  double initialRadius = 1.0;
+};
+
+struct SessionStats {
+  std::int64_t joins = 0;
+  std::int64_t leaves = 0;
+  std::int64_t crashes = 0;
+  std::int64_t regrids = 0;
+  /// Hosts contacted by join/leave handling (protocol control cost),
+  /// excluding regrids.
+  std::int64_t contactCost = 0;
+  /// Hosts touched by regrids (each regrid touches every live host).
+  std::int64_t regridCost = 0;
+};
+
+/// Snapshot of the live overlay as a standard MulticastTree plus the
+/// session-id <-> tree-index mapping.
+struct SessionSnapshot {
+  MulticastTree tree;             ///< over live hosts, index space [0, m)
+  std::vector<NodeId> sessionIds; ///< tree index -> session id
+  std::vector<Point> positions;   ///< tree index -> host position
+};
+
+class OverlaySession {
+ public:
+  OverlaySession(const Point& sourcePosition, const SessionOptions& options);
+
+  /// Add a host; returns its permanent session id. O(cell size + rings)
+  /// contacts expected; may trigger a regrid.
+  NodeId join(const Point& position);
+
+  /// Remove a live non-source host; its children are re-attached. May
+  /// trigger a regrid when the membership shrinks enough.
+  void leave(NodeId node);
+
+  /// Crash a live non-source host SILENTLY: unlike leave(), nothing is
+  /// repaired — the overlay still references the dead host until
+  /// detectAndRepair() runs (modelling a host dying without notice).
+  void crash(NodeId node);
+
+  /// Heartbeat sweep: every live host probes its parent (one contact
+  /// each); hosts whose parent crashed re-place their subtrees, and
+  /// crashed hosts are purged from cells (representatives promoted).
+  /// Returns the number of orphaned subtree roots re-placed. Snapshot()
+  /// requires all crashes to have been repaired.
+  std::int64_t detectAndRepair();
+
+  /// Number of crashed-but-not-yet-repaired hosts.
+  std::int64_t undetectedCrashes() const { return undetectedCrashes_; }
+
+  NodeId sourceId() const { return 0; }
+  std::int64_t liveCount() const { return liveCount_; }
+  const SessionStats& stats() const { return stats_; }
+  int rings() const { return grid_.rings(); }
+  bool isLive(NodeId node) const;
+
+  /// Materialise the current overlay for validation/metrics.
+  SessionSnapshot snapshot() const;
+
+ private:
+  struct Host {
+    Point position;
+    PolarCoords polar;
+    std::uint64_t heapId = 0;  ///< cell under the current grid
+    NodeId parent = kNoNode;
+    std::vector<NodeId> children;
+    bool alive = false;
+  };
+
+  int outDegreeOf(NodeId node) const {
+    return static_cast<int>(hosts_[static_cast<std::size_t>(node)]
+                                .children.size());
+  }
+  bool hasCapacity(NodeId node) const {
+    return outDegreeOf(node) < options_.maxOutDegree;
+  }
+
+  void attach(NodeId child, NodeId parent);
+  void detach(NodeId child);
+
+  /// Whether `candidate` can become `node`'s parent: spare capacity and
+  /// not inside `node`'s own subtree (walking the parent chain counts one
+  /// contact per hop).
+  bool eligibleParent(NodeId node, NodeId candidate);
+
+  /// The representative of the nearest occupied ancestor cell of `heapId`
+  /// (possibly the source). Counts contacts.
+  NodeId ancestorRepresentative(std::uint64_t heapId);
+
+  /// A parent for `node` near cell `heapId`: a spare-capacity member of
+  /// the cell (closest to `node`), else the ancestor representative chain,
+  /// else a capacity walk down from the source. Counts contacts.
+  NodeId findParent(NodeId node, std::uint64_t heapId);
+
+  /// Place a live, currently-detached host into the overlay.
+  void place(NodeId node);
+
+  /// Re-pick the representative of `heapId` from its current members by
+  /// the inner-arc-midpoint rule (kNoNode when empty); counts contacts.
+  void promoteRepresentative(std::uint64_t heapId);
+
+  /// Rebuild the grid for the current membership (new k / new radius) and
+  /// re-place every host. The only global operation.
+  void regrid(double newRadius);
+
+  int targetRings() const;
+
+  SessionOptions options_;
+  PolarGrid grid_;
+  std::vector<Host> hosts_;          // index = session id; 0 = source
+  std::vector<std::vector<NodeId>> cellMembers_;  // by heap id
+  std::vector<NodeId> cellRep_;                   // by heap id
+  std::int64_t liveCount_ = 1;
+  std::int64_t lastRegridCount_ = 1;
+  std::int64_t undetectedCrashes_ = 0;
+  std::vector<NodeId> crashedPending_;
+  SessionStats stats_;
+};
+
+}  // namespace omt

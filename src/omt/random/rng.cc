@@ -1,0 +1,87 @@
+#include "omt/random/rng.h"
+
+#include <cmath>
+
+#include "omt/common/error.h"
+
+namespace omt {
+namespace {
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t splitMix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t deriveSeed(std::uint64_t experimentId, std::uint64_t trial) {
+  std::uint64_t state = experimentId * 0x9E3779B97F4A7C15ULL + trial;
+  splitMix64(state);
+  return splitMix64(state);
+}
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t state = seed;
+  for (auto& word : state_) word = splitMix64(state);
+}
+
+std::uint64_t Rng::nextU64() {
+  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(nextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  OMT_CHECK(lo <= hi, "invalid uniform range");
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniformInt(std::uint64_t n) {
+  OMT_CHECK(n > 0, "uniformInt needs a positive bound");
+  const std::uint64_t threshold = (0ULL - n) % n;  // 2^64 mod n
+  for (;;) {
+    const std::uint64_t r = nextU64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::gaussian() {
+  if (hasCachedGaussian_) {
+    hasCachedGaussian_ = false;
+    return cachedGaussian_;
+  }
+  for (;;) {
+    const double u = uniform(-1.0, 1.0);
+    const double v = uniform(-1.0, 1.0);
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      const double factor = std::sqrt(-2.0 * std::log(s) / s);
+      cachedGaussian_ = v * factor;
+      hasCachedGaussian_ = true;
+      return u * factor;
+    }
+  }
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(gaussian(mu, sigma));
+}
+
+}  // namespace omt

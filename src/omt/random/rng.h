@@ -1,0 +1,64 @@
+// Deterministic pseudo-random number generation for experiments.
+//
+// All randomised experiments in this repository are driven by explicit
+// 64-bit seeds so that every table row and every test is exactly
+// reproducible. The generator is xoshiro256++ (Blackman & Vigna), seeded
+// through SplitMix64; it is much faster than std::mt19937_64 and has no
+// measurable bias for the uses here (uniform reals, bounded integers,
+// Gaussian variates).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace omt {
+
+/// SplitMix64 step; used for seeding and for hashing experiment/trial ids
+/// into independent seeds.
+std::uint64_t splitMix64(std::uint64_t& state);
+
+/// Combine an experiment identifier and a trial index into a seed that is
+/// decorrelated from neighbouring (id, trial) pairs.
+std::uint64_t deriveSeed(std::uint64_t experimentId, std::uint64_t trial);
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Next raw 64 random bits.
+  std::uint64_t nextU64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n); n must be positive. Uses rejection to avoid
+  /// modulo bias.
+  std::uint64_t uniformInt(std::uint64_t n);
+
+  /// Standard Gaussian via Marsaglia polar method.
+  double gaussian();
+
+  /// Gaussian with the given mean and standard deviation.
+  double gaussian(double mean, double stddev) {
+    return mean + stddev * gaussian();
+  }
+
+  /// Lognormal variate: exp(gaussian(mu, sigma)).
+  double lognormal(double mu, double sigma);
+
+  // UniformRandomBitGenerator interface, so Rng works with <algorithm>.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return nextU64(); }
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+  double cachedGaussian_ = 0.0;
+  bool hasCachedGaussian_ = false;
+};
+
+}  // namespace omt

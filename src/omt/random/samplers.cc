@@ -1,0 +1,100 @@
+#include "omt/random/samplers.h"
+
+#include <cmath>
+
+#include "omt/common/error.h"
+
+namespace omt {
+
+Point sampleUnitSphere(Rng& rng, int dim) {
+  OMT_CHECK(dim >= 1 && dim <= kMaxDim, "dimension out of range");
+  for (;;) {
+    Point p(dim);
+    double n2 = 0.0;
+    for (int i = 0; i < dim; ++i) {
+      p[i] = rng.gaussian();
+      n2 += p[i] * p[i];
+    }
+    if (n2 > 1e-24) return p / std::sqrt(n2);
+  }
+}
+
+Point sampleUnitBall(Rng& rng, int dim) {
+  const Point dir = sampleUnitSphere(rng, dim);
+  const double r = std::pow(rng.uniform(), 1.0 / static_cast<double>(dim));
+  return dir * r;
+}
+
+std::vector<Point> sampleDiskWithCenterSource(Rng& rng, std::int64_t n,
+                                              int dim) {
+  OMT_CHECK(n >= 1, "need at least the source");
+  std::vector<Point> points;
+  points.reserve(static_cast<std::size_t>(n));
+  points.push_back(Point(dim));  // source at the center
+  for (std::int64_t i = 1; i < n; ++i)
+    points.push_back(sampleUnitBall(rng, dim));
+  return points;
+}
+
+namespace {
+
+Point sampleBoundingBox(Rng& rng, const Point& lo, const Point& hi) {
+  Point p(lo.dim());
+  for (int i = 0; i < lo.dim(); ++i) p[i] = rng.uniform(lo[i], hi[i]);
+  return p;
+}
+
+}  // namespace
+
+std::vector<Point> sampleRegion(Rng& rng, std::int64_t n,
+                                const Region& region) {
+  OMT_CHECK(n >= 0, "negative sample count");
+  const auto [lo, hi] = region.boundingBox();
+  std::vector<Point> points;
+  points.reserve(static_cast<std::size_t>(n));
+  std::int64_t rejected = 0;
+  while (points.size() < static_cast<std::size_t>(n)) {
+    const Point p = sampleBoundingBox(rng, lo, hi);
+    if (region.contains(p)) {
+      points.push_back(p);
+    } else if (++rejected > 1000 * (n + 16)) {
+      OMT_CHECK(false, "rejection sampling is not converging for region " +
+                           region.name());
+    }
+  }
+  return points;
+}
+
+std::vector<Point> sampleClustered(Rng& rng, std::int64_t n,
+                                   const Region& region, int clusters,
+                                   double clusterFraction,
+                                   double clusterSpread) {
+  OMT_CHECK(clusters >= 1, "need at least one cluster");
+  OMT_CHECK(clusterFraction >= 0.0 && clusterFraction <= 1.0,
+            "cluster fraction outside [0, 1]");
+  OMT_CHECK(clusterSpread > 0.0, "cluster spread must be positive");
+
+  const std::vector<Point> centers =
+      sampleRegion(rng, clusters, region);
+  std::vector<Point> points;
+  points.reserve(static_cast<std::size_t>(n));
+  const auto [lo, hi] = region.boundingBox();
+  std::int64_t attempts = 0;
+  while (points.size() < static_cast<std::size_t>(n)) {
+    OMT_CHECK(++attempts <= 1000 * (n + 16),
+              "clustered sampling is not converging for region " +
+                  region.name());
+    Point p(region.dim());
+    if (rng.uniform() < clusterFraction) {
+      const Point& c = centers[rng.uniformInt(centers.size())];
+      for (int i = 0; i < p.dim(); ++i)
+        p[i] = c[i] + clusterSpread * rng.gaussian();
+    } else {
+      p = sampleBoundingBox(rng, lo, hi);
+    }
+    if (region.contains(p)) points.push_back(p);
+  }
+  return points;
+}
+
+}  // namespace omt

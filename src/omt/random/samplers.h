@@ -1,0 +1,45 @@
+// Point-set generators for the paper's experiments.
+//
+// Section V generates, for each problem size, random sets of points
+// uniformly distributed inside the unit disk (and, for Figure 8, the unit
+// 3-sphere), with the source at the center. These samplers reproduce that
+// workload and add the generalisations of Section IV: uniform sampling in
+// arbitrary regions (rejection from the bounding box) and non-uniform
+// densities (cluster mixtures bounded below by a base density, the paper's
+// "density strictly more than epsilon inside the convex region" condition).
+#pragma once
+
+#include <vector>
+
+#include "omt/geometry/point.h"
+#include "omt/geometry/region.h"
+#include "omt/random/rng.h"
+
+namespace omt {
+
+/// Uniform point in the unit ball of the given dimension, centered at the
+/// origin (radius distributed as U^(1/d) times a uniform direction).
+Point sampleUnitBall(Rng& rng, int dim);
+
+/// Uniform direction on the unit sphere S^(dim-1).
+Point sampleUnitSphere(Rng& rng, int dim);
+
+/// The paper's Table-I workload: `n` points uniform in the unit disk/ball,
+/// with point 0 replaced by the source at the center.
+std::vector<Point> sampleDiskWithCenterSource(Rng& rng, std::int64_t n, int dim);
+
+/// `n` points uniform in `region` via rejection sampling from its bounding
+/// box. Throws if the acceptance rate collapses (degenerate region).
+std::vector<Point> sampleRegion(Rng& rng, std::int64_t n, const Region& region);
+
+/// Non-uniform workload: a mixture of `clusters` Gaussian bumps over a base
+/// uniform density inside `region` (every point is resampled until it lands
+/// in the region, so the support is exactly the region). `clusterFraction`
+/// in [0, 1] is the share of points drawn from the bumps; the remainder is
+/// uniform, keeping the density bounded away from zero as the paper's
+/// non-uniform extension requires.
+std::vector<Point> sampleClustered(Rng& rng, std::int64_t n, const Region& region,
+                                   int clusters, double clusterFraction,
+                                   double clusterSpread);
+
+}  // namespace omt

@@ -1,0 +1,36 @@
+#include "omt/report/csv.h"
+
+#include "omt/common/error.h"
+
+namespace omt {
+namespace {
+
+bool needsQuoting(const std::string& cell) {
+  return cell.find_first_of(",\"\n") != std::string::npos;
+}
+
+std::string quoted(const std::string& cell) {
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  OMT_CHECK(out_.good(), "cannot open CSV file " + path);
+}
+
+void CsvWriter::writeRow(std::span<const std::string> cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << (needsQuoting(cells[i]) ? quoted(cells[i]) : cells[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace omt

@@ -1,0 +1,30 @@
+// Minimal CSV output for bench results (one file per table/figure when the
+// bench is run with --csv).
+#pragma once
+
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace omt {
+
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path`; throws omt::InvalidArgument on failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// Write one row, quoting cells that contain separators or quotes.
+  void writeRow(std::span<const std::string> cells);
+  void writeRow(std::initializer_list<std::string> cells) {
+    writeRow(std::vector<std::string>(cells));
+  }
+  void writeRow(const std::vector<std::string>& cells) {
+    writeRow(std::span<const std::string>(cells));
+  }
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace omt

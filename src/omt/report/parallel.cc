@@ -1,0 +1,59 @@
+#include "omt/report/parallel.h"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "omt/common/error.h"
+
+namespace omt {
+
+int defaultWorkerCount() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw <= 2 ? 1 : static_cast<int>(hw / 2);
+}
+
+void parallelFor(std::int64_t begin, std::int64_t end, int workers,
+                 const std::function<void(std::int64_t)>& fn) {
+  OMT_CHECK(workers >= 1, "need at least one worker");
+  OMT_CHECK(begin <= end, "invalid index range");
+  if (begin == end) return;
+
+  if (workers == 1 || end - begin == 1) {
+    for (std::int64_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::int64_t> cursor{begin};
+  std::exception_ptr firstError;
+  std::mutex errorMutex;
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::int64_t i = cursor.fetch_add(1);
+      if (i >= end) return;
+      {
+        std::lock_guard<std::mutex> lock(errorMutex);
+        if (firstError) return;  // stop scheduling after a failure
+      }
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(errorMutex);
+        if (!firstError) firstError = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  const auto count = std::min<std::int64_t>(workers, end - begin);
+  threads.reserve(static_cast<std::size_t>(count));
+  for (std::int64_t t = 0; t < count; ++t) threads.emplace_back(worker);
+  for (std::thread& t : threads) t.join();
+  if (firstError) std::rethrow_exception(firstError);
+}
+
+}  // namespace omt

@@ -1,0 +1,25 @@
+// Minimal parallel-for over independent trial indices.
+//
+// The Table-I protocol runs 200 independent trials per row; trials share
+// nothing (each derives its own seed), so they parallelise trivially.
+// parallelFor dispatches indices to a fixed set of worker threads via an
+// atomic cursor. Exceptions from workers are captured and rethrown on the
+// calling thread (first one wins).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace omt {
+
+/// A reasonable worker count: hardware concurrency halved (leave room for
+/// the system), at least 1.
+int defaultWorkerCount();
+
+/// Invoke fn(i) for every i in [begin, end), using `workers` threads
+/// (1 = inline on the calling thread, preserving exact sequencing). fn
+/// must be safe to call concurrently for distinct i.
+void parallelFor(std::int64_t begin, std::int64_t end, int workers,
+                 const std::function<void(std::int64_t)>& fn);
+
+}  // namespace omt

@@ -1,0 +1,42 @@
+// Streaming statistics for experiment trials.
+//
+// Table I reports, per problem size, the average and standard deviation of
+// the longest delay over 200 random trials; RunningStats accumulates those
+// with Welford's numerically stable one-pass update.
+#pragma once
+
+#include <cstdint>
+
+#include "omt/common/types.h"
+
+namespace omt {
+
+class RunningStats {
+ public:
+  void add(double value);
+
+  std::int64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n - 1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  /// Sample standard deviation.
+  double stddev() const;
+  /// Population standard deviation (n denominator) — what Table I's "Dev"
+  /// column reports over its 200 trials.
+  double populationStddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+  /// Merge another accumulator into this one (parallel-trial reduction).
+  void merge(const RunningStats& other);
+
+ private:
+  std::int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = kInf;
+  double max_ = -kInf;
+};
+
+}  // namespace omt

@@ -1,0 +1,65 @@
+#include "omt/report/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "omt/common/error.h"
+
+namespace omt {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  OMT_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+void TextTable::addRow(std::vector<std::string> cells) {
+  OMT_CHECK(cells.size() == headers_.size(),
+            "row width does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+  }
+
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << "  ";
+      out << std::string(width[c] - row[c].size(), ' ') << row[c];
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c)
+    total += width[c] + (c > 0 ? 2 : 0);
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string TextTable::num(double value, int decimals) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(decimals);
+  out << value;
+  return out.str();
+}
+
+std::string TextTable::count(long long value) {
+  std::string digits = std::to_string(value < 0 ? -value : value);
+  std::string grouped;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i > 0 && (digits.size() - i) % 3 == 0) grouped.push_back(',');
+    grouped.push_back(digits[i]);
+  }
+  return value < 0 ? "-" + grouped : grouped;
+}
+
+}  // namespace omt

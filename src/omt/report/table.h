@@ -1,0 +1,32 @@
+// Aligned text tables for bench output (the Table-I style reports).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace omt {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Add a row; must have exactly as many cells as there are headers.
+  void addRow(std::vector<std::string> cells);
+
+  /// Render with right-aligned columns separated by two spaces, a header
+  /// line and a dash rule.
+  std::string str() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Format a double with the given number of decimals.
+  static std::string num(double value, int decimals);
+  /// Format an integer with thousands separators (1,000,000).
+  static std::string count(long long value);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace omt

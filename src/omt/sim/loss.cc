@@ -1,0 +1,77 @@
+#include "omt/sim/loss.h"
+
+#include <algorithm>
+
+#include "omt/common/error.h"
+
+namespace omt {
+namespace {
+
+void checkInputs(const MulticastTree& tree, std::span<const Point> points,
+                 const LossOptions& options) {
+  OMT_CHECK(tree.finalized(), "tree must be finalized");
+  OMT_CHECK(points.size() == static_cast<std::size_t>(tree.size()),
+            "one point per tree node required");
+  OMT_CHECK(options.lossProbability >= 0.0 && options.lossProbability < 1.0,
+            "loss probability outside [0, 1)");
+  OMT_CHECK(options.retransmitDelay >= 0.0, "negative retransmit delay");
+  OMT_CHECK(options.perHopOverhead >= 0.0, "negative overhead");
+}
+
+}  // namespace
+
+LossyDeliveryReport analyzeLossyDelivery(const MulticastTree& tree,
+                                         std::span<const Point> points,
+                                         const LossOptions& options) {
+  checkInputs(tree, points, options);
+  const double p = options.lossProbability;
+  const double perHopRetry = options.retransmitDelay * p / (1.0 - p);
+
+  LossyDeliveryReport report;
+  report.expectedDelay.assign(points.size(), 0.0);
+  for (const NodeId v : tree.bfsOrder()) {
+    if (v == tree.root()) continue;
+    const NodeId parent = tree.parentOf(v);
+    report.expectedDelay[static_cast<std::size_t>(v)] =
+        report.expectedDelay[static_cast<std::size_t>(parent)] +
+        distance(points[static_cast<std::size_t>(parent)],
+                 points[static_cast<std::size_t>(v)]) +
+        options.perHopOverhead + perHopRetry;
+    report.expectedMaxDelay =
+        std::max(report.expectedMaxDelay,
+                 report.expectedDelay[static_cast<std::size_t>(v)]);
+  }
+  // Each of the n - 1 edges needs 1 / (1 - p) attempts in expectation.
+  report.expectedTransmissions =
+      static_cast<double>(tree.size() - 1) / (1.0 - p);
+  return report;
+}
+
+LossySimResult simulateLossyMulticast(const MulticastTree& tree,
+                                      std::span<const Point> points,
+                                      const LossOptions& options, Rng& rng) {
+  checkInputs(tree, points, options);
+  const double p = options.lossProbability;
+
+  LossySimResult result;
+  result.deliveryTime.assign(points.size(), 0.0);
+  for (const NodeId v : tree.bfsOrder()) {
+    if (v == tree.root()) continue;
+    const NodeId parent = tree.parentOf(v);
+    std::int64_t attempts = 1;
+    while (p > 0.0 && rng.uniform() < p) ++attempts;
+    result.transmissions += attempts;
+    result.deliveryTime[static_cast<std::size_t>(v)] =
+        result.deliveryTime[static_cast<std::size_t>(parent)] +
+        distance(points[static_cast<std::size_t>(parent)],
+                 points[static_cast<std::size_t>(v)]) +
+        options.perHopOverhead +
+        options.retransmitDelay * static_cast<double>(attempts - 1);
+    result.maxDelivery =
+        std::max(result.maxDelivery,
+                 result.deliveryTime[static_cast<std::size_t>(v)]);
+  }
+  return result;
+}
+
+}  // namespace omt

@@ -1,0 +1,55 @@
+// Lossy links and retransmission.
+//
+// Overlay links are TCP/UDP unicast paths; packets drop. With per-attempt
+// loss probability p and a retransmission timeout T, a hop's extra delay is
+// geometric: E[extra] = T * p / (1 - p), so expected delivery times are a
+// per-edge constant shift — computable exactly in one pass. The Monte-Carlo
+// simulator draws the actual geometric retry counts and cross-checks the
+// analysis (and is the extension point for correlated-loss models).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "omt/geometry/point.h"
+#include "omt/random/rng.h"
+#include "omt/tree/multicast_tree.h"
+
+namespace omt {
+
+struct LossOptions {
+  /// Per-transmission-attempt loss probability, in [0, 1).
+  double lossProbability = 0.01;
+  /// Delay added per retransmission (timeout + resend).
+  double retransmitDelay = 0.5;
+  /// Fixed per-hop forwarding overhead (as in SimOptions).
+  double perHopOverhead = 0.0;
+};
+
+struct LossyDeliveryReport {
+  /// Expected delivery time per node under geometric retransmission.
+  std::vector<double> expectedDelay;
+  double expectedMaxDelay = 0.0;
+  /// Expected number of transmissions (first attempts + retries).
+  double expectedTransmissions = 0.0;
+};
+
+/// Exact expected delivery times: every hop costs
+/// distance + overhead + retransmitDelay * p / (1 - p).
+LossyDeliveryReport analyzeLossyDelivery(const MulticastTree& tree,
+                                         std::span<const Point> points,
+                                         const LossOptions& options);
+
+struct LossySimResult {
+  std::vector<double> deliveryTime;
+  double maxDelivery = 0.0;
+  std::int64_t transmissions = 0;  ///< attempts including retries
+};
+
+/// One Monte-Carlo dissemination with geometric per-hop retry counts.
+LossySimResult simulateLossyMulticast(const MulticastTree& tree,
+                                      std::span<const Point> points,
+                                      const LossOptions& options, Rng& rng);
+
+}  // namespace omt

@@ -1,0 +1,136 @@
+#include "omt/sim/multicast_sim.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "omt/common/error.h"
+
+namespace omt {
+namespace {
+
+struct Event {
+  double time = 0.0;
+  NodeId node = kNoNode;
+
+  bool operator>(const Event& other) const { return time > other.time; }
+};
+
+/// Delay-height of every subtree (longest downward path), used by
+/// ChildOrder::kDeepestFirst.
+std::vector<double> subtreeHeights(const MulticastTree& tree,
+                                   std::span<const Point> points) {
+  std::vector<double> height(points.size(), 0.0);
+  const auto& order = tree.bfsOrder();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId v = *it;
+    if (v == tree.root()) continue;
+    const NodeId p = tree.parentOf(v);
+    const auto vi = static_cast<std::size_t>(v);
+    const auto pi = static_cast<std::size_t>(p);
+    height[pi] = std::max(height[pi],
+                          height[vi] + distance(points[pi], points[vi]));
+  }
+  return height;
+}
+
+}  // namespace
+
+SimResult simulateWithFailures(const MulticastTree& tree,
+                               std::span<const Point> points,
+                               std::span<const NodeId> failed,
+                               const SimOptions& options) {
+  OMT_CHECK(tree.finalized(), "tree must be finalized");
+  OMT_CHECK(points.size() == static_cast<std::size_t>(tree.size()),
+            "one point per tree node required");
+  OMT_CHECK(options.perHopOverhead >= 0.0, "negative overhead");
+  OMT_CHECK(options.serializationInterval >= 0.0,
+            "negative serialization interval");
+
+  std::vector<std::uint8_t> isFailed(points.size(), 0);
+  for (const NodeId v : failed) {
+    OMT_CHECK(v >= 0 && v < tree.size(), "failed node out of range");
+    OMT_CHECK(v != tree.root(), "the source must not fail");
+    isFailed[static_cast<std::size_t>(v)] = 1;
+  }
+
+  SimResult result;
+  result.deliveryTime.assign(points.size(), kInf);
+  result.deliveryTime[static_cast<std::size_t>(tree.root())] = 0.0;
+
+  std::vector<double> height;
+  if (options.childOrder == ChildOrder::kDeepestFirst)
+    height = subtreeHeights(tree, points);
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue;
+  queue.push(Event{0.0, tree.root()});
+  std::vector<NodeId> children;
+  double meanAccum = 0.0;
+
+  while (!queue.empty()) {
+    const Event event = queue.top();
+    queue.pop();
+    const NodeId v = event.node;
+    const auto vi = static_cast<std::size_t>(v);
+    ++result.reached;
+    result.maxDelivery = std::max(result.maxDelivery, event.time);
+    if (v != tree.root()) meanAccum += event.time;
+    if (isFailed[vi]) continue;  // received but does not forward
+
+    const auto kids = tree.childrenOf(v);
+    children.assign(kids.begin(), kids.end());
+    switch (options.childOrder) {
+      case ChildOrder::kTreeOrder:
+        break;
+      case ChildOrder::kNearestFirst:
+      case ChildOrder::kFarthestFirst: {
+        const bool nearest = options.childOrder == ChildOrder::kNearestFirst;
+        std::stable_sort(children.begin(), children.end(),
+                         [&](NodeId a, NodeId b) {
+                           const double da = distance(
+                               points[vi], points[static_cast<std::size_t>(a)]);
+                           const double db = distance(
+                               points[vi], points[static_cast<std::size_t>(b)]);
+                           return nearest ? da < db : da > db;
+                         });
+        break;
+      }
+      case ChildOrder::kDeepestFirst:
+        std::stable_sort(
+            children.begin(), children.end(), [&](NodeId a, NodeId b) {
+              const auto ai = static_cast<std::size_t>(a);
+              const auto bi = static_cast<std::size_t>(b);
+              const double ha =
+                  height[ai] + distance(points[vi], points[ai]);
+              const double hb =
+                  height[bi] + distance(points[vi], points[bi]);
+              return ha > hb;
+            });
+        break;
+    }
+
+    for (std::size_t slot = 0; slot < children.size(); ++slot) {
+      const NodeId child = children[slot];
+      const auto ci = static_cast<std::size_t>(child);
+      double departure = event.time + options.perHopOverhead;
+      if (options.model == TransmissionModel::kSerialized)
+        departure += static_cast<double>(slot) * options.serializationInterval;
+      const double arrival = departure + distance(points[vi], points[ci]);
+      result.deliveryTime[ci] = arrival;
+      ++result.messagesSent;
+      queue.push(Event{arrival, child});
+    }
+  }
+
+  result.meanDelivery =
+      result.reached > 1 ? meanAccum / static_cast<double>(result.reached - 1)
+                         : 0.0;
+  return result;
+}
+
+SimResult simulateMulticast(const MulticastTree& tree,
+                            std::span<const Point> points,
+                            const SimOptions& options) {
+  return simulateWithFailures(tree, points, {}, options);
+}
+
+}  // namespace omt

@@ -1,0 +1,97 @@
+#include "omt/sim/reliability.h"
+
+#include <cmath>
+
+#include "omt/common/error.h"
+#include "omt/tree/metrics.h"
+
+namespace omt {
+
+std::vector<std::int64_t> subtreeSizes(const MulticastTree& tree) {
+  OMT_CHECK(tree.finalized(), "tree must be finalized");
+  std::vector<std::int64_t> size(static_cast<std::size_t>(tree.size()), 1);
+  const auto& order = tree.bfsOrder();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId v = *it;
+    if (v == tree.root()) continue;
+    size[static_cast<std::size_t>(tree.parentOf(v))] +=
+        size[static_cast<std::size_t>(v)];
+  }
+  return size;
+}
+
+ReliabilityReport analyzeReliability(const MulticastTree& tree,
+                                     double failureProbability) {
+  OMT_CHECK(tree.finalized(), "tree must be finalized");
+  OMT_CHECK(failureProbability >= 0.0 && failureProbability < 1.0,
+            "failure probability outside [0, 1)");
+  const double q = 1.0 - failureProbability;
+
+  ReliabilityReport report;
+  if (tree.size() == 1) {
+    report.expectedReachableFraction = 1.0;
+    report.worstReceiverReliability = 1.0;
+    return report;
+  }
+
+  // A receiver is reachable iff it and all its non-root ancestors are up:
+  // P = q^depth (depth counts the receiver itself).
+  const std::vector<std::int32_t> depth = computeDepths(tree);
+  double sum = 0.0;
+  std::int32_t maxDepth = 0;
+  for (NodeId v = 0; v < tree.size(); ++v) {
+    if (v == tree.root()) continue;
+    const std::int32_t d = depth[static_cast<std::size_t>(v)];
+    sum += std::pow(q, d);
+    maxDepth = std::max(maxDepth, d);
+  }
+  report.expectedReachableFraction =
+      sum / static_cast<double>(tree.size() - 1);
+  report.worstReceiverReliability = std::pow(q, maxDepth);
+
+  const std::vector<std::int64_t> sizes = subtreeSizes(tree);
+  double subtreeSum = 0.0;
+  for (NodeId v = 0; v < tree.size(); ++v) {
+    if (v == tree.root()) continue;
+    subtreeSum += static_cast<double>(sizes[static_cast<std::size_t>(v)]);
+  }
+  report.meanSubtreeSize = subtreeSum / static_cast<double>(tree.size() - 1);
+  return report;
+}
+
+double estimateReachableFraction(const MulticastTree& tree,
+                                 double failureProbability, int trials,
+                                 Rng& rng) {
+  OMT_CHECK(tree.finalized(), "tree must be finalized");
+  OMT_CHECK(failureProbability >= 0.0 && failureProbability < 1.0,
+            "failure probability outside [0, 1)");
+  OMT_CHECK(trials >= 1, "need at least one trial");
+  if (tree.size() == 1) return 1.0;
+
+  std::vector<std::uint8_t> up(static_cast<std::size_t>(tree.size()));
+  std::vector<std::uint8_t> reachable(static_cast<std::size_t>(tree.size()));
+  double total = 0.0;
+  for (int trial = 0; trial < trials; ++trial) {
+    for (NodeId v = 0; v < tree.size(); ++v) {
+      up[static_cast<std::size_t>(v)] =
+          v == tree.root() || rng.uniform() >= failureProbability;
+    }
+    std::int64_t count = 0;
+    for (const NodeId v : tree.bfsOrder()) {
+      if (v == tree.root()) {
+        reachable[static_cast<std::size_t>(v)] = 1;
+        continue;
+      }
+      const bool ok =
+          up[static_cast<std::size_t>(v)] &&
+          reachable[static_cast<std::size_t>(tree.parentOf(v))] != 0;
+      reachable[static_cast<std::size_t>(v)] = ok ? 1 : 0;
+      if (ok) ++count;
+    }
+    total += static_cast<double>(count) /
+             static_cast<double>(tree.size() - 1);
+  }
+  return total / trials;
+}
+
+}  // namespace omt

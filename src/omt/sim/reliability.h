@@ -1,0 +1,49 @@
+// Analytic reliability of a multicast tree under independent node
+// failures.
+//
+// A receiver stays connected only while every forwarder on its root path
+// is up, so deep trees trade delay for fragility — the flip side of the
+// degree constraint (higher fan-out = shallower = more robust, but slower
+// under serialised sending). For per-node survival probability q = 1 - p:
+//   P(v reachable) = q^{depth(v)}  (the root is always up),
+// and the expected reachable fraction is a single O(n) pass. Exact, no
+// Monte Carlo — though estimateReachableFraction() provides one for
+// cross-checking.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "omt/random/rng.h"
+#include "omt/tree/multicast_tree.h"
+
+namespace omt {
+
+struct ReliabilityReport {
+  /// Expected fraction of non-root nodes that can still receive, under
+  /// independent failure of every non-root node with probability p.
+  double expectedReachableFraction = 0.0;
+  /// P(reachable) of the worst-placed (deepest) receiver: q^maxDepth.
+  double worstReceiverReliability = 0.0;
+  /// Expected number of receivers cut off per single random node failure
+  /// (the mean subtree size over non-root nodes) — a churn-impact measure
+  /// independent of p.
+  double meanSubtreeSize = 0.0;
+};
+
+/// Exact reliability analysis of `tree` under independent per-node failure
+/// probability `failureProbability` in [0, 1). The root never fails.
+ReliabilityReport analyzeReliability(const MulticastTree& tree,
+                                     double failureProbability);
+
+/// Monte-Carlo estimate of expectedReachableFraction (for tests and as a
+/// template for non-independent failure models).
+double estimateReachableFraction(const MulticastTree& tree,
+                                 double failureProbability, int trials,
+                                 Rng& rng);
+
+/// Subtree sizes (including the node itself) for every node; O(n).
+std::vector<std::int64_t> subtreeSizes(const MulticastTree& tree);
+
+}  // namespace omt

@@ -1,0 +1,140 @@
+#include "omt/sim/repair.h"
+
+#include <algorithm>
+
+#include "omt/common/error.h"
+
+namespace omt {
+
+RepairResult repairAfterDepartures(const MulticastTree& tree,
+                                   std::span<const Point> points,
+                                   std::span<const NodeId> departed,
+                                   int maxOutDegree) {
+  OMT_CHECK(tree.finalized(), "tree must be finalized");
+  OMT_CHECK(points.size() == static_cast<std::size_t>(tree.size()),
+            "one point per tree node required");
+  OMT_CHECK(maxOutDegree >= 1, "out-degree cap must be positive");
+
+  std::vector<std::uint8_t> gone(points.size(), 0);
+  for (const NodeId v : departed) {
+    OMT_CHECK(v >= 0 && v < tree.size(), "departed node out of range");
+    OMT_CHECK(v != tree.root(), "the source must survive");
+    gone[static_cast<std::size_t>(v)] = 1;
+  }
+
+  // Survivor numbering.
+  std::vector<NodeId> survivors;
+  std::vector<NodeId> toSurvivor(points.size(), kNoNode);
+  for (NodeId v = 0; v < tree.size(); ++v) {
+    if (!gone[static_cast<std::size_t>(v)]) {
+      toSurvivor[static_cast<std::size_t>(v)] =
+          static_cast<NodeId>(survivors.size());
+      survivors.push_back(v);
+    }
+  }
+  const auto m = static_cast<NodeId>(survivors.size());
+  const NodeId newRoot = toSurvivor[static_cast<std::size_t>(tree.root())];
+
+  // Preserved edges: survivor -> surviving parent. Orphan roots keep
+  // kNoNode and are re-attached below.
+  std::vector<NodeId> newParent(static_cast<std::size_t>(m), kNoNode);
+  for (NodeId s = 0; s < m; ++s) {
+    const NodeId v = survivors[static_cast<std::size_t>(s)];
+    if (v == tree.root()) continue;
+    const NodeId p = tree.parentOf(v);
+    if (!gone[static_cast<std::size_t>(p)])
+      newParent[static_cast<std::size_t>(s)] =
+          toSurvivor[static_cast<std::size_t>(p)];
+  }
+
+  // Preserved-forest children lists and degrees.
+  std::vector<std::vector<NodeId>> children(static_cast<std::size_t>(m));
+  std::vector<std::int32_t> degree(static_cast<std::size_t>(m), 0);
+  for (NodeId s = 0; s < m; ++s) {
+    const NodeId p = newParent[static_cast<std::size_t>(s)];
+    if (p != kNoNode) {
+      children[static_cast<std::size_t>(p)].push_back(s);
+      ++degree[static_cast<std::size_t>(p)];
+    }
+  }
+
+  // Connected component of the root under preserved edges.
+  std::vector<std::uint8_t> connected(static_cast<std::size_t>(m), 0);
+  std::vector<NodeId> stack{newRoot};
+  connected[static_cast<std::size_t>(newRoot)] = 1;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    for (const NodeId c : children[static_cast<std::size_t>(v)]) {
+      connected[static_cast<std::size_t>(c)] = 1;
+      stack.push_back(c);
+    }
+  }
+
+  std::vector<NodeId> orphanRoots;
+  for (NodeId s = 0; s < m; ++s) {
+    if (s != newRoot && newParent[static_cast<std::size_t>(s)] == kNoNode)
+      orphanRoots.push_back(s);
+  }
+
+  RepairResult result{.survivors = std::move(survivors),
+                      .originalToSurvivor = std::move(toSurvivor),
+                      .tree = MulticastTree(m, newRoot),
+                      .reattachedSubtrees = 0};
+
+  auto pointOf = [&](NodeId s) -> const Point& {
+    return points[static_cast<std::size_t>(
+        result.survivors[static_cast<std::size_t>(s)])];
+  };
+
+  // Greedy global re-attachment: repeatedly take the (orphan root,
+  // connected node with spare capacity) pair at minimum distance.
+  std::vector<std::uint8_t> attachedOrphan(orphanRoots.size(), 0);
+  for (std::size_t round = 0; round < orphanRoots.size(); ++round) {
+    double bestDist = kInf;
+    std::size_t bestOrphan = 0;
+    NodeId bestParent = kNoNode;
+    for (std::size_t o = 0; o < orphanRoots.size(); ++o) {
+      if (attachedOrphan[o]) continue;
+      const NodeId root = orphanRoots[o];
+      for (NodeId c = 0; c < m; ++c) {
+        if (!connected[static_cast<std::size_t>(c)]) continue;
+        if (degree[static_cast<std::size_t>(c)] >= maxOutDegree) continue;
+        const double dist = squaredDistance(pointOf(root), pointOf(c));
+        if (dist < bestDist) {
+          bestDist = dist;
+          bestOrphan = o;
+          bestParent = c;
+        }
+      }
+    }
+    OMT_ASSERT(bestParent != kNoNode,
+               "no feasible re-attachment despite cap >= 1");
+    const NodeId root = orphanRoots[bestOrphan];
+    attachedOrphan[bestOrphan] = 1;
+    newParent[static_cast<std::size_t>(root)] = bestParent;
+    ++degree[static_cast<std::size_t>(bestParent)];
+    ++result.reattachedSubtrees;
+    // The whole orphaned subtree becomes connected.
+    stack.assign(1, root);
+    connected[static_cast<std::size_t>(root)] = 1;
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      for (const NodeId c : children[static_cast<std::size_t>(v)]) {
+        connected[static_cast<std::size_t>(c)] = 1;
+        stack.push_back(c);
+      }
+    }
+  }
+
+  for (NodeId s = 0; s < m; ++s) {
+    if (s == newRoot) continue;
+    result.tree.attach(s, newParent[static_cast<std::size_t>(s)],
+                       EdgeKind::kLocal);
+  }
+  result.tree.finalize();
+  return result;
+}
+
+}  // namespace omt

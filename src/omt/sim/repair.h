@@ -1,0 +1,43 @@
+// Tree maintenance after node departures.
+//
+// Overlay multicast nodes are end hosts: they leave. When a forwarder
+// departs, its whole subtree is orphaned; the session must re-attach the
+// orphaned branches to surviving nodes without exceeding anyone's degree
+// cap. The paper focuses on initial construction ("in practice, there is
+// interest in a decentralized version" is left as future work); this module
+// provides the centralised maintenance primitive the examples and tests
+// exercise: greedy re-attachment of orphaned subtree roots, nearest
+// feasible survivor first.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "omt/geometry/point.h"
+#include "omt/tree/multicast_tree.h"
+
+namespace omt {
+
+struct RepairResult {
+  /// Ids (in the original numbering) of surviving nodes, source included.
+  std::vector<NodeId> survivors;
+  /// originalToSurvivor[v] is v's index in `survivors`/`tree`, or kNoNode
+  /// if v departed.
+  std::vector<NodeId> originalToSurvivor;
+  /// The repaired tree over the survivors (indices into `survivors`).
+  MulticastTree tree;
+  /// How many edges had to change parents.
+  std::int64_t reattachedSubtrees = 0;
+};
+
+/// Remove `departed` nodes from `tree` and greedily re-attach every orphaned
+/// subtree root to the nearest surviving node with spare capacity (walking
+/// up from its old grandparent first, then scanning). The source must
+/// survive. Requires maxOutDegree >= 1; the result respects it wherever the
+/// input tree did.
+RepairResult repairAfterDepartures(const MulticastTree& tree,
+                                   std::span<const Point> points,
+                                   std::span<const NodeId> departed,
+                                   int maxOutDegree);
+
+}  // namespace omt

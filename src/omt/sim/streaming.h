@@ -1,0 +1,52 @@
+// Continuous-stream simulation: the reason the degree constraint exists.
+//
+// A live source emits a message every `messageInterval`; each forwarder
+// owns ONE uplink that is busy `transmissionTime` per child per message.
+// A node with out-degree deg therefore needs deg * transmissionTime <=
+// messageInterval to keep up — more fan-out than the uplink supports and
+// its queue grows without bound. This is the bandwidth constraint the
+// paper turns into the out-degree cap; the simulator measures it directly:
+// steady-state end-to-end delays for sustainable trees, linear backlog
+// growth for over-subscribed ones (the star collapses, bounded-degree
+// trees do not).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "omt/geometry/point.h"
+#include "omt/tree/multicast_tree.h"
+
+namespace omt {
+
+struct StreamOptions {
+  double messageInterval = 1.0;   ///< time between source emissions
+  std::int64_t messageCount = 64; ///< messages to push through the tree
+  double transmissionTime = 0.1;  ///< uplink busy time per child per message
+  double perHopOverhead = 0.0;    ///< fixed forwarding latency per hop
+};
+
+struct StreamResult {
+  /// Worst end-to-end delay of the FIRST message (no queueing yet) — the
+  /// serialized single-shot delay.
+  double firstMessageMaxDelay = 0.0;
+  /// Worst end-to-end delay of the LAST message (queueing included).
+  double lastMessageMaxDelay = 0.0;
+  /// (last - first) / (messageCount - 1): ~0 for a sustainable tree,
+  /// positive slope = unbounded backlog.
+  double backlogGrowthPerMessage = 0.0;
+  /// Whether the tree satisfies maxOutDegree * transmissionTime <=
+  /// messageInterval (the analytic sustainability condition).
+  bool sustainable = false;
+  /// Largest per-message uplink load in the tree:
+  /// maxOutDegree * transmissionTime.
+  double bottleneckLoad = 0.0;
+};
+
+/// Push `messageCount` messages through `tree`; every node forwards each
+/// message to its children in stored order over its serialised uplink.
+StreamResult simulateStream(const MulticastTree& tree,
+                            std::span<const Point> points,
+                            const StreamOptions& options = {});
+
+}  // namespace omt

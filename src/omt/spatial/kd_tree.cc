@@ -1,0 +1,112 @@
+#include "omt/spatial/kd_tree.h"
+
+#include <algorithm>
+
+#include "omt/common/error.h"
+
+namespace omt {
+
+KdTree::KdTree(std::span<const Point> points)
+    : points_(points.begin(), points.end()) {
+  OMT_CHECK(!points_.empty(), "empty point set");
+  const int dim = points_.front().dim();
+  OMT_CHECK(dim >= 1 && dim <= kMaxDim, "dimension out of range");
+  for (const Point& p : points_)
+    OMT_CHECK(p.dim() == dim, "mixed dimensions in point set");
+
+  nodes_.reserve(points_.size());
+  nodeOfPoint_.assign(points_.size(), -1);
+  activeFlag_.assign(points_.size(), 0);
+  std::vector<NodeId> ids(points_.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<NodeId>(i);
+  root_ = build(ids, 0);
+
+  parentNode_.assign(nodes_.size(), -1);
+  for (std::size_t node = 0; node < nodes_.size(); ++node) {
+    if (nodes_[node].left >= 0)
+      parentNode_[static_cast<std::size_t>(nodes_[node].left)] =
+          static_cast<std::int64_t>(node);
+    if (nodes_[node].right >= 0)
+      parentNode_[static_cast<std::size_t>(nodes_[node].right)] =
+          static_cast<std::int64_t>(node);
+  }
+}
+
+std::int64_t KdTree::build(std::span<NodeId> ids, int depth) {
+  if (ids.empty()) return -1;
+  const int axis = depth % points_.front().dim();
+  const std::size_t mid = ids.size() / 2;
+  std::nth_element(ids.begin(), ids.begin() + static_cast<std::ptrdiff_t>(mid),
+                   ids.end(), [&](NodeId a, NodeId b) {
+                     const double ca = points_[static_cast<std::size_t>(a)][axis];
+                     const double cb = points_[static_cast<std::size_t>(b)][axis];
+                     return ca < cb || (ca == cb && a < b);
+                   });
+  const auto nodeIndex = static_cast<std::int64_t>(nodes_.size());
+  nodes_.push_back(Node{axis, ids[mid], -1, -1, 0});
+  nodeOfPoint_[static_cast<std::size_t>(ids[mid])] = nodeIndex;
+  const std::int64_t left = build(ids.subspan(0, mid), depth + 1);
+  const std::int64_t right = build(ids.subspan(mid + 1), depth + 1);
+  nodes_[static_cast<std::size_t>(nodeIndex)].left = left;
+  nodes_[static_cast<std::size_t>(nodeIndex)].right = right;
+  return nodeIndex;
+}
+
+std::int64_t KdTree::activeCount() const {
+  return root_ >= 0 ? nodes_[static_cast<std::size_t>(root_)].activeInSubtree
+                    : 0;
+}
+
+bool KdTree::active(NodeId id) const {
+  OMT_CHECK(id >= 0 && id < size(), "point id out of range");
+  return activeFlag_[static_cast<std::size_t>(id)] != 0;
+}
+
+void KdTree::setActive(NodeId id, bool activeNow) {
+  OMT_CHECK(id >= 0 && id < size(), "point id out of range");
+  auto& flag = activeFlag_[static_cast<std::size_t>(id)];
+  if ((flag != 0) == activeNow) return;
+  flag = activeNow ? 1 : 0;
+  const std::int64_t delta = activeNow ? 1 : -1;
+  for (std::int64_t node = nodeOfPoint_[static_cast<std::size_t>(id)];
+       node >= 0; node = parentNode_[static_cast<std::size_t>(node)]) {
+    nodes_[static_cast<std::size_t>(node)].activeInSubtree += delta;
+  }
+}
+
+void KdTree::search(std::int64_t nodeIndex, const Point& query,
+                    NodeId exclude, NodeId& best, double& bestDist) const {
+  if (nodeIndex < 0) return;
+  const Node& node = nodes_[static_cast<std::size_t>(nodeIndex)];
+  if (node.activeInSubtree == 0) return;
+
+  if (activeFlag_[static_cast<std::size_t>(node.point)] != 0 &&
+      node.point != exclude) {
+    const double d =
+        squaredDistance(points_[static_cast<std::size_t>(node.point)], query);
+    if (d < bestDist || (d == bestDist && node.point < best)) {
+      bestDist = d;
+      best = node.point;
+    }
+  }
+
+  const double split =
+      points_[static_cast<std::size_t>(node.point)][node.axis];
+  const double diff = query[node.axis] - split;
+  const std::int64_t near = diff <= 0.0 ? node.left : node.right;
+  const std::int64_t far = diff <= 0.0 ? node.right : node.left;
+  search(near, query, exclude, best, bestDist);
+  if (diff * diff <= bestDist) {
+    search(far, query, exclude, best, bestDist);
+  }
+}
+
+NodeId KdTree::nearestActive(const Point& query, NodeId exclude) const {
+  OMT_CHECK(query.dim() == points_.front().dim(), "dimension mismatch");
+  NodeId best = kNoNode;
+  double bestDist = kInf;
+  search(root_, query, exclude, best, bestDist);
+  return best;
+}
+
+}  // namespace omt

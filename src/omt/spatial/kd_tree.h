@@ -1,0 +1,60 @@
+// Static k-d tree over the host points with dynamic activation.
+//
+// The O(n^2) join heuristics all answer the same inner question — "which
+// already-attached host with spare capacity is closest to the joiner?" —
+// so this index makes them scale: a balanced k-d tree is built once over
+// ALL points (median splits, O(n log n)), and membership in the candidate
+// set is a per-point *active* flag. Each internal node tracks how many
+// active points its subtree holds, so nearest-neighbour search prunes
+// exhausted (or not-yet-joined) regions entirely. Activation flips are
+// O(log n); nearest() is the classic branch-and-bound.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "omt/common/types.h"
+#include "omt/geometry/point.h"
+
+namespace omt {
+
+class KdTree {
+ public:
+  /// Build over `points` (n >= 1, uniform dimension). All points start
+  /// INACTIVE.
+  explicit KdTree(std::span<const Point> points);
+
+  NodeId size() const { return static_cast<NodeId>(points_.size()); }
+  std::int64_t activeCount() const;
+  bool active(NodeId id) const;
+
+  /// Activate/deactivate a point; updates subtree counters in O(log n).
+  void setActive(NodeId id, bool active);
+
+  /// The active point closest to `query` (ties by smaller id), or kNoNode
+  /// if nothing is active. `exclude` (optional) is skipped even if active.
+  NodeId nearestActive(const Point& query, NodeId exclude = kNoNode) const;
+
+ private:
+  struct Node {
+    std::int32_t axis = 0;       ///< split axis; -1 for leaves
+    NodeId point = kNoNode;      ///< the point stored at this node
+    std::int64_t left = -1;      ///< child node indices, -1 if absent
+    std::int64_t right = -1;
+    std::int64_t activeInSubtree = 0;
+  };
+
+  std::int64_t build(std::span<NodeId> ids, int depth);
+  void search(std::int64_t node, const Point& query, NodeId exclude,
+              NodeId& best, double& bestDist) const;
+
+  std::vector<Point> points_;
+  std::vector<Node> nodes_;
+  std::int64_t root_ = -1;
+  std::vector<std::int64_t> nodeOfPoint_;   // point id -> node index
+  std::vector<std::int64_t> parentNode_;    // node index -> parent node
+  std::vector<std::uint8_t> activeFlag_;    // per point id
+};
+
+}  // namespace omt

@@ -1,0 +1,126 @@
+#include "omt/tree/metrics.h"
+
+#include <algorithm>
+
+#include "omt/common/error.h"
+
+namespace omt {
+namespace {
+
+void checkInputs(const MulticastTree& tree, std::span<const Point> points) {
+  OMT_CHECK(tree.finalized(), "tree must be finalized");
+  OMT_CHECK(points.size() == static_cast<std::size_t>(tree.size()),
+            "one point per tree node required");
+}
+
+}  // namespace
+
+std::vector<double> computeDelays(const MulticastTree& tree,
+                                  std::span<const Point> points) {
+  checkInputs(tree, points);
+  std::vector<double> delay(points.size(), 0.0);
+  for (const NodeId v : tree.bfsOrder()) {
+    if (v == tree.root()) continue;
+    const NodeId p = tree.parentOf(v);
+    delay[static_cast<std::size_t>(v)] =
+        delay[static_cast<std::size_t>(p)] +
+        distance(points[static_cast<std::size_t>(p)],
+                 points[static_cast<std::size_t>(v)]);
+  }
+  return delay;
+}
+
+std::vector<std::int32_t> computeDepths(const MulticastTree& tree) {
+  OMT_CHECK(tree.finalized(), "tree must be finalized");
+  std::vector<std::int32_t> depth(static_cast<std::size_t>(tree.size()), 0);
+  for (const NodeId v : tree.bfsOrder()) {
+    if (v == tree.root()) continue;
+    depth[static_cast<std::size_t>(v)] =
+        depth[static_cast<std::size_t>(tree.parentOf(v))] + 1;
+  }
+  return depth;
+}
+
+TreeMetrics computeMetrics(const MulticastTree& tree,
+                           std::span<const Point> points) {
+  checkInputs(tree, points);
+  TreeMetrics m;
+  m.nodeCount = tree.size();
+  m.degreeHistogram.clear();
+
+  std::vector<double> delay(points.size(), 0.0);
+  // A root path is all-core exactly while every edge from the root down is
+  // core; once a local edge appears the rest of the path is intra-cell.
+  std::vector<std::uint8_t> onCorePath(points.size(), 0);
+  onCorePath[static_cast<std::size_t>(tree.root())] = 1;
+  std::vector<std::int32_t> depth(points.size(), 0);
+
+  double delaySum = 0.0;
+  const Point& rootPoint = points[static_cast<std::size_t>(tree.root())];
+  for (const NodeId v : tree.bfsOrder()) {
+    const auto vi = static_cast<std::size_t>(v);
+    if (v != tree.root()) {
+      const NodeId p = tree.parentOf(v);
+      const auto pi = static_cast<std::size_t>(p);
+      const double edge = distance(points[pi], points[vi]);
+      delay[vi] = delay[pi] + edge;
+      depth[vi] = depth[pi] + 1;
+      onCorePath[vi] = static_cast<std::uint8_t>(
+          onCorePath[pi] && tree.edgeKindOf(v) == EdgeKind::kCore);
+      m.totalLength += edge;
+      delaySum += delay[vi];
+      m.maxDelay = std::max(m.maxDelay, delay[vi]);
+      if (onCorePath[vi]) m.coreDelay = std::max(m.coreDelay, delay[vi]);
+      m.maxDepth = std::max(m.maxDepth, depth[vi]);
+      const double direct = distance(rootPoint, points[vi]);
+      if (direct > kGeomEps)
+        m.maxStretch = std::max(m.maxStretch, delay[vi] / direct);
+    }
+    const std::int32_t deg = tree.outDegree(v);
+    m.maxOutDegree = std::max(m.maxOutDegree, deg);
+    if (static_cast<std::size_t>(deg) >= m.degreeHistogram.size())
+      m.degreeHistogram.resize(static_cast<std::size_t>(deg) + 1, 0);
+    ++m.degreeHistogram[static_cast<std::size_t>(deg)];
+  }
+  m.meanDelay =
+      tree.size() > 1
+          ? delaySum / static_cast<double>(tree.size() - 1)
+          : 0.0;
+  return m;
+}
+
+double diameter(const MulticastTree& tree, std::span<const Point> points) {
+  checkInputs(tree, points);
+  const std::size_t n = points.size();
+  if (n == 1) return 0.0;
+
+  // Distances from the root are the delays; the farthest node u is one end
+  // of a diameter (standard two-sweep argument, valid for non-negative
+  // weights). Then the farthest node from u gives the diameter length.
+  const std::vector<double> fromRoot = computeDelays(tree, points);
+  const auto uIt = std::max_element(fromRoot.begin(), fromRoot.end());
+  const NodeId u = static_cast<NodeId>(uIt - fromRoot.begin());
+
+  // Undirected BFS/DFS from u over child lists + parent pointers.
+  std::vector<double> dist(n, -1.0);
+  std::vector<NodeId> stack{u};
+  dist[static_cast<std::size_t>(u)] = 0.0;
+  double best = 0.0;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    const auto vi = static_cast<std::size_t>(v);
+    best = std::max(best, dist[vi]);
+    auto visit = [&](NodeId w) {
+      const auto wi = static_cast<std::size_t>(w);
+      if (dist[wi] >= 0.0) return;
+      dist[wi] = dist[vi] + distance(points[vi], points[wi]);
+      stack.push_back(w);
+    };
+    if (v != tree.root()) visit(tree.parentOf(v));
+    for (const NodeId w : tree.childrenOf(v)) visit(w);
+  }
+  return best;
+}
+
+}  // namespace omt

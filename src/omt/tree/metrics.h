@@ -1,0 +1,49 @@
+// Delay metrics of a multicast tree under the Euclidean delay model.
+//
+// The paper's objective is the tree *radius*: the largest sender-to-receiver
+// delay, i.e. the longest weighted root-to-node path ("Delay" in Table I).
+// "Core" is the same maximum restricted to paths that consist solely of core
+// edges (cell-representative links). The minimum-diameter variant discussed
+// in the conclusion is covered by diameter().
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "omt/geometry/point.h"
+#include "omt/tree/multicast_tree.h"
+
+namespace omt {
+
+/// Root-to-node path length for every node (delay[root] == 0). The tree
+/// must be finalized; points[i] is the position of node i.
+std::vector<double> computeDelays(const MulticastTree& tree,
+                                  std::span<const Point> points);
+
+/// Hop count from the root for every node.
+std::vector<std::int32_t> computeDepths(const MulticastTree& tree);
+
+struct TreeMetrics {
+  double maxDelay = 0.0;    ///< tree radius — the paper's objective
+  double coreDelay = 0.0;   ///< longest all-core root path (Table I "Core")
+  double meanDelay = 0.0;   ///< average over non-root nodes
+  double totalLength = 0.0; ///< sum of all edge lengths (overlay cost)
+  double maxStretch = 0.0;  ///< max delay[v] / dist(root, v) over v != root
+  std::int32_t maxDepth = 0;
+  std::int32_t maxOutDegree = 0;
+  NodeId nodeCount = 0;
+  /// histogram[d] = number of nodes with out-degree d.
+  std::vector<std::int64_t> degreeHistogram;
+};
+
+/// All of the above in two passes over the tree.
+TreeMetrics computeMetrics(const MulticastTree& tree,
+                           std::span<const Point> points);
+
+/// Weighted diameter of the tree viewed as an undirected graph: the largest
+/// delay between any pair of hosts when messages may be relayed through the
+/// tree (the MDDL objective of Shi et al.). Two-sweep algorithm, O(n).
+double diameter(const MulticastTree& tree, std::span<const Point> points);
+
+}  // namespace omt

@@ -1,0 +1,88 @@
+#include "omt/tree/multicast_tree.h"
+
+namespace omt {
+
+MulticastTree::MulticastTree(NodeId nodeCount, NodeId root)
+    : root_(root),
+      parent_(static_cast<std::size_t>(nodeCount), kNoNode),
+      kind_(static_cast<std::size_t>(nodeCount), EdgeKind::kLocal),
+      outDegree_(static_cast<std::size_t>(nodeCount), 0) {
+  OMT_CHECK(nodeCount >= 1, "tree needs at least one node");
+  OMT_CHECK(root >= 0 && root < nodeCount, "root out of range");
+}
+
+void MulticastTree::attach(NodeId child, NodeId parent, EdgeKind kind) {
+  checkNode(child);
+  checkNode(parent);
+  OMT_CHECK(child != root_, "cannot attach the root");
+  OMT_CHECK(child != parent, "self-loop");
+  OMT_CHECK(parent_[static_cast<std::size_t>(child)] == kNoNode,
+            "node attached twice");
+  parent_[static_cast<std::size_t>(child)] = parent;
+  kind_[static_cast<std::size_t>(child)] = kind;
+  ++outDegree_[static_cast<std::size_t>(parent)];
+  finalized_ = false;
+}
+
+EdgeKind MulticastTree::edgeKindOf(NodeId node) const {
+  checkNode(node);
+  OMT_CHECK(node != root_, "the root has no incoming edge");
+  OMT_CHECK(parent_[static_cast<std::size_t>(node)] != kNoNode,
+            "node not attached");
+  return kind_[static_cast<std::size_t>(node)];
+}
+
+void MulticastTree::finalize() {
+  const std::size_t n = parent_.size();
+  for (std::size_t v = 0; v < n; ++v) {
+    OMT_CHECK(parent_[v] != kNoNode || static_cast<NodeId>(v) == root_,
+              "finalize() with unattached nodes");
+  }
+
+  childOffset_.assign(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (static_cast<NodeId>(v) == root_) continue;
+    ++childOffset_[static_cast<std::size_t>(parent_[v]) + 1];
+  }
+  for (std::size_t v = 0; v < n; ++v) childOffset_[v + 1] += childOffset_[v];
+
+  childList_.assign(n - 1, kNoNode);
+  std::vector<std::int64_t> cursor(childOffset_.begin(),
+                                   childOffset_.end() - 1);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (static_cast<NodeId>(v) == root_) continue;
+    childList_[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(parent_[v])]++)] =
+        static_cast<NodeId>(v);
+  }
+
+  // BFS from the root; if the parent links contain a cycle, some nodes are
+  // unreachable and bfsOrder_ ends up shorter than n — validation reports
+  // that as a broken tree rather than this method looping forever.
+  bfsOrder_.clear();
+  bfsOrder_.reserve(n);
+  bfsOrder_.push_back(root_);
+  for (std::size_t head = 0; head < bfsOrder_.size(); ++head) {
+    const NodeId v = bfsOrder_[head];
+    const auto begin = childOffset_[static_cast<std::size_t>(v)];
+    const auto end = childOffset_[static_cast<std::size_t>(v) + 1];
+    for (std::int64_t i = begin; i < end; ++i)
+      bfsOrder_.push_back(childList_[static_cast<std::size_t>(i)]);
+  }
+  finalized_ = true;
+}
+
+std::span<const NodeId> MulticastTree::childrenOf(NodeId node) const {
+  OMT_CHECK(finalized_, "childrenOf() before finalize()");
+  checkNode(node);
+  const auto begin = childOffset_[static_cast<std::size_t>(node)];
+  const auto end = childOffset_[static_cast<std::size_t>(node) + 1];
+  return {childList_.data() + begin, static_cast<std::size_t>(end - begin)};
+}
+
+const std::vector<NodeId>& MulticastTree::bfsOrder() const {
+  OMT_CHECK(finalized_, "bfsOrder() before finalize()");
+  return bfsOrder_;
+}
+
+}  // namespace omt

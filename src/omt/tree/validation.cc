@@ -1,0 +1,61 @@
+#include "omt/tree/validation.h"
+
+#include <sstream>
+
+namespace omt {
+namespace {
+
+ValidationResult fail(const std::string& message) {
+  return {false, message};
+}
+
+}  // namespace
+
+ValidationResult validate(const MulticastTree& tree,
+                          const ValidationOptions& options) {
+  if (!tree.finalized()) return fail("tree not finalized");
+
+  const NodeId n = tree.size();
+  for (NodeId v = 0; v < n; ++v) {
+    if (v == tree.root()) {
+      if (tree.parentOf(v) != kNoNode)
+        return fail("root has a parent");
+      continue;
+    }
+    const NodeId p = tree.parentOf(v);
+    if (p == kNoNode) {
+      std::ostringstream out;
+      out << "node " << v << " is not attached";
+      return fail(out.str());
+    }
+    if (p < 0 || p >= n) {
+      std::ostringstream out;
+      out << "node " << v << " has out-of-range parent " << p;
+      return fail(out.str());
+    }
+  }
+
+  // With every non-root node having exactly one parent, the structure is a
+  // spanning arborescence iff every node is reachable from the root — a
+  // cycle would make its members unreachable.
+  if (static_cast<NodeId>(tree.bfsOrder().size()) != n) {
+    std::ostringstream out;
+    out << "only " << tree.bfsOrder().size() << " of " << n
+        << " nodes reachable from the root (cycle among parent links)";
+    return fail(out.str());
+  }
+
+  if (options.maxOutDegree >= 0) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (tree.outDegree(v) > options.maxOutDegree) {
+        std::ostringstream out;
+        out << "node " << v << " has out-degree " << tree.outDegree(v)
+            << " > cap " << options.maxOutDegree;
+        return fail(out.str());
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace omt

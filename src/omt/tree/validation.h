@@ -1,0 +1,33 @@
+// Structural validation of multicast trees.
+//
+// Checks the properties the paper requires of a feasible solution: the tree
+// spans every host, is acyclic and rooted at the source, and no node's
+// out-degree exceeds the bandwidth-derived cap. Algorithms are tested
+// against this validator on every configuration.
+#pragma once
+
+#include <string>
+
+#include "omt/tree/multicast_tree.h"
+
+namespace omt {
+
+struct ValidationResult {
+  bool ok = true;
+  std::string message;  ///< empty when ok; first violation otherwise
+
+  explicit operator bool() const { return ok; }
+};
+
+/// Options for validate(); maxOutDegree < 0 disables the degree check.
+struct ValidationOptions {
+  std::int64_t maxOutDegree = -1;
+};
+
+/// Validate that `tree` is a spanning arborescence of all its nodes rooted
+/// at tree.root(), with out-degrees within the cap. The tree must be
+/// finalized.
+ValidationResult validate(const MulticastTree& tree,
+                          const ValidationOptions& options = {});
+
+}  // namespace omt

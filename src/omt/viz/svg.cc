@@ -1,0 +1,163 @@
+#include "omt/viz/svg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <numbers>
+#include <ostream>
+#include <sstream>
+
+#include "omt/common/error.h"
+
+namespace omt {
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+/// World-to-canvas transform: the point bounding square (plus margin)
+/// mapped onto [0, size] with y flipped (SVG's y grows downward).
+class Transform {
+ public:
+  Transform(std::span<const Point> points, const SvgOptions& options)
+      : size_(static_cast<double>(options.sizePixels)) {
+    double lo[2] = {points[0][0], points[0][1]};
+    double hi[2] = {points[0][0], points[0][1]};
+    for (const Point& p : points) {
+      for (int c = 0; c < 2; ++c) {
+        lo[c] = std::min(lo[c], p[c]);
+        hi[c] = std::max(hi[c], p[c]);
+      }
+    }
+    const double extent =
+        std::max({hi[0] - lo[0], hi[1] - lo[1], 1e-9});
+    const double pad = extent * options.margin / (1.0 - 2.0 * options.margin);
+    scale_ = size_ / (extent + 2.0 * pad);
+    originX_ = (lo[0] + hi[0]) / 2.0;
+    originY_ = (lo[1] + hi[1]) / 2.0;
+  }
+
+  double x(double worldX) const {
+    return size_ / 2.0 + (worldX - originX_) * scale_;
+  }
+  double y(double worldY) const {
+    return size_ / 2.0 - (worldY - originY_) * scale_;
+  }
+  double length(double worldLength) const { return worldLength * scale_; }
+
+ private:
+  double size_;
+  double scale_ = 1.0;
+  double originX_ = 0.0;
+  double originY_ = 0.0;
+};
+
+std::string fmt(double v) {
+  std::ostringstream out;
+  out.precision(2);
+  out.setf(std::ios::fixed);
+  out << v;
+  return out.str();
+}
+
+void drawGrid(std::ostream& out, const Transform& t, const PolarGrid& grid,
+              const Point& center, const SvgOptions& options) {
+  // Ring circles.
+  for (int i = 0; i <= grid.rings(); ++i) {
+    out << "  <circle cx=\"" << fmt(t.x(center[0])) << "\" cy=\""
+        << fmt(t.y(center[1])) << "\" r=\""
+        << fmt(t.length(grid.ringRadius(i))) << "\" fill=\"none\" stroke=\""
+        << options.gridColor << "\" stroke-width=\"0.6\"/>\n";
+  }
+  // Cell rays: ring i has 2^i cells over the azimuth.
+  for (int i = 1; i <= grid.rings(); ++i) {
+    const double inner = grid.ringRadius(i - 1);
+    const double outer = grid.ringRadius(i);
+    const std::uint64_t cells = grid.cellsInRing(i);
+    for (std::uint64_t c = 0; c < cells; ++c) {
+      const double angle =
+          kTwoPi * static_cast<double>(c) / static_cast<double>(cells);
+      out << "  <line x1=\"" << fmt(t.x(center[0] + inner * std::cos(angle)))
+          << "\" y1=\"" << fmt(t.y(center[1] + inner * std::sin(angle)))
+          << "\" x2=\"" << fmt(t.x(center[0] + outer * std::cos(angle)))
+          << "\" y2=\"" << fmt(t.y(center[1] + outer * std::sin(angle)))
+          << "\" stroke=\"" << options.gridColor
+          << "\" stroke-width=\"0.6\"/>\n";
+    }
+  }
+}
+
+}  // namespace
+
+void renderSvg(std::ostream& out, std::span<const Point> points,
+               const MulticastTree* tree, const PolarGrid* grid,
+               const SvgOptions& options) {
+  OMT_CHECK(!points.empty(), "empty point set");
+  for (const Point& p : points)
+    OMT_CHECK(p.dim() == 2, "SVG rendering is 2D only");
+  OMT_CHECK(options.sizePixels >= 16, "canvas too small");
+  OMT_CHECK(options.margin >= 0.0 && options.margin < 0.5,
+            "margin outside [0, 0.5)");
+  if (tree != nullptr) {
+    OMT_CHECK(tree->finalized(), "tree must be finalized");
+    OMT_CHECK(tree->size() == static_cast<NodeId>(points.size()),
+              "tree and point set sizes differ");
+  }
+
+  const Transform t(points, options);
+  const int size = options.sizePixels;
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << size
+      << "\" height=\"" << size << "\" viewBox=\"0 0 " << size << ' ' << size
+      << "\">\n";
+  out << "  <rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+
+  if (grid != nullptr && options.drawGrid) {
+    const Point& center =
+        tree != nullptr
+            ? points[static_cast<std::size_t>(tree->root())]
+            : points[0];
+    drawGrid(out, t, *grid, center, options);
+  }
+
+  if (tree != nullptr && options.drawEdges) {
+    // Local edges first so core edges draw on top.
+    for (const int pass : {0, 1}) {
+      for (NodeId v = 0; v < tree->size(); ++v) {
+        if (v == tree->root()) continue;
+        const bool core = tree->edgeKindOf(v) == EdgeKind::kCore;
+        if ((pass == 1) != core) continue;
+        const Point& a = points[static_cast<std::size_t>(tree->parentOf(v))];
+        const Point& b = points[static_cast<std::size_t>(v)];
+        out << "  <line x1=\"" << fmt(t.x(a[0])) << "\" y1=\""
+            << fmt(t.y(a[1])) << "\" x2=\"" << fmt(t.x(b[0])) << "\" y2=\""
+            << fmt(t.y(b[1])) << "\" stroke=\""
+            << (core ? options.coreEdgeColor : options.localEdgeColor)
+            << "\" stroke-width=\"" << (core ? "1.2" : "0.5") << "\"/>\n";
+      }
+    }
+  }
+
+  if (options.drawPoints) {
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const bool isSource =
+          tree != nullptr && static_cast<NodeId>(i) == tree->root();
+      out << "  <circle cx=\"" << fmt(t.x(points[i][0])) << "\" cy=\""
+          << fmt(t.y(points[i][1])) << "\" r=\""
+          << fmt(isSource ? 3.0 * options.pointRadius : options.pointRadius)
+          << "\" fill=\""
+          << (isSource ? options.sourceColor : options.pointColor)
+          << "\"/>\n";
+    }
+  }
+  out << "</svg>\n";
+  OMT_CHECK(out.good(), "write failure while rendering SVG");
+}
+
+void renderSvgFile(const std::string& path, std::span<const Point> points,
+                   const MulticastTree* tree, const PolarGrid* grid,
+                   const SvgOptions& options) {
+  std::ofstream out(path);
+  OMT_CHECK(out.good(), "cannot open " + path + " for writing");
+  renderSvg(out, points, tree, grid, options);
+}
+
+}  // namespace omt

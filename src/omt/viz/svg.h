@@ -1,0 +1,46 @@
+// SVG rendering of 2D point sets, polar grids, and multicast trees.
+//
+// Figures like the paper's Figure 1 (ring-segment bisection) and Figure 2
+// (the polar grid) are one function call away: render the grid's rings and
+// cell boundaries, overlay the tree's edges (core edges emphasised), and
+// mark the source. Output is a self-contained SVG document; 2D only.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "omt/geometry/point.h"
+#include "omt/grid/polar_grid.h"
+#include "omt/tree/multicast_tree.h"
+
+namespace omt {
+
+struct SvgOptions {
+  int sizePixels = 800;        ///< width = height of the canvas
+  double margin = 0.05;        ///< fraction of the canvas left as border
+  double pointRadius = 1.5;    ///< host dot radius in pixels
+  bool drawPoints = true;
+  bool drawEdges = true;
+  bool drawGrid = true;        ///< rings + cell rays (if a grid is given)
+  std::string coreEdgeColor = "#d62728";
+  std::string localEdgeColor = "#1f77b4";
+  std::string gridColor = "#bbbbbb";
+  std::string pointColor = "#333333";
+  std::string sourceColor = "#2ca02c";
+};
+
+/// Render `points` (2D) with the optional tree and grid to `out`. The
+/// tree, when given, must be finalized and sized to the point set; the
+/// grid, when given, is drawn centered on the tree's root (or points[0]).
+void renderSvg(std::ostream& out, std::span<const Point> points,
+               const MulticastTree* tree, const PolarGrid* grid,
+               const SvgOptions& options = {});
+
+/// Convenience: render to a file; throws omt::InvalidArgument on IO errors.
+void renderSvgFile(const std::string& path, std::span<const Point> points,
+                   const MulticastTree* tree, const PolarGrid* grid,
+                   const SvgOptions& options = {});
+
+}  // namespace omt

@@ -1,0 +1,158 @@
+#include "omt/baselines/delaunay.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "omt/common/error.h"
+#include "omt/random/samplers.h"
+#include "omt/tree/metrics.h"
+#include "omt/tree/validation.h"
+
+namespace omt {
+namespace {
+
+TEST(DelaunayTest, SquareHasTwoTriangles) {
+  const std::vector<Point> points{Point{0.0, 0.0}, Point{1.0, 0.0},
+                                  Point{1.0, 1.0}, Point{0.0, 1.0}};
+  const DelaunayTriangulation tri = delaunayTriangulate(points);
+  EXPECT_EQ(tri.triangles.size(), 2u);
+  // The four hull edges plus one diagonal = 5 undirected edges.
+  std::int64_t edgeEndpoints = 0;
+  for (const auto& nbrs : tri.neighbors) edgeEndpoints += static_cast<std::int64_t>(nbrs.size());
+  EXPECT_EQ(edgeEndpoints, 10);
+}
+
+TEST(DelaunayTest, EmptyCircleProperty) {
+  Rng rng(1);
+  std::vector<Point> points;
+  for (int i = 0; i < 60; ++i) points.push_back(sampleUnitBall(rng, 2));
+  const DelaunayTriangulation tri = delaunayTriangulate(points);
+  ASSERT_FALSE(tri.triangles.empty());
+  // No input point lies strictly inside any triangle's circumcircle — the
+  // defining property of a Delaunay triangulation.
+  for (const auto& t : tri.triangles) {
+    const Point& a = points[static_cast<std::size_t>(t[0])];
+    const Point& b = points[static_cast<std::size_t>(t[1])];
+    const Point& c = points[static_cast<std::size_t>(t[2])];
+    // Circumcenter via perpendicular bisector intersection.
+    const double d = 2.0 * ((a[0] - c[0]) * (b[1] - c[1]) -
+                            (b[0] - c[0]) * (a[1] - c[1]));
+    ASSERT_NE(d, 0.0);
+    const double a2 = squaredNorm(a - c);
+    const double b2 = squaredNorm(b - c);
+    const Point center{
+        c[0] + (a2 * (b[1] - c[1]) - b2 * (a[1] - c[1])) / d,
+        c[1] + (b2 * (a[0] - c[0]) - a2 * (b[0] - c[0])) / d};
+    const double radius2 = squaredDistance(center, a);
+    for (const Point& p : points) {
+      EXPECT_GE(squaredDistance(center, p), radius2 * (1.0 - 1e-9))
+          << "point inside a circumcircle";
+    }
+  }
+}
+
+TEST(DelaunayTest, TriangleCountMatchesEulerBound) {
+  // For n points with h on the hull: triangles = 2n - h - 2.
+  Rng rng(2);
+  std::vector<Point> points;
+  for (int i = 0; i < 200; ++i) points.push_back(sampleUnitBall(rng, 2));
+  const DelaunayTriangulation tri = delaunayTriangulate(points);
+  EXPECT_GT(tri.triangles.size(), points.size());        // h < n - 2 here
+  EXPECT_LT(tri.triangles.size(), 2 * points.size());
+}
+
+TEST(DelaunayTest, NeighborsAreSymmetric) {
+  Rng rng(3);
+  std::vector<Point> points;
+  for (int i = 0; i < 150; ++i) points.push_back(sampleUnitBall(rng, 2));
+  const DelaunayTriangulation tri = delaunayTriangulate(points);
+  for (std::size_t v = 0; v < points.size(); ++v) {
+    for (const NodeId u : tri.neighbors[v]) {
+      const auto& back = tri.neighbors[static_cast<std::size_t>(u)];
+      EXPECT_NE(std::find(back.begin(), back.end(), static_cast<NodeId>(v)),
+                back.end());
+    }
+  }
+}
+
+TEST(DelaunayTest, DuplicatesCollapse) {
+  const std::vector<Point> points{Point{0.0, 0.0}, Point{1.0, 0.0},
+                                  Point{0.0, 1.0}, Point{1.0, 0.0}};
+  const DelaunayTriangulation tri = delaunayTriangulate(points);
+  EXPECT_EQ(tri.duplicateOf[3], 1);
+  EXPECT_EQ(tri.triangles.size(), 1u);
+}
+
+TEST(DelaunayTest, RejectsNon2D) {
+  const std::vector<Point> points{Point{0.0, 0.0, 0.0}};
+  EXPECT_THROW(delaunayTriangulate(points), InvalidArgument);
+  EXPECT_THROW(delaunayTriangulate({}), InvalidArgument);
+}
+
+TEST(CompassTreeTest, ValidSpanningTree) {
+  Rng rng(4);
+  auto points = sampleDiskWithCenterSource(rng, 2000, 2);
+  const MulticastTree tree = buildDelaunayCompassTree(points, 0);
+  const ValidationResult valid = validate(tree);
+  EXPECT_TRUE(valid.ok) << valid.message;
+}
+
+TEST(CompassTreeTest, DelayWithinModestStretch) {
+  // Greedy Delaunay routes are short in practice (stretch well under 2.5
+  // on random instances); the radius stays within a small factor of the
+  // straight-line bound.
+  Rng rng(5);
+  auto points = sampleDiskWithCenterSource(rng, 3000, 2);
+  const MulticastTree tree = buildDelaunayCompassTree(points, 0);
+  const TreeMetrics m = computeMetrics(tree, points);
+  EXPECT_LT(m.maxStretch, 2.5);
+  EXPECT_GE(m.maxDelay, 0.9);
+}
+
+TEST(CompassTreeTest, ParentIsAlwaysCloserToSource) {
+  Rng rng(6);
+  auto points = sampleDiskWithCenterSource(rng, 1000, 2);
+  const MulticastTree tree = buildDelaunayCompassTree(points, 0);
+  for (NodeId v = 1; v < tree.size(); ++v) {
+    const NodeId p = tree.parentOf(v);
+    EXPECT_LE(distance(points[static_cast<std::size_t>(p)], points[0]),
+              distance(points[static_cast<std::size_t>(v)], points[0]) + 1e-12)
+        << "node " << v;
+  }
+}
+
+TEST(CompassTreeTest, NonZeroSourceAndDuplicates) {
+  Rng rng(7);
+  auto points = sampleDiskWithCenterSource(rng, 500, 2);
+  points.push_back(points[123]);  // duplicate of a random host
+  points.push_back(points[0]);    // duplicate of the center
+  const NodeId source = 123;
+  const MulticastTree tree = buildDelaunayCompassTree(points, source);
+  const ValidationResult valid = validate(tree);
+  EXPECT_TRUE(valid.ok) << valid.message;
+  EXPECT_EQ(tree.root(), source);
+}
+
+TEST(CompassTreeTest, CollinearFallback) {
+  std::vector<Point> points;
+  for (int i = 0; i < 20; ++i)
+    points.push_back(Point{static_cast<double>(i), 0.0});
+  const MulticastTree tree = buildDelaunayCompassTree(points, 0);
+  EXPECT_TRUE(validate(tree));
+  const TreeMetrics m = computeMetrics(tree, points);
+  EXPECT_NEAR(m.maxDelay, 19.0, 1e-9);  // the path itself
+}
+
+TEST(CompassTreeTest, TinyInputs) {
+  const std::vector<Point> one{Point{0.0, 0.0}};
+  EXPECT_TRUE(validate(buildDelaunayCompassTree(one, 0)));
+  const std::vector<Point> two{Point{0.0, 0.0}, Point{1.0, 0.0}};
+  const MulticastTree tree = buildDelaunayCompassTree(two, 0);
+  EXPECT_TRUE(validate(tree));
+  EXPECT_EQ(tree.parentOf(1), 0);
+}
+
+}  // namespace
+}  // namespace omt

@@ -1,0 +1,262 @@
+#include "omt/baselines/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include "omt/core/bounds.h"
+#include "omt/random/samplers.h"
+#include "omt/tree/metrics.h"
+#include "omt/tree/validation.h"
+
+namespace omt {
+namespace {
+
+std::vector<Point> workload(std::int64_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  return sampleDiskWithCenterSource(rng, n, 2);
+}
+
+TEST(StarTest, RadiusEqualsLowerBound) {
+  const auto points = workload(500, 1);
+  const MulticastTree star = buildStarTree(points, 0);
+  EXPECT_TRUE(validate(star));
+  const TreeMetrics m = computeMetrics(star, points);
+  EXPECT_DOUBLE_EQ(m.maxDelay, radiusLowerBound(points, 0));
+  EXPECT_EQ(m.maxDepth, 1);
+  EXPECT_EQ(m.maxOutDegree, 499);
+}
+
+TEST(ChainTest, IsAPath) {
+  const auto points = workload(200, 2);
+  const MulticastTree chain = buildChainTree(points, 0);
+  EXPECT_TRUE(validate(chain, {.maxOutDegree = 1}));
+  const TreeMetrics m = computeMetrics(chain, points);
+  EXPECT_EQ(m.maxDepth, 199);
+}
+
+TEST(ChainTest, OrderedByDistanceFromSource) {
+  const std::vector<Point> points{Point{0.0, 0.0}, Point{3.0, 0.0},
+                                  Point{1.0, 0.0}, Point{2.0, 0.0}};
+  const MulticastTree chain = buildChainTree(points, 0);
+  EXPECT_EQ(chain.parentOf(2), 0);
+  EXPECT_EQ(chain.parentOf(3), 2);
+  EXPECT_EQ(chain.parentOf(1), 3);
+}
+
+class BaselineDegreeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BaselineDegreeSweep, AllBuildersRespectTheCap) {
+  const int degree = GetParam();
+  const auto points = workload(600, 3);
+  Rng rng(4);
+
+  const MulticastTree greedy = buildGreedyInsertionTree(points, 0, degree);
+  EXPECT_TRUE(validate(greedy, {.maxOutDegree = degree}));
+
+  const MulticastTree bw = buildBandwidthLatencyTree(points, 0, degree, rng);
+  EXPECT_TRUE(validate(bw, {.maxOutDegree = degree}));
+
+  const MulticastTree nearest = buildNearestParentTree(points, 0, degree);
+  EXPECT_TRUE(validate(nearest, {.maxOutDegree = degree}));
+
+  const MulticastTree random = buildRandomFeasibleTree(points, 0, degree, rng);
+  EXPECT_TRUE(validate(random, {.maxOutDegree = degree}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, BaselineDegreeSweep,
+                         ::testing::Values(1, 2, 3, 6, 16));
+
+TEST(GreedyInsertionTest, BeatsTheChainAndRandom) {
+  const auto points = workload(800, 5);
+  Rng rng(6);
+  const double greedy =
+      computeMetrics(buildGreedyInsertionTree(points, 0, 6), points).maxDelay;
+  const double chain =
+      computeMetrics(buildChainTree(points, 0), points).maxDelay;
+  const double random = computeMetrics(
+      buildRandomFeasibleTree(points, 0, 6, rng), points).maxDelay;
+  EXPECT_LT(greedy, chain);
+  EXPECT_LT(greedy, random);
+}
+
+TEST(GreedyInsertionTest, NearOptimalOnSmallInstances) {
+  // With a generous degree cap the greedy tree approaches the star's
+  // lower-bound radius.
+  const auto points = workload(100, 7);
+  const double greedy =
+      computeMetrics(buildGreedyInsertionTree(points, 0, 99), points).maxDelay;
+  EXPECT_NEAR(greedy, radiusLowerBound(points, 0), 1e-9);
+}
+
+TEST(BandwidthLatencyTest, PrefersResidualFanOut) {
+  // Three hosts join a 2-host tree: the first two fill the source's slots;
+  // the third must go under a child even if the source is closer — exactly
+  // the bandwidth-first rule.
+  const std::vector<Point> points{Point{0.0, 0.0}, Point{1.0, 0.0},
+                                  Point{-1.0, 0.0}, Point{0.1, 0.1}};
+  Rng rng(8);
+  const MulticastTree tree = buildBandwidthLatencyTree(points, 0, 2, rng);
+  EXPECT_TRUE(validate(tree, {.maxOutDegree = 2}));
+  // Whoever joined last cannot all hang off the source (cap 2, three
+  // joiners): at least one non-source parent exists.
+  int nonSourceParents = 0;
+  for (NodeId v = 1; v < 4; ++v) {
+    if (tree.parentOf(v) != 0) ++nonSourceParents;
+  }
+  EXPECT_GE(nonSourceParents, 1);
+}
+
+TEST(NearestParentTest, AttachesToNearestFeasible) {
+  const std::vector<Point> points{Point{0.0, 0.0}, Point{1.0, 0.0},
+                                  Point{1.2, 0.0}};
+  const MulticastTree tree = buildNearestParentTree(points, 0, 6);
+  EXPECT_EQ(tree.parentOf(1), 0);
+  EXPECT_EQ(tree.parentOf(2), 1);  // 1 is nearer to 2 than the source
+}
+
+TEST(RandomFeasibleTest, DeterministicGivenSeed) {
+  const auto points = workload(300, 9);
+  Rng a(10);
+  Rng b(10);
+  const MulticastTree ta = buildRandomFeasibleTree(points, 0, 3, a);
+  const MulticastTree tb = buildRandomFeasibleTree(points, 0, 3, b);
+  for (NodeId v = 0; v < ta.size(); ++v)
+    EXPECT_EQ(ta.parentOf(v), tb.parentOf(v));
+}
+
+TEST(BaselinesTest, RejectBadArguments) {
+  const auto points = workload(10, 11);
+  Rng rng(12);
+  EXPECT_THROW(buildGreedyInsertionTree(points, 0, 0), InvalidArgument);
+  EXPECT_THROW(buildGreedyInsertionTree(points, -1, 2), InvalidArgument);
+  EXPECT_THROW(buildStarTree({}, 0), InvalidArgument);
+  EXPECT_THROW(buildBandwidthLatencyTree(points, 20, 2, rng),
+               InvalidArgument);
+}
+
+TEST(BaselinesTest, SingleNodeInputs) {
+  const std::vector<Point> points{Point{0.0, 0.0}};
+  Rng rng(13);
+  EXPECT_TRUE(validate(buildStarTree(points, 0)));
+  EXPECT_TRUE(validate(buildChainTree(points, 0)));
+  EXPECT_TRUE(validate(buildGreedyInsertionTree(points, 0, 2)));
+  EXPECT_TRUE(validate(buildBandwidthLatencyTree(points, 0, 2, rng)));
+  EXPECT_TRUE(validate(buildNearestParentTree(points, 0, 2)));
+  EXPECT_TRUE(validate(buildRandomFeasibleTree(points, 0, 2, rng)));
+}
+
+}  // namespace
+}  // namespace omt
+
+namespace omt {
+namespace {
+
+TEST(LayeredTreeTest, AchievesOptimalHopRadius) {
+  for (const auto& [n, degree] : {std::pair{100L, 2}, std::pair{100L, 6},
+                                  std::pair{1000L, 3}, std::pair{4096L, 2}}) {
+    const auto points = [&] {
+      Rng rng(static_cast<std::uint64_t>(n + degree));
+      return sampleDiskWithCenterSource(rng, n, 2);
+    }();
+    const MulticastTree tree = buildLayeredTree(points, 0, degree);
+    EXPECT_TRUE(validate(tree, {.maxOutDegree = degree}));
+    const TreeMetrics m = computeMetrics(tree, points);
+    EXPECT_EQ(m.maxDepth, optimalHopRadius(static_cast<NodeId>(n), degree))
+        << "n=" << n << " D=" << degree;
+  }
+}
+
+TEST(LayeredTreeTest, OptimalHopRadiusValues) {
+  EXPECT_EQ(optimalHopRadius(1, 2), 0);
+  EXPECT_EQ(optimalHopRadius(2, 2), 1);
+  EXPECT_EQ(optimalHopRadius(3, 2), 1);
+  EXPECT_EQ(optimalHopRadius(4, 2), 2);
+  EXPECT_EQ(optimalHopRadius(7, 2), 2);
+  EXPECT_EQ(optimalHopRadius(8, 2), 3);
+  EXPECT_EQ(optimalHopRadius(1000, 1), 999);  // the chain
+  EXPECT_EQ(optimalHopRadius(1 + 6 + 36, 6), 2);
+  EXPECT_EQ(optimalHopRadius(1 + 6 + 36 + 1, 6), 3);
+  EXPECT_THROW(optimalHopRadius(0, 2), InvalidArgument);
+  EXPECT_THROW(optimalHopRadius(5, 0), InvalidArgument);
+}
+
+TEST(LayeredTreeTest, NoDegreeBoundedTreeIsShallower) {
+  // Property: every feasible tree's hop depth >= optimalHopRadius.
+  const auto points = [] {
+    Rng rng(77);
+    return sampleDiskWithCenterSource(rng, 500, 2);
+  }();
+  for (const int degree : {2, 4}) {
+    const std::int32_t optimal = optimalHopRadius(500, degree);
+    Rng rng(78);
+    const MulticastTree greedy = buildGreedyInsertionTree(points, 0, degree);
+    const MulticastTree random =
+        buildRandomFeasibleTree(points, 0, degree, rng);
+    EXPECT_GE(computeMetrics(greedy, points).maxDepth, optimal);
+    EXPECT_GE(computeMetrics(random, points).maxDepth, optimal);
+  }
+}
+
+TEST(LayeredTreeTest, NearestFirstFilling) {
+  // Sorted order means the source's direct children are the D nearest
+  // hosts.
+  const std::vector<Point> points{Point{0.0, 0.0}, Point{5.0, 0.0},
+                                  Point{1.0, 0.0}, Point{3.0, 0.0},
+                                  Point{2.0, 0.0}};
+  const MulticastTree tree = buildLayeredTree(points, 0, 2);
+  EXPECT_EQ(tree.parentOf(2), 0);  // nearest
+  EXPECT_EQ(tree.parentOf(4), 0);  // second nearest
+  EXPECT_EQ(tree.parentOf(3), 2);  // third hangs under the nearest
+}
+
+}  // namespace
+}  // namespace omt
+
+namespace omt {
+namespace {
+
+TEST(HmtpTest, ValidWithinCapAcrossDegrees) {
+  const auto points = workload(1500, 30);
+  for (const int degree : {1, 2, 6}) {
+    Rng rng(31);
+    const MulticastTree tree = buildHmtpTree(points, 0, degree, rng);
+    const ValidationResult valid = validate(tree, {.maxOutDegree = degree});
+    EXPECT_TRUE(valid.ok) << "D=" << degree << ": " << valid.message;
+  }
+}
+
+TEST(HmtpTest, LocalityBeatsRandomAttachment) {
+  const auto points = workload(2000, 32);
+  Rng hmtpRng(33);
+  Rng randomRng(33);
+  const double hmtp = computeMetrics(
+      buildHmtpTree(points, 0, 6, hmtpRng), points).maxDelay;
+  const double random = computeMetrics(
+      buildRandomFeasibleTree(points, 0, 6, randomRng), points).maxDelay;
+  EXPECT_LT(hmtp, random / 2.0);
+}
+
+TEST(HmtpTest, DescentAttachesNearJoiner) {
+  // A joiner next to an existing deep host should attach near it, not at
+  // the root, once the root region is covered.
+  const std::vector<Point> points{Point{0.0, 0.0}, Point{0.1, 0.0},
+                                  Point{1.0, 0.0}, Point{1.05, 0.0}};
+  Rng rng(34);
+  // Join in id order by using a cap that forces the walk: degree 1.
+  MulticastTree tree = buildHmtpTree(points, 0, 1, rng);
+  EXPECT_TRUE(validate(tree, {.maxOutDegree = 1}));
+  // With cap 1 the result is a chain regardless of order.
+  EXPECT_EQ(computeMetrics(tree, points).maxDepth, 3);
+}
+
+TEST(HmtpTest, SingleNodeAndDuplicates) {
+  Rng rng(35);
+  const std::vector<Point> one{Point{0.0, 0.0}};
+  EXPECT_TRUE(validate(buildHmtpTree(one, 0, 2, rng)));
+  std::vector<Point> dup(50, Point{0.3, 0.3});
+  dup[0] = Point{0.0, 0.0};
+  const MulticastTree tree = buildHmtpTree(dup, 0, 2, rng);
+  EXPECT_TRUE(validate(tree, {.maxOutDegree = 2}));
+}
+
+}  // namespace
+}  // namespace omt

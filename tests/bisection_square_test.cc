@@ -1,0 +1,114 @@
+#include "omt/bisection/square_bisection.h"
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "omt/bisection/bisection.h"
+#include "omt/common/error.h"
+#include "omt/random/samplers.h"
+#include "omt/tree/metrics.h"
+#include "omt/tree/validation.h"
+
+namespace omt {
+namespace {
+
+TEST(SquareBisectionTest, SinglePointAndPair) {
+  const std::vector<Point> one{Point{1.0, 2.0}};
+  EXPECT_TRUE(validate(buildSquareBisectionTree(one, 0).tree));
+
+  const std::vector<Point> two{Point{0.0, 0.0}, Point{3.0, 4.0}};
+  const SquareBisectionResult result = buildSquareBisectionTree(two, 0);
+  EXPECT_TRUE(validate(result.tree));
+  EXPECT_NEAR(computeMetrics(result.tree, two).maxDelay, 5.0, 1e-12);
+}
+
+TEST(SquareBisectionTest, BoundingBoxIsTight) {
+  const std::vector<Point> points{Point{-1.0, 2.0}, Point{3.0, -4.0},
+                                  Point{0.0, 0.0}};
+  const SquareBisectionResult result = buildSquareBisectionTree(points, 2);
+  EXPECT_EQ(result.boxLo, (Point{-1.0, -4.0}));
+  EXPECT_EQ(result.boxHi, (Point{3.0, 2.0}));
+}
+
+TEST(SquareBisectionTest, DuplicatesAndCollinearTerminate) {
+  std::vector<Point> points(300, Point{0.25, 0.25});
+  points.push_back(Point{0.75, 0.25});
+  EXPECT_TRUE(validate(
+      buildSquareBisectionTree(points, 0, {.maxOutDegree = 2}).tree,
+      {.maxOutDegree = 2}));
+
+  std::vector<Point> line;
+  for (int i = 0; i < 100; ++i)
+    line.push_back(Point{static_cast<double>(i), 0.0});
+  EXPECT_TRUE(validate(
+      buildSquareBisectionTree(line, 0, {.maxOutDegree = 3}).tree,
+      {.maxOutDegree = 3}));
+}
+
+TEST(SquareBisectionTest, RejectsBadArguments) {
+  const std::vector<Point> points{Point{0.0, 0.0}};
+  EXPECT_THROW(buildSquareBisectionTree({}, 0), InvalidArgument);
+  EXPECT_THROW(buildSquareBisectionTree(points, 1), InvalidArgument);
+  EXPECT_THROW(buildSquareBisectionTree(points, 0, {.maxOutDegree = 1}),
+               InvalidArgument);
+}
+
+struct SquareParam {
+  int dim;
+  int degree;
+  std::int64_t n;
+};
+
+class SquareBisectionSweep : public ::testing::TestWithParam<SquareParam> {};
+
+TEST_P(SquareBisectionSweep, ValidTreeWithinDegreeCapAndBound) {
+  const auto [dim, degree, n] = GetParam();
+  Rng rng(4100 + static_cast<std::uint64_t>(dim * 100 + degree * 10) +
+          static_cast<std::uint64_t>(n));
+  std::vector<Point> points;
+  for (std::int64_t i = 0; i < n; ++i)
+    points.push_back(sampleUnitBall(rng, dim) * 2.0);
+  const SquareBisectionResult result =
+      buildSquareBisectionTree(points, 0, {.maxOutDegree = degree});
+  const ValidationResult valid =
+      validate(result.tree, {.maxOutDegree = degree});
+  EXPECT_TRUE(valid.ok) << valid.message;
+  const TreeMetrics m = computeMetrics(result.tree, points);
+  EXPECT_LE(m.maxDelay, result.pathBound * (1.0 + 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SquareBisectionSweep,
+    ::testing::Values(SquareParam{2, 2, 400}, SquareParam{2, 4, 400},
+                      SquareParam{2, 4, 5000}, SquareParam{2, 7, 1000},
+                      SquareParam{3, 2, 500}, SquareParam{3, 8, 2000},
+                      SquareParam{4, 16, 800}, SquareParam{5, 2, 300}));
+
+TEST(SquareBisectionTest, ComparableToPolarOnUniformDisk) {
+  // Neither variant should dominate by a large factor on the same input.
+  Rng rng(4200);
+  std::vector<Point> points;
+  for (int i = 0; i < 5000; ++i) points.push_back(sampleUnitBall(rng, 2));
+  const double square = computeMetrics(
+      buildSquareBisectionTree(points, 0, {.maxOutDegree = 4}).tree, points)
+                            .maxDelay;
+  const double polar = computeMetrics(
+      buildBisectionTree(points, 0, {.maxOutDegree = 4}).tree, points)
+                           .maxDelay;
+  EXPECT_LT(square, 3.0 * polar);
+  EXPECT_LT(polar, 3.0 * square);
+}
+
+TEST(SquareBisectionTest, Deterministic) {
+  Rng rng(4300);
+  std::vector<Point> points;
+  for (int i = 0; i < 600; ++i) points.push_back(sampleUnitBall(rng, 2));
+  const SquareBisectionResult a = buildSquareBisectionTree(points, 0);
+  const SquareBisectionResult b = buildSquareBisectionTree(points, 0);
+  for (NodeId v = 0; v < a.tree.size(); ++v)
+    EXPECT_EQ(a.tree.parentOf(v), b.tree.parentOf(v));
+}
+
+}  // namespace
+}  // namespace omt

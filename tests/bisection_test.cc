@@ -1,0 +1,209 @@
+#include "omt/bisection/bisection.h"
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "omt/common/error.h"
+#include "omt/geometry/bounding.h"
+#include "omt/random/rng.h"
+#include "omt/random/samplers.h"
+#include "omt/tree/metrics.h"
+#include "omt/tree/validation.h"
+
+namespace omt {
+namespace {
+
+TEST(RelayLayersTest, MatchesPaperValues) {
+  EXPECT_EQ(relayLayers(2, 4), 1);  // 2D out-degree 4: one link per level
+  EXPECT_EQ(relayLayers(2, 2), 2);  // 2D out-degree 2: doubled arc term
+  EXPECT_EQ(relayLayers(3, 8), 1);  // 3D out-degree 8
+  EXPECT_EQ(relayLayers(3, 2), 3);  // 2^3 targets with binary relays
+  EXPECT_EQ(relayLayers(2, 3), 2);
+  EXPECT_EQ(relayLayers(4, 4), 2);
+  EXPECT_THROW(relayLayers(2, 1), InvalidArgument);
+}
+
+TEST(BisectionTreeTest, SinglePoint) {
+  const std::vector<Point> points{Point{1.0, 1.0}};
+  const BisectionTreeResult result = buildBisectionTree(points, 0);
+  EXPECT_TRUE(validate(result.tree, {.maxOutDegree = 4}));
+  EXPECT_EQ(result.tree.size(), 1);
+}
+
+TEST(BisectionTreeTest, TwoPoints) {
+  const std::vector<Point> points{Point{0.0, 0.0}, Point{1.0, 0.0}};
+  const BisectionTreeResult result = buildBisectionTree(points, 0);
+  EXPECT_TRUE(validate(result.tree, {.maxOutDegree = 4}));
+  const TreeMetrics m = computeMetrics(result.tree, points);
+  EXPECT_NEAR(m.maxDelay, 1.0, 1e-12);
+}
+
+TEST(BisectionTreeTest, DuplicatePointsTerminate) {
+  std::vector<Point> points(200, Point{0.5, 0.5});
+  points.push_back(Point{0.7, 0.5});
+  const BisectionTreeResult deg2 =
+      buildBisectionTree(points, 0, {.maxOutDegree = 2});
+  EXPECT_TRUE(validate(deg2.tree, {.maxOutDegree = 2}));
+  const BisectionTreeResult deg4 = buildBisectionTree(points, 0);
+  EXPECT_TRUE(validate(deg4.tree, {.maxOutDegree = 4}));
+}
+
+TEST(BisectionTreeTest, CollinearPoints) {
+  std::vector<Point> points;
+  for (int i = 0; i < 64; ++i)
+    points.push_back(Point{static_cast<double>(i), 0.0});
+  const BisectionTreeResult result =
+      buildBisectionTree(points, 0, {.maxOutDegree = 2});
+  EXPECT_TRUE(validate(result.tree, {.maxOutDegree = 2}));
+}
+
+TEST(BisectionTreeTest, RejectsBadArguments) {
+  const std::vector<Point> points{Point{0.0, 0.0}};
+  EXPECT_THROW(buildBisectionTree({}, 0), InvalidArgument);
+  EXPECT_THROW(buildBisectionTree(points, 2), InvalidArgument);
+  EXPECT_THROW(buildBisectionTree(points, 0, {.maxOutDegree = 1}),
+               InvalidArgument);
+}
+
+TEST(BisectConnectTest, RejectsMemberOutsideSegment) {
+  MulticastTree tree(2, 0);
+  const RingSegment segment = RingSegment::fullBall(2, 1.0);
+  const Point origin{0.0, 0.0};
+  const std::vector<NodeId> members{1};
+  const std::vector<PolarCoords> polar{toPolar(Point{5.0, 0.0}, origin)};
+  EXPECT_THROW(
+      bisectConnect(tree, members, polar, 0, 0.0, segment, 4),
+      InvalidArgument);
+}
+
+TEST(BisectConnectTest, EmptyMembersIsANoOp) {
+  MulticastTree tree(1, 0);
+  const RingSegment segment = RingSegment::fullBall(2, 1.0);
+  EXPECT_NO_THROW(bisectConnect(tree, {}, {}, 0, 0.0, segment, 4));
+  tree.finalize();
+  EXPECT_TRUE(validate(tree));
+}
+
+struct SweepParam {
+  int dim;
+  int maxDegree;
+  std::int64_t n;
+};
+
+class BisectionSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(BisectionSweep, ProducesValidDegreeBoundedSpanningTree) {
+  const auto [dim, degree, n] = GetParam();
+  Rng rng(900 + static_cast<std::uint64_t>(dim * 100 + degree * 10) +
+          static_cast<std::uint64_t>(n));
+  std::vector<Point> points;
+  for (std::int64_t i = 0; i < n; ++i)
+    points.push_back(sampleUnitBall(rng, dim));
+  const BisectionTreeResult result =
+      buildBisectionTree(points, 0, {.maxOutDegree = degree});
+  const ValidationResult valid =
+      validate(result.tree, {.maxOutDegree = degree});
+  EXPECT_TRUE(valid.ok) << valid.message;
+}
+
+TEST_P(BisectionSweep, MaxDelayIsWithinThePathBound) {
+  const auto [dim, degree, n] = GetParam();
+  Rng rng(1700 + static_cast<std::uint64_t>(dim * 100 + degree * 10) +
+          static_cast<std::uint64_t>(n));
+  std::vector<Point> points;
+  for (std::int64_t i = 0; i < n; ++i)
+    points.push_back(sampleUnitBall(rng, dim));
+  const BisectionTreeResult result =
+      buildBisectionTree(points, 0, {.maxOutDegree = degree});
+  const TreeMetrics m = computeMetrics(result.tree, points);
+  EXPECT_LE(m.maxDelay, result.pathBound * (1.0 + 1e-9))
+      << "dim=" << dim << " degree=" << degree << " n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BisectionSweep,
+    ::testing::Values(SweepParam{2, 2, 50}, SweepParam{2, 2, 500},
+                      SweepParam{2, 3, 300}, SweepParam{2, 4, 50},
+                      SweepParam{2, 4, 2000}, SweepParam{2, 6, 400},
+                      SweepParam{3, 2, 300}, SweepParam{3, 4, 300},
+                      SweepParam{3, 8, 1000}, SweepParam{4, 2, 200},
+                      SweepParam{4, 16, 500}));
+
+class TheoremOneFactor : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(TheoremOneFactor, Degree4WithinFactorFive) {
+  const std::int64_t n = GetParam();
+  Rng rng(2200 + static_cast<std::uint64_t>(n));
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Point> points;
+    for (std::int64_t i = 0; i < n; ++i)
+      points.push_back(sampleUnitBall(rng, 2) * rng.uniform(0.5, 4.0));
+    const BisectionTreeResult result =
+        buildBisectionTree(points, 0, {.maxOutDegree = 4});
+    const TreeMetrics m = computeMetrics(result.tree, points);
+    if (result.lowerBound <= 0.0) continue;  // degenerate configuration
+    EXPECT_LE(m.maxDelay, 5.0 * result.lowerBound * (1.0 + 1e-9))
+        << "n=" << n << " trial=" << trial;
+  }
+}
+
+TEST_P(TheoremOneFactor, Degree2WithinFactorNine) {
+  const std::int64_t n = GetParam();
+  Rng rng(3300 + static_cast<std::uint64_t>(n));
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Point> points;
+    for (std::int64_t i = 0; i < n; ++i)
+      points.push_back(sampleUnitBall(rng, 2) * rng.uniform(0.5, 4.0));
+    const BisectionTreeResult result =
+        buildBisectionTree(points, 0, {.maxOutDegree = 2});
+    const TreeMetrics m = computeMetrics(result.tree, points);
+    if (result.lowerBound <= 0.0) continue;
+    EXPECT_LE(m.maxDelay, 9.0 * result.lowerBound * (1.0 + 1e-9))
+        << "n=" << n << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TheoremOneFactor,
+                         ::testing::Values(3, 10, 100, 1000));
+
+TEST(BisectionTreeTest, CoveringSegmentSatisfiesPreconditions) {
+  Rng rng(71);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<Point> points;
+    const int n = 2 + static_cast<int>(rng.uniformInt(100));
+    for (int i = 0; i < n; ++i)
+      points.push_back(sampleUnitBall(rng, 2) * 2.0);
+    const BisectionTreeResult result = buildBisectionTree(points, 0);
+    EXPECT_GT(result.segmentInnerRadius, 0.6 * result.segmentOuterRadius);
+    EXPECT_GT(std::sin(result.segmentAngle),
+              5.0 / 6.0 * result.segmentAngle - 1e-12);
+    EXPECT_GE(result.sourceRadius, result.segmentInnerRadius - 1e-9);
+    EXPECT_LE(result.sourceRadius, result.segmentOuterRadius + 1e-9);
+    EXPECT_GE(result.pathBound, 0.0);
+  }
+}
+
+TEST(BisectionTreeTest, NonSourceZeroRootWorks) {
+  Rng rng(72);
+  std::vector<Point> points;
+  for (int i = 0; i < 300; ++i) points.push_back(sampleUnitBall(rng, 2));
+  const NodeId source = 123;
+  const BisectionTreeResult result = buildBisectionTree(points, source);
+  EXPECT_EQ(result.tree.root(), source);
+  EXPECT_TRUE(validate(result.tree, {.maxOutDegree = 4}));
+}
+
+TEST(BisectionTreeTest, DeterministicForFixedInput) {
+  Rng rng(73);
+  std::vector<Point> points;
+  for (int i = 0; i < 400; ++i) points.push_back(sampleUnitBall(rng, 2));
+  const BisectionTreeResult a = buildBisectionTree(points, 0);
+  const BisectionTreeResult b = buildBisectionTree(points, 0);
+  for (NodeId v = 0; v < a.tree.size(); ++v)
+    EXPECT_EQ(a.tree.parentOf(v), b.tree.parentOf(v));
+}
+
+}  // namespace
+}  // namespace omt

@@ -1,0 +1,52 @@
+#include "omt/common/error.h"
+
+#include <gtest/gtest.h>
+
+namespace omt {
+namespace {
+
+TEST(ErrorTest, CheckPassesOnTrueCondition) {
+  EXPECT_NO_THROW(OMT_CHECK(1 + 1 == 2, "never fires"));
+}
+
+TEST(ErrorTest, CheckThrowsInvalidArgument) {
+  EXPECT_THROW(OMT_CHECK(false, "bad input"), InvalidArgument);
+}
+
+TEST(ErrorTest, AssertThrowsLogicError) {
+  EXPECT_THROW(OMT_ASSERT(false, "broken invariant"), LogicError);
+}
+
+TEST(ErrorTest, InvalidArgumentIsAStdInvalidArgument) {
+  EXPECT_THROW(OMT_CHECK(false, "x"), std::invalid_argument);
+}
+
+TEST(ErrorTest, LogicErrorIsAStdLogicError) {
+  EXPECT_THROW(OMT_ASSERT(false, "x"), std::logic_error);
+}
+
+TEST(ErrorTest, MessageContainsContext) {
+  try {
+    OMT_CHECK(2 < 1, "two is not less than one");
+    FAIL() << "expected a throw";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("two is not less than one"), std::string::npos);
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("common_error_test.cc"), std::string::npos);
+  }
+}
+
+TEST(ErrorTest, MessageSupportsStringExpressions) {
+  const std::string name = "cell-7";
+  try {
+    OMT_CHECK(false, "missing " + name);
+    FAIL() << "expected a throw";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("missing cell-7"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace omt

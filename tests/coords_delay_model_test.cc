@@ -1,0 +1,157 @@
+#include "omt/coords/delay_model.h"
+
+#include <gtest/gtest.h>
+
+#include "omt/baselines/baselines.h"
+#include "omt/random/samplers.h"
+#include "omt/tree/metrics.h"
+
+namespace omt {
+namespace {
+
+std::vector<Point> workload(std::int64_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  return sampleDiskWithCenterSource(rng, n, 2);
+}
+
+TEST(EuclideanDelayModelTest, MatchesDistances) {
+  const auto points = workload(50, 1);
+  const EuclideanDelayModel model(points);
+  EXPECT_EQ(model.size(), 50);
+  for (NodeId a = 0; a < 10; ++a) {
+    for (NodeId b = 0; b < 10; ++b) {
+      EXPECT_DOUBLE_EQ(model.delay(a, b),
+                       distance(points[static_cast<std::size_t>(a)],
+                                points[static_cast<std::size_t>(b)]));
+    }
+  }
+}
+
+TEST(EuclideanDelayModelTest, Validation) {
+  EXPECT_THROW(EuclideanDelayModel({}), InvalidArgument);
+  const EuclideanDelayModel model(workload(5, 2));
+  EXPECT_THROW(model.delay(0, 5), InvalidArgument);
+  EXPECT_THROW(model.delay(-1, 0), InvalidArgument);
+}
+
+TEST(NoisyModelTest, SymmetricDeterministicAndZeroDiagonal) {
+  const NoisyEuclideanDelayModel model(workload(40, 3), 0.0, 0.3, 0.01, 99);
+  for (NodeId a = 0; a < 40; ++a) {
+    EXPECT_DOUBLE_EQ(model.delay(a, a), 0.0);
+    for (NodeId b = a + 1; b < 40; ++b) {
+      EXPECT_DOUBLE_EQ(model.delay(a, b), model.delay(b, a));
+      EXPECT_DOUBLE_EQ(model.delay(a, b), model.delay(a, b));  // stable
+      EXPECT_GE(model.delay(a, b), 0.01);  // the floor
+    }
+  }
+}
+
+TEST(NoisyModelTest, ZeroNoiseReducesToEuclideanPlusFloor) {
+  const auto points = workload(30, 4);
+  const NoisyEuclideanDelayModel noisy(points, 0.0, 0.0, 0.0, 7);
+  const EuclideanDelayModel clean(points);
+  for (NodeId a = 0; a < 30; ++a) {
+    for (NodeId b = 0; b < 30; ++b) {
+      EXPECT_NEAR(noisy.delay(a, b), clean.delay(a, b), 1e-12);
+    }
+  }
+}
+
+TEST(NoisyModelTest, DifferentSeedsDifferentNoise) {
+  const auto points = workload(20, 5);
+  const NoisyEuclideanDelayModel a(points, 0.0, 0.5, 0.0, 1);
+  const NoisyEuclideanDelayModel b(points, 0.0, 0.5, 0.0, 2);
+  int different = 0;
+  for (NodeId i = 1; i < 20; ++i) {
+    if (a.delay(0, i) != b.delay(0, i)) ++different;
+  }
+  EXPECT_GE(different, 15);
+}
+
+TEST(MatrixModelTest, AcceptsValidMatrix) {
+  const std::vector<double> m{0.0, 1.0, 2.0,  //
+                              1.0, 0.0, 3.0,  //
+                              2.0, 3.0, 0.0};
+  const MatrixDelayModel model(3, m);
+  EXPECT_DOUBLE_EQ(model.delay(0, 2), 2.0);
+  EXPECT_DOUBLE_EQ(model.delay(2, 1), 3.0);
+}
+
+TEST(MatrixModelTest, RejectsInvalidMatrices) {
+  EXPECT_THROW(MatrixDelayModel(2, {0.0, 1.0, 2.0, 0.0}), InvalidArgument);
+  EXPECT_THROW(MatrixDelayModel(2, {0.5, 1.0, 1.0, 0.0}), InvalidArgument);
+  EXPECT_THROW(MatrixDelayModel(2, {0.0, -1.0, -1.0, 0.0}), InvalidArgument);
+  EXPECT_THROW(MatrixDelayModel(2, {0.0, 1.0}), InvalidArgument);
+}
+
+TEST(EvaluateUnderModelTest, MatchesMetricsOnEuclidean) {
+  const auto points = workload(400, 6);
+  const MulticastTree tree = buildGreedyInsertionTree(points, 0, 4);
+  const EuclideanDelayModel model(points);
+  const TrueDelayMetrics truth = evaluateUnderModel(tree, model);
+  const TreeMetrics m = computeMetrics(tree, points);
+  EXPECT_NEAR(truth.maxDelay, m.maxDelay, 1e-9);
+  EXPECT_NEAR(truth.meanDelay, m.meanDelay, 1e-9);
+}
+
+TEST(EvaluateUnderModelTest, NoisyDelaysInflateTheTree) {
+  const auto points = workload(400, 7);
+  const MulticastTree tree = buildGreedyInsertionTree(points, 0, 4);
+  // A pure delay floor penalises every hop, so deep trees suffer.
+  const NoisyEuclideanDelayModel model(points, 0.0, 0.0, 0.05, 8);
+  const TrueDelayMetrics truth = evaluateUnderModel(tree, model);
+  const TreeMetrics m = computeMetrics(tree, points);
+  EXPECT_GT(truth.maxDelay, m.maxDelay);
+}
+
+}  // namespace
+}  // namespace omt
+
+namespace omt {
+namespace {
+
+TEST(TriangleViolationTest, EuclideanModelNeverViolates) {
+  const auto points = workload(60, 20);
+  const EuclideanDelayModel model(points);
+  const TriangleViolationStats stats =
+      measureTriangleViolations(model, 20000, 21);
+  EXPECT_DOUBLE_EQ(stats.violatingFraction, 0.0);
+  EXPECT_DOUBLE_EQ(stats.maxSeverity, 0.0);
+}
+
+TEST(TriangleViolationTest, NoiseInducesViolations) {
+  const auto points = workload(60, 22);
+  const NoisyEuclideanDelayModel mild(points, 0.0, 0.1, 0.0, 23);
+  const NoisyEuclideanDelayModel heavy(points, 0.0, 0.5, 0.0, 23);
+  const TriangleViolationStats mildStats =
+      measureTriangleViolations(mild, 20000, 24);
+  const TriangleViolationStats heavyStats =
+      measureTriangleViolations(heavy, 20000, 24);
+  EXPECT_GT(mildStats.violatingFraction, 0.0);
+  EXPECT_GT(heavyStats.violatingFraction, mildStats.violatingFraction);
+  EXPECT_GT(heavyStats.meanSeverity, 0.0);
+  EXPECT_GE(heavyStats.maxSeverity, heavyStats.meanSeverity);
+}
+
+TEST(TriangleViolationTest, HandBuiltViolation) {
+  // delay(0,2) = 10 but the detour through 1 costs 2: severity 4.
+  const std::vector<double> m{0.0, 1.0, 10.0,  //
+                              1.0, 0.0, 1.0,   //
+                              10.0, 1.0, 0.0};
+  const MatrixDelayModel model(3, m);
+  const TriangleViolationStats stats =
+      measureTriangleViolations(model, 6000, 25);
+  // Of the 6 ordered distinct triples, the 2 with b == 1 violate.
+  EXPECT_NEAR(stats.violatingFraction, 2.0 / 6.0, 0.03);
+  EXPECT_NEAR(stats.maxSeverity, 4.0, 1e-9);
+}
+
+TEST(TriangleViolationTest, ValidatesArguments) {
+  const EuclideanDelayModel model(workload(5, 26));
+  EXPECT_THROW(measureTriangleViolations(model, 0, 1), InvalidArgument);
+  const EuclideanDelayModel tiny(workload(2, 27));
+  EXPECT_THROW(measureTriangleViolations(tiny, 10, 1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace omt

@@ -1,0 +1,211 @@
+#include "omt/coords/embedding.h"
+
+#include <gtest/gtest.h>
+
+#include "omt/core/polar_grid_tree.h"
+#include "omt/random/samplers.h"
+#include "omt/tree/validation.h"
+
+namespace omt {
+namespace {
+
+std::vector<Point> workload(std::int64_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  return sampleDiskWithCenterSource(rng, n, 2);
+}
+
+TEST(EmbeddingErrorTest, PerfectCoordinatesHaveZeroError) {
+  const auto points = workload(60, 1);
+  const EuclideanDelayModel model(points);
+  const EmbeddingError err = embeddingError(model, points, 100000, 2);
+  EXPECT_NEAR(err.meanRelative, 0.0, 1e-12);
+  EXPECT_NEAR(err.maxRelative, 0.0, 1e-12);
+}
+
+TEST(EmbeddingErrorTest, SamplingAndFullEnumerationAgreeRoughly) {
+  const auto points = workload(50, 3);
+  const NoisyEuclideanDelayModel model(points, 0.0, 0.2, 0.0, 4);
+  const EmbeddingError full = embeddingError(model, points, 1 << 20, 5);
+  const EmbeddingError sampled = embeddingError(model, points, 800, 6);
+  EXPECT_NEAR(full.meanRelative, sampled.meanRelative,
+              0.3 * full.meanRelative + 0.02);
+}
+
+TEST(GnpTest, RecoversEuclideanGeometry) {
+  const auto points = workload(60, 7);
+  const EuclideanDelayModel model(points);
+  GnpOptions options;
+  options.dim = 2;
+  options.landmarks = 8;
+  options.seed = 8;
+  const EmbeddingResult embedding = embedGnp(model, options);
+  ASSERT_EQ(embedding.coords.size(), points.size());
+  ASSERT_EQ(embedding.landmarks.size(), 8u);
+  const EmbeddingError err =
+      embeddingError(model, embedding.coords, 100000, 9);
+  // Noise-free delays in the same dimension: near-perfect recovery.
+  EXPECT_LT(err.medianRelative, 0.05);
+  EXPECT_LT(err.meanRelative, 0.15);
+}
+
+TEST(GnpTest, ToleratesModerateNoise) {
+  const auto points = workload(50, 10);
+  const NoisyEuclideanDelayModel model(points, 0.0, 0.1, 0.0, 11);
+  GnpOptions options;
+  options.dim = 2;
+  options.landmarks = 8;
+  options.seed = 12;
+  const EmbeddingResult embedding = embedGnp(model, options);
+  const EmbeddingError err =
+      embeddingError(model, embedding.coords, 100000, 13);
+  EXPECT_LT(err.medianRelative, 0.25);
+}
+
+TEST(GnpTest, ValidatesArguments) {
+  const EuclideanDelayModel model(workload(20, 14));
+  GnpOptions options;
+  options.dim = 0;
+  EXPECT_THROW(embedGnp(model, options), InvalidArgument);
+  options.dim = 2;
+  options.landmarks = 2;  // < dim + 1
+  EXPECT_THROW(embedGnp(model, options), InvalidArgument);
+  options.landmarks = 30;  // > hosts
+  EXPECT_THROW(embedGnp(model, options), InvalidArgument);
+}
+
+TEST(VivaldiTest, ConvergesOnEuclideanDelays) {
+  const auto points = workload(80, 15);
+  const EuclideanDelayModel model(points);
+  VivaldiOptions options;
+  options.dim = 2;
+  options.rounds = 80;
+  options.seed = 16;
+  const EmbeddingResult embedding = embedVivaldi(model, options);
+  const EmbeddingError err =
+      embeddingError(model, embedding.coords, 100000, 17);
+  EXPECT_LT(err.medianRelative, 0.12);
+}
+
+TEST(VivaldiTest, MoreRoundsReduceError) {
+  const auto points = workload(60, 18);
+  const EuclideanDelayModel model(points);
+  VivaldiOptions few;
+  few.dim = 2;
+  few.rounds = 2;
+  few.seed = 19;
+  VivaldiOptions many = few;
+  many.rounds = 100;
+  const double errFew =
+      embeddingError(model, embedVivaldi(model, few).coords, 50000, 20)
+          .medianRelative;
+  const double errMany =
+      embeddingError(model, embedVivaldi(model, many).coords, 50000, 20)
+          .medianRelative;
+  EXPECT_LT(errMany, errFew);
+}
+
+TEST(VivaldiTest, ValidatesArguments) {
+  const EuclideanDelayModel model(workload(10, 21));
+  VivaldiOptions options;
+  options.timestep = 0.0;
+  EXPECT_THROW(embedVivaldi(model, options), InvalidArgument);
+  options = {};
+  options.rounds = 0;
+  EXPECT_THROW(embedVivaldi(model, options), InvalidArgument);
+}
+
+TEST(EmbeddingPipelineTest, TreeOnRecoveredCoordinatesStaysGood) {
+  // The full future-work pipeline: noisy true delays -> GNP coordinates ->
+  // Polar_Grid tree -> evaluated on TRUE delays; compare against the tree
+  // built on the hidden true coordinates.
+  const auto points = workload(120, 22);
+  const NoisyEuclideanDelayModel model(points, 0.0, 0.1, 0.0, 23);
+  GnpOptions options;
+  options.dim = 2;
+  options.landmarks = 10;
+  options.seed = 24;
+  const EmbeddingResult embedding = embedGnp(model, options);
+
+  const PolarGridResult onRecovered =
+      buildPolarGridTree(embedding.coords, 0, {.maxOutDegree = 6});
+  EXPECT_TRUE(validate(onRecovered.tree, {.maxOutDegree = 6}));
+  const PolarGridResult onTrue =
+      buildPolarGridTree(points, 0, {.maxOutDegree = 6});
+
+  const double recovered =
+      evaluateUnderModel(onRecovered.tree, model).maxDelay;
+  const double ideal = evaluateUnderModel(onTrue.tree, model).maxDelay;
+  // Mapping error costs something, but not an order of magnitude.
+  EXPECT_LT(recovered, 3.0 * ideal);
+}
+
+}  // namespace
+}  // namespace omt
+
+namespace omt {
+namespace {
+
+TEST(VivaldiHeightTest, HeightModelFitsDelayFloorsBetter) {
+  // A constant access floor cannot be represented by a pure Euclidean
+  // embedding (it violates the triangle structure near zero distance);
+  // the height variant absorbs it.
+  const auto points = workload(70, 30);
+  const NoisyEuclideanDelayModel model(points, 0.0, 0.0, /*minDelay=*/0.4,
+                                       31);
+  VivaldiOptions flat;
+  flat.dim = 2;
+  flat.rounds = 80;
+  flat.seed = 32;
+  VivaldiOptions tall = flat;
+  tall.useHeight = true;
+
+  const EmbeddingResult flatResult = embedVivaldi(model, flat);
+  const EmbeddingResult tallResult = embedVivaldi(model, tall);
+  EXPECT_TRUE(flatResult.heights.empty());
+  ASSERT_EQ(tallResult.heights.size(), points.size());
+  for (const double h : tallResult.heights) EXPECT_GE(h, 0.0);
+
+  const double flatError =
+      embeddingError(model, flatResult.coords, 50000, 33).medianRelative;
+  const double tallError =
+      embeddingError(model, tallResult.coords, 50000, 33,
+                     tallResult.heights)
+          .medianRelative;
+  EXPECT_LT(tallError, flatError);
+  // The learned heights should hover near the per-endpoint floor share.
+  double meanHeight = 0.0;
+  for (const double h : tallResult.heights) meanHeight += h;
+  meanHeight /= static_cast<double>(tallResult.heights.size());
+  EXPECT_NEAR(meanHeight, 0.2, 0.1);
+}
+
+TEST(EmbeddingErrorTest, HeightsValidated) {
+  const auto points = workload(10, 34);
+  const EuclideanDelayModel model(points);
+  const std::vector<double> wrongSize(3, 0.0);
+  EXPECT_THROW(embeddingError(model, points, 100, 1, wrongSize),
+               InvalidArgument);
+}
+
+TEST(DimensionSelectionTest, PicksTheGeneratingDimension) {
+  // Hosts genuinely live in 3D: embedding in 2D must lose, and the
+  // selector should choose 3 (or more, which fits at least as well).
+  Rng rng(35);
+  const auto points = sampleDiskWithCenterSource(rng, 50, 3);
+  const EuclideanDelayModel model(points);
+  GnpOptions base;
+  base.landmarks = 10;
+  base.seed = 36;
+  const int chosen = chooseEmbeddingDimension(model, 2, 4, base);
+  EXPECT_GE(chosen, 3);
+}
+
+TEST(DimensionSelectionTest, ValidatesRange) {
+  const EuclideanDelayModel model(workload(20, 37));
+  GnpOptions base;
+  EXPECT_THROW(chooseEmbeddingDimension(model, 3, 2, base), InvalidArgument);
+  EXPECT_THROW(chooseEmbeddingDimension(model, 0, 2, base), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace omt

@@ -1,0 +1,134 @@
+#include "omt/coords/geo.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "omt/core/polar_grid_tree.h"
+#include "omt/tree/validation.h"
+
+namespace omt {
+namespace {
+
+// Reference cities (approximate coordinates).
+const GeoPosition kNewYork{40.71, -74.01};
+const GeoPosition kLondon{51.51, -0.13};
+const GeoPosition kTokyo{35.68, 139.69};
+const GeoPosition kSydney{-33.87, 151.21};
+
+TEST(GeodesicTest, KnownCityDistances) {
+  // Great-circle distances (km), +-1% of published values.
+  EXPECT_NEAR(geodesicKm(kNewYork, kLondon), 5570.0, 60.0);
+  EXPECT_NEAR(geodesicKm(kLondon, kTokyo), 9560.0, 100.0);
+  EXPECT_NEAR(geodesicKm(kTokyo, kSydney), 7820.0, 90.0);
+}
+
+TEST(GeodesicTest, BasicProperties) {
+  EXPECT_DOUBLE_EQ(geodesicKm(kTokyo, kTokyo), 0.0);
+  EXPECT_DOUBLE_EQ(geodesicKm(kNewYork, kSydney),
+                   geodesicKm(kSydney, kNewYork));
+  // Antipodal bound: half the circumference.
+  const GeoPosition north{89.0, 0.0};
+  const GeoPosition south{-89.0, 180.0};
+  EXPECT_LE(geodesicKm(north, south), std::numbers::pi * kEarthRadiusKm);
+  EXPECT_GT(geodesicKm(north, south), 0.99 * std::numbers::pi *
+                                          kEarthRadiusKm);
+}
+
+TEST(GeodesicTest, RejectsInvalidCoordinates) {
+  EXPECT_THROW(geodesicKm({91.0, 0.0}, kLondon), InvalidArgument);
+  EXPECT_THROW(geodesicKm(kLondon, {0.0, 181.0}), InvalidArgument);
+}
+
+TEST(ProjectionTest, LocalDistancesApproximateGeodesics) {
+  // Within a ~500 km region, the equirectangular projection's distances
+  // track geodesics to well under 1%.
+  const GeoPosition ref{48.0, 11.0};  // Munich-ish
+  const GeoPosition nearby{50.1, 8.7};  // Frankfurt-ish
+  const Point a = projectToPlane(ref, ref);
+  const Point b = projectToPlane(nearby, ref);
+  EXPECT_NEAR(distance(a, b), geodesicKm(ref, nearby),
+              0.01 * geodesicKm(ref, nearby));
+  EXPECT_EQ(a, Point(2));
+}
+
+TEST(ProjectionTest, HandlesDateLineWrap) {
+  const GeoPosition ref{0.0, 179.5};
+  const GeoPosition other{0.0, -179.5};  // 1 degree away across the line
+  const Point p = projectToPlane(other, ref);
+  EXPECT_NEAR(norm(p), geodesicKm(ref, other), 1.0);
+  EXPECT_LT(norm(p), 200.0);  // NOT half the globe away
+}
+
+TEST(GeoDelayModelTest, DelaysFromDistance) {
+  const GeoDelayModel model({kNewYork, kLondon}, 200.0, 2.0);
+  EXPECT_DOUBLE_EQ(model.delay(0, 0), 0.0);
+  // ~5570 km at 200 km/ms + 2 ms floor ~ 29.9 ms.
+  EXPECT_NEAR(model.delay(0, 1), 2.0 + 5570.0 / 200.0, 0.5);
+  EXPECT_DOUBLE_EQ(model.delay(0, 1), model.delay(1, 0));
+}
+
+TEST(GeoDelayModelTest, Validation) {
+  EXPECT_THROW(GeoDelayModel({}, 200.0, 2.0), InvalidArgument);
+  EXPECT_THROW(GeoDelayModel({kTokyo}, 0.0, 2.0), InvalidArgument);
+  EXPECT_THROW(GeoDelayModel({kTokyo}, 200.0, -1.0), InvalidArgument);
+}
+
+TEST(WorldHostsTest, GeneratesValidPositions) {
+  WorldOptions options;
+  options.seed = 3;
+  const auto hosts = sampleWorldHosts(5000, options);
+  ASSERT_EQ(hosts.size(), 5000u);
+  for (const GeoPosition& h : hosts) {
+    EXPECT_LE(std::abs(h.latitudeDeg), options.maxAbsLatitudeDeg + 1e-9);
+    EXPECT_LE(std::abs(h.longitudeDeg), 180.0 + 1e-9);
+  }
+}
+
+TEST(WorldHostsTest, PopulationSkewConcentratesHosts) {
+  WorldOptions skewed;
+  skewed.seed = 4;
+  skewed.populationSkew = 1.5;
+  skewed.cities = 20;
+  const auto hosts = sampleWorldHosts(4000, skewed);
+  // Count hosts within 5 degrees of the source (the largest city): with a
+  // skewed population a big share concentrates there.
+  std::int64_t nearSource = 0;
+  for (const GeoPosition& h : hosts) {
+    if (geodesicKm(h, hosts[0]) < 1000.0) ++nearSource;
+  }
+  EXPECT_GT(nearSource, 600);  // > 15% in one metro of twenty
+}
+
+TEST(WorldHostsTest, Deterministic) {
+  WorldOptions options;
+  options.seed = 5;
+  const auto a = sampleWorldHosts(100, options);
+  const auto b = sampleWorldHosts(100, options);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].latitudeDeg, b[i].latitudeDeg);
+    EXPECT_EQ(a[i].longitudeDeg, b[i].longitudeDeg);
+  }
+}
+
+TEST(GeoPipelineTest, TreeOnProjectedWorldHostsEvaluatedOnGeodesics) {
+  WorldOptions options;
+  options.seed = 6;
+  const auto hosts = sampleWorldHosts(2000, options);
+  const auto points = projectAll(hosts, 0);
+  const PolarGridResult tree = buildPolarGridTree(points, 0);
+  EXPECT_TRUE(validate(tree.tree, {.maxOutDegree = 6}));
+
+  const GeoDelayModel model(hosts);
+  const TrueDelayMetrics truth = evaluateUnderModel(tree.tree, model);
+  double lower = 0.0;
+  for (NodeId v = 1; v < model.size(); ++v)
+    lower = std::max(lower, model.delay(0, v));
+  EXPECT_GE(truth.maxDelay, lower - 1e-9);
+  // Projection distortion is real at global extents but bounded: the tree
+  // built on the plane stays within a small factor of the geodesic bound.
+  EXPECT_LT(truth.maxDelay, 4.0 * lower);
+}
+
+}  // namespace
+}  // namespace omt

@@ -1,0 +1,100 @@
+#include "omt/core/bounds.h"
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "omt/common/error.h"
+
+namespace omt {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(BoundsTest, InnerArcSumMatchesClosedForm2D) {
+  // S_k = sum_{i=1}^{k-1} 2*pi/sqrt(2)^{k+i} (unit disk).
+  for (int k = 2; k <= 10; ++k) {
+    const PolarGrid grid(2, k, 1.0);
+    double expected = 0.0;
+    for (int i = 1; i <= k - 1; ++i)
+      expected += 2.0 * kPi / std::pow(std::sqrt(2.0), k + i);
+    EXPECT_NEAR(innerArcSum(grid), expected, 1e-12) << "k=" << k;
+  }
+}
+
+TEST(BoundsTest, InnerArcSumGeometricSeriesIdentity) {
+  // The paper's closed form: S_k = (2*pi/sqrt(2)^{k+1}) *
+  //   (1 - 1/sqrt(2)^{k-1}) / (1 - 1/sqrt(2)).
+  for (int k = 2; k <= 12; ++k) {
+    const PolarGrid grid(2, k, 1.0);
+    const double s2 = std::sqrt(2.0);
+    const double expected = 2.0 * kPi / std::pow(s2, k + 1) *
+                            (1.0 - 1.0 / std::pow(s2, k - 1)) /
+                            (1.0 - 1.0 / s2);
+    EXPECT_NEAR(innerArcSum(grid), expected, 1e-12) << "k=" << k;
+  }
+}
+
+TEST(BoundsTest, SingleRingHasNoInnerArcs) {
+  const PolarGrid grid(2, 1, 1.0);
+  EXPECT_DOUBLE_EQ(innerArcSum(grid), 0.0);
+}
+
+TEST(BoundsTest, UpperBoundEq7Values) {
+  // k = 4, unit disk, j = 0, factor 1:
+  // bound = 1 + 2*Delta_0 + S_4 with Delta_0 = 2*pi/4.
+  const PolarGrid grid(2, 4, 1.0);
+  const double delta0 = 2.0 * kPi / std::pow(std::sqrt(2.0), 4);
+  const double expected = 1.0 + 2.0 * delta0 + innerArcSum(grid);
+  EXPECT_NEAR(upperBoundEq7(grid, 0, 1), expected, 1e-12);
+  // Out-degree-2 trees double the Delta term.
+  EXPECT_NEAR(upperBoundEq7(grid, 0, 2), expected + 2.0 * delta0, 1e-12);
+}
+
+TEST(BoundsTest, UpperBoundDecreasesWithRingCount) {
+  double prev = kInf;
+  for (int k = 2; k <= 16; ++k) {
+    const PolarGrid grid(2, k, 1.0);
+    const double bound = upperBoundEq7(grid, 0, 1);
+    EXPECT_LT(bound, prev) << "k=" << k;
+    prev = bound;
+  }
+  // And converges toward the outer radius 1.
+  const PolarGrid fine(2, 30, 1.0);
+  EXPECT_NEAR(upperBoundEq7(fine, 0, 1), 1.0, 1e-3);
+}
+
+TEST(BoundsTest, UpperBoundMonotoneInJ) {
+  const PolarGrid grid(2, 6, 1.0);
+  // Delta_0 >= Delta_j, so the j = 0 bound dominates.
+  for (int j = 1; j <= 6; ++j) {
+    EXPECT_LE(upperBoundEq7(grid, j, 1), upperBoundEq7(grid, 0, 1) + 1e-12);
+  }
+}
+
+TEST(BoundsTest, UpperBoundValidatesArguments) {
+  const PolarGrid grid(2, 4, 1.0);
+  EXPECT_THROW(upperBoundEq7(grid, -1, 1), InvalidArgument);
+  EXPECT_THROW(upperBoundEq7(grid, 5, 1), InvalidArgument);
+  EXPECT_THROW(upperBoundEq7(grid, 0, 0), InvalidArgument);
+}
+
+TEST(BoundsTest, RadiusLowerBound) {
+  const std::vector<Point> points{Point{0.0, 0.0}, Point{3.0, 4.0},
+                                  Point{1.0, 0.0}};
+  EXPECT_DOUBLE_EQ(radiusLowerBound(points, 0), 5.0);
+  EXPECT_DOUBLE_EQ(radiusLowerBound(points, 1), 5.0);
+  EXPECT_THROW(radiusLowerBound({}, 0), InvalidArgument);
+  EXPECT_THROW(radiusLowerBound(points, 5), InvalidArgument);
+}
+
+TEST(BoundsTest, ScalesWithOuterRadius) {
+  const PolarGrid unit(2, 5, 1.0);
+  const PolarGrid big(2, 5, 10.0);
+  EXPECT_NEAR(upperBoundEq7(big, 0, 1), 10.0 * upperBoundEq7(unit, 0, 1),
+              1e-10);
+}
+
+}  // namespace
+}  // namespace omt

@@ -1,0 +1,170 @@
+#include "omt/core/exact.h"
+
+#include <gtest/gtest.h>
+
+#include "omt/baselines/baselines.h"
+#include "omt/core/bounds.h"
+#include "omt/core/local_search.h"
+#include "omt/core/polar_grid_tree.h"
+#include "omt/random/samplers.h"
+#include "omt/tree/metrics.h"
+#include "omt/tree/validation.h"
+
+namespace omt {
+namespace {
+
+std::vector<Point> workload(std::int64_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  return sampleDiskWithCenterSource(rng, n, 2);
+}
+
+/// Brute force over ALL parent functions (tiny n only): the ground truth
+/// the branch-and-bound must match.
+double bruteForceOptimum(std::span<const Point> points, NodeId source,
+                         int cap) {
+  const auto n = static_cast<NodeId>(points.size());
+  std::vector<NodeId> parent(static_cast<std::size_t>(n), kNoNode);
+  double best = kInf;
+
+  const auto evaluate = [&]() {
+    // Degree check.
+    std::vector<int> degree(static_cast<std::size_t>(n), 0);
+    for (NodeId v = 0; v < n; ++v) {
+      if (v == source) continue;
+      ++degree[static_cast<std::size_t>(parent[static_cast<std::size_t>(v)])];
+    }
+    for (const int d : degree) {
+      if (d > cap) return;
+    }
+    // Acyclicity + delays by walking up (n is tiny).
+    double radius = 0.0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (v == source) continue;
+      double delay = 0.0;
+      NodeId a = v;
+      int steps = 0;
+      while (a != source) {
+        const NodeId p = parent[static_cast<std::size_t>(a)];
+        delay += distance(points[static_cast<std::size_t>(a)],
+                          points[static_cast<std::size_t>(p)]);
+        a = p;
+        if (++steps > n) return;  // cycle
+      }
+      radius = std::max(radius, delay);
+    }
+    best = std::min(best, radius);
+  };
+
+  // Odometer over parents of the non-source nodes.
+  std::vector<NodeId> slots;
+  for (NodeId v = 0; v < n; ++v) {
+    if (v != source) slots.push_back(v);
+  }
+  std::vector<NodeId> choice(slots.size(), 0);
+  for (;;) {
+    for (std::size_t i = 0; i < slots.size(); ++i)
+      parent[static_cast<std::size_t>(slots[i])] =
+          choice[i] >= static_cast<NodeId>(slots[i]) ? choice[i] + 1
+                                                     : choice[i];
+    evaluate();
+    std::size_t i = 0;
+    for (; i < choice.size(); ++i) {
+      if (++choice[i] < n - 1) break;
+      choice[i] = 0;
+    }
+    if (i == choice.size()) break;
+  }
+  return best;
+}
+
+TEST(ExactTest, MatchesBruteForceOnTinyInstances) {
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL}) {
+    const auto points = workload(6, seed);
+    for (const int cap : {1, 2, 3}) {
+      const ExactResult exact =
+          solveExactMinRadius(points, 0, {.maxOutDegree = cap});
+      EXPECT_TRUE(exact.provedOptimal);
+      EXPECT_TRUE(validate(exact.tree, {.maxOutDegree = cap}));
+      EXPECT_NEAR(computeMetrics(exact.tree, points).maxDelay, exact.radius,
+                  1e-12);
+      const double truth = bruteForceOptimum(points, 0, cap);
+      EXPECT_NEAR(exact.radius, truth, 1e-9)
+          << "seed=" << seed << " cap=" << cap;
+    }
+  }
+}
+
+TEST(ExactTest, UnboundedDegreeIsTheStar) {
+  const auto points = workload(8, 5);
+  const ExactResult exact =
+      solveExactMinRadius(points, 0, {.maxOutDegree = 7});
+  EXPECT_NEAR(exact.radius, radiusLowerBound(points, 0), 1e-9);
+}
+
+TEST(ExactTest, HeuristicsNeverBeatTheOptimum) {
+  for (const std::uint64_t seed : {10ULL, 11ULL, 12ULL}) {
+    const auto points = workload(10, seed);
+    for (const int cap : {2, 3}) {
+      const ExactResult exact =
+          solveExactMinRadius(points, 0, {.maxOutDegree = cap});
+      ASSERT_TRUE(exact.provedOptimal);
+      const double polar = computeMetrics(
+          buildPolarGridTree(points, 0, {.maxOutDegree = cap}).tree, points)
+                               .maxDelay;
+      const double greedy = computeMetrics(
+          buildGreedyInsertionTree(points, 0, cap), points).maxDelay;
+      EXPECT_GE(polar, exact.radius - 1e-9);
+      EXPECT_GE(greedy, exact.radius - 1e-9);
+      // And the optimum respects the universal lower bound.
+      EXPECT_GE(exact.radius, radiusLowerBound(points, 0) - 1e-9);
+    }
+  }
+}
+
+TEST(ExactTest, LocalSearchApproachesTheOptimum) {
+  const auto points = workload(10, 20);
+  const int cap = 2;
+  const ExactResult exact =
+      solveExactMinRadius(points, 0, {.maxOutDegree = cap});
+  const PolarGridResult polar =
+      buildPolarGridTree(points, 0, {.maxOutDegree = cap});
+  const LocalSearchResult refined = improveMaxDelay(
+      polar.tree, points, {.maxOutDegree = cap, .maxMoves = 1000});
+  EXPECT_GE(refined.finalMaxDelay, exact.radius - 1e-9);
+  EXPECT_LE(refined.finalMaxDelay,
+            computeMetrics(polar.tree, points).maxDelay + 1e-12);
+}
+
+TEST(ExactTest, ChainForcedByCapOne) {
+  const std::vector<Point> points{Point{0.0, 0.0}, Point{1.0, 0.0},
+                                  Point{2.0, 0.0}, Point{3.0, 0.0}};
+  const ExactResult exact =
+      solveExactMinRadius(points, 0, {.maxOutDegree = 1});
+  EXPECT_TRUE(exact.provedOptimal);
+  EXPECT_NEAR(exact.radius, 3.0, 1e-12);  // the straight chain
+}
+
+TEST(ExactTest, SingleNodeAndValidation) {
+  const std::vector<Point> one{Point{0.0, 0.0}};
+  const ExactResult exact = solveExactMinRadius(one, 0);
+  EXPECT_TRUE(exact.provedOptimal);
+  EXPECT_DOUBLE_EQ(exact.radius, 0.0);
+
+  const auto tooBig = workload(20, 30);
+  EXPECT_THROW(solveExactMinRadius(tooBig, 0), InvalidArgument);
+  EXPECT_THROW(solveExactMinRadius(one, 0, {.maxOutDegree = 0}),
+               InvalidArgument);
+}
+
+TEST(ExactTest, BudgetExhaustionStillReturnsAValidTree) {
+  const auto points = workload(11, 40);
+  ExactOptions options;
+  options.maxOutDegree = 2;
+  options.nodeBudget = 500;  // far too small to prove optimality
+  const ExactResult exact = solveExactMinRadius(points, 0, options);
+  EXPECT_FALSE(exact.provedOptimal);
+  EXPECT_TRUE(validate(exact.tree, {.maxOutDegree = 2}));
+}
+
+}  // namespace
+}  // namespace omt

@@ -1,0 +1,132 @@
+#include "omt/core/lemmas.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "omt/common/error.h"
+#include "omt/grid/assignment.h"
+#include "omt/random/samplers.h"
+#include "omt/report/stats.h"
+
+namespace omt {
+namespace {
+
+TEST(LemmaOneTest, BoundDominatesUnionBound) {
+  // The proof chain: p <= m (1 - 1/m)^n <= n^alpha e^{-n^{1-alpha}} for
+  // m = n^alpha.
+  for (const double alpha : {0.2, 0.4, 0.5, 0.7}) {
+    for (const double n : {10.0, 100.0, 10000.0}) {
+      const double buckets = std::pow(n, alpha);
+      EXPECT_LE(emptyBucketUnionBound(n, buckets),
+                lemma1Bound(n, alpha) + 1e-12)
+          << "alpha=" << alpha << " n=" << n;
+    }
+  }
+}
+
+TEST(LemmaOneTest, BoundDominatesMonteCarlo) {
+  Rng rng(1);
+  for (const double alpha : {0.3, 0.5}) {
+    for (const std::int64_t n : {64LL, 1024LL}) {
+      const auto buckets = static_cast<std::int64_t>(
+          std::pow(static_cast<double>(n), alpha));
+      const double estimate =
+          estimateEmptyBucketProbability(n, buckets, 2000, rng);
+      // The Lemma bounds the probability for exactly n^alpha buckets;
+      // flooring the bucket count only helps, so the bound must dominate
+      // (allow Monte-Carlo noise).
+      EXPECT_LE(estimate, lemma1Bound(static_cast<double>(n), alpha) + 0.03)
+          << "alpha=" << alpha << " n=" << n;
+    }
+  }
+}
+
+TEST(LemmaOneTest, VanishesForAlphaBelowOne) {
+  // Corollary 1: p_alpha(n) -> 0 as n -> infinity when alpha < 1. Small
+  // alpha vanishes fast; alpha near 1 vanishes slowly but monotonically.
+  for (const double alpha : {0.3, 0.5}) {
+    EXPECT_LT(lemma1Bound(1e6, alpha), 1e-10) << alpha;
+  }
+  // alpha = 0.8 stays clamped at 1 until n ~ 10^5, then decays.
+  double prev = 2.0;
+  for (double n = 1e6; n <= 1e14; n *= 10.0) {
+    const double bound = lemma1Bound(n, 0.8);
+    EXPECT_LT(bound, prev) << "n=" << n;
+    prev = bound;
+  }
+  EXPECT_LT(prev, 1e-6);
+}
+
+TEST(LemmaTwoTest, PeakAtOneOverEForHalf) {
+  EXPECT_NEAR(lemma2PeakValue(0.5), std::exp(-1.0), 1e-12);
+}
+
+TEST(LemmaTwoTest, BoundNeverExceedsOneOverEForSmallAlpha) {
+  // Lemma 2: alpha <= 1/2 implies p_alpha(n) <= 1/e for ALL n >= 1.
+  for (const double alpha : {0.1, 0.25, 0.4, 0.5}) {
+    for (double n = 1.0; n <= 100000.0; n *= 1.7) {
+      EXPECT_LE(lemma1Bound(n, alpha), std::exp(-1.0) + 1e-12)
+          << "alpha=" << alpha << " n=" << n;
+    }
+  }
+}
+
+TEST(LemmaTwoTest, PeakDominatesValueAtOne) {
+  // f_alpha(1) = e^{-1} for every alpha (the proof's pivot), so the
+  // maximum over x is at least that; the paper's monotonicity claim is
+  // about the maximiser x*, which grows with alpha and crosses 1 at
+  // alpha = 1/2.
+  double prevXStar = 0.0;
+  for (const double alpha : {0.2, 0.35, 0.5, 0.65, 0.8}) {
+    EXPECT_GE(lemma2PeakValue(alpha), std::exp(-1.0) - 1e-12) << alpha;
+    const double xStar =
+        std::pow(alpha / (1.0 - alpha), 1.0 / (1.0 - alpha));
+    EXPECT_GT(xStar, prevXStar);
+    prevXStar = xStar;
+  }
+  // x*_{1/2} = 1 exactly.
+  EXPECT_NEAR(std::pow(0.5 / 0.5, 1.0 / 0.5), 1.0, 1e-15);
+}
+
+TEST(PredictedRingsTest, MonotoneAndLogarithmic) {
+  int prev = 0;
+  for (const std::int64_t n : {100LL, 1000LL, 10000LL, 100000LL, 1000000LL}) {
+    const int k = predictedRings(n);
+    EXPECT_GE(k, prev);
+    // Equation (5): k >= log2(n)/2; counting: k <= log2(n) + 1.
+    EXPECT_GE(k, static_cast<int>(std::log2(static_cast<double>(n)) / 2.0));
+    EXPECT_LE(k, static_cast<int>(std::log2(static_cast<double>(n))) + 1);
+    prev = k;
+  }
+}
+
+TEST(PredictedRingsTest, TracksObservedGridSelection) {
+  // The union-bound prediction should sit within one ring of the average
+  // maximal k assignToGrid picks (Table I's "Rings" column).
+  for (const std::int64_t n : {1000LL, 10000LL, 100000LL}) {
+    RunningStats observed;
+    for (std::uint64_t trial = 0; trial < 10; ++trial) {
+      Rng rng(deriveSeed(4400, trial));
+      const auto points = sampleDiskWithCenterSource(rng, n, 2);
+      observed.add(static_cast<double>(assignToGrid(points, 0).grid.rings()));
+    }
+    EXPECT_NEAR(static_cast<double>(predictedRings(n)), observed.mean(), 1.0)
+        << "n=" << n;
+  }
+}
+
+TEST(LemmasTest, ValidateArguments) {
+  Rng rng(2);
+  EXPECT_THROW(lemma1Bound(0.5, 0.5), InvalidArgument);
+  EXPECT_THROW(lemma1Bound(10.0, 0.0), InvalidArgument);
+  EXPECT_THROW(lemma1Bound(10.0, 1.0), InvalidArgument);
+  EXPECT_THROW(lemma2PeakValue(1.5), InvalidArgument);
+  EXPECT_THROW(emptyBucketUnionBound(-1.0, 4.0), InvalidArgument);
+  EXPECT_THROW(estimateEmptyBucketProbability(10, 0, 10, rng),
+               InvalidArgument);
+  EXPECT_THROW(predictedRings(0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace omt

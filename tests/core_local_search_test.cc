@@ -1,0 +1,124 @@
+#include "omt/core/local_search.h"
+
+#include <gtest/gtest.h>
+
+#include "omt/baselines/baselines.h"
+#include "omt/core/bounds.h"
+#include "omt/core/polar_grid_tree.h"
+#include "omt/random/samplers.h"
+#include "omt/tree/metrics.h"
+#include "omt/tree/validation.h"
+
+namespace omt {
+namespace {
+
+std::vector<Point> workload(std::int64_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  return sampleDiskWithCenterSource(rng, n, 2);
+}
+
+TEST(LocalSearchTest, NeverWorsensAndStaysValid) {
+  const auto points = workload(3000, 1);
+  for (const int degree : {2, 6}) {
+    const PolarGridResult built =
+        buildPolarGridTree(points, 0, {.maxOutDegree = degree});
+    const double before = computeMetrics(built.tree, points).maxDelay;
+    const LocalSearchResult refined =
+        improveMaxDelay(built.tree, points, {.maxOutDegree = degree});
+    const ValidationResult valid =
+        validate(refined.tree, {.maxOutDegree = degree});
+    EXPECT_TRUE(valid.ok) << valid.message;
+    EXPECT_LE(refined.finalMaxDelay, before + 1e-12);
+    EXPECT_NEAR(refined.initialMaxDelay, before, 1e-12);
+    EXPECT_NEAR(computeMetrics(refined.tree, points).maxDelay,
+                refined.finalMaxDelay, 1e-12);
+    EXPECT_GE(refined.finalMaxDelay, radiusLowerBound(points, 0) - 1e-9);
+  }
+}
+
+TEST(LocalSearchTest, ImprovesABadTree) {
+  // A chain has enormous radius; local search must shrink it a lot given
+  // degree headroom.
+  const auto points = workload(400, 2);
+  const MulticastTree chain = buildChainTree(points, 0);
+  const double before = computeMetrics(chain, points).maxDelay;
+  const LocalSearchResult refined =
+      improveMaxDelay(chain, points, {.maxOutDegree = 6, .maxMoves = 5000});
+  EXPECT_LT(refined.finalMaxDelay, before / 3.0);
+  EXPECT_GT(refined.movesApplied, 0);
+  EXPECT_TRUE(validate(refined.tree, {.maxOutDegree = 6}));
+}
+
+TEST(LocalSearchTest, ZeroMoveBudgetIsIdentity) {
+  const auto points = workload(500, 3);
+  const PolarGridResult built = buildPolarGridTree(points, 0);
+  const LocalSearchResult refined =
+      improveMaxDelay(built.tree, points, {.maxOutDegree = 6, .maxMoves = 0});
+  EXPECT_EQ(refined.movesApplied, 0);
+  for (NodeId v = 0; v < built.tree.size(); ++v)
+    EXPECT_EQ(refined.tree.parentOf(v), built.tree.parentOf(v));
+}
+
+TEST(LocalSearchTest, PreservesEdgeKindsOfUntouchedEdges) {
+  const auto points = workload(800, 4);
+  const PolarGridResult built = buildPolarGridTree(points, 0);
+  const LocalSearchResult refined = improveMaxDelay(built.tree, points);
+  int preservedCore = 0;
+  for (NodeId v = 0; v < refined.tree.size(); ++v) {
+    if (v == refined.tree.root()) continue;
+    if (refined.tree.parentOf(v) == built.tree.parentOf(v)) {
+      EXPECT_EQ(refined.tree.edgeKindOf(v), built.tree.edgeKindOf(v));
+      if (refined.tree.edgeKindOf(v) == EdgeKind::kCore) ++preservedCore;
+    }
+  }
+  EXPECT_GT(preservedCore, 0);
+}
+
+TEST(LocalSearchTest, TinyTrees) {
+  const std::vector<Point> one{Point{0.0, 0.0}};
+  MulticastTree single(1, 0);
+  single.finalize();
+  const LocalSearchResult r1 = improveMaxDelay(single, one);
+  EXPECT_EQ(r1.movesApplied, 0);
+  EXPECT_DOUBLE_EQ(r1.finalMaxDelay, 0.0);
+}
+
+TEST(LocalSearchTest, ValidatesArguments) {
+  const auto points = workload(50, 5);
+  const PolarGridResult built = buildPolarGridTree(points, 0);
+  // Cap below the tree's existing degree.
+  EXPECT_THROW(improveMaxDelay(built.tree, points, {.maxOutDegree = 1}),
+               InvalidArgument);
+  const std::vector<Point> fewer(points.begin(), points.end() - 1);
+  EXPECT_THROW(improveMaxDelay(built.tree, fewer), InvalidArgument);
+}
+
+TEST(LocalSearchTest, Deterministic) {
+  const auto points = workload(1500, 6);
+  const PolarGridResult built =
+      buildPolarGridTree(points, 0, {.maxOutDegree = 2});
+  const LocalSearchResult a =
+      improveMaxDelay(built.tree, points, {.maxOutDegree = 2});
+  const LocalSearchResult b =
+      improveMaxDelay(built.tree, points, {.maxOutDegree = 2});
+  EXPECT_EQ(a.movesApplied, b.movesApplied);
+  for (NodeId v = 0; v < a.tree.size(); ++v)
+    EXPECT_EQ(a.tree.parentOf(v), b.tree.parentOf(v));
+}
+
+TEST(LocalSearchTest, ClosesPartOfTheDegreeTwoGap) {
+  // The motivating question: polishing the degree-2 Polar_Grid tree should
+  // recover a meaningful share of its distance to the lower bound.
+  const auto points = workload(10000, 7);
+  const PolarGridResult built =
+      buildPolarGridTree(points, 0, {.maxOutDegree = 2});
+  const LocalSearchResult refined = improveMaxDelay(
+      built.tree, points, {.maxOutDegree = 2, .maxMoves = 4000});
+  const double lower = radiusLowerBound(points, 0);
+  const double gapBefore = refined.initialMaxDelay - lower;
+  const double gapAfter = refined.finalMaxDelay - lower;
+  EXPECT_LT(gapAfter, 0.8 * gapBefore);
+}
+
+}  // namespace
+}  // namespace omt

@@ -1,0 +1,199 @@
+// Cross-module edge-case sweep: exact boundary geometry, binding option
+// limits, ties, and zero-length configurations that individual module
+// suites do not construct.
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "omt/bisection/bisection.h"
+#include "omt/bisection/square_bisection.h"
+#include "omt/core/bounds.h"
+#include "omt/core/local_search.h"
+#include "omt/core/polar_grid_tree.h"
+#include "omt/grid/assignment.h"
+#include "omt/protocol/overlay_session.h"
+#include "omt/random/samplers.h"
+#include "omt/sim/multicast_sim.h"
+#include "omt/tree/metrics.h"
+#include "omt/tree/validation.h"
+
+namespace omt {
+namespace {
+
+TEST(EdgeCaseTest, PointsExactlyOnRingBoundaries) {
+  // Hosts placed exactly on every ring radius of a k = 4 grid, at angle 0:
+  // assignment must be consistent and the tree valid.
+  const PolarGrid reference(2, 4, 1.0);
+  std::vector<Point> points{Point{0.0, 0.0}};
+  for (int i = 0; i <= 4; ++i) {
+    points.push_back(Point{reference.ringRadius(i), 0.0});
+    points.push_back(Point{0.0, reference.ringRadius(i)});
+    points.push_back(Point{-reference.ringRadius(i), 0.0});
+  }
+  const PolarGridResult result = buildPolarGridTree(points, 0);
+  EXPECT_TRUE(validate(result.tree, {.maxOutDegree = 6}));
+  const TreeMetrics m = computeMetrics(result.tree, points);
+  EXPECT_LE(m.maxDelay, result.upperBound * (1.0 + 1e-9));
+}
+
+TEST(EdgeCaseTest, PointsAtAzimuthWrap) {
+  // Hosts hugging the positive x-axis from both sides (angle ~0 and ~2pi).
+  std::vector<Point> points{Point{0.0, 0.0}};
+  for (int i = 1; i <= 40; ++i) {
+    const double r = 0.2 + 0.02 * i;
+    points.push_back(Point{r, 1e-9});
+    points.push_back(Point{r, -1e-9});
+  }
+  for (const int degree : {2, 6}) {
+    const PolarGridResult result =
+        buildPolarGridTree(points, 0, {.maxOutDegree = degree});
+    EXPECT_TRUE(validate(result.tree, {.maxOutDegree = degree})) << degree;
+  }
+}
+
+TEST(EdgeCaseTest, MaxRingsOptionBinds) {
+  Rng rng(1);
+  const auto points = sampleDiskWithCenterSource(rng, 20000, 2);
+  PolarGridOptions options;
+  options.maxRings = 3;
+  const PolarGridResult capped = buildPolarGridTree(points, 0, options);
+  EXPECT_EQ(capped.rings(), 3);
+  EXPECT_TRUE(validate(capped.tree, {.maxOutDegree = 6}));
+  const PolarGridResult free = buildPolarGridTree(points, 0);
+  EXPECT_GT(free.rings(), 3);
+  // Fewer rings => coarser grid => weaker bound.
+  EXPECT_GT(capped.upperBound, free.upperBound);
+}
+
+TEST(EdgeCaseTest, ExplicitOuterRadiusLoosensTheGrid) {
+  Rng rng(2);
+  const auto points = sampleDiskWithCenterSource(rng, 2000, 2);
+  PolarGridOptions options;
+  options.outerRadius = 3.0;  // hosts only fill the inner third
+  const PolarGridResult result = buildPolarGridTree(points, 0, options);
+  EXPECT_TRUE(validate(result.tree, {.maxOutDegree = 6}));
+  EXPECT_DOUBLE_EQ(result.outerRadius(), 3.0);
+  // Outer rings are empty, so k is small and the bound is scaled by R=3.
+  EXPECT_LE(result.rings(), 4);
+}
+
+TEST(EdgeCaseTest, TwoCoincidentHostsPlusSource) {
+  const std::vector<Point> points{Point{0.0, 0.0}, Point{0.5, 0.5},
+                                  Point{0.5, 0.5}};
+  for (const int degree : {2, 6}) {
+    const PolarGridResult result =
+        buildPolarGridTree(points, 0, {.maxOutDegree = degree});
+    EXPECT_TRUE(validate(result.tree, {.maxOutDegree = degree}));
+    const TreeMetrics m = computeMetrics(result.tree, points);
+    EXPECT_NEAR(m.maxDelay, std::sqrt(0.5), 1e-9);
+  }
+}
+
+TEST(EdgeCaseTest, EquidistantTiesAreDeterministic) {
+  // Four hosts at identical radius, symmetric angles: ties everywhere.
+  std::vector<Point> points{Point{0.0, 0.0}};
+  for (int i = 0; i < 4; ++i) {
+    const double angle = std::numbers::pi / 4.0 + i * std::numbers::pi / 2.0;
+    points.push_back(Point{std::cos(angle), std::sin(angle)});
+  }
+  const PolarGridResult a = buildPolarGridTree(points, 0);
+  const PolarGridResult b = buildPolarGridTree(points, 0);
+  for (NodeId v = 0; v < a.tree.size(); ++v)
+    EXPECT_EQ(a.tree.parentOf(v), b.tree.parentOf(v));
+  EXPECT_TRUE(validate(a.tree, {.maxOutDegree = 6}));
+}
+
+TEST(EdgeCaseTest, BisectionThreeEquidistantPointsDegreeTwo) {
+  const std::vector<Point> points{Point{0.0, 0.0}, Point{1.0, 0.0},
+                                  Point{1.0, 0.1}, Point{1.0, -0.1}};
+  const BisectionTreeResult result =
+      buildBisectionTree(points, 0, {.maxOutDegree = 2});
+  EXPECT_TRUE(validate(result.tree, {.maxOutDegree = 2}));
+}
+
+TEST(EdgeCaseTest, SquareBisectionPointsOnBoxCorners) {
+  const std::vector<Point> points{Point{0.0, 0.0}, Point{1.0, 0.0},
+                                  Point{0.0, 1.0}, Point{1.0, 1.0},
+                                  Point{0.5, 0.5}};
+  const SquareBisectionResult result =
+      buildSquareBisectionTree(points, 4, {.maxOutDegree = 2});
+  EXPECT_TRUE(validate(result.tree, {.maxOutDegree = 2}));
+}
+
+TEST(EdgeCaseTest, SimulatorZeroLengthEdges) {
+  std::vector<Point> points{Point{0.0, 0.0}, Point{0.0, 0.0},
+                            Point{0.0, 0.0}};
+  MulticastTree tree(3, 0);
+  tree.attach(1, 0, EdgeKind::kLocal);
+  tree.attach(2, 1, EdgeKind::kLocal);
+  tree.finalize();
+  const SimResult sim = simulateMulticast(tree, points);
+  EXPECT_EQ(sim.reached, 3);
+  EXPECT_DOUBLE_EQ(sim.maxDelivery, 0.0);
+}
+
+TEST(EdgeCaseTest, SessionJoinExactlyAtInitialRadius) {
+  SessionOptions options;
+  options.initialRadius = 1.0;
+  OverlaySession session(Point{0.0, 0.0}, options);
+  session.join(Point{1.0, 0.0});           // exactly on the boundary
+  session.join(Point{1.0 + 1e-12, 0.0});   // a hair outside
+  const SessionSnapshot snap = session.snapshot();
+  EXPECT_TRUE(validate(snap.tree, {.maxOutDegree = 6}));
+  EXPECT_EQ(session.liveCount(), 3);
+}
+
+TEST(EdgeCaseTest, LocalSearchOnAlreadyOptimalStar) {
+  Rng rng(3);
+  const auto points = sampleDiskWithCenterSource(rng, 200, 2);
+  // A star with unconstrained degree IS the optimum; no move can help.
+  MulticastTree star(static_cast<NodeId>(points.size()), 0);
+  for (NodeId v = 1; v < star.size(); ++v)
+    star.attach(v, 0, EdgeKind::kLocal);
+  star.finalize();
+  const LocalSearchResult refined = improveMaxDelay(
+      star, points, {.maxOutDegree = static_cast<int>(points.size())});
+  EXPECT_EQ(refined.movesApplied, 0);
+  EXPECT_DOUBLE_EQ(refined.finalMaxDelay, refined.initialMaxDelay);
+}
+
+TEST(EdgeCaseTest, AssignmentWithSourceOnTheRim) {
+  // The source at the extreme edge of the host cloud: every other host is
+  // "outward"; the grid still forms around it.
+  Rng rng(4);
+  auto points = sampleDiskWithCenterSource(rng, 3000, 2);
+  points[0] = Point{1.0, 0.0};
+  const GridAssignment a = assignToGrid(points, 0);
+  EXPECT_GE(a.grid.rings(), 1);
+  EXPECT_NEAR(a.grid.outerRadius(), 2.0, 0.1);  // diameter of the disk
+  const PolarGridResult result = buildPolarGridTree(points, 0);
+  EXPECT_TRUE(validate(result.tree, {.maxOutDegree = 6}));
+  EXPECT_GE(computeMetrics(result.tree, points).maxDelay,
+            radiusLowerBound(points, 0) - 1e-9);
+}
+
+TEST(EdgeCaseTest, HighDimensionalGridAtMaxDim) {
+  Rng rng(5);
+  const auto points = sampleDiskWithCenterSource(rng, 1500, kMaxDim);
+  const PolarGridResult result =
+      buildPolarGridTree(points, 0, {.maxOutDegree = 2});
+  EXPECT_TRUE(validate(result.tree, {.maxOutDegree = 2}));
+}
+
+TEST(EdgeCaseTest, UpperBoundScalesWithTinyRadii) {
+  // Micro-scale geometry (radii ~1e-9): no degenerate-guard misfires.
+  Rng rng(6);
+  std::vector<Point> points;
+  for (int i = 0; i < 500; ++i)
+    points.push_back(sampleUnitBall(rng, 2) * 1e-9);
+  points[0] = Point{0.0, 0.0};
+  const PolarGridResult result = buildPolarGridTree(points, 0);
+  EXPECT_TRUE(validate(result.tree, {.maxOutDegree = 6}));
+  const TreeMetrics m = computeMetrics(result.tree, points);
+  EXPECT_LE(m.maxDelay, result.upperBound * (1.0 + 1e-9));
+  EXPECT_LT(result.upperBound, 1e-7);
+}
+
+}  // namespace
+}  // namespace omt

@@ -1,0 +1,165 @@
+#include "omt/geometry/angular_cube.h"
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "omt/common/error.h"
+#include "omt/random/rng.h"
+#include "omt/random/samplers.h"
+
+namespace omt {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(AngularCubeTest, TwoDimensionalAngleIsAzimuthOverTwoPi) {
+  const Point origin{0.0, 0.0};
+  const PolarCoords east = toPolar(Point{2.0, 0.0}, origin);
+  EXPECT_NEAR(east.radius, 2.0, 1e-15);
+  EXPECT_NEAR(east.cube[0], 0.0, 1e-15);
+
+  const PolarCoords north = toPolar(Point{0.0, 1.0}, origin);
+  EXPECT_NEAR(north.cube[0], 0.25, 1e-15);
+
+  const PolarCoords west = toPolar(Point{-3.0, 0.0}, origin);
+  EXPECT_NEAR(west.cube[0], 0.5, 1e-15);
+
+  const PolarCoords south = toPolar(Point{0.0, -0.5}, origin);
+  EXPECT_NEAR(south.cube[0], 0.75, 1e-15);
+}
+
+TEST(AngularCubeTest, ThreeDimensionalMatchesEqualAreaParametrisation) {
+  const Point origin{0.0, 0.0, 0.0};
+  // North pole: theta = 0 -> first cube coordinate (1 - cos 0)/2 = 0.
+  const PolarCoords pole = toPolar(Point{1.0, 0.0, 0.0}, origin);
+  EXPECT_NEAR(pole.cube[0], 0.0, 1e-15);
+  // Equator: theta = pi/2 -> (1 - 0)/2 = 0.5.
+  const PolarCoords equator = toPolar(Point{0.0, 1.0, 0.0}, origin);
+  EXPECT_NEAR(equator.cube[0], 0.5, 1e-15);
+  EXPECT_NEAR(equator.cube[1], 0.0, 1e-15);  // azimuth 0
+  // South pole.
+  const PolarCoords south = toPolar(Point{-1.0, 0.0, 0.0}, origin);
+  EXPECT_NEAR(south.cube[0], 1.0, 1e-15);
+}
+
+TEST(AngularCubeTest, OriginPointHasZeroRadius) {
+  const Point origin{1.0, 2.0};
+  const PolarCoords polar = toPolar(origin, origin);
+  EXPECT_EQ(polar.radius, 0.0);
+  EXPECT_EQ(fromPolar(polar, origin), origin);
+}
+
+TEST(AngularCubeTest, NonZeroOriginIsRespected) {
+  const Point origin{5.0, -3.0};
+  const Point p{6.0, -3.0};
+  const PolarCoords polar = toPolar(p, origin);
+  EXPECT_NEAR(polar.radius, 1.0, 1e-15);
+  EXPECT_NEAR(polar.cube[0], 0.0, 1e-15);
+}
+
+TEST(AngularCubeTest, RejectsDimensionMismatchAndOneD) {
+  EXPECT_THROW(toPolar(Point{1.0, 2.0}, Point{0.0, 0.0, 0.0}),
+               InvalidArgument);
+}
+
+TEST(AngularCubeTest, DirectionFromCubeIsUnit) {
+  for (int d = 2; d <= kMaxDim; ++d) {
+    std::array<double, kMaxDim - 1> cube{};
+    for (int j = 0; j < d - 1; ++j)
+      cube[static_cast<std::size_t>(j)] = 0.3 + 0.07 * j;
+    const Point u = directionFromCube(cube, d);
+    EXPECT_EQ(u.dim(), d);
+    EXPECT_NEAR(norm(u), 1.0, 1e-12);
+  }
+}
+
+class PolarRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(PolarRoundTrip, FromPolarInvertsToPolar) {
+  const int d = GetParam();
+  Rng rng(1234 + static_cast<std::uint64_t>(d));
+  const Point origin(d);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Point p = sampleUnitBall(rng, d) * rng.uniform(0.1, 5.0);
+    const PolarCoords polar = toPolar(p, origin);
+    EXPECT_NEAR(polar.radius, norm(p), 1e-12);
+    const Point back = fromPolar(polar, origin);
+    EXPECT_NEAR(distance(p, back), 0.0, 1e-9 * (1.0 + norm(p)))
+        << "d=" << d << " trial=" << trial;
+  }
+}
+
+TEST_P(PolarRoundTrip, CubeCoordinatesAreInRange) {
+  const int d = GetParam();
+  Rng rng(99 + static_cast<std::uint64_t>(d));
+  const Point origin(d);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Point p = sampleUnitSphere(rng, d);
+    const PolarCoords polar = toPolar(p, origin);
+    for (int j = 0; j < d - 1; ++j) {
+      EXPECT_GE(polar.cube[static_cast<std::size_t>(j)], 0.0);
+      EXPECT_LE(polar.cube[static_cast<std::size_t>(j)], 1.0);
+    }
+    // The azimuth coordinate lives in [0, 1).
+    EXPECT_LT(polar.cube[static_cast<std::size_t>(d - 2)], 1.0);
+  }
+}
+
+/// The defining property of the angular-cube map: uniform directions map to
+/// uniform cube coordinates, so every axis-aligned dyadic box receives its
+/// volume share of points. This is exactly what makes grid cells
+/// equal-probability (grid property 1).
+TEST_P(PolarRoundTrip, MapIsMeasurePreserving) {
+  const int d = GetParam();
+  Rng rng(555 + static_cast<std::uint64_t>(d));
+  const Point origin(d);
+  const int samples = 20000;
+  const int bins = 8;
+  std::vector<std::vector<int>> histogram(
+      static_cast<std::size_t>(d - 1), std::vector<int>(bins, 0));
+  for (int s = 0; s < samples; ++s) {
+    const PolarCoords polar = toPolar(sampleUnitSphere(rng, d), origin);
+    for (int j = 0; j < d - 1; ++j) {
+      int bin = static_cast<int>(polar.cube[static_cast<std::size_t>(j)] *
+                                 bins);
+      bin = std::min(bin, bins - 1);
+      ++histogram[static_cast<std::size_t>(j)][static_cast<std::size_t>(bin)];
+    }
+  }
+  const double expected = static_cast<double>(samples) / bins;
+  for (int j = 0; j < d - 1; ++j) {
+    for (int b = 0; b < bins; ++b) {
+      EXPECT_NEAR(histogram[static_cast<std::size_t>(j)]
+                           [static_cast<std::size_t>(b)],
+                  expected, 5.0 * std::sqrt(expected))
+          << "axis " << j << " bin " << b << " d=" << d;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dimensions, PolarRoundTrip,
+                         ::testing::Values(2, 3, 4, 5, 6));
+
+TEST(AngularCubeTest, AzimuthWrapsIntoUnitInterval) {
+  const Point origin{0.0, 0.0};
+  // Slightly below the positive x-axis: angle just under 2*pi.
+  const PolarCoords polar = toPolar(Point{1.0, -1e-9}, origin);
+  EXPECT_GT(polar.cube[0], 0.99);
+  EXPECT_LT(polar.cube[0], 1.0);
+}
+
+TEST(AngularCubeTest, QuantileConsistencyInThreeD) {
+  // fromPolar(toPolar(p)) exercised at the poles where sin(theta) = 0.
+  const Point origin{0.0, 0.0, 0.0};
+  for (const double x : {1.0, -1.0}) {
+    const Point p{x, 0.0, 0.0};
+    const Point back = fromPolar(toPolar(p, origin), origin);
+    EXPECT_NEAR(distance(p, back), 0.0, 1e-9);
+  }
+  (void)kPi;
+}
+
+}  // namespace
+}  // namespace omt

@@ -1,0 +1,135 @@
+#include "omt/geometry/bounding.h"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "omt/common/error.h"
+#include "omt/random/rng.h"
+#include "omt/random/samplers.h"
+
+namespace omt {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(CircularHullTest, SimpleInterval) {
+  const std::vector<double> values{0.1, 0.2, 0.3};
+  const Interval hull = circularHull(values, 1.0);
+  EXPECT_NEAR(hull.lo, 0.1, 1e-15);
+  EXPECT_NEAR(hull.hi, 0.3, 1e-15);
+}
+
+TEST(CircularHullTest, WrapsAroundTheCut) {
+  const std::vector<double> values{0.95, 0.05, 0.98};
+  const Interval hull = circularHull(values, 1.0);
+  EXPECT_NEAR(hull.lo, 0.95, 1e-15);
+  EXPECT_NEAR(hull.hi, 1.05, 1e-15);
+  EXPECT_LE(hull.width(), 0.2);
+}
+
+TEST(CircularHullTest, SinglePointHasZeroWidth) {
+  const std::vector<double> values{0.42};
+  const Interval hull = circularHull(values, 1.0);
+  EXPECT_NEAR(hull.lo, 0.42, 1e-15);
+  EXPECT_NEAR(hull.width(), 0.0, 1e-15);
+}
+
+TEST(CircularHullTest, ReducesValuesModuloPeriod) {
+  const std::vector<double> values{1.1, -0.9, 2.1};  // all equal 0.1 mod 1
+  const Interval hull = circularHull(values, 1.0);
+  EXPECT_NEAR(hull.width(), 0.0, 1e-12);
+}
+
+TEST(CircularHullTest, AntipodalPairPicksEitherHalf) {
+  const std::vector<double> values{0.0, 0.5};
+  const Interval hull = circularHull(values, 1.0);
+  EXPECT_NEAR(hull.width(), 0.5, 1e-15);
+}
+
+TEST(CircularHullTest, EmptyAndInvalid) {
+  EXPECT_NEAR(circularHull({}, 1.0).width(), 0.0, 1e-15);
+  const std::vector<double> values{0.1};
+  EXPECT_THROW(circularHull(values, 0.0), InvalidArgument);
+}
+
+TEST(FarRingCenterTest, SatisfiesTheoremOnePreconditions) {
+  Rng rng(31);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Point> points;
+    const double scale = rng.uniform(0.01, 10.0);
+    const int n = 2 + static_cast<int>(rng.uniformInt(60));
+    for (int i = 0; i < n; ++i)
+      points.push_back(sampleUnitBall(rng, 2) * scale);
+    const Point center = farRingCenter(points);
+    const RingSegment segment = tightSegment(points, center);
+    const double r = segment.radial().lo;
+    const double R = segment.radial().hi;
+    const double a = segment.angleSpan();
+    EXPECT_GT(r, 0.6 * R) << "trial " << trial;
+    EXPECT_GT(std::sin(a), 5.0 / 6.0 * a - 1e-12) << "trial " << trial;
+  }
+}
+
+TEST(FarRingCenterTest, HandlesCoincidentPoints) {
+  const std::vector<Point> points(5, Point{1.0, 2.0});
+  const Point center = farRingCenter(points);
+  EXPECT_GE(distance(center, points[0]), 0.9);
+  const RingSegment segment = tightSegment(points, center);
+  EXPECT_NEAR(segment.radial().width(), 0.0, 1e-12);
+  EXPECT_NEAR(segment.angleSpan(), 0.0, 1e-12);
+}
+
+TEST(TightSegmentTest, IsTightOnRadii) {
+  const Point center{0.0, 0.0};
+  const std::vector<Point> points{Point{1.0, 0.0}, Point{2.0, 0.0},
+                                  Point{0.0, 1.5}};
+  const RingSegment segment = tightSegment(points, center);
+  EXPECT_NEAR(segment.radial().lo, 1.0, 1e-12);
+  EXPECT_NEAR(segment.radial().hi, 2.0, 1e-12);
+  // Angles 0 and pi/2 -> quarter turn.
+  EXPECT_NEAR(segment.angleSpan(), kPi / 2.0, 1e-12);
+}
+
+TEST(TightSegmentTest, ContainsAllPoints) {
+  Rng rng(77);
+  for (int d = 2; d <= 4; ++d) {
+    std::vector<Point> points;
+    for (int i = 0; i < 40; ++i)
+      points.push_back(sampleUnitBall(rng, d) * 3.0);
+    const Point center = farRingCenter(points);
+    const RingSegment segment = tightSegment(points, center);
+    for (const Point& p : points) {
+      EXPECT_TRUE(segment.contains(toPolar(p, center), 1e-9))
+          << "d=" << d << " p=" << p;
+    }
+  }
+}
+
+TEST(TightSegmentTest, CenterPointExtendsRadialToZero) {
+  const Point center{0.0, 0.0};
+  const std::vector<Point> points{center, Point{1.0, 0.0}};
+  const RingSegment segment = tightSegment(points, center);
+  EXPECT_NEAR(segment.radial().lo, 0.0, 1e-15);
+  EXPECT_NEAR(segment.radial().hi, 1.0, 1e-15);
+}
+
+TEST(TightSegmentTest, WrapAroundAzimuths) {
+  const Point center{0.0, 0.0};
+  // Points straddling the positive x-axis.
+  const std::vector<Point> points{Point{1.0, 0.1}, Point{1.0, -0.1}};
+  const RingSegment segment = tightSegment(points, center);
+  EXPECT_LT(segment.angleSpan(), 0.3);
+  for (const Point& p : points)
+    EXPECT_TRUE(segment.contains(toPolar(p, center), 1e-9));
+}
+
+TEST(TightSegmentTest, RejectsEmpty) {
+  EXPECT_THROW(tightSegment({}, Point{0.0, 0.0}), InvalidArgument);
+  EXPECT_THROW(farRingCenter({}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace omt

@@ -1,0 +1,146 @@
+#include "omt/geometry/enclosing_ball.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "omt/common/error.h"
+#include "omt/random/rng.h"
+#include "omt/random/samplers.h"
+
+namespace omt {
+namespace {
+
+TEST(EnclosingBallTest, SinglePoint) {
+  const std::vector<Point> points{Point{3.0, 4.0}};
+  const EnclosingBall ball = smallestEnclosingBall(points);
+  EXPECT_EQ(ball.center, points[0]);
+  EXPECT_DOUBLE_EQ(ball.radius, 0.0);
+}
+
+TEST(EnclosingBallTest, TwoPointsDiameter) {
+  const std::vector<Point> points{Point{0.0, 0.0}, Point{2.0, 0.0}};
+  const EnclosingBall ball = smallestEnclosingBall(points);
+  EXPECT_NEAR(ball.center[0], 1.0, 1e-9);
+  EXPECT_NEAR(ball.center[1], 0.0, 1e-9);
+  EXPECT_NEAR(ball.radius, 1.0, 1e-9);
+}
+
+TEST(EnclosingBallTest, EquilateralTriangleCircumcircle) {
+  const double h = std::sqrt(3.0) / 2.0;
+  const std::vector<Point> points{Point{0.0, 0.0}, Point{1.0, 0.0},
+                                  Point{0.5, h}};
+  const EnclosingBall ball = smallestEnclosingBall(points);
+  // Circumradius of a unit equilateral triangle: 1/sqrt(3).
+  EXPECT_NEAR(ball.radius, 1.0 / std::sqrt(3.0), 1e-9);
+  EXPECT_NEAR(ball.center[0], 0.5, 1e-9);
+}
+
+TEST(EnclosingBallTest, ObtuseTriangleUsesLongestSide) {
+  // For an obtuse triangle the smallest ball is on the longest side, not
+  // the circumcircle.
+  const std::vector<Point> points{Point{0.0, 0.0}, Point{4.0, 0.0},
+                                  Point{2.0, 0.1}};
+  const EnclosingBall ball = smallestEnclosingBall(points);
+  EXPECT_NEAR(ball.radius, 2.0, 1e-6);
+  EXPECT_NEAR(ball.center[0], 2.0, 1e-6);
+}
+
+TEST(EnclosingBallTest, InteriorPointsDoNotMatter) {
+  Rng rng(1);
+  std::vector<Point> points{Point{-1.0, 0.0}, Point{1.0, 0.0},
+                            Point{0.0, 1.0}, Point{0.0, -1.0}};
+  const EnclosingBall reference = smallestEnclosingBall(points);
+  for (int i = 0; i < 200; ++i)
+    points.push_back(sampleUnitBall(rng, 2) * 0.9);
+  const EnclosingBall ball = smallestEnclosingBall(points);
+  EXPECT_NEAR(ball.radius, reference.radius, 1e-9);
+  EXPECT_NEAR(distance(ball.center, reference.center), 0.0, 1e-9);
+}
+
+TEST(EnclosingBallTest, CoincidentPoints) {
+  const std::vector<Point> points(20, Point{1.0, 2.0, 3.0});
+  const EnclosingBall ball = smallestEnclosingBall(points);
+  EXPECT_NEAR(ball.radius, 0.0, 1e-12);
+}
+
+TEST(EnclosingBallTest, CollinearPoints) {
+  std::vector<Point> points;
+  for (int i = 0; i <= 10; ++i)
+    points.push_back(Point{static_cast<double>(i), 0.0});
+  const EnclosingBall ball = smallestEnclosingBall(points);
+  EXPECT_NEAR(ball.radius, 5.0, 1e-9);
+  EXPECT_NEAR(ball.center[0], 5.0, 1e-9);
+}
+
+class EnclosingBallSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(EnclosingBallSweep, CoversAllPointsAndIsLocallyMinimal) {
+  const int d = GetParam();
+  Rng rng(100 + static_cast<std::uint64_t>(d));
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Point> points;
+    const int n = 5 + static_cast<int>(rng.uniformInt(200));
+    for (int i = 0; i < n; ++i)
+      points.push_back(sampleUnitBall(rng, d) * rng.uniform(0.5, 3.0));
+    const EnclosingBall ball = smallestEnclosingBall(points);
+    double maxDist = 0.0;
+    for (const Point& p : points)
+      maxDist = std::max(maxDist, distance(p, ball.center));
+    // Covers everything, tightly: the farthest point touches the boundary.
+    EXPECT_LE(maxDist, ball.radius + 1e-9);
+    EXPECT_GE(maxDist, ball.radius - 1e-6);
+    // Not larger than the trivial bound (ball around the centroid).
+    Point centroid(d);
+    for (const Point& p : points) centroid += p;
+    centroid /= static_cast<double>(n);
+    double centroidRadius = 0.0;
+    for (const Point& p : points)
+      centroidRadius = std::max(centroidRadius, distance(p, centroid));
+    EXPECT_LE(ball.radius, centroidRadius + 1e-9);
+  }
+}
+
+TEST_P(EnclosingBallSweep, SpherePointsGiveUnitBall) {
+  const int d = GetParam();
+  Rng rng(200 + static_cast<std::uint64_t>(d));
+  std::vector<Point> points;
+  for (int i = 0; i < 300; ++i) points.push_back(sampleUnitSphere(rng, d));
+  const EnclosingBall ball = smallestEnclosingBall(points);
+  EXPECT_NEAR(ball.radius, 1.0, 0.05);
+  EXPECT_LE(norm(ball.center), 0.2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dimensions, EnclosingBallSweep,
+                         ::testing::Values(2, 3, 4, 5));
+
+TEST(EnclosingBallTest, RejectsEmptyAndMixedDims) {
+  EXPECT_THROW(smallestEnclosingBall({}), InvalidArgument);
+  const std::vector<Point> mixed{Point{0.0, 0.0}, Point{0.0, 0.0, 0.0}};
+  EXPECT_THROW(smallestEnclosingBall(mixed), InvalidArgument);
+}
+
+TEST(MaxPairwiseTest, TwoSweepFindsACertificate) {
+  const std::vector<Point> points{Point{0.0, 0.0}, Point{1.0, 0.0},
+                                  Point{5.0, 0.0}, Point{2.0, 2.0}};
+  const double lb = maxPairwiseDistanceLowerBound(points);
+  EXPECT_NEAR(lb, 5.0, 1e-12);  // the actual farthest pair here
+}
+
+TEST(MaxPairwiseTest, IsAtMostTheTrueMaximumAndAtLeastTheRadius) {
+  Rng rng(7);
+  std::vector<Point> points;
+  for (int i = 0; i < 150; ++i) points.push_back(sampleUnitBall(rng, 3));
+  const double lb = maxPairwiseDistanceLowerBound(points);
+  double truth = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = i + 1; j < points.size(); ++j)
+      truth = std::max(truth, distance(points[i], points[j]));
+  }
+  EXPECT_LE(lb, truth + 1e-12);
+  const EnclosingBall ball = smallestEnclosingBall(points);
+  EXPECT_GE(lb, ball.radius - 1e-9);  // two-sweep >= enclosing radius
+}
+
+}  // namespace
+}  // namespace omt

@@ -1,0 +1,121 @@
+#include "omt/geometry/point.h"
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace omt {
+namespace {
+
+TEST(PointTest, DefaultIsZeroDimensional) {
+  const Point p;
+  EXPECT_EQ(p.dim(), 0);
+}
+
+TEST(PointTest, DimensionConstructorMakesOrigin) {
+  const Point p(3);
+  EXPECT_EQ(p.dim(), 3);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(p[i], 0.0);
+}
+
+TEST(PointTest, InitializerListConstructor) {
+  const Point p{1.5, -2.0, 0.25};
+  EXPECT_EQ(p.dim(), 3);
+  EXPECT_EQ(p[0], 1.5);
+  EXPECT_EQ(p[1], -2.0);
+  EXPECT_EQ(p[2], 0.25);
+}
+
+TEST(PointTest, SpanConstructorCopies) {
+  const std::vector<double> values{0.5, 1.0};
+  const Point p((std::span<const double>(values)));
+  EXPECT_EQ(p.dim(), 2);
+  EXPECT_EQ(p[0], 0.5);
+  EXPECT_EQ(p[1], 1.0);
+}
+
+TEST(PointTest, RejectsTooManyCoordinates) {
+  EXPECT_THROW(Point(kMaxDim + 1), InvalidArgument);
+  const std::vector<double> tooMany(static_cast<std::size_t>(kMaxDim) + 1, 0.0);
+  EXPECT_THROW(Point{std::span<const double>(tooMany)}, InvalidArgument);
+}
+
+TEST(PointTest, Arithmetic) {
+  const Point a{1.0, 2.0};
+  const Point b{0.5, -1.0};
+  const Point sum = a + b;
+  EXPECT_EQ(sum[0], 1.5);
+  EXPECT_EQ(sum[1], 1.0);
+  const Point diff = a - b;
+  EXPECT_EQ(diff[0], 0.5);
+  EXPECT_EQ(diff[1], 3.0);
+  const Point scaled = a * 2.0;
+  EXPECT_EQ(scaled[0], 2.0);
+  EXPECT_EQ(scaled[1], 4.0);
+  const Point scaledLeft = 2.0 * a;
+  EXPECT_EQ(scaledLeft, scaled);
+  const Point halved = a / 2.0;
+  EXPECT_EQ(halved[0], 0.5);
+  EXPECT_EQ(halved[1], 1.0);
+}
+
+TEST(PointTest, ArithmeticRejectsDimensionMismatch) {
+  Point a{1.0, 2.0};
+  const Point b{1.0, 2.0, 3.0};
+  EXPECT_THROW(a += b, InvalidArgument);
+  EXPECT_THROW(a -= b, InvalidArgument);
+  EXPECT_THROW(dot(a, b), InvalidArgument);
+  EXPECT_THROW(distance(a, b), InvalidArgument);
+}
+
+TEST(PointTest, DotNormDistance) {
+  const Point a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(dot(a, a), 25.0);
+  EXPECT_DOUBLE_EQ(squaredNorm(a), 25.0);
+  EXPECT_DOUBLE_EQ(norm(a), 5.0);
+  const Point b{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(squaredDistance(a, b), 25.0);
+}
+
+TEST(PointTest, DistanceIsSymmetricAndSatisfiesTriangle) {
+  const Point a{0.0, 0.0};
+  const Point b{1.0, 1.0};
+  const Point c{2.0, -1.0};
+  EXPECT_DOUBLE_EQ(distance(a, b), distance(b, a));
+  EXPECT_LE(distance(a, c), distance(a, b) + distance(b, c) + 1e-15);
+}
+
+TEST(PointTest, EqualityComparesAllCoordinates) {
+  EXPECT_EQ((Point{1.0, 2.0}), (Point{1.0, 2.0}));
+  EXPECT_NE((Point{1.0, 2.0}), (Point{1.0, 2.5}));
+  EXPECT_NE((Point{1.0, 2.0}), (Point{1.0, 2.0, 0.0}));
+}
+
+TEST(PointTest, StreamOutput) {
+  std::ostringstream out;
+  out << Point{1.0, -2.5};
+  EXPECT_EQ(out.str(), "(1, -2.5)");
+}
+
+TEST(PointTest, CoordsSpanViewsStorage) {
+  const Point p{7.0, 8.0, 9.0};
+  const auto view = p.coords();
+  ASSERT_EQ(view.size(), 3u);
+  EXPECT_EQ(view[2], 9.0);
+}
+
+TEST(PointTest, HighDimensionalDistance) {
+  Point a(kMaxDim);
+  Point b(kMaxDim);
+  for (int i = 0; i < kMaxDim; ++i) {
+    a[i] = 1.0;
+    b[i] = -1.0;
+  }
+  EXPECT_DOUBLE_EQ(distance(a, b), 2.0 * std::sqrt(double(kMaxDim)));
+}
+
+}  // namespace
+}  // namespace omt

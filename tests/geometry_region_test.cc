@@ -1,0 +1,103 @@
+#include "omt/geometry/region.h"
+
+#include <gtest/gtest.h>
+
+#include "omt/common/error.h"
+
+namespace omt {
+namespace {
+
+TEST(BallTest, ContainsAndBoundingBox) {
+  const Ball ball(Point{1.0, 1.0}, 2.0);
+  EXPECT_TRUE(ball.contains(Point{1.0, 1.0}));
+  EXPECT_TRUE(ball.contains(Point{3.0, 1.0}));   // on the boundary
+  EXPECT_TRUE(ball.contains(Point{2.0, 2.0}));
+  EXPECT_FALSE(ball.contains(Point{3.5, 1.0}));
+  EXPECT_FALSE(ball.contains(Point{1.0, 1.0, 0.0}));  // wrong dimension
+  const auto [lo, hi] = ball.boundingBox();
+  EXPECT_EQ(lo, (Point{-1.0, -1.0}));
+  EXPECT_EQ(hi, (Point{3.0, 3.0}));
+  EXPECT_TRUE(ball.convex());
+}
+
+TEST(BallTest, ThreeDimensional) {
+  const Ball ball(Point{0.0, 0.0, 0.0}, 1.0);
+  EXPECT_EQ(ball.dim(), 3);
+  EXPECT_TRUE(ball.contains(Point{0.5, 0.5, 0.5}));
+  EXPECT_FALSE(ball.contains(Point{0.7, 0.7, 0.7}));
+  EXPECT_NE(ball.name().find("ball"), std::string::npos);
+}
+
+TEST(BallTest, RejectsNegativeRadius) {
+  EXPECT_THROW(Ball(Point{0.0, 0.0}, -1.0), InvalidArgument);
+}
+
+TEST(BoxTest, ContainsAndValidation) {
+  const Box box(Point{0.0, -1.0}, Point{2.0, 1.0});
+  EXPECT_TRUE(box.contains(Point{1.0, 0.0}));
+  EXPECT_TRUE(box.contains(Point{0.0, -1.0}));
+  EXPECT_TRUE(box.contains(Point{2.0, 1.0}));
+  EXPECT_FALSE(box.contains(Point{2.5, 0.0}));
+  EXPECT_FALSE(box.contains(Point{1.0, -1.5}));
+  EXPECT_THROW(Box(Point{1.0, 0.0}, Point{0.0, 1.0}), InvalidArgument);
+  EXPECT_THROW(Box(Point{0.0, 0.0}, Point{1.0, 1.0, 1.0}), InvalidArgument);
+}
+
+TEST(ConvexPolygonTest, TriangleContains) {
+  const ConvexPolygon tri({Point{0.0, 0.0}, Point{2.0, 0.0}, Point{1.0, 2.0}});
+  EXPECT_TRUE(tri.contains(Point{1.0, 0.5}));
+  EXPECT_TRUE(tri.contains(Point{0.0, 0.0}));  // vertex
+  EXPECT_TRUE(tri.contains(Point{1.0, 0.0}));  // edge
+  EXPECT_FALSE(tri.contains(Point{2.0, 2.0}));
+  EXPECT_FALSE(tri.contains(Point{-0.1, 0.1}));
+}
+
+TEST(ConvexPolygonTest, BoundingBox) {
+  const ConvexPolygon quad({Point{0.0, 0.0}, Point{3.0, 1.0}, Point{2.0, 4.0},
+                            Point{-1.0, 2.0}});
+  const auto [lo, hi] = quad.boundingBox();
+  EXPECT_EQ(lo, (Point{-1.0, 0.0}));
+  EXPECT_EQ(hi, (Point{3.0, 4.0}));
+}
+
+TEST(ConvexPolygonTest, RejectsNonConvexAndClockwise) {
+  // Clockwise triangle.
+  EXPECT_THROW(ConvexPolygon({Point{0.0, 0.0}, Point{1.0, 2.0},
+                              Point{2.0, 0.0}}),
+               InvalidArgument);
+  // Non-convex (dart) polygon.
+  EXPECT_THROW(ConvexPolygon({Point{0.0, 0.0}, Point{4.0, 0.0},
+                              Point{4.0, 4.0}, Point{3.0, 1.0}}),
+               InvalidArgument);
+  // Too few vertices.
+  EXPECT_THROW(ConvexPolygon({Point{0.0, 0.0}, Point{1.0, 0.0}}),
+               InvalidArgument);
+  // Non-planar vertex.
+  EXPECT_THROW(ConvexPolygon({Point{0.0, 0.0, 0.0}, Point{1.0, 0.0, 0.0},
+                              Point{0.0, 1.0, 0.0}}),
+               InvalidArgument);
+}
+
+TEST(AnnulusTest, ContainsAndNonConvex) {
+  const Annulus ring(Point{0.0, 0.0}, 1.0, 2.0);
+  EXPECT_TRUE(ring.contains(Point{1.5, 0.0}));
+  EXPECT_TRUE(ring.contains(Point{0.0, -1.0}));  // inner boundary
+  EXPECT_TRUE(ring.contains(Point{2.0, 0.0}));   // outer boundary
+  EXPECT_FALSE(ring.contains(Point{0.0, 0.0}));  // the hole
+  EXPECT_FALSE(ring.contains(Point{2.5, 0.0}));
+  EXPECT_FALSE(ring.convex());
+  EXPECT_THROW(Annulus(Point{0.0, 0.0}, 2.0, 1.0), InvalidArgument);
+  EXPECT_THROW(Annulus(Point{0.0, 0.0, 0.0}, 1.0, 2.0), InvalidArgument);
+}
+
+TEST(RegionTest, NamesAreInformative) {
+  EXPECT_NE(Ball(Point{0.0, 0.0}, 1.0).name().find("disk"),
+            std::string::npos);
+  EXPECT_NE(Box(Point{0.0, 0.0}, Point{1.0, 1.0}).name().find("box"),
+            std::string::npos);
+  EXPECT_NE(Annulus(Point{0.0, 0.0}, 0.5, 1.0).name().find("annulus"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace omt

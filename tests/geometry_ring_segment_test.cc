@@ -1,0 +1,157 @@
+#include "omt/geometry/ring_segment.h"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "omt/common/error.h"
+#include "omt/random/rng.h"
+#include "omt/random/samplers.h"
+
+namespace omt {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+RingSegment makeSegment(int dim, Interval radial,
+                        std::vector<Interval> cube) {
+  return RingSegment(dim, radial, std::span<const Interval>(cube));
+}
+
+TEST(IntervalTest, Basics) {
+  const Interval iv{1.0, 3.0};
+  EXPECT_DOUBLE_EQ(iv.width(), 2.0);
+  EXPECT_DOUBLE_EQ(iv.mid(), 2.0);
+  EXPECT_TRUE(iv.contains(1.0));
+  EXPECT_TRUE(iv.contains(3.0));
+  EXPECT_TRUE(iv.contains(2.2));
+  EXPECT_FALSE(iv.contains(0.5));
+  EXPECT_FALSE(iv.contains(3.5));
+}
+
+TEST(IntervalTest, Halves) {
+  const Interval iv{0.0, 1.0};
+  const Interval lower = iv.half(0);
+  const Interval upper = iv.half(1);
+  EXPECT_DOUBLE_EQ(lower.lo, 0.0);
+  EXPECT_DOUBLE_EQ(lower.hi, 0.5);
+  EXPECT_DOUBLE_EQ(upper.lo, 0.5);
+  EXPECT_DOUBLE_EQ(upper.hi, 1.0);
+}
+
+TEST(RingSegmentTest, FullBallContainsEverythingInside) {
+  const RingSegment ball = RingSegment::fullBall(2, 2.0);
+  const Point origin{0.0, 0.0};
+  EXPECT_TRUE(ball.contains(toPolar(Point{1.0, 1.0}, origin)));
+  EXPECT_TRUE(ball.contains(toPolar(Point{-2.0, 0.0}, origin)));
+  EXPECT_FALSE(ball.contains(toPolar(Point{2.0, 1.0}, origin)));
+}
+
+TEST(RingSegmentTest, AngleSpan) {
+  const RingSegment seg =
+      makeSegment(2, {1.0, 2.0}, {{0.25, 0.5}});
+  EXPECT_NEAR(seg.angleSpan(), kPi / 2.0, 1e-15);
+  EXPECT_NEAR(seg.outerArcLength(), 2.0 * kPi / 2.0, 1e-15);
+}
+
+TEST(RingSegmentTest, ContainsRespectsRadialAndAngularBounds) {
+  // Quarter ring: radii [1, 2], angles [0, pi/2] (cube [0, 0.25]).
+  const RingSegment seg = makeSegment(2, {1.0, 2.0}, {{0.0, 0.25}});
+  const Point origin{0.0, 0.0};
+  EXPECT_TRUE(seg.contains(toPolar(Point{1.5, 0.0}, origin)));
+  EXPECT_TRUE(seg.contains(toPolar(Point{0.0, 1.5}, origin)));
+  EXPECT_TRUE(seg.contains(toPolar(Point{1.0, 1.0}, origin)));
+  EXPECT_FALSE(seg.contains(toPolar(Point{0.5, 0.0}, origin)));   // too close
+  EXPECT_FALSE(seg.contains(toPolar(Point{2.5, 0.0}, origin)));   // too far
+  EXPECT_FALSE(seg.contains(toPolar(Point{-1.5, 0.0}, origin)));  // wrong angle
+}
+
+TEST(RingSegmentTest, WrappedAzimuthSegment) {
+  // Arc crossing the branch cut: cube azimuth [0.9, 1.1] = angles
+  // [324, 396) degrees.
+  const RingSegment seg = makeSegment(2, {0.5, 1.5}, {{0.9, 1.1}});
+  const Point origin{0.0, 0.0};
+  EXPECT_TRUE(seg.contains(toPolar(Point{1.0, 0.0}, origin)));    // 0 deg
+  EXPECT_TRUE(seg.contains(toPolar(Point{1.0, -0.3}, origin)));   // ~-17 deg
+  EXPECT_TRUE(seg.contains(toPolar(Point{1.0, 0.3}, origin)));    // ~17 deg
+  EXPECT_FALSE(seg.contains(toPolar(Point{0.0, 1.0}, origin)));   // 90 deg
+  EXPECT_FALSE(seg.contains(toPolar(Point{-1.0, 0.0}, origin)));  // 180 deg
+}
+
+TEST(RingSegmentTest, SubsegmentsPartitionTheSegment) {
+  const RingSegment seg = makeSegment(2, {1.0, 2.0}, {{0.0, 0.5}});
+  Rng rng(7);
+  const Point origin{0.0, 0.0};
+  for (int trial = 0; trial < 500; ++trial) {
+    // Rejection-sample a point inside the segment.
+    const Point p = sampleUnitBall(rng, 2) * 2.0;
+    const PolarCoords polar = toPolar(p, origin);
+    if (!seg.contains(polar)) continue;
+    const int index = seg.subsegmentIndex(polar);
+    ASSERT_GE(index, 0);
+    ASSERT_LT(index, seg.subsegmentCount());
+    int containing = 0;
+    for (int s = 0; s < seg.subsegmentCount(); ++s) {
+      if (seg.subsegment(s).contains(polar)) ++containing;
+    }
+    // The point's own subsegment must contain it; boundary points may also
+    // fall in adjacent subsegments within tolerance.
+    EXPECT_TRUE(seg.subsegment(index).contains(polar));
+    EXPECT_GE(containing, 1);
+  }
+}
+
+TEST(RingSegmentTest, SubsegmentCountIsTwoToTheDim) {
+  EXPECT_EQ(RingSegment::fullBall(2, 1.0).subsegmentCount(), 4);
+  EXPECT_EQ(RingSegment::fullBall(3, 1.0).subsegmentCount(), 8);
+  EXPECT_EQ(RingSegment::fullBall(4, 1.0).subsegmentCount(), 16);
+}
+
+TEST(RingSegmentTest, SubsegmentGeometryMatchesIndexBits) {
+  const RingSegment seg = makeSegment(2, {1.0, 2.0}, {{0.0, 0.5}});
+  const RingSegment innerLower = seg.subsegment(0);
+  EXPECT_DOUBLE_EQ(innerLower.radial().lo, 1.0);
+  EXPECT_DOUBLE_EQ(innerLower.radial().hi, 1.5);
+  EXPECT_DOUBLE_EQ(innerLower.cubeAxis(0).lo, 0.0);
+  EXPECT_DOUBLE_EQ(innerLower.cubeAxis(0).hi, 0.25);
+  const RingSegment outerUpper = seg.subsegment(3);
+  EXPECT_DOUBLE_EQ(outerUpper.radial().lo, 1.5);
+  EXPECT_DOUBLE_EQ(outerUpper.radial().hi, 2.0);
+  EXPECT_DOUBLE_EQ(outerUpper.cubeAxis(0).lo, 0.25);
+  EXPECT_DOUBLE_EQ(outerUpper.cubeAxis(0).hi, 0.5);
+}
+
+TEST(RingSegmentTest, ThreeDimensionalSubsegmentsContainTheirPoints) {
+  const RingSegment ball = RingSegment::fullBall(3, 1.0);
+  Rng rng(11);
+  const Point origin{0.0, 0.0, 0.0};
+  for (int trial = 0; trial < 300; ++trial) {
+    const PolarCoords polar = toPolar(sampleUnitBall(rng, 3), origin);
+    const int index = ball.subsegmentIndex(polar);
+    EXPECT_TRUE(ball.subsegment(index).contains(polar)) << "trial " << trial;
+  }
+}
+
+TEST(RingSegmentTest, RejectsInvalidConstruction) {
+  EXPECT_THROW(makeSegment(2, {2.0, 1.0}, {{0.0, 1.0}}), InvalidArgument);
+  EXPECT_THROW(makeSegment(2, {-1.0, 1.0}, {{0.0, 1.0}}), InvalidArgument);
+  EXPECT_THROW(makeSegment(2, {0.0, 1.0}, {{0.0, 1.5}}), InvalidArgument);
+  EXPECT_THROW(makeSegment(2, {0.0, 1.0}, {{0.0, 0.5}, {0.0, 0.5}}),
+               InvalidArgument);
+  EXPECT_THROW(makeSegment(3, {0.0, 1.0}, {{0.0, 1.2}, {0.0, 0.5}}),
+               InvalidArgument);
+  EXPECT_THROW(RingSegment::fullBall(2, -1.0), InvalidArgument);
+}
+
+TEST(RingSegmentTest, ExtentMeasureCombinesRadialAndArc) {
+  const RingSegment seg = makeSegment(2, {1.0, 1.1}, {{0.0, 0.5}});
+  // Arc at outer radius: 1.1 * pi > radial width 0.1.
+  EXPECT_NEAR(seg.extentMeasure(), 1.1 * kPi, 1e-12);
+  const RingSegment thin = makeSegment(2, {0.0, 5.0}, {{0.0, 0.001}});
+  EXPECT_NEAR(thin.extentMeasure(), 5.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace omt

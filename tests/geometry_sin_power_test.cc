@@ -1,0 +1,131 @@
+#include "omt/geometry/sin_power_integral.h"
+
+#include <cmath>
+#include <numbers>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "omt/common/error.h"
+
+namespace omt {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(SinPowerTest, ZeroPowerIsIdentity) {
+  EXPECT_DOUBLE_EQ(sinPowerIntegral(0, 1.2), 1.2);
+  EXPECT_DOUBLE_EQ(sinPowerTotal(0), kPi);
+}
+
+TEST(SinPowerTest, FirstPowerClosedForm) {
+  for (const double t : {0.0, 0.3, 1.0, kPi / 2.0, 2.5, kPi}) {
+    EXPECT_NEAR(sinPowerIntegral(1, t), 1.0 - std::cos(t), 1e-14);
+  }
+  EXPECT_DOUBLE_EQ(sinPowerTotal(1), 2.0);
+}
+
+TEST(SinPowerTest, SecondPowerClosedForm) {
+  // integral sin^2 = t/2 - sin(2t)/4.
+  for (const double t : {0.0, 0.4, 1.3, 2.0, kPi}) {
+    EXPECT_NEAR(sinPowerIntegral(2, t), t / 2.0 - std::sin(2.0 * t) / 4.0,
+                1e-13);
+  }
+  EXPECT_NEAR(sinPowerTotal(2), kPi / 2.0, 1e-15);
+}
+
+TEST(SinPowerTest, ThirdPowerClosedForm) {
+  // integral sin^3 = (cos^3 t)/3 - cos t + 2/3.
+  for (const double t : {0.0, 0.7, 1.9, kPi}) {
+    const double c = std::cos(t);
+    EXPECT_NEAR(sinPowerIntegral(3, t), c * c * c / 3.0 - c + 2.0 / 3.0,
+                1e-13);
+  }
+  EXPECT_NEAR(sinPowerTotal(3), 4.0 / 3.0, 1e-15);
+}
+
+TEST(SinPowerTest, TotalsFollowWallisRecurrence) {
+  for (int k = 2; k <= 10; ++k) {
+    EXPECT_NEAR(sinPowerTotal(k),
+                sinPowerTotal(k - 2) * (k - 1) / static_cast<double>(k),
+                1e-14);
+  }
+}
+
+TEST(SinPowerTest, IntegralMatchesNumericQuadrature) {
+  // Trapezoid check against the closed-form recurrence for higher powers.
+  for (int k = 4; k <= 6; ++k) {
+    const double t = 2.1;
+    const int steps = 200000;
+    double acc = 0.0;
+    for (int i = 0; i < steps; ++i) {
+      const double x0 = t * i / steps;
+      const double x1 = t * (i + 1) / steps;
+      acc += (std::pow(std::sin(x0), k) + std::pow(std::sin(x1), k)) *
+             (x1 - x0) / 2.0;
+    }
+    EXPECT_NEAR(sinPowerIntegral(k, t), acc, 1e-8);
+  }
+}
+
+TEST(SinPowerTest, CdfEndpointsAndMidpoint) {
+  for (int k = 0; k <= 6; ++k) {
+    EXPECT_NEAR(sinPowerCdf(k, 0.0), 0.0, 1e-15);
+    EXPECT_NEAR(sinPowerCdf(k, kPi), 1.0, 1e-14);
+    // sin^k is symmetric about pi/2, so the CDF at pi/2 is exactly 1/2.
+    EXPECT_NEAR(sinPowerCdf(k, kPi / 2.0), 0.5, 1e-14);
+  }
+}
+
+TEST(SinPowerTest, CdfIsMonotone) {
+  for (int k = 0; k <= 6; ++k) {
+    double prev = -1.0;
+    for (int i = 0; i <= 100; ++i) {
+      const double value = sinPowerCdf(k, kPi * i / 100.0);
+      EXPECT_GE(value, prev);
+      prev = value;
+    }
+  }
+}
+
+TEST(SinPowerTest, RejectsInvalidArguments) {
+  EXPECT_THROW(sinPowerIntegral(-1, 1.0), InvalidArgument);
+  EXPECT_THROW(sinPowerIntegral(2, -0.5), InvalidArgument);
+  EXPECT_THROW(sinPowerIntegral(2, kPi + 0.5), InvalidArgument);
+  EXPECT_THROW(sinPowerQuantile(2, -0.5), InvalidArgument);
+  EXPECT_THROW(sinPowerQuantile(2, 1.5), InvalidArgument);
+}
+
+class SinPowerQuantileRoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(SinPowerQuantileRoundTrip, QuantileInvertsCdf) {
+  const auto [k, u] = GetParam();
+  const double t = sinPowerQuantile(k, u);
+  EXPECT_GE(t, 0.0);
+  EXPECT_LE(t, kPi);
+  EXPECT_NEAR(sinPowerCdf(k, t), u, 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SinPowerQuantileRoundTrip,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 4, 5, 6),
+                       ::testing::Values(0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9,
+                                         0.99, 1.0)));
+
+class SinPowerCdfRoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(SinPowerCdfRoundTrip, CdfThenQuantileReturnsAngle) {
+  const auto [k, frac] = GetParam();
+  const double t = kPi * frac;
+  EXPECT_NEAR(sinPowerQuantile(k, sinPowerCdf(k, t)), t, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SinPowerCdfRoundTrip,
+    ::testing::Combine(::testing::Values(0, 1, 2, 4, 6),
+                       ::testing::Values(0.05, 0.2, 0.5, 0.8, 0.95)));
+
+}  // namespace
+}  // namespace omt

@@ -1,0 +1,96 @@
+// Golden regression tests: exact structural fingerprints of the trees each
+// algorithm builds on fixed seeded inputs. These pin the implementations'
+// *behaviour*, not just their invariants — an unintended change to tie
+// breaking, traversal order, or geometry shows up here even when every
+// invariant still holds. If an algorithm is changed deliberately, update
+// the constants (and note it in the change description).
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "omt/baselines/baselines.h"
+#include "omt/bisection/bisection.h"
+#include "omt/bisection/square_bisection.h"
+#include "omt/core/polar_grid_tree.h"
+#include "omt/random/samplers.h"
+
+namespace omt {
+namespace {
+
+/// FNV-1a over the parent array (parents shifted by one so the root's
+/// kNoNode participates).
+std::uint64_t treeFingerprint(const MulticastTree& tree) {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (NodeId v = 0; v < tree.size(); ++v) {
+    const auto x = static_cast<std::uint64_t>(tree.parentOf(v) + 1);
+    for (int b = 0; b < 8; ++b) {
+      hash ^= (x >> (8 * b)) & 0xff;
+      hash *= 1099511628211ULL;
+    }
+  }
+  return hash;
+}
+
+std::vector<Point> disk200() {
+  Rng rng(12345);
+  return sampleDiskWithCenterSource(rng, 200, 2);
+}
+
+TEST(GoldenTest, PolarGridDegree6) {
+  EXPECT_EQ(treeFingerprint(
+                buildPolarGridTree(disk200(), 0, {.maxOutDegree = 6}).tree),
+            0xbf78c6a4119ea1a0ULL);
+}
+
+TEST(GoldenTest, PolarGridDegree2) {
+  EXPECT_EQ(treeFingerprint(
+                buildPolarGridTree(disk200(), 0, {.maxOutDegree = 2}).tree),
+            0x48dea1cd880ca865ULL);
+}
+
+TEST(GoldenTest, BisectionDegree4) {
+  EXPECT_EQ(treeFingerprint(
+                buildBisectionTree(disk200(), 0, {.maxOutDegree = 4}).tree),
+            0x619347e88d7d2eecULL);
+}
+
+TEST(GoldenTest, SquareBisectionDegree4) {
+  EXPECT_EQ(
+      treeFingerprint(
+          buildSquareBisectionTree(disk200(), 0, {.maxOutDegree = 4}).tree),
+      0x82d2dbacedbd8f1fULL);
+}
+
+TEST(GoldenTest, GreedyInsertionDegree6) {
+  EXPECT_EQ(treeFingerprint(buildGreedyInsertionTree(disk200(), 0, 6)),
+            0xe6052145e6ec202dULL);
+}
+
+TEST(GoldenTest, LayeredDegree3) {
+  EXPECT_EQ(treeFingerprint(buildLayeredTree(disk200(), 0, 3)),
+            0x976026ffc4679f00ULL);
+}
+
+TEST(GoldenTest, PolarGridThreeDimensionalDegree10) {
+  Rng rng(777);
+  const auto points = sampleDiskWithCenterSource(rng, 300, 3);
+  EXPECT_EQ(treeFingerprint(
+                buildPolarGridTree(points, 0, {.maxOutDegree = 10}).tree),
+            0xf7c349cfb3d9a13eULL);
+}
+
+TEST(GoldenTest, FingerprintDistinguishesStructures) {
+  // Sanity: different algorithms on the same input produce different
+  // fingerprints (the hash is not degenerate).
+  const auto points = disk200();
+  const auto a = treeFingerprint(
+      buildPolarGridTree(points, 0, {.maxOutDegree = 6}).tree);
+  const auto b = treeFingerprint(buildGreedyInsertionTree(points, 0, 6));
+  const auto c = treeFingerprint(buildChainTree(points, 0));
+  EXPECT_NE(a, b);
+  EXPECT_NE(b, c);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace omt

@@ -1,0 +1,199 @@
+#include "omt/grid/assignment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "omt/common/error.h"
+#include "omt/random/rng.h"
+#include "omt/random/samplers.h"
+
+namespace omt {
+namespace {
+
+/// Checks grid property 3 for a given ring count k over the point radii:
+/// rings 1..k-1 must be fully occupied.
+bool property3Holds(std::span<const Point> points, NodeId source, int k,
+                    double outerRadius, int dim) {
+  if (k < 1 || k > PolarGrid::kMaxRings) return false;
+  const PolarGrid grid(dim, k, outerRadius);
+  const Point& origin = points[static_cast<std::size_t>(source)];
+  std::vector<std::uint8_t> seen(grid.heapIdCount(), 0);
+  for (const Point& p : points) {
+    const PolarCoords polar = toPolar(p, origin);
+    const int ring = grid.ringOf(std::min(polar.radius, outerRadius));
+    seen[grid.heapId(ring, grid.cellOf(polar, ring))] = 1;
+  }
+  for (int ring = 1; ring <= k - 1; ++ring) {
+    for (std::uint64_t c = 0; c < grid.cellsInRing(ring); ++c) {
+      if (!seen[grid.heapId(ring, c)]) return false;
+    }
+  }
+  return true;
+}
+
+TEST(AssignmentTest, Property3HoldsForChosenK) {
+  Rng rng(41);
+  for (const std::int64_t n : {16, 100, 1000, 20000}) {
+    const auto points = sampleDiskWithCenterSource(rng, n, 2);
+    const GridAssignment a = assignToGrid(points, 0);
+    EXPECT_TRUE(property3Holds(points, 0, a.grid.rings(),
+                               a.grid.outerRadius(), 2))
+        << "n=" << n;
+  }
+}
+
+TEST(AssignmentTest, ChosenKIsMaximal) {
+  Rng rng(42);
+  for (const std::int64_t n : {64, 500, 5000}) {
+    const auto points = sampleDiskWithCenterSource(rng, n, 2);
+    const GridAssignment a = assignToGrid(points, 0);
+    const int k = a.grid.rings();
+    EXPECT_FALSE(
+        property3Holds(points, 0, k + 1, a.grid.outerRadius(), 2))
+        << "k+1 should violate property 3 at n=" << n;
+  }
+}
+
+TEST(AssignmentTest, CsrPartitionsAllPoints) {
+  Rng rng(43);
+  const auto points = sampleDiskWithCenterSource(rng, 3000, 2);
+  const GridAssignment a = assignToGrid(points, 0);
+
+  std::vector<std::uint8_t> seen(points.size(), 0);
+  for (std::uint64_t h = 1; h < a.grid.heapIdCount(); ++h) {
+    const int ring = a.grid.ringOfHeapId(h);
+    for (const NodeId member : a.membersOf(h)) {
+      EXPECT_FALSE(seen[static_cast<std::size_t>(member)]);
+      seen[static_cast<std::size_t>(member)] = 1;
+      EXPECT_EQ(a.ringOfPoint[static_cast<std::size_t>(member)], ring);
+      EXPECT_EQ(a.grid.heapId(ring, a.cellOfPoint[static_cast<std::size_t>(
+                                        member)]),
+                h);
+    }
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(),
+                          [](std::uint8_t s) { return s == 1; }));
+}
+
+TEST(AssignmentTest, AssignedCellsContainTheirPoints) {
+  Rng rng(44);
+  for (const int d : {2, 3}) {
+    const auto points = sampleDiskWithCenterSource(rng, 2000, d);
+    const GridAssignment a = assignToGrid(points, 0);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const PolarCoords polar = toPolar(points[i], points[0]);
+      const RingSegment segment = a.grid.cellSegment(
+          a.ringOfPoint[i], a.cellOfPoint[i]);
+      EXPECT_TRUE(segment.contains(polar, 1e-9)) << "d=" << d << " i=" << i;
+    }
+  }
+}
+
+TEST(AssignmentTest, SourceIsInRingZero) {
+  Rng rng(45);
+  const auto points = sampleDiskWithCenterSource(rng, 500, 2);
+  const GridAssignment a = assignToGrid(points, 0);
+  EXPECT_EQ(a.ringOfPoint[0], 0);
+  EXPECT_EQ(a.cellOfPoint[0], 0u);
+}
+
+TEST(AssignmentTest, OuterRadiusIsMaxDistance) {
+  const std::vector<Point> points{Point{0.0, 0.0}, Point{0.5, 0.0},
+                                  Point{0.0, -3.0}};
+  const GridAssignment a = assignToGrid(points, 0);
+  EXPECT_DOUBLE_EQ(a.grid.outerRadius(), 3.0);
+}
+
+TEST(AssignmentTest, ExplicitOuterRadius) {
+  const std::vector<Point> points{Point{0.0, 0.0}, Point{0.5, 0.0}};
+  AssignmentOptions options;
+  options.outerRadius = 2.0;
+  const GridAssignment a = assignToGrid(points, 0, options);
+  EXPECT_DOUBLE_EQ(a.grid.outerRadius(), 2.0);
+
+  options.outerRadius = 0.1;  // smaller than the point spread
+  EXPECT_THROW(assignToGrid(points, 0, options), InvalidArgument);
+}
+
+TEST(AssignmentTest, KGrowsLogarithmically) {
+  // Equation (5): k >= log2(n)/2 with high probability; also k <= log2(n)+1
+  // by counting. Check both at a few sizes.
+  Rng rng(46);
+  for (const std::int64_t n : {256, 4096, 65536}) {
+    const auto points = sampleDiskWithCenterSource(rng, n, 2);
+    const GridAssignment a = assignToGrid(points, 0);
+    const double log2n = std::log2(static_cast<double>(n));
+    EXPECT_GE(a.grid.rings(), static_cast<int>(log2n / 2.0)) << "n=" << n;
+    EXPECT_LE(a.grid.rings(), static_cast<int>(log2n) + 1) << "n=" << n;
+  }
+}
+
+TEST(AssignmentTest, KIsMonotoneInNOnAverage) {
+  Rng rng(47);
+  const auto small = sampleDiskWithCenterSource(rng, 100, 2);
+  const auto large = sampleDiskWithCenterSource(rng, 100000, 2);
+  EXPECT_LT(assignToGrid(small, 0).grid.rings(),
+            assignToGrid(large, 0).grid.rings());
+}
+
+TEST(AssignmentTest, SingleNode) {
+  const std::vector<Point> points{Point{1.0, 2.0}};
+  const GridAssignment a = assignToGrid(points, 0);
+  EXPECT_EQ(a.grid.rings(), 1);
+  EXPECT_EQ(a.ringOfPoint[0], 0);
+  EXPECT_EQ(a.membersOf(1).size(), 1u);
+}
+
+TEST(AssignmentTest, AllPointsCoincident) {
+  const std::vector<Point> points(10, Point{3.0, 4.0});
+  const GridAssignment a = assignToGrid(points, 0);
+  EXPECT_EQ(a.grid.rings(), 1);
+  EXPECT_EQ(a.membersOf(1).size(), 10u);  // everything in ring 0
+}
+
+TEST(AssignmentTest, NonCenterSource) {
+  Rng rng(48);
+  auto points = sampleDiskWithCenterSource(rng, 800, 2);
+  const NodeId source = 17;
+  const GridAssignment a = assignToGrid(points, source);
+  EXPECT_EQ(a.ringOfPoint[static_cast<std::size_t>(source)], 0);
+  EXPECT_TRUE(property3Holds(points, source, a.grid.rings(),
+                             a.grid.outerRadius(), 2));
+}
+
+TEST(AssignmentTest, Deterministic) {
+  Rng rng(49);
+  const auto points = sampleDiskWithCenterSource(rng, 1000, 2);
+  const GridAssignment a = assignToGrid(points, 0);
+  const GridAssignment b = assignToGrid(points, 0);
+  EXPECT_EQ(a.grid.rings(), b.grid.rings());
+  EXPECT_EQ(a.cellMembers, b.cellMembers);
+  EXPECT_EQ(a.cellStart, b.cellStart);
+}
+
+TEST(AssignmentTest, OccupiedCellsCountsNonEmpty) {
+  const std::vector<Point> points{Point{0.0, 0.0}, Point{1.0, 0.0}};
+  const GridAssignment a = assignToGrid(points, 0);
+  EXPECT_EQ(a.occupiedCells(), 2);  // ring 0 + one outer cell
+}
+
+TEST(AssignmentTest, RejectsBadArguments) {
+  const std::vector<Point> points{Point{0.0, 0.0}};
+  EXPECT_THROW(assignToGrid({}, 0), InvalidArgument);
+  EXPECT_THROW(assignToGrid(points, 1), InvalidArgument);
+  EXPECT_THROW(assignToGrid(points, -1), InvalidArgument);
+}
+
+TEST(AssignmentTest, ThreeDimensionalProperty3) {
+  Rng rng(50);
+  const auto points = sampleDiskWithCenterSource(rng, 5000, 3);
+  const GridAssignment a = assignToGrid(points, 0);
+  EXPECT_TRUE(property3Holds(points, 0, a.grid.rings(), a.grid.outerRadius(),
+                             3));
+  EXPECT_GE(a.grid.rings(), 4);
+}
+
+}  // namespace
+}  // namespace omt

@@ -1,0 +1,202 @@
+#include "omt/grid/polar_grid.h"
+
+#include <cmath>
+#include <numbers>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "omt/common/error.h"
+#include "omt/random/rng.h"
+#include "omt/random/samplers.h"
+
+namespace omt {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(PolarGridTest, RingRadiiFollowPaperFormula2D) {
+  // r_i = 1/sqrt(2)^{k-i} (equation 3), outer radius 1.
+  const PolarGrid grid(2, 4, 1.0);
+  for (int i = 0; i <= 4; ++i) {
+    EXPECT_NEAR(grid.ringRadius(i), std::pow(std::sqrt(0.5), 4 - i), 1e-14)
+        << "i=" << i;
+  }
+  EXPECT_DOUBLE_EQ(grid.ringRadius(4), 1.0);
+}
+
+TEST(PolarGridTest, RingVolumesDoubleInAnyDimension) {
+  // The ball bounded by circle i has twice the volume of circle i-1's.
+  for (int d = 2; d <= 5; ++d) {
+    const PolarGrid grid(d, 6, 2.5);
+    for (int i = 1; i <= 6; ++i) {
+      const double vi = std::pow(grid.ringRadius(i), d);
+      const double vPrev = std::pow(grid.ringRadius(i - 1), d);
+      EXPECT_NEAR(vi / vPrev, 2.0, 1e-12) << "d=" << d << " i=" << i;
+    }
+  }
+}
+
+TEST(PolarGridTest, RingOfMatchesBoundaries) {
+  const PolarGrid grid(2, 5, 1.0);
+  EXPECT_EQ(grid.ringOf(0.0), 0);
+  for (int i = 0; i <= 5; ++i) {
+    // Exactly on circle i -> ring i (boundary belongs to the inner ring).
+    EXPECT_EQ(grid.ringOf(grid.ringRadius(i)), i) << "i=" << i;
+    // Just above circle i -> ring i+1.
+    if (i < 5) {
+      EXPECT_EQ(grid.ringOf(grid.ringRadius(i) * (1.0 + 1e-9)), i + 1)
+          << "i=" << i;
+    }
+  }
+  EXPECT_THROW(grid.ringOf(-0.1), InvalidArgument);
+  EXPECT_THROW(grid.ringOf(1.5), InvalidArgument);
+}
+
+TEST(PolarGridTest, CellsPerRing) {
+  const PolarGrid grid(2, 3, 1.0);
+  EXPECT_EQ(grid.cellsInRing(0), 1u);
+  EXPECT_EQ(grid.cellsInRing(1), 2u);
+  EXPECT_EQ(grid.cellsInRing(2), 4u);
+  EXPECT_EQ(grid.cellsInRing(3), 8u);
+}
+
+TEST(PolarGridTest, HeapIdsAreBinaryHeapIndices) {
+  const PolarGrid grid(2, 3, 1.0);
+  EXPECT_EQ(grid.heapId(0, 0), 1u);
+  EXPECT_EQ(grid.heapId(1, 0), 2u);
+  EXPECT_EQ(grid.heapId(1, 1), 3u);
+  EXPECT_EQ(grid.heapId(2, 3), 7u);
+  EXPECT_EQ(grid.heapId(3, 0), 8u);
+  EXPECT_EQ(grid.heapIdCount(), 16u);
+  EXPECT_EQ(grid.ringOfHeapId(7), 2);
+  EXPECT_EQ(grid.cellOfHeapId(7), 3u);
+  EXPECT_EQ(grid.ringOfHeapId(1), 0);
+}
+
+TEST(PolarGridTest, CellOfInTwoDIsAngleBucket) {
+  const PolarGrid grid(2, 3, 1.0);
+  const Point origin{0.0, 0.0};
+  // Ring 2 has 4 cells of 90 degrees each, starting at angle 0.
+  struct Case {
+    double x, y;
+    std::uint64_t cell;
+  };
+  // Cell bits follow binary digits of angle/(2*pi): [0,0.25) -> 00,
+  // [0.25,0.5) -> 01, etc.
+  const Case cases[] = {{0.5, 0.1, 0}, {-0.1, 0.5, 1}, {-0.5, -0.1, 2},
+                        {0.1, -0.5, 3}};
+  for (const Case& c : cases) {
+    const PolarCoords polar = toPolar(Point{c.x, c.y}, origin);
+    EXPECT_EQ(grid.cellOf(polar, 2), c.cell) << c.x << "," << c.y;
+  }
+}
+
+TEST(PolarGridTest, CellSegmentContainsItsPoints) {
+  Rng rng(21);
+  for (int d = 2; d <= 4; ++d) {
+    const PolarGrid grid(d, 6, 1.0);
+    const Point origin(d);
+    for (int trial = 0; trial < 400; ++trial) {
+      const Point p = sampleUnitBall(rng, d);
+      const PolarCoords polar = toPolar(p, origin);
+      const int ring = grid.ringOf(polar.radius);
+      const std::uint64_t cell = grid.cellOf(polar, ring);
+      ASSERT_LT(cell, grid.cellsInRing(ring));
+      EXPECT_TRUE(grid.cellSegment(ring, cell).contains(polar, 1e-9))
+          << "d=" << d << " trial=" << trial;
+    }
+  }
+}
+
+TEST(PolarGridTest, ChildCellsPartitionParentAngularly) {
+  const PolarGrid grid(2, 4, 1.0);
+  for (int ring = 1; ring < 4; ++ring) {
+    for (std::uint64_t cell = 0; cell < grid.cellsInRing(ring); ++cell) {
+      const RingSegment parent = grid.cellSegment(ring, cell);
+      const RingSegment left = grid.cellSegment(ring + 1, 2 * cell);
+      const RingSegment right = grid.cellSegment(ring + 1, 2 * cell + 1);
+      // Children tile the parent's angular interval.
+      EXPECT_DOUBLE_EQ(left.cubeAxis(0).lo, parent.cubeAxis(0).lo);
+      EXPECT_DOUBLE_EQ(left.cubeAxis(0).hi, right.cubeAxis(0).lo);
+      EXPECT_DOUBLE_EQ(right.cubeAxis(0).hi, parent.cubeAxis(0).hi);
+      // And sit in the next ring outward.
+      EXPECT_DOUBLE_EQ(left.radial().lo, parent.radial().hi);
+    }
+  }
+}
+
+TEST(PolarGridTest, CellVolumesAreEqual) {
+  // Monte Carlo: uniform points in the ball land in each cell of each ring
+  // with equal probability (grid property 1).
+  const int d = 3;
+  const PolarGrid grid(d, 4, 1.0);
+  const Point origin(d);
+  Rng rng(22);
+  const int samples = 120000;
+  std::vector<std::int64_t> counts(grid.heapIdCount(), 0);
+  for (int s = 0; s < samples; ++s) {
+    const PolarCoords polar = toPolar(sampleUnitBall(rng, d), origin);
+    const int ring = grid.ringOf(polar.radius);
+    ++counts[grid.heapId(ring, grid.cellOf(polar, ring))];
+  }
+  // 2^(k+1) = 32 equal-volume units; ring 0 counts as 2 units.
+  const double unit = static_cast<double>(samples) / 32.0;
+  EXPECT_NEAR(static_cast<double>(counts[1]), 2.0 * unit,
+              6.0 * std::sqrt(2.0 * unit));
+  for (std::uint64_t h = 2; h < grid.heapIdCount(); ++h) {
+    EXPECT_NEAR(static_cast<double>(counts[h]), unit, 6.0 * std::sqrt(unit))
+        << "heap id " << h;
+  }
+}
+
+TEST(PolarGridTest, ArcLengthMatchesPaperFormulaIn2D) {
+  // Delta_i = 2*pi / sqrt(2)^{k+i} on the unit disk.
+  const int k = 5;
+  const PolarGrid grid(2, k, 1.0);
+  for (int i = 0; i <= k; ++i) {
+    EXPECT_NEAR(grid.arcLength(i), 2.0 * kPi / std::pow(std::sqrt(2.0), k + i),
+                1e-12)
+        << "i=" << i;
+  }
+}
+
+TEST(PolarGridTest, ArcLengthDecreasesAtAxisCycleStride) {
+  // The azimuth axis receives one split every d-1 rings, so arc lengths are
+  // guaranteed to shrink at stride d-1 (every ring in 2D): the radius grows
+  // by 2^((d-1)/d) < 2 while the azimuth cell count doubles.
+  for (int d = 2; d <= 4; ++d) {
+    const PolarGrid grid(d, 9, 1.0);
+    const int stride = d - 1;
+    for (int i = stride; i <= 9; ++i) {
+      EXPECT_LT(grid.arcLength(i), grid.arcLength(i - stride) + 1e-12)
+          << "d=" << d << " i=" << i;
+    }
+  }
+}
+
+TEST(PolarGridTest, ConstructionErrors) {
+  EXPECT_THROW(PolarGrid(1, 3, 1.0), InvalidArgument);
+  EXPECT_THROW(PolarGrid(2, 0, 1.0), InvalidArgument);
+  EXPECT_THROW(PolarGrid(2, PolarGrid::kMaxRings + 1, 1.0), InvalidArgument);
+  EXPECT_THROW(PolarGrid(2, 3, 0.0), InvalidArgument);
+}
+
+class GridScaling : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(GridScaling, RadiiScaleWithOuterRadius) {
+  const auto [d, radius] = GetParam();
+  const PolarGrid unit(d, 5, 1.0);
+  const PolarGrid scaled(d, 5, radius);
+  for (int i = 0; i <= 5; ++i) {
+    EXPECT_NEAR(scaled.ringRadius(i), radius * unit.ringRadius(i), 1e-12);
+  }
+  EXPECT_NEAR(scaled.arcLength(2), radius * unit.arcLength(2), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GridScaling,
+                         ::testing::Combine(::testing::Values(2, 3, 5),
+                                            ::testing::Values(0.1, 1.0, 40.0)));
+
+}  // namespace
+}  // namespace omt

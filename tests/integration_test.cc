@@ -1,0 +1,168 @@
+// End-to-end flows across subsystems: sample -> build -> validate ->
+// measure -> simulate -> repair, plus a Table-I-shaped sanity row.
+#include <gtest/gtest.h>
+
+#include "omt/baselines/baselines.h"
+#include "omt/coords/embedding.h"
+#include "omt/core/bounds.h"
+#include "omt/core/polar_grid_tree.h"
+#include "omt/random/samplers.h"
+#include "omt/report/stats.h"
+#include "omt/sim/multicast_sim.h"
+#include "omt/sim/repair.h"
+#include "omt/tree/metrics.h"
+#include "omt/tree/validation.h"
+
+namespace omt {
+namespace {
+
+TEST(IntegrationTest, TableOneShapedRowAtModestSize) {
+  // Reproduce the Table-I protocol at n = 2000 with 20 trials and check
+  // the row lands in the right neighbourhood (paper: delay 1.30 at n=1000
+  // and 1.14 at n=5000 for out-degree 6).
+  RunningStats delay6;
+  RunningStats delay2;
+  RunningStats rings;
+  for (std::uint64_t trial = 0; trial < 20; ++trial) {
+    Rng rng(deriveSeed(1001, trial));
+    const auto points = sampleDiskWithCenterSource(rng, 2000, 2);
+    const PolarGridResult r6 =
+        buildPolarGridTree(points, 0, {.maxOutDegree = 6});
+    const PolarGridResult r2 =
+        buildPolarGridTree(points, 0, {.maxOutDegree = 2});
+    delay6.add(computeMetrics(r6.tree, points).maxDelay);
+    delay2.add(computeMetrics(r2.tree, points).maxDelay);
+    rings.add(static_cast<double>(r6.rings()));
+  }
+  EXPECT_GT(delay6.mean(), 1.0);
+  EXPECT_LT(delay6.mean(), 1.45);
+  EXPECT_GT(delay2.mean(), delay6.mean());  // degree 2 pays extra
+  EXPECT_LT(delay2.mean(), 1.9);
+  EXPECT_GE(rings.mean(), 6.0);  // paper: 6.06 at n=1000, 8.01 at n=5000
+  EXPECT_LE(rings.mean(), 9.0);
+}
+
+TEST(IntegrationTest, PolarGridBeatsHeuristicBaselinesAtScale) {
+  Rng rng(42);
+  const auto points = sampleDiskWithCenterSource(rng, 5000, 2);
+  const int degree = 6;
+  const double polar = computeMetrics(
+      buildPolarGridTree(points, 0, {.maxOutDegree = degree}).tree, points)
+                           .maxDelay;
+  Rng bwRng(43);
+  const double bandwidthLatency = computeMetrics(
+      buildBandwidthLatencyTree(points, 0, degree, bwRng), points).maxDelay;
+  const double nearest = computeMetrics(
+      buildNearestParentTree(points, 0, degree), points).maxDelay;
+  EXPECT_LT(polar, bandwidthLatency);
+  EXPECT_LT(polar, nearest);
+}
+
+TEST(IntegrationTest, SimulatorConfirmsAnalyticRadius) {
+  Rng rng(44);
+  const auto points = sampleDiskWithCenterSource(rng, 10000, 2);
+  const PolarGridResult result = buildPolarGridTree(points, 0);
+  const SimResult sim = simulateMulticast(result.tree, points);
+  const TreeMetrics m = computeMetrics(result.tree, points);
+  EXPECT_NEAR(sim.maxDelivery, m.maxDelay, 1e-9);
+  EXPECT_LE(sim.maxDelivery, result.upperBound * (1.0 + 1e-9));
+}
+
+TEST(IntegrationTest, SerializedTransmissionFavoursBoundedDegree) {
+  // The motivation for degree constraints: under serialised sending, the
+  // degree-unconstrained star is far worse than its analytic radius.
+  Rng rng(45);
+  const auto points = sampleDiskWithCenterSource(rng, 2000, 2);
+  SimOptions serial;
+  serial.model = TransmissionModel::kSerialized;
+  serial.serializationInterval = 0.01;
+
+  const MulticastTree star = buildStarTree(points, 0);
+  const double starDelay =
+      simulateMulticast(star, points, serial).maxDelivery;
+  const PolarGridResult bounded =
+      buildPolarGridTree(points, 0, {.maxOutDegree = 6});
+  const double boundedDelay =
+      simulateMulticast(bounded.tree, points, serial).maxDelivery;
+  // Star pays ~n * interval on its last child; the bounded tree pays
+  // ~depth * degree * interval.
+  EXPECT_GT(starDelay, 10.0 * boundedDelay);
+}
+
+TEST(IntegrationTest, ChurnRepairKeepsSessionAlive) {
+  Rng rng(46);
+  const auto points = sampleDiskWithCenterSource(rng, 3000, 2);
+  const PolarGridResult built =
+      buildPolarGridTree(points, 0, {.maxOutDegree = 6});
+
+  // 10% of the hosts depart.
+  std::vector<NodeId> departed;
+  for (NodeId v = 1; v < built.tree.size(); ++v) {
+    if (rng.uniform() < 0.1) departed.push_back(v);
+  }
+  const RepairResult repaired =
+      repairAfterDepartures(built.tree, points, departed, 6);
+  EXPECT_TRUE(validate(repaired.tree, {.maxOutDegree = 6}));
+
+  std::vector<Point> survivorPoints;
+  for (const NodeId v : repaired.survivors)
+    survivorPoints.push_back(points[static_cast<std::size_t>(v)]);
+  const SimResult sim = simulateMulticast(repaired.tree, survivorPoints);
+  EXPECT_EQ(sim.reached, repaired.tree.size());
+
+  // A full rebuild is at least as good as the greedy patch, and the patch
+  // stays within a small factor of it.
+  const PolarGridResult rebuilt =
+      buildPolarGridTree(survivorPoints, repaired.originalToSurvivor[0],
+                         {.maxOutDegree = 6});
+  const double patched =
+      computeMetrics(repaired.tree, survivorPoints).maxDelay;
+  const double fresh = computeMetrics(rebuilt.tree, survivorPoints).maxDelay;
+  EXPECT_LT(fresh, patched * 1.5 + 1e-9);
+}
+
+TEST(IntegrationTest, FullCoordinatePipeline) {
+  // delays -> Vivaldi coordinates -> Polar_Grid tree -> true-delay radius.
+  Rng rng(47);
+  const auto hidden = sampleDiskWithCenterSource(rng, 150, 2);
+  const NoisyEuclideanDelayModel model(hidden, 0.0, 0.15, 0.0, 48);
+
+  VivaldiOptions vivaldi;
+  vivaldi.dim = 2;
+  vivaldi.rounds = 60;
+  vivaldi.seed = 49;
+  const EmbeddingResult embedding = embedVivaldi(model, vivaldi);
+
+  const PolarGridResult tree =
+      buildPolarGridTree(embedding.coords, 0, {.maxOutDegree = 6});
+  EXPECT_TRUE(validate(tree.tree, {.maxOutDegree = 6}));
+
+  const double trueRadius = evaluateUnderModel(tree.tree, model).maxDelay;
+  // Lower bound under the true delays: the farthest host from the source.
+  double lower = 0.0;
+  for (NodeId v = 1; v < model.size(); ++v)
+    lower = std::max(lower, model.delay(0, v));
+  EXPECT_GE(trueRadius, lower - 1e-9);
+  EXPECT_LT(trueRadius, 5.0 * lower);
+}
+
+TEST(IntegrationTest, ThreeDimensionalPipeline) {
+  Rng rng(50);
+  const auto points = sampleDiskWithCenterSource(rng, 8000, 3);
+  const PolarGridResult deg10 =
+      buildPolarGridTree(points, 0, {.maxOutDegree = 10});
+  const PolarGridResult deg2 =
+      buildPolarGridTree(points, 0, {.maxOutDegree = 2});
+  EXPECT_TRUE(validate(deg10.tree, {.maxOutDegree = 10}));
+  EXPECT_TRUE(validate(deg2.tree, {.maxOutDegree = 2}));
+  const double m10 = computeMetrics(deg10.tree, points).maxDelay;
+  const double m2 = computeMetrics(deg2.tree, points).maxDelay;
+  const double lower = radiusLowerBound(points, 0);
+  // Figure 8: 3D delays are higher than 2D at equal n (angular cell
+  // extents shrink as 2^(-k/d)) but still converge toward the bound.
+  EXPECT_LT(m10, 2.4 * lower);
+  EXPECT_LE(m10, m2 + 1e-9);
+}
+
+}  // namespace
+}  // namespace omt

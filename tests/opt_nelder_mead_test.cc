@@ -1,0 +1,97 @@
+#include "omt/opt/nelder_mead.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "omt/common/error.h"
+
+namespace omt {
+namespace {
+
+TEST(NelderMeadTest, OneDimensionalQuadratic) {
+  const Objective f = [](std::span<const double> x) {
+    return (x[0] - 3.0) * (x[0] - 3.0);
+  };
+  const std::vector<double> x0{0.0};
+  const NelderMeadResult result = minimizeNelderMead(f, x0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.x[0], 3.0, 1e-4);
+  EXPECT_NEAR(result.value, 0.0, 1e-8);
+}
+
+TEST(NelderMeadTest, ShiftedBowlInFourDimensions) {
+  const Objective f = [](std::span<const double> x) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double d = x[i] - static_cast<double>(i);
+      total += d * d;
+    }
+    return total;
+  };
+  const std::vector<double> x0{5.0, 5.0, 5.0, 5.0};
+  NelderMeadOptions options;
+  options.maxIterations = 10000;
+  const NelderMeadResult result = minimizeNelderMead(f, x0, options);
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_NEAR(result.x[i], static_cast<double>(i), 1e-3) << "i=" << i;
+}
+
+TEST(NelderMeadTest, RosenbrockValley) {
+  const Objective f = [](std::span<const double> x) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    return a * a + 100.0 * b * b;
+  };
+  const std::vector<double> x0{-1.2, 1.0};
+  NelderMeadOptions options;
+  options.maxIterations = 20000;
+  options.tolerance = 1e-14;
+  const NelderMeadResult result = minimizeNelderMead(f, x0, options);
+  EXPECT_NEAR(result.x[0], 1.0, 1e-3);
+  EXPECT_NEAR(result.x[1], 1.0, 1e-3);
+}
+
+TEST(NelderMeadTest, ReportsIterationsAndHonoursBudget) {
+  const Objective f = [](std::span<const double> x) { return x[0] * x[0]; };
+  const std::vector<double> x0{100.0};
+  NelderMeadOptions options;
+  options.maxIterations = 3;
+  const NelderMeadResult result = minimizeNelderMead(f, x0, options);
+  EXPECT_LE(result.iterations, 3);
+  EXPECT_FALSE(result.converged);
+}
+
+TEST(NelderMeadTest, AlreadyAtTheMinimum) {
+  const Objective f = [](std::span<const double> x) {
+    return x[0] * x[0] + x[1] * x[1];
+  };
+  const std::vector<double> x0{0.0, 0.0};
+  const NelderMeadResult result = minimizeNelderMead(f, x0);
+  EXPECT_NEAR(result.value, 0.0, 1e-6);
+}
+
+TEST(NelderMeadTest, NonSmoothObjective) {
+  // |x - 2| + |y + 1| has a kink at the optimum; simplex handles it.
+  const Objective f = [](std::span<const double> x) {
+    return std::abs(x[0] - 2.0) + std::abs(x[1] + 1.0);
+  };
+  const std::vector<double> x0{0.0, 0.0};
+  NelderMeadOptions options;
+  options.maxIterations = 10000;
+  const NelderMeadResult result = minimizeNelderMead(f, x0, options);
+  EXPECT_NEAR(result.x[0], 2.0, 1e-3);
+  EXPECT_NEAR(result.x[1], -1.0, 1e-3);
+}
+
+TEST(NelderMeadTest, ValidatesArguments) {
+  const Objective f = [](std::span<const double>) { return 0.0; };
+  EXPECT_THROW(minimizeNelderMead(f, {}), InvalidArgument);
+  const std::vector<double> x0{0.0};
+  NelderMeadOptions options;
+  options.maxIterations = 0;
+  EXPECT_THROW(minimizeNelderMead(f, x0, options), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace omt

@@ -1,0 +1,153 @@
+// Property-based sweeps over the whole configuration space: every
+// combination of dimension, degree cap, distribution, and size must yield a
+// valid degree-bounded spanning tree whose radius sits between the instance
+// lower bound and (in 2D) the analytic upper bound, and Theorem 2's
+// convergence trend must hold per seed.
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "omt/core/bounds.h"
+#include "omt/core/polar_grid_tree.h"
+#include "omt/random/samplers.h"
+#include "omt/tree/metrics.h"
+#include "omt/tree/validation.h"
+
+namespace omt {
+namespace {
+
+enum class Distribution { kUniformDisk, kClustered, kSquare, kOffCenter };
+
+std::vector<Point> makeWorkload(Distribution dist, std::int64_t n, int dim,
+                                std::uint64_t seed) {
+  Rng rng(seed);
+  switch (dist) {
+    case Distribution::kUniformDisk:
+      return sampleDiskWithCenterSource(rng, n, dim);
+    case Distribution::kClustered: {
+      const Ball ball(Point(dim), 1.0);
+      auto points = sampleClustered(rng, n, ball, 4, 0.6, 0.1);
+      points[0] = Point(dim);
+      return points;
+    }
+    case Distribution::kSquare: {
+      Point lo(dim);
+      Point hi(dim);
+      for (int c = 0; c < dim; ++c) {
+        lo[c] = -1.0;
+        hi[c] = 1.0;
+      }
+      auto points = sampleRegion(rng, n, Box(lo, hi));
+      points[0] = Point(dim);
+      return points;
+    }
+    case Distribution::kOffCenter: {
+      auto points = sampleDiskWithCenterSource(rng, n, dim);
+      // Push the source off-center; the algorithm centers its grid on it.
+      points[0] = Point(dim);
+      points[0][0] = 0.4;
+      return points;
+    }
+  }
+  return {};
+}
+
+using Param = std::tuple<Distribution, int, int, std::int64_t>;
+
+class PolarGridProperty : public ::testing::TestWithParam<Param> {};
+
+TEST_P(PolarGridProperty, InvariantsHold) {
+  const auto [dist, dim, degree, n] = GetParam();
+  const std::uint64_t seed =
+      deriveSeed(static_cast<std::uint64_t>(dist) * 1000 +
+                     static_cast<std::uint64_t>(dim * 100 + degree),
+                 static_cast<std::uint64_t>(n));
+  const auto points = makeWorkload(dist, n, dim, seed);
+  const PolarGridResult result =
+      buildPolarGridTree(points, 0, {.maxOutDegree = degree});
+
+  // 1. Valid spanning arborescence within the degree cap.
+  const ValidationResult valid =
+      validate(result.tree, {.maxOutDegree = degree});
+  ASSERT_TRUE(valid.ok) << valid.message;
+
+  // 2. Radius between the instance lower bound and (2D) equation (7).
+  const TreeMetrics m = computeMetrics(result.tree, points);
+  EXPECT_GE(m.maxDelay, radiusLowerBound(points, 0) - 1e-9);
+  if (dim == 2) {
+    EXPECT_LE(m.maxDelay, result.upperBound * (1.0 + 1e-9));
+  }
+
+  // 3. The core network is a subtree hanging off the source.
+  EXPECT_LE(m.coreDelay, m.maxDelay + 1e-12);
+
+  // 4. Structural accounting: every core edge connects representatives,
+  // so there are fewer core edges than occupied cells.
+  EXPECT_LT(result.coreEdgeCount,
+            result.occupiedCells + static_cast<std::int64_t>(points.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PolarGridProperty,
+    ::testing::Combine(
+        ::testing::Values(Distribution::kUniformDisk, Distribution::kClustered,
+                          Distribution::kSquare, Distribution::kOffCenter),
+        ::testing::Values(2, 3),
+        ::testing::Values(2, 3, 6),
+        ::testing::Values(std::int64_t{37}, std::int64_t{512},
+                          std::int64_t{4001})));
+
+class ConvergenceTrend : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConvergenceTrend, DelayRatioShrinksWithN) {
+  // Theorem 2 per seed: the delay/lower-bound ratio at n = 50000 must be
+  // smaller than at n = 500 (the gap is large enough that noise cannot
+  // flip it).
+  const int degree = GetParam();
+  for (std::uint64_t seedTrial = 0; seedTrial < 3; ++seedTrial) {
+    const auto small = makeWorkload(Distribution::kUniformDisk, 500, 2,
+                                    deriveSeed(7000 + seedTrial, 0));
+    const auto large = makeWorkload(Distribution::kUniformDisk, 50000, 2,
+                                    deriveSeed(7000 + seedTrial, 1));
+    const double ratioSmall =
+        computeMetrics(
+            buildPolarGridTree(small, 0, {.maxOutDegree = degree}).tree,
+            small)
+            .maxDelay /
+        radiusLowerBound(small, 0);
+    const double ratioLarge =
+        computeMetrics(
+            buildPolarGridTree(large, 0, {.maxOutDegree = degree}).tree,
+            large)
+            .maxDelay /
+        radiusLowerBound(large, 0);
+    EXPECT_LT(ratioLarge, ratioSmall) << "degree " << degree << " seed "
+                                      << seedTrial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, ConvergenceTrend, ::testing::Values(2, 6));
+
+class BoundTightens : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(BoundTightens, Eq7ApproachesOuterRadius) {
+  // Figure 4's qualitative claim: the bound is loose at small n and tight
+  // at large n. Check bound/R shrinks monotonically across decades.
+  const std::int64_t n = GetParam();
+  const auto points = makeWorkload(Distribution::kUniformDisk, n, 2,
+                                   deriveSeed(8000, static_cast<std::uint64_t>(n)));
+  const PolarGridResult result = buildPolarGridTree(points, 0);
+  const double relative = result.upperBound / result.outerRadius();
+  if (n >= 100000) {
+    EXPECT_LT(relative, 1.55);  // paper: 1.43 at n = 100000
+  } else if (n <= 200) {
+    EXPECT_GT(relative, 3.0);  // paper: 7.18 at n = 100
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BoundTightens,
+                         ::testing::Values(std::int64_t{100},
+                                           std::int64_t{100000}));
+
+}  // namespace
+}  // namespace omt

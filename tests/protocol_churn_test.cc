@@ -1,0 +1,194 @@
+#include "omt/protocol/churn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+namespace omt {
+namespace {
+
+ChurnTraceOptions baseOptions() {
+  ChurnTraceOptions options;
+  options.arrivalRate = 40.0;
+  options.meanLifetime = 3.0;
+  options.duration = 20.0;
+  options.seed = 11;
+  return options;
+}
+
+TEST(ChurnTraceTest, EventsAreTimeSortedAndConsistent) {
+  const auto trace = generateChurnTrace(baseOptions());
+  ASSERT_FALSE(trace.empty());
+  std::vector<std::uint8_t> joined;
+  double prev = 0.0;
+  for (const ChurnEvent& e : trace) {
+    EXPECT_GE(e.time, prev);
+    prev = e.time;
+    if (e.type == ChurnEventType::kJoin) {
+      EXPECT_EQ(e.entity, static_cast<std::int64_t>(joined.size()));
+      joined.push_back(1);
+      EXPECT_EQ(e.position.dim(), 2);
+    } else {
+      ASSERT_LT(e.entity, static_cast<std::int64_t>(joined.size()));
+      EXPECT_EQ(joined[static_cast<std::size_t>(e.entity)], 1);
+      joined[static_cast<std::size_t>(e.entity)] = 2;  // left once
+    }
+  }
+}
+
+TEST(ChurnTraceTest, ArrivalCountNearRateTimesDuration) {
+  const auto trace = generateChurnTrace(baseOptions());
+  std::int64_t joins = 0;
+  for (const ChurnEvent& e : trace) {
+    if (e.type == ChurnEventType::kJoin) ++joins;
+  }
+  // Poisson(rate * duration = 800): 5 sigma ~ 140.
+  EXPECT_NEAR(static_cast<double>(joins), 800.0, 150.0);
+}
+
+TEST(ChurnTraceTest, Deterministic) {
+  const auto a = generateChurnTrace(baseOptions());
+  const auto b = generateChurnTrace(baseOptions());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time, b[i].time);
+    EXPECT_EQ(a[i].entity, b[i].entity);
+  }
+}
+
+TEST(ChurnTraceTest, ParetoLifetimesAreHeavierTailed) {
+  // Same mean, heavier tail => the MEDIAN completed lifetime drops
+  // (exp median = mean*ln2 ~ 2.08; Pareto(1.5) median = xm*2^(2/3) ~ 1.59
+  // for xm = mean/3).
+  ChurnTraceOptions expOptions = baseOptions();
+  expOptions.duration = 300.0;
+  ChurnTraceOptions paretoOptions = expOptions;
+  paretoOptions.paretoShape = 1.5;
+
+  const auto medianLifetime = [](const std::vector<ChurnEvent>& trace) {
+    std::map<std::int64_t, double> joinTime;
+    std::vector<double> lifetimes;
+    for (const ChurnEvent& e : trace) {
+      if (e.type == ChurnEventType::kJoin) {
+        joinTime[e.entity] = e.time;
+      } else {
+        lifetimes.push_back(e.time - joinTime.at(e.entity));
+      }
+    }
+    std::nth_element(lifetimes.begin(),
+                     lifetimes.begin() +
+                         static_cast<std::ptrdiff_t>(lifetimes.size() / 2),
+                     lifetimes.end());
+    return lifetimes[lifetimes.size() / 2];
+  };
+  const double expMedian = medianLifetime(generateChurnTrace(expOptions));
+  const double paretoMedian =
+      medianLifetime(generateChurnTrace(paretoOptions));
+  EXPECT_NEAR(expMedian, 3.0 * std::log(2.0), 0.25);
+  EXPECT_LT(paretoMedian, expMedian - 0.2);
+}
+
+TEST(ChurnTraceTest, ValidatesOptions) {
+  ChurnTraceOptions bad = baseOptions();
+  bad.arrivalRate = 0.0;
+  EXPECT_THROW(generateChurnTrace(bad), InvalidArgument);
+  bad = baseOptions();
+  bad.paretoShape = 0.5;
+  EXPECT_THROW(generateChurnTrace(bad), InvalidArgument);
+  bad = baseOptions();
+  bad.duration = -1.0;
+  EXPECT_THROW(generateChurnTrace(bad), InvalidArgument);
+}
+
+TEST(ChurnReplayTest, ReplayKeepsSessionHealthy) {
+  const auto trace = generateChurnTrace(baseOptions());
+  const ChurnReplayResult result =
+      replayChurnTrace(trace, 2, {.maxOutDegree = 6}, 10);
+  EXPECT_GT(result.joins, 0);
+  EXPECT_GT(result.leaves, 0);
+  EXPECT_GT(result.peakLive, 10);
+  EXPECT_EQ(result.sessionStats.joins, result.joins);
+  EXPECT_EQ(result.sessionStats.leaves, result.leaves);
+  // Quality samples exist and are sane: radius >= lower bound, and within
+  // a small factor of it under steady churn.
+  ASSERT_GT(result.radiusOverLowerBound.count(), 0);
+  EXPECT_GE(result.radiusOverLowerBound.min(), 1.0 - 1e-9);
+  EXPECT_LT(result.radiusOverLowerBound.mean(), 3.0);
+}
+
+TEST(ChurnReplayTest, DegreeTwoSurvivesChurn) {
+  ChurnTraceOptions options = baseOptions();
+  options.arrivalRate = 20.0;
+  options.duration = 10.0;
+  const auto trace = generateChurnTrace(options);
+  const ChurnReplayResult result =
+      replayChurnTrace(trace, 2, {.maxOutDegree = 2}, 5);
+  EXPECT_GT(result.peakLive, 5);
+  EXPECT_GE(result.radiusOverLowerBound.min(), 1.0 - 1e-9);
+}
+
+TEST(ChurnReplayTest, HeavyTailedTrace) {
+  ChurnTraceOptions options = baseOptions();
+  options.paretoShape = 1.5;
+  const auto trace = generateChurnTrace(options);
+  const ChurnReplayResult result =
+      replayChurnTrace(trace, 2, {.maxOutDegree = 6}, 8);
+  EXPECT_GT(result.radiusOverLowerBound.count(), 0);
+  EXPECT_LT(result.radiusOverLowerBound.mean(), 3.0);
+}
+
+TEST(ChurnReplayTest, EmptyTraceIsFine) {
+  const ChurnReplayResult result =
+      replayChurnTrace({}, 2, {.maxOutDegree = 6}, 3);
+  EXPECT_EQ(result.joins, 0);
+  EXPECT_EQ(result.radiusOverLowerBound.count(), 0);
+}
+
+}  // namespace
+}  // namespace omt
+
+namespace omt {
+namespace {
+
+TEST(ChurnCrashTest, CrashTraceRepairsAndStaysHealthy) {
+  ChurnTraceOptions options = baseOptions();
+  options.crashFraction = 0.5;
+  const auto trace = generateChurnTrace(options);
+  std::int64_t crashEvents = 0;
+  for (const ChurnEvent& e : trace) {
+    if (e.type == ChurnEventType::kCrash) ++crashEvents;
+  }
+  EXPECT_GT(crashEvents, 100);  // about half of ~700 departures
+
+  const ChurnReplayResult result =
+      replayChurnTrace(trace, 2, {.maxOutDegree = 6}, 15);
+  EXPECT_EQ(result.crashes, crashEvents);
+  EXPECT_GT(result.repairedSubtrees, 0);
+  EXPECT_EQ(result.sessionStats.crashes, crashEvents);
+  ASSERT_GT(result.radiusOverLowerBound.count(), 0);
+  EXPECT_GE(result.radiusOverLowerBound.min(), 1.0 - 1e-9);
+  EXPECT_LT(result.radiusOverLowerBound.mean(), 3.5);
+}
+
+TEST(ChurnCrashTest, AllCrashNoGracefulLeaves) {
+  ChurnTraceOptions options = baseOptions();
+  options.crashFraction = 1.0;
+  options.duration = 10.0;
+  const auto trace = generateChurnTrace(options);
+  const ChurnReplayResult result =
+      replayChurnTrace(trace, 2, {.maxOutDegree = 2}, 5);
+  EXPECT_EQ(result.leaves, 0);
+  EXPECT_GT(result.crashes, 0);
+  EXPECT_GE(result.radiusOverLowerBound.min(), 1.0 - 1e-9);
+}
+
+TEST(ChurnCrashTest, ValidatesCrashFraction) {
+  ChurnTraceOptions bad = baseOptions();
+  bad.crashFraction = 1.5;
+  EXPECT_THROW(generateChurnTrace(bad), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace omt

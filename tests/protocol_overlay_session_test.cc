@@ -1,0 +1,303 @@
+#include "omt/protocol/overlay_session.h"
+
+#include <gtest/gtest.h>
+
+#include "omt/core/bounds.h"
+#include "omt/core/polar_grid_tree.h"
+#include "omt/random/samplers.h"
+#include "omt/tree/metrics.h"
+#include "omt/tree/validation.h"
+
+namespace omt {
+namespace {
+
+SessionOptions degree(int d) {
+  SessionOptions options;
+  options.maxOutDegree = d;
+  return options;
+}
+
+/// Validates the snapshot tree and returns its metrics.
+TreeMetrics check(const OverlaySession& session, int maxDegree) {
+  const SessionSnapshot snap = session.snapshot();
+  const ValidationResult valid =
+      validate(snap.tree, {.maxOutDegree = maxDegree});
+  EXPECT_TRUE(valid.ok) << valid.message;
+  return computeMetrics(snap.tree, snap.positions);
+}
+
+TEST(OverlaySessionTest, EmptySessionIsJustTheSource) {
+  const OverlaySession session(Point{0.0, 0.0}, degree(6));
+  EXPECT_EQ(session.liveCount(), 1);
+  const SessionSnapshot snap = session.snapshot();
+  EXPECT_EQ(snap.tree.size(), 1);
+  EXPECT_TRUE(validate(snap.tree));
+}
+
+TEST(OverlaySessionTest, SequentialJoinsStayValid) {
+  Rng rng(1);
+  OverlaySession session(Point{0.0, 0.0}, degree(6));
+  for (int i = 0; i < 500; ++i) {
+    session.join(sampleUnitBall(rng, 2));
+    if (i % 100 == 99) check(session, 6);
+  }
+  EXPECT_EQ(session.liveCount(), 501);
+  EXPECT_EQ(session.stats().joins, 500);
+  check(session, 6);
+}
+
+TEST(OverlaySessionTest, DegreeTwoSession) {
+  Rng rng(2);
+  OverlaySession session(Point{0.0, 0.0}, degree(2));
+  for (int i = 0; i < 400; ++i) session.join(sampleUnitBall(rng, 2));
+  const TreeMetrics m = check(session, 2);
+  EXPECT_EQ(m.maxOutDegree, 2);
+}
+
+TEST(OverlaySessionTest, JoinOutsideRadiusTriggersRegrid) {
+  OverlaySession session(Point{0.0, 0.0}, degree(6));
+  session.join(Point{0.5, 0.0});
+  const auto before = session.stats().regrids;
+  session.join(Point{10.0, 0.0});  // far outside initialRadius = 1
+  EXPECT_GT(session.stats().regrids, before);
+  check(session, 6);
+}
+
+TEST(OverlaySessionTest, RingsGrowWithMembership) {
+  Rng rng(3);
+  OverlaySession session(Point{0.0, 0.0}, degree(6));
+  const int before = session.rings();
+  for (int i = 0; i < 3000; ++i) session.join(sampleUnitBall(rng, 2));
+  EXPECT_GT(session.rings(), before);
+  EXPECT_GE(session.stats().regrids, 3);  // log-many regrids
+  check(session, 6);
+}
+
+TEST(OverlaySessionTest, LeavesReattachOrphans) {
+  Rng rng(4);
+  OverlaySession session(Point{0.0, 0.0}, degree(6));
+  std::vector<NodeId> ids;
+  for (int i = 0; i < 300; ++i) ids.push_back(session.join(sampleUnitBall(rng, 2)));
+  // Remove every third host.
+  for (std::size_t i = 0; i < ids.size(); i += 3) session.leave(ids[i]);
+  EXPECT_EQ(session.liveCount(), 301 - 100);
+  check(session, 6);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(session.isLive(ids[i]), i % 3 != 0);
+  }
+}
+
+TEST(OverlaySessionTest, LeaveValidationErrors) {
+  OverlaySession session(Point{0.0, 0.0}, degree(6));
+  const NodeId id = session.join(Point{0.5, 0.0});
+  EXPECT_THROW(session.leave(0), InvalidArgument);     // the source
+  EXPECT_THROW(session.leave(id + 5), InvalidArgument);  // unknown
+  session.leave(id);
+  EXPECT_THROW(session.leave(id), InvalidArgument);  // already gone
+}
+
+TEST(OverlaySessionTest, ChurnStressStaysValidAndBounded) {
+  Rng rng(5);
+  OverlaySession session(Point{0.0, 0.0}, degree(6));
+  std::vector<NodeId> live;
+  for (int step = 0; step < 4000; ++step) {
+    const bool doJoin = live.size() < 50 || rng.uniform() < 0.55;
+    if (doJoin) {
+      live.push_back(session.join(sampleUnitBall(rng, 2)));
+    } else {
+      const std::size_t pick = rng.uniformInt(live.size());
+      session.leave(live[pick]);
+      live[pick] = live.back();
+      live.pop_back();
+    }
+  }
+  const TreeMetrics m = check(session, 6);
+  EXPECT_EQ(session.liveCount(), static_cast<std::int64_t>(live.size()) + 1);
+  EXPECT_LE(m.maxOutDegree, 6);
+}
+
+TEST(OverlaySessionTest, QualityTracksOfflineAlgorithm) {
+  // After many joins, the online tree's radius should be within a modest
+  // factor of the offline Polar_Grid tree on the same points.
+  Rng rng(6);
+  OverlaySession session(Point{0.0, 0.0}, degree(6));
+  for (int i = 0; i < 5000; ++i) session.join(sampleUnitBall(rng, 2));
+  const SessionSnapshot snap = session.snapshot();
+  const TreeMetrics online = computeMetrics(snap.tree, snap.positions);
+
+  NodeId source = kNoNode;
+  for (std::size_t i = 0; i < snap.sessionIds.size(); ++i) {
+    if (snap.sessionIds[i] == 0) source = static_cast<NodeId>(i);
+  }
+  const PolarGridResult offline =
+      buildPolarGridTree(snap.positions, source, {.maxOutDegree = 6});
+  const TreeMetrics offlineMetrics =
+      computeMetrics(offline.tree, snap.positions);
+  EXPECT_LT(online.maxDelay, 2.0 * offlineMetrics.maxDelay);
+  EXPECT_GE(online.maxDelay, radiusLowerBound(snap.positions, source) - 1e-9);
+}
+
+TEST(OverlaySessionTest, ContactCostPerJoinIsModest) {
+  Rng rng(7);
+  OverlaySession session(Point{0.0, 0.0}, degree(6));
+  for (int i = 0; i < 2000; ++i) session.join(sampleUnitBall(rng, 2));
+  const SessionStats& stats = session.stats();
+  // Joins touch the joiner's cell plus an ancestor walk: far from O(n).
+  EXPECT_LT(stats.contactCost / std::max<std::int64_t>(1, stats.joins), 200);
+}
+
+TEST(OverlaySessionTest, ThreeDimensionalSession) {
+  Rng rng(8);
+  OverlaySession session(Point{0.0, 0.0, 0.0}, degree(10));
+  for (int i = 0; i < 800; ++i) session.join(sampleUnitBall(rng, 3));
+  check(session, 10);
+}
+
+TEST(OverlaySessionTest, RejectsBadOptions) {
+  SessionOptions bad;
+  bad.maxOutDegree = 1;
+  EXPECT_THROW(OverlaySession(Point{0.0, 0.0}, bad), InvalidArgument);
+  bad = {};
+  bad.regridGrowthFactor = 1.0;
+  EXPECT_THROW(OverlaySession(Point{0.0, 0.0}, bad), InvalidArgument);
+  bad = {};
+  bad.initialRadius = 0.0;
+  EXPECT_THROW(OverlaySession(Point{0.0, 0.0}, bad), InvalidArgument);
+}
+
+TEST(OverlaySessionTest, JoinDimensionMismatch) {
+  OverlaySession session(Point{0.0, 0.0}, degree(6));
+  EXPECT_THROW(session.join(Point{0.0, 0.0, 0.0}), InvalidArgument);
+}
+
+TEST(OverlaySessionTest, EveryoneCanLeave) {
+  Rng rng(9);
+  OverlaySession session(Point{0.0, 0.0}, degree(2));
+  std::vector<NodeId> ids;
+  for (int i = 0; i < 200; ++i) ids.push_back(session.join(sampleUnitBall(rng, 2)));
+  for (const NodeId id : ids) session.leave(id);
+  EXPECT_EQ(session.liveCount(), 1);
+  const SessionSnapshot snap = session.snapshot();
+  EXPECT_EQ(snap.tree.size(), 1);
+}
+
+}  // namespace
+}  // namespace omt
+
+namespace omt {
+namespace {
+
+TEST(OverlaySessionCrashTest, CrashThenRepairRestoresValidity) {
+  Rng rng(40);
+  OverlaySession session(Point{0.0, 0.0}, degree(6));
+  std::vector<NodeId> ids;
+  for (int i = 0; i < 500; ++i) ids.push_back(session.join(sampleUnitBall(rng, 2)));
+
+  for (std::size_t i = 0; i < ids.size(); i += 7) session.crash(ids[i]);
+  EXPECT_GT(session.undetectedCrashes(), 0);
+  EXPECT_THROW(session.snapshot(), InvalidArgument);
+
+  const std::int64_t replaced = session.detectAndRepair();
+  EXPECT_GE(replaced, 0);
+  EXPECT_EQ(session.undetectedCrashes(), 0);
+  check(session, 6);
+  EXPECT_EQ(session.stats().crashes,
+            static_cast<std::int64_t>((ids.size() + 6) / 7));
+}
+
+TEST(OverlaySessionCrashTest, CascadingCrashes) {
+  // Crash a chain: parent and child dead in the same sweep.
+  OverlaySession session(Point{0.0, 0.0}, degree(2));
+  const NodeId a = session.join(Point{0.3, 0.0});
+  const NodeId b = session.join(Point{0.6, 0.0});
+  const NodeId c = session.join(Point{0.9, 0.0});
+  session.crash(a);
+  session.crash(b);
+  session.detectAndRepair();
+  const SessionSnapshot snap = session.snapshot();
+  EXPECT_TRUE(validate(snap.tree, {.maxOutDegree = 2}));
+  EXPECT_EQ(session.liveCount(), 2);  // source + c
+  EXPECT_TRUE(session.isLive(c));
+}
+
+TEST(OverlaySessionCrashTest, RepairWithNoCrashesIsCheap) {
+  Rng rng(41);
+  OverlaySession session(Point{0.0, 0.0}, degree(6));
+  for (int i = 0; i < 50; ++i) session.join(sampleUnitBall(rng, 2));
+  EXPECT_EQ(session.detectAndRepair(), 0);
+  check(session, 6);
+}
+
+TEST(OverlaySessionCrashTest, CrashValidation) {
+  OverlaySession session(Point{0.0, 0.0}, degree(6));
+  const NodeId id = session.join(Point{0.5, 0.0});
+  EXPECT_THROW(session.crash(0), InvalidArgument);
+  session.crash(id);
+  EXPECT_THROW(session.crash(id), InvalidArgument);  // already dead
+}
+
+TEST(OverlaySessionCrashTest, MassCrashUnderChurn) {
+  Rng rng(42);
+  OverlaySession session(Point{0.0, 0.0}, degree(6));
+  std::vector<NodeId> live;
+  for (int i = 0; i < 1000; ++i) live.push_back(session.join(sampleUnitBall(rng, 2)));
+  // 30% crash silently, then a detection sweep, then more joins.
+  std::vector<NodeId> survivors;
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    if (i % 3 == 0) {
+      session.crash(live[i]);
+    } else {
+      survivors.push_back(live[i]);
+    }
+  }
+  session.detectAndRepair();
+  for (int i = 0; i < 200; ++i) session.join(sampleUnitBall(rng, 2));
+  const TreeMetrics m = check(session, 6);
+  EXPECT_LE(m.maxOutDegree, 6);
+  for (const NodeId s : survivors) EXPECT_TRUE(session.isLive(s));
+}
+
+}  // namespace
+}  // namespace omt
+
+namespace omt {
+namespace {
+
+TEST(OverlaySessionCrashTest, MixedOperationStress) {
+  // Joins, graceful leaves, silent crashes, and periodic heartbeat sweeps
+  // interleaved at random; the overlay must be a valid degree-bounded
+  // spanning tree at every sweep.
+  Rng rng(50);
+  OverlaySession session(Point{0.0, 0.0}, degree(6));
+  std::vector<NodeId> live;
+  for (int step = 0; step < 3000; ++step) {
+    const double dice = rng.uniform();
+    if (live.size() < 30 || dice < 0.5) {
+      live.push_back(session.join(sampleUnitBall(rng, 2)));
+    } else if (dice < 0.75) {
+      const std::size_t pick = rng.uniformInt(live.size());
+      session.leave(live[pick]);
+      live[pick] = live.back();
+      live.pop_back();
+    } else {
+      const std::size_t pick = rng.uniformInt(live.size());
+      session.crash(live[pick]);
+      live[pick] = live.back();
+      live.pop_back();
+    }
+    if (step % 97 == 96) {
+      session.detectAndRepair();
+      check(session, 6);
+    }
+  }
+  session.detectAndRepair();
+  const TreeMetrics m = check(session, 6);
+  EXPECT_EQ(session.liveCount(), static_cast<std::int64_t>(live.size()) + 1);
+  EXPECT_LE(m.maxOutDegree, 6);
+  EXPECT_EQ(session.stats().joins,
+            session.stats().leaves + session.stats().crashes +
+                session.liveCount() - 1);
+}
+
+}  // namespace
+}  // namespace omt

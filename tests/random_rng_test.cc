@@ -1,0 +1,135 @@
+#include "omt/random/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "omt/common/error.h"
+
+namespace omt {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(RngTest, DifferentSeedsDifferentStreams) {
+  Rng a(123);
+  Rng b(124);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.nextU64() == b.nextU64()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(9);
+  double sum = 0.0;
+  double sumSq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+    sumSq += u * u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+  EXPECT_NEAR(sumSq / n, 1.0 / 3.0, 0.01);  // E[U^2] = 1/3
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(10);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 7.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 7.0);
+  }
+  EXPECT_THROW(rng.uniform(2.0, 1.0), InvalidArgument);
+}
+
+TEST(RngTest, UniformIntBoundsAndCoverage) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint64_t v = rng.uniformInt(10);
+    ASSERT_LT(v, 10u);
+    ++counts[static_cast<std::size_t>(v)];
+  }
+  for (const int c : counts) EXPECT_NEAR(c, 5000, 400);
+  EXPECT_THROW(rng.uniformInt(0), InvalidArgument);
+}
+
+TEST(RngTest, UniformIntOne) {
+  Rng rng(12);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniformInt(1), 0u);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  const int n = 200000;
+  double sum = 0.0;
+  double sumSq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sumSq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sumSq / n, 1.0, 0.02);
+}
+
+TEST(RngTest, GaussianWithParameters) {
+  Rng rng(14);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.gaussian(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(RngTest, LognormalIsPositiveWithRightMedian) {
+  Rng rng(15);
+  std::vector<double> values;
+  for (int i = 0; i < 50000; ++i) {
+    const double v = rng.lognormal(0.5, 0.3);
+    ASSERT_GT(v, 0.0);
+    values.push_back(v);
+  }
+  std::nth_element(values.begin(), values.begin() + values.size() / 2,
+                   values.end());
+  // Median of lognormal(mu, sigma) is exp(mu).
+  EXPECT_NEAR(values[values.size() / 2], std::exp(0.5), 0.03);
+}
+
+TEST(RngTest, DeriveSeedDecorrelatesNeighbours) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t e = 0; e < 10; ++e) {
+    for (std::uint64_t t = 0; t < 100; ++t) seeds.insert(deriveSeed(e, t));
+  }
+  EXPECT_EQ(seeds.size(), 1000u);  // all distinct
+}
+
+TEST(RngTest, SplitMixAdvancesState) {
+  std::uint64_t state = 0;
+  const std::uint64_t a = splitMix64(state);
+  const std::uint64_t b = splitMix64(state);
+  EXPECT_NE(a, b);
+  EXPECT_NE(state, 0u);
+}
+
+TEST(RngTest, WorksWithStdShuffleInterface) {
+  Rng rng(16);
+  std::vector<int> values{1, 2, 3, 4, 5, 6, 7, 8};
+  std::shuffle(values.begin(), values.end(), rng);
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(values, (std::vector<int>{1, 2, 3, 4, 5, 6, 7, 8}));
+}
+
+}  // namespace
+}  // namespace omt

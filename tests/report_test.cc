@@ -1,0 +1,182 @@
+#include <atomic>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "omt/common/error.h"
+#include "omt/random/rng.h"
+#include "omt/report/csv.h"
+#include "omt/report/parallel.h"
+#include "omt/report/stats.h"
+#include "omt/report/stopwatch.h"
+#include "omt/report/table.h"
+
+namespace omt {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  const RunningStats stats;
+  EXPECT_EQ(stats.count(), 0);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.stddev(), 0.0);
+  EXPECT_EQ(stats.min(), 0.0);
+  EXPECT_EQ(stats.max(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats stats;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(v);
+  EXPECT_EQ(stats.count(), 8);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.populationStddev(), 2.0);  // classic textbook set
+  EXPECT_NEAR(stats.stddev(), 2.0 * std::sqrt(8.0 / 7.0), 1e-12);
+  EXPECT_EQ(stats.min(), 2.0);
+  EXPECT_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, MatchesNaiveTwoPass) {
+  Rng rng(1);
+  std::vector<double> values;
+  RunningStats stats;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform(-5.0, 11.0);
+    values.push_back(v);
+    stats.add(v);
+  }
+  double mean = 0.0;
+  for (const double v : values) mean += v;
+  mean /= static_cast<double>(values.size());
+  double var = 0.0;
+  for (const double v : values) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(values.size() - 1);
+  EXPECT_NEAR(stats.mean(), mean, 1e-10);
+  EXPECT_NEAR(stats.variance(), var, 1e-8);
+}
+
+TEST(RunningStatsTest, MergeEqualsSequential) {
+  Rng rng(2);
+  RunningStats whole;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.gaussian(3.0, 2.0);
+    whole.add(v);
+    (i % 2 == 0 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_EQ(left.min(), whole.min());
+  EXPECT_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(3.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable table({"name", "value"});
+  table.addRow({"x", "1"});
+  table.addRow({"longer", "23456"});
+  const std::string out = table.str();
+  EXPECT_NE(out.find("  name  value"), std::string::npos);
+  EXPECT_NE(out.find("     x      1"), std::string::npos);
+  EXPECT_NE(out.find("longer  23456"), std::string::npos);
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(TextTableTest, RejectsMismatchedRow) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.addRow({"only-one"}), InvalidArgument);
+  EXPECT_THROW(TextTable({}), InvalidArgument);
+}
+
+TEST(TextTableTest, NumberFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(1.0, 3), "1.000");
+  EXPECT_EQ(TextTable::count(1234567), "1,234,567");
+  EXPECT_EQ(TextTable::count(-42), "-42");
+  EXPECT_EQ(TextTable::count(999), "999");
+  EXPECT_EQ(TextTable::count(1000), "1,000");
+}
+
+TEST(CsvWriterTest, QuotesSpecialCells) {
+  const std::string path = ::testing::TempDir() + "/omt_report_test.csv";
+  {
+    CsvWriter csv(path);
+    csv.writeRow({"plain", "with,comma", "with\"quote"});
+    csv.writeRow({"1", "2", "3"});
+  }
+  std::ifstream in(path);
+  std::string line1;
+  std::string line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1, "plain,\"with,comma\",\"with\"\"quote\"");
+  EXPECT_EQ(line2, "1,2,3");
+}
+
+TEST(CsvWriterTest, RejectsUnwritablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv"), InvalidArgument);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double t = watch.seconds();
+  EXPECT_GE(t, 0.015);
+  EXPECT_LT(t, 5.0);
+  watch.reset();
+  EXPECT_LT(watch.seconds(), 0.015);
+}
+
+TEST(ParallelForTest, CoversEveryIndexOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallelFor(0, 1000, 4, [&](std::int64_t i) {
+    ++hits[static_cast<std::size_t>(i)];
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, SingleWorkerRunsInline) {
+  std::vector<std::int64_t> order;
+  parallelFor(5, 10, 1, [&](std::int64_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::int64_t>{5, 6, 7, 8, 9}));
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoOp) {
+  parallelFor(3, 3, 4, [](std::int64_t) { FAIL(); });
+}
+
+TEST(ParallelForTest, PropagatesExceptions) {
+  EXPECT_THROW(parallelFor(0, 100, 4,
+                           [](std::int64_t i) {
+                             if (i == 37) throw InvalidArgument("boom");
+                           }),
+               InvalidArgument);
+}
+
+TEST(ParallelForTest, ValidatesArguments) {
+  EXPECT_THROW(parallelFor(0, 1, 0, [](std::int64_t) {}), InvalidArgument);
+  EXPECT_THROW(parallelFor(5, 2, 1, [](std::int64_t) {}), InvalidArgument);
+}
+
+TEST(ParallelForTest, DefaultWorkerCountIsPositive) {
+  EXPECT_GE(defaultWorkerCount(), 1);
+}
+
+}  // namespace
+}  // namespace omt

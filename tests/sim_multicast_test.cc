@@ -1,0 +1,255 @@
+#include "omt/sim/multicast_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "omt/core/polar_grid_tree.h"
+#include "omt/random/samplers.h"
+#include "omt/report/stats.h"
+#include "omt/tree/metrics.h"
+
+namespace omt {
+namespace {
+
+struct Fixture {
+  std::vector<Point> points;
+  PolarGridResult built;
+
+  explicit Fixture(std::int64_t n, std::uint64_t seed, int degree = 6)
+      : points([&] {
+          Rng rng(seed);
+          return sampleDiskWithCenterSource(rng, n, 2);
+        }()),
+        built(buildPolarGridTree(points, 0, {.maxOutDegree = degree})) {}
+};
+
+TEST(SimTest, ParallelModelMatchesTreeDelays) {
+  const Fixture f(2000, 21);
+  const SimResult sim = simulateMulticast(f.built.tree, f.points);
+  const auto delays = computeDelays(f.built.tree, f.points);
+  ASSERT_EQ(sim.deliveryTime.size(), delays.size());
+  for (std::size_t i = 0; i < delays.size(); ++i)
+    EXPECT_NEAR(sim.deliveryTime[i], delays[i], 1e-9) << "node " << i;
+  const TreeMetrics m = computeMetrics(f.built.tree, f.points);
+  EXPECT_NEAR(sim.maxDelivery, m.maxDelay, 1e-9);
+  EXPECT_EQ(sim.reached, f.built.tree.size());
+  EXPECT_EQ(sim.messagesSent, f.built.tree.size() - 1);
+}
+
+TEST(SimTest, PerHopOverheadAddsDepthTimesOverhead) {
+  // On a chain, delivery = distance sum + depth * overhead.
+  std::vector<Point> points{Point{0.0, 0.0}, Point{1.0, 0.0},
+                            Point{2.0, 0.0}};
+  MulticastTree tree(3, 0);
+  tree.attach(1, 0, EdgeKind::kLocal);
+  tree.attach(2, 1, EdgeKind::kLocal);
+  tree.finalize();
+  const SimResult sim =
+      simulateMulticast(tree, points, {.perHopOverhead = 0.5});
+  EXPECT_NEAR(sim.deliveryTime[1], 1.5, 1e-12);
+  EXPECT_NEAR(sim.deliveryTime[2], 3.0, 1e-12);
+}
+
+TEST(SimTest, SerializedModelDelaysLaterSlots) {
+  // A star with 3 children: slots 0, 1, 2 depart at 0, s, 2s.
+  std::vector<Point> points{Point{0.0, 0.0}, Point{1.0, 0.0},
+                            Point{0.0, 1.0}, Point{-1.0, 0.0}};
+  MulticastTree tree(4, 0);
+  for (NodeId v = 1; v < 4; ++v) tree.attach(v, 0, EdgeKind::kLocal);
+  tree.finalize();
+  SimOptions options;
+  options.model = TransmissionModel::kSerialized;
+  options.serializationInterval = 0.25;
+  const SimResult sim = simulateMulticast(tree, points, options);
+  EXPECT_NEAR(sim.deliveryTime[1], 1.0, 1e-12);
+  EXPECT_NEAR(sim.deliveryTime[2], 1.25, 1e-12);
+  EXPECT_NEAR(sim.deliveryTime[3], 1.5, 1e-12);
+}
+
+TEST(SimTest, SerializedNeverBeatsParallel) {
+  const Fixture f(3000, 22);
+  const SimResult parallel = simulateMulticast(f.built.tree, f.points);
+  SimOptions options;
+  options.model = TransmissionModel::kSerialized;
+  options.serializationInterval = 0.01;
+  const SimResult serialized =
+      simulateMulticast(f.built.tree, f.points, options);
+  EXPECT_GE(serialized.maxDelivery, parallel.maxDelivery - 1e-12);
+  for (std::size_t i = 0; i < parallel.deliveryTime.size(); ++i)
+    EXPECT_GE(serialized.deliveryTime[i], parallel.deliveryTime[i] - 1e-12);
+}
+
+TEST(SimTest, DeepestFirstOrderingHelpsSerializedDelay) {
+  const Fixture f(3000, 23);
+  SimOptions base;
+  base.model = TransmissionModel::kSerialized;
+  base.serializationInterval = 0.02;
+  SimOptions deepest = base;
+  deepest.childOrder = ChildOrder::kDeepestFirst;
+  const double treeOrder =
+      simulateMulticast(f.built.tree, f.points, base).maxDelivery;
+  const double deepestOrder =
+      simulateMulticast(f.built.tree, f.points, deepest).maxDelivery;
+  EXPECT_LE(deepestOrder, treeOrder + 1e-9);
+}
+
+TEST(SimTest, ChildOrderingsArePermutationsOfTheSameWork) {
+  const Fixture f(800, 24);
+  for (const ChildOrder order :
+       {ChildOrder::kTreeOrder, ChildOrder::kNearestFirst,
+        ChildOrder::kFarthestFirst, ChildOrder::kDeepestFirst}) {
+    SimOptions options;
+    options.model = TransmissionModel::kSerialized;
+    options.serializationInterval = 0.05;
+    options.childOrder = order;
+    const SimResult sim = simulateMulticast(f.built.tree, f.points, options);
+    EXPECT_EQ(sim.reached, f.built.tree.size());
+    EXPECT_EQ(sim.messagesSent, f.built.tree.size() - 1);
+  }
+}
+
+TEST(SimTest, FailedNodeDropsItsSubtree) {
+  // Chain 0 -> 1 -> 2 -> 3; failing node 1 strands 2 and 3.
+  std::vector<Point> points{Point{0.0, 0.0}, Point{1.0, 0.0},
+                            Point{2.0, 0.0}, Point{3.0, 0.0}};
+  MulticastTree tree(4, 0);
+  tree.attach(1, 0, EdgeKind::kLocal);
+  tree.attach(2, 1, EdgeKind::kLocal);
+  tree.attach(3, 2, EdgeKind::kLocal);
+  tree.finalize();
+  const std::vector<NodeId> failed{1};
+  const SimResult sim = simulateWithFailures(tree, points, failed);
+  EXPECT_EQ(sim.reached, 2);  // source and node 1 (it receives, not forwards)
+  EXPECT_NEAR(sim.deliveryTime[1], 1.0, 1e-12);
+  EXPECT_EQ(sim.deliveryTime[2], kInf);
+  EXPECT_EQ(sim.deliveryTime[3], kInf);
+  EXPECT_EQ(sim.messagesSent, 1);
+}
+
+TEST(SimTest, SourceCannotFail) {
+  const Fixture f(10, 25);
+  const std::vector<NodeId> failed{0};
+  EXPECT_THROW(simulateWithFailures(f.built.tree, f.points, failed),
+               InvalidArgument);
+}
+
+TEST(SimTest, ValidatesOptions) {
+  const Fixture f(10, 26);
+  SimOptions bad;
+  bad.perHopOverhead = -1.0;
+  EXPECT_THROW(simulateMulticast(f.built.tree, f.points, bad),
+               InvalidArgument);
+  bad = {};
+  bad.serializationInterval = -0.5;
+  EXPECT_THROW(simulateMulticast(f.built.tree, f.points, bad),
+               InvalidArgument);
+}
+
+TEST(SimTest, MeanDeliveryMatchesMetricsMeanDelay) {
+  const Fixture f(1500, 27);
+  const SimResult sim = simulateMulticast(f.built.tree, f.points);
+  const TreeMetrics m = computeMetrics(f.built.tree, f.points);
+  EXPECT_NEAR(sim.meanDelivery, m.meanDelay, 1e-9);
+}
+
+}  // namespace
+}  // namespace omt
+
+#include "omt/sim/loss.h"
+
+namespace omt {
+namespace {
+
+TEST(LossTest, ZeroLossMatchesPlainDelays) {
+  const Fixture f(1000, 40);
+  LossOptions options;
+  options.lossProbability = 0.0;
+  options.retransmitDelay = 1.0;
+  const LossyDeliveryReport report =
+      analyzeLossyDelivery(f.built.tree, f.points, options);
+  const auto delays = computeDelays(f.built.tree, f.points);
+  for (std::size_t i = 0; i < delays.size(); ++i)
+    EXPECT_NEAR(report.expectedDelay[i], delays[i], 1e-12);
+  EXPECT_DOUBLE_EQ(report.expectedTransmissions,
+                   static_cast<double>(f.built.tree.size() - 1));
+}
+
+TEST(LossTest, ExpectedDelayShiftsByGeometricRetryCost) {
+  const Fixture f(500, 41);
+  LossOptions options;
+  options.lossProbability = 0.2;
+  options.retransmitDelay = 0.5;
+  const LossyDeliveryReport report =
+      analyzeLossyDelivery(f.built.tree, f.points, options);
+  const auto delays = computeDelays(f.built.tree, f.points);
+  const auto depths = computeDepths(f.built.tree);
+  const double perHop = 0.5 * 0.2 / 0.8;
+  for (std::size_t i = 0; i < delays.size(); ++i) {
+    EXPECT_NEAR(report.expectedDelay[i],
+                delays[i] + perHop * depths[i], 1e-9);
+  }
+}
+
+TEST(LossTest, MonteCarloMatchesAnalysis) {
+  const Fixture f(800, 42);
+  LossOptions options;
+  options.lossProbability = 0.1;
+  options.retransmitDelay = 0.3;
+  const LossyDeliveryReport report =
+      analyzeLossyDelivery(f.built.tree, f.points, options);
+
+  Rng rng(43);
+  RunningStats maxDelivery;
+  RunningStats transmissions;
+  for (int trial = 0; trial < 300; ++trial) {
+    const LossySimResult sim =
+        simulateLossyMulticast(f.built.tree, f.points, options, rng);
+    maxDelivery.add(sim.maxDelivery);
+    transmissions.add(static_cast<double>(sim.transmissions));
+  }
+  // Mean transmissions concentrates tightly around (n-1)/(1-p).
+  EXPECT_NEAR(transmissions.mean(), report.expectedTransmissions,
+              0.01 * report.expectedTransmissions);
+  // E[max over nodes] >= max of per-node expectations (Jensen), with the
+  // excess bounded by a handful of retry quanta (geometric tails are
+  // light: the max over ~800 paths overshoots by O(log n) retries).
+  EXPECT_GE(maxDelivery.mean(), report.expectedMaxDelay - 1e-9);
+  EXPECT_LT(maxDelivery.mean(),
+            report.expectedMaxDelay + 20.0 * options.retransmitDelay);
+}
+
+TEST(LossTest, HigherLossMeansMoreTransmissions) {
+  const Fixture f(300, 44);
+  Rng rng(45);
+  LossOptions low;
+  low.lossProbability = 0.05;
+  LossOptions high;
+  high.lossProbability = 0.4;
+  RunningStats lowTx, highTx;
+  for (int trial = 0; trial < 50; ++trial) {
+    lowTx.add(static_cast<double>(
+        simulateLossyMulticast(f.built.tree, f.points, low, rng)
+            .transmissions));
+    highTx.add(static_cast<double>(
+        simulateLossyMulticast(f.built.tree, f.points, high, rng)
+            .transmissions));
+  }
+  EXPECT_GT(highTx.mean(), 1.4 * lowTx.mean());
+}
+
+TEST(LossTest, ValidatesOptions) {
+  const Fixture f(10, 46);
+  Rng rng(47);
+  LossOptions bad;
+  bad.lossProbability = 1.0;
+  EXPECT_THROW(analyzeLossyDelivery(f.built.tree, f.points, bad),
+               InvalidArgument);
+  EXPECT_THROW(simulateLossyMulticast(f.built.tree, f.points, bad, rng),
+               InvalidArgument);
+  bad = {};
+  bad.retransmitDelay = -1.0;
+  EXPECT_THROW(analyzeLossyDelivery(f.built.tree, f.points, bad),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace omt

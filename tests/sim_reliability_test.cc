@@ -1,0 +1,118 @@
+#include "omt/sim/reliability.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "omt/baselines/baselines.h"
+#include "omt/core/polar_grid_tree.h"
+#include "omt/random/samplers.h"
+
+namespace omt {
+namespace {
+
+MulticastTree chainOf(NodeId n) {
+  MulticastTree tree(n, 0);
+  for (NodeId v = 1; v < n; ++v) tree.attach(v, v - 1, EdgeKind::kLocal);
+  tree.finalize();
+  return tree;
+}
+
+MulticastTree starOf(NodeId n) {
+  MulticastTree tree(n, 0);
+  for (NodeId v = 1; v < n; ++v) tree.attach(v, 0, EdgeKind::kLocal);
+  tree.finalize();
+  return tree;
+}
+
+TEST(SubtreeSizesTest, ChainAndStar) {
+  const auto chain = subtreeSizes(chainOf(4));
+  EXPECT_EQ(chain, (std::vector<std::int64_t>{4, 3, 2, 1}));
+  const auto star = subtreeSizes(starOf(4));
+  EXPECT_EQ(star, (std::vector<std::int64_t>{4, 1, 1, 1}));
+}
+
+TEST(ReliabilityTest, StarClosedForm) {
+  // Every receiver depends only on itself: E[fraction] = q.
+  const ReliabilityReport report = analyzeReliability(starOf(100), 0.2);
+  EXPECT_NEAR(report.expectedReachableFraction, 0.8, 1e-12);
+  EXPECT_NEAR(report.worstReceiverReliability, 0.8, 1e-12);
+  EXPECT_NEAR(report.meanSubtreeSize, 1.0, 1e-12);
+}
+
+TEST(ReliabilityTest, ChainClosedForm) {
+  // Node at depth d reachable with q^d: E = (q + ... + q^{n-1}) / (n-1).
+  const double p = 0.1;
+  const double q = 1.0 - p;
+  const NodeId n = 10;
+  const ReliabilityReport report = analyzeReliability(chainOf(n), p);
+  double expected = 0.0;
+  for (NodeId d = 1; d < n; ++d) expected += std::pow(q, d);
+  expected /= static_cast<double>(n - 1);
+  EXPECT_NEAR(report.expectedReachableFraction, expected, 1e-12);
+  EXPECT_NEAR(report.worstReceiverReliability, std::pow(q, n - 1), 1e-12);
+  // Mean subtree over non-root: (sum_{s=1}^{n-1} s)/(n-1) = n/2.
+  EXPECT_NEAR(report.meanSubtreeSize, static_cast<double>(n) / 2.0, 1e-12);
+}
+
+TEST(ReliabilityTest, ZeroFailureIsPerfect) {
+  const ReliabilityReport report = analyzeReliability(chainOf(20), 0.0);
+  EXPECT_DOUBLE_EQ(report.expectedReachableFraction, 1.0);
+  EXPECT_DOUBLE_EQ(report.worstReceiverReliability, 1.0);
+}
+
+TEST(ReliabilityTest, SingleNode) {
+  MulticastTree tree(1, 0);
+  tree.finalize();
+  const ReliabilityReport report = analyzeReliability(tree, 0.3);
+  EXPECT_DOUBLE_EQ(report.expectedReachableFraction, 1.0);
+}
+
+TEST(ReliabilityTest, MonteCarloAgreesWithExact) {
+  Rng rng(1);
+  const auto points = sampleDiskWithCenterSource(rng, 800, 2);
+  const PolarGridResult built = buildPolarGridTree(points, 0);
+  for (const double p : {0.02, 0.1, 0.3}) {
+    const double exact =
+        analyzeReliability(built.tree, p).expectedReachableFraction;
+    Rng mcRng(2);
+    const double estimate =
+        estimateReachableFraction(built.tree, p, 400, mcRng);
+    EXPECT_NEAR(estimate, exact, 0.02) << "p=" << p;
+  }
+}
+
+TEST(ReliabilityTest, HigherDegreeIsMoreRobust) {
+  // Shallower trees survive better: D = 6 beats D = 2 beats the chain.
+  Rng rng(3);
+  const auto points = sampleDiskWithCenterSource(rng, 3000, 2);
+  const double p = 0.05;
+  const double deg6 = analyzeReliability(
+      buildPolarGridTree(points, 0, {.maxOutDegree = 6}).tree, p)
+                          .expectedReachableFraction;
+  const double deg2 = analyzeReliability(
+      buildPolarGridTree(points, 0, {.maxOutDegree = 2}).tree, p)
+                          .expectedReachableFraction;
+  const double chain = analyzeReliability(
+      buildChainTree(points, 0), p).expectedReachableFraction;
+  EXPECT_GT(deg6, deg2);
+  EXPECT_GT(deg2, chain);
+  EXPECT_GT(deg6, 0.6);
+  EXPECT_LT(chain, 0.05);
+}
+
+TEST(ReliabilityTest, ValidatesArguments) {
+  Rng rng(4);
+  const MulticastTree tree = chainOf(5);
+  EXPECT_THROW(analyzeReliability(tree, -0.1), InvalidArgument);
+  EXPECT_THROW(analyzeReliability(tree, 1.0), InvalidArgument);
+  EXPECT_THROW(estimateReachableFraction(tree, 0.1, 0, rng),
+               InvalidArgument);
+  MulticastTree unfinalized(2, 0);
+  unfinalized.attach(1, 0, EdgeKind::kLocal);
+  EXPECT_THROW(analyzeReliability(unfinalized, 0.1), InvalidArgument);
+  EXPECT_THROW(subtreeSizes(unfinalized), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace omt

@@ -1,0 +1,152 @@
+#include "omt/sim/repair.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "omt/core/polar_grid_tree.h"
+#include "omt/random/samplers.h"
+#include "omt/sim/multicast_sim.h"
+#include "omt/tree/metrics.h"
+#include "omt/tree/validation.h"
+
+namespace omt {
+namespace {
+
+struct Fixture {
+  std::vector<Point> points;
+  PolarGridResult built;
+
+  Fixture(std::int64_t n, std::uint64_t seed, int degree)
+      : points([&] {
+          Rng rng(seed);
+          return sampleDiskWithCenterSource(rng, n, 2);
+        }()),
+        built(buildPolarGridTree(points, 0, {.maxOutDegree = degree})) {}
+};
+
+std::vector<Point> survivorPoints(const RepairResult& repair,
+                                  std::span<const Point> original) {
+  std::vector<Point> out;
+  out.reserve(repair.survivors.size());
+  for (const NodeId v : repair.survivors)
+    out.push_back(original[static_cast<std::size_t>(v)]);
+  return out;
+}
+
+TEST(RepairTest, NoDeparturesIsIdentityShape) {
+  const Fixture f(300, 31, 6);
+  const RepairResult repair =
+      repairAfterDepartures(f.built.tree, f.points, {}, 6);
+  EXPECT_EQ(repair.survivors.size(), f.points.size());
+  EXPECT_EQ(repair.reattachedSubtrees, 0);
+  EXPECT_TRUE(validate(repair.tree, {.maxOutDegree = 6}));
+  for (NodeId v = 0; v < f.built.tree.size(); ++v) {
+    if (v == f.built.tree.root()) continue;
+    EXPECT_EQ(repair.tree.parentOf(repair.originalToSurvivor
+                                       [static_cast<std::size_t>(v)]),
+              repair.originalToSurvivor[static_cast<std::size_t>(
+                  f.built.tree.parentOf(v))]);
+  }
+}
+
+TEST(RepairTest, RepairedTreeIsValidAndWithinCap) {
+  const Fixture f(2000, 32, 6);
+  Rng rng(33);
+  std::vector<NodeId> departed;
+  for (NodeId v = 1; v < f.built.tree.size(); ++v) {
+    if (rng.uniform() < 0.1) departed.push_back(v);
+  }
+  ASSERT_FALSE(departed.empty());
+  const RepairResult repair =
+      repairAfterDepartures(f.built.tree, f.points, departed, 6);
+  EXPECT_EQ(repair.survivors.size(), f.points.size() - departed.size());
+  const ValidationResult valid = validate(repair.tree, {.maxOutDegree = 6});
+  EXPECT_TRUE(valid.ok) << valid.message;
+}
+
+TEST(RepairTest, MappingIsConsistent) {
+  const Fixture f(500, 34, 2);
+  const std::vector<NodeId> departed{3, 10, 99};
+  const RepairResult repair =
+      repairAfterDepartures(f.built.tree, f.points, departed, 2);
+  for (const NodeId v : departed)
+    EXPECT_EQ(repair.originalToSurvivor[static_cast<std::size_t>(v)], kNoNode);
+  for (std::size_t s = 0; s < repair.survivors.size(); ++s) {
+    EXPECT_EQ(repair.originalToSurvivor[static_cast<std::size_t>(
+                  repair.survivors[s])],
+              static_cast<NodeId>(s));
+  }
+}
+
+TEST(RepairTest, EveryoneDeliverableAfterRepair) {
+  const Fixture f(1500, 35, 6);
+  Rng rng(36);
+  std::vector<NodeId> departed;
+  for (NodeId v = 1; v < f.built.tree.size(); ++v) {
+    if (rng.uniform() < 0.05) departed.push_back(v);
+  }
+  const RepairResult repair =
+      repairAfterDepartures(f.built.tree, f.points, departed, 6);
+  const std::vector<Point> points = survivorPoints(repair, f.points);
+  const SimResult sim = simulateMulticast(repair.tree, points);
+  EXPECT_EQ(sim.reached, repair.tree.size());
+}
+
+TEST(RepairTest, ReattachCountsOrphanSubtreesNotNodes) {
+  // Chain 0 -> 1 -> 2 -> 3: removing node 1 orphans the subtree rooted at
+  // node 2 — exactly one re-attachment even though two nodes moved.
+  std::vector<Point> points{Point{0.0, 0.0}, Point{1.0, 0.0},
+                            Point{2.0, 0.0}, Point{3.0, 0.0}};
+  MulticastTree tree(4, 0);
+  tree.attach(1, 0, EdgeKind::kLocal);
+  tree.attach(2, 1, EdgeKind::kLocal);
+  tree.attach(3, 2, EdgeKind::kLocal);
+  tree.finalize();
+  const std::vector<NodeId> departed{1};
+  const RepairResult repair =
+      repairAfterDepartures(tree, points, departed, 2);
+  EXPECT_EQ(repair.reattachedSubtrees, 1);
+  EXPECT_TRUE(validate(repair.tree, {.maxOutDegree = 2}));
+  // Node 2 (survivor index 1) now hangs off the nearest survivor: node 0.
+  const TreeMetrics m = computeMetrics(
+      repair.tree, survivorPoints(repair, points));
+  EXPECT_NEAR(m.maxDelay, 3.0, 1e-12);  // 0 -> 2 (2.0) -> 3 (1.0)
+}
+
+TEST(RepairTest, DegreePressureForcesDeeperAttachment) {
+  // Source with cap 1 already has a child; an orphan must attach below it.
+  std::vector<Point> points{Point{0.0, 0.0}, Point{1.0, 0.0},
+                            Point{0.0, 1.0}, Point{0.0, 2.0}};
+  MulticastTree tree(4, 0);
+  tree.attach(1, 0, EdgeKind::kLocal);
+  tree.attach(2, 1, EdgeKind::kLocal);
+  tree.attach(3, 2, EdgeKind::kLocal);
+  tree.finalize();
+  const std::vector<NodeId> departed{2};
+  const RepairResult repair =
+      repairAfterDepartures(tree, points, departed, 1);
+  EXPECT_TRUE(validate(repair.tree, {.maxOutDegree = 1}));
+}
+
+TEST(RepairTest, SourceMustSurvive) {
+  const Fixture f(10, 37, 6);
+  const std::vector<NodeId> departed{0};
+  EXPECT_THROW(repairAfterDepartures(f.built.tree, f.points, departed, 6),
+               InvalidArgument);
+}
+
+TEST(RepairTest, MassDeparture) {
+  const Fixture f(1000, 38, 2);
+  std::vector<NodeId> departed;
+  for (NodeId v = 1; v < f.built.tree.size(); v += 2) departed.push_back(v);
+  const RepairResult repair =
+      repairAfterDepartures(f.built.tree, f.points, departed, 2);
+  const ValidationResult valid = validate(repair.tree, {.maxOutDegree = 2});
+  EXPECT_TRUE(valid.ok) << valid.message;
+  EXPECT_EQ(repair.tree.size(),
+            static_cast<NodeId>(f.points.size() - departed.size()));
+}
+
+}  // namespace
+}  // namespace omt

@@ -1,0 +1,121 @@
+#include "omt/sim/streaming.h"
+
+#include <gtest/gtest.h>
+
+#include "omt/baselines/baselines.h"
+#include "omt/core/polar_grid_tree.h"
+#include "omt/random/samplers.h"
+#include "omt/sim/multicast_sim.h"
+#include "omt/tree/metrics.h"
+
+namespace omt {
+namespace {
+
+std::vector<Point> workload(std::int64_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  return sampleDiskWithCenterSource(rng, n, 2);
+}
+
+TEST(StreamingTest, SingleMessageMatchesSerializedSim) {
+  const auto points = workload(1500, 1);
+  const PolarGridResult built = buildPolarGridTree(points, 0);
+  StreamOptions stream;
+  stream.messageCount = 1;
+  stream.transmissionTime = 0.05;
+  stream.perHopOverhead = 0.01;
+  const StreamResult result =
+      simulateStream(built.tree, points, stream);
+
+  SimOptions single;
+  single.model = TransmissionModel::kSerialized;
+  single.serializationInterval = 0.05;
+  single.perHopOverhead = 0.01;
+  const SimResult sim = simulateMulticast(built.tree, points, single);
+  // The stream's serialisation charges the slot to every send (including
+  // the first), the one-shot sim charges slot * index; they agree up to
+  // one slot per hop.
+  const TreeMetrics m = computeMetrics(built.tree, points);
+  EXPECT_NEAR(result.firstMessageMaxDelay, sim.maxDelivery,
+              0.05 * m.maxDepth + 1e-9);
+  EXPECT_DOUBLE_EQ(result.firstMessageMaxDelay, result.lastMessageMaxDelay);
+}
+
+TEST(StreamingTest, SustainableTreeHasFlatBacklog) {
+  const auto points = workload(3000, 2);
+  const PolarGridResult built =
+      buildPolarGridTree(points, 0, {.maxOutDegree = 6});
+  StreamOptions stream;
+  stream.messageInterval = 1.0;
+  stream.transmissionTime = 0.1;  // 6 * 0.1 <= 1.0
+  stream.messageCount = 100;
+  const StreamResult result = simulateStream(built.tree, points, stream);
+  EXPECT_TRUE(result.sustainable);
+  EXPECT_NEAR(result.backlogGrowthPerMessage, 0.0, 1e-9);
+  EXPECT_NEAR(result.firstMessageMaxDelay, result.lastMessageMaxDelay, 1e-6);
+}
+
+TEST(StreamingTest, OverSubscribedStarBacklogsLinearly) {
+  // A star on 101 hosts with slot 0.1 needs 10 time units per message but
+  // gets 1: backlog must grow at ~(100 * 0.1 - 1) = 9 per message.
+  const auto points = workload(101, 3);
+  const MulticastTree star = buildStarTree(points, 0);
+  StreamOptions stream;
+  stream.messageInterval = 1.0;
+  stream.transmissionTime = 0.1;
+  stream.messageCount = 50;
+  const StreamResult result = simulateStream(star, points, stream);
+  EXPECT_FALSE(result.sustainable);
+  EXPECT_NEAR(result.bottleneckLoad, 10.0, 1e-12);
+  EXPECT_NEAR(result.backlogGrowthPerMessage, 9.0, 0.1);
+}
+
+TEST(StreamingTest, DegreeCapSetsTheSustainableRate) {
+  // At slot 0.1, a degree-2 tree sustains interval 0.2 where degree 6
+  // cannot — the paper's bandwidth constraint in action.
+  const auto points = workload(2000, 4);
+  const MulticastTree deg2 =
+      buildPolarGridTree(points, 0, {.maxOutDegree = 2}).tree;
+  const MulticastTree deg6 =
+      buildPolarGridTree(points, 0, {.maxOutDegree = 6}).tree;
+  StreamOptions fast;
+  fast.messageInterval = 0.2;
+  fast.transmissionTime = 0.1;
+  fast.messageCount = 60;
+  const StreamResult r2 = simulateStream(deg2, points, fast);
+  const StreamResult r6 = simulateStream(deg6, points, fast);
+  EXPECT_TRUE(r2.sustainable);
+  EXPECT_NEAR(r2.backlogGrowthPerMessage, 0.0, 1e-9);
+  EXPECT_FALSE(r6.sustainable);
+  EXPECT_GT(r6.backlogGrowthPerMessage, 0.05);
+}
+
+TEST(StreamingTest, ChainIsAlwaysSustainableButSlow) {
+  const auto points = workload(300, 5);
+  const MulticastTree chain = buildChainTree(points, 0);
+  StreamOptions stream;
+  stream.messageInterval = 0.11;
+  stream.transmissionTime = 0.1;
+  stream.messageCount = 30;
+  const StreamResult result = simulateStream(chain, points, stream);
+  EXPECT_TRUE(result.sustainable);
+  EXPECT_NEAR(result.backlogGrowthPerMessage, 0.0, 1e-9);
+  // But its end-to-end delay includes ~n slots.
+  EXPECT_GT(result.firstMessageMaxDelay, 299 * 0.1);
+}
+
+TEST(StreamingTest, ValidatesOptions) {
+  const auto points = workload(10, 6);
+  const PolarGridResult built = buildPolarGridTree(points, 0);
+  StreamOptions bad;
+  bad.messageInterval = 0.0;
+  EXPECT_THROW(simulateStream(built.tree, points, bad), InvalidArgument);
+  bad = {};
+  bad.messageCount = 0;
+  EXPECT_THROW(simulateStream(built.tree, points, bad), InvalidArgument);
+  bad = {};
+  bad.transmissionTime = -0.1;
+  EXPECT_THROW(simulateStream(built.tree, points, bad), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace omt

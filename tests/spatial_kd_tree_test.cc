@@ -1,0 +1,153 @@
+#include "omt/spatial/kd_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "omt/baselines/baselines.h"
+#include "omt/random/samplers.h"
+#include "omt/report/stopwatch.h"
+#include "omt/tree/metrics.h"
+#include "omt/tree/validation.h"
+
+namespace omt {
+namespace {
+
+std::vector<Point> workload(std::int64_t n, std::uint64_t seed, int dim = 2) {
+  Rng rng(seed);
+  return sampleDiskWithCenterSource(rng, n, dim);
+}
+
+/// Exhaustive reference for nearestActive.
+NodeId bruteForceNearest(std::span<const Point> points,
+                         std::span<const std::uint8_t> active,
+                         const Point& query, NodeId exclude) {
+  NodeId best = kNoNode;
+  double bestDist = kInf;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (!active[i] || static_cast<NodeId>(i) == exclude) continue;
+    const double d = squaredDistance(points[i], query);
+    if (d < bestDist ||
+        (d == bestDist && static_cast<NodeId>(i) < best)) {
+      bestDist = d;
+      best = static_cast<NodeId>(i);
+    }
+  }
+  return best;
+}
+
+TEST(KdTreeTest, AllInactiveReturnsNoNode) {
+  const auto points = workload(50, 1);
+  const KdTree tree(points);
+  EXPECT_EQ(tree.activeCount(), 0);
+  EXPECT_EQ(tree.nearestActive(Point{0.0, 0.0}), kNoNode);
+}
+
+TEST(KdTreeTest, ActivationBookkeeping) {
+  const auto points = workload(20, 2);
+  KdTree tree(points);
+  tree.setActive(3, true);
+  tree.setActive(7, true);
+  EXPECT_EQ(tree.activeCount(), 2);
+  EXPECT_TRUE(tree.active(3));
+  EXPECT_FALSE(tree.active(4));
+  tree.setActive(3, true);  // idempotent
+  EXPECT_EQ(tree.activeCount(), 2);
+  tree.setActive(3, false);
+  EXPECT_EQ(tree.activeCount(), 1);
+  EXPECT_THROW(tree.setActive(99, true), InvalidArgument);
+}
+
+TEST(KdTreeTest, MatchesBruteForceUnderChurn) {
+  const auto points = workload(400, 3);
+  KdTree tree(points);
+  std::vector<std::uint8_t> active(points.size(), 0);
+  Rng rng(4);
+  for (int step = 0; step < 2000; ++step) {
+    const auto id = static_cast<NodeId>(rng.uniformInt(points.size()));
+    const bool flag = rng.uniform() < 0.6;
+    tree.setActive(id, flag);
+    active[static_cast<std::size_t>(id)] = flag ? 1 : 0;
+    if (step % 10 == 0) {
+      const Point query = sampleUnitBall(rng, 2);
+      EXPECT_EQ(tree.nearestActive(query),
+                bruteForceNearest(points, active, query, kNoNode))
+          << "step " << step;
+    }
+  }
+}
+
+TEST(KdTreeTest, ExcludeParameter) {
+  const std::vector<Point> points{Point{0.0, 0.0}, Point{1.0, 0.0},
+                                  Point{2.0, 0.0}};
+  KdTree tree(points);
+  for (NodeId i = 0; i < 3; ++i) tree.setActive(i, true);
+  EXPECT_EQ(tree.nearestActive(Point{0.1, 0.0}), 0);
+  EXPECT_EQ(tree.nearestActive(Point{0.1, 0.0}, 0), 1);
+}
+
+TEST(KdTreeTest, DuplicatePointsTieBreakById) {
+  const std::vector<Point> points{Point{1.0, 1.0}, Point{1.0, 1.0},
+                                  Point{1.0, 1.0}};
+  KdTree tree(points);
+  for (NodeId i = 0; i < 3; ++i) tree.setActive(i, true);
+  EXPECT_EQ(tree.nearestActive(Point{1.0, 1.0}), 0);
+  tree.setActive(0, false);
+  EXPECT_EQ(tree.nearestActive(Point{1.0, 1.0}), 1);
+}
+
+TEST(KdTreeTest, HigherDimensions) {
+  const auto points = workload(300, 5, 4);
+  KdTree tree(points);
+  std::vector<std::uint8_t> active(points.size(), 0);
+  Rng rng(6);
+  for (NodeId i = 0; i < 150; ++i) {
+    tree.setActive(i, true);
+    active[static_cast<std::size_t>(i)] = 1;
+  }
+  for (int q = 0; q < 100; ++q) {
+    const Point query = sampleUnitBall(rng, 4);
+    EXPECT_EQ(tree.nearestActive(query),
+              bruteForceNearest(points, active, query, kNoNode));
+  }
+}
+
+TEST(NearestParentFastTest, MatchesQuadraticVersionOnRandomInput) {
+  const auto points = workload(2000, 7);
+  for (const int degree : {2, 6}) {
+    const MulticastTree slow = buildNearestParentTree(points, 0, degree);
+    const MulticastTree fast = buildNearestParentTreeFast(points, 0, degree);
+    for (NodeId v = 0; v < slow.size(); ++v) {
+      EXPECT_EQ(fast.parentOf(v), slow.parentOf(v)) << "v=" << v;
+    }
+  }
+}
+
+TEST(NearestParentFastTest, ValidAtLargerScale) {
+  const auto points = workload(100000, 8);
+  Stopwatch watch;
+  const MulticastTree tree = buildNearestParentTreeFast(points, 0, 6);
+  // Generous to survive sanitizer + contended-CI runs; an O(n^2)
+  // regression at n = 100,000 would still take minutes.
+  EXPECT_LT(watch.seconds(), 30.0);
+  const ValidationResult valid = validate(tree, {.maxOutDegree = 6});
+  EXPECT_TRUE(valid.ok) << valid.message;
+}
+
+TEST(NearestParentFastTest, DuplicateHeavyInput) {
+  std::vector<Point> points(500, Point{0.5, 0.5});
+  points[0] = Point{0.0, 0.0};
+  points.push_back(Point{1.0, 0.0});
+  const MulticastTree tree = buildNearestParentTreeFast(points, 0, 2);
+  EXPECT_TRUE(validate(tree, {.maxOutDegree = 2}));
+}
+
+TEST(KdTreeTest, RejectsBadInput) {
+  EXPECT_THROW((KdTree(std::span<const Point>{})), InvalidArgument);
+  const std::vector<Point> mixed{Point{0.0, 0.0}, Point{0.0, 0.0, 0.0}};
+  EXPECT_THROW((KdTree(mixed)), InvalidArgument);
+  const auto points = workload(5, 9);
+  const KdTree tree(points);
+  EXPECT_THROW(tree.nearestActive(Point{0.0, 0.0, 0.0}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace omt

@@ -1,0 +1,139 @@
+#include "omt/tree/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace omt {
+namespace {
+
+// A small fixed tree on the plane:
+//        0 (0,0)
+//   core/     \local
+//   1 (1,0)   2 (0,2)
+//   core|
+//   3 (1,1)
+//  local|
+//   4 (1,3)
+struct Fixture {
+  std::vector<Point> points{Point{0.0, 0.0}, Point{1.0, 0.0}, Point{0.0, 2.0},
+                            Point{1.0, 1.0}, Point{1.0, 3.0}};
+  MulticastTree tree{5, 0};
+
+  Fixture() {
+    tree.attach(1, 0, EdgeKind::kCore);
+    tree.attach(2, 0, EdgeKind::kLocal);
+    tree.attach(3, 1, EdgeKind::kCore);
+    tree.attach(4, 3, EdgeKind::kLocal);
+    tree.finalize();
+  }
+};
+
+TEST(MetricsTest, ComputeDelays) {
+  const Fixture f;
+  const auto delay = computeDelays(f.tree, f.points);
+  EXPECT_DOUBLE_EQ(delay[0], 0.0);
+  EXPECT_DOUBLE_EQ(delay[1], 1.0);
+  EXPECT_DOUBLE_EQ(delay[2], 2.0);
+  EXPECT_DOUBLE_EQ(delay[3], 2.0);  // 1 + 1
+  EXPECT_DOUBLE_EQ(delay[4], 4.0);  // 1 + 1 + 2
+}
+
+TEST(MetricsTest, ComputeDepths) {
+  const Fixture f;
+  const auto depth = computeDepths(f.tree);
+  EXPECT_EQ(depth[0], 0);
+  EXPECT_EQ(depth[1], 1);
+  EXPECT_EQ(depth[2], 1);
+  EXPECT_EQ(depth[3], 2);
+  EXPECT_EQ(depth[4], 3);
+}
+
+TEST(MetricsTest, ComputeMetricsAggregates) {
+  const Fixture f;
+  const TreeMetrics m = computeMetrics(f.tree, f.points);
+  EXPECT_DOUBLE_EQ(m.maxDelay, 4.0);
+  // Core-only root paths: 0->1 (1.0) and 0->1->3 (2.0); node 2 and 4 hang
+  // off local edges.
+  EXPECT_DOUBLE_EQ(m.coreDelay, 2.0);
+  EXPECT_DOUBLE_EQ(m.meanDelay, (1.0 + 2.0 + 2.0 + 4.0) / 4.0);
+  EXPECT_DOUBLE_EQ(m.totalLength, 1.0 + 2.0 + 1.0 + 2.0);
+  EXPECT_EQ(m.maxDepth, 3);
+  EXPECT_EQ(m.maxOutDegree, 2);
+  EXPECT_EQ(m.nodeCount, 5);
+  // Stretches: node 2 -> 1, node 3 -> 2/sqrt(2), node 4 -> 4/sqrt(10);
+  // node 3 dominates.
+  EXPECT_NEAR(m.maxStretch, 2.0 / std::sqrt(2.0), 1e-12);
+  ASSERT_EQ(m.degreeHistogram.size(), 3u);
+  EXPECT_EQ(m.degreeHistogram[0], 2);  // nodes 2 and 4
+  EXPECT_EQ(m.degreeHistogram[1], 2);  // nodes 1 and 3
+  EXPECT_EQ(m.degreeHistogram[2], 1);  // node 0
+}
+
+TEST(MetricsTest, CoreDelayStopsAtFirstLocalEdge) {
+  // core -> local -> core: the trailing core edge must NOT count.
+  std::vector<Point> points{Point{0.0, 0.0}, Point{1.0, 0.0},
+                            Point{2.0, 0.0}, Point{3.0, 0.0}};
+  MulticastTree tree(4, 0);
+  tree.attach(1, 0, EdgeKind::kCore);
+  tree.attach(2, 1, EdgeKind::kLocal);
+  tree.attach(3, 2, EdgeKind::kCore);
+  tree.finalize();
+  const TreeMetrics m = computeMetrics(tree, points);
+  EXPECT_DOUBLE_EQ(m.coreDelay, 1.0);
+  EXPECT_DOUBLE_EQ(m.maxDelay, 3.0);
+}
+
+TEST(MetricsTest, SingleNode) {
+  const std::vector<Point> points{Point{0.0, 0.0}};
+  MulticastTree tree(1, 0);
+  tree.finalize();
+  const TreeMetrics m = computeMetrics(tree, points);
+  EXPECT_DOUBLE_EQ(m.maxDelay, 0.0);
+  EXPECT_DOUBLE_EQ(m.meanDelay, 0.0);
+  EXPECT_DOUBLE_EQ(diameter(tree, points), 0.0);
+}
+
+TEST(MetricsTest, DiameterOfChain) {
+  std::vector<Point> points{Point{0.0, 0.0}, Point{1.0, 0.0},
+                            Point{2.0, 0.0}, Point{3.0, 0.0}};
+  MulticastTree tree(4, 1);  // rooted mid-chain
+  tree.attach(0, 1, EdgeKind::kLocal);
+  tree.attach(2, 1, EdgeKind::kLocal);
+  tree.attach(3, 2, EdgeKind::kLocal);
+  tree.finalize();
+  EXPECT_DOUBLE_EQ(diameter(tree, points), 3.0);
+}
+
+TEST(MetricsTest, DiameterOfStarIsTwiceTheLongestArms) {
+  std::vector<Point> points{Point{0.0, 0.0}, Point{2.0, 0.0},
+                            Point{0.0, 3.0}, Point{-1.0, 0.0}};
+  MulticastTree tree(4, 0);
+  for (NodeId v = 1; v < 4; ++v) tree.attach(v, 0, EdgeKind::kLocal);
+  tree.finalize();
+  EXPECT_DOUBLE_EQ(diameter(tree, points), 5.0);  // 2 + 3 via the center
+}
+
+TEST(MetricsTest, DiameterCanExceedTwiceTheRadiusNever) {
+  const Fixture f;
+  const TreeMetrics m = computeMetrics(f.tree, f.points);
+  EXPECT_LE(diameter(f.tree, f.points), 2.0 * m.maxDelay + 1e-12);
+  EXPECT_GE(diameter(f.tree, f.points), m.maxDelay - 1e-12);
+}
+
+TEST(MetricsTest, RejectsSizeMismatch) {
+  const Fixture f;
+  const std::vector<Point> fewer(f.points.begin(), f.points.end() - 1);
+  EXPECT_THROW(computeMetrics(f.tree, fewer), InvalidArgument);
+  EXPECT_THROW(computeDelays(f.tree, fewer), InvalidArgument);
+}
+
+TEST(MetricsTest, RejectsUnfinalized) {
+  MulticastTree tree(2, 0);
+  tree.attach(1, 0, EdgeKind::kLocal);
+  const std::vector<Point> points{Point{0.0, 0.0}, Point{1.0, 0.0}};
+  EXPECT_THROW(computeMetrics(tree, points), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace omt

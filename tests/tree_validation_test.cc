@@ -1,0 +1,73 @@
+#include "omt/tree/validation.h"
+
+#include <gtest/gtest.h>
+
+namespace omt {
+namespace {
+
+MulticastTree makeValidTree() {
+  MulticastTree tree(5, 0);
+  tree.attach(1, 0, EdgeKind::kCore);
+  tree.attach(2, 0, EdgeKind::kLocal);
+  tree.attach(3, 1, EdgeKind::kLocal);
+  tree.attach(4, 1, EdgeKind::kLocal);
+  tree.finalize();
+  return tree;
+}
+
+TEST(ValidationTest, AcceptsValidTree) {
+  const MulticastTree tree = makeValidTree();
+  const ValidationResult result = validate(tree);
+  EXPECT_TRUE(result.ok);
+  EXPECT_TRUE(result.message.empty());
+  EXPECT_TRUE(static_cast<bool>(result));
+}
+
+TEST(ValidationTest, EnforcesDegreeCap) {
+  const MulticastTree tree = makeValidTree();
+  EXPECT_TRUE(validate(tree, {.maxOutDegree = 2}));
+  const ValidationResult tight = validate(tree, {.maxOutDegree = 1});
+  EXPECT_FALSE(tight.ok);
+  EXPECT_NE(tight.message.find("out-degree"), std::string::npos);
+}
+
+TEST(ValidationTest, NegativeCapDisablesDegreeCheck) {
+  const MulticastTree tree = makeValidTree();
+  EXPECT_TRUE(validate(tree, {.maxOutDegree = -1}));
+}
+
+TEST(ValidationTest, RejectsUnfinalizedTree) {
+  MulticastTree tree(2, 0);
+  tree.attach(1, 0, EdgeKind::kLocal);
+  const ValidationResult result = validate(tree);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.message.find("finalized"), std::string::npos);
+}
+
+TEST(ValidationTest, DetectsCycle) {
+  MulticastTree tree(4, 0);
+  tree.attach(1, 0, EdgeKind::kLocal);
+  tree.attach(2, 3, EdgeKind::kLocal);
+  tree.attach(3, 2, EdgeKind::kLocal);
+  tree.finalize();
+  const ValidationResult result = validate(tree);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.message.find("cycle"), std::string::npos);
+}
+
+TEST(ValidationTest, SingleNode) {
+  MulticastTree tree(1, 0);
+  tree.finalize();
+  EXPECT_TRUE(validate(tree, {.maxOutDegree = 0}));
+}
+
+TEST(ValidationTest, StarHitsDegreeCap) {
+  MulticastTree tree(5, 0);
+  for (NodeId v = 1; v < 5; ++v) tree.attach(v, 0, EdgeKind::kLocal);
+  tree.finalize();
+  EXPECT_TRUE(validate(tree, {.maxOutDegree = 4}));
+  EXPECT_FALSE(validate(tree, {.maxOutDegree = 3}));
+}
+
+}  // namespace
+}  // namespace omt

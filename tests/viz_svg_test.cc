@@ -1,0 +1,123 @@
+#include "omt/viz/svg.h"
+
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "omt/core/polar_grid_tree.h"
+#include "omt/random/samplers.h"
+
+namespace omt {
+namespace {
+
+struct Fixture {
+  std::vector<Point> points;
+  PolarGridResult built;
+
+  explicit Fixture(std::int64_t n)
+      : points([&] {
+          Rng rng(9);
+          return sampleDiskWithCenterSource(rng, n, 2);
+        }()),
+        built(buildPolarGridTree(points, 0)) {}
+};
+
+int countOccurrences(const std::string& haystack, const std::string& needle) {
+  int count = 0;
+  std::size_t pos = 0;
+  while ((pos = haystack.find(needle, pos)) != std::string::npos) {
+    ++count;
+    pos += needle.size();
+  }
+  return count;
+}
+
+TEST(SvgTest, PointsOnlyDocument) {
+  const std::vector<Point> points{Point{0.0, 0.0}, Point{1.0, 1.0}};
+  std::ostringstream out;
+  renderSvg(out, points, nullptr, nullptr);
+  const std::string svg = out.str();
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_EQ(countOccurrences(svg, "<circle"), 2);
+  EXPECT_EQ(countOccurrences(svg, "<line"), 0);
+}
+
+TEST(SvgTest, TreeEdgesAndKindsRendered) {
+  const Fixture f(200);
+  std::ostringstream out;
+  renderSvg(out, f.points, &f.built.tree, nullptr);
+  const std::string svg = out.str();
+  // n - 1 edges, each a <line>; both edge colours appear.
+  EXPECT_EQ(countOccurrences(svg, "<line"), 199);
+  EXPECT_GT(countOccurrences(svg, "#d62728"), 0);  // core
+  EXPECT_GT(countOccurrences(svg, "#1f77b4"), 0);  // local
+  // Source dot highlighted.
+  EXPECT_GT(countOccurrences(svg, "#2ca02c"), 0);
+}
+
+TEST(SvgTest, GridRingsRendered) {
+  const Fixture f(500);
+  std::ostringstream out;
+  renderSvg(out, f.points, &f.built.tree, &f.built.grid);
+  const std::string svg = out.str();
+  // rings + 1 boundary circles plus one dot per host.
+  EXPECT_EQ(countOccurrences(svg, "<circle"),
+            static_cast<int>(f.points.size()) + f.built.rings() + 1);
+  // Cell rays: sum over rings of 2^i lines, plus the n - 1 tree edges.
+  int rays = 0;
+  for (int i = 1; i <= f.built.rings(); ++i) rays += 1 << i;
+  EXPECT_EQ(countOccurrences(svg, "<line"),
+            rays + static_cast<int>(f.points.size()) - 1);
+}
+
+TEST(SvgTest, OptionsToggleLayers) {
+  const Fixture f(100);
+  SvgOptions options;
+  options.drawEdges = false;
+  options.drawPoints = false;
+  options.drawGrid = false;
+  std::ostringstream out;
+  renderSvg(out, f.points, &f.built.tree, &f.built.grid, options);
+  const std::string svg = out.str();
+  EXPECT_EQ(countOccurrences(svg, "<line"), 0);
+  EXPECT_EQ(countOccurrences(svg, "<circle"), 0);
+}
+
+TEST(SvgTest, FileOutput) {
+  const Fixture f(50);
+  const std::string path = ::testing::TempDir() + "/omt_viz_test.svg";
+  renderSvgFile(path, f.points, &f.built.tree, &f.built.grid);
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("</svg>"), std::string::npos);
+}
+
+TEST(SvgTest, Validation) {
+  const std::vector<Point> points3d{Point{0.0, 0.0, 0.0}};
+  std::ostringstream out;
+  EXPECT_THROW(renderSvg(out, points3d, nullptr, nullptr), InvalidArgument);
+  EXPECT_THROW(renderSvg(out, {}, nullptr, nullptr), InvalidArgument);
+
+  const Fixture f(10);
+  SvgOptions bad;
+  bad.sizePixels = 4;
+  EXPECT_THROW(renderSvg(out, f.points, nullptr, nullptr, bad),
+               InvalidArgument);
+  bad = {};
+  bad.margin = 0.7;
+  EXPECT_THROW(renderSvg(out, f.points, nullptr, nullptr, bad),
+               InvalidArgument);
+
+  const std::vector<Point> fewer(f.points.begin(), f.points.end() - 1);
+  EXPECT_THROW(renderSvg(out, fewer, &f.built.tree, nullptr),
+               InvalidArgument);
+  EXPECT_THROW(renderSvgFile("/nonexistent-dir/x.svg", f.points, nullptr,
+                             nullptr),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace omt

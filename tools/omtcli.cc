@@ -1,0 +1,258 @@
+// omtcli — command-line front end for the omt library.
+//
+//   omtcli generate --n 10000 [--dim 2] [--region disk|square|clustered]
+//                   [--seed 42] --out points.txt
+//   omtcli build    --points points.txt [--algo polar|bisection|greedy|
+//                   nearest|star|chain] [--degree 6] [--source 0]
+//                   [--out tree.txt]
+//   omtcli metrics  --points points.txt --tree tree.txt [--degree D]
+//   omtcli simulate --points points.txt --tree tree.txt
+//                   [--serialization 0.01] [--overhead 0]
+//                   [--order tree|nearest|farthest|deepest]
+//   omtcli render   --points points.txt [--tree tree.txt] [--grid 1]
+//                   [--size 800] --out figure.svg
+//
+// Every command prints a short human-readable report to stdout; failures
+// (malformed files, invalid trees) exit non-zero with a message on stderr.
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "omt/baselines/baselines.h"
+#include "omt/bisection/bisection.h"
+#include "omt/core/bounds.h"
+#include "omt/core/polar_grid_tree.h"
+#include "omt/grid/assignment.h"
+#include "omt/io/serialization.h"
+#include "omt/random/samplers.h"
+#include "omt/report/table.h"
+#include "omt/sim/multicast_sim.h"
+#include "omt/tree/metrics.h"
+#include "omt/tree/validation.h"
+#include "omt/viz/svg.h"
+
+namespace {
+
+using namespace omt;
+
+class Flags {
+ public:
+  Flags(int argc, char** argv, int firstFlag) {
+    for (int i = firstFlag; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0 || i + 1 >= argc) {
+        throw InvalidArgument("expected --flag value pairs, got '" + key +
+                              "'");
+      }
+      values_[key.substr(2)] = argv[++i];
+    }
+  }
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  std::string require(const std::string& key) const {
+    const auto it = values_.find(key);
+    OMT_CHECK(it != values_.end(), "missing required flag --" + key);
+    return it->second;
+  }
+  std::int64_t getInt(const std::string& key, std::int64_t fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stoll(it->second);
+  }
+  double getDouble(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int cmdGenerate(const Flags& flags) {
+  const std::int64_t n = flags.getInt("n", 10000);
+  const int dim = static_cast<int>(flags.getInt("dim", 2));
+  const std::string region = flags.get("region", "disk");
+  Rng rng(static_cast<std::uint64_t>(flags.getInt("seed", 42)));
+
+  std::vector<Point> points;
+  if (region == "disk") {
+    points = sampleDiskWithCenterSource(rng, n, dim);
+  } else if (region == "square") {
+    Point lo(dim);
+    Point hi(dim);
+    for (int c = 0; c < dim; ++c) {
+      lo[c] = -1.0;
+      hi[c] = 1.0;
+    }
+    points = sampleRegion(rng, n, Box(lo, hi));
+    points[0] = Point(dim);
+  } else if (region == "clustered") {
+    const Ball ball(Point(dim), 1.0);
+    points = sampleClustered(rng, n, ball,
+                             static_cast<int>(flags.getInt("clusters", 6)),
+                             flags.getDouble("fraction", 0.7),
+                             flags.getDouble("spread", 0.08));
+    points[0] = Point(dim);
+  } else {
+    throw InvalidArgument("unknown region '" + region + "'");
+  }
+  savePointsFile(flags.require("out"), points);
+  std::cout << "wrote " << points.size() << " " << dim
+            << "-dimensional points (" << region << ") to "
+            << flags.require("out") << "\n";
+  return 0;
+}
+
+int cmdBuild(const Flags& flags) {
+  const auto points = loadPointsFile(flags.require("points"));
+  const std::string algo = flags.get("algo", "polar");
+  const int degree = static_cast<int>(flags.getInt("degree", 6));
+  const NodeId source = flags.getInt("source", 0);
+  Rng rng(static_cast<std::uint64_t>(flags.getInt("seed", 42)));
+
+  std::optional<MulticastTree> tree;
+  double bound = 0.0;
+  if (algo == "polar") {
+    auto result =
+        buildPolarGridTree(points, source, {.maxOutDegree = degree});
+    bound = result.upperBound;
+    tree.emplace(std::move(result.tree));
+  } else if (algo == "bisection") {
+    auto result =
+        buildBisectionTree(points, source, {.maxOutDegree = degree});
+    bound = result.pathBound;
+    tree.emplace(std::move(result.tree));
+  } else if (algo == "greedy") {
+    tree.emplace(buildGreedyInsertionTree(points, source, degree));
+  } else if (algo == "nearest") {
+    tree.emplace(buildNearestParentTree(points, source, degree));
+  } else if (algo == "star") {
+    tree.emplace(buildStarTree(points, source));
+  } else if (algo == "chain") {
+    tree.emplace(buildChainTree(points, source));
+  } else {
+    throw InvalidArgument("unknown algorithm '" + algo + "'");
+  }
+
+  const TreeMetrics m = computeMetrics(*tree, points);
+  std::cout << "algorithm:    " << algo << "\n"
+            << "hosts:        " << points.size() << "\n"
+            << "max delay:    " << m.maxDelay << "\n"
+            << "lower bound:  " << radiusLowerBound(points, source) << "\n";
+  if (bound > 0.0) std::cout << "analytic UB:  " << bound << "\n";
+  std::cout << "max degree:   " << m.maxOutDegree << "\n"
+            << "max depth:    " << m.maxDepth << "\n";
+  if (const std::string out = flags.get("out", ""); !out.empty()) {
+    saveTreeFile(out, *tree);
+    std::cout << "tree written to " << out << "\n";
+  }
+  return 0;
+}
+
+int cmdMetrics(const Flags& flags) {
+  const auto points = loadPointsFile(flags.require("points"));
+  const MulticastTree tree = loadTreeFile(flags.require("tree"));
+  OMT_CHECK(tree.size() == static_cast<NodeId>(points.size()),
+            "tree and point set sizes differ");
+  const auto cap = flags.getInt("degree", -1);
+  const ValidationResult valid = validate(tree, {.maxOutDegree = cap});
+  if (!valid) {
+    std::cerr << "INVALID tree: " << valid.message << "\n";
+    return 1;
+  }
+  const TreeMetrics m = computeMetrics(tree, points);
+  TextTable table({"metric", "value"});
+  table.addRow({"max delay (radius)", TextTable::num(m.maxDelay, 6)});
+  table.addRow({"core delay", TextTable::num(m.coreDelay, 6)});
+  table.addRow({"mean delay", TextTable::num(m.meanDelay, 6)});
+  table.addRow({"diameter", TextTable::num(diameter(tree, points), 6)});
+  table.addRow({"total link length", TextTable::num(m.totalLength, 6)});
+  table.addRow({"max stretch", TextTable::num(m.maxStretch, 4)});
+  table.addRow({"max depth", std::to_string(m.maxDepth)});
+  table.addRow({"max out-degree", std::to_string(m.maxOutDegree)});
+  std::cout << table.str();
+  return 0;
+}
+
+int cmdSimulate(const Flags& flags) {
+  const auto points = loadPointsFile(flags.require("points"));
+  const MulticastTree tree = loadTreeFile(flags.require("tree"));
+  OMT_CHECK(tree.size() == static_cast<NodeId>(points.size()),
+            "tree and point set sizes differ");
+  SimOptions options;
+  options.serializationInterval = flags.getDouble("serialization", 0.0);
+  options.perHopOverhead = flags.getDouble("overhead", 0.0);
+  if (options.serializationInterval > 0.0)
+    options.model = TransmissionModel::kSerialized;
+  const std::string order = flags.get("order", "tree");
+  if (order == "nearest") options.childOrder = ChildOrder::kNearestFirst;
+  else if (order == "farthest") options.childOrder = ChildOrder::kFarthestFirst;
+  else if (order == "deepest") options.childOrder = ChildOrder::kDeepestFirst;
+  else OMT_CHECK(order == "tree", "unknown child order '" + order + "'");
+
+  const SimResult sim = simulateMulticast(tree, points, options);
+  std::cout << "model:          "
+            << (options.model == TransmissionModel::kParallel ? "parallel"
+                                                              : "serialized")
+            << "\nreached:        " << sim.reached << " / " << tree.size()
+            << "\nworst delivery: " << sim.maxDelivery
+            << "\nmean delivery:  " << sim.meanDelivery
+            << "\nmessages:       " << sim.messagesSent << "\n";
+  return 0;
+}
+
+int cmdRender(const Flags& flags) {
+  const auto points = loadPointsFile(flags.require("points"));
+  std::optional<MulticastTree> tree;
+  if (const std::string treePath = flags.get("tree", ""); !treePath.empty()) {
+    tree.emplace(loadTreeFile(treePath));
+    OMT_CHECK(tree->size() == static_cast<NodeId>(points.size()),
+              "tree and point set sizes differ");
+  }
+  std::optional<PolarGrid> grid;
+  if (flags.getInt("grid", 0) != 0) {
+    const NodeId source = tree ? tree->root() : 0;
+    const GridAssignment assignment = assignToGrid(points, source);
+    grid.emplace(assignment.grid);
+  }
+  SvgOptions options;
+  options.sizePixels = static_cast<int>(flags.getInt("size", 800));
+  const std::string out = flags.require("out");
+  renderSvgFile(out, points, tree ? &*tree : nullptr,
+                grid ? &*grid : nullptr, options);
+  std::cout << "wrote " << out << " (" << points.size() << " hosts"
+            << (tree ? ", tree" : "") << (grid ? ", grid" : "") << ")\n";
+  return 0;
+}
+
+int run(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: omtcli <generate|build|metrics|simulate|render> --flag "
+                 "value ...\n";
+    return 2;
+  }
+  const std::string command = argv[1];
+  const Flags flags(argc, argv, 2);
+  if (command == "generate") return cmdGenerate(flags);
+  if (command == "build") return cmdBuild(flags);
+  if (command == "metrics") return cmdMetrics(flags);
+  if (command == "simulate") return cmdSimulate(flags);
+  if (command == "render") return cmdRender(flags);
+  std::cerr << "unknown command '" << command << "'\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
