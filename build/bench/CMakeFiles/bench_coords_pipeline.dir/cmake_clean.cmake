@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_coords_pipeline.dir/bench_coords_pipeline.cc.o"
+  "CMakeFiles/bench_coords_pipeline.dir/bench_coords_pipeline.cc.o.d"
+  "bench_coords_pipeline"
+  "bench_coords_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_coords_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

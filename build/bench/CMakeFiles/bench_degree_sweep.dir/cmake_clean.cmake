@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_degree_sweep.dir/bench_degree_sweep.cc.o"
+  "CMakeFiles/bench_degree_sweep.dir/bench_degree_sweep.cc.o.d"
+  "bench_degree_sweep"
+  "bench_degree_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_degree_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_diameter.dir/bench_diameter.cc.o"
+  "CMakeFiles/bench_diameter.dir/bench_diameter.cc.o.d"
+  "bench_diameter"
+  "bench_diameter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_diameter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

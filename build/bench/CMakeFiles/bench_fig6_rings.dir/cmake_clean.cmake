@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_rings.dir/bench_fig6_rings.cc.o"
+  "CMakeFiles/bench_fig6_rings.dir/bench_fig6_rings.cc.o.d"
+  "bench_fig6_rings"
+  "bench_fig6_rings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_rings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

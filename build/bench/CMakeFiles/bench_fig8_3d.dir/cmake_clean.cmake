@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_3d.dir/bench_fig8_3d.cc.o"
+  "CMakeFiles/bench_fig8_3d.dir/bench_fig8_3d.cc.o.d"
+  "bench_fig8_3d"
+  "bench_fig8_3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

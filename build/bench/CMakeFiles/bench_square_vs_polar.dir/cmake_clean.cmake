@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_square_vs_polar.dir/bench_square_vs_polar.cc.o"
+  "CMakeFiles/bench_square_vs_polar.dir/bench_square_vs_polar.cc.o.d"
+  "bench_square_vs_polar"
+  "bench_square_vs_polar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_square_vs_polar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

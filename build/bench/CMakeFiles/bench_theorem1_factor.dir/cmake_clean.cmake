@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theorem1_factor.dir/bench_theorem1_factor.cc.o"
+  "CMakeFiles/bench_theorem1_factor.dir/bench_theorem1_factor.cc.o.d"
+  "bench_theorem1_factor"
+  "bench_theorem1_factor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorem1_factor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coordinates_pipeline.dir/coordinates_pipeline.cpp.o"
+  "CMakeFiles/coordinates_pipeline.dir/coordinates_pipeline.cpp.o.d"
+  "coordinates_pipeline"
+  "coordinates_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coordinates_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

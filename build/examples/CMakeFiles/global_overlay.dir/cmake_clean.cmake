@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/global_overlay.dir/global_overlay.cpp.o"
+  "CMakeFiles/global_overlay.dir/global_overlay.cpp.o.d"
+  "global_overlay"
+  "global_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/global_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_stream_degree2.dir/live_stream_degree2.cpp.o"
+  "CMakeFiles/live_stream_degree2.dir/live_stream_degree2.cpp.o.d"
+  "live_stream_degree2"
+  "live_stream_degree2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_stream_degree2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

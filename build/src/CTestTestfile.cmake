@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("omt/common")
+subdirs("omt/geometry")
+subdirs("omt/random")
+subdirs("omt/tree")
+subdirs("omt/grid")
+subdirs("omt/io")
+subdirs("omt/spatial")
+subdirs("omt/bisection")
+subdirs("omt/core")
+subdirs("omt/baselines")
+subdirs("omt/opt")
+subdirs("omt/coords")
+subdirs("omt/protocol")
+subdirs("omt/sim")
+subdirs("omt/report")
+subdirs("omt/viz")

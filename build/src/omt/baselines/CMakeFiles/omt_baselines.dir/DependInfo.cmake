@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/omt/baselines/baselines.cc" "src/omt/baselines/CMakeFiles/omt_baselines.dir/baselines.cc.o" "gcc" "src/omt/baselines/CMakeFiles/omt_baselines.dir/baselines.cc.o.d"
+  "/root/repo/src/omt/baselines/delaunay.cc" "src/omt/baselines/CMakeFiles/omt_baselines.dir/delaunay.cc.o" "gcc" "src/omt/baselines/CMakeFiles/omt_baselines.dir/delaunay.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/omt/common/CMakeFiles/omt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/omt/geometry/CMakeFiles/omt_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/omt/random/CMakeFiles/omt_random.dir/DependInfo.cmake"
+  "/root/repo/build/src/omt/spatial/CMakeFiles/omt_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/omt/tree/CMakeFiles/omt_tree.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omt_baselines.dir/baselines.cc.o"
+  "CMakeFiles/omt_baselines.dir/baselines.cc.o.d"
+  "CMakeFiles/omt_baselines.dir/delaunay.cc.o"
+  "CMakeFiles/omt_baselines.dir/delaunay.cc.o.d"
+  "libomt_baselines.a"
+  "libomt_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omt_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/omt/bisection/bisection.cc" "src/omt/bisection/CMakeFiles/omt_bisection.dir/bisection.cc.o" "gcc" "src/omt/bisection/CMakeFiles/omt_bisection.dir/bisection.cc.o.d"
+  "/root/repo/src/omt/bisection/square_bisection.cc" "src/omt/bisection/CMakeFiles/omt_bisection.dir/square_bisection.cc.o" "gcc" "src/omt/bisection/CMakeFiles/omt_bisection.dir/square_bisection.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/omt/common/CMakeFiles/omt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/omt/geometry/CMakeFiles/omt_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/omt/tree/CMakeFiles/omt_tree.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

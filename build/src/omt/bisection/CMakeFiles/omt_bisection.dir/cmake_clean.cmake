@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omt_bisection.dir/bisection.cc.o"
+  "CMakeFiles/omt_bisection.dir/bisection.cc.o.d"
+  "CMakeFiles/omt_bisection.dir/square_bisection.cc.o"
+  "CMakeFiles/omt_bisection.dir/square_bisection.cc.o.d"
+  "libomt_bisection.a"
+  "libomt_bisection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omt_bisection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omt_common.dir/error.cc.o"
+  "CMakeFiles/omt_common.dir/error.cc.o.d"
+  "libomt_common.a"
+  "libomt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

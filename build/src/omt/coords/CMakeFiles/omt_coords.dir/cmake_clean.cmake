@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omt_coords.dir/delay_model.cc.o"
+  "CMakeFiles/omt_coords.dir/delay_model.cc.o.d"
+  "CMakeFiles/omt_coords.dir/embedding.cc.o"
+  "CMakeFiles/omt_coords.dir/embedding.cc.o.d"
+  "CMakeFiles/omt_coords.dir/geo.cc.o"
+  "CMakeFiles/omt_coords.dir/geo.cc.o.d"
+  "libomt_coords.a"
+  "libomt_coords.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omt_coords.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

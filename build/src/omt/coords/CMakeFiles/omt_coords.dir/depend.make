@@ -1,0 +1,2 @@
+# Empty dependencies file for omt_coords.
+# This may be replaced when dependencies are built.

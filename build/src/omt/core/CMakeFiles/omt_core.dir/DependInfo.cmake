@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/omt/core/bounds.cc" "src/omt/core/CMakeFiles/omt_core.dir/bounds.cc.o" "gcc" "src/omt/core/CMakeFiles/omt_core.dir/bounds.cc.o.d"
+  "/root/repo/src/omt/core/exact.cc" "src/omt/core/CMakeFiles/omt_core.dir/exact.cc.o" "gcc" "src/omt/core/CMakeFiles/omt_core.dir/exact.cc.o.d"
+  "/root/repo/src/omt/core/lemmas.cc" "src/omt/core/CMakeFiles/omt_core.dir/lemmas.cc.o" "gcc" "src/omt/core/CMakeFiles/omt_core.dir/lemmas.cc.o.d"
+  "/root/repo/src/omt/core/local_search.cc" "src/omt/core/CMakeFiles/omt_core.dir/local_search.cc.o" "gcc" "src/omt/core/CMakeFiles/omt_core.dir/local_search.cc.o.d"
+  "/root/repo/src/omt/core/min_diameter.cc" "src/omt/core/CMakeFiles/omt_core.dir/min_diameter.cc.o" "gcc" "src/omt/core/CMakeFiles/omt_core.dir/min_diameter.cc.o.d"
+  "/root/repo/src/omt/core/polar_grid_tree.cc" "src/omt/core/CMakeFiles/omt_core.dir/polar_grid_tree.cc.o" "gcc" "src/omt/core/CMakeFiles/omt_core.dir/polar_grid_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/omt/common/CMakeFiles/omt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/omt/geometry/CMakeFiles/omt_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/omt/grid/CMakeFiles/omt_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/omt/bisection/CMakeFiles/omt_bisection.dir/DependInfo.cmake"
+  "/root/repo/build/src/omt/random/CMakeFiles/omt_random.dir/DependInfo.cmake"
+  "/root/repo/build/src/omt/spatial/CMakeFiles/omt_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/omt/tree/CMakeFiles/omt_tree.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omt_core.dir/bounds.cc.o"
+  "CMakeFiles/omt_core.dir/bounds.cc.o.d"
+  "CMakeFiles/omt_core.dir/exact.cc.o"
+  "CMakeFiles/omt_core.dir/exact.cc.o.d"
+  "CMakeFiles/omt_core.dir/lemmas.cc.o"
+  "CMakeFiles/omt_core.dir/lemmas.cc.o.d"
+  "CMakeFiles/omt_core.dir/local_search.cc.o"
+  "CMakeFiles/omt_core.dir/local_search.cc.o.d"
+  "CMakeFiles/omt_core.dir/min_diameter.cc.o"
+  "CMakeFiles/omt_core.dir/min_diameter.cc.o.d"
+  "CMakeFiles/omt_core.dir/polar_grid_tree.cc.o"
+  "CMakeFiles/omt_core.dir/polar_grid_tree.cc.o.d"
+  "libomt_core.a"
+  "libomt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

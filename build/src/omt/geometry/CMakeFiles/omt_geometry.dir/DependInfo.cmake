@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/omt/geometry/angular_cube.cc" "src/omt/geometry/CMakeFiles/omt_geometry.dir/angular_cube.cc.o" "gcc" "src/omt/geometry/CMakeFiles/omt_geometry.dir/angular_cube.cc.o.d"
+  "/root/repo/src/omt/geometry/bounding.cc" "src/omt/geometry/CMakeFiles/omt_geometry.dir/bounding.cc.o" "gcc" "src/omt/geometry/CMakeFiles/omt_geometry.dir/bounding.cc.o.d"
+  "/root/repo/src/omt/geometry/enclosing_ball.cc" "src/omt/geometry/CMakeFiles/omt_geometry.dir/enclosing_ball.cc.o" "gcc" "src/omt/geometry/CMakeFiles/omt_geometry.dir/enclosing_ball.cc.o.d"
+  "/root/repo/src/omt/geometry/point.cc" "src/omt/geometry/CMakeFiles/omt_geometry.dir/point.cc.o" "gcc" "src/omt/geometry/CMakeFiles/omt_geometry.dir/point.cc.o.d"
+  "/root/repo/src/omt/geometry/region.cc" "src/omt/geometry/CMakeFiles/omt_geometry.dir/region.cc.o" "gcc" "src/omt/geometry/CMakeFiles/omt_geometry.dir/region.cc.o.d"
+  "/root/repo/src/omt/geometry/ring_segment.cc" "src/omt/geometry/CMakeFiles/omt_geometry.dir/ring_segment.cc.o" "gcc" "src/omt/geometry/CMakeFiles/omt_geometry.dir/ring_segment.cc.o.d"
+  "/root/repo/src/omt/geometry/sin_power_integral.cc" "src/omt/geometry/CMakeFiles/omt_geometry.dir/sin_power_integral.cc.o" "gcc" "src/omt/geometry/CMakeFiles/omt_geometry.dir/sin_power_integral.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/omt/common/CMakeFiles/omt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

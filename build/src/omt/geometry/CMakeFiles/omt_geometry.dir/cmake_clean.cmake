@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omt_geometry.dir/angular_cube.cc.o"
+  "CMakeFiles/omt_geometry.dir/angular_cube.cc.o.d"
+  "CMakeFiles/omt_geometry.dir/bounding.cc.o"
+  "CMakeFiles/omt_geometry.dir/bounding.cc.o.d"
+  "CMakeFiles/omt_geometry.dir/enclosing_ball.cc.o"
+  "CMakeFiles/omt_geometry.dir/enclosing_ball.cc.o.d"
+  "CMakeFiles/omt_geometry.dir/point.cc.o"
+  "CMakeFiles/omt_geometry.dir/point.cc.o.d"
+  "CMakeFiles/omt_geometry.dir/region.cc.o"
+  "CMakeFiles/omt_geometry.dir/region.cc.o.d"
+  "CMakeFiles/omt_geometry.dir/ring_segment.cc.o"
+  "CMakeFiles/omt_geometry.dir/ring_segment.cc.o.d"
+  "CMakeFiles/omt_geometry.dir/sin_power_integral.cc.o"
+  "CMakeFiles/omt_geometry.dir/sin_power_integral.cc.o.d"
+  "libomt_geometry.a"
+  "libomt_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omt_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omt_grid.dir/assignment.cc.o"
+  "CMakeFiles/omt_grid.dir/assignment.cc.o.d"
+  "CMakeFiles/omt_grid.dir/polar_grid.cc.o"
+  "CMakeFiles/omt_grid.dir/polar_grid.cc.o.d"
+  "libomt_grid.a"
+  "libomt_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omt_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omt_io.dir/serialization.cc.o"
+  "CMakeFiles/omt_io.dir/serialization.cc.o.d"
+  "libomt_io.a"
+  "libomt_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omt_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omt_opt.dir/nelder_mead.cc.o"
+  "CMakeFiles/omt_opt.dir/nelder_mead.cc.o.d"
+  "libomt_opt.a"
+  "libomt_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omt_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/omt/protocol/churn.cc" "src/omt/protocol/CMakeFiles/omt_protocol.dir/churn.cc.o" "gcc" "src/omt/protocol/CMakeFiles/omt_protocol.dir/churn.cc.o.d"
+  "/root/repo/src/omt/protocol/overlay_session.cc" "src/omt/protocol/CMakeFiles/omt_protocol.dir/overlay_session.cc.o" "gcc" "src/omt/protocol/CMakeFiles/omt_protocol.dir/overlay_session.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/omt/common/CMakeFiles/omt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/omt/geometry/CMakeFiles/omt_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/omt/grid/CMakeFiles/omt_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/omt/random/CMakeFiles/omt_random.dir/DependInfo.cmake"
+  "/root/repo/build/src/omt/report/CMakeFiles/omt_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/omt/tree/CMakeFiles/omt_tree.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

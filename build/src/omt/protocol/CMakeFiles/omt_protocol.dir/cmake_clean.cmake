@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omt_protocol.dir/churn.cc.o"
+  "CMakeFiles/omt_protocol.dir/churn.cc.o.d"
+  "CMakeFiles/omt_protocol.dir/overlay_session.cc.o"
+  "CMakeFiles/omt_protocol.dir/overlay_session.cc.o.d"
+  "libomt_protocol.a"
+  "libomt_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omt_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omt_random.dir/rng.cc.o"
+  "CMakeFiles/omt_random.dir/rng.cc.o.d"
+  "CMakeFiles/omt_random.dir/samplers.cc.o"
+  "CMakeFiles/omt_random.dir/samplers.cc.o.d"
+  "libomt_random.a"
+  "libomt_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omt_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

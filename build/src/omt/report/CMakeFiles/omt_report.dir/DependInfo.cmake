@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/omt/report/csv.cc" "src/omt/report/CMakeFiles/omt_report.dir/csv.cc.o" "gcc" "src/omt/report/CMakeFiles/omt_report.dir/csv.cc.o.d"
+  "/root/repo/src/omt/report/parallel.cc" "src/omt/report/CMakeFiles/omt_report.dir/parallel.cc.o" "gcc" "src/omt/report/CMakeFiles/omt_report.dir/parallel.cc.o.d"
+  "/root/repo/src/omt/report/stats.cc" "src/omt/report/CMakeFiles/omt_report.dir/stats.cc.o" "gcc" "src/omt/report/CMakeFiles/omt_report.dir/stats.cc.o.d"
+  "/root/repo/src/omt/report/table.cc" "src/omt/report/CMakeFiles/omt_report.dir/table.cc.o" "gcc" "src/omt/report/CMakeFiles/omt_report.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/omt/common/CMakeFiles/omt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omt_report.dir/csv.cc.o"
+  "CMakeFiles/omt_report.dir/csv.cc.o.d"
+  "CMakeFiles/omt_report.dir/parallel.cc.o"
+  "CMakeFiles/omt_report.dir/parallel.cc.o.d"
+  "CMakeFiles/omt_report.dir/stats.cc.o"
+  "CMakeFiles/omt_report.dir/stats.cc.o.d"
+  "CMakeFiles/omt_report.dir/table.cc.o"
+  "CMakeFiles/omt_report.dir/table.cc.o.d"
+  "libomt_report.a"
+  "libomt_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omt_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

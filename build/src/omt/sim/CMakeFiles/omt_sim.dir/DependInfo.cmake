@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/omt/sim/loss.cc" "src/omt/sim/CMakeFiles/omt_sim.dir/loss.cc.o" "gcc" "src/omt/sim/CMakeFiles/omt_sim.dir/loss.cc.o.d"
+  "/root/repo/src/omt/sim/multicast_sim.cc" "src/omt/sim/CMakeFiles/omt_sim.dir/multicast_sim.cc.o" "gcc" "src/omt/sim/CMakeFiles/omt_sim.dir/multicast_sim.cc.o.d"
+  "/root/repo/src/omt/sim/reliability.cc" "src/omt/sim/CMakeFiles/omt_sim.dir/reliability.cc.o" "gcc" "src/omt/sim/CMakeFiles/omt_sim.dir/reliability.cc.o.d"
+  "/root/repo/src/omt/sim/repair.cc" "src/omt/sim/CMakeFiles/omt_sim.dir/repair.cc.o" "gcc" "src/omt/sim/CMakeFiles/omt_sim.dir/repair.cc.o.d"
+  "/root/repo/src/omt/sim/streaming.cc" "src/omt/sim/CMakeFiles/omt_sim.dir/streaming.cc.o" "gcc" "src/omt/sim/CMakeFiles/omt_sim.dir/streaming.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/omt/common/CMakeFiles/omt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/omt/random/CMakeFiles/omt_random.dir/DependInfo.cmake"
+  "/root/repo/build/src/omt/geometry/CMakeFiles/omt_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/omt/tree/CMakeFiles/omt_tree.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

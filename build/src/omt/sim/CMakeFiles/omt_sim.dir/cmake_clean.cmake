@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omt_sim.dir/loss.cc.o"
+  "CMakeFiles/omt_sim.dir/loss.cc.o.d"
+  "CMakeFiles/omt_sim.dir/multicast_sim.cc.o"
+  "CMakeFiles/omt_sim.dir/multicast_sim.cc.o.d"
+  "CMakeFiles/omt_sim.dir/reliability.cc.o"
+  "CMakeFiles/omt_sim.dir/reliability.cc.o.d"
+  "CMakeFiles/omt_sim.dir/repair.cc.o"
+  "CMakeFiles/omt_sim.dir/repair.cc.o.d"
+  "CMakeFiles/omt_sim.dir/streaming.cc.o"
+  "CMakeFiles/omt_sim.dir/streaming.cc.o.d"
+  "libomt_sim.a"
+  "libomt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

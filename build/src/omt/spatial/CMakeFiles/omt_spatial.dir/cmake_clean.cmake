@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omt_spatial.dir/kd_tree.cc.o"
+  "CMakeFiles/omt_spatial.dir/kd_tree.cc.o.d"
+  "libomt_spatial.a"
+  "libomt_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omt_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/omt/tree/metrics.cc" "src/omt/tree/CMakeFiles/omt_tree.dir/metrics.cc.o" "gcc" "src/omt/tree/CMakeFiles/omt_tree.dir/metrics.cc.o.d"
+  "/root/repo/src/omt/tree/multicast_tree.cc" "src/omt/tree/CMakeFiles/omt_tree.dir/multicast_tree.cc.o" "gcc" "src/omt/tree/CMakeFiles/omt_tree.dir/multicast_tree.cc.o.d"
+  "/root/repo/src/omt/tree/validation.cc" "src/omt/tree/CMakeFiles/omt_tree.dir/validation.cc.o" "gcc" "src/omt/tree/CMakeFiles/omt_tree.dir/validation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/omt/common/CMakeFiles/omt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/omt/geometry/CMakeFiles/omt_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

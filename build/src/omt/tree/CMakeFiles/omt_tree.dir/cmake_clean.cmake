@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omt_tree.dir/metrics.cc.o"
+  "CMakeFiles/omt_tree.dir/metrics.cc.o.d"
+  "CMakeFiles/omt_tree.dir/multicast_tree.cc.o"
+  "CMakeFiles/omt_tree.dir/multicast_tree.cc.o.d"
+  "CMakeFiles/omt_tree.dir/validation.cc.o"
+  "CMakeFiles/omt_tree.dir/validation.cc.o.d"
+  "libomt_tree.a"
+  "libomt_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omt_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

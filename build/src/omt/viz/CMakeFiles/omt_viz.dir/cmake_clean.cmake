@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omt_viz.dir/svg.cc.o"
+  "CMakeFiles/omt_viz.dir/svg.cc.o.d"
+  "libomt_viz.a"
+  "libomt_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omt_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

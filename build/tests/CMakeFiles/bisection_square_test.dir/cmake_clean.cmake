@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bisection_square_test.dir/bisection_square_test.cc.o"
+  "CMakeFiles/bisection_square_test.dir/bisection_square_test.cc.o.d"
+  "bisection_square_test"
+  "bisection_square_test.pdb"
+  "bisection_square_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bisection_square_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coords_delay_model_test.dir/coords_delay_model_test.cc.o"
+  "CMakeFiles/coords_delay_model_test.dir/coords_delay_model_test.cc.o.d"
+  "coords_delay_model_test"
+  "coords_delay_model_test.pdb"
+  "coords_delay_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coords_delay_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

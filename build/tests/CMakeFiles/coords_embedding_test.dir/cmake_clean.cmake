@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coords_embedding_test.dir/coords_embedding_test.cc.o"
+  "CMakeFiles/coords_embedding_test.dir/coords_embedding_test.cc.o.d"
+  "coords_embedding_test"
+  "coords_embedding_test.pdb"
+  "coords_embedding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coords_embedding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

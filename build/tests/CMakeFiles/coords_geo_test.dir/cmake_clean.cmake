@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coords_geo_test.dir/coords_geo_test.cc.o"
+  "CMakeFiles/coords_geo_test.dir/coords_geo_test.cc.o.d"
+  "coords_geo_test"
+  "coords_geo_test.pdb"
+  "coords_geo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coords_geo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_exact_test.dir/core_exact_test.cc.o"
+  "CMakeFiles/core_exact_test.dir/core_exact_test.cc.o.d"
+  "core_exact_test"
+  "core_exact_test.pdb"
+  "core_exact_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_exact_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_lemmas_test.dir/core_lemmas_test.cc.o"
+  "CMakeFiles/core_lemmas_test.dir/core_lemmas_test.cc.o.d"
+  "core_lemmas_test"
+  "core_lemmas_test.pdb"
+  "core_lemmas_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_lemmas_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_min_diameter_test.dir/core_min_diameter_test.cc.o"
+  "CMakeFiles/core_min_diameter_test.dir/core_min_diameter_test.cc.o.d"
+  "core_min_diameter_test"
+  "core_min_diameter_test.pdb"
+  "core_min_diameter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_min_diameter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

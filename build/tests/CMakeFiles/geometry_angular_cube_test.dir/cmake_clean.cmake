@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geometry_angular_cube_test.dir/geometry_angular_cube_test.cc.o"
+  "CMakeFiles/geometry_angular_cube_test.dir/geometry_angular_cube_test.cc.o.d"
+  "geometry_angular_cube_test"
+  "geometry_angular_cube_test.pdb"
+  "geometry_angular_cube_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geometry_angular_cube_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/geometry_bounding_test.cc" "tests/CMakeFiles/geometry_bounding_test.dir/geometry_bounding_test.cc.o" "gcc" "tests/CMakeFiles/geometry_bounding_test.dir/geometry_bounding_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/omt/core/CMakeFiles/omt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/omt/bisection/CMakeFiles/omt_bisection.dir/DependInfo.cmake"
+  "/root/repo/build/src/omt/baselines/CMakeFiles/omt_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/omt/io/CMakeFiles/omt_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/omt/spatial/CMakeFiles/omt_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/omt/coords/CMakeFiles/omt_coords.dir/DependInfo.cmake"
+  "/root/repo/build/src/omt/opt/CMakeFiles/omt_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/omt/protocol/CMakeFiles/omt_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/omt/sim/CMakeFiles/omt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/omt/random/CMakeFiles/omt_random.dir/DependInfo.cmake"
+  "/root/repo/build/src/omt/report/CMakeFiles/omt_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/omt/viz/CMakeFiles/omt_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/omt/tree/CMakeFiles/omt_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/omt/grid/CMakeFiles/omt_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/omt/geometry/CMakeFiles/omt_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/omt/common/CMakeFiles/omt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geometry_enclosing_ball_test.dir/geometry_enclosing_ball_test.cc.o"
+  "CMakeFiles/geometry_enclosing_ball_test.dir/geometry_enclosing_ball_test.cc.o.d"
+  "geometry_enclosing_ball_test"
+  "geometry_enclosing_ball_test.pdb"
+  "geometry_enclosing_ball_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geometry_enclosing_ball_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

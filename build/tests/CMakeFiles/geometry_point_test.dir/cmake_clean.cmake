@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geometry_point_test.dir/geometry_point_test.cc.o"
+  "CMakeFiles/geometry_point_test.dir/geometry_point_test.cc.o.d"
+  "geometry_point_test"
+  "geometry_point_test.pdb"
+  "geometry_point_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geometry_point_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geometry_region_test.dir/geometry_region_test.cc.o"
+  "CMakeFiles/geometry_region_test.dir/geometry_region_test.cc.o.d"
+  "geometry_region_test"
+  "geometry_region_test.pdb"
+  "geometry_region_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geometry_region_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geometry_ring_segment_test.dir/geometry_ring_segment_test.cc.o"
+  "CMakeFiles/geometry_ring_segment_test.dir/geometry_ring_segment_test.cc.o.d"
+  "geometry_ring_segment_test"
+  "geometry_ring_segment_test.pdb"
+  "geometry_ring_segment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geometry_ring_segment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geometry_sin_power_test.dir/geometry_sin_power_test.cc.o"
+  "CMakeFiles/geometry_sin_power_test.dir/geometry_sin_power_test.cc.o.d"
+  "geometry_sin_power_test"
+  "geometry_sin_power_test.pdb"
+  "geometry_sin_power_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geometry_sin_power_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

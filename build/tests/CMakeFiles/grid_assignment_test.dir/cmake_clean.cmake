@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_assignment_test.dir/grid_assignment_test.cc.o"
+  "CMakeFiles/grid_assignment_test.dir/grid_assignment_test.cc.o.d"
+  "grid_assignment_test"
+  "grid_assignment_test.pdb"
+  "grid_assignment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_assignment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_polar_grid_test.dir/grid_polar_grid_test.cc.o"
+  "CMakeFiles/grid_polar_grid_test.dir/grid_polar_grid_test.cc.o.d"
+  "grid_polar_grid_test"
+  "grid_polar_grid_test.pdb"
+  "grid_polar_grid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_polar_grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_serialization_test.dir/io_serialization_test.cc.o"
+  "CMakeFiles/io_serialization_test.dir/io_serialization_test.cc.o.d"
+  "io_serialization_test"
+  "io_serialization_test.pdb"
+  "io_serialization_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_serialization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_churn_test.dir/protocol_churn_test.cc.o"
+  "CMakeFiles/protocol_churn_test.dir/protocol_churn_test.cc.o.d"
+  "protocol_churn_test"
+  "protocol_churn_test.pdb"
+  "protocol_churn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_churn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

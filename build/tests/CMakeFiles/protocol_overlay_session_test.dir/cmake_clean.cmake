@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_overlay_session_test.dir/protocol_overlay_session_test.cc.o"
+  "CMakeFiles/protocol_overlay_session_test.dir/protocol_overlay_session_test.cc.o.d"
+  "protocol_overlay_session_test"
+  "protocol_overlay_session_test.pdb"
+  "protocol_overlay_session_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_overlay_session_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

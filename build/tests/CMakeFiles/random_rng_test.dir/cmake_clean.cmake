@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_rng_test.dir/random_rng_test.cc.o"
+  "CMakeFiles/random_rng_test.dir/random_rng_test.cc.o.d"
+  "random_rng_test"
+  "random_rng_test.pdb"
+  "random_rng_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_rng_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

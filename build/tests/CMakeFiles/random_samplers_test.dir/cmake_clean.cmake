@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_samplers_test.dir/random_samplers_test.cc.o"
+  "CMakeFiles/random_samplers_test.dir/random_samplers_test.cc.o.d"
+  "random_samplers_test"
+  "random_samplers_test.pdb"
+  "random_samplers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_samplers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

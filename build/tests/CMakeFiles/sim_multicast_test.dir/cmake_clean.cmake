@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_multicast_test.dir/sim_multicast_test.cc.o"
+  "CMakeFiles/sim_multicast_test.dir/sim_multicast_test.cc.o.d"
+  "sim_multicast_test"
+  "sim_multicast_test.pdb"
+  "sim_multicast_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_multicast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_reliability_test.dir/sim_reliability_test.cc.o"
+  "CMakeFiles/sim_reliability_test.dir/sim_reliability_test.cc.o.d"
+  "sim_reliability_test"
+  "sim_reliability_test.pdb"
+  "sim_reliability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_reliability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

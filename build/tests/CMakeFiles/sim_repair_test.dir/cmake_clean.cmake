@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_repair_test.dir/sim_repair_test.cc.o"
+  "CMakeFiles/sim_repair_test.dir/sim_repair_test.cc.o.d"
+  "sim_repair_test"
+  "sim_repair_test.pdb"
+  "sim_repair_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_repair_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_streaming_test.dir/sim_streaming_test.cc.o"
+  "CMakeFiles/sim_streaming_test.dir/sim_streaming_test.cc.o.d"
+  "sim_streaming_test"
+  "sim_streaming_test.pdb"
+  "sim_streaming_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_streaming_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

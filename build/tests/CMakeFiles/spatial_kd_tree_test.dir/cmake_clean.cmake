@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spatial_kd_tree_test.dir/spatial_kd_tree_test.cc.o"
+  "CMakeFiles/spatial_kd_tree_test.dir/spatial_kd_tree_test.cc.o.d"
+  "spatial_kd_tree_test"
+  "spatial_kd_tree_test.pdb"
+  "spatial_kd_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spatial_kd_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_metrics_test.dir/tree_metrics_test.cc.o"
+  "CMakeFiles/tree_metrics_test.dir/tree_metrics_test.cc.o.d"
+  "tree_metrics_test"
+  "tree_metrics_test.pdb"
+  "tree_metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

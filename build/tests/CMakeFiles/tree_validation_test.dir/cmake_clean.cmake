@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_validation_test.dir/tree_validation_test.cc.o"
+  "CMakeFiles/tree_validation_test.dir/tree_validation_test.cc.o.d"
+  "tree_validation_test"
+  "tree_validation_test.pdb"
+  "tree_validation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_validation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

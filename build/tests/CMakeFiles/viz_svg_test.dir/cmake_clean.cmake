@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viz_svg_test.dir/viz_svg_test.cc.o"
+  "CMakeFiles/viz_svg_test.dir/viz_svg_test.cc.o.d"
+  "viz_svg_test"
+  "viz_svg_test.pdb"
+  "viz_svg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viz_svg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omtcli.dir/omtcli.cc.o"
+  "CMakeFiles/omtcli.dir/omtcli.cc.o.d"
+  "omtcli"
+  "omtcli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omtcli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
