@@ -1,0 +1,71 @@
+// Chaos drill: a disaster-recovery rehearsal for an overlay session. A
+// seeded fault schedule throws correlated crash bursts, flash crowds, and a
+// lossy control plane at the session while the heartbeat detector finds the
+// bodies and the backup-first repair path re-homes the orphans. Every
+// structural invariant is audited after every injected event; the drill
+// prints what the overlay survived and what the outage actually cost
+// (detection latency, time disconnected, wrongful evictions).
+//
+//   ./chaos_drill [seed] [loss-rate]
+#include <cstdlib>
+#include <iostream>
+
+#include "omt/fault/chaos.h"
+#include "omt/report/table.h"
+
+int main(int argc, char** argv) {
+  using namespace omt;
+  const std::uint64_t seed =
+      argc > 1 ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 42;
+  const double lossRate = argc > 2 ? std::atof(argv[2]) : 0.1;
+
+  ChaosOptions options;
+  options.schedule.duration = 30.0;
+  options.schedule.arrivalRate = 20.0;
+  options.schedule.seed = seed;
+  options.channel.lossRate = lossRate;
+  options.channel.seed = deriveSeed(seed, 1);
+
+  std::cout << "Chaos drill: seed " << seed << ", control-message loss "
+            << TextTable::num(100.0 * lossRate, 0) << "%\n\n";
+  const ChaosResult result = runChaos(options);
+  if (!result.ok) {
+    std::cerr << "invariant violated: " << result.failure << "\n";
+    return 1;
+  }
+
+  TextTable injected({"Injected", "Count"});
+  injected.addRow({"joins", TextTable::count(result.joins)});
+  injected.addRow({"  in flash crowds", TextTable::count(result.flashCrowdJoins)});
+  injected.addRow({"graceful leaves", TextTable::count(result.leaves)});
+  injected.addRow({"silent crashes", TextTable::count(result.crashes)});
+  injected.addRow({"  from regional bursts", TextTable::count(result.crashBursts)});
+  injected.addRow({"leaves gone dark", TextTable::count(result.silentLeaves)});
+  injected.addRow({"operation retries", TextTable::count(result.operationRetries)});
+  std::cout << injected.str() << "\n";
+
+  TextTable recovery({"Recovery", "Value"});
+  recovery.addRow({"invariant audits (all clean)",
+                   TextTable::count(result.invariantChecks)});
+  recovery.addRow({"local repairs", TextTable::count(result.repairs)});
+  recovery.addRow({"orphans re-homed", TextTable::count(result.repairedOrphans)});
+  recovery.addRow({"  via backup parent", TextTable::count(result.backupHits)});
+  recovery.addRow({"wrongful evictions healed",
+                   TextTable::count(result.wrongfulMigrations)});
+  recovery.addRow({"detection latency (mean)",
+                   TextTable::num(result.detector.detectionLatency.mean(), 2)});
+  recovery.addRow({"recovery latency (mean)",
+                   TextTable::num(result.recoveryLatency.mean(), 2)});
+  recovery.addRow({"disconnected node-seconds",
+                   TextTable::num(result.disconnectedNodeSeconds, 1)});
+  recovery.addRow({"false positives",
+                   TextTable::count(result.detector.falsePositives)});
+  recovery.addRow({"suspicions reinstated",
+                   TextTable::count(result.detector.reinstatements)});
+  recovery.addRow({"peak live", TextTable::count(result.peakLive)});
+  recovery.addRow({"final live", TextTable::count(result.finalLive)});
+  std::cout << recovery.str()
+            << "\nThe overlay healed: every audit passed and the final tree "
+               "validates.\n";
+  return 0;
+}

@@ -1,0 +1,355 @@
+#include "omt/fault/chaos.h"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "omt/common/error.h"
+#include "omt/fault/invariants.h"
+#include "omt/tree/validation.h"
+
+namespace omt {
+namespace {
+
+/// A join/leave submission travelling over the control channel, re-queued
+/// with its backoff delay when the exchange expires.
+struct PendingOp {
+  double due;
+  std::int64_t seq;  ///< deterministic tie-break for equal due times
+  FaultEventKind kind;
+  std::int64_t entity;
+  int attempt;
+};
+struct OpLater {
+  bool operator()(const PendingOp& a, const PendingOp& b) const {
+    return a.due != b.due ? a.due > b.due : a.seq > b.seq;
+  }
+};
+
+class ChaosRun {
+ public:
+  explicit ChaosRun(const ChaosOptions& options)
+      : options_(options),
+        session_(Point(options.schedule.dim), options.session),
+        channel_(options.channel),
+        detector_(session_, channel_, options.detector,
+                  deriveSeed(options.schedule.seed, 0x64657465ULL)),
+        burstRng_(deriveSeed(options.schedule.seed, 0x6b696c6cULL)) {}
+
+  ChaosResult run();
+
+ private:
+  void advanceTime(double t) {
+    if (t <= now_) return;
+    result_.disconnectedNodeSeconds +=
+        static_cast<double>(gauge_) * (t - now_);
+    now_ = t;
+  }
+
+  /// Invariant audit + disconnection gauge refresh after a mutation.
+  void audit() {
+    if (options_.checkInvariants) {
+      ++result_.invariantChecks;
+      const InvariantReport report = checkSessionInvariants(session_);
+      gauge_ = report.disconnectedLiveHosts;
+      if (!report.ok && result_.ok) {
+        result_.ok = false;
+        result_.failure = report.message;
+      }
+    } else {
+      gauge_ = countDisconnectedLiveHosts(session_);
+    }
+  }
+
+  /// A regrid re-places every live host; refresh their detector state so
+  /// stale leases do not trigger a storm of false suspicions.
+  void retrackAfterRegrid() {
+    if (session_.stats().regrids == regridsSeen_) return;
+    regridsSeen_ = session_.stats().regrids;
+    for (NodeId id = 0; id < session_.hostCount(); ++id) {
+      if (session_.isLive(id)) detector_.track(id, now_);
+    }
+  }
+
+  void recordCrash(NodeId node) {
+    session_.crash(node);
+    const auto index = static_cast<std::size_t>(node);
+    if (crashTime_.size() <= index) crashTime_.resize(index + 1, -1.0);
+    crashTime_[index] = now_;
+    detector_.noteCrash(node, now_);
+    ++result_.crashes;
+  }
+
+  void enqueueOp(FaultEventKind kind, std::int64_t entity, double due,
+                 int attempt) {
+    ops_.push({due, opSeq_++, kind, entity, attempt});
+  }
+
+  void handleEvent(const FaultEvent& event);
+  void handleOp(const PendingOp& op);
+  void handleVerdicts(const std::vector<HeartbeatDetector::Verdict>& verdicts);
+
+  const ChaosOptions& options_;
+  OverlaySession session_;
+  ControlChannel channel_;
+  HeartbeatDetector detector_;
+  Rng burstRng_;
+  ChaosResult result_;
+
+  std::vector<FaultEvent> events_;
+  std::vector<NodeId> entityNode_;       // entity -> session id (or kNoNode)
+  std::vector<std::uint8_t> entityGone_; // entity departed before joining
+  std::vector<Point> entityPosition_;    // entity -> join position
+  std::vector<bool> entityFlash_;
+  std::vector<Point> nodePosition_;      // session id -> position
+  std::vector<double> crashTime_;        // session id -> crash time (or -1)
+  std::priority_queue<PendingOp, std::vector<PendingOp>, OpLater> ops_;
+  std::int64_t opSeq_ = 0;
+  std::int64_t regridsSeen_ = 0;
+  std::int64_t gauge_ = 0;  ///< current disconnected-live-host count
+  double now_ = 0.0;
+};
+
+void ChaosRun::handleEvent(const FaultEvent& event) {
+  switch (event.kind) {
+    case FaultEventKind::kJoin: {
+      const auto e = static_cast<std::size_t>(event.entity);
+      entityPosition_[e] = event.position;
+      entityFlash_[e] = event.flashCrowd;
+      enqueueOp(FaultEventKind::kJoin, event.entity, event.time, 0);
+      break;
+    }
+    case FaultEventKind::kLeave: {
+      const NodeId node = entityNode_[static_cast<std::size_t>(event.entity)];
+      if (node == kNoNode) {
+        // Still in join retries (or the join was dropped): the host gives
+        // up before ever getting in.
+        entityGone_[static_cast<std::size_t>(event.entity)] = 1;
+      } else if (session_.isLive(node)) {
+        enqueueOp(FaultEventKind::kLeave, event.entity, event.time, 0);
+      }
+      break;
+    }
+    case FaultEventKind::kCrash: {
+      const NodeId node = entityNode_[static_cast<std::size_t>(event.entity)];
+      if (node == kNoNode) {
+        entityGone_[static_cast<std::size_t>(event.entity)] = 1;
+      } else if (session_.isLive(node)) {
+        recordCrash(node);
+        audit();
+      }
+      break;
+    }
+    case FaultEventKind::kCrashBurst: {
+      ++result_.crashBursts;
+      bool any = false;
+      const std::int64_t n = session_.hostCount();
+      for (NodeId id = 1; id < n; ++id) {
+        if (!session_.isLive(id)) continue;
+        if (distance(nodePosition_[static_cast<std::size_t>(id)],
+                     event.position) > event.radius)
+          continue;
+        if (burstRng_.uniform() >= event.killProbability) continue;
+        recordCrash(id);
+        any = true;
+      }
+      if (any) audit();
+      break;
+    }
+  }
+}
+
+void ChaosRun::handleOp(const PendingOp& op) {
+  const auto e = static_cast<std::size_t>(op.entity);
+  if (op.kind == FaultEventKind::kJoin) {
+    if (entityGone_[e]) return;  // departed before the join ever landed
+    const ControlChannel::Outcome outcome = channel_.send();
+    if (!outcome.delivered) {
+      if (op.attempt < options_.maxOperationRetries) {
+        ++result_.operationRetries;
+        enqueueOp(op.kind, op.entity, now_ + outcome.elapsed, op.attempt + 1);
+      } else {
+        ++result_.droppedJoins;
+      }
+      return;
+    }
+    const NodeId id = session_.join(entityPosition_[e]);
+    entityNode_[e] = id;
+    if (nodePosition_.size() <= static_cast<std::size_t>(id))
+      nodePosition_.resize(static_cast<std::size_t>(id) + 1);
+    nodePosition_[static_cast<std::size_t>(id)] = entityPosition_[e];
+    detector_.track(id, now_);
+    retrackAfterRegrid();
+    ++result_.joins;
+    if (entityFlash_[e]) ++result_.flashCrowdJoins;
+    result_.peakLive = std::max(result_.peakLive, session_.liveCount());
+    audit();
+    return;
+  }
+
+  // Leave: the node may have crashed (or been burst-killed) while the
+  // goodbye was still retrying.
+  const NodeId node = entityNode_[e];
+  if (node == kNoNode || !session_.isLive(node)) return;
+  const ControlChannel::Outcome outcome = channel_.send();
+  if (!outcome.delivered) {
+    if (op.attempt < options_.maxOperationRetries) {
+      ++result_.operationRetries;
+      enqueueOp(op.kind, op.entity, now_ + outcome.elapsed, op.attempt + 1);
+    } else {
+      // The goodbye never got through: from the overlay's point of view
+      // this host simply went dark.
+      ++result_.silentLeaves;
+      recordCrash(node);
+      audit();
+    }
+    return;
+  }
+  // Children get re-homed by the protocol; refresh their detector state so
+  // their new parents start from a fresh lease.
+  const auto span = session_.childrenOf(node);
+  std::vector<NodeId> children(span.begin(), span.end());
+  session_.leave(node);
+  ++result_.leaves;
+  for (const NodeId child : children) {
+    if (session_.isLive(child)) detector_.track(child, now_);
+  }
+  retrackAfterRegrid();
+  audit();
+}
+
+void ChaosRun::handleVerdicts(
+    const std::vector<HeartbeatDetector::Verdict>& verdicts) {
+  for (const auto& verdict : verdicts) {
+    if (!result_.ok) return;
+    if (session_.isPendingCrash(verdict.suspect)) {
+      // Confirmed crash: purge it and re-home the orphans backup-first.
+      const auto span = session_.childrenOf(verdict.suspect);
+      std::vector<NodeId> orphans;
+      for (const NodeId child : span) {
+        if (session_.isLive(child)) orphans.push_back(child);
+      }
+      const RepairReport report = session_.repairCrashed(verdict.suspect);
+      ++result_.repairs;
+      result_.repairedOrphans += report.orphansReplaced;
+      result_.backupHits += report.backupHits;
+      result_.backupFallbacks += report.fallbacks;
+      if (report.orphansReplaced > 0) {
+        result_.contactsPerOrphan.add(
+            static_cast<double>(report.contacts) /
+            static_cast<double>(report.orphansReplaced));
+      }
+      // Each re-homed orphan runs one attach handshake over the channel;
+      // recovery ends when the last orphan is re-attached.
+      double repairElapsed = 0.0;
+      for (const NodeId orphan : orphans) {
+        repairElapsed += channel_.send().elapsed;
+        detector_.track(orphan, now_);
+      }
+      const auto index = static_cast<std::size_t>(verdict.suspect);
+      if (index < crashTime_.size() && crashTime_[index] >= 0.0)
+        result_.recoveryLatency.add(now_ - crashTime_[index] + repairElapsed);
+      retrackAfterRegrid();
+      audit();
+    } else if (session_.isLive(verdict.suspect)) {
+      // False positive: somebody acts on the wrong belief. If the accuser
+      // hangs under the suspect it walks away; if the suspect hangs under
+      // the accuser it gets evicted and must re-home.
+      NodeId mover = kNoNode;
+      if (verdict.accuser != kNoNode && session_.isLive(verdict.accuser) &&
+          session_.parentOf(verdict.accuser) == verdict.suspect) {
+        mover = verdict.accuser;
+      } else if (verdict.suspect != session_.sourceId() &&
+                 session_.parentOf(verdict.suspect) == verdict.accuser) {
+        mover = verdict.suspect;
+      }
+      if (mover == kNoNode) continue;
+      session_.migrate(mover);
+      ++result_.wrongfulMigrations;
+      detector_.track(mover, now_);
+      retrackAfterRegrid();
+      audit();
+    }
+    // else: already purged by an earlier verdict — stale, ignore.
+  }
+}
+
+ChaosResult ChaosRun::run() {
+  events_ = generateFaultSchedule(options_.schedule);
+  std::int64_t maxEntity = -1;
+  for (const FaultEvent& event : events_)
+    maxEntity = std::max(maxEntity, event.entity);
+  entityNode_.assign(static_cast<std::size_t>(maxEntity + 1), kNoNode);
+  entityGone_.assign(static_cast<std::size_t>(maxEntity + 1), 0);
+  entityPosition_.resize(static_cast<std::size_t>(maxEntity + 1));
+  entityFlash_.assign(static_cast<std::size_t>(maxEntity + 1), false);
+  nodePosition_.assign(1, Point(options_.schedule.dim));  // the source
+
+  detector_.track(session_.sourceId(), 0.0);
+  const double hardEnd = options_.schedule.duration + options_.settleTime;
+  std::size_t next = 0;
+
+  while (result_.ok) {
+    const double tEvent = next < events_.size() ? events_[next].time : kInf;
+    const double tOp = ops_.empty() ? kInf : ops_.top().due;
+    const bool workLeft = tEvent < kInf || tOp < kInf;
+    if (!workLeft && session_.undetectedCrashes() == 0 && gauge_ == 0) break;
+    const double t = std::min({tEvent, tOp, detector_.nextProbeAt()});
+    if (t >= hardEnd) {
+      advanceTime(hardEnd);
+      break;
+    }
+    advanceTime(t);
+    handleVerdicts(detector_.advanceTo(now_));
+    while (result_.ok && next < events_.size() &&
+           events_[next].time <= now_) {
+      handleEvent(events_[next++]);
+    }
+    while (result_.ok && !ops_.empty() && ops_.top().due <= now_) {
+      const PendingOp op = ops_.top();
+      ops_.pop();
+      handleOp(op);
+    }
+  }
+
+  // Stragglers the detector did not drain in time fall back to one global
+  // sweep, then the run must satisfy the fully-repaired obligations.
+  if (result_.ok && session_.undetectedCrashes() > 0) {
+    result_.sweepRepairs = session_.detectAndRepair();
+  }
+  if (result_.ok) {
+    ++result_.invariantChecks;
+    const InvariantReport report =
+        checkSessionInvariants(session_, {.requireRepaired = true});
+    if (!report.ok) {
+      result_.ok = false;
+      result_.failure = "final audit: " + report.message;
+    }
+  }
+  if (result_.ok) {
+    const SessionSnapshot snapshot = session_.snapshot();
+    const ValidationResult valid = validate(
+        snapshot.tree, {.maxOutDegree = options_.session.maxOutDegree});
+    if (!valid.ok) {
+      result_.ok = false;
+      result_.failure = "final snapshot: " + valid.message;
+    }
+  }
+
+  result_.finalLive = session_.liveCount();
+  result_.detector = detector_.stats();
+  result_.channel = channel_.stats();
+  result_.session = session_.stats();
+  return result_;
+}
+
+}  // namespace
+
+ChaosResult runChaos(const ChaosOptions& options) {
+  OMT_CHECK(options.settleTime >= 0.0, "settle time must be non-negative");
+  OMT_CHECK(options.maxOperationRetries >= 0,
+            "operation retries must be non-negative");
+  return ChaosRun(options).run();
+}
+
+}  // namespace omt

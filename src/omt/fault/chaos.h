@@ -1,0 +1,87 @@
+// Chaos runner: drive an OverlaySession through a generated fault schedule
+// with a lossy control channel and the heartbeat failure detector, auditing
+// every structural invariant after every injected event.
+//
+// The runner is the glue the individual pieces are designed around:
+//   * schedule events (joins, leaves, crashes, bursts) arrive in time
+//     order; join/leave operations travel over the ControlChannel with
+//     operation-level retries, and a leave whose retries are exhausted
+//     degrades into a silent crash — the host simply goes dark;
+//   * the HeartbeatDetector's probe timers interleave with the schedule;
+//     its verdicts trigger repairCrashed() (confirmed crash) or migrate()
+//     (wrongful declaration of a live host);
+//   * between events the instantaneous count of live hosts cut off from
+//     the source integrates into disconnected-node-seconds, and each
+//     confirmed crash contributes a recovery latency (detection latency
+//     plus the control-message time of re-homing the orphans).
+// After the schedule a settle phase lets the detector drain outstanding
+// crashes; stragglers fall back to one global sweep, and the run ends with
+// the fully-repaired invariant audit plus a snapshot validation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "omt/fault/detector.h"
+#include "omt/fault/injector.h"
+#include "omt/protocol/overlay_session.h"
+#include "omt/report/stats.h"
+
+namespace omt {
+
+struct ChaosOptions {
+  FaultScheduleOptions schedule;
+  ControlChannelOptions channel;
+  DetectorOptions detector;
+  SessionOptions session;
+  /// Audit all structural invariants after every injected event (O(hosts)
+  /// per event). When false only the final fully-repaired audit runs.
+  bool checkInvariants = true;
+  /// Extra time after the schedule for the detector to drain pending
+  /// crashes before the straggler sweep.
+  double settleTime = 30.0;
+  /// Operation-level retries for a join/leave whose send() expired.
+  int maxOperationRetries = 8;
+};
+
+struct ChaosResult {
+  // Injected load.
+  std::int64_t joins = 0;
+  std::int64_t flashCrowdJoins = 0;
+  std::int64_t leaves = 0;
+  std::int64_t crashes = 0;
+  std::int64_t crashBursts = 0;
+  std::int64_t operationRetries = 0;   ///< join/leave re-submissions
+  std::int64_t droppedJoins = 0;       ///< joins lost after all retries
+  std::int64_t silentLeaves = 0;       ///< leaves that degraded to crashes
+
+  // Detection and repair.
+  std::int64_t repairs = 0;            ///< repairCrashed() invocations
+  std::int64_t repairedOrphans = 0;
+  std::int64_t backupHits = 0;
+  std::int64_t backupFallbacks = 0;
+  std::int64_t wrongfulMigrations = 0; ///< migrations from false positives
+  std::int64_t sweepRepairs = 0;       ///< stragglers caught by the final sweep
+  RunningStats recoveryLatency;        ///< crash -> subtree re-homed (time)
+  RunningStats contactsPerOrphan;      ///< repair contacts per orphan
+
+  // Health over time.
+  double disconnectedNodeSeconds = 0.0;
+  std::int64_t invariantChecks = 0;
+  std::int64_t peakLive = 0;
+  std::int64_t finalLive = 0;
+
+  DetectorStats detector;
+  ChannelStats channel;
+  SessionStats session;
+
+  bool ok = true;
+  std::string failure;  ///< first invariant/validation violation
+
+  explicit operator bool() const { return ok; }
+};
+
+/// Run one seeded chaos scenario end to end. Deterministic in the options.
+ChaosResult runChaos(const ChaosOptions& options);
+
+}  // namespace omt

@@ -1,0 +1,156 @@
+#include "omt/fault/detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "omt/common/error.h"
+
+namespace omt {
+
+HeartbeatDetector::HeartbeatDetector(OverlaySession& session,
+                                     ControlChannel& channel,
+                                     const DetectorOptions& options,
+                                     std::uint64_t seed)
+    : session_(session),
+      channel_(channel),
+      options_(options),
+      jitterRng_(deriveSeed(seed, 0x68656172ULL)) {
+  OMT_CHECK(options.probePeriod > 0.0, "probe period must be positive");
+  OMT_CHECK(options.suspicionThreshold >= 1,
+            "suspicion threshold must be at least one miss");
+  OMT_CHECK(options.confirmationAttempts >= 1,
+            "need at least one confirmation attempt");
+  OMT_CHECK(options.leaseFactor >= 1.0, "lease must cover one probe period");
+}
+
+HeartbeatDetector::HostState& HeartbeatDetector::stateOf(NodeId host) {
+  const auto index = static_cast<std::size_t>(host);
+  if (index >= states_.size()) {
+    states_.resize(index + 1);
+    crashTime_.resize(index + 1, -1.0);
+    declaredDead_.resize(index + 1, 0);
+  }
+  return states_[index];
+}
+
+void HeartbeatDetector::track(NodeId host, double now) {
+  OMT_CHECK(host >= 0 && host < session_.hostCount(), "unknown host");
+  HostState& s = stateOf(host);
+  if (s.period <= 0.0) {
+    // Deterministic per-host jitter (±10%) so probes do not fire in lockstep.
+    s.period = options_.probePeriod * (0.9 + 0.2 * jitterRng_.uniform());
+  }
+  s.lastParent = session_.parentOf(host);
+  s.misses = 0;
+  s.lastHeard = now;
+  s.tracked = true;
+  ++s.epoch;
+  crashTime_[static_cast<std::size_t>(host)] = -1.0;
+  declaredDead_[static_cast<std::size_t>(host)] = 0;
+  heap_.push_back({now + s.period, host, s.epoch});
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
+}
+
+void HeartbeatDetector::noteCrash(NodeId host, double now) {
+  stateOf(host);  // ensure the slot exists
+  crashTime_[static_cast<std::size_t>(host)] = now;
+}
+
+double HeartbeatDetector::nextProbeAt() const {
+  return heap_.empty() ? kInf : heap_.front().due;
+}
+
+bool HeartbeatDetector::confirm(NodeId suspect) {
+  for (int attempt = 0; attempt < options_.confirmationAttempts; ++attempt) {
+    ++stats_.probes;
+    if (channel_.roll() && session_.isLive(suspect)) return true;
+  }
+  return false;
+}
+
+std::vector<HeartbeatDetector::Verdict> HeartbeatDetector::advanceTo(
+    double now) {
+  std::vector<Verdict> verdicts;
+  const auto declare = [&](NodeId suspect, NodeId accuser, double when) {
+    const bool wasAlive = session_.isLive(suspect);
+    const auto index = static_cast<std::size_t>(suspect);
+    if (!wasAlive && declaredDead_[index]) return;  // already declared
+    if (wasAlive) {
+      ++stats_.falsePositives;
+    } else {
+      ++stats_.confirmedCrashes;
+      declaredDead_[index] = 1;
+      if (crashTime_[index] >= 0.0)
+        stats_.detectionLatency.add(when - crashTime_[index]);
+    }
+    verdicts.push_back({suspect, accuser, wasAlive});
+  };
+
+  while (!heap_.empty() && heap_.front().due <= now) {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+    const Timer timer = heap_.back();
+    heap_.pop_back();
+
+    HostState& s = stateOf(timer.host);
+    if (!s.tracked || timer.epoch != s.epoch) continue;  // stale timer
+    if (!session_.isLive(timer.host)) {
+      // Dead hosts fall silent: the timer is dropped, but the state stays
+      // tracked so the parent-side lease can notice the silence.
+      if (!session_.isPendingCrash(timer.host)) s.tracked = false;
+      continue;
+    }
+    const double tick = timer.due;
+
+    // Heartbeat to the parent (one roll covers the round trip). A fresh
+    // parent after a re-home resets the miss counter.
+    const NodeId parent = session_.parentOf(timer.host);
+    if (parent != s.lastParent) {
+      s.lastParent = parent;
+      s.misses = 0;
+    }
+    if (parent != kNoNode) {
+      ++stats_.probes;
+      const bool acked = channel_.roll() && session_.isLive(parent);
+      if (acked) {
+        s.misses = 0;
+        s.lastHeard = tick;  // the parent heard from this child
+      } else {
+        ++stats_.missedProbes;
+        if (++s.misses >= options_.suspicionThreshold) {
+          ++stats_.suspicions;
+          if (confirm(parent)) {
+            ++stats_.reinstatements;
+            s.misses = 0;
+          } else {
+            declare(parent, timer.host, tick);
+            s.misses = 0;  // the verdict hand-off re-homes this host
+          }
+        }
+      }
+    }
+
+    // Lease checks on the children: a child silent for leaseFactor of its
+    // own probe periods is suspected. This is how a crashed leaf — which
+    // nobody probes — gets detected.
+    for (const NodeId child : session_.childrenOf(timer.host)) {
+      HostState& cs = stateOf(child);
+      if (!cs.tracked || cs.period <= 0.0) continue;
+      const double lease = cs.period * options_.leaseFactor;
+      if (tick - cs.lastHeard <= lease) continue;
+      ++stats_.suspicions;
+      if (confirm(child)) {
+        ++stats_.reinstatements;
+        cs.lastHeard = tick;
+      } else {
+        declare(child, timer.host, tick);
+        cs.lastHeard = tick;  // pace repeat declarations of a live child
+      }
+    }
+
+    heap_.push_back({tick + s.period, timer.host, s.epoch});
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
+  }
+  return verdicts;
+}
+
+}  // namespace omt

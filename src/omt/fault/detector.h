@@ -1,0 +1,112 @@
+// Heartbeat failure detector for the online overlay session.
+//
+// Replaces the free, instantaneous global sweep (detectAndRepair) with the
+// mechanism a deployed overlay actually runs: every live host exchanges a
+// periodic heartbeat with its parent over the lossy control channel. One
+// exchange serves both directions:
+//   * the child counts consecutive missed heartbeats toward its parent;
+//     at the suspicion threshold it enters a confirmation round (direct
+//     probes) and either reinstates the parent — a false positive caused
+//     by message loss — or declares it dead;
+//   * the parent holds a lease per child, refreshed whenever the child's
+//     heartbeat gets through; a silent child past its lease triggers the
+//     same confirm-or-declare round (this is what catches crashed leaves,
+//     which nobody probes).
+// Probe timers carry deterministic per-host jitter so the fleet does not
+// probe in lockstep. Declarations are returned to the caller (the chaos
+// runner), which reacts: repairCrashed() for a confirmed crash, migrate()
+// when a live host was wrongly declared dead and someone must act on the
+// belief. Detection latency — crash to declaration — is a measured
+// quantity, not zero.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "omt/fault/injector.h"
+#include "omt/protocol/overlay_session.h"
+#include "omt/report/stats.h"
+
+namespace omt {
+
+struct DetectorOptions {
+  double probePeriod = 0.5;    ///< mean heartbeat interval per host
+  int suspicionThreshold = 3;  ///< consecutive misses before suspecting
+  int confirmationAttempts = 3;  ///< direct probes before declaring death
+  /// A child is suspected after this many probe periods of silence (the
+  /// parent-side lease).
+  double leaseFactor = 4.0;
+};
+
+struct DetectorStats {
+  std::int64_t probes = 0;           ///< heartbeat + confirmation messages
+  std::int64_t missedProbes = 0;     ///< heartbeats that did not get through
+  std::int64_t suspicions = 0;       ///< threshold/lease breaches
+  std::int64_t reinstatements = 0;   ///< suspicions cleared by confirmation
+  std::int64_t confirmedCrashes = 0; ///< dead hosts correctly declared
+  std::int64_t falsePositives = 0;   ///< live hosts wrongly declared dead
+  RunningStats detectionLatency;     ///< crash time -> declaration time
+};
+
+class HeartbeatDetector {
+ public:
+  /// The detector probes `session` through `channel`; both must outlive it.
+  HeartbeatDetector(OverlaySession& session, ControlChannel& channel,
+                    const DetectorOptions& options, std::uint64_t seed);
+
+  struct Verdict {
+    NodeId suspect = kNoNode;  ///< host declared dead
+    NodeId accuser = kNoNode;  ///< host that ran the failed confirmation
+    bool suspectWasAlive = false;  ///< ground truth at declaration time
+  };
+
+  /// Start (or refresh) this host's probe timer and lease. Call after a
+  /// join and after a repair re-homes the host, so a fresh parent does not
+  /// instantly suspect it over a stale lease.
+  void track(NodeId host, double now);
+
+  /// Record ground truth for detection-latency accounting.
+  void noteCrash(NodeId host, double now);
+
+  /// Earliest pending probe time; +inf when no timers remain.
+  double nextProbeAt() const;
+
+  /// Run every probe due at or before `now`; returns the declarations made
+  /// (each dead host is declared at most once; a live host may be wrongly
+  /// declared by several of its relatives over time).
+  std::vector<Verdict> advanceTo(double now);
+
+  const DetectorStats& stats() const { return stats_; }
+
+ private:
+  struct HostState {
+    double period = 0.0;        ///< jittered per-host probe period
+    NodeId lastParent = kNoNode;
+    int misses = 0;
+    double lastHeard = 0.0;  ///< when this host's heartbeat last delivered
+    bool tracked = false;
+    std::uint64_t epoch = 0;  ///< invalidates stale heap entries
+  };
+  struct Timer {
+    double due;
+    NodeId host;
+    std::uint64_t epoch;
+    bool operator>(const Timer& other) const { return due > other.due; }
+  };
+
+  HostState& stateOf(NodeId host);
+  /// Confirmation round against `suspect`; true iff an ack got through.
+  bool confirm(NodeId suspect);
+
+  OverlaySession& session_;
+  ControlChannel& channel_;
+  DetectorOptions options_;
+  Rng jitterRng_;
+  DetectorStats stats_;
+  std::vector<HostState> states_;
+  std::vector<Timer> heap_;  // min-heap by due time
+  std::vector<double> crashTime_;
+  std::vector<std::uint8_t> declaredDead_;
+};
+
+}  // namespace omt

@@ -1,0 +1,182 @@
+#include "omt/fault/injector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "omt/common/error.h"
+#include "omt/random/samplers.h"
+
+namespace omt {
+namespace {
+
+/// Exponential variate with the given mean.
+double exponential(Rng& rng, double mean) {
+  return -mean * std::log(1.0 - rng.uniform());
+}
+
+/// A point clustered around `center`: center plus a uniform-ball offset of
+/// radius `spread` (flash crowds are geographically local audiences).
+Point clusteredPoint(Rng& rng, const Point& center, double spread, int dim) {
+  const Point offset = sampleUnitBall(rng, dim);
+  Point p(dim);
+  for (int j = 0; j < dim; ++j) p[j] = center[j] + spread * offset[j];
+  return p;
+}
+
+struct PendingJoin {
+  double time;
+  Point position;
+  bool flashCrowd;
+};
+
+}  // namespace
+
+std::vector<FaultEvent> generateFaultSchedule(
+    const FaultScheduleOptions& options) {
+  OMT_CHECK(options.duration > 0.0, "duration must be positive");
+  OMT_CHECK(options.dim >= 2 && options.dim <= kMaxDim,
+            "dimension out of range");
+  OMT_CHECK(options.arrivalRate >= 0.0, "arrival rate must be non-negative");
+  OMT_CHECK(options.meanLifetime > 0.0, "mean lifetime must be positive");
+  OMT_CHECK(options.crashFraction >= 0.0 && options.crashFraction <= 1.0,
+            "crash fraction outside [0, 1]");
+  OMT_CHECK(options.crashBurstRate >= 0.0, "burst rate must be non-negative");
+  OMT_CHECK(options.crashBurstRadius > 0.0 || options.crashBurstRate == 0.0,
+            "burst radius must be positive");
+  OMT_CHECK(
+      options.crashBurstKillProb >= 0.0 && options.crashBurstKillProb <= 1.0,
+      "burst kill probability outside [0, 1]");
+  OMT_CHECK(options.flashCrowdRate >= 0.0, "wave rate must be non-negative");
+  OMT_CHECK(options.flashCrowdSize > 0 || options.flashCrowdRate == 0.0,
+            "wave size must be positive");
+  OMT_CHECK(options.flashCrowdSpread >= 0.0, "wave spread must be >= 0");
+  OMT_CHECK(options.flashCrowdWindow > 0.0 || options.flashCrowdRate == 0.0,
+            "wave window must be positive");
+
+  // Joins first (background + waves), so entity ids can follow join order.
+  Rng joinRng(deriveSeed(options.seed, 0x6a6f696eULL));
+  std::vector<PendingJoin> joins;
+  if (options.arrivalRate > 0.0) {
+    double now = 0.0;
+    while (true) {
+      now += exponential(joinRng, 1.0 / options.arrivalRate);
+      if (now >= options.duration) break;
+      joins.push_back({now, sampleUnitBall(joinRng, options.dim), false});
+    }
+  }
+  if (options.flashCrowdRate > 0.0) {
+    Rng waveRng(deriveSeed(options.seed, 0x77617665ULL));
+    double now = 0.0;
+    while (true) {
+      now += exponential(waveRng, 1.0 / options.flashCrowdRate);
+      if (now >= options.duration) break;
+      const Point center = sampleUnitBall(waveRng, options.dim);
+      for (int i = 0; i < options.flashCrowdSize; ++i) {
+        const double t = now + waveRng.uniform() * options.flashCrowdWindow;
+        if (t >= options.duration) continue;
+        joins.push_back(
+            {t, clusteredPoint(waveRng, center, options.flashCrowdSpread,
+                               options.dim),
+             true});
+      }
+    }
+  }
+  std::stable_sort(joins.begin(), joins.end(),
+                   [](const PendingJoin& a, const PendingJoin& b) {
+                     return a.time < b.time;
+                   });
+
+  // Entities in join order; departures drawn per entity.
+  Rng lifeRng(deriveSeed(options.seed, 0x6c696665ULL));
+  std::vector<FaultEvent> events;
+  events.reserve(joins.size() * 2);
+  for (std::size_t entity = 0; entity < joins.size(); ++entity) {
+    FaultEvent join;
+    join.time = joins[entity].time;
+    join.kind = FaultEventKind::kJoin;
+    join.entity = static_cast<std::int64_t>(entity);
+    join.position = joins[entity].position;
+    join.flashCrowd = joins[entity].flashCrowd;
+    events.push_back(join);
+
+    const double leaveTime =
+        join.time + exponential(lifeRng, options.meanLifetime);
+    if (leaveTime < options.duration) {
+      FaultEvent leave;
+      leave.time = leaveTime;
+      leave.kind = lifeRng.uniform() < options.crashFraction
+                       ? FaultEventKind::kCrash
+                       : FaultEventKind::kLeave;
+      leave.entity = static_cast<std::int64_t>(entity);
+      events.push_back(leave);
+    }
+  }
+
+  // Regional outages.
+  if (options.crashBurstRate > 0.0) {
+    Rng burstRng(deriveSeed(options.seed, 0x6275727374ULL));
+    double now = 0.0;
+    while (true) {
+      now += exponential(burstRng, 1.0 / options.crashBurstRate);
+      if (now >= options.duration) break;
+      FaultEvent burst;
+      burst.time = now;
+      burst.kind = FaultEventKind::kCrashBurst;
+      burst.position = sampleUnitBall(burstRng, options.dim);
+      burst.radius = options.crashBurstRadius;
+      burst.killProbability = options.crashBurstKillProb;
+      events.push_back(burst);
+    }
+  }
+
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.time < b.time;
+                   });
+  return events;
+}
+
+ControlChannel::ControlChannel(const ControlChannelOptions& options)
+    : options_(options), rng_(deriveSeed(options.seed, 0x6368616eULL)) {
+  OMT_CHECK(options.lossRate >= 0.0 && options.lossRate <= 1.0,
+            "loss rate outside [0, 1]");
+  OMT_CHECK(options.latency >= 0.0, "latency must be non-negative");
+  OMT_CHECK(options.baseTimeout > 0.0, "base timeout must be positive");
+  OMT_CHECK(options.backoffFactor >= 1.0, "backoff factor must be >= 1");
+  OMT_CHECK(options.maxAttempts >= 1, "need at least one attempt");
+}
+
+bool ControlChannel::roll() {
+  ++stats_.messages;
+  ++stats_.transmissions;
+  if (rng_.uniform() < options_.lossRate) {
+    ++stats_.losses;
+    return false;
+  }
+  return true;
+}
+
+ControlChannel::Outcome ControlChannel::send() {
+  ++stats_.messages;
+  Outcome outcome;
+  double timeout = options_.baseTimeout;
+  for (int attempt = 1; attempt <= options_.maxAttempts; ++attempt) {
+    ++stats_.transmissions;
+    outcome.attempts = attempt;
+    if (rng_.uniform() >= options_.lossRate) {
+      outcome.delivered = true;
+      outcome.elapsed += options_.latency;
+      return outcome;
+    }
+    ++stats_.losses;
+    if (attempt < options_.maxAttempts) {
+      outcome.elapsed += timeout;  // wait out the retransmission timer
+      timeout *= options_.backoffFactor;
+    }
+  }
+  ++stats_.expiries;
+  outcome.elapsed += timeout;  // the final timer expires with no answer
+  return outcome;
+}
+
+}  // namespace omt

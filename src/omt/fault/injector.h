@@ -1,0 +1,122 @@
+// Deterministic fault injection: correlated failure schedules and a lossy
+// control channel.
+//
+// The churn module (omt/protocol/churn.h) models *independent* arrivals and
+// departures; real overlay failures are correlated. This injector generates
+// seeded schedules that add, on top of a Poisson background of joins and
+// (graceful or silent) departures:
+//   * crash bursts — a regional outage kills every live host inside a random
+//     disk with some probability, all at the same instant;
+//   * flash crowds — a wave of joins spatially clustered around a random
+//     center, compressed into a short window;
+// and a ControlChannel that makes every control message (join, heartbeat
+// probe, repair contact) fallible: each message is lost independently with
+// a fixed probability, and reliable operations retransmit with exponential
+// backoff up to a cap — so detection latency, repair latency and control
+// overhead become measured quantities instead of free instantaneous sweeps.
+//
+// Everything is driven by explicit 64-bit seeds: the same options always
+// produce the same schedule and the same per-message loss pattern.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "omt/geometry/point.h"
+#include "omt/random/rng.h"
+
+namespace omt {
+
+struct FaultScheduleOptions {
+  double duration = 60.0;  ///< schedule length in time units
+  int dim = 2;             ///< host positions in the unit ball
+  std::uint64_t seed = 1;
+
+  // Background churn (Poisson arrivals, exponential lifetimes).
+  double arrivalRate = 30.0;   ///< background joins per unit time
+  double meanLifetime = 20.0;  ///< mean session length
+  double crashFraction = 0.3;  ///< departures that are silent crashes
+
+  // Correlated regional outages.
+  double crashBurstRate = 0.05;      ///< bursts per unit time (0 disables)
+  double crashBurstRadius = 0.3;     ///< outage disk radius
+  double crashBurstKillProb = 0.9;   ///< per-host kill probability inside
+
+  // Flash-crowd join waves.
+  double flashCrowdRate = 0.05;      ///< waves per unit time (0 disables)
+  int flashCrowdSize = 60;           ///< joins per wave
+  double flashCrowdSpread = 0.15;    ///< cluster radius around the center
+  double flashCrowdWindow = 1.0;     ///< wave joins spread over this window
+};
+
+enum class FaultEventKind : std::uint8_t {
+  kJoin,
+  kLeave,
+  kCrash,       ///< one host dies silently
+  kCrashBurst,  ///< regional outage (victims resolved against live state)
+};
+
+struct FaultEvent {
+  double time = 0.0;
+  FaultEventKind kind = FaultEventKind::kJoin;
+  /// kJoin/kLeave/kCrash: trace-local entity id; entities join in id order
+  /// and each kLeave/kCrash refers to the entity of its kJoin.
+  std::int64_t entity = -1;
+  Point position;          ///< kJoin: host position; kCrashBurst: center
+  double radius = 0.0;     ///< kCrashBurst: outage radius
+  double killProbability = 0.0;  ///< kCrashBurst: per-host kill probability
+  bool flashCrowd = false;       ///< kJoin born inside a flash-crowd wave
+};
+
+/// Generate a time-sorted fault schedule. Entities whose lifetime extends
+/// past `duration` never depart. Deterministic in the options.
+std::vector<FaultEvent> generateFaultSchedule(
+    const FaultScheduleOptions& options);
+
+struct ControlChannelOptions {
+  double lossRate = 0.0;       ///< independent per-message loss probability
+  double latency = 0.01;       ///< delivery time of one successful message
+  double baseTimeout = 0.05;   ///< wait before the first retransmission
+  double backoffFactor = 2.0;  ///< timeout multiplier per further retry
+  int maxAttempts = 4;         ///< transmissions before a send() expires
+  std::uint64_t seed = 7;
+};
+
+struct ChannelStats {
+  std::int64_t messages = 0;       ///< logical messages (roll + send calls)
+  std::int64_t transmissions = 0;  ///< physical transmissions incl. retries
+  std::int64_t losses = 0;         ///< transmissions the channel dropped
+  std::int64_t expiries = 0;       ///< send() calls that exhausted retries
+};
+
+/// The lossy control channel. roll() models one best-effort message (a
+/// heartbeat probe — never retried); send() models a reliable-ish message
+/// that retransmits with exponential backoff until delivered or out of
+/// attempts, reporting the wall-clock time the exchange consumed.
+class ControlChannel {
+ public:
+  explicit ControlChannel(const ControlChannelOptions& options);
+
+  struct Outcome {
+    bool delivered = false;
+    int attempts = 0;
+    double elapsed = 0.0;  ///< backoff waits plus delivery latency
+  };
+
+  /// One unacknowledged message: true iff it got through.
+  bool roll();
+
+  /// One message with retransmission: up to maxAttempts tries, waiting
+  /// baseTimeout * backoffFactor^(i-1) before retry i.
+  Outcome send();
+
+  const ControlChannelOptions& options() const { return options_; }
+  const ChannelStats& stats() const { return stats_; }
+
+ private:
+  ControlChannelOptions options_;
+  Rng rng_;
+  ChannelStats stats_;
+};
+
+}  // namespace omt

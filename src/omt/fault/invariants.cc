@@ -1,0 +1,243 @@
+#include "omt/fault/invariants.h"
+
+#include <vector>
+
+namespace omt {
+namespace {
+
+std::string hostTag(NodeId id) { return "host " + std::to_string(id); }
+
+/// Root-path classification, memoised: 0 = unvisited, 1 = in progress,
+/// 2 = reaches the source through live hosts only, 3 = reaches the source
+/// but crosses a dead host, 4 = broken (detached short of the source or
+/// cyclic).
+enum : std::uint8_t {
+  kUnvisited = 0,
+  kInProgress = 1,
+  kCleanPath = 2,
+  kCrossesDead = 3,
+  kBroken = 4,
+};
+
+}  // namespace
+
+std::int64_t countDisconnectedLiveHosts(const OverlaySession& session) {
+  const std::int64_t n = session.hostCount();
+  std::vector<std::uint8_t> state(static_cast<std::size_t>(n), kUnvisited);
+  state[0] = kCleanPath;
+  std::int64_t disconnected = 0;
+  std::vector<NodeId> chain;
+  for (NodeId id = 1; id < n; ++id) {
+    if (!session.isLive(id) && !session.isPendingCrash(id)) continue;
+    chain.clear();
+    NodeId v = id;
+    while (v != kNoNode && state[static_cast<std::size_t>(v)] == kUnvisited) {
+      state[static_cast<std::size_t>(v)] = kInProgress;
+      chain.push_back(v);
+      v = session.parentOf(v);
+    }
+    std::uint8_t verdict;
+    if (v == kNoNode) {
+      verdict = kBroken;  // detached short of the source
+    } else if (state[static_cast<std::size_t>(v)] == kInProgress) {
+      verdict = kBroken;  // cycle (flagged as a violation by the full audit)
+    } else {
+      verdict = state[static_cast<std::size_t>(v)];
+    }
+    // Propagate back down: a dead link poisons everything below it.
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      if (verdict == kCleanPath && !session.isLive(*it)) verdict = kCrossesDead;
+      state[static_cast<std::size_t>(*it)] =
+          verdict == kCleanPath ? kCleanPath
+                                : (verdict == kBroken ? kBroken : kCrossesDead);
+    }
+    if (session.isLive(id) && state[static_cast<std::size_t>(id)] != kCleanPath)
+      ++disconnected;
+  }
+  return disconnected;
+}
+
+InvariantReport checkSessionInvariants(const OverlaySession& session,
+                                       const InvariantOptions& options) {
+  InvariantReport report;
+  const auto fail = [&](const std::string& message) {
+    if (report.ok) {
+      report.ok = false;
+      report.message = message;
+    }
+  };
+
+  const std::int64_t n = session.hostCount();
+  const int cap = session.options().maxOutDegree;
+  std::int64_t live = 0;
+  std::int64_t pending = 0;
+
+  // Per-host structural checks.
+  for (NodeId id = 0; id < n; ++id) {
+    const bool isLive = session.isLive(id);
+    const bool isPending = session.isPendingCrash(id);
+    if (isLive && isPending) fail(hostTag(id) + " both live and pending");
+    if (isLive) ++live;
+    if (isPending) ++pending;
+
+    const auto children = session.childrenOf(id);
+    if (!isLive && !isPending) {
+      // Departed gracefully or already purged: fully detached.
+      if (session.parentOf(id) != kNoNode)
+        fail(hostTag(id) + " departed but still attached");
+      if (!children.empty())
+        fail(hostTag(id) + " departed but still has children");
+      continue;
+    }
+
+    // Degree cap, child symmetry, and child duplicates.
+    if (static_cast<int>(children.size()) > cap)
+      fail(hostTag(id) + " exceeds the degree cap");
+    for (std::size_t i = 0; i < children.size(); ++i) {
+      const NodeId c = children[i];
+      if (c < 0 || c >= n) {
+        fail(hostTag(id) + " lists an unknown child");
+        continue;
+      }
+      if (session.parentOf(c) != id)
+        fail(hostTag(c) + " is listed as a child of " + std::to_string(id) +
+             " but points elsewhere");
+      if (!session.isLive(c) && !session.isPendingCrash(c))
+        fail(hostTag(id) + " lists departed child " + std::to_string(c));
+      for (std::size_t j = i + 1; j < children.size(); ++j) {
+        if (children[j] == c)
+          fail(hostTag(id) + " lists child " + std::to_string(c) + " twice");
+      }
+    }
+
+    // Parent linkage.
+    const NodeId parent = session.parentOf(id);
+    if (id == 0) {
+      if (parent != kNoNode) fail("the source has a parent");
+    } else if (parent == kNoNode) {
+      // Only a pending crash may be left detached (its subtree was orphaned
+      // by an earlier purge and it cannot be re-placed while dead).
+      if (isLive) fail(hostTag(id) + " is live but detached");
+    } else {
+      if (parent < 0 || parent >= n) {
+        fail(hostTag(id) + " has an unknown parent");
+      } else {
+        if (!session.isLive(parent) && !session.isPendingCrash(parent))
+          fail(hostTag(id) + " hangs under departed host " +
+               std::to_string(parent));
+        const auto siblings = session.childrenOf(parent);
+        std::int64_t listed = 0;
+        for (const NodeId s : siblings) listed += s == id ? 1 : 0;
+        if (listed != 1)
+          fail(hostTag(id) + " appears " + std::to_string(listed) +
+               " times in its parent's child list");
+      }
+    }
+
+    // Cell membership: exactly one entry in the cell the host claims.
+    const std::uint64_t heapId = session.heapIdOf(id);
+    if (heapId < 1 || heapId >= session.cellCount()) {
+      fail(hostTag(id) + " claims an out-of-range cell");
+    } else {
+      std::int64_t entries = 0;
+      for (const NodeId member : session.cellMembersOf(heapId))
+        entries += member == id ? 1 : 0;
+      if (entries != 1)
+        fail(hostTag(id) + " has " + std::to_string(entries) +
+             " entries in its cell");
+    }
+  }
+
+  if (live != session.liveCount())
+    fail("liveCount() disagrees with the per-host flags");
+  if (pending != session.undetectedCrashes())
+    fail("undetectedCrashes() disagrees with the per-host flags");
+  if (!session.isLive(0)) fail("the source is not live");
+
+  // Acyclicity + reachability classification (also counts disconnection).
+  {
+    const std::int64_t m = session.hostCount();
+    std::vector<std::uint8_t> state(static_cast<std::size_t>(m), kUnvisited);
+    state[0] = kCleanPath;
+    std::vector<NodeId> chain;
+    for (NodeId id = 1; id < m; ++id) {
+      if (!session.isLive(id) && !session.isPendingCrash(id)) continue;
+      chain.clear();
+      NodeId v = id;
+      while (v != kNoNode && v >= 0 && v < m &&
+             state[static_cast<std::size_t>(v)] == kUnvisited) {
+        state[static_cast<std::size_t>(v)] = kInProgress;
+        chain.push_back(v);
+        v = session.parentOf(v);
+      }
+      std::uint8_t verdict;
+      if (v == kNoNode) {
+        verdict = kBroken;
+        if (!chain.empty() && !session.isPendingCrash(chain.back()))
+          fail(hostTag(id) + " is detached from the source");
+      } else if (v < 0 || v >= m) {
+        verdict = kBroken;
+        fail(hostTag(id) + " has an out-of-range ancestor");
+      } else if (state[static_cast<std::size_t>(v)] == kInProgress) {
+        verdict = kBroken;
+        fail(hostTag(id) + " lies on a parent-pointer cycle");
+      } else {
+        verdict = state[static_cast<std::size_t>(v)];
+      }
+      for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+        if (verdict == kCleanPath && !session.isLive(*it))
+          verdict = kCrossesDead;
+        state[static_cast<std::size_t>(*it)] =
+            verdict == kCleanPath
+                ? kCleanPath
+                : (verdict == kBroken ? kBroken : kCrossesDead);
+      }
+      if (session.isLive(id) &&
+          state[static_cast<std::size_t>(id)] != kCleanPath)
+        ++report.disconnectedLiveHosts;
+    }
+  }
+
+  // Cell-side bookkeeping: members tracked, representatives sane.
+  std::int64_t totalMembers = 0;
+  for (std::uint64_t h = 1; h < session.cellCount(); ++h) {
+    const auto members = session.cellMembersOf(h);
+    bool anyLive = false;
+    for (const NodeId member : members) {
+      ++totalMembers;
+      if (member < 0 || member >= n) {
+        fail("cell " + std::to_string(h) + " tracks an unknown host");
+        continue;
+      }
+      if (!session.isLive(member) && !session.isPendingCrash(member))
+        fail("cell " + std::to_string(h) + " tracks departed host " +
+             std::to_string(member));
+      if (session.heapIdOf(member) != h)
+        fail(hostTag(member) + " is tracked by a cell it does not claim");
+      anyLive = anyLive || session.isLive(member);
+    }
+    const NodeId rep = session.cellRepresentativeOf(h);
+    if (rep != kNoNode) {
+      std::int64_t entries = 0;
+      for (const NodeId member : members) entries += member == rep ? 1 : 0;
+      if (entries != 1)
+        fail("cell " + std::to_string(h) + " has a non-member representative");
+    } else if (anyLive) {
+      fail("cell " + std::to_string(h) +
+           " has live members but no representative");
+    }
+    if (options.requireRepaired && rep != kNoNode && !session.isLive(rep))
+      fail("cell " + std::to_string(h) + " is represented by a dead host");
+  }
+  if (totalMembers != live + pending)
+    fail("cell membership totals disagree with the host census");
+
+  if (options.requireRepaired) {
+    if (pending != 0) fail("pending crashes remain after required repair");
+    if (report.disconnectedLiveHosts != 0)
+      fail("live hosts remain disconnected after required repair");
+  }
+  return report;
+}
+
+}  // namespace omt

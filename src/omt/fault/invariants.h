@@ -1,0 +1,49 @@
+// Chaos invariant checker for the online overlay session.
+//
+// The fault-injection harness drives an OverlaySession through correlated
+// crashes, lossy control traffic, and flash crowds; after every injected
+// event this checker audits the session's full internal state through its
+// read-only introspection API: parent/child symmetry, acyclicity, degree
+// caps, cell membership and representative bookkeeping, and live/pending
+// accounting. Mid-chaos the overlay is legitimately degraded — live hosts
+// may hang below crashed-but-undetected parents — so the checker separates
+// hard invariants (never violated at any instant) from the fully-repaired
+// obligations snapshot() demands, and reports the instantaneous count of
+// live hosts whose path to the source crosses a dead host (the quantity
+// integrated into "disconnected node seconds" by the chaos runner).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "omt/protocol/overlay_session.h"
+
+namespace omt {
+
+struct InvariantOptions {
+  /// Also require the fully-healed obligations: no pending crashes, every
+  /// live host reachable from the source through live hosts only, and
+  /// every non-empty cell represented by a live member.
+  bool requireRepaired = false;
+};
+
+struct InvariantReport {
+  bool ok = true;
+  std::string message;  ///< empty when ok; first violation otherwise
+  /// Live hosts whose root path crosses a crashed-but-unrepaired host
+  /// (data flow to them is broken until detection + repair).
+  std::int64_t disconnectedLiveHosts = 0;
+
+  explicit operator bool() const { return ok; }
+};
+
+/// Audit every structural invariant of `session`. Cost O(hosts + cells).
+InvariantReport checkSessionInvariants(const OverlaySession& session,
+                                       const InvariantOptions& options = {});
+
+/// Just the disconnected-live-host count (the cheap subset of the audit,
+/// for chaos runs that integrate disconnection over time with invariant
+/// checking disabled).
+std::int64_t countDisconnectedLiveHosts(const OverlaySession& session);
+
+}  // namespace omt

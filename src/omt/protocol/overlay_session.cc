@@ -45,11 +45,52 @@ bool OverlaySession::isLive(NodeId node) const {
          hosts_[static_cast<std::size_t>(node)].alive;
 }
 
+bool OverlaySession::isPendingCrash(NodeId node) const {
+  return node >= 0 && node < static_cast<NodeId>(hosts_.size()) &&
+         hosts_[static_cast<std::size_t>(node)].pendingCrash;
+}
+
+NodeId OverlaySession::parentOf(NodeId node) const {
+  OMT_CHECK(node >= 0 && node < hostCount(), "unknown host");
+  return hosts_[static_cast<std::size_t>(node)].parent;
+}
+
+std::span<const NodeId> OverlaySession::childrenOf(NodeId node) const {
+  OMT_CHECK(node >= 0 && node < hostCount(), "unknown host");
+  return hosts_[static_cast<std::size_t>(node)].children;
+}
+
+NodeId OverlaySession::backupParentOf(NodeId node) const {
+  OMT_CHECK(node >= 0 && node < hostCount(), "unknown host");
+  return hosts_[static_cast<std::size_t>(node)].backupParent;
+}
+
+std::uint64_t OverlaySession::heapIdOf(NodeId node) const {
+  OMT_CHECK(node >= 0 && node < hostCount(), "unknown host");
+  return hosts_[static_cast<std::size_t>(node)].heapId;
+}
+
+std::span<const NodeId> OverlaySession::cellMembersOf(
+    std::uint64_t heapId) const {
+  OMT_CHECK(heapId >= 1 && heapId < grid_.heapIdCount(), "heap id out of range");
+  return cellMembers_[heapId];
+}
+
+NodeId OverlaySession::cellRepresentativeOf(std::uint64_t heapId) const {
+  OMT_CHECK(heapId >= 1 && heapId < grid_.heapIdCount(), "heap id out of range");
+  return cellRep_[heapId];
+}
+
 void OverlaySession::attach(NodeId child, NodeId parent) {
   OMT_ASSERT(hasCapacity(parent), "attach would exceed the degree cap");
   auto& c = hosts_[static_cast<std::size_t>(child)];
   OMT_ASSERT(c.parent == kNoNode, "host already attached");
   c.parent = parent;
+  // Proactive backup: remember the grandparent so a future parent crash can
+  // be healed in O(1) contacts. An ancestor can never be inside the child's
+  // own subtree, so the hint is cycle-safe by construction (capacity and
+  // liveness are still revalidated at use time).
+  c.backupParent = hosts_[static_cast<std::size_t>(parent)].parent;
   hosts_[static_cast<std::size_t>(parent)].children.push_back(child);
 }
 
@@ -72,10 +113,14 @@ NodeId OverlaySession::ancestorRepresentative(std::uint64_t heapId) {
   return 0;  // the source, representative of ring 0
 }
 
-bool OverlaySession::eligibleParent(NodeId node, NodeId candidate) {
-  // A candidate is ineligible if attaching under it would create a cycle,
-  // i.e. it lies in `node`'s own (re-attaching) subtree.
+bool OverlaySession::eligibleParent(NodeId node, NodeId candidate,
+                                    bool requireAlive) {
+  // A candidate is ineligible if it cannot acknowledge the attach (it is
+  // dead) or if attaching under it would create a cycle, i.e. it lies in
+  // `node`'s own (re-attaching) subtree.
   if (candidate == node || !hasCapacity(candidate)) return false;
+  if (requireAlive && !hosts_[static_cast<std::size_t>(candidate)].alive)
+    return false;
   for (NodeId a = candidate; a != kNoNode;
        a = hosts_[static_cast<std::size_t>(a)].parent) {
     ++stats_.contactCost;
@@ -112,16 +157,27 @@ NodeId OverlaySession::findParent(NodeId node, std::uint64_t heapId) {
     if (candidate != kNoNode) return candidate;
   }
 
-  // Last resort: breadth-first capacity walk from the source; total
-  // capacity 2m always exceeds the m-1 edges, so a slot exists.
+  // Last resort: breadth-first capacity walk from the source; total live
+  // capacity 2m always exceeds the m-1 edges, so a slot exists — though it
+  // can be held hostage by crashed-but-undetected children. Prefer a live
+  // adopter; failing that, degrade to a pending-crash host with a free slot
+  // (the orphan's own heartbeat will re-detect and move it again) rather
+  // than fail.
+  NodeId degraded = kNoNode;
   std::vector<NodeId> frontier{0};
   for (std::size_t head = 0; head < frontier.size(); ++head) {
     const NodeId v = frontier[head];
     ++stats_.contactCost;
     if (eligible(v)) return v;
+    if (degraded == kNoNode &&
+        hosts_[static_cast<std::size_t>(v)].pendingCrash &&
+        eligibleParent(node, v, /*requireAlive=*/false)) {
+      degraded = v;
+    }
     for (const NodeId c : hosts_[static_cast<std::size_t>(v)].children)
       frontier.push_back(c);
   }
+  if (degraded != kNoNode) return degraded;
   OMT_ASSERT(false, "no feasible parent in a session with cap >= 2");
   return kNoNode;
 }
@@ -193,12 +249,7 @@ void OverlaySession::leave(NodeId node) {
     if (hosts_[static_cast<std::size_t>(orphan)].alive) place(orphan);
   }
 
-  const bool shrunk =
-      static_cast<double>(liveCount_) * options_.regridGrowthFactor <
-      static_cast<double>(lastRegridCount_);
-  if (shrunk && onlineTargetRings(liveCount_) != grid_.rings()) {
-    regrid(grid_.outerRadius());
-  }
+  maybeShrinkRegrid();
 }
 
 void OverlaySession::promoteRepresentative(std::uint64_t heapId) {
@@ -222,6 +273,10 @@ void OverlaySession::promoteRepresentative(std::uint64_t heapId) {
     double bestDist = kInf;
     for (const NodeId member : members) {
       ++stats_.contactCost;
+      // A crashed-but-undetected member cannot answer a representative
+      // election; leave the cell unrepresented rather than electing a
+      // corpse (the next joiner or repair re-elects).
+      if (!hosts_[static_cast<std::size_t>(member)].alive) continue;
       const double d = squaredDistance(
           hosts_[static_cast<std::size_t>(member)].position, target);
       if (d < bestDist) {
@@ -238,11 +293,41 @@ void OverlaySession::crash(NodeId node) {
   OMT_CHECK(node != 0, "the source cannot crash");
   ++stats_.crashes;
   hosts_[static_cast<std::size_t>(node)].alive = false;
+  hosts_[static_cast<std::size_t>(node)].pendingCrash = true;
   --liveCount_;
   ++undetectedCrashes_;
   crashedPending_.push_back(node);
   // Nothing else: the overlay still points at the dead host until
-  // detectAndRepair() sweeps.
+  // detectAndRepair() sweeps or a failure detector confirms the crash and
+  // calls repairCrashed().
+}
+
+void OverlaySession::purgeDeadHost(NodeId dead, std::vector<NodeId>& orphans) {
+  // Purge a crashed host from the structure; collect its live children.
+  // (A regrid between the crash and this purge already removed the host
+  // from its cell — the erase is conditional for that case.)
+  Host& host = hosts_[static_cast<std::size_t>(dead)];
+  detach(dead);
+  auto& members = cellMembers_[host.heapId];
+  const auto it = std::find(members.begin(), members.end(), dead);
+  if (it != members.end()) members.erase(it);
+  if (cellRep_[host.heapId] == dead) promoteRepresentative(host.heapId);
+  for (const NodeId child : host.children) {
+    hosts_[static_cast<std::size_t>(child)].parent = kNoNode;
+    if (hosts_[static_cast<std::size_t>(child)].alive)
+      orphans.push_back(child);
+  }
+  host.children.clear();
+  host.pendingCrash = false;
+}
+
+void OverlaySession::maybeShrinkRegrid() {
+  const bool shrunk =
+      static_cast<double>(liveCount_) * options_.regridGrowthFactor <
+      static_cast<double>(lastRegridCount_);
+  if (shrunk && onlineTargetRings(liveCount_) != grid_.rings()) {
+    regrid(grid_.outerRadius());
+  }
 }
 
 std::int64_t OverlaySession::detectAndRepair() {
@@ -250,36 +335,62 @@ std::int64_t OverlaySession::detectAndRepair() {
   stats_.contactCost += std::max<std::int64_t>(0, liveCount_ - 1);
   if (crashedPending_.empty()) return 0;
 
-  // Purge crashed hosts from the structure; collect their live children.
-  // (A regrid between the crash and this sweep already removed the host
-  // from its cell — the erase is conditional for that case.)
   std::vector<NodeId> orphans;
-  for (const NodeId dead : crashedPending_) {
-    Host& host = hosts_[static_cast<std::size_t>(dead)];
-    detach(dead);
-    auto& members = cellMembers_[host.heapId];
-    const auto it = std::find(members.begin(), members.end(), dead);
-    if (it != members.end()) members.erase(it);
-    if (cellRep_[host.heapId] == dead) promoteRepresentative(host.heapId);
-    for (const NodeId child : host.children) {
-      hosts_[static_cast<std::size_t>(child)].parent = kNoNode;
-      if (hosts_[static_cast<std::size_t>(child)].alive)
-        orphans.push_back(child);
-    }
-    host.children.clear();
-  }
+  for (const NodeId dead : crashedPending_) purgeDeadHost(dead, orphans);
   crashedPending_.clear();
   undetectedCrashes_ = 0;
 
   for (const NodeId orphan : orphans) place(orphan);
 
-  const bool shrunk =
-      static_cast<double>(liveCount_) * options_.regridGrowthFactor <
-      static_cast<double>(lastRegridCount_);
-  if (shrunk && onlineTargetRings(liveCount_) != grid_.rings()) {
-    regrid(grid_.outerRadius());
-  }
+  maybeShrinkRegrid();
   return static_cast<std::int64_t>(orphans.size());
+}
+
+void OverlaySession::rehomeOrphan(NodeId orphan, RepairReport& report) {
+  ++report.orphansReplaced;
+  const NodeId backup = hosts_[static_cast<std::size_t>(orphan)].backupParent;
+  ++stats_.contactCost;  // contact the backup (or discover it is unusable)
+  if (backup != kNoNode && eligibleParent(orphan, backup)) {
+    attach(orphan, backup);
+    ++report.backupHits;
+    ++stats_.backupHits;
+    return;
+  }
+  // Graceful degradation: the regular placement path — own cell, ancestor
+  // representatives, then the breadth-first capacity walk from the source.
+  ++report.fallbacks;
+  ++stats_.backupFallbacks;
+  place(orphan);
+}
+
+RepairReport OverlaySession::repairCrashed(NodeId dead) {
+  OMT_CHECK(isPendingCrash(dead), "host is not a pending crash");
+  const std::int64_t contactsBefore = stats_.contactCost;
+  RepairReport report;
+
+  std::vector<NodeId> orphans;
+  purgeDeadHost(dead, orphans);
+  crashedPending_.erase(
+      std::find(crashedPending_.begin(), crashedPending_.end(), dead));
+  --undetectedCrashes_;
+
+  for (const NodeId orphan : orphans) rehomeOrphan(orphan, report);
+
+  report.contacts = stats_.contactCost - contactsBefore;
+  maybeShrinkRegrid();
+  return report;
+}
+
+RepairReport OverlaySession::migrate(NodeId node) {
+  OMT_CHECK(isLive(node), "host is not live");
+  OMT_CHECK(node != 0, "the source cannot migrate");
+  const std::int64_t contactsBefore = stats_.contactCost;
+  ++stats_.contactCost;  // goodbye message to the old parent (best effort)
+  detach(node);
+  RepairReport report;
+  rehomeOrphan(node, report);
+  report.contacts = stats_.contactCost - contactsBefore;
+  return report;
 }
 
 void OverlaySession::regrid(double newRadius) {
@@ -288,6 +399,8 @@ void OverlaySession::regrid(double newRadius) {
   lastRegridCount_ = liveCount_;
   // A regrid rebuilds the overlay from live hosts only, which repairs any
   // pending crashes as a side effect.
+  for (const NodeId dead : crashedPending_)
+    hosts_[static_cast<std::size_t>(dead)].pendingCrash = false;
   crashedPending_.clear();
   undetectedCrashes_ = 0;
 
@@ -304,6 +417,7 @@ void OverlaySession::regrid(double newRadius) {
   // else.
   for (auto& host : hosts_) {
     host.parent = kNoNode;
+    host.backupParent = kNoNode;
     host.children.clear();
   }
   for (std::size_t id = 0; id < hosts_.size(); ++id) {

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "omt/common/types.h"
@@ -54,6 +55,21 @@ struct SessionStats {
   std::int64_t contactCost = 0;
   /// Hosts touched by regrids (each regrid touches every live host).
   std::int64_t regridCost = 0;
+  /// Orphans re-homed in O(1) contacts via their precomputed backup parent.
+  std::int64_t backupHits = 0;
+  /// Orphans whose backup was unusable (dead, saturated, or a cycle risk)
+  /// and who fell back to the full placement path.
+  std::int64_t backupFallbacks = 0;
+};
+
+/// Cost/quality report for one local repair operation (repairCrashed() or
+/// migrate()): how many subtree roots moved, how they were re-homed, and
+/// what the operation alone cost in contacts.
+struct RepairReport {
+  std::int64_t orphansReplaced = 0;
+  std::int64_t backupHits = 0;
+  std::int64_t fallbacks = 0;
+  std::int64_t contacts = 0;
 };
 
 /// Snapshot of the live overlay as a standard MulticastTree plus the
@@ -86,7 +102,26 @@ class OverlaySession {
   /// crashed hosts are purged from cells (representatives promoted).
   /// Returns the number of orphaned subtree roots re-placed. Snapshot()
   /// requires all crashes to have been repaired.
+  ///
+  /// This is the global-sweep baseline: orphans go through the full
+  /// placement path (cell scan, ancestor chain, capacity walk). The local
+  /// alternative driven by a failure detector is repairCrashed().
   std::int64_t detectAndRepair();
+
+  /// Purge ONE crashed host (it must be a pending crash) and re-home its
+  /// orphaned subtrees locally: each orphan first contacts its precomputed
+  /// backup parent — O(1) contacts when the backup is live, has spare
+  /// capacity, and lies outside the orphan's subtree — and degrades to the
+  /// full placement path otherwise. The per-host dual of the global
+  /// detectAndRepair() sweep, intended to be driven by a failure detector
+  /// that confirmed this specific host dead.
+  RepairReport repairCrashed(NodeId dead);
+
+  /// Move a live non-source host away from its current parent and re-home
+  /// it backup-first: what a host does after (rightly or wrongly) declaring
+  /// its parent dead, or after being evicted by a parent that believes the
+  /// host dead. Never violates structural invariants either way.
+  RepairReport migrate(NodeId node);
 
   /// Number of crashed-but-not-yet-repaired hosts.
   std::int64_t undetectedCrashes() const { return undetectedCrashes_; }
@@ -94,8 +129,26 @@ class OverlaySession {
   NodeId sourceId() const { return 0; }
   std::int64_t liveCount() const { return liveCount_; }
   const SessionStats& stats() const { return stats_; }
+  const SessionOptions& options() const { return options_; }
   int rings() const { return grid_.rings(); }
   bool isLive(NodeId node) const;
+  /// Whether `node` crashed and has not yet been purged by a repair.
+  bool isPendingCrash(NodeId node) const;
+
+  // Read-only introspection for failure detectors and invariant checkers.
+  // Ids cover every host ever admitted, live or not.
+  std::int64_t hostCount() const {
+    return static_cast<std::int64_t>(hosts_.size());
+  }
+  NodeId parentOf(NodeId node) const;
+  std::span<const NodeId> childrenOf(NodeId node) const;
+  /// The host's precomputed fallback parent (kNoNode when none is known);
+  /// a hint maintained on every attachment, revalidated at use time.
+  NodeId backupParentOf(NodeId node) const;
+  std::uint64_t heapIdOf(NodeId node) const;
+  std::uint64_t cellCount() const { return grid_.heapIdCount(); }
+  std::span<const NodeId> cellMembersOf(std::uint64_t heapId) const;
+  NodeId cellRepresentativeOf(std::uint64_t heapId) const;
 
   /// Materialise the current overlay for validation/metrics.
   SessionSnapshot snapshot() const;
@@ -106,8 +159,10 @@ class OverlaySession {
     PolarCoords polar;
     std::uint64_t heapId = 0;  ///< cell under the current grid
     NodeId parent = kNoNode;
+    NodeId backupParent = kNoNode;  ///< fallback parent hint (grandparent)
     std::vector<NodeId> children;
     bool alive = false;
+    bool pendingCrash = false;  ///< crashed but not yet purged by a repair
   };
 
   int outDegreeOf(NodeId node) const {
@@ -121,10 +176,22 @@ class OverlaySession {
   void attach(NodeId child, NodeId parent);
   void detach(NodeId child);
 
-  /// Whether `candidate` can become `node`'s parent: spare capacity and
-  /// not inside `node`'s own subtree (walking the parent chain counts one
-  /// contact per hop).
-  bool eligibleParent(NodeId node, NodeId candidate);
+  /// Whether `candidate` can become `node`'s parent: live (unless
+  /// `requireAlive` is false), spare capacity, and not inside `node`'s own
+  /// subtree (walking the parent chain counts one contact per hop).
+  bool eligibleParent(NodeId node, NodeId candidate, bool requireAlive = true);
+
+  /// Re-home one orphaned subtree root: O(1) attach to its precomputed
+  /// backup parent when usable, full placement otherwise. Updates the
+  /// backup-hit/fallback counters on `report`.
+  void rehomeOrphan(NodeId orphan, RepairReport& report);
+
+  /// Purge one dead host from its cell and the tree; appends its live
+  /// children (now detached) to `orphans`.
+  void purgeDeadHost(NodeId dead, std::vector<NodeId>& orphans);
+
+  /// Shrink-triggered regrid check shared by leave/repair paths.
+  void maybeShrinkRegrid();
 
   /// The representative of the nearest occupied ancestor cell of `heapId`
   /// (possibly the source). Counts contacts.

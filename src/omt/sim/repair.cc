@@ -108,12 +108,32 @@ RepairResult repairAfterDepartures(const MulticastTree& tree,
         }
       }
     }
+    if (bestParent == kNoNode) {
+      // The distance scan found no pair — every candidate comparison can
+      // fail when coordinates are non-finite (inf/NaN distances), or the
+      // scan's view of spare capacity is exhausted. Fall back to a
+      // distance-blind capacity walk from the root: with cap >= 1 the
+      // connected component always has spare capacity somewhere (at worst
+      // a leaf), so feasibility never depends on the geometry.
+      while (attachedOrphan[bestOrphan]) ++bestOrphan;
+      std::vector<NodeId> walk{newRoot};
+      for (std::size_t i = 0; i < walk.size(); ++i) {
+        const NodeId c = walk[i];
+        if (degree[static_cast<std::size_t>(c)] < maxOutDegree) {
+          bestParent = c;
+          break;
+        }
+        for (const NodeId ch : children[static_cast<std::size_t>(c)])
+          walk.push_back(ch);
+      }
+    }
     OMT_ASSERT(bestParent != kNoNode,
                "no feasible re-attachment despite cap >= 1");
     const NodeId root = orphanRoots[bestOrphan];
     attachedOrphan[bestOrphan] = 1;
     newParent[static_cast<std::size_t>(root)] = bestParent;
     ++degree[static_cast<std::size_t>(bestParent)];
+    children[static_cast<std::size_t>(bestParent)].push_back(root);
     ++result.reattachedSubtrees;
     // The whole orphaned subtree becomes connected.
     stack.assign(1, root);

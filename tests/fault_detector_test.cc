@@ -1,0 +1,143 @@
+#include "omt/fault/detector.h"
+
+#include <gtest/gtest.h>
+
+#include "omt/random/rng.h"
+#include "omt/random/samplers.h"
+
+namespace omt {
+namespace {
+
+struct Rig {
+  OverlaySession session;
+  ControlChannel channel;
+  HeartbeatDetector detector;
+
+  Rig(int joins, std::uint64_t seed, double lossRate,
+      const DetectorOptions& options = {})
+      : session(Point(2), {.maxOutDegree = 6}),
+        channel({.lossRate = lossRate,
+                 .seed = deriveSeed(seed, 0x63ULL)}),
+        detector(session, channel, options, deriveSeed(seed, 0x64ULL)) {
+    Rng rng(seed);
+    for (int i = 0; i < joins; ++i) session.join(sampleUnitBall(rng, 2));
+    for (NodeId id = 0; id < session.hostCount(); ++id) {
+      if (session.isLive(id)) detector.track(id, 0.0);
+    }
+  }
+
+  NodeId internalHost() const {
+    for (NodeId id = 1; id < session.hostCount(); ++id) {
+      if (session.isLive(id) && !session.childrenOf(id).empty()) return id;
+    }
+    return kNoNode;
+  }
+  NodeId leafHost() const {
+    for (NodeId id = 1; id < session.hostCount(); ++id) {
+      if (session.isLive(id) && session.childrenOf(id).empty()) return id;
+    }
+    return kNoNode;
+  }
+};
+
+TEST(FaultDetectorTest, LosslessSteadyStateNeverSuspects) {
+  Rig rig(60, 31, 0.0);
+  const auto verdicts = rig.detector.advanceTo(20.0);
+  EXPECT_TRUE(verdicts.empty());
+  EXPECT_EQ(rig.detector.stats().suspicions, 0);
+  EXPECT_EQ(rig.detector.stats().missedProbes, 0);
+  EXPECT_GT(rig.detector.stats().probes, 0);
+}
+
+TEST(FaultDetectorTest, InternalCrashDetectedWithinTheMissBudget) {
+  Rig rig(60, 32, 0.0);
+  EXPECT_TRUE(rig.detector.advanceTo(5.0).empty());
+  const NodeId victim = rig.internalHost();
+  ASSERT_NE(victim, kNoNode);
+  rig.session.crash(victim);
+  rig.detector.noteCrash(victim, 5.0);
+
+  const auto verdicts = rig.detector.advanceTo(20.0);
+  ASSERT_FALSE(verdicts.empty());
+  EXPECT_EQ(verdicts[0].suspect, victim);
+  EXPECT_FALSE(verdicts[0].suspectWasAlive);
+  EXPECT_EQ(rig.detector.stats().confirmedCrashes, 1);
+  EXPECT_EQ(rig.detector.stats().falsePositives, 0);
+  // At most threshold+1 child probe periods (period <= 0.55 with jitter),
+  // plus slack for the lease path firing first.
+  EXPECT_LE(rig.detector.stats().detectionLatency.max(), 3.0);
+  EXPECT_GT(rig.detector.stats().detectionLatency.min(), 0.0);
+}
+
+TEST(FaultDetectorTest, LeafCrashDetectedByTheParentLease) {
+  Rig rig(60, 33, 0.0);
+  EXPECT_TRUE(rig.detector.advanceTo(5.0).empty());
+  const NodeId victim = rig.leafHost();
+  ASSERT_NE(victim, kNoNode);
+  const NodeId parent = rig.session.parentOf(victim);
+  rig.session.crash(victim);
+  rig.detector.noteCrash(victim, 5.0);
+
+  const auto verdicts = rig.detector.advanceTo(20.0);
+  ASSERT_FALSE(verdicts.empty());
+  EXPECT_EQ(verdicts[0].suspect, victim);
+  EXPECT_EQ(verdicts[0].accuser, parent);
+  EXPECT_FALSE(verdicts[0].suspectWasAlive);
+  // Lease is leaseFactor jittered periods, checked on the parent's ticks.
+  EXPECT_LE(rig.detector.stats().detectionLatency.max(),
+            (4.0 + 2.0) * 0.55 + 0.1);
+}
+
+TEST(FaultDetectorTest, DeadHostIsDeclaredOnlyOnce) {
+  Rig rig(60, 34, 0.0);
+  const NodeId victim = rig.internalHost();
+  ASSERT_NE(victim, kNoNode);
+  rig.session.crash(victim);
+  rig.detector.noteCrash(victim, 0.0);
+  std::int64_t declarations = 0;
+  for (double t = 2.0; t <= 30.0; t += 2.0) {
+    for (const auto& verdict : rig.detector.advanceTo(t)) {
+      if (verdict.suspect == victim) ++declarations;
+    }
+  }
+  EXPECT_EQ(declarations, 1);
+  EXPECT_EQ(rig.detector.stats().confirmedCrashes, 1);
+}
+
+TEST(FaultDetectorTest, LossyChannelReinstatesFalseSuspicions) {
+  Rig rig(40, 35, 0.45);
+  rig.detector.advanceTo(60.0);
+  const DetectorStats& stats = rig.detector.stats();
+  EXPECT_GT(stats.missedProbes, 0);
+  EXPECT_GT(stats.suspicions, 0);
+  // Confirmation rounds rescue (nearly) all of them; everyone is alive.
+  EXPECT_GT(stats.reinstatements, 0);
+  EXPECT_EQ(stats.confirmedCrashes, 0);
+}
+
+TEST(FaultDetectorTest, TotalLossProducesFalsePositives) {
+  Rig rig(20, 36, 1.0);
+  const auto verdicts = rig.detector.advanceTo(30.0);
+  ASSERT_FALSE(verdicts.empty());
+  for (const auto& verdict : verdicts) EXPECT_TRUE(verdict.suspectWasAlive);
+  EXPECT_GT(rig.detector.stats().falsePositives, 0);
+  EXPECT_EQ(rig.detector.stats().reinstatements, 0);
+  EXPECT_EQ(rig.detector.stats().confirmedCrashes, 0);
+}
+
+TEST(FaultDetectorTest, RejectsInvalidOptions) {
+  OverlaySession session(Point(2), {.maxOutDegree = 6});
+  ControlChannel channel({});
+  EXPECT_THROW(
+      HeartbeatDetector(session, channel, {.probePeriod = 0.0}, 1),
+      InvalidArgument);
+  EXPECT_THROW(
+      HeartbeatDetector(session, channel, {.suspicionThreshold = 0}, 1),
+      InvalidArgument);
+  EXPECT_THROW(
+      HeartbeatDetector(session, channel, {.leaseFactor = 0.5}, 1),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace omt

@@ -1,0 +1,115 @@
+#include "omt/fault/invariants.h"
+
+#include <gtest/gtest.h>
+
+#include "omt/random/rng.h"
+#include "omt/random/samplers.h"
+
+namespace omt {
+namespace {
+
+OverlaySession makeSession(int joins, std::uint64_t seed, int maxDegree = 6) {
+  Rng rng(seed);
+  OverlaySession session(Point(2), {.maxOutDegree = maxDegree});
+  for (int i = 0; i < joins; ++i) session.join(sampleUnitBall(rng, 2));
+  return session;
+}
+
+/// Number of live hosts in the subtree rooted at `root` (inclusive).
+std::int64_t liveSubtreeSize(const OverlaySession& session, NodeId root) {
+  std::int64_t size = session.isLive(root) ? 1 : 0;
+  for (const NodeId child : session.childrenOf(root))
+    size += liveSubtreeSize(session, child);
+  return size;
+}
+
+TEST(FaultInvariantsTest, CleanSessionPassesBothLevels) {
+  const OverlaySession session = makeSession(200, 11);
+  const InvariantReport hard = checkSessionInvariants(session);
+  EXPECT_TRUE(hard.ok) << hard.message;
+  EXPECT_EQ(hard.disconnectedLiveHosts, 0);
+  const InvariantReport repaired =
+      checkSessionInvariants(session, {.requireRepaired = true});
+  EXPECT_TRUE(repaired.ok) << repaired.message;
+  EXPECT_EQ(countDisconnectedLiveHosts(session), 0);
+}
+
+TEST(FaultInvariantsTest, PendingCrashDegradesButStaysStructurallySound) {
+  OverlaySession session = makeSession(200, 12);
+  // Crash an internal host: hard invariants must still hold mid-outage,
+  // and its live subtree shows up as disconnected.
+  NodeId victim = kNoNode;
+  for (NodeId id = 1; id < session.hostCount(); ++id) {
+    if (session.isLive(id) && !session.childrenOf(id).empty()) {
+      victim = id;
+      break;
+    }
+  }
+  ASSERT_NE(victim, kNoNode);
+  const std::int64_t below = liveSubtreeSize(session, victim);
+  session.crash(victim);
+
+  const InvariantReport hard = checkSessionInvariants(session);
+  EXPECT_TRUE(hard.ok) << hard.message;
+  EXPECT_EQ(hard.disconnectedLiveHosts, below - 1);
+  EXPECT_EQ(countDisconnectedLiveHosts(session), below - 1);
+
+  const InvariantReport repaired =
+      checkSessionInvariants(session, {.requireRepaired = true});
+  EXPECT_FALSE(repaired.ok);
+}
+
+TEST(FaultInvariantsTest, RepairRestoresTheRepairedLevel) {
+  OverlaySession session = makeSession(200, 13);
+  NodeId victim = kNoNode;
+  for (NodeId id = 1; id < session.hostCount(); ++id) {
+    if (session.isLive(id) && !session.childrenOf(id).empty()) {
+      victim = id;
+      break;
+    }
+  }
+  ASSERT_NE(victim, kNoNode);
+  session.crash(victim);
+  session.repairCrashed(victim);
+
+  const InvariantReport repaired =
+      checkSessionInvariants(session, {.requireRepaired = true});
+  EXPECT_TRUE(repaired.ok) << repaired.message;
+  EXPECT_EQ(repaired.disconnectedLiveHosts, 0);
+  EXPECT_EQ(session.undetectedCrashes(), 0);
+}
+
+TEST(FaultInvariantsTest, SurvivesChurnWithInterleavedCrashes) {
+  Rng rng(14);
+  OverlaySession session(Point(2), {.maxOutDegree = 3});
+  std::vector<NodeId> pending;
+  for (int step = 0; step < 400; ++step) {
+    const double u = rng.uniform();
+    if (u < 0.6 || session.liveCount() < 3) {
+      session.join(sampleUnitBall(rng, 2));
+    } else {
+      const auto id = static_cast<NodeId>(
+          1 + rng.uniformInt(static_cast<std::uint64_t>(
+                  session.hostCount() - 1)));
+      if (session.isLive(id)) {
+        if (u < 0.8) {
+          session.leave(id);
+        } else {
+          session.crash(id);
+          pending.push_back(id);
+        }
+      } else if (session.isPendingCrash(id)) {
+        session.repairCrashed(id);
+      }
+    }
+    const InvariantReport hard = checkSessionInvariants(session);
+    ASSERT_TRUE(hard.ok) << "step " << step << ": " << hard.message;
+  }
+  session.detectAndRepair();
+  const InvariantReport repaired =
+      checkSessionInvariants(session, {.requireRepaired = true});
+  EXPECT_TRUE(repaired.ok) << repaired.message;
+}
+
+}  // namespace
+}  // namespace omt

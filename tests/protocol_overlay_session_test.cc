@@ -301,3 +301,227 @@ TEST(OverlaySessionCrashTest, MixedOperationStress) {
 
 }  // namespace
 }  // namespace omt
+
+namespace omt {
+namespace {
+
+TEST(OverlaySessionCrashTest, CrashesPendingAcrossRegridAreAbsorbed) {
+  // A regrid rebuilds the overlay from live hosts only, so crashes that
+  // are still pending when it fires must come out fully repaired.
+  Rng rng(60);
+  OverlaySession session(Point{0.0, 0.0}, degree(6));
+  std::vector<NodeId> ids;
+  for (int i = 0; i < 200; ++i)
+    ids.push_back(session.join(sampleUnitBall(rng, 2)));
+  std::vector<NodeId> victims;
+  for (std::size_t i = 0; i < ids.size(); i += 11) {
+    session.crash(ids[i]);
+    victims.push_back(ids[i]);
+  }
+  EXPECT_EQ(session.undetectedCrashes(),
+            static_cast<std::int64_t>(victims.size()));
+
+  // Keep joining until the growth factor forces a regrid.
+  const std::int64_t regridsBefore = session.stats().regrids;
+  while (session.stats().regrids == regridsBefore)
+    session.join(sampleUnitBall(rng, 2));
+
+  EXPECT_EQ(session.undetectedCrashes(), 0);
+  for (const NodeId v : victims) {
+    EXPECT_FALSE(session.isLive(v));
+    EXPECT_FALSE(session.isPendingCrash(v));
+    EXPECT_EQ(session.parentOf(v), kNoNode);
+    EXPECT_TRUE(session.childrenOf(v).empty());
+  }
+  check(session, 6);
+  EXPECT_EQ(session.detectAndRepair(), 0);  // nothing left to find
+}
+
+TEST(OverlaySessionCrashTest, LocalRepairClearsSnapshotPrecondition) {
+  Rng rng(61);
+  OverlaySession session(Point{0.0, 0.0}, degree(6));
+  std::vector<NodeId> ids;
+  for (int i = 0; i < 100; ++i)
+    ids.push_back(session.join(sampleUnitBall(rng, 2)));
+
+  session.crash(ids[10]);
+  session.crash(ids[20]);
+  EXPECT_THROW(session.snapshot(), InvalidArgument);
+
+  session.repairCrashed(ids[10]);
+  EXPECT_EQ(session.undetectedCrashes(), 1);
+  EXPECT_THROW(session.snapshot(), InvalidArgument);  // one still pending
+
+  session.repairCrashed(ids[20]);
+  EXPECT_EQ(session.undetectedCrashes(), 0);
+  check(session, 6);
+
+  // Preconditions: only a pending crash can be locally repaired.
+  EXPECT_THROW(session.repairCrashed(ids[10]), InvalidArgument);  // purged
+  EXPECT_THROW(session.repairCrashed(ids[30]), InvalidArgument);  // live
+}
+
+TEST(OverlaySessionCrashTest, AccountingUnderInterleavedJoinCrashLeave) {
+  Rng rng(62);
+  OverlaySession session(Point{0.0, 0.0}, degree(6));
+  std::vector<NodeId> live;
+  std::vector<NodeId> pending;
+  for (int step = 0; step < 600; ++step) {
+    const double dice = rng.uniform();
+    if (live.size() < 20 || dice < 0.5) {
+      live.push_back(session.join(sampleUnitBall(rng, 2)));
+    } else if (dice < 0.7) {
+      const std::size_t pick = rng.uniformInt(live.size());
+      session.leave(live[pick]);
+      live[pick] = live.back();
+      live.pop_back();
+    } else if (dice < 0.9 || pending.empty()) {
+      const std::size_t pick = rng.uniformInt(live.size());
+      session.crash(live[pick]);
+      pending.push_back(live[pick]);
+      live[pick] = live.back();
+      live.pop_back();
+    } else {
+      session.repairCrashed(pending.back());
+      pending.pop_back();
+    }
+    // Regrids absorb all pending crashes as a side effect.
+    for (std::size_t i = 0; i < pending.size();) {
+      if (!session.isPendingCrash(pending[i])) {
+        pending[i] = pending.back();
+        pending.pop_back();
+      } else {
+        ++i;
+      }
+    }
+    ASSERT_EQ(session.undetectedCrashes(),
+              static_cast<std::int64_t>(pending.size()))
+        << "step " << step;
+    ASSERT_EQ(session.liveCount(), static_cast<std::int64_t>(live.size()) + 1)
+        << "step " << step;
+  }
+  for (const NodeId dead : pending) session.repairCrashed(dead);
+  EXPECT_EQ(session.undetectedCrashes(), 0);
+  check(session, 6);
+}
+
+/// First live host whose parent and grandparent are both live non-source
+/// hosts and whose backup hint points at that grandparent.
+NodeId depthTwoHost(const OverlaySession& session) {
+  for (NodeId id = 1; id < session.hostCount(); ++id) {
+    if (!session.isLive(id)) continue;
+    const NodeId p = session.parentOf(id);
+    if (p == kNoNode || p == 0 || !session.isLive(p)) continue;
+    const NodeId gp = session.parentOf(p);
+    if (gp == kNoNode || gp == 0 || !session.isLive(gp)) continue;
+    if (session.backupParentOf(id) == gp) return id;
+  }
+  return kNoNode;
+}
+
+TEST(OverlaySessionCrashTest, BackupParentRepairsOrphanInOneContactHop) {
+  Rng rng(65);
+  OverlaySession session(Point{0.0, 0.0}, degree(2));
+  for (int i = 0; i < 40; ++i) session.join(sampleUnitBall(rng, 2));
+
+  const NodeId v = depthTwoHost(session);
+  ASSERT_NE(v, kNoNode);
+  const NodeId p = session.parentOf(v);
+  const NodeId gp = session.parentOf(p);
+
+  // Purging p frees exactly the slot p held at gp, so the first orphan
+  // whose backup hint is gp re-attaches there in O(1) contacts.
+  session.crash(p);
+  const RepairReport report = session.repairCrashed(p);
+  EXPECT_GE(report.orphansReplaced, 1);
+  EXPECT_GE(report.backupHits, 1);
+  EXPECT_EQ(report.backupHits + report.fallbacks, report.orphansReplaced);
+  EXPECT_EQ(session.stats().backupHits, report.backupHits);
+  bool someOrphanLandedOnGp = false;
+  for (const NodeId child : session.childrenOf(gp))
+    someOrphanLandedOnGp = someOrphanLandedOnGp || child == v ||
+                           session.backupParentOf(child) == gp;
+  EXPECT_TRUE(someOrphanLandedOnGp);
+  check(session, 2);
+}
+
+TEST(OverlaySessionCrashTest, DeadBackupFallsBackToFullPlacement) {
+  Rng rng(66);
+  OverlaySession session(Point{0.0, 0.0}, degree(2));
+  for (int i = 0; i < 40; ++i) session.join(sampleUnitBall(rng, 2));
+
+  const NodeId v = depthTwoHost(session);
+  ASSERT_NE(v, kNoNode);
+  const NodeId p = session.parentOf(v);
+  const NodeId gp = session.parentOf(p);
+
+  // Both the parent and the backup die: v's repair must degrade to the
+  // full placement path, never attach to the dead backup.
+  session.crash(gp);
+  session.crash(p);
+  const RepairReport report = session.repairCrashed(p);
+  EXPECT_GE(report.orphansReplaced, 1);
+  EXPECT_GE(report.fallbacks, 1);
+  EXPECT_TRUE(session.isLive(v));
+  EXPECT_NE(session.parentOf(v), gp);
+  if (session.isPendingCrash(gp)) session.repairCrashed(gp);
+  EXPECT_EQ(session.undetectedCrashes(), 0);
+  check(session, 2);
+}
+
+TEST(OverlaySessionCrashTest, MigrateRehomesAndValidates) {
+  Rng rng(63);
+  OverlaySession session(Point{0.0, 0.0}, degree(6));
+  std::vector<NodeId> ids;
+  for (int i = 0; i < 100; ++i)
+    ids.push_back(session.join(sampleUnitBall(rng, 2)));
+
+  // A wrongful eviction: the host walks away from its parent and re-homes;
+  // the tree stays valid and the membership unchanged.
+  const NodeId mover = ids[40];
+  const std::int64_t liveBefore = session.liveCount();
+  const RepairReport report = session.migrate(mover);
+  EXPECT_EQ(report.orphansReplaced, 1);
+  EXPECT_GE(report.contacts, 2);  // goodbye + at least one candidate
+  EXPECT_TRUE(session.isLive(mover));
+  EXPECT_EQ(session.liveCount(), liveBefore);
+  check(session, 6);
+
+  EXPECT_THROW(session.migrate(session.sourceId()), InvalidArgument);
+  session.crash(ids[41]);
+  EXPECT_THROW(session.migrate(ids[41]), InvalidArgument);  // dead host
+  session.repairCrashed(ids[41]);
+}
+
+TEST(OverlaySessionCrashTest, LocalRepairStressMatchesSweepResult) {
+  // Repair every crash locally under churn; the overlay must stay a valid
+  // degree-bounded spanning tree just as it does under the global sweep.
+  Rng rng(64);
+  OverlaySession session(Point{0.0, 0.0}, degree(3));
+  std::vector<NodeId> live;
+  for (int step = 0; step < 1500; ++step) {
+    const double dice = rng.uniform();
+    if (live.size() < 30 || dice < 0.5) {
+      live.push_back(session.join(sampleUnitBall(rng, 2)));
+    } else if (dice < 0.7) {
+      const std::size_t pick = rng.uniformInt(live.size());
+      session.leave(live[pick]);
+      live[pick] = live.back();
+      live.pop_back();
+    } else {
+      const std::size_t pick = rng.uniformInt(live.size());
+      const NodeId victim = live[pick];
+      live[pick] = live.back();
+      live.pop_back();
+      session.crash(victim);
+      if (session.isPendingCrash(victim)) session.repairCrashed(victim);
+    }
+  }
+  EXPECT_EQ(session.undetectedCrashes(), 0);
+  const TreeMetrics m = check(session, 3);
+  EXPECT_LE(m.maxOutDegree, 3);
+  EXPECT_GT(session.stats().backupHits, 0);
+}
+
+}  // namespace
+}  // namespace omt

@@ -150,3 +150,70 @@ TEST(RepairTest, MassDeparture) {
 
 }  // namespace
 }  // namespace omt
+
+namespace omt {
+namespace {
+
+/// A perfect binary tree of `levels` levels rooted at 0: every internal
+/// node carries exactly maxOutDegree = 2 children, so no connected node has
+/// spare capacity until a departure frees a slot.
+struct SaturatedFixture {
+  std::vector<Point> points;
+  MulticastTree tree;
+
+  explicit SaturatedFixture(int levels)
+      : tree((NodeId{1} << levels) - 1, 0) {
+    const NodeId n = (NodeId{1} << levels) - 1;
+    points.reserve(static_cast<std::size_t>(n));
+    for (NodeId v = 0; v < n; ++v) {
+      points.push_back(Point{static_cast<double>(v % 17) * 0.05,
+                             static_cast<double>(v % 13) * 0.05});
+      if (v > 0) tree.attach(v, (v - 1) / 2, EdgeKind::kLocal);
+    }
+    tree.finalize();
+  }
+};
+
+TEST(RepairTest, FullySaturatedDegreeTwoTreeStaysRepairable) {
+  // Regression: every internal node is at the cap, so re-attachment slots
+  // exist only at leaves and at parents freed by the departures. The repair
+  // must place every orphan without breaching the cap.
+  const SaturatedFixture f(6);  // 63 nodes, 31 internal at full capacity
+  std::vector<NodeId> departed{1, 4, 10, 22};  // a root-to-leaf-ish chain
+  const RepairResult repair =
+      repairAfterDepartures(f.tree, f.points, departed, 2);
+  const ValidationResult valid = validate(repair.tree, {.maxOutDegree = 2});
+  EXPECT_TRUE(valid.ok) << valid.message;
+  EXPECT_EQ(repair.tree.size(),
+            static_cast<NodeId>(f.points.size() - departed.size()));
+  EXPECT_GT(repair.reattachedSubtrees, 0);
+}
+
+TEST(RepairTest, SaturatedTreeSurvivesHeavyInternalDeparture) {
+  const SaturatedFixture f(7);  // 127 nodes
+  std::vector<NodeId> departed;
+  for (NodeId v = 1; v < 63; v += 3) departed.push_back(v);  // internals only
+  const RepairResult repair =
+      repairAfterDepartures(f.tree, f.points, departed, 2);
+  const ValidationResult valid = validate(repair.tree, {.maxOutDegree = 2});
+  EXPECT_TRUE(valid.ok) << valid.message;
+}
+
+TEST(RepairTest, NonFiniteCoordinatesFallBackToCapacityWalk) {
+  // Regression for the formerly unguarded failure path: with non-finite
+  // coordinates every distance comparison is false, so the greedy scan
+  // finds no pair and the distance-blind capacity walk must take over.
+  const SaturatedFixture finite(4);
+  std::vector<Point> points = finite.points;
+  for (auto& p : points) p = Point{kInf, kInf};
+  const std::vector<NodeId> departed{1, 2};
+  const RepairResult repair =
+      repairAfterDepartures(finite.tree, points, departed, 2);
+  const ValidationResult valid = validate(repair.tree, {.maxOutDegree = 2});
+  EXPECT_TRUE(valid.ok) << valid.message;
+  EXPECT_EQ(repair.tree.size(),
+            static_cast<NodeId>(points.size() - departed.size()));
+}
+
+}  // namespace
+}  // namespace omt
