@@ -16,8 +16,10 @@ int main(int argc, char** argv) {
   auto csv = openCsv(args, {"n", "core", "delay", "bound", "bound_over_delay",
                             "delay_minus_core"});
 
+  auto trialsCsv = openTrialsCsv(args);
   for (const RowSpec& spec : tableOneSizes(args)) {
     const RowStats row = runRow(spec.n, spec.trials, 6, 2, 100, args.threads);
+    appendTrialRows(trialsCsv.get(), row);
     table.addRow({TextTable::count(spec.n),
                   TextTable::num(row.core.mean(), 3),
                   TextTable::num(row.delay.mean(), 3),

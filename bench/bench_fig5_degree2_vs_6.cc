@@ -15,9 +15,12 @@ int main(int argc, char** argv) {
   auto csv = openCsv(args, {"n", "delay6", "delay2", "overhead6", "overhead2",
                             "overhead_ratio"});
 
+  auto trialsCsv = openTrialsCsv(args);
   for (const RowSpec& spec : tableOneSizes(args)) {
     const RowStats deg6 = runRow(spec.n, spec.trials, 6, 2, 100, args.threads);
     const RowStats deg2 = runRow(spec.n, spec.trials, 2, 2, 200, args.threads);
+    appendTrialRows(trialsCsv.get(), deg6);
+    appendTrialRows(trialsCsv.get(), deg2);
     const double overhead6 = deg6.delay.mean() - 1.0;
     const double overhead2 = deg2.delay.mean() - 1.0;
     table.addRow({TextTable::count(spec.n),

@@ -3,6 +3,15 @@
 // argues O(n) expected: one pass assigns points to cells, cells hold O(1)
 // points on average, so bisection is O(1) per cell over O(n) cells).
 // Absolute seconds differ from the paper's Pentium II, of course.
+//
+// Construction is timed with the parallel pipeline at its effective worker
+// count (OMT_THREADS or auto; trials stay sequential by default so the
+// timed seconds are honest). Besides the table/CSV, the run always writes
+// BENCH_construction.json so successive PRs can track the perf trajectory:
+//   {"bench": "fig7_construction", "rows": [{"n": ..., "seconds": ...,
+//    "ns_per_node": ..., "threads": ...}, ...]}
+#include <fstream>
+
 #include "common.h"
 
 int main(int argc, char** argv) {
@@ -11,13 +20,19 @@ int main(int argc, char** argv) {
   const Args args = parseArgs(argc, argv);
 
   std::cout << "Figure 7: running time vs n (out-degree 6)\n\n";
-  TextTable table({"Nodes", "Seconds", "ns/node", "vs-prev-row"});
-  auto csv = openCsv(args, {"n", "seconds", "ns_per_node", "scaling"});
+  TextTable table({"Nodes", "Seconds", "ns/node", "Threads", "vs-prev-row"});
+  auto csv = openCsv(args, {"n", "seconds", "ns_per_node", "threads",
+                            "scaling"});
+  auto trialsCsv = openTrialsCsv(args);
+  std::ofstream json("BENCH_construction.json");
+  json << "{\"bench\": \"fig7_construction\", \"rows\": [";
 
   double prevSeconds = 0.0;
   std::int64_t prevN = 0;
+  bool firstRow = true;
   for (const RowSpec& spec : tableOneSizes(args)) {
-    const RowStats row = runRow(spec.n, spec.trials, 6, 2, 100);
+    const RowStats row = runRow(spec.n, spec.trials, 6, 2, 100, args.threads);
+    appendTrialRows(trialsCsv.get(), row);
     const double seconds = row.seconds.mean();
     const double perNode = seconds / static_cast<double>(spec.n) * 1e9;
     // Linear scaling means time ratio ~ size ratio; report their quotient
@@ -29,17 +44,28 @@ int main(int argc, char** argv) {
       scaling = TextTable::num(seconds / expected, 2);
     }
     table.addRow({TextTable::count(spec.n), TextTable::num(seconds, 4),
-                  TextTable::num(perNode, 0), scaling});
+                  TextTable::num(perNode, 0),
+                  std::to_string(row.buildWorkers), scaling});
     if (csv) {
       csv->writeRow({std::to_string(spec.n), std::to_string(seconds),
-                     std::to_string(perNode), scaling});
+                     std::to_string(perNode),
+                     std::to_string(row.buildWorkers), scaling});
     }
+    if (!firstRow) json << ", ";
+    firstRow = false;
+    json << "{\"n\": " << spec.n << ", \"seconds\": " << seconds
+         << ", \"ns_per_node\": " << perNode
+         << ", \"threads\": " << row.buildWorkers << "}";
     prevSeconds = seconds;
     prevN = spec.n;
   }
+  json << "]}\n";
   std::cout << table.str();
   std::cout << "\nShape check: ns/node stays roughly flat (near-linear "
                "runtime; paper Figure 7). Paper: 0.02s @ 1k, 2.0s @ 100k, "
-               "23s @ 1M, 132s @ 5M on a Pentium II 400MHz.\n";
+               "23s @ 1M, 132s @ 5M on a Pentium II 400MHz.\n"
+               "Thread sweep: rerun with OMT_THREADS=1 vs OMT_THREADS=8 to "
+               "measure construction scaling (wrote "
+               "BENCH_construction.json).\n";
   return 0;
 }

@@ -18,9 +18,12 @@ int main(int argc, char** argv) {
       openCsv(args, {"n", "delay10", "dev10", "delay2", "dev2", "rings",
                      "gap"});
 
+  auto trialsCsv = openTrialsCsv(args);
   for (const RowSpec& spec : tableOneSizes(args)) {
     const RowStats deg10 = runRow(spec.n, spec.trials, 10, 3, 300, args.threads);
     const RowStats deg2 = runRow(spec.n, spec.trials, 2, 3, 400, args.threads);
+    appendTrialRows(trialsCsv.get(), deg10);
+    appendTrialRows(trialsCsv.get(), deg2);
     table.addRow({TextTable::count(spec.n),
                   TextTable::num(deg10.delay.mean(), 3),
                   TextTable::num(deg10.delay.populationStddev(), 2),

@@ -25,9 +25,12 @@ int main(int argc, char** argv) {
                             "bound6", "sec6", "core2", "delay2", "dev2",
                             "bound2", "sec2"});
 
+  auto trialsCsv = openTrialsCsv(args);
   for (const RowSpec& spec : rows) {
     const RowStats deg6 = runRow(spec.n, spec.trials, 6, 2, 100, args.threads);
     const RowStats deg2 = runRow(spec.n, spec.trials, 2, 2, 200, args.threads);
+    appendTrialRows(trialsCsv.get(), deg6);
+    appendTrialRows(trialsCsv.get(), deg2);
     table.addRow({TextTable::count(spec.n), TextTable::count(spec.trials),
                   TextTable::num(deg6.rings.mean(), 2),
                   TextTable::num(deg6.core.mean(), 2),

@@ -5,10 +5,20 @@
 // ball) with the source at the center, build the tree, and average max
 // delay, core delay, ring count, the eq. (7) bound at j = 0, and wall-clock
 // seconds. Every bench accepts:
-//   --full         paper-scale sizes (up to 5,000,000) and trial counts
-//   --max-n N      cap the size sweep
-//   --trials T     fixed trial count for every row
-//   --csv PATH     also write the rows as CSV
+//   --full             paper-scale sizes (up to 5,000,000) and trial counts
+//   --max-n N          cap the size sweep
+//   --trials T         fixed trial count for every row
+//   --csv PATH         also write the aggregate rows as CSV
+//   --trials-csv PATH  also write one CSV row per trial (n, trial, seed,
+//                      threads, seconds) so any run reproduces row-for-row
+//   --threads T|0      worker threads over independent trials (0 = auto)
+//
+// Thread accounting: with --threads 1 (the default) trials run one after
+// another and each construction uses the pipeline's own workers
+// (OMT_THREADS or auto), so timed seconds reflect the parallel build; with
+// --threads > 1 trials run concurrently and each construction runs
+// single-threaded (nested parallelism collapses inline). Both effective
+// counts are recorded on every row.
 #pragma once
 
 #include <cstdint>
@@ -21,10 +31,10 @@
 
 #include "omt/core/bounds.h"
 #include "omt/core/polar_grid_tree.h"
+#include "omt/parallel/parallel_for.h"
 #include "omt/random/rng.h"
 #include "omt/random/samplers.h"
 #include "omt/report/csv.h"
-#include "omt/report/parallel.h"
 #include "omt/report/stats.h"
 #include "omt/report/stopwatch.h"
 #include "omt/report/table.h"
@@ -38,8 +48,9 @@ struct Args {
   std::optional<std::int64_t> maxN;
   std::optional<int> trials;
   std::optional<std::string> csvPath;
+  std::optional<std::string> trialsCsvPath;
   /// Worker threads for independent trials; 1 keeps builds timed without
-  /// contention (the default), --full runs benefit from more.
+  /// trial-level contention (the default), --full runs benefit from more.
   int threads = 1;
 };
 
@@ -55,13 +66,15 @@ inline Args parseArgs(int argc, char** argv) {
       args.trials = std::atoi(argv[++i]);
     } else if (arg == "--csv" && i + 1 < argc) {
       args.csvPath = argv[++i];
+    } else if (arg == "--trials-csv" && i + 1 < argc) {
+      args.trialsCsvPath = argv[++i];
     } else if (arg == "--threads" && i + 1 < argc) {
       args.threads = std::atoi(argv[++i]);
-      if (args.threads <= 0) args.threads = defaultWorkerCount();
+      if (args.threads <= 0) args.threads = resolveWorkers(0);
     } else {
       std::cerr << "usage: " << argv[0]
                 << " [--full] [--max-n N] [--trials T] [--csv PATH]"
-                   " [--threads T|0]\n";
+                   " [--trials-csv PATH] [--threads T|0]\n";
       std::exit(2);
     }
   }
@@ -97,13 +110,28 @@ inline std::vector<RowSpec> tableOneSizes(const Args& args) {
   return rows;
 }
 
+/// One trial's provenance and timing; enough to rerun that exact trial.
+struct TrialRecord {
+  std::int64_t n = 0;
+  int trial = 0;
+  std::uint64_t seed = 0;
+  double seconds = 0.0;
+};
+
 struct RowStats {
   std::int64_t n = 0;
+  /// Effective worker threads over independent trials.
+  int trialThreads = 1;
+  /// Effective worker threads inside each timed construction (1 when the
+  /// trial loop itself is parallel — nested parallelism runs inline).
+  int buildWorkers = 1;
   RunningStats rings;
   RunningStats core;
   RunningStats delay;
   RunningStats bound;
   RunningStats seconds;
+  /// Per-trial records in trial order (deterministic for any thread count).
+  std::vector<TrialRecord> trials;
 };
 
 /// One Table-I row: `trials` independent point sets, tree built with the
@@ -114,12 +142,16 @@ inline RowStats runRow(std::int64_t n, int trials, int degree, int dim,
   std::vector<RowStats> partial(static_cast<std::size_t>(trials));
   parallelFor(0, trials, threads, [&](std::int64_t trial) {
     RowStats& local = partial[static_cast<std::size_t>(trial)];
-    Rng rng(deriveSeed(experimentId, static_cast<std::uint64_t>(trial)));
+    const std::uint64_t seed =
+        deriveSeed(experimentId, static_cast<std::uint64_t>(trial));
+    Rng rng(seed);
     const std::vector<Point> points = sampleDiskWithCenterSource(rng, n, dim);
     Stopwatch watch;
     const PolarGridResult result =
         buildPolarGridTree(points, 0, {.maxOutDegree = degree});
-    local.seconds.add(watch.seconds());
+    const double elapsed = watch.seconds();
+    local.seconds.add(elapsed);
+    local.trials.push_back({n, static_cast<int>(trial), seed, elapsed});
     const ValidationResult valid =
         validate(result.tree, {.maxOutDegree = degree});
     OMT_CHECK(valid.ok, "invalid tree at n=" + std::to_string(n) +
@@ -133,12 +165,16 @@ inline RowStats runRow(std::int64_t n, int trials, int degree, int dim,
   });
   RowStats row;
   row.n = n;
+  row.trialThreads = std::min<std::int64_t>(threads, trials);
+  row.buildWorkers = row.trialThreads > 1 ? 1 : resolveWorkers(0);
   for (const RowStats& local : partial) {
     row.delay.merge(local.delay);
     row.core.merge(local.core);
     row.rings.merge(local.rings);
     row.bound.merge(local.bound);
     row.seconds.merge(local.seconds);
+    row.trials.insert(row.trials.end(), local.trials.begin(),
+                      local.trials.end());
   }
   return row;
 }
@@ -149,6 +185,26 @@ inline std::unique_ptr<CsvWriter> openCsv(const Args& args,
   auto csv = std::make_unique<CsvWriter>(*args.csvPath);
   csv->writeRow(header);
   return csv;
+}
+
+/// Per-trial CSV (--trials-csv): one row per trial with the seed and the
+/// effective thread counts, so a parallel-trial run reproduces row-for-row.
+inline std::unique_ptr<CsvWriter> openTrialsCsv(const Args& args) {
+  if (!args.trialsCsvPath) return nullptr;
+  auto csv = std::make_unique<CsvWriter>(*args.trialsCsvPath);
+  csv->writeRow(
+      {"n", "trial", "seed", "trial_threads", "build_workers", "seconds"});
+  return csv;
+}
+
+inline void appendTrialRows(CsvWriter* csv, const RowStats& row) {
+  if (!csv) return;
+  for (const TrialRecord& t : row.trials) {
+    csv->writeRow({std::to_string(t.n), std::to_string(t.trial),
+                   std::to_string(t.seed), std::to_string(row.trialThreads),
+                   std::to_string(row.buildWorkers),
+                   std::to_string(t.seconds)});
+  }
 }
 
 }  // namespace omt::bench

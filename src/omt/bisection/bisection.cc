@@ -7,6 +7,7 @@
 
 #include "omt/common/error.h"
 #include "omt/geometry/bounding.h"
+#include "omt/parallel/parallel_for.h"
 
 namespace omt {
 
@@ -207,8 +208,10 @@ BisectionTreeResult buildBisectionTree(std::span<const Point> points,
   const RingSegment segment = tightSegment(points, result.ringCenter);
 
   std::vector<PolarCoords> polar(points.size());
-  for (std::size_t i = 0; i < points.size(); ++i)
-    polar[i] = toPolar(points[i], result.ringCenter);
+  parallelFor(0, n, resolveWorkers(options.workers), [&](std::int64_t i) {
+    const auto idx = static_cast<std::size_t>(i);
+    polar[idx] = toPolar(points[idx], result.ringCenter);
+  });
 
   std::vector<NodeId> members;
   std::vector<PolarCoords> memberPolar;

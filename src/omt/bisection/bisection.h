@@ -43,6 +43,10 @@ struct BisectionTreeOptions {
   /// Maximum out-degree of any node (>= 2). The paper's Theorem 1 covers 4
   /// (factor 5) and 2 (factor 9).
   int maxOutDegree = 4;
+  /// Worker threads for the O(n) polar-conversion pass; 0 = auto
+  /// (OMT_THREADS environment variable, else half the hardware threads).
+  /// The built tree is byte-identical for every value.
+  int workers = 0;
 };
 
 struct BisectionTreeResult {

@@ -8,6 +8,7 @@
 #include "omt/common/error.h"
 #include "omt/core/bounds.h"
 #include "omt/grid/assignment.h"
+#include "omt/parallel/parallel_for.h"
 
 namespace omt {
 
@@ -25,11 +26,11 @@ namespace {
 
 /// Index (into `candidates`) of the minimum-radius point, ties by node id.
 std::size_t argMinRadius(std::span<const NodeId> candidates,
-                         std::span<const double> radius) {
+                         std::span<const PolarCoords> polar) {
   std::size_t best = 0;
   for (std::size_t i = 1; i < candidates.size(); ++i) {
-    const double cur = radius[static_cast<std::size_t>(candidates[i])];
-    const double bst = radius[static_cast<std::size_t>(candidates[best])];
+    const double cur = polar[static_cast<std::size_t>(candidates[i])].radius;
+    const double bst = polar[static_cast<std::size_t>(candidates[best])].radius;
     if (cur < bst || (cur == bst && candidates[i] < candidates[best]))
       best = i;
   }
@@ -92,134 +93,161 @@ PolarGridResult buildPolarGridTree(std::span<const Point> points,
   OMT_CHECK(source >= 0 && source < n, "source index out of range");
   OMT_CHECK(options.maxOutDegree >= 2, "out-degree cap must be at least 2");
   const int d = points.front().dim();
+  const int workers = resolveWorkers(options.workers);
 
   AssignmentOptions assignOptions;
   assignOptions.maxRings = options.maxRings;
   assignOptions.outerRadius = options.outerRadius;
-  GridAssignment assignment = assignToGrid(points, source, assignOptions);
+  assignOptions.workers = workers;
+  const GridAssignment assignment = assignToGrid(points, source, assignOptions);
   const PolarGrid& grid = assignment.grid;
   const int k = grid.rings();
   const Point& origin = points[static_cast<std::size_t>(source)];
   const int fanOut = cellBisectionFanOut(d, options.maxOutDegree);
   const int degree = options.maxOutDegree;
 
-  // Radii for representative selection.
-  std::vector<double> radius(points.size());
-  for (std::size_t i = 0; i < points.size(); ++i)
-    radius[i] = distance(points[i], origin);
+  // Radii for representative selection come straight from the assignment's
+  // polar coordinates (toPolar's radius is bit-identical to
+  // distance(point, origin)) — the second full conversion pass the old
+  // pipeline ran is gone.
+  const std::span<const PolarCoords> polar = assignment.polarOfPoint;
 
-  // Stage 2a: representative of every occupied cell = the point "closest
-  // to the center on the inner arc of the segment" (Section III-B): the
-  // member nearest the midpoint of the cell's inner boundary. The source
-  // represents ring 0 by definition.
+  // Stage 2a (parallel over cells): representative of every occupied cell =
+  // the point "closest to the center on the inner arc of the segment"
+  // (Section III-B): the member nearest the midpoint of the cell's inner
+  // boundary. The source represents ring 0 by definition. Each heap id is
+  // written by exactly one chunk, so the pass is race-free and its output
+  // independent of the chunking.
   const std::uint64_t heapIds = grid.heapIdCount();
   std::vector<NodeId> rep(heapIds, kNoNode);
-  for (std::uint64_t h = 1; h < heapIds; ++h) {
-    const auto members = assignment.membersOf(h);
-    if (members.empty()) continue;
-    const int ring = grid.ringOfHeapId(h);
-    const Point innerMid = cellArcMid(grid, ring, grid.cellOfHeapId(h),
-                                      origin, /*outer=*/false);
-    rep[h] = members[argMinDistanceTo(members, points, innerMid)];
-  }
+  parallelForChunks(
+      1, static_cast<std::int64_t>(heapIds), workers,
+      [&](std::int64_t lo, std::int64_t hi, int) {
+        for (std::int64_t hh = lo; hh < hi; ++hh) {
+          const auto h = static_cast<std::uint64_t>(hh);
+          const auto members = assignment.membersOf(h);
+          if (members.empty()) continue;
+          const int ring = grid.ringOfHeapId(h);
+          const Point innerMid = cellArcMid(grid, ring, grid.cellOfHeapId(h),
+                                            origin, /*outer=*/false);
+          rep[h] = members[argMinDistanceTo(members, points, innerMid)];
+        }
+      });
   rep[1] = source;
 
   PolarGridResult result{.tree = MulticastTree(n, source), .grid = grid};
   MulticastTree& tree = result.tree;
   result.occupiedCells = assignment.occupiedCells();
 
-  const auto attachCore = [&](NodeId child, NodeId parent) {
-    tree.attach(child, parent, EdgeKind::kCore);
-    ++result.coreEdgeCount;
-  };
+  // Stages 2b and 3 (parallel over cells). Every attach performed while
+  // iterating cell h has its parent inside cell h (representative, relay,
+  // bisection center, or a bisection-internal node) and a child that no
+  // other cell attaches (h's own non-representative members, or the
+  // representatives of the aligned next-ring cells 2h and 2h+1). Parent
+  // out-degree writes therefore partition by cell and each child's parent
+  // link is written exactly once, so cells are processed concurrently with
+  // no synchronisation; the tree is identical for every worker count.
+  // coreEdgeCount is a per-slot sum reduced after the join.
+  std::vector<std::int64_t> coreEdges(static_cast<std::size_t>(workers), 0);
+  parallelForChunks(
+      1, static_cast<std::int64_t>(heapIds), workers,
+      [&](std::int64_t lo, std::int64_t hi, int slot) {
+        std::int64_t& coreCount = coreEdges[static_cast<std::size_t>(slot)];
+        const auto attachCore = [&](NodeId child, NodeId parent) {
+          tree.attach(child, parent, EdgeKind::kCore);
+          ++coreCount;
+        };
+        std::vector<NodeId> locals;
+        std::vector<PolarCoords> localPolar;
+        for (std::int64_t hh = lo; hh < hi; ++hh) {
+          const auto h = static_cast<std::uint64_t>(hh);
+          const NodeId cellRep = rep[h];
+          if (cellRep == kNoNode) {
+            // Property 3: only outermost-ring cells may be empty.
+            OMT_ASSERT(grid.ringOfHeapId(h) >= k,
+                       "empty cell in an inner ring despite property 3");
+            continue;
+          }
+          const int ring = grid.ringOfHeapId(h);
+          const std::uint64_t cell = grid.cellOfHeapId(h);
 
-  // Stages 2b and 3, cell by cell.
-  std::vector<NodeId> locals;
-  std::vector<PolarCoords> localPolar;
-  for (std::uint64_t h = 1; h < heapIds; ++h) {
-    const NodeId cellRep = rep[h];
-    if (cellRep == kNoNode) {
-      // Property 3: only outermost-ring cells may be empty.
-      OMT_ASSERT(grid.ringOfHeapId(h) >= k,
-                 "empty cell in an inner ring despite property 3");
-      continue;
-    }
-    const int ring = grid.ringOfHeapId(h);
-    const std::uint64_t cell = grid.cellOfHeapId(h);
+          // Representatives of the two aligned cells in the next ring.
+          NodeId childReps[2];
+          int childCount = 0;
+          if (ring < k) {
+            for (std::uint64_t hc = 2 * h; hc <= 2 * h + 1; ++hc) {
+              if (rep[hc] != kNoNode) childReps[childCount++] = rep[hc];
+            }
+          }
 
-    // Representatives of the two aligned cells in the next ring.
-    NodeId childReps[2];
-    int childCount = 0;
-    if (ring < k) {
-      for (std::uint64_t hc = 2 * h; hc <= 2 * h + 1; ++hc) {
-        if (rep[hc] != kNoNode) childReps[childCount++] = rep[hc];
-      }
-    }
+          // Remaining in-cell points.
+          locals.clear();
+          for (const NodeId member : assignment.membersOf(h)) {
+            if (member != cellRep && member != source) locals.push_back(member);
+          }
 
-    // Remaining in-cell points.
-    locals.clear();
-    for (const NodeId member : assignment.membersOf(h)) {
-      if (member != cellRep && member != source) locals.push_back(member);
-    }
+          // Apply the degree policy; pick the bisection root and relay wiring.
+          NodeId bisectRoot = cellRep;
+          int bisectFanOut = fanOut;
+          if (degree >= 4) {
+            for (int c = 0; c < childCount; ++c) attachCore(childReps[c], cellRep);
+          } else if (degree == 3) {
+            if (childCount > 0 && !locals.empty()) {
+              const Point outerMid =
+                  cellArcMid(grid, ring, cell, origin, /*outer=*/true);
+              const std::size_t tPos = argMinDistanceTo(locals, points, outerMid);
+              const NodeId relay = locals[tPos];
+              removeAt(locals, tPos);
+              attachCore(relay, cellRep);
+              for (int c = 0; c < childCount; ++c) attachCore(childReps[c], relay);
+            } else {
+              for (int c = 0; c < childCount; ++c) attachCore(childReps[c], cellRep);
+            }
+          } else {  // degree == 2, the paper's Section IV-A cases
+            if (childCount == 0) {
+              // Outermost (or childless) cell: the representative roots the
+              // bisection directly.
+            } else if (locals.empty()) {
+              // Case 1: the representative is alone; it carries the core links.
+              for (int c = 0; c < childCount; ++c) attachCore(childReps[c], cellRep);
+            } else if (locals.size() == 1) {
+              // Case 2: the second point relays to the next ring.
+              const NodeId other = locals[0];
+              locals.clear();
+              attachCore(other, cellRep);
+              for (int c = 0; c < childCount; ++c) attachCore(childReps[c], other);
+            } else {
+              // Case 3: one special point relays to the next ring, another is
+              // the center for connecting the rest of the cell.
+              const Point outerMid =
+                  cellArcMid(grid, ring, cell, origin, /*outer=*/true);
+              const std::size_t tPos = argMinDistanceTo(locals, points, outerMid);
+              const NodeId relay = locals[tPos];
+              removeAt(locals, tPos);
+              attachCore(relay, cellRep);
+              for (int c = 0; c < childCount; ++c) attachCore(childReps[c], relay);
+              const std::size_t bPos = argMinRadius(locals, polar);
+              const NodeId center = locals[bPos];
+              removeAt(locals, bPos);
+              tree.attach(center, cellRep, EdgeKind::kLocal);
+              bisectRoot = center;
+            }
+          }
 
-    // Apply the degree policy; pick the bisection root and relay wiring.
-    NodeId bisectRoot = cellRep;
-    int bisectFanOut = fanOut;
-    if (degree >= 4) {
-      for (int c = 0; c < childCount; ++c) attachCore(childReps[c], cellRep);
-    } else if (degree == 3) {
-      if (childCount > 0 && !locals.empty()) {
-        const Point outerMid = cellArcMid(grid, ring, cell, origin, /*outer=*/true);
-        const std::size_t tPos = argMinDistanceTo(locals, points, outerMid);
-        const NodeId relay = locals[tPos];
-        removeAt(locals, tPos);
-        attachCore(relay, cellRep);
-        for (int c = 0; c < childCount; ++c) attachCore(childReps[c], relay);
-      } else {
-        for (int c = 0; c < childCount; ++c) attachCore(childReps[c], cellRep);
-      }
-    } else {  // degree == 2, the paper's Section IV-A cases
-      if (childCount == 0) {
-        // Outermost (or childless) cell: the representative roots the
-        // bisection directly.
-      } else if (locals.empty()) {
-        // Case 1: the representative is alone; it carries the core links.
-        for (int c = 0; c < childCount; ++c) attachCore(childReps[c], cellRep);
-      } else if (locals.size() == 1) {
-        // Case 2: the second point relays to the next ring.
-        const NodeId other = locals[0];
-        locals.clear();
-        attachCore(other, cellRep);
-        for (int c = 0; c < childCount; ++c) attachCore(childReps[c], other);
-      } else {
-        // Case 3: one special point relays to the next ring, another is the
-        // center for connecting the rest of the cell.
-        const Point outerMid = cellArcMid(grid, ring, cell, origin, /*outer=*/true);
-        const std::size_t tPos = argMinDistanceTo(locals, points, outerMid);
-        const NodeId relay = locals[tPos];
-        removeAt(locals, tPos);
-        attachCore(relay, cellRep);
-        for (int c = 0; c < childCount; ++c) attachCore(childReps[c], relay);
-        const std::size_t bPos = argMinRadius(locals, radius);
-        const NodeId center = locals[bPos];
-        removeAt(locals, bPos);
-        tree.attach(center, cellRep, EdgeKind::kLocal);
-        bisectRoot = center;
-      }
-    }
-
-    // Stage 3: connect the remaining in-cell points with Bisection.
-    if (!locals.empty()) {
-      localPolar.clear();
-      localPolar.reserve(locals.size());
-      for (const NodeId member : locals)
-        localPolar.push_back(toPolar(points[static_cast<std::size_t>(member)],
-                                     origin));
-      bisectConnect(tree, locals, localPolar, bisectRoot,
-                    radius[static_cast<std::size_t>(bisectRoot)],
-                    grid.cellSegment(ring, cell), bisectFanOut);
-    }
-  }
+          // Stage 3: connect the remaining in-cell points with Bisection,
+          // reusing the polar coordinates computed during assignment.
+          if (!locals.empty()) {
+            localPolar.clear();
+            localPolar.reserve(locals.size());
+            for (const NodeId member : locals)
+              localPolar.push_back(polar[static_cast<std::size_t>(member)]);
+            bisectConnect(tree, locals, localPolar, bisectRoot,
+                          polar[static_cast<std::size_t>(bisectRoot)].radius,
+                          grid.cellSegment(ring, cell), bisectFanOut);
+          }
+        }
+      });
+  for (const std::int64_t c : coreEdges) result.coreEdgeCount += c;
 
   tree.finalize();
   result.upperBound = upperBoundEq7(grid, 0, relayLayers(d, fanOut));

@@ -40,6 +40,10 @@ struct PolarGridOptions {
   std::optional<double> outerRadius = std::nullopt;
   /// Hard cap on the ring count (testing hook; the default never binds).
   int maxRings = PolarGrid::kMaxRings;
+  /// Worker threads for the construction pipeline; 0 = auto (OMT_THREADS
+  /// environment variable, else half the hardware threads). The built tree
+  /// is byte-identical for every value (see docs/performance.md).
+  int workers = 0;
 };
 
 struct PolarGridResult {

@@ -1,9 +1,11 @@
 #include "omt/grid/assignment.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "omt/common/error.h"
+#include "omt/parallel/parallel_for.h"
 
 namespace omt {
 namespace {
@@ -16,12 +18,59 @@ int candidateRings(std::int64_t n, int cap) {
   return k;
 }
 
+/// Largest k (= kMax - delta) whose rings 1..k-1 are fully occupied, from
+/// the occupancy bitmap at kMax. Under k = kMax - delta, ring j (j >= 1)
+/// collects the points whose kMax-ring is j + delta, in cell cellMax >>
+/// delta; so ring j is fully occupied iff every ring-j cell's depth-delta
+/// descendant block in ring j + delta contains an occupied cell. Those
+/// block ORs are exactly a bottom-up heap fold: S_0 = occ, S_{delta+1}(h) =
+/// S_delta(2h) | S_delta(2h+1), and ring j is full under delta iff
+/// S_delta is 1 across ring j. One fold level costs half the previous one,
+/// so the whole selection is O(heapIds) — the old per-candidate block scan
+/// was O(2^kMax * kMax) when every candidate failed near the end.
+int selectRings(std::vector<std::uint8_t> fold, int kMax) {
+  // ringFull[delta * kMax + (j - 1)] for j in 1..kMax - delta - 1.
+  std::vector<std::uint8_t> ringFull(
+      static_cast<std::size_t>(kMax) * static_cast<std::size_t>(kMax), 0);
+  for (int delta = 0; delta <= kMax - 1; ++delta) {
+    for (int j = 1; j <= kMax - delta - 1; ++j) {
+      std::uint8_t all = 1;
+      const std::uint64_t ringBegin = std::uint64_t{1} << j;
+      for (std::uint64_t h = ringBegin; h < 2 * ringBegin; ++h) all &= fold[h];
+      ringFull[static_cast<std::size_t>(delta) * static_cast<std::size_t>(kMax) +
+               static_cast<std::size_t>(j - 1)] = all;
+    }
+    // Fold one level: S_{delta+1} over rings 0..kMax-delta-1. Ascending h
+    // reads children 2h, 2h+1 before they are overwritten (2h > h).
+    const std::uint64_t next = std::uint64_t{1} << (kMax - delta);
+    for (std::uint64_t h = 1; h < next; ++h) fold[h] = fold[2 * h] | fold[2 * h + 1];
+  }
+  for (int delta = 0; delta <= kMax - 1; ++delta) {
+    bool valid = true;
+    for (int j = 1; j <= kMax - delta - 1 && valid; ++j) {
+      valid = ringFull[static_cast<std::size_t>(delta) *
+                           static_cast<std::size_t>(kMax) +
+                       static_cast<std::size_t>(j - 1)] != 0;
+    }
+    if (valid) return kMax - delta;
+  }
+  return 1;
+}
+
 }  // namespace
 
 std::int64_t GridAssignment::occupiedCells() const {
-  std::int64_t occupied = 0;
-  for (std::size_t h = 1; h + 1 < cellStart.size(); ++h) {
-    if (cellStart[h + 1] > cellStart[h]) ++occupied;
+  if (occupiedCellCount >= 0) return occupiedCellCount;
+  // Property 3 of the chosen grid: rings 1..k-1 are fully occupied, so only
+  // ring 0 and the outermost ring need their CSR bounds inspected.
+  const int k = grid.rings();
+  std::int64_t occupied = cellStart[2] > cellStart[1] ? 1 : 0;  // ring 0
+  occupied += (std::int64_t{1} << k) - 2;                       // rings 1..k-1
+  const std::uint64_t outerBegin = std::uint64_t{1} << k;
+  for (std::uint64_t h = outerBegin; h < 2 * outerBegin; ++h) {
+    if (cellStart[static_cast<std::size_t>(h) + 1] >
+        cellStart[static_cast<std::size_t>(h)])
+      ++occupied;
   }
   return occupied;
 }
@@ -35,105 +84,116 @@ GridAssignment assignToGrid(std::span<const Point> points, NodeId source,
   OMT_CHECK(d >= 2 && d <= kMaxDim, "dimension out of range");
   OMT_CHECK(options.maxRings >= 1 && options.maxRings <= PolarGrid::kMaxRings,
             "ring cap out of range");
+  const int workers = resolveWorkers(options.workers);
+  const auto slots = static_cast<std::size_t>(workers);
 
   const Point& origin = points[static_cast<std::size_t>(source)];
 
-  // Pass 1: polar coordinates; outer radius R.
+  // Pass 1 (parallel): polar coordinates; outer radius R by per-slot max
+  // reduction (max is order-independent, so the result does not depend on
+  // the chunking).
   std::vector<PolarCoords> polar(points.size());
+  std::vector<double> slotMax(slots, 0.0);
+  parallelForChunks(0, n, workers,
+                    [&](std::int64_t lo, std::int64_t hi, int slot) {
+                      double localMax = slotMax[static_cast<std::size_t>(slot)];
+                      for (std::int64_t i = lo; i < hi; ++i) {
+                        const auto idx = static_cast<std::size_t>(i);
+                        OMT_CHECK(points[idx].dim() == d,
+                                  "mixed dimensions in point set");
+                        polar[idx] = toPolar(points[idx], origin);
+                        localMax = std::max(localMax, polar[idx].radius);
+                      }
+                      slotMax[static_cast<std::size_t>(slot)] = localMax;
+                    });
   double maxRadius = 0.0;
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    OMT_CHECK(points[i].dim() == d, "mixed dimensions in point set");
-    polar[i] = toPolar(points[i], origin);
-    maxRadius = std::max(maxRadius, polar[i].radius);
-  }
+  for (const double m : slotMax) maxRadius = std::max(maxRadius, m);
   double outerRadius = options.outerRadius.value_or(maxRadius);
   if (outerRadius <= 0.0) outerRadius = 1.0;  // all points at the source
   OMT_CHECK(maxRadius <= outerRadius * (1.0 + 1e-9),
             "a point lies outside the requested outer radius");
 
-  // Pass 2: classify every point at the largest candidate k.
+  // Pass 2 (parallel): classify every point at the largest candidate k and
+  // mark cell occupancy. The bitmap only ever receives 1s, so relaxed
+  // atomic stores keep it race-free and order-independent.
   const int kMax = candidateRings(n, options.maxRings);
   const PolarGrid gridMax(d, kMax, outerRadius);
   std::vector<std::int32_t> ringMax(points.size());
   std::vector<std::uint64_t> cellMax(points.size());
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    const int ring = gridMax.ringOf(std::min(polar[i].radius, outerRadius));
-    ringMax[i] = ring;
-    cellMax[i] = gridMax.cellOf(polar[i], ring);
-  }
-
-  // Occupancy bitmap over heap ids at kMax.
   std::vector<std::uint8_t> occMax(gridMax.heapIdCount(), 0);
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    occMax[gridMax.heapId(ringMax[i], cellMax[i])] = 1;
-  }
+  parallelFor(0, n, workers, [&](std::int64_t i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const int ring = gridMax.ringOf(std::min(polar[idx].radius, outerRadius));
+    ringMax[idx] = ring;
+    cellMax[idx] = gridMax.cellOf(polar[idx], ring);
+    std::atomic_ref<std::uint8_t>(
+        occMax[static_cast<std::size_t>(gridMax.heapId(ring, cellMax[idx]))])
+        .store(1, std::memory_order_relaxed);
+  });
 
-  // Find the largest k whose rings 1..k-1 are fully occupied. Under
-  // k = kMax - delta, ring j (j >= 1) collects the points whose kMax-ring is
-  // j + delta, in cell cellMax >> delta; so ring j is fully occupied iff
-  // every length-j prefix occurs among occupied ring-(j+delta) cells —
-  // an OR-fold of the kMax occupancy row j+delta by blocks of 2^delta.
-  int chosen = 1;
-  for (int delta = 0; delta <= kMax - 1; ++delta) {
-    const int k = kMax - delta;
-    bool valid = true;
-    for (int j = 1; j <= k - 1 && valid; ++j) {
-      const int jMax = j + delta;
-      const std::uint64_t cells = std::uint64_t{1} << j;
-      const std::uint64_t base = std::uint64_t{1} << jMax;
-      for (std::uint64_t c = 0; c < cells; ++c) {
-        bool hit = false;
-        const std::uint64_t blockBegin = base + (c << delta);
-        const std::uint64_t blockEnd = blockBegin + (std::uint64_t{1} << delta);
-        for (std::uint64_t h = blockBegin; h < blockEnd && !hit; ++h) {
-          hit = occMax[h] != 0;
-        }
-        if (!hit) {
-          valid = false;
-          break;
-        }
-      }
-    }
-    if (valid) {
-      chosen = k;
-      break;
-    }
-  }
+  const int chosen = selectRings(std::move(occMax), kMax);
 
   // Final assignment under the chosen k.
   const int delta = kMax - chosen;
   GridAssignment out{.grid = PolarGrid(d, chosen, outerRadius),
                      .ringOfPoint = {},
                      .cellOfPoint = {},
+                     .polarOfPoint = {},
                      .cellStart = {},
-                     .cellMembers = {}};
+                     .cellMembers = {},
+                     .occupiedCellCount = -1};
   out.ringOfPoint.resize(points.size());
   out.cellOfPoint.resize(points.size());
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    const int ring = std::max(0, ringMax[i] - delta);
-    out.ringOfPoint[i] = ring;
-    out.cellOfPoint[i] = ring == 0 ? 0 : (cellMax[i] >> delta);
-  }
 
-  // CSR by heap id.
+  // Counting sort into the CSR, in parallel:
+  //  (a) count members per heap id with relaxed atomic increments (the
+  //      final counts are order-independent);
+  //  (b) sequential prefix sum over the O(heapIds) counts, counting
+  //      occupied cells along the way;
+  //  (c) scatter with per-cell atomic cursors, then sort every cell's
+  //      member list — members end up in increasing point index, exactly
+  //      the order a sequential scatter produces.
   const std::size_t heapIds = out.grid.heapIdCount();
   out.cellStart.assign(heapIds + 1, 0);
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    const std::uint64_t h = out.grid.heapId(
-        out.ringOfPoint[i], out.cellOfPoint[i]);
-    ++out.cellStart[h + 1];
-  }
-  for (std::size_t h = 0; h < heapIds; ++h)
+  parallelFor(0, n, workers, [&](std::int64_t i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const int ring = std::max(0, ringMax[idx] - delta);
+    out.ringOfPoint[idx] = ring;
+    out.cellOfPoint[idx] = ring == 0 ? 0 : (cellMax[idx] >> delta);
+    const std::uint64_t h = out.grid.heapId(ring, out.cellOfPoint[idx]);
+    std::atomic_ref<std::int64_t>(out.cellStart[static_cast<std::size_t>(h) + 1])
+        .fetch_add(1, std::memory_order_relaxed);
+  });
+  std::int64_t occupied = 0;
+  for (std::size_t h = 0; h < heapIds; ++h) {
+    if (out.cellStart[h + 1] > 0) ++occupied;
     out.cellStart[h + 1] += out.cellStart[h];
+  }
+  out.occupiedCellCount = occupied;
+
   out.cellMembers.resize(points.size());
   std::vector<std::int64_t> cursor(out.cellStart.begin(),
                                    out.cellStart.end() - 1);
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    const std::uint64_t h = out.grid.heapId(
-        out.ringOfPoint[i], out.cellOfPoint[i]);
-    out.cellMembers[static_cast<std::size_t>(cursor[h]++)] =
-        static_cast<NodeId>(i);
-  }
+  parallelFor(0, n, workers, [&](std::int64_t i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const std::uint64_t h =
+        out.grid.heapId(out.ringOfPoint[idx], out.cellOfPoint[idx]);
+    const std::int64_t pos =
+        std::atomic_ref<std::int64_t>(cursor[static_cast<std::size_t>(h)])
+            .fetch_add(1, std::memory_order_relaxed);
+    out.cellMembers[static_cast<std::size_t>(pos)] = static_cast<NodeId>(i);
+  });
+  parallelForChunks(
+      0, static_cast<std::int64_t>(heapIds), workers,
+      [&](std::int64_t lo, std::int64_t hi, int) {
+        for (std::int64_t h = lo; h < hi; ++h) {
+          const auto hs = static_cast<std::size_t>(h);
+          std::sort(out.cellMembers.begin() + out.cellStart[hs],
+                    out.cellMembers.begin() + out.cellStart[hs + 1]);
+        }
+      });
+
+  out.polarOfPoint = std::move(polar);
   return out;
 }
 

@@ -7,8 +7,13 @@
 // selection exploits the grid's self-similarity: a point's (ring, cell)
 // under k rings is (ring - 1, cell >> 1) under k - 1 rings (clamped at ring
 // 0), so one O(n) classification pass at the largest candidate k serves all
-// candidates, and the per-candidate occupancy check is an OR-fold over an
-// occupancy bitmap.
+// candidates, and every candidate's occupancy check comes from one
+// bottom-up OR-fold over the kMax occupancy bitmap (O(heapIds) total).
+//
+// All O(n) passes (polar conversion, classification, the counting-sort CSR
+// build) run chunked on the shared thread pool; the result is identical for
+// every worker count (see docs/performance.md for the determinism
+// contract).
 #pragma once
 
 #include <cstdint>
@@ -17,6 +22,7 @@
 #include <vector>
 
 #include "omt/common/types.h"
+#include "omt/geometry/angular_cube.h"
 #include "omt/geometry/point.h"
 #include "omt/grid/polar_grid.h"
 
@@ -30,10 +36,21 @@ struct GridAssignment {
   /// Per-point cell index within its ring.
   std::vector<std::uint64_t> cellOfPoint;
 
+  /// Per-point polar coordinates about the source — the expensive part of
+  /// classification (incomplete sin^k integral inversions in 3D), exposed
+  /// so downstream stages (tree wiring, bisection) never convert twice.
+  /// polarOfPoint[i].radius equals distance(points[i], origin) exactly.
+  std::vector<PolarCoords> polarOfPoint;
+
   /// CSR of point indices grouped by cell heap id:
-  /// members of heap id h are cellMembers[cellStart[h] .. cellStart[h+1]).
+  /// members of heap id h are cellMembers[cellStart[h] .. cellStart[h+1]),
+  /// in increasing point index.
   std::vector<std::int64_t> cellStart;
   std::vector<NodeId> cellMembers;
+
+  /// Number of non-empty cells, cached by assignToGrid (-1 = not cached;
+  /// occupiedCells() then derives it from the CSR bounds).
+  std::int64_t occupiedCellCount = -1;
 
   std::span<const NodeId> membersOf(std::uint64_t heapId) const {
     const auto begin = cellStart[static_cast<std::size_t>(heapId)];
@@ -42,7 +59,10 @@ struct GridAssignment {
   }
 
   /// Number of cells (over all rings, including the outermost) that contain
-  /// at least one point.
+  /// at least one point. O(1) when cached by assignToGrid; otherwise
+  /// derived from the CSR bounds using grid property 3 (rings 1..k-1 are
+  /// fully occupied by construction), which leaves only ring 0 and the
+  /// outermost ring to inspect.
   std::int64_t occupiedCells() const;
 };
 
@@ -52,6 +72,10 @@ struct AssignmentOptions {
   /// Optional fixed outer radius; by default the max source-to-point
   /// distance is used. Useful when the region's radius is known a priori.
   std::optional<double> outerRadius = std::nullopt;
+  /// Worker threads for the O(n) passes; 0 = auto (OMT_THREADS environment
+  /// variable, else half the hardware threads). The result is byte-for-byte
+  /// independent of this value.
+  int workers = 0;
 };
 
 /// Assign `points` to the maximal-k grid centered at points[source].

@@ -1,0 +1,54 @@
+#include "omt/parallel/parallel_for.h"
+
+#include <algorithm>
+
+#include "omt/common/error.h"
+
+namespace omt {
+namespace {
+
+/// Chunks per slot; several per slot lets the shared cursor balance uneven
+/// per-index cost without work stealing, while keeping dispatch overhead
+/// (one atomic fetch_add per chunk) negligible.
+constexpr std::int64_t kChunksPerSlot = 8;
+
+std::int64_t chunkSize(std::int64_t range, int workers) {
+  const std::int64_t target =
+      static_cast<std::int64_t>(workers) * kChunksPerSlot;
+  return std::max<std::int64_t>(1, (range + target - 1) / target);
+}
+
+}  // namespace
+
+void parallelFor(std::int64_t begin, std::int64_t end, int workers,
+                 const std::function<void(std::int64_t)>& fn) {
+  OMT_CHECK(workers >= 1, "need at least one worker");
+  OMT_CHECK(begin <= end, "invalid index range");
+  if (begin == end) return;
+  if (workers == 1 || end - begin == 1) {
+    for (std::int64_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  globalPool().run(begin, end, workers, chunkSize(end - begin, workers),
+                   [&fn](std::int64_t lo, std::int64_t hi, int) {
+                     for (std::int64_t i = lo; i < hi; ++i) fn(i);
+                   });
+}
+
+void parallelForChunks(std::int64_t begin, std::int64_t end, int workers,
+                       const ChunkFn& fn) {
+  OMT_CHECK(workers >= 1, "need at least one worker");
+  OMT_CHECK(begin <= end, "invalid index range");
+  if (begin == end) return;
+  const std::int64_t chunk = chunkSize(end - begin, workers);
+  if (workers == 1) {
+    // Inline without touching the pool (no threads spawned for sequential
+    // users), chunked exactly like the parallel path.
+    for (std::int64_t lo = begin; lo < end; lo += chunk)
+      fn(lo, std::min(lo + chunk, end), 0);
+    return;
+  }
+  globalPool().run(begin, end, workers, chunk, fn);
+}
+
+}  // namespace omt

@@ -1,0 +1,36 @@
+// Chunked parallel loops over index ranges, dispatched onto the persistent
+// global thread pool (see thread_pool.h).
+//
+// Replaces the old spawn-per-call omt/report/parallel helper. Semantics
+// preserved from it: fn must be safe to call concurrently for distinct
+// indices, workers == 1 runs inline on the calling thread with exact
+// sequencing, and the first exception thrown by the body is rethrown on
+// the calling thread.
+//
+// Determinism: chunk boundaries and slot assignment are scheduling details
+// only. A loop whose body writes disjoint locations and whose reductions
+// are order-independent (max, integer sums, bitwise OR) produces identical
+// results for every worker count — the property the construction pipeline's
+// byte-identical-tree contract is built on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "omt/parallel/thread_pool.h"
+
+namespace omt {
+
+/// Invoke fn(i) for every i in [begin, end) using up to `workers` slots of
+/// the global pool (>= 1; 1 = inline on the calling thread).
+void parallelFor(std::int64_t begin, std::int64_t end, int workers,
+                 const std::function<void(std::int64_t)>& fn);
+
+/// Chunked variant for loops that keep per-slot state (reduction buffers,
+/// scratch vectors): fn(chunkBegin, chunkEnd, slot) with slot dense in
+/// [0, workers). Chunks partition [begin, end); a slot may execute many
+/// chunks, and slot 0 is always the calling thread.
+void parallelForChunks(std::int64_t begin, std::int64_t end, int workers,
+                       const ChunkFn& fn);
+
+}  // namespace omt

@@ -21,7 +21,10 @@ void MulticastTree::attach(NodeId child, NodeId parent, EdgeKind kind) {
   parent_[static_cast<std::size_t>(child)] = parent;
   kind_[static_cast<std::size_t>(child)] = kind;
   ++outDegree_[static_cast<std::size_t>(parent)];
-  finalized_ = false;
+  // Write only on an actual transition: the parallel grid build attaches
+  // disjoint children/parents concurrently into a never-finalized tree, and
+  // an unconditional store here would be its only shared write.
+  if (finalized_) finalized_ = false;
 }
 
 EdgeKind MulticastTree::edgeKindOf(NodeId node) const {

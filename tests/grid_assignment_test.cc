@@ -179,6 +179,123 @@ TEST(AssignmentTest, OccupiedCellsCountsNonEmpty) {
   EXPECT_EQ(a.occupiedCells(), 2);  // ring 0 + one outer cell
 }
 
+/// Reference k selection: try every candidate from the cap downward and
+/// re-grid the points from scratch each time (independent of the fold-based
+/// selection in assignToGrid).
+int bruteForceRings(std::span<const Point> points, NodeId source,
+                    double outerRadius, int dim) {
+  const auto n = static_cast<std::int64_t>(points.size());
+  int cap = 1;
+  while (cap < PolarGrid::kMaxRings && (std::int64_t{1} << cap) <= n) ++cap;
+  for (int k = cap; k >= 1; --k) {
+    if (property3Holds(points, source, k, outerRadius, dim)) return k;
+  }
+  return 1;
+}
+
+TEST(AssignmentTest, KSelectionMatchesBruteForceOnAdversarialOccupancy) {
+  // Knock whole cells out of a fine classification so property 3 fails at
+  // controlled rings, including patterns where a hole is masked at coarser
+  // k by an occupied sibling subtree — the cases the O(heapIds) fold-based
+  // selection must get right.
+  Rng rng(51);
+  const double radius = 1.0;
+  AssignmentOptions options;
+  options.outerRadius = radius;
+  for (int pattern = 0; pattern < 12; ++pattern) {
+    const auto raw = sampleDiskWithCenterSource(rng, 4000, 2);
+    const PolarGrid fine(2, 9, radius);
+    std::vector<std::uint8_t> doomed(fine.heapIdCount(), 0);
+    for (int t = 0; t < 4 * pattern; ++t) {
+      const int ring = 1 + static_cast<int>(rng.uniformInt(9));
+      const std::uint64_t cell = rng.uniformInt(fine.cellsInRing(ring));
+      doomed[fine.heapId(ring, cell)] = 1;
+    }
+    std::vector<Point> points;
+    points.push_back(raw[0]);  // the source stays
+    for (std::size_t i = 1; i < raw.size(); ++i) {
+      const PolarCoords polar = toPolar(raw[i], raw[0]);
+      const int ring = fine.ringOf(std::min(polar.radius, radius));
+      if (!doomed[fine.heapId(ring, fine.cellOf(polar, ring))])
+        points.push_back(raw[i]);
+    }
+    const GridAssignment a = assignToGrid(points, 0, options);
+    EXPECT_EQ(a.grid.rings(), bruteForceRings(points, 0, radius, 2))
+        << "pattern=" << pattern;
+  }
+}
+
+TEST(AssignmentTest, KSelectionMatchesBruteForceOnSparseSets) {
+  // Tiny and skewed sets exercise the delta-near-kMax end of the fold.
+  Rng rng(52);
+  for (const std::int64_t n : {2, 3, 5, 9, 17, 33}) {
+    const auto points = sampleDiskWithCenterSource(rng, n, 2);
+    const GridAssignment a = assignToGrid(points, 0);
+    EXPECT_EQ(a.grid.rings(),
+              bruteForceRings(points, 0, a.grid.outerRadius(), 2))
+        << "n=" << n;
+  }
+  // All mass near the rim: inner rings empty, k must collapse to 1.
+  std::vector<Point> rim{Point{0.0, 0.0}};
+  for (int i = 0; i < 64; ++i) {
+    const double angle = 2.0 * 3.14159265358979323846 * i / 64.0;
+    rim.push_back(Point{0.99 * std::cos(angle), 0.99 * std::sin(angle)});
+  }
+  const GridAssignment a = assignToGrid(rim, 0);
+  EXPECT_EQ(a.grid.rings(), bruteForceRings(rim, 0, a.grid.outerRadius(), 2));
+}
+
+TEST(AssignmentTest, ParallelAssignmentMatchesSequential) {
+  Rng rng(53);
+  for (const int dim : {2, 3}) {
+    const auto points = sampleDiskWithCenterSource(rng, 20000, dim);
+    AssignmentOptions sequential;
+    sequential.workers = 1;
+    const GridAssignment want = assignToGrid(points, 0, sequential);
+    for (const int workers : {2, 7, 16}) {
+      AssignmentOptions options;
+      options.workers = workers;
+      const GridAssignment got = assignToGrid(points, 0, options);
+      EXPECT_EQ(got.grid.rings(), want.grid.rings());
+      EXPECT_DOUBLE_EQ(got.grid.outerRadius(), want.grid.outerRadius());
+      EXPECT_EQ(got.cellStart, want.cellStart);
+      EXPECT_EQ(got.cellMembers, want.cellMembers);
+      EXPECT_EQ(got.ringOfPoint, want.ringOfPoint);
+      EXPECT_EQ(got.cellOfPoint, want.cellOfPoint);
+      EXPECT_EQ(got.occupiedCells(), want.occupiedCells());
+    }
+  }
+}
+
+TEST(AssignmentTest, PolarOfPointMatchesToPolar) {
+  Rng rng(54);
+  const auto points = sampleDiskWithCenterSource(rng, 3000, 2);
+  const GridAssignment a = assignToGrid(points, 0);
+  ASSERT_EQ(a.polarOfPoint.size(), points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const PolarCoords want = toPolar(points[i], points[0]);
+    EXPECT_EQ(a.polarOfPoint[i].radius, want.radius);
+    EXPECT_EQ(a.polarOfPoint[i].dim, want.dim);
+    for (int c = 0; c < want.cubeAxes(); ++c)
+      EXPECT_EQ(a.polarOfPoint[i].cube[static_cast<std::size_t>(c)],
+                want.cube[static_cast<std::size_t>(c)]);
+  }
+}
+
+TEST(AssignmentTest, OccupiedCellsCacheMatchesFullScan) {
+  Rng rng(55);
+  for (const std::int64_t n : {1, 2, 100, 5000}) {
+    GridAssignment a = assignToGrid(sampleDiskWithCenterSource(rng, n, 2), 0);
+    std::int64_t scanned = 0;
+    for (std::size_t h = 1; h < a.grid.heapIdCount(); ++h) {
+      if (a.cellStart[h + 1] > a.cellStart[h]) ++scanned;
+    }
+    EXPECT_EQ(a.occupiedCells(), scanned) << "n=" << n;  // cached path
+    a.occupiedCellCount = -1;
+    EXPECT_EQ(a.occupiedCells(), scanned) << "n=" << n;  // fallback path
+  }
+}
+
 TEST(AssignmentTest, RejectsBadArguments) {
   const std::vector<Point> points{Point{0.0, 0.0}};
   EXPECT_THROW(assignToGrid({}, 0), InvalidArgument);

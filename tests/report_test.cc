@@ -1,4 +1,3 @@
-#include <atomic>
 #include <cmath>
 #include <fstream>
 #include <sstream>
@@ -9,7 +8,6 @@
 #include "omt/common/error.h"
 #include "omt/random/rng.h"
 #include "omt/report/csv.h"
-#include "omt/report/parallel.h"
 #include "omt/report/stats.h"
 #include "omt/report/stopwatch.h"
 #include "omt/report/table.h"
@@ -141,41 +139,6 @@ TEST(StopwatchTest, MeasuresElapsedTime) {
   EXPECT_LT(t, 5.0);
   watch.reset();
   EXPECT_LT(watch.seconds(), 0.015);
-}
-
-TEST(ParallelForTest, CoversEveryIndexOnce) {
-  std::vector<std::atomic<int>> hits(1000);
-  parallelFor(0, 1000, 4, [&](std::int64_t i) {
-    ++hits[static_cast<std::size_t>(i)];
-  });
-  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
-}
-
-TEST(ParallelForTest, SingleWorkerRunsInline) {
-  std::vector<std::int64_t> order;
-  parallelFor(5, 10, 1, [&](std::int64_t i) { order.push_back(i); });
-  EXPECT_EQ(order, (std::vector<std::int64_t>{5, 6, 7, 8, 9}));
-}
-
-TEST(ParallelForTest, EmptyRangeIsNoOp) {
-  parallelFor(3, 3, 4, [](std::int64_t) { FAIL(); });
-}
-
-TEST(ParallelForTest, PropagatesExceptions) {
-  EXPECT_THROW(parallelFor(0, 100, 4,
-                           [](std::int64_t i) {
-                             if (i == 37) throw InvalidArgument("boom");
-                           }),
-               InvalidArgument);
-}
-
-TEST(ParallelForTest, ValidatesArguments) {
-  EXPECT_THROW(parallelFor(0, 1, 0, [](std::int64_t) {}), InvalidArgument);
-  EXPECT_THROW(parallelFor(5, 2, 1, [](std::int64_t) {}), InvalidArgument);
-}
-
-TEST(ParallelForTest, DefaultWorkerCountIsPositive) {
-  EXPECT_GE(defaultWorkerCount(), 1);
 }
 
 }  // namespace

@@ -4,7 +4,7 @@
 //                   [--seed 42] --out points.txt
 //   omtcli build    --points points.txt [--algo polar|bisection|greedy|
 //                   nearest|star|chain] [--degree 6] [--source 0]
-//                   [--out tree.txt]
+//                   [--threads T|0] [--out tree.txt]
 //   omtcli metrics  --points points.txt --tree tree.txt [--degree D]
 //   omtcli simulate --points points.txt --tree tree.txt
 //                   [--serialization 0.01] [--overhead 0]
@@ -112,18 +112,20 @@ int cmdBuild(const Flags& flags) {
   const std::string algo = flags.get("algo", "polar");
   const int degree = static_cast<int>(flags.getInt("degree", 6));
   const NodeId source = flags.getInt("source", 0);
+  // 0 = auto (OMT_THREADS or hardware); the tree is identical either way.
+  const int threads = static_cast<int>(flags.getInt("threads", 0));
   Rng rng(static_cast<std::uint64_t>(flags.getInt("seed", 42)));
 
   std::optional<MulticastTree> tree;
   double bound = 0.0;
   if (algo == "polar") {
-    auto result =
-        buildPolarGridTree(points, source, {.maxOutDegree = degree});
+    auto result = buildPolarGridTree(
+        points, source, {.maxOutDegree = degree, .workers = threads});
     bound = result.upperBound;
     tree.emplace(std::move(result.tree));
   } else if (algo == "bisection") {
-    auto result =
-        buildBisectionTree(points, source, {.maxOutDegree = degree});
+    auto result = buildBisectionTree(
+        points, source, {.maxOutDegree = degree, .workers = threads});
     bound = result.pathBound;
     tree.emplace(std::move(result.tree));
   } else if (algo == "greedy") {
