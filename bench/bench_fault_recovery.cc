@@ -13,6 +13,14 @@
 // distributions that only exist because detection is no longer free:
 // detection latency, crash-to-recovery latency, disconnected-node-seconds,
 // false positives and reinstatements. Deterministic for a fixed seed.
+// Besides the table/CSV, the run always writes BENCH_fault_recovery.json
+// (same shape as BENCH_construction.json) so successive PRs can track the
+// recovery trajectory:
+//   {"bench": "fault_recovery", "rows": [{"loss_rate": ..., ...}, ...],
+//    "contacts_per_orphan_local": ..., "contacts_per_orphan_sweep": ...,
+//    "backup_hit_rate": ...}
+#include <fstream>
+
 #include "common.h"
 #include "omt/fault/chaos.h"
 #include "omt/protocol/overlay_session.h"
@@ -118,6 +126,10 @@ int main(int argc, char** argv) {
              "recovery_latency_mean", "disconnected_node_seconds",
              "false_positives", "reinstatements", "sweep_repairs"});
 
+  std::ofstream json("BENCH_fault_recovery.json");
+  json << "{\"bench\": \"fault_recovery\", \"rows\": [";
+  bool firstRow = true;
+
   const double lossRates[] = {0.0, 0.05, 0.2};
   for (std::size_t i = 0; i < std::size(lossRates); ++i) {
     ChaosOptions options;
@@ -163,8 +175,24 @@ int main(int argc, char** argv) {
            std::to_string(result.detector.reinstatements),
            std::to_string(result.sweepRepairs)});
     }
+    if (!firstRow) json << ", ";
+    firstRow = false;
+    json << "{\"loss_rate\": " << lossRates[i] << ", \"joins\": "
+         << result.joins << ", \"crashes\": " << result.crashes
+         << ", \"repairs\": " << result.repairs
+         << ", \"backup_hit_rate\": " << hitRate
+         << ", \"detection_latency_mean\": "
+         << result.detector.detectionLatency.mean()
+         << ", \"recovery_latency_mean\": " << result.recoveryLatency.mean()
+         << ", \"disconnected_node_seconds\": "
+         << result.disconnectedNodeSeconds
+         << ", \"false_positives\": " << result.detector.falsePositives
+         << ", \"sweep_repairs\": " << result.sweepRepairs << "}";
   }
-  std::cout << tableB.str() << "\n";
+  json << "], \"contacts_per_orphan_local\": " << ab.localPerOrphan.mean()
+       << ", \"contacts_per_orphan_sweep\": " << ab.sweepPerOrphan.mean()
+       << ", \"backup_hit_rate\": " << ab.backupHitRate.mean() << "}\n";
+  std::cout << tableB.str() << "\n(wrote BENCH_fault_recovery.json)\n";
 
   // The acceptance gate: local backup-first repair must beat the sweep on
   // contacts per re-homed orphan.

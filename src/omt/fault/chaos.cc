@@ -1,7 +1,9 @@
 #include "omt/fault/chaos.h"
 
 #include <algorithm>
+#include <memory>
 #include <queue>
+#include <utility>
 #include <vector>
 
 #include "omt/common/error.h"
@@ -34,7 +36,23 @@ class ChaosRun {
         channel_(options.channel),
         detector_(session_, channel_, options.detector,
                   deriveSeed(options.schedule.seed, 0x64657465ULL)),
-        burstRng_(deriveSeed(options.schedule.seed, 0x6b696c6cULL)) {}
+        burstRng_(deriveSeed(options.schedule.seed, 0x6b696c6cULL)) {
+    if (options.useRpc) {
+      std::vector<DisruptionWindow> windows;
+      if (options.injectDisruption)
+        windows = generateDisruption(options.disruption);
+      result_.disruptionWindows = static_cast<std::int64_t>(windows.size());
+      rpc_ = std::make_unique<RpcLayer>(
+          options.rpc, DisruptionSchedule(std::move(windows)),
+          [this](std::int64_t id) -> const Point* {
+            if (id < 0 || id >= session_.hostCount()) return nullptr;
+            const auto node = static_cast<NodeId>(id);
+            if (!session_.isLive(node)) return nullptr;
+            return &session_.positionOf(node);
+          });
+      driver_ = std::make_unique<ReliableSessionDriver>(session_, *rpc_);
+    }
+  }
 
   ChaosResult run();
 
@@ -71,13 +89,19 @@ class ChaosRun {
     }
   }
 
-  void recordCrash(NodeId node) {
-    session_.crash(node);
+  /// Bookkeeping for a host that already went dark in the session (the
+  /// crash itself was applied by the caller or the driver).
+  void noteCrashed(NodeId node) {
     const auto index = static_cast<std::size_t>(node);
     if (crashTime_.size() <= index) crashTime_.resize(index + 1, -1.0);
     crashTime_[index] = now_;
     detector_.noteCrash(node, now_);
     ++result_.crashes;
+  }
+
+  void recordCrash(NodeId node) {
+    session_.crash(node);
+    noteCrashed(node);
   }
 
   void enqueueOp(FaultEventKind kind, std::int64_t entity, double due,
@@ -87,6 +111,8 @@ class ChaosRun {
 
   void handleEvent(const FaultEvent& event);
   void handleOp(const PendingOp& op);
+  void handleOpRpc(const PendingOp& op);
+  void runAuditSweep();
   void handleVerdicts(const std::vector<HeartbeatDetector::Verdict>& verdicts);
 
   const ChaosOptions& options_;
@@ -108,6 +134,11 @@ class ChaosRun {
   std::int64_t regridsSeen_ = 0;
   std::int64_t gauge_ = 0;  ///< current disconnected-live-host count
   double now_ = 0.0;
+
+  // RPC mode only.
+  std::unique_ptr<RpcLayer> rpc_;
+  std::unique_ptr<ReliableSessionDriver> driver_;
+  double lastAuditAt_ = 0.0;
 };
 
 void ChaosRun::handleEvent(const FaultEvent& event) {
@@ -160,6 +191,10 @@ void ChaosRun::handleEvent(const FaultEvent& event) {
 }
 
 void ChaosRun::handleOp(const PendingOp& op) {
+  if (driver_) {
+    handleOpRpc(op);
+    return;
+  }
   const auto e = static_cast<std::size_t>(op.entity);
   if (op.kind == FaultEventKind::kJoin) {
     if (entityGone_[e]) return;  // departed before the join ever landed
@@ -218,10 +253,108 @@ void ChaosRun::handleOp(const PendingOp& op) {
   audit();
 }
 
+void ChaosRun::handleOpRpc(const PendingOp& op) {
+  const auto e = static_cast<std::size_t>(op.entity);
+  if (op.kind == FaultEventKind::kJoin) {
+    if (entityGone_[e]) return;  // departed before the join ever landed
+    // The RPC layer owns retries and backoff; a join whose handshake
+    // exhausts them leaves the host parked for the anti-entropy audit.
+    const ReliableSessionDriver::JoinDrive drive =
+        driver_->driveJoin(entityPosition_[e], now_);
+    entityNode_[e] = drive.id;
+    const auto index = static_cast<std::size_t>(drive.id);
+    if (nodePosition_.size() <= index) nodePosition_.resize(index + 1);
+    nodePosition_[index] = entityPosition_[e];
+    ++result_.joins;
+    if (entityFlash_[e]) ++result_.flashCrowdJoins;
+    if (drive.result.applied) {
+      detector_.track(drive.id, now_);
+    } else {
+      ++result_.parkedJoins;
+    }
+    retrackAfterRegrid();
+    result_.peakLive = std::max(result_.peakLive, session_.liveCount());
+    audit();
+    return;
+  }
+
+  // Leave: the node may have crashed (or been burst-killed) while waiting.
+  const NodeId node = entityNode_[e];
+  if (node == kNoNode || !session_.isLive(node)) return;
+  const auto span = session_.childrenOf(node);
+  std::vector<NodeId> children(span.begin(), span.end());
+  const ReliableSessionDriver::OpResult result =
+      driver_->driveLeave(node, now_);
+  if (result.silent) {
+    ++result_.silentLeaves;
+    noteCrashed(node);  // the driver already took the host dark
+  } else {
+    ++result_.leaves;
+    for (const NodeId child : children) {
+      if (session_.isLive(child)) detector_.track(child, now_);
+    }
+  }
+  retrackAfterRegrid();
+  audit();
+}
+
+void ChaosRun::runAuditSweep() {
+  const ReliableSessionDriver::AuditSweep sweep = driver_->runAudit(now_);
+  ++result_.auditSweeps;
+  lastAuditAt_ = now_;
+  for (const NodeId node : sweep.attached) {
+    if (session_.isLive(node)) detector_.track(node, now_);
+  }
+  retrackAfterRegrid();
+  audit();
+}
+
 void ChaosRun::handleVerdicts(
     const std::vector<HeartbeatDetector::Verdict>& verdicts) {
   for (const auto& verdict : verdicts) {
     if (!result_.ok) return;
+    if (driver_) {
+      // RPC mode: repairs and migrations are individual reliable calls; an
+      // exhausted repair defers the purge (the corpse stays flagged for the
+      // anti-entropy audit) and exhausted attaches leave orphans parked.
+      if (session_.isPendingCrash(verdict.suspect)) {
+        const ReliableSessionDriver::RepairDrive drive =
+            driver_->driveRepair(verdict.suspect, verdict.accuser, now_);
+        if (drive.purged) {
+          ++result_.repairs;
+          result_.repairedOrphans += static_cast<std::int64_t>(
+              drive.attached.size() + drive.parked.size());
+          for (const NodeId orphan : drive.attached) {
+            if (session_.isLive(orphan)) detector_.track(orphan, now_);
+          }
+          const auto index = static_cast<std::size_t>(verdict.suspect);
+          if (index < crashTime_.size() && crashTime_[index] >= 0.0) {
+            result_.recoveryLatency.add(now_ - crashTime_[index] +
+                                        drive.result.elapsed);
+          }
+        }
+        retrackAfterRegrid();
+        audit();
+      } else if (session_.isLive(verdict.suspect) &&
+                 !session_.isParked(verdict.suspect)) {
+        NodeId mover = kNoNode;
+        if (verdict.accuser != kNoNode && session_.isLive(verdict.accuser) &&
+            session_.parentOf(verdict.accuser) == verdict.suspect) {
+          mover = verdict.accuser;
+        } else if (verdict.suspect != session_.sourceId() &&
+                   session_.parentOf(verdict.suspect) == verdict.accuser) {
+          mover = verdict.suspect;
+        }
+        if (mover == kNoNode) continue;
+        const ReliableSessionDriver::OpResult moved =
+            driver_->driveMigrate(mover, now_);
+        ++result_.wrongfulMigrations;
+        if (moved.applied) detector_.track(mover, now_);
+        retrackAfterRegrid();
+        audit();
+      }
+      continue;
+    }
     if (session_.isPendingCrash(verdict.suspect)) {
       // Confirmed crash: purge it and re-home the orphans backup-first.
       const auto span = session_.childrenOf(verdict.suspect);
@@ -292,9 +425,15 @@ ChaosResult ChaosRun::run() {
   while (result_.ok) {
     const double tEvent = next < events_.size() ? events_[next].time : kInf;
     const double tOp = ops_.empty() ? kInf : ops_.top().due;
-    const bool workLeft = tEvent < kInf || tOp < kInf;
+    // The anti-entropy timer only runs while there is something to
+    // reconcile: parked hosts, deferred purges, or unconfirmed ops.
+    const double tAudit =
+        (driver_ && (driver_->reconcilePending() || session_.parkedCount() > 0))
+            ? lastAuditAt_ + options_.auditPeriod
+            : kInf;
+    const bool workLeft = tEvent < kInf || tOp < kInf || tAudit < kInf;
     if (!workLeft && session_.undetectedCrashes() == 0 && gauge_ == 0) break;
-    const double t = std::min({tEvent, tOp, detector_.nextProbeAt()});
+    const double t = std::min({tEvent, tOp, tAudit, detector_.nextProbeAt()});
     if (t >= hardEnd) {
       advanceTime(hardEnd);
       break;
@@ -310,11 +449,14 @@ ChaosResult ChaosRun::run() {
       ops_.pop();
       handleOp(op);
     }
+    if (result_.ok && driver_ && tAudit <= now_) runAuditSweep();
   }
 
   // Stragglers the detector did not drain in time fall back to one global
-  // sweep, then the run must satisfy the fully-repaired obligations.
-  if (result_.ok && session_.undetectedCrashes() > 0) {
+  // sweep, then the run must satisfy the fully-repaired obligations. In RPC
+  // mode the sweep also re-attaches any hosts still parked at the deadline.
+  if (result_.ok &&
+      (session_.undetectedCrashes() > 0 || session_.parkedCount() > 0)) {
     result_.sweepRepairs = session_.detectAndRepair();
   }
   if (result_.ok) {
@@ -340,6 +482,10 @@ ChaosResult ChaosRun::run() {
   result_.detector = detector_.stats();
   result_.channel = channel_.stats();
   result_.session = session_.stats();
+  if (rpc_) {
+    result_.rpc = rpc_->stats();
+    result_.driver = driver_->stats();
+  }
   return result_;
 }
 
@@ -349,6 +495,7 @@ ChaosResult runChaos(const ChaosOptions& options) {
   OMT_CHECK(options.settleTime >= 0.0, "settle time must be non-negative");
   OMT_CHECK(options.maxOperationRetries >= 0,
             "operation retries must be non-negative");
+  OMT_CHECK(options.auditPeriod > 0.0, "audit period must be positive");
   return ChaosRun(options).run();
 }
 

@@ -26,6 +26,8 @@
 #include "omt/fault/injector.h"
 #include "omt/protocol/overlay_session.h"
 #include "omt/report/stats.h"
+#include "omt/rpc/reliable_session.h"
+#include "omt/rpc/rpc.h"
 
 namespace omt {
 
@@ -41,7 +43,23 @@ struct ChaosOptions {
   /// crashes before the straggler sweep.
   double settleTime = 30.0;
   /// Operation-level retries for a join/leave whose send() expired.
+  /// (Legacy mode only; in RPC mode the RPC layer owns retries.)
   int maxOperationRetries = 8;
+
+  /// Route join/leave/repair/migrate through the reliable RPC driver
+  /// (at-most-once ops, circuit breakers, parked degraded states, periodic
+  /// anti-entropy audits) instead of the legacy op-level send() retries.
+  bool useRpc = false;
+  /// RPC policy (its embedded channel is separate from `channel`, which
+  /// carries heartbeat traffic). RPC mode only.
+  RpcOptions rpc;
+  /// Control-plane disruption (loss bursts, delay spells, partitions)
+  /// applied to RPC traffic. RPC mode only.
+  DisruptionOptions disruption;
+  /// Whether to generate the disruption schedule at all. RPC mode only.
+  bool injectDisruption = true;
+  /// Anti-entropy sweep period while reconciliation work is pending.
+  double auditPeriod = 1.0;
 };
 
 struct ChaosResult {
@@ -54,6 +72,9 @@ struct ChaosResult {
   std::int64_t operationRetries = 0;   ///< join/leave re-submissions
   std::int64_t droppedJoins = 0;       ///< joins lost after all retries
   std::int64_t silentLeaves = 0;       ///< leaves that degraded to crashes
+  std::int64_t parkedJoins = 0;        ///< joins left parked (RPC mode)
+  std::int64_t auditSweeps = 0;        ///< anti-entropy sweeps run (RPC mode)
+  std::int64_t disruptionWindows = 0;  ///< injected windows (RPC mode)
 
   // Detection and repair.
   std::int64_t repairs = 0;            ///< repairCrashed() invocations
@@ -74,6 +95,8 @@ struct ChaosResult {
   DetectorStats detector;
   ChannelStats channel;
   SessionStats session;
+  RpcStats rpc;        ///< RPC mode only (duplicatesApplied must stay 0)
+  DriverStats driver;  ///< RPC mode only
 
   bool ok = true;
   std::string failure;  ///< first invariant/validation violation

@@ -71,6 +71,11 @@ bool HeartbeatDetector::confirm(NodeId suspect) {
 std::vector<HeartbeatDetector::Verdict> HeartbeatDetector::advanceTo(
     double now) {
   std::vector<Verdict> verdicts;
+  // Pre-size the per-host arrays for every host the session knows, so no
+  // stateOf() call below can reallocate them while references are held.
+  if (session_.hostCount() > 0)
+    stateOf(static_cast<NodeId>(session_.hostCount() - 1));
+
   const auto declare = [&](NodeId suspect, NodeId accuser, double when) {
     const bool wasAlive = session_.isLive(suspect);
     const auto index = static_cast<std::size_t>(suspect);
@@ -121,6 +126,13 @@ std::vector<HeartbeatDetector::Verdict> HeartbeatDetector::advanceTo(
           if (confirm(parent)) {
             ++stats_.reinstatements;
             s.misses = 0;
+            // The confirmation round trip reached the parent and back, so
+            // the parent heard from this child: refresh the lease. Without
+            // this, the same loss episode that built the miss streak also
+            // leaves lastHeard stale and the parent's next lease check
+            // wrongfully declares this (live, probing) child — one episode
+            // double-counted as two independent false positives.
+            s.lastHeard = tick;
           } else {
             declare(parent, timer.host, tick);
             s.misses = 0;  // the verdict hand-off re-homes this host
@@ -128,6 +140,11 @@ std::vector<HeartbeatDetector::Verdict> HeartbeatDetector::advanceTo(
         }
       }
     }
+
+    // The lease loop below may grow states_ (stateOf on a first-seen child),
+    // invalidating `s`; capture what the timer re-arm needs first.
+    const double period = s.period;
+    const std::uint64_t epoch = s.epoch;
 
     // Lease checks on the children: a child silent for leaseFactor of its
     // own probe periods is suspected. This is how a crashed leaf — which
@@ -147,7 +164,7 @@ std::vector<HeartbeatDetector::Verdict> HeartbeatDetector::advanceTo(
       }
     }
 
-    heap_.push_back({tick + s.period, timer.host, s.epoch});
+    heap_.push_back({tick + period, timer.host, epoch});
     std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
   }
   return verdicts;

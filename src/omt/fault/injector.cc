@@ -136,47 +136,81 @@ std::vector<FaultEvent> generateFaultSchedule(
   return events;
 }
 
-ControlChannel::ControlChannel(const ControlChannelOptions& options)
-    : options_(options), rng_(deriveSeed(options.seed, 0x6368616eULL)) {
-  OMT_CHECK(options.lossRate >= 0.0 && options.lossRate <= 1.0,
-            "loss rate outside [0, 1]");
-  OMT_CHECK(options.latency >= 0.0, "latency must be non-negative");
-  OMT_CHECK(options.baseTimeout > 0.0, "base timeout must be positive");
-  OMT_CHECK(options.backoffFactor >= 1.0, "backoff factor must be >= 1");
-  OMT_CHECK(options.maxAttempts >= 1, "need at least one attempt");
-}
+std::vector<DisruptionWindow> generateDisruption(
+    const DisruptionOptions& options) {
+  OMT_CHECK(options.duration > 0.0, "duration must be positive");
+  OMT_CHECK(options.dim >= 2 && options.dim <= kMaxDim,
+            "dimension out of range");
+  OMT_CHECK(options.partitionRate >= 0.0,
+            "partition rate must be non-negative");
+  OMT_CHECK(options.partitionRadius > 0.0 || options.partitionRate == 0.0,
+            "partition radius must be positive");
+  OMT_CHECK(options.partitionMeanLength > 0.0 || options.partitionRate == 0.0,
+            "partition length must be positive");
+  OMT_CHECK(options.lossBurstRate >= 0.0,
+            "loss-burst rate must be non-negative");
+  OMT_CHECK(options.lossBurstBoost >= 0.0 && options.lossBurstBoost <= 1.0,
+            "loss-burst boost outside [0, 1]");
+  OMT_CHECK(options.lossBurstMeanLength > 0.0 || options.lossBurstRate == 0.0,
+            "loss-burst length must be positive");
+  OMT_CHECK(options.delaySpellRate >= 0.0,
+            "delay-spell rate must be non-negative");
+  OMT_CHECK(options.delaySpellExtra >= 0.0,
+            "delay-spell extra must be non-negative");
+  OMT_CHECK(options.delaySpellMeanLength > 0.0 ||
+                options.delaySpellRate == 0.0,
+            "delay-spell length must be positive");
 
-bool ControlChannel::roll() {
-  ++stats_.messages;
-  ++stats_.transmissions;
-  if (rng_.uniform() < options_.lossRate) {
-    ++stats_.losses;
-    return false;
-  }
-  return true;
-}
-
-ControlChannel::Outcome ControlChannel::send() {
-  ++stats_.messages;
-  Outcome outcome;
-  double timeout = options_.baseTimeout;
-  for (int attempt = 1; attempt <= options_.maxAttempts; ++attempt) {
-    ++stats_.transmissions;
-    outcome.attempts = attempt;
-    if (rng_.uniform() >= options_.lossRate) {
-      outcome.delivered = true;
-      outcome.elapsed += options_.latency;
-      return outcome;
-    }
-    ++stats_.losses;
-    if (attempt < options_.maxAttempts) {
-      outcome.elapsed += timeout;  // wait out the retransmission timer
-      timeout *= options_.backoffFactor;
+  std::vector<DisruptionWindow> windows;
+  if (options.partitionRate > 0.0) {
+    Rng rng(deriveSeed(options.seed, 0x70617274ULL));
+    double now = 0.0;
+    while (true) {
+      now += exponential(rng, 1.0 / options.partitionRate);
+      if (now >= options.duration) break;
+      DisruptionWindow w;
+      w.start = now;
+      w.end = std::min(options.duration,
+                       now + exponential(rng, options.partitionMeanLength));
+      w.partition = true;
+      w.center = sampleUnitBall(rng, options.dim);
+      w.radius = options.partitionRadius;
+      windows.push_back(w);
     }
   }
-  ++stats_.expiries;
-  outcome.elapsed += timeout;  // the final timer expires with no answer
-  return outcome;
+  if (options.lossBurstRate > 0.0) {
+    Rng rng(deriveSeed(options.seed, 0x6c6f7373ULL));
+    double now = 0.0;
+    while (true) {
+      now += exponential(rng, 1.0 / options.lossBurstRate);
+      if (now >= options.duration) break;
+      DisruptionWindow w;
+      w.start = now;
+      w.end = std::min(options.duration,
+                       now + exponential(rng, options.lossBurstMeanLength));
+      w.lossBoost = options.lossBurstBoost;
+      windows.push_back(w);
+    }
+  }
+  if (options.delaySpellRate > 0.0) {
+    Rng rng(deriveSeed(options.seed, 0x64656c61ULL));
+    double now = 0.0;
+    while (true) {
+      now += exponential(rng, 1.0 / options.delaySpellRate);
+      if (now >= options.duration) break;
+      DisruptionWindow w;
+      w.start = now;
+      w.end = std::min(options.duration,
+                       now + exponential(rng, options.delaySpellMeanLength));
+      w.extraDelay = options.delaySpellExtra;
+      windows.push_back(w);
+    }
+  }
+  std::stable_sort(windows.begin(), windows.end(),
+                   [](const DisruptionWindow& a, const DisruptionWindow& b) {
+                     return a.start < b.start;
+                   });
+  return windows;
 }
 
 }  // namespace omt

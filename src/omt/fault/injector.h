@@ -1,5 +1,5 @@
-// Deterministic fault injection: correlated failure schedules and a lossy
-// control channel.
+// Deterministic fault injection: correlated failure schedules and
+// control-plane disruption schedules.
 //
 // The churn module (omt/protocol/churn.h) models *independent* arrivals and
 // departures; real overlay failures are correlated. This injector generates
@@ -9,11 +9,11 @@
 //     disk with some probability, all at the same instant;
 //   * flash crowds — a wave of joins spatially clustered around a random
 //     center, compressed into a short window;
-// and a ControlChannel that makes every control message (join, heartbeat
-// probe, repair contact) fallible: each message is lost independently with
-// a fixed probability, and reliable operations retransmit with exponential
-// backoff up to a cap — so detection latency, repair latency and control
-// overhead become measured quantities instead of free instantaneous sweeps.
+// plus disruption windows aimed at control traffic (loss bursts, delay
+// spells, regional partitions) consumed by the RPC layer in omt/rpc.
+//
+// The lossy ControlChannel itself lives in omt/rpc/channel.h (re-exported
+// here for older call sites); the injector only *generates* trouble.
 //
 // Everything is driven by explicit 64-bit seeds: the same options always
 // produce the same schedule and the same per-message loss pattern.
@@ -24,6 +24,7 @@
 
 #include "omt/geometry/point.h"
 #include "omt/random/rng.h"
+#include "omt/rpc/channel.h"
 
 namespace omt {
 
@@ -73,50 +74,31 @@ struct FaultEvent {
 std::vector<FaultEvent> generateFaultSchedule(
     const FaultScheduleOptions& options);
 
-struct ControlChannelOptions {
-  double lossRate = 0.0;       ///< independent per-message loss probability
-  double latency = 0.01;       ///< delivery time of one successful message
-  double baseTimeout = 0.05;   ///< wait before the first retransmission
-  double backoffFactor = 2.0;  ///< timeout multiplier per further retry
-  int maxAttempts = 4;         ///< transmissions before a send() expires
-  std::uint64_t seed = 7;
+struct DisruptionOptions {
+  double duration = 60.0;  ///< schedule length in time units
+  int dim = 2;             ///< partition centers in the unit ball
+  std::uint64_t seed = 1;
+
+  // Regional control-plane partitions.
+  double partitionRate = 0.05;     ///< partitions per unit time (0 disables)
+  double partitionRadius = 0.3;    ///< severed-region radius
+  double partitionMeanLength = 2.0;  ///< mean partition duration
+
+  // Global loss bursts on control traffic.
+  double lossBurstRate = 0.05;     ///< bursts per unit time (0 disables)
+  double lossBurstBoost = 0.5;     ///< extra loss probability while active
+  double lossBurstMeanLength = 1.0;  ///< mean burst duration
+
+  // Global delay spells on control traffic.
+  double delaySpellRate = 0.0;     ///< spells per unit time (0 disables)
+  double delaySpellExtra = 0.1;    ///< added one-way latency while active
+  double delaySpellMeanLength = 1.0;  ///< mean spell duration
 };
 
-struct ChannelStats {
-  std::int64_t messages = 0;       ///< logical messages (roll + send calls)
-  std::int64_t transmissions = 0;  ///< physical transmissions incl. retries
-  std::int64_t losses = 0;         ///< transmissions the channel dropped
-  std::int64_t expiries = 0;       ///< send() calls that exhausted retries
-};
-
-/// The lossy control channel. roll() models one best-effort message (a
-/// heartbeat probe — never retried); send() models a reliable-ish message
-/// that retransmits with exponential backoff until delivered or out of
-/// attempts, reporting the wall-clock time the exchange consumed.
-class ControlChannel {
- public:
-  explicit ControlChannel(const ControlChannelOptions& options);
-
-  struct Outcome {
-    bool delivered = false;
-    int attempts = 0;
-    double elapsed = 0.0;  ///< backoff waits plus delivery latency
-  };
-
-  /// One unacknowledged message: true iff it got through.
-  bool roll();
-
-  /// One message with retransmission: up to maxAttempts tries, waiting
-  /// baseTimeout * backoffFactor^(i-1) before retry i.
-  Outcome send();
-
-  const ControlChannelOptions& options() const { return options_; }
-  const ChannelStats& stats() const { return stats_; }
-
- private:
-  ControlChannelOptions options_;
-  Rng rng_;
-  ChannelStats stats_;
-};
+/// Generate a start-time-sorted set of disruption windows. Window lengths
+/// are exponential with the configured means, truncated at `duration`.
+/// Deterministic in the options.
+std::vector<DisruptionWindow> generateDisruption(
+    const DisruptionOptions& options);
 
 }  // namespace omt

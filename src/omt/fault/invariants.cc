@@ -71,14 +71,21 @@ InvariantReport checkSessionInvariants(const OverlaySession& session,
   const int cap = session.options().maxOutDegree;
   std::int64_t live = 0;
   std::int64_t pending = 0;
+  std::int64_t parked = 0;
+  std::int64_t unplacedParked = 0;  ///< heap id 0: in no cell (see below)
 
   // Per-host structural checks.
   for (NodeId id = 0; id < n; ++id) {
     const bool isLive = session.isLive(id);
     const bool isPending = session.isPendingCrash(id);
+    const bool isParked = session.isParked(id);
     if (isLive && isPending) fail(hostTag(id) + " both live and pending");
+    if (isParked && !isLive) fail(hostTag(id) + " parked but not live");
+    if (isParked && session.parentOf(id) != kNoNode)
+      fail(hostTag(id) + " parked but attached");
     if (isLive) ++live;
     if (isPending) ++pending;
+    if (isParked) ++parked;
 
     const auto children = session.childrenOf(id);
     if (!isLive && !isPending) {
@@ -115,9 +122,10 @@ InvariantReport checkSessionInvariants(const OverlaySession& session,
     if (id == 0) {
       if (parent != kNoNode) fail("the source has a parent");
     } else if (parent == kNoNode) {
-      // Only a pending crash may be left detached (its subtree was orphaned
-      // by an earlier purge and it cannot be re-placed while dead).
-      if (isLive) fail(hostTag(id) + " is live but detached");
+      // Only a pending crash (its subtree was orphaned by an earlier purge
+      // and it cannot be re-placed while dead) or a parked host (an attach
+      // handshake is pending) may be left detached.
+      if (isLive && !isParked) fail(hostTag(id) + " is live but detached");
     } else {
       if (parent < 0 || parent >= n) {
         fail(hostTag(id) + " has an unknown parent");
@@ -134,9 +142,18 @@ InvariantReport checkSessionInvariants(const OverlaySession& session,
       }
     }
 
-    // Cell membership: exactly one entry in the cell the host claims.
+    // Cell membership: exactly one entry in the cell the host claims. Heap
+    // id 0 marks a host never placed under any grid — legal only for a
+    // freshly-admitted parked host or a corpse whose attach never landed
+    // (it crashed while parked, so it joined no cell to be purged from).
     const std::uint64_t heapId = session.heapIdOf(id);
-    if (heapId < 1 || heapId >= session.cellCount()) {
+    if (heapId == 0) {
+      if (isParked || isPending) {
+        ++unplacedParked;
+      } else {
+        fail(hostTag(id) + " is attached but placed in no cell");
+      }
+    } else if (heapId >= session.cellCount()) {
       fail(hostTag(id) + " claims an out-of-range cell");
     } else {
       std::int64_t entries = 0;
@@ -152,6 +169,8 @@ InvariantReport checkSessionInvariants(const OverlaySession& session,
     fail("liveCount() disagrees with the per-host flags");
   if (pending != session.undetectedCrashes())
     fail("undetectedCrashes() disagrees with the per-host flags");
+  if (parked != session.parkedCount())
+    fail("parkedCount() disagrees with the per-host flags");
   if (!session.isLive(0)) fail("the source is not live");
 
   // Acyclicity + reachability classification (also counts disconnection).
@@ -173,7 +192,8 @@ InvariantReport checkSessionInvariants(const OverlaySession& session,
       std::uint8_t verdict;
       if (v == kNoNode) {
         verdict = kBroken;
-        if (!chain.empty() && !session.isPendingCrash(chain.back()))
+        if (!chain.empty() && !session.isPendingCrash(chain.back()) &&
+            !session.isParked(chain.back()))
           fail(hostTag(id) + " is detached from the source");
       } else if (v < 0 || v >= m) {
         verdict = kBroken;
@@ -229,11 +249,13 @@ InvariantReport checkSessionInvariants(const OverlaySession& session,
     if (options.requireRepaired && rep != kNoNode && !session.isLive(rep))
       fail("cell " + std::to_string(h) + " is represented by a dead host");
   }
-  if (totalMembers != live + pending)
+  if (totalMembers != live + pending - unplacedParked)
     fail("cell membership totals disagree with the host census");
 
+  report.parkedHosts = parked;
   if (options.requireRepaired) {
     if (pending != 0) fail("pending crashes remain after required repair");
+    if (parked != 0) fail("parked hosts remain after required repair");
     if (report.disconnectedLiveHosts != 0)
       fail("live hosts remain disconnected after required repair");
   }

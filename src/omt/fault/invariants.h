@@ -33,6 +33,9 @@ struct InvariantReport {
   /// Live hosts whose root path crosses a crashed-but-unrepaired host
   /// (data flow to them is broken until detection + repair).
   std::int64_t disconnectedLiveHosts = 0;
+  /// Live hosts parked in a degraded half-joined/half-repaired state,
+  /// waiting for an attach handshake (or the anti-entropy audit).
+  std::int64_t parkedHosts = 0;
 
   explicit operator bool() const { return ok; }
 };

@@ -50,6 +50,24 @@ bool OverlaySession::isPendingCrash(NodeId node) const {
          hosts_[static_cast<std::size_t>(node)].pendingCrash;
 }
 
+bool OverlaySession::isParked(NodeId node) const {
+  return node >= 0 && node < static_cast<NodeId>(hosts_.size()) &&
+         hosts_[static_cast<std::size_t>(node)].parked;
+}
+
+const Point& OverlaySession::positionOf(NodeId node) const {
+  OMT_CHECK(node >= 0 && node < hostCount(), "unknown host");
+  return hosts_[static_cast<std::size_t>(node)].position;
+}
+
+void OverlaySession::unpark(NodeId node) {
+  auto& host = hosts_[static_cast<std::size_t>(node)];
+  if (host.parked) {
+    host.parked = false;
+    --parkedCount_;
+  }
+}
+
 NodeId OverlaySession::parentOf(NodeId node) const {
   OMT_CHECK(node >= 0 && node < hostCount(), "unknown host");
   return hosts_[static_cast<std::size_t>(node)].parent;
@@ -198,6 +216,12 @@ void OverlaySession::place(NodeId node) {
 }
 
 NodeId OverlaySession::join(const Point& position) {
+  const NodeId id = admit(position);
+  attachParked(id);
+  return id;
+}
+
+NodeId OverlaySession::admit(const Point& position) {
   OMT_CHECK(position.dim() == grid_.dim(), "dimension mismatch");
   ++stats_.joins;
   const auto id = static_cast<NodeId>(hosts_.size());
@@ -205,37 +229,62 @@ NodeId OverlaySession::join(const Point& position) {
   host.position = position;
   host.polar = toPolar(position, hosts_[0].position);
   host.alive = true;
+  host.parked = true;
   hosts_.push_back(std::move(host));
   ++liveCount_;
-
-  const double radius = hosts_.back().polar.radius;
-  const bool outside = radius > grid_.outerRadius();
-  const bool grown =
-      static_cast<double>(liveCount_) >
-      static_cast<double>(lastRegridCount_) * options_.regridGrowthFactor;
-  if (outside || (grown && onlineTargetRings(liveCount_) != grid_.rings())) {
-    regrid(outside ? radius * 1.5 : grid_.outerRadius());
-    return id;
-  }
-
-  auto& self = hosts_[static_cast<std::size_t>(id)];
-  const int ring = grid_.ringOf(self.polar.radius);
-  self.heapId = grid_.heapId(ring, grid_.cellOf(self.polar, ring));
-  cellMembers_[self.heapId].push_back(id);
-  place(id);
+  ++parkedCount_;
   return id;
+}
+
+void OverlaySession::attachParked(NodeId node) {
+  OMT_CHECK(isParked(node), "host is not parked");
+  unpark(node);
+  auto& self = hosts_[static_cast<std::size_t>(node)];
+  if (self.heapId == 0) {
+    // Fresh admit (never placed under any grid): the join placement path.
+    const double radius = self.polar.radius;
+    const bool outside = radius > grid_.outerRadius();
+    const bool grown =
+        static_cast<double>(liveCount_) >
+        static_cast<double>(lastRegridCount_) * options_.regridGrowthFactor;
+    if (outside || (grown && onlineTargetRings(liveCount_) != grid_.rings())) {
+      regrid(outside ? radius * 1.5 : grid_.outerRadius());
+      return;
+    }
+    const int ring = grid_.ringOf(self.polar.radius);
+    self.heapId = grid_.heapId(ring, grid_.cellOf(self.polar, ring));
+    cellMembers_[self.heapId].push_back(node);
+    place(node);
+    return;
+  }
+  // Re-parked orphan (already a cell member): re-home backup-first, with
+  // the same accounting as crash repair.
+  RepairReport report;
+  rehomeOrphan(node, report);
+}
+
+void OverlaySession::park(NodeId node) {
+  OMT_CHECK(isLive(node), "host is not live");
+  OMT_CHECK(node != 0, "the source cannot park");
+  OMT_CHECK(!isParked(node), "host is already parked");
+  detach(node);
+  hosts_[static_cast<std::size_t>(node)].parked = true;
+  ++parkedCount_;
 }
 
 void OverlaySession::leave(NodeId node) {
   OMT_CHECK(isLive(node), "host is not live");
   OMT_CHECK(node != 0, "the source cannot leave");
   ++stats_.leaves;
+  unpark(node);
   auto& self = hosts_[static_cast<std::size_t>(node)];
 
-  // Remove from the overlay and its cell.
+  // Remove from the overlay and its cell. (A freshly-admitted parked host
+  // is in no cell yet — the erase is conditional for that case.)
   detach(node);
   auto& members = cellMembers_[self.heapId];
-  members.erase(std::find(members.begin(), members.end(), node));
+  const auto it = std::find(members.begin(), members.end(), node);
+  if (it != members.end()) members.erase(it);
   if (cellRep_[self.heapId] == node) promoteRepresentative(self.heapId);
 
   const std::vector<NodeId> orphans = std::move(self.children);
@@ -292,6 +341,7 @@ void OverlaySession::crash(NodeId node) {
   OMT_CHECK(isLive(node), "host is not live");
   OMT_CHECK(node != 0, "the source cannot crash");
   ++stats_.crashes;
+  unpark(node);
   hosts_[static_cast<std::size_t>(node)].alive = false;
   hosts_[static_cast<std::size_t>(node)].pendingCrash = true;
   --liveCount_;
@@ -333,7 +383,7 @@ void OverlaySession::maybeShrinkRegrid() {
 std::int64_t OverlaySession::detectAndRepair() {
   // Heartbeat: every live non-source host probes its parent once.
   stats_.contactCost += std::max<std::int64_t>(0, liveCount_ - 1);
-  if (crashedPending_.empty()) return 0;
+  if (crashedPending_.empty() && parkedCount_ == 0) return 0;
 
   std::vector<NodeId> orphans;
   for (const NodeId dead : crashedPending_) purgeDeadHost(dead, orphans);
@@ -342,8 +392,24 @@ std::int64_t OverlaySession::detectAndRepair() {
 
   for (const NodeId orphan : orphans) place(orphan);
 
+  // The global sweep also heals parked hosts (half-completed joins or
+  // repairs abandoned by the RPC layer).
+  std::int64_t healed = 0;
+  if (parkedCount_ > 0) {
+    std::vector<NodeId> parked;
+    for (std::size_t id = 0; id < hosts_.size(); ++id) {
+      if (hosts_[id].parked) parked.push_back(static_cast<NodeId>(id));
+    }
+    for (const NodeId node : parked) {
+      // An attachParked-triggered regrid may have attached the rest.
+      if (!isParked(node)) continue;
+      attachParked(node);
+      ++healed;
+    }
+  }
+
   maybeShrinkRegrid();
-  return static_cast<std::int64_t>(orphans.size());
+  return static_cast<std::int64_t>(orphans.size()) + healed;
 }
 
 void OverlaySession::rehomeOrphan(NodeId orphan, RepairReport& report) {
@@ -361,6 +427,23 @@ void OverlaySession::rehomeOrphan(NodeId orphan, RepairReport& report) {
   ++report.fallbacks;
   ++stats_.backupFallbacks;
   place(orphan);
+}
+
+std::vector<NodeId> OverlaySession::purgeCrashed(NodeId dead) {
+  OMT_CHECK(isPendingCrash(dead), "host is not a pending crash");
+  std::vector<NodeId> orphans;
+  purgeDeadHost(dead, orphans);
+  crashedPending_.erase(
+      std::find(crashedPending_.begin(), crashedPending_.end(), dead));
+  --undetectedCrashes_;
+  // The orphans come back parked: each awaits its own attach handshake.
+  // No shrink check here — the caller runs it once the repair completes
+  // (an immediate regrid would heal the orphans behind the driver's back).
+  for (const NodeId orphan : orphans) {
+    hosts_[static_cast<std::size_t>(orphan)].parked = true;
+    ++parkedCount_;
+  }
+  return orphans;
 }
 
 RepairReport OverlaySession::repairCrashed(NodeId dead) {
@@ -415,11 +498,14 @@ void OverlaySession::regrid(double newRadius) {
   // Reset the overlay and re-place: cell representatives first in ring
   // order (so the core network exists before locals join), then everyone
   // else.
+  // A regrid re-places every live host, which also heals parked ones.
   for (auto& host : hosts_) {
     host.parent = kNoNode;
     host.backupParent = kNoNode;
     host.children.clear();
+    host.parked = false;
   }
+  parkedCount_ = 0;
   for (std::size_t id = 0; id < hosts_.size(); ++id) {
     Host& host = hosts_[id];
     if (!host.alive) continue;
@@ -472,6 +558,8 @@ void OverlaySession::regrid(double newRadius) {
 SessionSnapshot OverlaySession::snapshot() const {
   OMT_CHECK(undetectedCrashes_ == 0,
             "snapshot() with undetected crashes; run detectAndRepair()");
+  OMT_CHECK(parkedCount_ == 0,
+            "snapshot() with parked hosts; complete their attaches first");
   std::vector<NodeId> sessionIds;
   std::vector<NodeId> toCompact(hosts_.size(), kNoNode);
   for (std::size_t id = 0; id < hosts_.size(); ++id) {

@@ -85,8 +85,47 @@ class OverlaySession {
   OverlaySession(const Point& sourcePosition, const SessionOptions& options);
 
   /// Add a host; returns its permanent session id. O(cell size + rings)
-  /// contacts expected; may trigger a regrid.
+  /// contacts expected; may trigger a regrid. Equivalent to admit()
+  /// followed immediately by attachParked() — the atomic path used when no
+  /// message loss can interrupt the handshake.
   NodeId join(const Point& position);
+
+  // --- Decomposed (message-level) operations -------------------------------
+  // The RPC driver (omt/rpc/reliable_session.h) splits each protocol
+  // operation into individual fallible messages. Between messages the
+  // session sits in an explicitly-modelled *degraded* state: a parked host
+  // is live but unattached (it joined the membership, its attach never
+  // completed), and structural invariants (degree caps, acyclicity) hold
+  // throughout. Parked hosts are healed by attachParked(), a regrid (which
+  // re-places every live host), or the detectAndRepair() sweep.
+
+  /// Register a live host WITHOUT attaching it: the host exists, counts as
+  /// live, but is parked outside the tree until attachParked() completes
+  /// the join. Returns its permanent session id.
+  NodeId admit(const Point& position);
+
+  /// Complete a parked host's attachment: fresh admits go through the join
+  /// placement path (and may trigger a regrid); re-parked orphans re-home
+  /// backup-first like crash repair.
+  void attachParked(NodeId node);
+
+  /// Park a live, currently-attached non-source host: detach it (children
+  /// are NOT moved; its subtree stays below it) — the state a host is left
+  /// in when a re-attach handshake exhausts its retries mid-flight.
+  void park(NodeId node);
+
+  /// Purge ONE crashed host from the tree and its cell WITHOUT re-homing
+  /// the orphans: the orphaned subtree roots are returned parked, each to
+  /// be re-attached individually (attachParked) by its own fallible
+  /// handshake. repairCrashed() == purgeCrashed() + attachParked() each +
+  /// shrink check, when every handshake succeeds.
+  std::vector<NodeId> purgeCrashed(NodeId dead);
+
+  /// Remove a live non-source host that departed WITHOUT completing its
+  /// goodbye handshake: children are left in place under it like a crash.
+  /// (A lost leave is indistinguishable from a silent crash to everyone
+  /// else.)
+  void leaveSilently(NodeId node) { crash(node); }
 
   /// Remove a live non-source host; its children are re-attached. May
   /// trigger a regrid when the membership shrinks enough.
@@ -126,8 +165,19 @@ class OverlaySession {
   /// Number of crashed-but-not-yet-repaired hosts.
   std::int64_t undetectedCrashes() const { return undetectedCrashes_; }
 
+  /// Number of live hosts currently parked (admitted or orphaned, waiting
+  /// for an attach handshake to complete).
+  std::int64_t parkedCount() const { return parkedCount_; }
+  bool isParked(NodeId node) const;
+
+  /// Shrink-triggered regrid check; exposed so a driver completing a
+  /// decomposed repair can apply the same membership-halved rule as
+  /// leave()/repairCrashed().
+  void maybeShrinkRegrid();
+
   NodeId sourceId() const { return 0; }
   std::int64_t liveCount() const { return liveCount_; }
+  const Point& positionOf(NodeId node) const;
   const SessionStats& stats() const { return stats_; }
   const SessionOptions& options() const { return options_; }
   int rings() const { return grid_.rings(); }
@@ -163,6 +213,7 @@ class OverlaySession {
     std::vector<NodeId> children;
     bool alive = false;
     bool pendingCrash = false;  ///< crashed but not yet purged by a repair
+    bool parked = false;  ///< live but unattached, awaiting an attach
   };
 
   int outDegreeOf(NodeId node) const {
@@ -190,8 +241,8 @@ class OverlaySession {
   /// children (now detached) to `orphans`.
   void purgeDeadHost(NodeId dead, std::vector<NodeId>& orphans);
 
-  /// Shrink-triggered regrid check shared by leave/repair paths.
-  void maybeShrinkRegrid();
+  /// Clear a host's parked flag (no-op when not parked).
+  void unpark(NodeId node);
 
   /// The representative of the nearest occupied ancestor cell of `heapId`
   /// (possibly the source). Counts contacts.
@@ -223,6 +274,7 @@ class OverlaySession {
   std::int64_t liveCount_ = 1;
   std::int64_t lastRegridCount_ = 1;
   std::int64_t undetectedCrashes_ = 0;
+  std::int64_t parkedCount_ = 0;
   std::vector<NodeId> crashedPending_;
   SessionStats stats_;
 };

@@ -1,0 +1,101 @@
+#include "omt/rpc/channel.h"
+
+#include "omt/common/error.h"
+
+namespace omt {
+namespace {
+
+bool inside(const Point& p, const Point& center, double radius) {
+  return distance(p, center) <= radius;
+}
+
+}  // namespace
+
+ControlChannel::ControlChannel(const ControlChannelOptions& options)
+    : options_(options), rng_(deriveSeed(options.seed, 0x6368616eULL)) {
+  OMT_CHECK(options.lossRate >= 0.0 && options.lossRate <= 1.0,
+            "loss rate outside [0, 1]");
+  OMT_CHECK(options.latency >= 0.0, "latency must be non-negative");
+  OMT_CHECK(options.baseTimeout > 0.0, "base timeout must be positive");
+  OMT_CHECK(options.backoffFactor >= 1.0, "backoff factor must be >= 1");
+  OMT_CHECK(options.maxAttempts >= 1, "need at least one attempt");
+}
+
+bool ControlChannel::roll() { return roll(0.0); }
+
+bool ControlChannel::roll(double extraLoss) {
+  ++stats_.messages;
+  ++stats_.transmissions;
+  const double effective =
+      1.0 - (1.0 - options_.lossRate) * (1.0 - extraLoss);
+  if (rng_.uniform() < effective) {
+    ++stats_.losses;
+    return false;
+  }
+  return true;
+}
+
+ControlChannel::Outcome ControlChannel::send() {
+  ++stats_.messages;
+  Outcome outcome;
+  double timeout = options_.baseTimeout;
+  for (int attempt = 1; attempt <= options_.maxAttempts; ++attempt) {
+    ++stats_.transmissions;
+    outcome.attempts = attempt;
+    if (rng_.uniform() >= options_.lossRate) {
+      outcome.delivered = true;
+      outcome.elapsed += options_.latency;
+      return outcome;
+    }
+    ++stats_.losses;
+    if (attempt < options_.maxAttempts) {
+      outcome.elapsed += timeout;  // wait out the retransmission timer
+      timeout *= options_.backoffFactor;
+    }
+  }
+  ++stats_.expiries;
+  outcome.elapsed += timeout;  // the final timer expires with no answer
+  return outcome;
+}
+
+DisruptionSchedule::DisruptionSchedule(std::vector<DisruptionWindow> windows)
+    : windows_(std::move(windows)) {
+  for (const DisruptionWindow& w : windows_) {
+    OMT_CHECK(w.end >= w.start, "disruption window ends before it starts");
+    OMT_CHECK(w.lossBoost >= 0.0 && w.lossBoost <= 1.0,
+              "loss boost outside [0, 1]");
+    OMT_CHECK(w.extraDelay >= 0.0, "extra delay must be non-negative");
+    OMT_CHECK(!w.partition || w.radius > 0.0,
+              "partition window needs a positive radius");
+  }
+}
+
+bool DisruptionSchedule::severed(const Point& a, const Point& b,
+                                 double now) const {
+  for (const DisruptionWindow& w : windows_) {
+    if (!w.partition || now < w.start || now >= w.end) continue;
+    if (inside(a, w.center, w.radius) != inside(b, w.center, w.radius))
+      return true;
+  }
+  return false;
+}
+
+double DisruptionSchedule::lossBoostAt(double now) const {
+  double pass = 1.0;
+  for (const DisruptionWindow& w : windows_) {
+    if (w.lossBoost <= 0.0 || now < w.start || now >= w.end) continue;
+    pass *= 1.0 - w.lossBoost;
+  }
+  return 1.0 - pass;
+}
+
+double DisruptionSchedule::extraDelayAt(double now) const {
+  double delay = 0.0;
+  for (const DisruptionWindow& w : windows_) {
+    if (w.extraDelay <= 0.0 || now < w.start || now >= w.end) continue;
+    delay += w.extraDelay;
+  }
+  return delay;
+}
+
+}  // namespace omt

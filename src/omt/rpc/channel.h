@@ -1,0 +1,118 @@
+// The lossy control channel and time-windowed control-plane disruption.
+//
+// Every control message in the overlay — heartbeat probes, join/leave
+// requests, repair handshakes — crosses this channel. A message is lost
+// independently with a fixed probability; on top of that base rate a
+// DisruptionSchedule can impose *correlated* trouble aimed specifically at
+// control traffic:
+//   * loss-burst windows that boost the per-message loss probability for
+//     everyone while active;
+//   * delay windows that add latency to every delivered message;
+//   * partition windows that cut a spatial region off outright — any
+//     message with exactly one endpoint inside the region is dropped with
+//     certainty until the window closes.
+// The channel is the shared loss source; policy (retransmission, backoff,
+// dedup, circuit breaking) lives one layer up in omt/rpc/rpc.h.
+//
+// Everything is driven by explicit 64-bit seeds: the same options always
+// produce the same per-message loss pattern.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "omt/geometry/point.h"
+#include "omt/random/rng.h"
+
+namespace omt {
+
+struct ControlChannelOptions {
+  double lossRate = 0.0;       ///< independent per-message loss probability
+  double latency = 0.01;       ///< delivery time of one successful message
+  double baseTimeout = 0.05;   ///< wait before the first retransmission
+  double backoffFactor = 2.0;  ///< timeout multiplier per further retry
+  int maxAttempts = 4;         ///< transmissions before a send() expires
+  std::uint64_t seed = 7;
+};
+
+struct ChannelStats {
+  std::int64_t messages = 0;       ///< logical messages (roll + send calls)
+  std::int64_t transmissions = 0;  ///< physical transmissions incl. retries
+  std::int64_t losses = 0;         ///< transmissions the channel dropped
+  std::int64_t expiries = 0;       ///< send() calls that exhausted retries
+};
+
+/// The lossy control channel. roll() models one best-effort message (a
+/// heartbeat probe — never retried); send() models a reliable-ish message
+/// that retransmits with exponential backoff until delivered or out of
+/// attempts, reporting the wall-clock time the exchange consumed.
+class ControlChannel {
+ public:
+  explicit ControlChannel(const ControlChannelOptions& options);
+
+  struct Outcome {
+    bool delivered = false;
+    int attempts = 0;
+    double elapsed = 0.0;  ///< backoff waits plus delivery latency
+  };
+
+  /// One unacknowledged message: true iff it got through.
+  bool roll();
+
+  /// One unacknowledged message under extra correlated loss: the message is
+  /// dropped with probability 1 - (1 - lossRate) * (1 - extraLoss). Used by
+  /// the RPC layer to fold disruption windows into each transmission.
+  bool roll(double extraLoss);
+
+  /// One message with retransmission: up to maxAttempts tries, waiting
+  /// baseTimeout * backoffFactor^(i-1) before retry i.
+  Outcome send();
+
+  const ControlChannelOptions& options() const { return options_; }
+  const ChannelStats& stats() const { return stats_; }
+
+ private:
+  ControlChannelOptions options_;
+  Rng rng_;
+  ChannelStats stats_;
+};
+
+/// One window of correlated control-plane trouble. A window is either a
+/// partition (a spatial region severed from the rest of the world) or a
+/// global loss/delay burst; a single window may combine all three knobs.
+struct DisruptionWindow {
+  double start = 0.0;
+  double end = 0.0;
+  double lossBoost = 0.0;   ///< extra independent loss while active
+  double extraDelay = 0.0;  ///< added one-way latency while active
+  bool partition = false;   ///< sever the region below from everyone else
+  Point center;             ///< partition region center (host space)
+  double radius = 0.0;      ///< partition region radius
+};
+
+/// Time-indexed view over a set of disruption windows. Queries are O(#windows)
+/// — schedules hold a handful of windows, not thousands.
+class DisruptionSchedule {
+ public:
+  DisruptionSchedule() = default;
+  explicit DisruptionSchedule(std::vector<DisruptionWindow> windows);
+
+  /// True iff a partition window active at `now` separates a and b (exactly
+  /// one of them inside the severed region).
+  bool severed(const Point& a, const Point& b, double now) const;
+
+  /// Combined extra loss probability from every active loss-burst window:
+  /// 1 - prod(1 - boost_i).
+  double lossBoostAt(double now) const;
+
+  /// Summed extra one-way latency from every active delay window.
+  double extraDelayAt(double now) const;
+
+  bool empty() const { return windows_.empty(); }
+  const std::vector<DisruptionWindow>& windows() const { return windows_; }
+
+ private:
+  std::vector<DisruptionWindow> windows_;
+};
+
+}  // namespace omt

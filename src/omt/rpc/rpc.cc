@@ -1,0 +1,132 @@
+#include "omt/rpc/rpc.h"
+
+#include <algorithm>
+
+#include "omt/common/error.h"
+#include "omt/random/rng.h"
+
+namespace omt {
+
+RpcLayer::RpcLayer(const RpcOptions& options, DisruptionSchedule disruption,
+                   PositionResolver resolver)
+    : options_(options),
+      channel_(options.channel),
+      disruption_(std::move(disruption)),
+      resolver_(std::move(resolver)) {
+  OMT_CHECK(options.maxTimeout >= options.channel.baseTimeout,
+            "timeout cap below the base timeout");
+  OMT_CHECK(options.jitterFraction >= 0.0 && options.jitterFraction < 1.0,
+            "jitter fraction outside [0, 1)");
+  OMT_CHECK(options.breakerThreshold >= 1, "breaker threshold must be >= 1");
+  OMT_CHECK(options.breakerCooldown > 0.0, "breaker cooldown must be > 0");
+}
+
+OpId RpcLayer::mint(std::int64_t origin) {
+  OMT_CHECK(origin >= 0, "operation origin must be a host id");
+  return OpId{origin, nextSequence_[origin]++};
+}
+
+double RpcLayer::jitterOf(std::int64_t host) {
+  auto it = jitter_.find(host);
+  if (it != jitter_.end()) return it->second;
+  Rng rng(deriveSeed(options_.channel.seed,
+                     0x6a697474ULL ^ static_cast<std::uint64_t>(host)));
+  const double factor =
+      1.0 + options_.jitterFraction * (2.0 * rng.uniform() - 1.0);
+  jitter_.emplace(host, factor);
+  return factor;
+}
+
+bool RpcLayer::severedNow(std::int64_t a, std::int64_t b, double now) const {
+  if (disruption_.empty() || !resolver_) return false;
+  const Point* pa = resolver_(a);
+  const Point* pb = resolver_(b);
+  if (pa == nullptr || pb == nullptr) return false;
+  return disruption_.severed(*pa, *pb, now);
+}
+
+RpcLayer::Outcome RpcLayer::call(const OpId& id, const Call& call) {
+  OMT_CHECK(id.valid(), "call needs a minted OpId");
+  OMT_CHECK(call.from >= 0 && call.to >= 0, "call needs both endpoints");
+  ++stats_.calls;
+  Outcome out;
+
+  Breaker& breaker = breakers_[call.to];
+  if (breaker.state == BreakerState::kOpen) {
+    if (call.now < breaker.reopenAt) {
+      out.shortCircuited = true;
+      ++stats_.shortCircuited;
+      return out;
+    }
+    breaker.state = BreakerState::kHalfOpen;
+  }
+
+  const double jitter = jitterOf(call.from);
+  double timeout = options_.channel.baseTimeout * jitter;
+  const int maxAttempts = options_.channel.maxAttempts;
+  for (int attempt = 1; attempt <= maxAttempts; ++attempt) {
+    ++out.attempts;
+    const double sentAt = call.now + out.elapsed;
+    const double boost = disruption_.lossBoostAt(sentAt);
+    const bool requestCut = severedNow(call.from, call.to, sentAt);
+    if (channel_.roll(requestCut ? 1.0 : boost)) {
+      ++stats_.requestDeliveries;
+      if (seen_.insert(id).second) {
+        out.applied = true;
+      } else {
+        out.duplicate = true;
+        ++stats_.duplicateDeliveries;
+      }
+      const double oneWay =
+          options_.channel.latency + disruption_.extraDelayAt(sentAt);
+      const double ackAt = sentAt + oneWay;
+      const bool ackCut = severedNow(call.to, call.from, ackAt);
+      if (channel_.roll(ackCut ? 1.0 : disruption_.lossBoostAt(ackAt))) {
+        out.elapsed += 2.0 * oneWay;
+        out.acked = true;
+        break;
+      }
+    }
+    // Request or ack lost: the sender's retransmission timer expires.
+    out.elapsed += timeout;
+    timeout = std::min(timeout * options_.channel.backoffFactor,
+                       options_.maxTimeout * jitter);
+  }
+
+  const double endAt = call.now + out.elapsed;
+  if (out.acked) {
+    ++stats_.acked;
+    if (breaker.state != BreakerState::kClosed) {
+      breaker.state = BreakerState::kClosed;
+      ++stats_.breakerRecoveries;
+    }
+    breaker.consecutiveFailures = 0;
+  } else {
+    ++stats_.exhausted;
+    if (breaker.state == BreakerState::kHalfOpen) {
+      breaker.state = BreakerState::kOpen;
+      breaker.reopenAt = endAt + options_.breakerCooldown;
+      ++stats_.breakerReopens;
+    } else if (++breaker.consecutiveFailures >= options_.breakerThreshold) {
+      breaker.state = BreakerState::kOpen;
+      breaker.reopenAt = endAt + options_.breakerCooldown;
+      ++stats_.breakerTrips;
+    }
+  }
+  return out;
+}
+
+void RpcLayer::recordApplication(const OpId& id) {
+  OMT_CHECK(id.valid(), "cannot record an unminted OpId");
+  if (!applied_.insert(id).second) ++stats_.duplicatesApplied;
+}
+
+BreakerState RpcLayer::breakerState(std::int64_t peer, double now) const {
+  auto it = breakers_.find(peer);
+  if (it == breakers_.end()) return BreakerState::kClosed;
+  if (it->second.state == BreakerState::kOpen && now >= it->second.reopenAt)
+    return BreakerState::kHalfOpen;
+  return it->second.state;
+}
+
+}  // namespace omt

@@ -1,0 +1,173 @@
+// Reliable at-most-once RPC over the lossy control channel.
+//
+// The channel (omt/rpc/channel.h) drops individual transmissions; this layer
+// adds the policy that turns lossy messages into operations the protocol
+// layer can reason about:
+//
+//   * every operation carries an *idempotency key* — an OpId minted once at
+//     the origin (origin host id + per-origin sequence number) and reused on
+//     every retransmission of that operation;
+//   * the receiver deduplicates by OpId: the first delivered request is
+//     *applied*, every later delivery of the same id is acknowledged but NOT
+//     re-applied (at-most-once application). Senders therefore retry freely;
+//   * each call retransmits with capped exponential backoff; the timeout is
+//     jittered by a deterministic per-host factor so co-located senders do
+//     not retry in lock-step;
+//   * a per-peer circuit breaker trips after `breakerThreshold` consecutive
+//     calls to a peer exhaust their retries; while open, calls to that peer
+//     short-circuit (no transmissions). After `breakerCooldown` the breaker
+//     half-opens: exactly one probe call is let through — success closes
+//     the breaker, failure re-opens it for another cooldown.
+//
+// An RPC is one request/ack exchange: the request leg delivers the
+// operation, the ack leg confirms it. Either leg can be lost independently
+// (so a receiver may apply an op whose sender never learns of it — the
+// classic source of duplicates that the OpId dedup absorbs), and both legs
+// are subject to the active disruption windows (loss boosts, delay spells,
+// regional partitions).
+//
+// The layer never mutates overlay state itself. Callers mutate state when
+// Outcome.applied is true and must confirm the mutation via
+// recordApplication(id); a second recordApplication for the same id bumps
+// stats().duplicatesApplied — the chaos gate asserts that counter stays 0.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "omt/geometry/point.h"
+#include "omt/rpc/channel.h"
+
+namespace omt {
+
+/// Idempotency key: minted once per logical operation at its origin and
+/// attached to every retransmission.
+struct OpId {
+  std::int64_t origin = -1;    ///< host that minted the operation
+  std::int64_t sequence = -1;  ///< per-origin monotone sequence number
+
+  bool valid() const { return origin >= 0 && sequence >= 0; }
+  friend bool operator==(const OpId& a, const OpId& b) {
+    return a.origin == b.origin && a.sequence == b.sequence;
+  }
+};
+
+struct OpIdHash {
+  std::size_t operator()(const OpId& id) const {
+    // splitmix64 finalizer over the packed pair; good avalanche, no deps.
+    std::uint64_t x = static_cast<std::uint64_t>(id.origin) * 0x9e3779b97f4a7c15ULL +
+                      static_cast<std::uint64_t>(id.sequence);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x);
+  }
+};
+
+enum class BreakerState : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+struct RpcOptions {
+  ControlChannelOptions channel;  ///< loss, latency, base timeout, attempts
+  double maxTimeout = 0.8;        ///< cap on the backed-off retry timer
+  double jitterFraction = 0.2;    ///< per-host timeout jitter, +/- fraction
+  int breakerThreshold = 3;       ///< consecutive exhausted calls to trip
+  double breakerCooldown = 1.0;   ///< open time before the half-open probe
+};
+
+struct RpcStats {
+  std::int64_t calls = 0;           ///< call() invocations
+  std::int64_t acked = 0;           ///< calls that ended acknowledged
+  std::int64_t exhausted = 0;       ///< calls that ran out of attempts
+  std::int64_t shortCircuited = 0;  ///< calls refused by an open breaker
+  std::int64_t requestDeliveries = 0;   ///< request legs that arrived
+  std::int64_t duplicateDeliveries = 0; ///< deliveries of an already-seen id
+  std::int64_t duplicatesApplied = 0;   ///< MUST stay 0: re-applied ops
+  std::int64_t breakerTrips = 0;        ///< Closed -> Open transitions
+  std::int64_t breakerReopens = 0;      ///< failed half-open probes
+  std::int64_t breakerRecoveries = 0;   ///< Open/HalfOpen -> Closed
+};
+
+/// The reliable-delivery layer. Deterministic: loss is drawn from the
+/// channel's seeded rng, jitter from per-host derived seeds.
+class RpcLayer {
+ public:
+  /// Maps a host id to its position, or nullptr if unknown/dead. Used only
+  /// to evaluate partition windows; without a resolver (or with nullptr
+  /// results) partitions never sever a call.
+  using PositionResolver = std::function<const Point*(std::int64_t)>;
+
+  explicit RpcLayer(const RpcOptions& options,
+                    DisruptionSchedule disruption = DisruptionSchedule(),
+                    PositionResolver resolver = PositionResolver());
+
+  /// Mint a fresh idempotency key at `origin`.
+  OpId mint(std::int64_t origin);
+
+  struct Call {
+    std::int64_t from = -1;
+    std::int64_t to = -1;
+    double now = 0.0;  ///< simulated send time of the first transmission
+  };
+
+  struct Outcome {
+    bool acked = false;    ///< sender observed an ack
+    bool applied = false;  ///< receiver applied the op during this call
+    bool duplicate = false;       ///< some delivery hit the dedup table
+    bool shortCircuited = false;  ///< breaker open: nothing was sent
+    int attempts = 0;             ///< transmissions of the request leg
+    double elapsed = 0.0;         ///< simulated time the exchange consumed
+  };
+
+  /// Drive one operation to acknowledgement or retry exhaustion. Reusing an
+  /// OpId (re-driving a previously unacknowledged operation) is legal and is
+  /// exactly how anti-entropy re-delivers: the dedup table guarantees the op
+  /// applies at most once across all such calls.
+  Outcome call(const OpId& id, const Call& call);
+
+  /// True iff some delivery of `id` has already been applied.
+  bool appliedBefore(const OpId& id) const {
+    return seen_.count(id) != 0;
+  }
+
+  /// Callers confirm each state mutation they perform for an applied op.
+  /// A second confirmation for the same id is the at-most-once violation
+  /// this layer exists to prevent; it is counted, never fatal, so the chaos
+  /// gate can assert the counter instead of crashing mid-drill.
+  void recordApplication(const OpId& id);
+
+  /// Breaker state for `peer` as of `now` (Open reports HalfOpen once the
+  /// cooldown has elapsed, matching what the next call would see).
+  BreakerState breakerState(std::int64_t peer, double now) const;
+
+  const RpcOptions& options() const { return options_; }
+  const RpcStats& stats() const { return stats_; }
+  const ChannelStats& channelStats() const { return channel_.stats(); }
+  const DisruptionSchedule& disruption() const { return disruption_; }
+
+ private:
+  struct Breaker {
+    BreakerState state = BreakerState::kClosed;
+    int consecutiveFailures = 0;
+    double reopenAt = 0.0;  ///< when an open breaker admits its probe
+  };
+
+  double jitterOf(std::int64_t host);
+  bool severedNow(std::int64_t a, std::int64_t b, double now) const;
+
+  RpcOptions options_;
+  ControlChannel channel_;
+  DisruptionSchedule disruption_;
+  PositionResolver resolver_;
+  RpcStats stats_;
+  std::unordered_map<std::int64_t, std::int64_t> nextSequence_;
+  std::unordered_map<std::int64_t, double> jitter_;
+  std::unordered_map<std::int64_t, Breaker> breakers_;
+  std::unordered_set<OpId, OpIdHash> seen_;     ///< receiver dedup table
+  std::unordered_set<OpId, OpIdHash> applied_;  ///< confirmed mutations
+};
+
+}  // namespace omt

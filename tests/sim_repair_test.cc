@@ -199,6 +199,99 @@ TEST(RepairTest, SaturatedTreeSurvivesHeavyInternalDeparture) {
   EXPECT_TRUE(valid.ok) << valid.message;
 }
 
+/// A chain 0 -> 1 -> ... -> n-1 under cap 1: every node but the tail is at
+/// the cap, so at any moment the component has exactly one spare slot.
+struct ChainFixture {
+  std::vector<Point> points;
+  MulticastTree tree;
+
+  explicit ChainFixture(NodeId n) : tree(n, 0) {
+    points.reserve(static_cast<std::size_t>(n));
+    for (NodeId v = 0; v < n; ++v) {
+      points.push_back(Point{static_cast<double>(v), 0.0});
+      if (v > 0) tree.attach(v, v - 1, EdgeKind::kLocal);
+    }
+    tree.finalize();
+  }
+};
+
+TEST(RepairTest, CapOneChainRepairsAlternatingDepartures) {
+  // Departing every other node shatters a cap-1 chain into single-node
+  // orphan segments. Each re-attachment consumes the component's only
+  // spare slot and exposes a new one; the result must again be one chain.
+  const ChainFixture f(33);
+  std::vector<NodeId> departed;
+  for (NodeId v = 1; v < 33; v += 2) departed.push_back(v);
+  const RepairResult repair =
+      repairAfterDepartures(f.tree, f.points, departed, 1);
+  const ValidationResult valid = validate(repair.tree, {.maxOutDegree = 1});
+  EXPECT_TRUE(valid.ok) << valid.message;
+  EXPECT_EQ(repair.tree.size(),
+            static_cast<NodeId>(33 - departed.size()));
+  EXPECT_EQ(repair.reattachedSubtrees,
+            static_cast<std::int64_t>(departed.size()));
+  // Cap 1 admits only one shape over the survivors: a single chain, so
+  // every survivor must still receive the stream.
+  const SimResult sim =
+      simulateMulticast(repair.tree, survivorPoints(repair, f.points));
+  EXPECT_EQ(sim.reached, repair.tree.size());
+}
+
+TEST(RepairTest, CapOneChainRepairsContiguousBlockDeparture) {
+  // A contiguous departed block orphans one long suffix whose segment root
+  // must re-attach to the (single) surviving tail.
+  const ChainFixture f(20);
+  std::vector<NodeId> departed;
+  for (NodeId v = 5; v < 15; ++v) departed.push_back(v);
+  const RepairResult repair =
+      repairAfterDepartures(f.tree, f.points, departed, 1);
+  const ValidationResult valid = validate(repair.tree, {.maxOutDegree = 1});
+  EXPECT_TRUE(valid.ok) << valid.message;
+  EXPECT_EQ(repair.reattachedSubtrees, 1);
+}
+
+TEST(RepairTest, DepartureOfEveryForwarderOrphansTheWholeTree) {
+  // A star of chains: the root's direct children are the only preserved
+  // link into the rest of the tree. Departing all of them orphans every
+  // remaining non-root node at once.
+  const NodeId arms = 4, length = 5;
+  const NodeId n = 1 + arms * length;
+  std::vector<Point> points{Point{0.0, 0.0}};
+  MulticastTree tree(n, 0);
+  for (NodeId a = 0; a < arms; ++a) {
+    for (NodeId i = 0; i < length; ++i) {
+      const NodeId v = 1 + a * length + i;
+      points.push_back(Point{static_cast<double>(a + 1),
+                             static_cast<double>(i)});
+      tree.attach(v, i == 0 ? 0 : v - 1, EdgeKind::kLocal);
+    }
+  }
+  tree.finalize();
+  std::vector<NodeId> departed;
+  for (NodeId a = 0; a < arms; ++a) departed.push_back(1 + a * length);
+
+  const RepairResult repair =
+      repairAfterDepartures(tree, points, departed, 2);
+  const ValidationResult valid = validate(repair.tree, {.maxOutDegree = 2});
+  EXPECT_TRUE(valid.ok) << valid.message;
+  EXPECT_EQ(repair.reattachedSubtrees, static_cast<std::int64_t>(arms));
+  const SimResult sim =
+      simulateMulticast(repair.tree, survivorPoints(repair, points));
+  EXPECT_EQ(sim.reached, repair.tree.size());
+}
+
+TEST(RepairTest, EverythingButTheRootDeparts) {
+  // The extreme of the previous case: the surviving tree is the root alone.
+  const ChainFixture f(12);
+  std::vector<NodeId> departed;
+  for (NodeId v = 1; v < 12; ++v) departed.push_back(v);
+  const RepairResult repair =
+      repairAfterDepartures(f.tree, f.points, departed, 1);
+  EXPECT_EQ(repair.tree.size(), 1);
+  EXPECT_EQ(repair.reattachedSubtrees, 0);
+  EXPECT_TRUE(validate(repair.tree, {.maxOutDegree = 1}));
+}
+
 TEST(RepairTest, NonFiniteCoordinatesFallBackToCapacityWalk) {
   // Regression for the formerly unguarded failure path: with non-finite
   // coordinates every distance comparison is false, so the greedy scan

@@ -11,6 +11,9 @@
 //                   [--order tree|nearest|farthest|deepest]
 //   omtcli render   --points points.txt [--tree tree.txt] [--grid 1]
 //                   [--size 800] --out figure.svg
+//   omtcli chaos    [--seed 42] [--duration 10] [--arrival 10] [--degree 6]
+//                   [--loss 0.3] [--heartbeat-loss 0.1] [--attempts 4]
+//                   [--partition-rate 0.1] [--audit-period 0.5] [--rpc 1]
 //
 // Every command prints a short human-readable report to stdout; failures
 // (malformed files, invalid trees) exit non-zero with a message on stderr.
@@ -21,6 +24,7 @@
 #include <string>
 
 #include "omt/baselines/baselines.h"
+#include "omt/fault/chaos.h"
 #include "omt/bisection/bisection.h"
 #include "omt/core/bounds.h"
 #include "omt/core/polar_grid_tree.h"
@@ -231,10 +235,80 @@ int cmdRender(const Flags& flags) {
   return 0;
 }
 
+int cmdChaos(const Flags& flags) {
+  const auto seed = static_cast<std::uint64_t>(flags.getInt("seed", 42));
+  ChaosOptions options;
+  options.schedule.duration = flags.getDouble("duration", 10.0);
+  options.schedule.arrivalRate = flags.getDouble("arrival", 10.0);
+  options.schedule.crashFraction = flags.getDouble("crash-fraction", 0.4);
+  options.schedule.crashBurstRate = flags.getDouble("burst-rate", 0.1);
+  options.schedule.seed = deriveSeed(seed, 0x501ULL);
+  options.channel.lossRate = flags.getDouble("heartbeat-loss", 0.1);
+  options.channel.seed = deriveSeed(seed, 0x502ULL);
+  options.session.maxOutDegree =
+      static_cast<int>(flags.getInt("degree", 6));
+  options.settleTime = flags.getDouble("settle", 25.0);
+
+  options.useRpc = flags.getInt("rpc", 1) != 0;
+  options.rpc.channel.lossRate = flags.getDouble("loss", 0.3);
+  options.rpc.channel.maxAttempts =
+      static_cast<int>(flags.getInt("attempts", 4));
+  options.rpc.channel.seed = deriveSeed(seed, 0x503ULL);
+  options.disruption.duration =
+      options.schedule.duration + options.settleTime;
+  options.disruption.partitionRate = flags.getDouble("partition-rate", 0.1);
+  options.disruption.lossBurstRate = flags.getDouble("burst-loss-rate", 0.1);
+  options.disruption.seed = deriveSeed(seed, 0x504ULL);
+  options.auditPeriod = flags.getDouble("audit-period", 0.5);
+
+  const ChaosResult result = runChaos(options);
+  TextTable table({"metric", "value"});
+  table.addRow({"joins", TextTable::count(result.joins)});
+  table.addRow({"leaves", TextTable::count(result.leaves)});
+  table.addRow({"crashes", TextTable::count(result.crashes)});
+  table.addRow({"silent leaves", TextTable::count(result.silentLeaves)});
+  table.addRow({"repairs", TextTable::count(result.repairs)});
+  table.addRow({"repaired orphans", TextTable::count(result.repairedOrphans)});
+  table.addRow({"sweep repairs", TextTable::count(result.sweepRepairs)});
+  table.addRow({"invariant audits", TextTable::count(result.invariantChecks)});
+  table.addRow({"final live hosts", TextTable::count(result.finalLive)});
+  if (options.useRpc) {
+    table.addRow({"rpc calls", TextTable::count(result.rpc.calls)});
+    table.addRow({"rpc acked", TextTable::count(result.rpc.acked)});
+    table.addRow({"rpc exhausted", TextTable::count(result.rpc.exhausted)});
+    table.addRow({"duplicate deliveries",
+                  TextTable::count(result.rpc.duplicateDeliveries)});
+    table.addRow({"duplicates applied",
+                  TextTable::count(result.rpc.duplicatesApplied)});
+    table.addRow({"breaker trips", TextTable::count(result.rpc.breakerTrips)});
+    table.addRow({"parked joins", TextTable::count(result.parkedJoins)});
+    table.addRow({"anti-entropy sweeps",
+                  TextTable::count(result.auditSweeps)});
+    table.addRow({"audit reattaches",
+                  TextTable::count(result.driver.auditReattaches)});
+    table.addRow({"disruption windows",
+                  TextTable::count(result.disruptionWindows)});
+  }
+  std::cout << table.str();
+  if (!result.ok) {
+    std::cerr << "INVARIANTS VIOLATED: " << result.failure << "\n";
+    return 1;
+  }
+  if (options.useRpc && result.rpc.duplicatesApplied != 0) {
+    std::cerr << "AT-MOST-ONCE VIOLATED: " << result.rpc.duplicatesApplied
+              << " operations applied twice\n";
+    return 1;
+  }
+  std::cout << "INVARIANTS OK: every audit passed, "
+            << (options.useRpc ? "no operation applied twice, " : "")
+            << "all live hosts attached\n";
+  return 0;
+}
+
 int run(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr << "usage: omtcli <generate|build|metrics|simulate|render> --flag "
-                 "value ...\n";
+    std::cerr << "usage: omtcli <generate|build|metrics|simulate|render|"
+                 "chaos> --flag value ...\n";
     return 2;
   }
   const std::string command = argv[1];
@@ -244,6 +318,7 @@ int run(int argc, char** argv) {
   if (command == "metrics") return cmdMetrics(flags);
   if (command == "simulate") return cmdSimulate(flags);
   if (command == "render") return cmdRender(flags);
+  if (command == "chaos") return cmdChaos(flags);
   std::cerr << "unknown command '" << command << "'\n";
   return 2;
 }
