@@ -19,8 +19,6 @@
 //   {"bench": "fault_recovery", "rows": [{"loss_rate": ..., ...}, ...],
 //    "contacts_per_orphan_local": ..., "contacts_per_orphan_sweep": ...,
 //    "backup_hit_rate": ...}
-#include <fstream>
-
 #include "common.h"
 #include "omt/fault/chaos.h"
 #include "omt/protocol/overlay_session.h"
@@ -126,9 +124,7 @@ int main(int argc, char** argv) {
              "recovery_latency_mean", "disconnected_node_seconds",
              "false_positives", "reinstatements", "sweep_repairs"});
 
-  std::ofstream json("BENCH_fault_recovery.json");
-  json << "{\"bench\": \"fault_recovery\", \"rows\": [";
-  bool firstRow = true;
+  BenchJsonWriter json("BENCH_fault_recovery.json", "fault_recovery");
 
   const double lossRates[] = {0.0, 0.05, 0.2};
   for (std::size_t i = 0; i < std::size(lossRates); ++i) {
@@ -175,23 +171,25 @@ int main(int argc, char** argv) {
            std::to_string(result.detector.reinstatements),
            std::to_string(result.sweepRepairs)});
     }
-    if (!firstRow) json << ", ";
-    firstRow = false;
-    json << "{\"loss_rate\": " << lossRates[i] << ", \"joins\": "
-         << result.joins << ", \"crashes\": " << result.crashes
-         << ", \"repairs\": " << result.repairs
-         << ", \"backup_hit_rate\": " << hitRate
-         << ", \"detection_latency_mean\": "
-         << result.detector.detectionLatency.mean()
-         << ", \"recovery_latency_mean\": " << result.recoveryLatency.mean()
-         << ", \"disconnected_node_seconds\": "
-         << result.disconnectedNodeSeconds
-         << ", \"false_positives\": " << result.detector.falsePositives
-         << ", \"sweep_repairs\": " << result.sweepRepairs << "}";
+    json.beginRow();
+    json.field("loss_rate", lossRates[i]);
+    json.field("joins", result.joins);
+    json.field("crashes", result.crashes);
+    json.field("repairs", result.repairs);
+    json.field("backup_hit_rate", hitRate);
+    json.field("detection_latency_mean",
+               result.detector.detectionLatency.mean());
+    json.field("recovery_latency_mean", result.recoveryLatency.mean());
+    json.field("disconnected_node_seconds", result.disconnectedNodeSeconds);
+    json.field("false_positives", result.detector.falsePositives);
+    json.field("sweep_repairs", result.sweepRepairs);
+    json.endRow();
   }
-  json << "], \"contacts_per_orphan_local\": " << ab.localPerOrphan.mean()
-       << ", \"contacts_per_orphan_sweep\": " << ab.sweepPerOrphan.mean()
-       << ", \"backup_hit_rate\": " << ab.backupHitRate.mean() << "}\n";
+  json.topLevel("contacts_per_orphan_local", ab.localPerOrphan.mean());
+  json.topLevel("contacts_per_orphan_sweep", ab.sweepPerOrphan.mean());
+  json.topLevel("backup_hit_rate", ab.backupHitRate.mean());
+  json.close();
+  maybeWriteMetricsSnapshot("BENCH_fault_recovery.metrics.json");
   std::cout << tableB.str() << "\n(wrote BENCH_fault_recovery.json)\n";
 
   // The acceptance gate: local backup-first repair must beat the sweep on

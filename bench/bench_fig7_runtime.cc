@@ -10,8 +10,6 @@
 // BENCH_construction.json so successive PRs can track the perf trajectory:
 //   {"bench": "fig7_construction", "rows": [{"n": ..., "seconds": ...,
 //    "ns_per_node": ..., "threads": ...}, ...]}
-#include <fstream>
-
 #include "common.h"
 
 int main(int argc, char** argv) {
@@ -24,12 +22,10 @@ int main(int argc, char** argv) {
   auto csv = openCsv(args, {"n", "seconds", "ns_per_node", "threads",
                             "scaling"});
   auto trialsCsv = openTrialsCsv(args);
-  std::ofstream json("BENCH_construction.json");
-  json << "{\"bench\": \"fig7_construction\", \"rows\": [";
+  BenchJsonWriter json("BENCH_construction.json", "fig7_construction");
 
   double prevSeconds = 0.0;
   std::int64_t prevN = 0;
-  bool firstRow = true;
   for (const RowSpec& spec : tableOneSizes(args)) {
     const RowStats row = runRow(spec.n, spec.trials, 6, 2, 100, args.threads);
     appendTrialRows(trialsCsv.get(), row);
@@ -51,15 +47,17 @@ int main(int argc, char** argv) {
                      std::to_string(perNode),
                      std::to_string(row.buildWorkers), scaling});
     }
-    if (!firstRow) json << ", ";
-    firstRow = false;
-    json << "{\"n\": " << spec.n << ", \"seconds\": " << seconds
-         << ", \"ns_per_node\": " << perNode
-         << ", \"threads\": " << row.buildWorkers << "}";
+    json.beginRow();
+    json.field("n", spec.n);
+    json.field("seconds", seconds);
+    json.field("ns_per_node", perNode);
+    json.field("threads", static_cast<std::int64_t>(row.buildWorkers));
+    json.endRow();
     prevSeconds = seconds;
     prevN = spec.n;
   }
-  json << "]}\n";
+  json.close();
+  maybeWriteMetricsSnapshot("BENCH_construction.metrics.json");
   std::cout << table.str();
   std::cout << "\nShape check: ns/node stays roughly flat (near-linear "
                "runtime; paper Figure 7). Paper: 0.02s @ 1k, 2.0s @ 100k, "

@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <optional>
@@ -31,6 +32,8 @@
 
 #include "omt/core/bounds.h"
 #include "omt/core/polar_grid_tree.h"
+#include "omt/obs/metrics.h"
+#include "omt/obs/obs.h"
 #include "omt/parallel/parallel_for.h"
 #include "omt/random/rng.h"
 #include "omt/random/samplers.h"
@@ -195,6 +198,20 @@ inline std::unique_ptr<CsvWriter> openTrialsCsv(const Args& args) {
   csv->writeRow(
       {"n", "trial", "seed", "trial_threads", "build_workers", "seconds"});
   return csv;
+}
+
+/// Write the registry's JSON snapshot next to the bench's BENCH_*.json —
+/// but only when observability is actually recording (OMT_OBS=1 in the
+/// environment). Timed runs with obs off never pay for or produce this.
+inline void maybeWriteMetricsSnapshot(const std::string& path) {
+  if (!obs::enabled()) return;
+  std::ofstream out(path);
+  if (!out.good()) {
+    std::cerr << "warning: cannot open metrics snapshot " << path << "\n";
+    return;
+  }
+  out << obs::MetricsRegistry::global().jsonSnapshot() << "\n";
+  std::cout << "(wrote metrics snapshot " << path << ")\n";
 }
 
 inline void appendTrialRows(CsvWriter* csv, const RowStats& row) {

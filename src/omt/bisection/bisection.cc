@@ -7,6 +7,8 @@
 
 #include "omt/common/error.h"
 #include "omt/geometry/bounding.h"
+#include "omt/obs/metrics.h"
+#include "omt/obs/trace.h"
 #include "omt/parallel/parallel_for.h"
 
 namespace omt {
@@ -176,6 +178,19 @@ void bisectConnect(MulticastTree& tree, std::span<const NodeId> members,
             "one polar coordinate per member required");
   if (members.empty()) return;
 
+  // One add per invocation/member keeps these deterministic under the
+  // parallel per-cell callers. No span here: a span per cell would swamp
+  // the trace at production sizes.
+  {
+    auto& registry = obs::MetricsRegistry::global();
+    static obs::Counter& connects =
+        registry.counter("omt_bisection_connects_total");
+    static obs::Counter& connected =
+        registry.counter("omt_bisection_members_total");
+    connects.add();
+    connected.add(static_cast<std::int64_t>(members.size()));
+  }
+
   std::vector<Member> topMembers;
   topMembers.reserve(members.size());
   for (std::size_t i = 0; i < members.size(); ++i) {
@@ -202,6 +217,7 @@ BisectionTreeResult buildBisectionTree(std::span<const Point> points,
   OMT_CHECK(options.maxOutDegree >= 2, "out-degree cap must be at least 2");
   const int d = points.front().dim();
 
+  const obs::TraceSpan span("build_bisection_tree", "bisection");
   BisectionTreeResult result{.tree = MulticastTree(n, source),
                              .ringCenter = Point(d)};
   result.ringCenter = farRingCenter(points);

@@ -8,6 +8,8 @@
 #include "omt/common/error.h"
 #include "omt/core/bounds.h"
 #include "omt/grid/assignment.h"
+#include "omt/obs/metrics.h"
+#include "omt/obs/trace.h"
 #include "omt/parallel/parallel_for.h"
 
 namespace omt {
@@ -83,6 +85,22 @@ void removeAt(std::vector<NodeId>& v, std::size_t pos) {
   v.pop_back();
 }
 
+/// Deterministic: every counter adds once per logical item (build, node,
+/// core edge), so the values are identical for any worker count.
+struct CoreMetrics {
+  obs::Counter& builds;
+  obs::Counter& nodes;
+  obs::Counter& coreEdges;
+};
+
+CoreMetrics& coreMetrics() {
+  auto& registry = obs::MetricsRegistry::global();
+  static CoreMetrics metrics{registry.counter("omt_core_builds_total"),
+                             registry.counter("omt_core_nodes_total"),
+                             registry.counter("omt_core_edges_total")};
+  return metrics;
+}
+
 }  // namespace
 
 PolarGridResult buildPolarGridTree(std::span<const Point> points,
@@ -94,6 +112,10 @@ PolarGridResult buildPolarGridTree(std::span<const Point> points,
   OMT_CHECK(options.maxOutDegree >= 2, "out-degree cap must be at least 2");
   const int d = points.front().dim();
   const int workers = resolveWorkers(options.workers);
+
+  const obs::TraceSpan span("build_polar_grid_tree", "core");
+  coreMetrics().builds.add();
+  coreMetrics().nodes.add(n);
 
   AssignmentOptions assignOptions;
   assignOptions.maxRings = options.maxRings;
@@ -120,6 +142,7 @@ PolarGridResult buildPolarGridTree(std::span<const Point> points,
   // independent of the chunking.
   const std::uint64_t heapIds = grid.heapIdCount();
   std::vector<NodeId> rep(heapIds, kNoNode);
+  obs::TraceSpan repsSpan("stage2a_representatives", "core", span.id());
   parallelForChunks(
       1, static_cast<std::int64_t>(heapIds), workers,
       [&](std::int64_t lo, std::int64_t hi, int) {
@@ -134,6 +157,7 @@ PolarGridResult buildPolarGridTree(std::span<const Point> points,
         }
       });
   rep[1] = source;
+  repsSpan.end();
 
   PolarGridResult result{.tree = MulticastTree(n, source), .grid = grid};
   MulticastTree& tree = result.tree;
@@ -149,6 +173,7 @@ PolarGridResult buildPolarGridTree(std::span<const Point> points,
   // no synchronisation; the tree is identical for every worker count.
   // coreEdgeCount is a per-slot sum reduced after the join.
   std::vector<std::int64_t> coreEdges(static_cast<std::size_t>(workers), 0);
+  obs::TraceSpan wireSpan("stage2b3_cell_wiring", "core", span.id());
   parallelForChunks(
       1, static_cast<std::int64_t>(heapIds), workers,
       [&](std::int64_t lo, std::int64_t hi, int slot) {
@@ -247,7 +272,9 @@ PolarGridResult buildPolarGridTree(std::span<const Point> points,
           }
         }
       });
+  wireSpan.end();
   for (const std::int64_t c : coreEdges) result.coreEdgeCount += c;
+  coreMetrics().coreEdges.add(result.coreEdgeCount);
 
   tree.finalize();
   result.upperBound = upperBoundEq7(grid, 0, relayLayers(d, fanOut));

@@ -8,10 +8,37 @@
 
 #include "omt/common/error.h"
 #include "omt/fault/invariants.h"
+#include "omt/obs/metrics.h"
+#include "omt/obs/trace.h"
 #include "omt/tree/validation.h"
 
 namespace omt {
 namespace {
+
+/// Chaos runs are seeded single-threaded simulations; all of this is
+/// deterministic for a fixed option set regardless of worker count.
+struct ChaosMetrics {
+  obs::Counter& runs;
+  obs::Counter& joins;
+  obs::Counter& leaves;
+  obs::Counter& crashes;
+  obs::Counter& repairs;
+  obs::Counter& sweepRepairs;
+  obs::Histogram& repairLatency;
+};
+
+ChaosMetrics& chaosMetrics() {
+  auto& registry = obs::MetricsRegistry::global();
+  static ChaosMetrics metrics{
+      registry.counter("omt_chaos_runs_total"),
+      registry.counter("omt_chaos_joins_total"),
+      registry.counter("omt_chaos_leaves_total"),
+      registry.counter("omt_chaos_crashes_total"),
+      registry.counter("omt_chaos_repairs_total"),
+      registry.counter("omt_chaos_sweep_repairs_total"),
+      registry.histogram("omt_chaos_repair_latency_seconds")};
+  return metrics;
+}
 
 /// A join/leave submission travelling over the control channel, re-queued
 /// with its backoff delay when the exchange expires.
@@ -329,8 +356,10 @@ void ChaosRun::handleVerdicts(
           }
           const auto index = static_cast<std::size_t>(verdict.suspect);
           if (index < crashTime_.size() && crashTime_[index] >= 0.0) {
-            result_.recoveryLatency.add(now_ - crashTime_[index] +
-                                        drive.result.elapsed);
+            const double latency =
+                now_ - crashTime_[index] + drive.result.elapsed;
+            result_.recoveryLatency.add(latency);
+            chaosMetrics().repairLatency.observe(latency);
           }
         }
         retrackAfterRegrid();
@@ -380,8 +409,11 @@ void ChaosRun::handleVerdicts(
         detector_.track(orphan, now_);
       }
       const auto index = static_cast<std::size_t>(verdict.suspect);
-      if (index < crashTime_.size() && crashTime_[index] >= 0.0)
-        result_.recoveryLatency.add(now_ - crashTime_[index] + repairElapsed);
+      if (index < crashTime_.size() && crashTime_[index] >= 0.0) {
+        const double latency = now_ - crashTime_[index] + repairElapsed;
+        result_.recoveryLatency.add(latency);
+        chaosMetrics().repairLatency.observe(latency);
+      }
       retrackAfterRegrid();
       audit();
     } else if (session_.isLive(verdict.suspect)) {
@@ -408,6 +440,8 @@ void ChaosRun::handleVerdicts(
 }
 
 ChaosResult ChaosRun::run() {
+  const obs::TraceSpan span("chaos_run", "fault");
+  chaosMetrics().runs.add();
   events_ = generateFaultSchedule(options_.schedule);
   std::int64_t maxEntity = -1;
   for (const FaultEvent& event : events_)
@@ -477,6 +511,12 @@ ChaosResult ChaosRun::run() {
       result_.failure = "final snapshot: " + valid.message;
     }
   }
+
+  chaosMetrics().joins.add(result_.joins);
+  chaosMetrics().leaves.add(result_.leaves);
+  chaosMetrics().crashes.add(result_.crashes);
+  chaosMetrics().repairs.add(result_.repairs);
+  chaosMetrics().sweepRepairs.add(result_.sweepRepairs);
 
   result_.finalLive = session_.liveCount();
   result_.detector = detector_.stats();

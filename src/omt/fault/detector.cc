@@ -4,8 +4,37 @@
 #include <cmath>
 
 #include "omt/common/error.h"
+#include "omt/obs/metrics.h"
 
 namespace omt {
+namespace {
+
+/// Detector simulations run single-threaded off a fixed seed, so every add
+/// here is deterministic for any worker count.
+struct DetectorMetrics {
+  obs::Counter& probes;
+  obs::Counter& missedProbes;
+  obs::Counter& suspicions;
+  obs::Counter& reinstatements;
+  obs::Counter& falsePositives;
+  obs::Counter& confirmedCrashes;
+  obs::Histogram& detectionLatency;
+};
+
+DetectorMetrics& detectorMetrics() {
+  auto& registry = obs::MetricsRegistry::global();
+  static DetectorMetrics metrics{
+      registry.counter("omt_detector_probes_total"),
+      registry.counter("omt_detector_missed_probes_total"),
+      registry.counter("omt_detector_suspicions_total"),
+      registry.counter("omt_detector_reinstatements_total"),
+      registry.counter("omt_detector_false_positives_total"),
+      registry.counter("omt_detector_confirmed_crashes_total"),
+      registry.histogram("omt_detector_detection_latency_seconds")};
+  return metrics;
+}
+
+}  // namespace
 
 HeartbeatDetector::HeartbeatDetector(OverlaySession& session,
                                      ControlChannel& channel,
@@ -63,6 +92,7 @@ double HeartbeatDetector::nextProbeAt() const {
 bool HeartbeatDetector::confirm(NodeId suspect) {
   for (int attempt = 0; attempt < options_.confirmationAttempts; ++attempt) {
     ++stats_.probes;
+    detectorMetrics().probes.add();
     if (channel_.roll() && session_.isLive(suspect)) return true;
   }
   return false;
@@ -82,11 +112,15 @@ std::vector<HeartbeatDetector::Verdict> HeartbeatDetector::advanceTo(
     if (!wasAlive && declaredDead_[index]) return;  // already declared
     if (wasAlive) {
       ++stats_.falsePositives;
+      detectorMetrics().falsePositives.add();
     } else {
       ++stats_.confirmedCrashes;
+      detectorMetrics().confirmedCrashes.add();
       declaredDead_[index] = 1;
-      if (crashTime_[index] >= 0.0)
+      if (crashTime_[index] >= 0.0) {
         stats_.detectionLatency.add(when - crashTime_[index]);
+        detectorMetrics().detectionLatency.observe(when - crashTime_[index]);
+      }
     }
     verdicts.push_back({suspect, accuser, wasAlive});
   };
@@ -115,16 +149,20 @@ std::vector<HeartbeatDetector::Verdict> HeartbeatDetector::advanceTo(
     }
     if (parent != kNoNode) {
       ++stats_.probes;
+      detectorMetrics().probes.add();
       const bool acked = channel_.roll() && session_.isLive(parent);
       if (acked) {
         s.misses = 0;
         s.lastHeard = tick;  // the parent heard from this child
       } else {
         ++stats_.missedProbes;
+        detectorMetrics().missedProbes.add();
         if (++s.misses >= options_.suspicionThreshold) {
           ++stats_.suspicions;
+          detectorMetrics().suspicions.add();
           if (confirm(parent)) {
             ++stats_.reinstatements;
+            detectorMetrics().reinstatements.add();
             s.misses = 0;
             // The confirmation round trip reached the parent and back, so
             // the parent heard from this child: refresh the lease. Without
@@ -155,8 +193,10 @@ std::vector<HeartbeatDetector::Verdict> HeartbeatDetector::advanceTo(
       const double lease = cs.period * options_.leaseFactor;
       if (tick - cs.lastHeard <= lease) continue;
       ++stats_.suspicions;
+      detectorMetrics().suspicions.add();
       if (confirm(child)) {
         ++stats_.reinstatements;
+        detectorMetrics().reinstatements.add();
         cs.lastHeard = tick;
       } else {
         declare(child, timer.host, tick);

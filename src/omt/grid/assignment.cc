@@ -5,10 +5,31 @@
 #include <cmath>
 
 #include "omt/common/error.h"
+#include "omt/obs/metrics.h"
+#include "omt/obs/trace.h"
 #include "omt/parallel/parallel_for.h"
 
 namespace omt {
 namespace {
+
+/// Deterministic per-build facts: one add per logical item (point, build),
+/// one set per chosen grid — identical for every worker count.
+struct GridMetrics {
+  obs::Counter& assignments;
+  obs::Counter& points;
+  obs::Gauge& rings;
+  obs::Gauge& occupiedCells;
+};
+
+GridMetrics& gridMetrics() {
+  auto& registry = obs::MetricsRegistry::global();
+  static GridMetrics metrics{
+      registry.counter("omt_grid_assignments_total"),
+      registry.counter("omt_grid_points_total"),
+      registry.gauge("omt_grid_rings"),
+      registry.gauge("omt_grid_occupied_cells")};
+  return metrics;
+}
 
 /// Largest candidate ring count for n points: property 3 needs all 2^(k-1)
 /// cells of ring k-1 occupied, so 2^(k-1) <= n - 1 is necessary.
@@ -87,6 +108,10 @@ GridAssignment assignToGrid(std::span<const Point> points, NodeId source,
   const int workers = resolveWorkers(options.workers);
   const auto slots = static_cast<std::size_t>(workers);
 
+  const obs::TraceSpan span("assign_to_grid", "grid");
+  gridMetrics().assignments.add();
+  gridMetrics().points.add(n);
+
   const Point& origin = points[static_cast<std::size_t>(source)];
 
   // Pass 1 (parallel): polar coordinates; outer radius R by per-slot max
@@ -94,6 +119,7 @@ GridAssignment assignToGrid(std::span<const Point> points, NodeId source,
   // the chunking).
   std::vector<PolarCoords> polar(points.size());
   std::vector<double> slotMax(slots, 0.0);
+  obs::TraceSpan polarSpan("polar_pass", "grid", span.id());
   parallelForChunks(0, n, workers,
                     [&](std::int64_t lo, std::int64_t hi, int slot) {
                       double localMax = slotMax[static_cast<std::size_t>(slot)];
@@ -106,6 +132,7 @@ GridAssignment assignToGrid(std::span<const Point> points, NodeId source,
                       }
                       slotMax[static_cast<std::size_t>(slot)] = localMax;
                     });
+  polarSpan.end();
   double maxRadius = 0.0;
   for (const double m : slotMax) maxRadius = std::max(maxRadius, m);
   double outerRadius = options.outerRadius.value_or(maxRadius);
@@ -121,6 +148,7 @@ GridAssignment assignToGrid(std::span<const Point> points, NodeId source,
   std::vector<std::int32_t> ringMax(points.size());
   std::vector<std::uint64_t> cellMax(points.size());
   std::vector<std::uint8_t> occMax(gridMax.heapIdCount(), 0);
+  obs::TraceSpan classifySpan("classification", "grid", span.id());
   parallelFor(0, n, workers, [&](std::int64_t i) {
     const auto idx = static_cast<std::size_t>(i);
     const int ring = gridMax.ringOf(std::min(polar[idx].radius, outerRadius));
@@ -132,6 +160,8 @@ GridAssignment assignToGrid(std::span<const Point> points, NodeId source,
   });
 
   const int chosen = selectRings(std::move(occMax), kMax);
+  classifySpan.end();
+  gridMetrics().rings.set(static_cast<double>(chosen));
 
   // Final assignment under the chosen k.
   const int delta = kMax - chosen;
@@ -153,6 +183,7 @@ GridAssignment assignToGrid(std::span<const Point> points, NodeId source,
   //  (c) scatter with per-cell atomic cursors, then sort every cell's
   //      member list — members end up in increasing point index, exactly
   //      the order a sequential scatter produces.
+  const obs::TraceSpan csrSpan("csr_build", "grid", span.id());
   const std::size_t heapIds = out.grid.heapIdCount();
   out.cellStart.assign(heapIds + 1, 0);
   parallelFor(0, n, workers, [&](std::int64_t i) {
@@ -170,6 +201,7 @@ GridAssignment assignToGrid(std::span<const Point> points, NodeId source,
     out.cellStart[h + 1] += out.cellStart[h];
   }
   out.occupiedCellCount = occupied;
+  gridMetrics().occupiedCells.set(static_cast<double>(occupied));
 
   out.cellMembers.resize(points.size());
   std::vector<std::int64_t> cursor(out.cellStart.begin(),

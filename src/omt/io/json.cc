@@ -1,0 +1,318 @@
+#include "omt/io/json.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "omt/common/error.h"
+
+namespace omt::json {
+namespace {
+
+constexpr int kMaxDepth = 256;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parseDocument() {
+    Value value = parseValue(0);
+    skipWhitespace();
+    check(pos_ == text_.size(), "trailing characters after the document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw InvalidArgument("JSON parse error at byte " + std::to_string(pos_) +
+                          ": " + what);
+  }
+  void check(bool ok, const char* what) const {
+    if (!ok) fail(what);
+  }
+
+  void skipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    check(pos_ < text_.size(), "unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    check(pos_ < text_.size() && text_[pos_] == c, "unexpected character");
+    ++pos_;
+  }
+
+  bool consumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  Value parseValue(int depth) {
+    check(depth < kMaxDepth, "nesting too deep");
+    skipWhitespace();
+    const char c = peek();
+    if (c == '{') return parseObject(depth);
+    if (c == '[') return parseArray(depth);
+    if (c == '"') return Value(parseString());
+    if (c == 't') {
+      check(consumeLiteral("true"), "invalid literal");
+      return Value(true);
+    }
+    if (c == 'f') {
+      check(consumeLiteral("false"), "invalid literal");
+      return Value(false);
+    }
+    if (c == 'n') {
+      check(consumeLiteral("null"), "invalid literal");
+      return Value();
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) return Value(parseNumber());
+    fail("unexpected character");
+  }
+
+  Value parseObject(int depth) {
+    expect('{');
+    Object members;
+    skipWhitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return Value(std::move(members));
+    }
+    for (;;) {
+      skipWhitespace();
+      check(peek() == '"', "object key must be a string");
+      std::string key = parseString();
+      skipWhitespace();
+      expect(':');
+      members.emplace_back(std::move(key), parseValue(depth + 1));
+      skipWhitespace();
+      const char next = peek();
+      ++pos_;
+      if (next == '}') return Value(std::move(members));
+      check(next == ',', "expected ',' or '}' in object");
+    }
+  }
+
+  Value parseArray(int depth) {
+    expect('[');
+    Array items;
+    skipWhitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return Value(std::move(items));
+    }
+    for (;;) {
+      items.push_back(parseValue(depth + 1));
+      skipWhitespace();
+      const char next = peek();
+      ++pos_;
+      if (next == ']') return Value(std::move(items));
+      check(next == ',', "expected ',' or ']' in array");
+    }
+  }
+
+  std::string parseString() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      check(pos_ < text_.size(), "unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        check(pos_ < text_.size(), "unterminated escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': appendCodepoint(out, parseHex4()); break;
+          default: fail("invalid escape sequence");
+        }
+      } else {
+        check(static_cast<unsigned char>(c) >= 0x20,
+              "unescaped control character in string");
+        out.push_back(c);
+      }
+    }
+  }
+
+  unsigned parseHex4() {
+    check(pos_ + 4 <= text_.size(), "truncated \\u escape");
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') value |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') value |= static_cast<unsigned>(c - 'A' + 10);
+      else fail("invalid \\u escape");
+    }
+    return value;
+  }
+
+  static void appendCodepoint(std::string& out, unsigned cp) {
+    // BMP only (surrogate pairs are not produced by any omt writer).
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  double parseNumber() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    auto digits = [&] {
+      const std::size_t before = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9')
+        ++pos_;
+      check(pos_ > before, "malformed number");
+    };
+    digits();
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      digits();
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
+        ++pos_;
+      digits();
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    return std::strtod(token.c_str(), nullptr);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+void dumpString(std::ostringstream& out, const std::string& text) {
+  out << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\b': out << "\\b"; break;
+      case '\f': out << "\\f"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          out << "\\u00" << hex[(c >> 4) & 0xF] << hex[c & 0xF];
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+void dumpValue(std::ostringstream& out, const Value& value) {
+  switch (value.type()) {
+    case Value::Type::kNull: out << "null"; break;
+    case Value::Type::kBool: out << (value.asBool() ? "true" : "false"); break;
+    case Value::Type::kNumber: {
+      const double number = value.asNumber();
+      if (std::isfinite(number) && number == std::floor(number) &&
+          std::abs(number) < 1e15) {
+        out << static_cast<std::int64_t>(number);
+      } else {
+        std::ostringstream buf;
+        buf.precision(17);
+        buf << number;
+        out << buf.str();
+      }
+      break;
+    }
+    case Value::Type::kString: dumpString(out, value.asString()); break;
+    case Value::Type::kArray: {
+      out << '[';
+      bool first = true;
+      for (const Value& item : value.asArray()) {
+        if (!first) out << ',';
+        first = false;
+        dumpValue(out, item);
+      }
+      out << ']';
+      break;
+    }
+    case Value::Type::kObject: {
+      out << '{';
+      bool first = true;
+      for (const Member& member : value.asObject()) {
+        if (!first) out << ',';
+        first = false;
+        dumpString(out, member.first);
+        out << ':';
+        dumpValue(out, member.second);
+      }
+      out << '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+bool Value::asBool() const {
+  OMT_CHECK(isBool(), "JSON value is not a bool");
+  return std::get<bool>(data_);
+}
+
+double Value::asNumber() const {
+  OMT_CHECK(isNumber(), "JSON value is not a number");
+  return std::get<double>(data_);
+}
+
+const std::string& Value::asString() const {
+  OMT_CHECK(isString(), "JSON value is not a string");
+  return std::get<std::string>(data_);
+}
+
+const Array& Value::asArray() const {
+  OMT_CHECK(isArray(), "JSON value is not an array");
+  return std::get<Array>(data_);
+}
+
+const Object& Value::asObject() const {
+  OMT_CHECK(isObject(), "JSON value is not an object");
+  return std::get<Object>(data_);
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (!isObject()) return nullptr;
+  for (const Member& member : asObject()) {
+    if (member.first == key) return &member.second;
+  }
+  return nullptr;
+}
+
+std::string Value::dump() const {
+  std::ostringstream out;
+  dumpValue(out, *this);
+  return out.str();
+}
+
+Value parse(std::string_view text) { return Parser(text).parseDocument(); }
+
+}  // namespace omt::json

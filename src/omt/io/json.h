@@ -1,0 +1,71 @@
+// Minimal JSON document model and recursive-descent parser.
+//
+// Exists so observability artifacts are verifiable in-process: the obs
+// tests round-trip Chrome trace exports and metrics snapshots through this
+// parser, and the CI chaos gate asserts the emitted snapshot actually
+// parses. It is a reader for machine-written JSON (full escape handling,
+// \uXXXX as UTF-8, nesting-depth cap), not a streaming writer — the
+// exporters in obs/ and the benches write their JSON directly.
+//
+// Objects preserve insertion order (vector of pairs, linear find), which
+// keeps dump() byte-stable for comparing re-serialized documents.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace omt::json {
+
+class Value;
+using Array = std::vector<Value>;
+using Member = std::pair<std::string, Value>;
+using Object = std::vector<Member>;
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() : data_(nullptr) {}
+  Value(bool value) : data_(value) {}                     // NOLINT(runtime/explicit)
+  Value(double value) : data_(value) {}                   // NOLINT(runtime/explicit)
+  Value(std::string value) : data_(std::move(value)) {}   // NOLINT(runtime/explicit)
+  Value(Array value) : data_(std::move(value)) {}         // NOLINT(runtime/explicit)
+  Value(Object value) : data_(std::move(value)) {}        // NOLINT(runtime/explicit)
+
+  Type type() const { return static_cast<Type>(data_.index()); }
+  bool isNull() const { return type() == Type::kNull; }
+  bool isBool() const { return type() == Type::kBool; }
+  bool isNumber() const { return type() == Type::kNumber; }
+  bool isString() const { return type() == Type::kString; }
+  bool isArray() const { return type() == Type::kArray; }
+  bool isObject() const { return type() == Type::kObject; }
+
+  /// Typed accessors; throw omt::InvalidArgument on a type mismatch.
+  bool asBool() const;
+  double asNumber() const;
+  const std::string& asString() const;
+  const Array& asArray() const;
+  const Object& asObject() const;
+
+  /// Object member lookup (first match); nullptr when absent or not an
+  /// object.
+  const Value* find(std::string_view key) const;
+
+  /// Compact canonical serialization (no insignificant whitespace; numbers
+  /// in shortest-round-trip form; non-ASCII bytes passed through).
+  std::string dump() const;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> data_;
+};
+
+/// Parse one JSON document (trailing whitespace allowed, nothing else after
+/// the value). Throws omt::InvalidArgument with a byte offset on malformed
+/// input or nesting deeper than 256 levels.
+Value parse(std::string_view text);
+
+}  // namespace omt::json

@@ -1,0 +1,249 @@
+#include "omt/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "omt/common/error.h"
+
+namespace omt::obs {
+namespace {
+
+bool validMetricName(const std::string& name) {
+  if (name.rfind("omt_", 0) != 0 || name.size() <= 4) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+/// Shortest round-trip formatting; integers print without a trailing ".0"
+/// so counter values stay integral in the exposition.
+std::string formatNumber(double value) {
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::abs(value) < 1e15) {
+    std::ostringstream out;
+    out << static_cast<std::int64_t>(value);
+    return out.str();
+  }
+  std::ostringstream out;
+  out.precision(17);
+  out << value;
+  return out.str();
+}
+
+std::string jsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upperBounds)
+    : bounds_(std::move(upperBounds)) {
+  OMT_CHECK(!bounds_.empty(), "histogram needs at least one bucket bound");
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    OMT_CHECK(std::isfinite(bounds_[i]), "histogram bounds must be finite");
+    OMT_CHECK(i == 0 || bounds_[i - 1] < bounds_[i],
+              "histogram bounds must be strictly ascending");
+  }
+  buckets_ = std::make_unique<std::atomic<std::int64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    buckets_[i].store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+double Histogram::quantile(double q) const {
+  OMT_CHECK(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+  const std::int64_t total = count();
+  if (total == 0) return 0.0;
+  const double rank = q * static_cast<double>(total);
+  std::int64_t cumulative = 0;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    const std::int64_t inBucket = bucketCount(i);
+    if (inBucket == 0) continue;
+    if (static_cast<double>(cumulative + inBucket) >= rank) {
+      if (i == bounds_.size()) return bounds_.back();  // +Inf bucket
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      const double hi = bounds_[i];
+      const double within =
+          (rank - static_cast<double>(cumulative)) /
+          static_cast<double>(inBucket);
+      return lo + (hi - lo) * std::clamp(within, 0.0, 1.0);
+    }
+    cumulative += inBucket;
+  }
+  return bounds_.back();
+}
+
+std::vector<double> defaultLatencyBuckets() {
+  return {1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2,
+          5e-2, 0.1,  0.5,  1.0,  5.0,  10.0, 50.0, 100.0};
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::registerEntry(const std::string& name,
+                                                       Kind kind,
+                                                       Determinism det) {
+  OMT_CHECK(validMetricName(name),
+            "metric name '" + name +
+                "' violates the omt_<subsystem>_<name> convention");
+  auto [it, inserted] = entries_.try_emplace(name);
+  Entry& entry = it->second;
+  if (inserted) {
+    entry.kind = kind;
+    entry.det = det;
+  } else {
+    OMT_CHECK(entry.kind == kind,
+              "metric '" + name + "' re-registered as a different kind");
+    OMT_CHECK(entry.det == det,
+              "metric '" + name + "' re-registered with different determinism");
+  }
+  return entry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, Determinism det) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = registerEntry(name, Kind::kCounter, det);
+  if (!entry.counter) entry.counter = std::unique_ptr<Counter>(new Counter());
+  return *entry.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, Determinism det) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = registerEntry(name, Kind::kGauge, det);
+  if (!entry.gauge) entry.gauge = std::unique_ptr<Gauge>(new Gauge());
+  return *entry.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> upperBounds,
+                                      Determinism det) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = registerEntry(name, Kind::kHistogram, det);
+  if (!entry.histogram) {
+    if (upperBounds.empty()) upperBounds = defaultLatencyBuckets();
+    entry.histogram =
+        std::unique_ptr<Histogram>(new Histogram(std::move(upperBounds)));
+  } else if (!upperBounds.empty()) {
+    OMT_CHECK(std::equal(upperBounds.begin(), upperBounds.end(),
+                         entry.histogram->bounds().begin(),
+                         entry.histogram->bounds().end()),
+              "metric '" + name + "' re-registered with different buckets");
+  }
+  return *entry.histogram;
+}
+
+std::string MetricsRegistry::prometheusText(
+    bool includeNondeterministic) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  for (const auto& [name, entry] : entries_) {
+    if (!includeNondeterministic && entry.det == Determinism::kNondeterministic)
+      continue;
+    switch (entry.kind) {
+      case Kind::kCounter:
+        out << "# TYPE " << name << " counter\n"
+            << name << " " << entry.counter->value() << "\n";
+        break;
+      case Kind::kGauge:
+        out << "# TYPE " << name << " gauge\n"
+            << name << " " << formatNumber(entry.gauge->value()) << "\n";
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        out << "# TYPE " << name << " histogram\n";
+        std::int64_t cumulative = 0;
+        for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+          cumulative += h.bucketCount(i);
+          out << name << "_bucket{le=\"" << formatNumber(h.bounds()[i])
+              << "\"} " << cumulative << "\n";
+        }
+        out << name << "_bucket{le=\"+Inf\"} " << h.count() << "\n"
+            << name << "_sum " << formatNumber(h.sum()) << "\n"
+            << name << "_count " << h.count() << "\n";
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::jsonSnapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream counters, gauges, histograms;
+  bool firstCounter = true, firstGauge = true, firstHistogram = true;
+  for (const auto& [name, entry] : entries_) {
+    const bool nondet = entry.det == Determinism::kNondeterministic;
+    switch (entry.kind) {
+      case Kind::kCounter:
+        counters << (firstCounter ? "" : ", ") << "\"" << jsonEscape(name)
+                 << "\": " << entry.counter->value();
+        firstCounter = false;
+        break;
+      case Kind::kGauge:
+        gauges << (firstGauge ? "" : ", ") << "\"" << jsonEscape(name)
+               << "\": " << formatNumber(entry.gauge->value());
+        firstGauge = false;
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        histograms << (firstHistogram ? "" : ", ") << "\"" << jsonEscape(name)
+                   << "\": {\"count\": " << h.count()
+                   << ", \"sum\": " << formatNumber(h.sum())
+                   << ", \"p50\": " << formatNumber(h.p50())
+                   << ", \"p95\": " << formatNumber(h.p95())
+                   << ", \"p99\": " << formatNumber(h.p99());
+        if (nondet) histograms << ", \"nondeterministic\": true";
+        histograms << ", \"buckets\": [";
+        for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+          histograms << (i == 0 ? "" : ", ") << "{\"le\": "
+                     << formatNumber(h.bounds()[i])
+                     << ", \"count\": " << h.bucketCount(i) << "}";
+        }
+        histograms << ", {\"le\": \"+Inf\", \"count\": "
+                   << h.bucketCount(h.bounds().size()) << "}]}";
+        firstHistogram = false;
+        break;
+      }
+    }
+  }
+  std::ostringstream out;
+  out << "{\"counters\": {" << counters.str() << "}, \"gauges\": {"
+      << gauges.str() << "}, \"histograms\": {" << histograms.str() << "}}";
+  return out.str();
+}
+
+void MetricsRegistry::resetValues() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter: entry.counter->reset(); break;
+      case Kind::kGauge: entry.gauge->reset(); break;
+      case Kind::kHistogram: entry.histogram->reset(); break;
+    }
+  }
+}
+
+}  // namespace omt::obs

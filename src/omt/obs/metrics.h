@@ -1,0 +1,162 @@
+// Metrics registry: named counters, gauges, and fixed-bucket histograms
+// with Prometheus-style text exposition and a JSON snapshot.
+//
+// Naming convention: omt_<subsystem>_<name>, lowercase with underscores;
+// counters end in _total, histograms of durations in _seconds. The registry
+// rejects anything else so dashboards never chase typos.
+//
+// Determinism contract: every instrument is registered as deterministic or
+// nondeterministic. Deterministic metrics are pure functions of the inputs
+// (seeds, options) — counters incremented once per logical item reduce by
+// integer addition, which is order-independent, so their values match for
+// any worker count. Scheduling-dependent quantities (queue waits, chunk
+// counts, inline collapses) MUST be registered kNondeterministic; they are
+// excluded from deterministicText(), the snapshot the property test
+// compares across OMT_THREADS=1,2,8.
+//
+// Hot-path cost: instruments hold relaxed atomics and check obs::enabled()
+// first, so a disabled run pays one predicted branch per event and a
+// compiled-out build (cmake -DOMT_OBS=OFF) pays nothing. Look up
+// instruments once (static local reference), not per event.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "omt/obs/obs.h"
+
+namespace omt::obs {
+
+enum class Determinism : std::uint8_t { kDeterministic, kNondeterministic };
+
+/// Monotone event count. Reduces by addition: deterministic whenever each
+/// logical event is counted exactly once, regardless of thread interleaving.
+class Counter {
+ public:
+  void add(std::int64_t delta = 1) {
+    if (!enabled()) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Last-written level (ring counts, live hosts, worker counts).
+class Gauge {
+ public:
+  void set(double value) {
+    if (!enabled()) return;
+    value_.store(value, std::memory_order_relaxed);
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. Buckets are cumulative-upper-bound style
+/// (Prometheus `le`); one implicit +Inf bucket catches the overflow.
+/// Percentiles are extracted from the bucket counts with linear
+/// interpolation inside the winning bucket (the +Inf bucket reports the
+/// last finite bound — same convention as PromQL's histogram_quantile).
+class Histogram {
+ public:
+  void observe(double value) {
+    if (!enabled()) return;
+    std::size_t i = 0;
+    while (i < bounds_.size() && value > bounds_[i]) ++i;
+    buckets_[i].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  std::int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::span<const double> bounds() const { return bounds_; }
+  /// Count in bucket i; i == bounds().size() is the +Inf overflow bucket.
+  std::int64_t bucketCount(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  /// Quantile in [0, 1] estimated from the buckets; 0 when empty.
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::vector<double> upperBounds);
+  void reset();
+
+  std::vector<double> bounds_;  ///< ascending, finite upper bounds
+  std::unique_ptr<std::atomic<std::int64_t>[]> buckets_;  ///< bounds_+1 cells
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Default duration buckets (seconds): 1us .. ~100s in half-decade steps.
+std::vector<double> defaultLatencyBuckets();
+
+/// The process-wide registry. Registration (first lookup of a name) takes a
+/// mutex; recording on the returned instrument is lock-free. Instrument
+/// references stay valid for the process lifetime — resetValues() zeroes
+/// values but never invalidates them.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& global();
+
+  /// Find-or-create. The name must match omt_<subsystem>_<name> (lowercase
+  /// [a-z0-9_], "omt_" prefix); re-registering an existing name with a
+  /// different kind or determinism throws omt::InvalidArgument.
+  Counter& counter(const std::string& name,
+                   Determinism det = Determinism::kDeterministic);
+  Gauge& gauge(const std::string& name,
+               Determinism det = Determinism::kDeterministic);
+  /// `upperBounds` must be ascending and finite; empty uses
+  /// defaultLatencyBuckets(). Bounds are fixed at first registration.
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> upperBounds = {},
+                       Determinism det = Determinism::kDeterministic);
+
+  /// Prometheus text exposition (sorted by name, `# TYPE` comments,
+  /// histogram _bucket/_sum/_count series). Parseable by any scraper.
+  std::string prometheusText(bool includeNondeterministic = true) const;
+  /// The deterministic subset only — the property-test contract surface.
+  std::string deterministicText() const { return prometheusText(false); }
+  /// One JSON object: {"counters": {...}, "gauges": {...},
+  /// "histograms": {name: {count, sum, p50, p95, p99, buckets: [...]}}}.
+  /// Nondeterministic instruments carry "nondeterministic": true.
+  std::string jsonSnapshot() const;
+
+  /// Zero every value, keeping registrations (and references) intact.
+  void resetValues();
+
+ private:
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    Determinism det;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& registerEntry(const std::string& name, Kind kind, Determinism det);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;  ///< sorted -> stable exposition
+};
+
+}  // namespace omt::obs

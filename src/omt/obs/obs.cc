@@ -1,0 +1,19 @@
+#include "omt/obs/obs.h"
+
+#include <cstdlib>
+
+namespace omt::obs {
+namespace detail {
+
+std::atomic<bool> gEnabled{[] {
+  const char* env = std::getenv("OMT_OBS");
+  return env != nullptr && std::atoi(env) != 0;
+}()};
+
+}  // namespace detail
+
+void setEnabled(bool on) {
+  detail::gEnabled.store(on, std::memory_order_relaxed);
+}
+
+}  // namespace omt::obs

@@ -1,0 +1,47 @@
+// Observability master switch.
+//
+// The whole obs subsystem (trace spans in trace.h, metric instruments in
+// metrics.h) is gated twice:
+//   * compile time: configure with -DOMT_OBS=OFF and every recording call
+//     collapses to `if (false)` — the instrumentation in the hot paths
+//     costs literally nothing (the cmake option defines OMT_OBS_DISABLED);
+//   * run time: even when compiled in, recording is off by default. One
+//     relaxed atomic load guards every instrument, so a disabled build
+//     pays a predictable, branch-predicted test per coarse-grained event
+//     (stages, chunks, RPC calls — never per point).
+// Enable with setEnabled(true) (what `omtcli --trace/--metrics` does) or by
+// exporting OMT_OBS=1 before the process starts (what the benches document).
+#pragma once
+
+#include <atomic>
+
+namespace omt::obs {
+
+namespace detail {
+extern std::atomic<bool> gEnabled;  ///< seeded from the OMT_OBS env variable
+}
+
+/// True iff instruments should record. Constant false when the subsystem
+/// was compiled out, so dependent code folds away entirely.
+inline bool enabled() {
+#ifdef OMT_OBS_DISABLED
+  return false;
+#else
+  return detail::gEnabled.load(std::memory_order_relaxed);
+#endif
+}
+
+/// Turn runtime recording on or off. With OMT_OBS compiled out this still
+/// flips the flag but enabled() keeps returning false.
+void setEnabled(bool on);
+
+/// True iff the subsystem was compiled in (cmake option OMT_OBS, default ON).
+constexpr bool compiledIn() {
+#ifdef OMT_OBS_DISABLED
+  return false;
+#else
+  return true;
+#endif
+}
+
+}  // namespace omt::obs

@@ -1,0 +1,147 @@
+#include "omt/obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+
+#include "omt/common/error.h"
+
+namespace omt::obs {
+namespace {
+
+/// Steady-clock anchor so exported timestamps start near zero.
+std::chrono::steady_clock::time_point processAnchor() {
+  static const auto anchor = std::chrono::steady_clock::now();
+  return anchor;
+}
+
+std::string jsonEscape(const char* text) {
+  std::string out;
+  for (const char* p = text; *p != '\0'; ++p) {
+    switch (*p) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out.push_back(*p);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::int64_t monotonicNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - processAnchor())
+      .count();
+}
+
+/// One per assigned thread; the mutex is uncontended unless more than
+/// kShards threads record concurrently and hash onto the same slot.
+struct alignas(64) TraceRecorder::Shard {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+  std::uint64_t nextSequence = 0;
+};
+
+TraceRecorder::TraceRecorder() : shards_(new Shard[kShards]) {
+  processAnchor();  // pin the time origin at recorder creation
+}
+
+TraceRecorder::~TraceRecorder() { delete[] shards_; }
+
+TraceRecorder& TraceRecorder::global() {
+  static TraceRecorder* recorder = new TraceRecorder();  // never destroyed:
+  return *recorder;  // worker threads may record during static teardown
+}
+
+TraceRecorder::Shard& TraceRecorder::shardOfThisThread() {
+  thread_local int slot = -1;
+  if (slot < 0)
+    slot = static_cast<int>(nextShard_.fetch_add(1, std::memory_order_relaxed) %
+                            kShards);
+  return shards_[slot];
+}
+
+SpanId TraceRecorder::mintId() {
+  return nextId_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TraceRecorder::record(const char* name, const char* category, SpanId id,
+                           SpanId parent, std::int64_t startNs,
+                           std::int64_t durationNs) {
+  Shard& shard = shardOfThisThread();
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  TraceEvent event{name,    category,   id,
+                   parent,  startNs,    durationNs,
+                   static_cast<int>(&shard - shards_), shard.nextSequence++};
+  shard.events.push_back(event);
+}
+
+std::vector<TraceEvent> TraceRecorder::sortedEvents() const {
+  std::vector<TraceEvent> merged;
+  for (int s = 0; s < kShards; ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].mutex);
+    merged.insert(merged.end(), shards_[s].events.begin(),
+                  shards_[s].events.end());
+  }
+  // Shards were appended in slot order and each shard is already in
+  // sequence order, but sort anyway so the contract is explicit.
+  std::sort(merged.begin(), merged.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.shard != b.shard ? a.shard < b.shard
+                                        : a.sequence < b.sequence;
+            });
+  return merged;
+}
+
+std::int64_t TraceRecorder::eventCount() const {
+  std::int64_t total = 0;
+  for (int s = 0; s < kShards; ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].mutex);
+    total += static_cast<std::int64_t>(shards_[s].events.size());
+  }
+  return total;
+}
+
+void TraceRecorder::clear() {
+  for (int s = 0; s < kShards; ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].mutex);
+    shards_[s].events.clear();
+    shards_[s].nextSequence = 0;
+  }
+}
+
+void TraceRecorder::writeChromeTrace(std::ostream& out) const {
+  const std::vector<TraceEvent> events = sortedEvents();
+  out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out << ", ";
+    first = false;
+    std::ostringstream ts, dur;
+    ts.precision(3);
+    dur.precision(3);
+    ts << std::fixed << static_cast<double>(e.startNs) / 1e3;
+    dur << std::fixed << static_cast<double>(e.durationNs) / 1e3;
+    out << "{\"name\": \"" << jsonEscape(e.name) << "\", \"cat\": \""
+        << jsonEscape(e.category) << "\", \"ph\": \"X\", \"ts\": " << ts.str()
+        << ", \"dur\": " << dur.str() << ", \"pid\": 1, \"tid\": " << e.shard
+        << ", \"args\": {\"id\": " << e.id << ", \"parent\": " << e.parent
+        << ", \"seq\": " << e.sequence << "}}";
+  }
+  out << "]}\n";
+}
+
+void TraceRecorder::writeChromeTraceFile(const std::string& path) const {
+  std::ofstream out(path);
+  OMT_CHECK(out.good(), "cannot open trace file " + path);
+  writeChromeTrace(out);
+}
+
+}  // namespace omt::obs

@@ -1,0 +1,125 @@
+// Low-overhead tracing: RAII spans collected into lock-sharded per-thread
+// buffers, exported as Chrome trace_event JSON (chrome://tracing, Perfetto).
+//
+// Model: a TraceSpan measures one named interval on the calling thread.
+// Parentage is explicit — pass the parent's id() to the child's
+// constructor; there is no implicit thread-local span stack, so a span
+// opened on one thread can parent work recorded on another (the pool
+// workers inside a construction stage). Span names and categories are
+// string literals (the recorder stores the pointers, not copies).
+//
+// Sharding: each thread is assigned one of kShards buffers on first record;
+// a shard has its own mutex (uncontended in steady state) and a per-shard
+// sequence number. Export merges shards deterministically by
+// (shard slot, sequence) — the order events were recorded within each
+// thread — so two exports of the same recorded set are byte-identical.
+// Timestamps themselves are wall-clock measurements and therefore vary run
+// to run; the trace is timing data, outside the metrics determinism
+// contract (see docs/observability.md).
+//
+// Cost: a disabled span (obs::enabled() false) is two relaxed loads and no
+// allocation; a compiled-out build records nothing at all.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "omt/obs/obs.h"
+
+namespace omt::obs {
+
+/// Span identifier; 0 means "no span" (top level, or recording disabled).
+using SpanId = std::uint64_t;
+
+struct TraceEvent {
+  const char* name = "";
+  const char* category = "";
+  SpanId id = 0;
+  SpanId parent = 0;
+  std::int64_t startNs = 0;     ///< steady-clock ns since process anchor
+  std::int64_t durationNs = 0;
+  int shard = 0;                ///< exported as the Chrome tid
+  std::uint64_t sequence = 0;   ///< per-shard record order
+};
+
+/// Nanoseconds on the steady clock since the process-wide anchor (first
+/// use). Monotone within a process; comparable across threads.
+std::int64_t monotonicNowNs();
+
+class TraceRecorder {
+ public:
+  static constexpr int kShards = 64;
+
+  static TraceRecorder& global();
+
+  /// Append one completed event to the calling thread's shard. The name and
+  /// category pointers must outlive the recorder (use string literals).
+  void record(const char* name, const char* category, SpanId id, SpanId parent,
+              std::int64_t startNs, std::int64_t durationNs);
+
+  /// Mint a process-unique span id (never 0).
+  SpanId mintId();
+
+  /// All recorded events merged by (shard, sequence); leaves the buffers
+  /// intact. The merge order is deterministic for a fixed recorded set.
+  std::vector<TraceEvent> sortedEvents() const;
+
+  std::int64_t eventCount() const;
+  void clear();
+
+  /// Chrome trace_event JSON: {"traceEvents": [...]} with complete ("X")
+  /// events, ts/dur in microseconds, tid = shard slot. Loads in
+  /// chrome://tracing and Perfetto; parses with omt::json::parse.
+  void writeChromeTrace(std::ostream& out) const;
+  void writeChromeTraceFile(const std::string& path) const;
+
+ private:
+  struct Shard;
+  TraceRecorder();
+  ~TraceRecorder();
+  Shard& shardOfThisThread();
+
+  Shard* shards_;  ///< kShards, cache-line padded
+  std::atomic<std::uint32_t> nextShard_{0};
+  std::atomic<SpanId> nextId_{1};
+};
+
+/// RAII span: measures construction to destruction (or end()) and records
+/// into the global recorder. Inactive (id() == 0, records nothing) when
+/// observability is disabled at construction time.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* category = "omt",
+                     SpanId parent = 0)
+      : name_(name), category_(category), parent_(parent) {
+    if (!enabled()) return;
+    id_ = TraceRecorder::global().mintId();
+    startNs_ = monotonicNowNs();
+  }
+  ~TraceSpan() { end(); }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// 0 when inactive; pass to children as their explicit parent.
+  SpanId id() const { return id_; }
+
+  /// Close early (idempotent); the destructor becomes a no-op.
+  void end() {
+    if (id_ == 0) return;
+    TraceRecorder::global().record(name_, category_, id_, parent_, startNs_,
+                                   monotonicNowNs() - startNs_);
+    id_ = 0;
+  }
+
+ private:
+  const char* name_;
+  const char* category_;
+  SpanId id_ = 0;
+  SpanId parent_ = 0;
+  std::int64_t startNs_ = 0;
+};
+
+}  // namespace omt::obs

@@ -4,9 +4,35 @@
 #include <cstdlib>
 
 #include "omt/common/error.h"
+#include "omt/obs/metrics.h"
+#include "omt/obs/trace.h"
 
 namespace omt {
 namespace {
+
+/// Pool metrics are all scheduling artifacts — which path run() takes and
+/// how chunks land on slots legitimately varies with the worker count and
+/// submit races — so every one is registered nondeterministic and excluded
+/// from the cross-thread-count determinism contract.
+struct PoolMetrics {
+  obs::Counter& jobs;             ///< jobs dispatched onto pool workers
+  obs::Counter& inlineJobs;       ///< jobs run inline on the caller
+  obs::Counter& nestedCollapses;  ///< inline because nested or pool busy
+  obs::Counter& chunks;           ///< chunks claimed via the atomic cursor
+  obs::Histogram& queueWait;      ///< job publish -> helper's first claim
+};
+
+PoolMetrics& poolMetrics() {
+  auto& registry = obs::MetricsRegistry::global();
+  constexpr auto kNondet = obs::Determinism::kNondeterministic;
+  static PoolMetrics metrics{
+      registry.counter("omt_pool_jobs_total", kNondet),
+      registry.counter("omt_pool_inline_jobs_total", kNondet),
+      registry.counter("omt_pool_nested_collapses_total", kNondet),
+      registry.counter("omt_pool_chunks_total", kNondet),
+      registry.histogram("omt_pool_queue_wait_seconds", {}, kNondet)};
+  return metrics;
+}
 
 thread_local int tlsParallelDepth = 0;
 
@@ -21,6 +47,7 @@ struct RegionGuard {
 struct ThreadPool::Job {
   std::int64_t end = 0;
   std::int64_t chunk = 1;
+  std::int64_t publishNs = 0;  ///< queue-wait anchor (0 when obs disabled)
   const ChunkFn* fn = nullptr;
   std::atomic<std::int64_t> cursor{0};
   std::atomic<int> nextSlot{1};  // slot 0 is the submitter
@@ -38,6 +65,7 @@ struct ThreadPool::Job {
       const std::int64_t lo = cursor.fetch_add(chunk, std::memory_order_relaxed);
       if (lo >= end) return;
       const std::int64_t hi = std::min(lo + chunk, end);
+      poolMetrics().chunks.add();
       try {
         (*fn)(lo, hi, slot);
       } catch (...) {
@@ -84,6 +112,10 @@ void ThreadPool::workerLoop() {
       job = job_;
       job->activeHelpers.fetch_add(1, std::memory_order_relaxed);
     }
+    if (obs::enabled() && job->publishNs > 0) {
+      poolMetrics().queueWait.observe(
+          static_cast<double>(obs::monotonicNowNs() - job->publishNs) / 1e9);
+    }
     job->work(slot);
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -108,9 +140,11 @@ void ThreadPool::run(std::int64_t begin, std::int64_t end, int concurrency,
     // Another job is in flight; running inline keeps total concurrency
     // bounded and avoids blocking behind it.
   } else if (!inline_) {
+    poolMetrics().jobs.add();
     Job job;
     job.end = end;
     job.chunk = chunk;
+    job.publishNs = obs::enabled() ? obs::monotonicNowNs() : 0;
     job.fn = &fn;
     job.cursor.store(begin, std::memory_order_relaxed);
     job.slots = concurrency;
@@ -136,6 +170,8 @@ void ThreadPool::run(std::int64_t begin, std::int64_t end, int concurrency,
   }
 
   // Inline path: one slot, natural exception propagation.
+  poolMetrics().inlineJobs.add();
+  if (concurrency > 1) poolMetrics().nestedCollapses.add();
   RegionGuard guard;
   for (std::int64_t lo = begin; lo < end; lo += chunk)
     fn(lo, std::min(lo + chunk, end), 0);

@@ -1,5 +1,8 @@
 #include "omt/report/csv.h"
 
+#include <cstdio>
+#include <sstream>
+
 #include "omt/common/error.h"
 
 namespace omt {
@@ -19,7 +22,42 @@ std::string quoted(const std::string& cell) {
   return out;
 }
 
+/// JSON string escaping for the bench writer (names only, so the short
+/// escape set plus control-character fallback suffices).
+std::string jsonQuoted(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string numberText(double value) {
+  std::ostringstream out;
+  out << value;
+  return out.str();
+}
+
 }  // namespace
+
+std::string csvEscape(const std::string& cell) {
+  return needsQuoting(cell) ? quoted(cell) : cell;
+}
 
 CsvWriter::CsvWriter(const std::string& path) : out_(path) {
   OMT_CHECK(out_.good(), "cannot open CSV file " + path);
@@ -28,9 +66,79 @@ CsvWriter::CsvWriter(const std::string& path) : out_(path) {
 void CsvWriter::writeRow(std::span<const std::string> cells) {
   for (std::size_t i = 0; i < cells.size(); ++i) {
     if (i > 0) out_ << ',';
-    out_ << (needsQuoting(cells[i]) ? quoted(cells[i]) : cells[i]);
+    out_ << csvEscape(cells[i]);
   }
   out_ << '\n';
+}
+
+BenchJsonWriter::BenchJsonWriter(const std::string& path,
+                                 const std::string& benchName)
+    : out_(path) {
+  OMT_CHECK(out_.good(), "cannot open bench JSON file " + path);
+  out_ << "{\"bench\": " << jsonQuoted(benchName) << ", \"rows\": [";
+}
+
+BenchJsonWriter::~BenchJsonWriter() { close(); }
+
+void BenchJsonWriter::beginRow() {
+  OMT_CHECK(!inRow_ && !rowsClosed_ && !closed_,
+            "beginRow outside the rows phase");
+  if (!firstRow_) out_ << ", ";
+  firstRow_ = false;
+  firstField_ = true;
+  inRow_ = true;
+  out_ << '{';
+}
+
+void BenchJsonWriter::writeKey(const std::string& key, bool& first) {
+  if (!first) out_ << ", ";
+  first = false;
+  out_ << jsonQuoted(key) << ": ";
+}
+
+void BenchJsonWriter::field(const std::string& key, double value) {
+  OMT_CHECK(inRow_, "field outside a row");
+  writeKey(key, firstField_);
+  out_ << numberText(value);
+}
+
+void BenchJsonWriter::field(const std::string& key, std::int64_t value) {
+  OMT_CHECK(inRow_, "field outside a row");
+  writeKey(key, firstField_);
+  out_ << value;
+}
+
+void BenchJsonWriter::field(const std::string& key, const std::string& value) {
+  OMT_CHECK(inRow_, "field outside a row");
+  writeKey(key, firstField_);
+  out_ << jsonQuoted(value);
+}
+
+void BenchJsonWriter::endRow() {
+  OMT_CHECK(inRow_, "endRow without beginRow");
+  inRow_ = false;
+  out_ << '}';
+}
+
+void BenchJsonWriter::topLevel(const std::string& key, double value) {
+  OMT_CHECK(!inRow_ && !closed_, "topLevel inside a row or after close");
+  if (!rowsClosed_) {
+    out_ << ']';
+    rowsClosed_ = true;
+  }
+  out_ << ", " << jsonQuoted(key) << ": " << numberText(value);
+}
+
+void BenchJsonWriter::close() {
+  if (closed_) return;
+  OMT_CHECK(!inRow_, "close inside a row");
+  if (!rowsClosed_) {
+    out_ << ']';
+    rowsClosed_ = true;
+  }
+  out_ << "}\n";
+  out_.flush();
+  closed_ = true;
 }
 
 }  // namespace omt

@@ -1,13 +1,22 @@
 // Minimal CSV output for bench results (one file per table/figure when the
-// bench is run with --csv).
+// bench is run with --csv), plus the shared writer for the benches'
+// BENCH_*.json trajectory files.
 #pragma once
 
+#include <cstdint>
 #include <fstream>
 #include <span>
 #include <string>
 #include <vector>
 
 namespace omt {
+
+/// RFC-4180 escaping for one cell: returned verbatim unless it contains a
+/// comma, double quote, or newline, in which case it is wrapped in quotes
+/// with embedded quotes doubled. Shared by CsvWriter and anything that
+/// hand-assembles CSV lines (host names with commas must survive a round
+/// trip through a spreadsheet).
+std::string csvEscape(const std::string& cell);
 
 class CsvWriter {
  public:
@@ -25,6 +34,44 @@ class CsvWriter {
 
  private:
   std::ofstream out_;
+};
+
+/// Streaming writer for the perf-trajectory files every bench emits:
+///   {"bench": "<name>", "rows": [{...}, ...], <top-level scalars>}
+/// The two emitting benches used to hand-roll this shape with diverging
+/// comma/brace bookkeeping; the writer owns that state machine. Usage:
+/// beginRow()/field()...endRow() per row, optional topLevel() scalars after
+/// the last row, then close() (the destructor closes too).
+class BenchJsonWriter {
+ public:
+  /// Opens (truncates) `path`; throws omt::InvalidArgument on failure.
+  BenchJsonWriter(const std::string& path, const std::string& benchName);
+  ~BenchJsonWriter();
+
+  BenchJsonWriter(const BenchJsonWriter&) = delete;
+  BenchJsonWriter& operator=(const BenchJsonWriter&) = delete;
+
+  void beginRow();
+  void field(const std::string& key, double value);
+  void field(const std::string& key, std::int64_t value);
+  void field(const std::string& key, const std::string& value);
+  void endRow();
+
+  /// Top-level scalar written after the rows array (call after every row).
+  void topLevel(const std::string& key, double value);
+
+  /// Write the closing braces and flush; idempotent.
+  void close();
+
+ private:
+  void writeKey(const std::string& key, bool& first);
+
+  std::ofstream out_;
+  bool firstRow_ = true;
+  bool firstField_ = true;
+  bool inRow_ = false;
+  bool rowsClosed_ = false;
+  bool closed_ = false;
 };
 
 }  // namespace omt

@@ -2,8 +2,25 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
+
+#include "omt/common/error.h"
 
 namespace omt {
+
+double percentile(std::span<const double> values, double q) {
+  OMT_CHECK(!values.empty(), "percentile of an empty sample set");
+  OMT_CHECK(q >= 0.0 && q <= 1.0, "quantile must lie in [0, 1]");
+  std::vector<double> sorted(values.begin(), values.end());
+  for (const double v : sorted)
+    OMT_CHECK(!std::isnan(v), "NaN sample in percentile input");
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
 
 void RunningStats::add(double value) {
   ++count_;

@@ -6,10 +6,22 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "omt/common/types.h"
 
 namespace omt {
+
+/// Quantile q in [0, 1] of `values` by linear interpolation between order
+/// statistics (rank q * (n - 1), the "exclusive" convention numpy defaults
+/// to). The input need not be sorted. Contract:
+///   * empty input throws omt::InvalidArgument — there is no value to
+///     report and 0.0 would silently poison downstream averages;
+///   * one sample (or all samples equal) returns that value for every q;
+///   * any NaN in the input throws omt::InvalidArgument (NaN breaks the
+///     ordering the rank is defined on);
+///   * q outside [0, 1] throws omt::InvalidArgument.
+double percentile(std::span<const double> values, double q);
 
 class RunningStats {
  public:

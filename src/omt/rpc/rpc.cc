@@ -3,9 +3,46 @@
 #include <algorithm>
 
 #include "omt/common/error.h"
+#include "omt/obs/metrics.h"
 #include "omt/random/rng.h"
 
 namespace omt {
+namespace {
+
+/// The RPC layer is driven single-threaded from seeded simulations, so the
+/// per-event adds are deterministic for a fixed seed and any worker count.
+struct RpcMetrics {
+  obs::Counter& calls;
+  obs::Counter& acked;
+  obs::Counter& exhausted;
+  obs::Counter& retries;
+  obs::Counter& shortCircuited;
+  obs::Counter& duplicateDeliveries;
+  obs::Counter& duplicatesApplied;
+  obs::Counter& breakerTrips;
+  obs::Counter& breakerReopens;
+  obs::Counter& breakerRecoveries;
+  obs::Histogram& callLatency;
+};
+
+RpcMetrics& rpcMetrics() {
+  auto& registry = obs::MetricsRegistry::global();
+  static RpcMetrics metrics{
+      registry.counter("omt_rpc_calls_total"),
+      registry.counter("omt_rpc_acked_total"),
+      registry.counter("omt_rpc_exhausted_total"),
+      registry.counter("omt_rpc_retries_total"),
+      registry.counter("omt_rpc_short_circuited_total"),
+      registry.counter("omt_rpc_duplicate_deliveries_total"),
+      registry.counter("omt_rpc_duplicates_applied_total"),
+      registry.counter("omt_rpc_breaker_trips_total"),
+      registry.counter("omt_rpc_breaker_reopens_total"),
+      registry.counter("omt_rpc_breaker_recoveries_total"),
+      registry.histogram("omt_rpc_call_latency_seconds")};
+  return metrics;
+}
+
+}  // namespace
 
 RpcLayer::RpcLayer(const RpcOptions& options, DisruptionSchedule disruption,
                    PositionResolver resolver)
@@ -49,6 +86,7 @@ RpcLayer::Outcome RpcLayer::call(const OpId& id, const Call& call) {
   OMT_CHECK(id.valid(), "call needs a minted OpId");
   OMT_CHECK(call.from >= 0 && call.to >= 0, "call needs both endpoints");
   ++stats_.calls;
+  rpcMetrics().calls.add();
   Outcome out;
 
   Breaker& breaker = breakers_[call.to];
@@ -56,6 +94,7 @@ RpcLayer::Outcome RpcLayer::call(const OpId& id, const Call& call) {
     if (call.now < breaker.reopenAt) {
       out.shortCircuited = true;
       ++stats_.shortCircuited;
+      rpcMetrics().shortCircuited.add();
       return out;
     }
     breaker.state = BreakerState::kHalfOpen;
@@ -76,6 +115,7 @@ RpcLayer::Outcome RpcLayer::call(const OpId& id, const Call& call) {
       } else {
         out.duplicate = true;
         ++stats_.duplicateDeliveries;
+        rpcMetrics().duplicateDeliveries.add();
       }
       const double oneWay =
           options_.channel.latency + disruption_.extraDelayAt(sentAt);
@@ -94,23 +134,31 @@ RpcLayer::Outcome RpcLayer::call(const OpId& id, const Call& call) {
   }
 
   const double endAt = call.now + out.elapsed;
+  if (out.attempts > 1)
+    rpcMetrics().retries.add(static_cast<std::int64_t>(out.attempts) - 1);
+  rpcMetrics().callLatency.observe(out.elapsed);
   if (out.acked) {
     ++stats_.acked;
+    rpcMetrics().acked.add();
     if (breaker.state != BreakerState::kClosed) {
       breaker.state = BreakerState::kClosed;
       ++stats_.breakerRecoveries;
+      rpcMetrics().breakerRecoveries.add();
     }
     breaker.consecutiveFailures = 0;
   } else {
     ++stats_.exhausted;
+    rpcMetrics().exhausted.add();
     if (breaker.state == BreakerState::kHalfOpen) {
       breaker.state = BreakerState::kOpen;
       breaker.reopenAt = endAt + options_.breakerCooldown;
       ++stats_.breakerReopens;
+      rpcMetrics().breakerReopens.add();
     } else if (++breaker.consecutiveFailures >= options_.breakerThreshold) {
       breaker.state = BreakerState::kOpen;
       breaker.reopenAt = endAt + options_.breakerCooldown;
       ++stats_.breakerTrips;
+      rpcMetrics().breakerTrips.add();
     }
   }
   return out;
@@ -118,7 +166,10 @@ RpcLayer::Outcome RpcLayer::call(const OpId& id, const Call& call) {
 
 void RpcLayer::recordApplication(const OpId& id) {
   OMT_CHECK(id.valid(), "cannot record an unminted OpId");
-  if (!applied_.insert(id).second) ++stats_.duplicatesApplied;
+  if (!applied_.insert(id).second) {
+    ++stats_.duplicatesApplied;
+    rpcMetrics().duplicatesApplied.add();
+  }
 }
 
 BreakerState RpcLayer::breakerState(std::int64_t peer, double now) const {

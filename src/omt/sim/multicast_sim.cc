@@ -4,6 +4,8 @@
 #include <queue>
 
 #include "omt/common/error.h"
+#include "omt/obs/metrics.h"
+#include "omt/obs/trace.h"
 
 namespace omt {
 namespace {
@@ -39,6 +41,7 @@ SimResult simulateWithFailures(const MulticastTree& tree,
                                std::span<const Point> points,
                                std::span<const NodeId> failed,
                                const SimOptions& options) {
+  const obs::TraceSpan span("simulate_multicast", "sim");
   OMT_CHECK(tree.finalized(), "tree must be finalized");
   OMT_CHECK(points.size() == static_cast<std::size_t>(tree.size()),
             "one point per tree node required");
@@ -124,6 +127,16 @@ SimResult simulateWithFailures(const MulticastTree& tree,
   result.meanDelivery =
       result.reached > 1 ? meanAccum / static_cast<double>(result.reached - 1)
                          : 0.0;
+
+  // Deterministic: the event-driven sweep is sequential, one add per run.
+  {
+    auto& registry = obs::MetricsRegistry::global();
+    static obs::Counter& runs = registry.counter("omt_sim_runs_total");
+    static obs::Counter& messages =
+        registry.counter("omt_sim_messages_total");
+    runs.add();
+    messages.add(result.messagesSent);
+  }
   return result;
 }
 

@@ -1,0 +1,95 @@
+// Differential test against the exact branch-and-bound solver (Section
+// III vs. the true optimum): on every small 2D instance the Polar_Grid
+// heuristic must produce a valid degree-bounded tree whose max delay sits
+// between the proved optimum (from core/exact) and the equation (7)
+// analytic bound. The sandwich pins the heuristic from both sides —
+// beating the optimum means the tree or the metric is wrong; exceeding
+// eq. (7) means the construction violated the paper's guarantee.
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "omt/core/bounds.h"
+#include "omt/core/exact.h"
+#include "omt/core/polar_grid_tree.h"
+#include "omt/random/rng.h"
+#include "omt/random/samplers.h"
+#include "omt/tree/metrics.h"
+#include "omt/tree/validation.h"
+
+namespace omt {
+namespace {
+
+std::vector<Point> workload(std::int64_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  return sampleDiskWithCenterSource(rng, n, 2);
+}
+
+/// (degree, n, seed) — n stays <= 40 so one case costs microseconds and
+/// the whole sweep can afford three seeds per size.
+using Param = std::tuple<int, std::int64_t, std::uint64_t>;
+
+class DifferentialSweep : public ::testing::TestWithParam<Param> {};
+
+TEST_P(DifferentialSweep, HeuristicSandwichedByBoundAndLowerBound) {
+  const auto [degree, n, seed] = GetParam();
+  const auto points = workload(n, deriveSeed(9100 + seed, static_cast<std::uint64_t>(n)));
+
+  const PolarGridResult result =
+      buildPolarGridTree(points, 0, {.maxOutDegree = degree});
+  const ValidationResult valid =
+      validate(result.tree, {.maxOutDegree = degree});
+  ASSERT_TRUE(valid.ok) << valid.message;
+
+  const TreeMetrics metrics = computeMetrics(result.tree, points);
+  EXPECT_GE(metrics.maxDelay, radiusLowerBound(points, 0) - 1e-9);
+  EXPECT_LE(metrics.maxDelay, result.upperBound * (1.0 + 1e-9))
+      << "eq. (7) violated at n=" << n << " degree=" << degree;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallInstances, DifferentialSweep,
+    ::testing::Combine(::testing::Values(2, 6),
+                       ::testing::Values(std::int64_t{3}, std::int64_t{7},
+                                         std::int64_t{12}, std::int64_t{18},
+                                         std::int64_t{25}, std::int64_t{32},
+                                         std::int64_t{40}),
+                       ::testing::Values(std::uint64_t{1}, std::uint64_t{2},
+                                         std::uint64_t{3})));
+
+/// (degree, n, seed) with n small enough for the exact solver to prove
+/// optimality within its default node budget.
+class DifferentialExact : public ::testing::TestWithParam<Param> {};
+
+TEST_P(DifferentialExact, HeuristicNeverBeatsTheProvedOptimum) {
+  const auto [degree, n, seed] = GetParam();
+  const auto points = workload(n, deriveSeed(9200 + seed, static_cast<std::uint64_t>(n)));
+
+  const ExactResult exact =
+      solveExactMinRadius(points, 0, {.maxOutDegree = degree});
+  ASSERT_TRUE(exact.provedOptimal)
+      << "budget exhausted at n=" << n << " degree=" << degree;
+  EXPECT_GE(exact.radius, radiusLowerBound(points, 0) - 1e-9);
+
+  const PolarGridResult result =
+      buildPolarGridTree(points, 0, {.maxOutDegree = degree});
+  const TreeMetrics metrics = computeMetrics(result.tree, points);
+  EXPECT_GE(metrics.maxDelay, exact.radius - 1e-9)
+      << "heuristic beat the proved optimum at n=" << n
+      << " degree=" << degree << " seed=" << seed;
+  // The optimum itself must sit under the heuristic's analytic bound:
+  // eq. (7) bounds the Polar_Grid tree, and the optimum can only be better.
+  EXPECT_LE(exact.radius, result.upperBound * (1.0 + 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ExactComparison, DifferentialExact,
+    ::testing::Combine(::testing::Values(2, 6),
+                       ::testing::Values(std::int64_t{5}, std::int64_t{8},
+                                         std::int64_t{11}),
+                       ::testing::Values(std::uint64_t{1}, std::uint64_t{2},
+                                         std::uint64_t{3})));
+
+}  // namespace
+}  // namespace omt

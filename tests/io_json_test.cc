@@ -1,0 +1,84 @@
+#include "omt/io/json.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "omt/common/error.h"
+
+namespace omt {
+namespace {
+
+TEST(JsonParseTest, Literals) {
+  EXPECT_TRUE(json::parse("null").isNull());
+  EXPECT_TRUE(json::parse("true").asBool());
+  EXPECT_FALSE(json::parse("false").asBool());
+  EXPECT_DOUBLE_EQ(json::parse("42").asNumber(), 42.0);
+  EXPECT_DOUBLE_EQ(json::parse("-3.5e2").asNumber(), -350.0);
+  EXPECT_EQ(json::parse("\"hi\"").asString(), "hi");
+}
+
+TEST(JsonParseTest, NestedStructure) {
+  const json::Value doc =
+      json::parse(R"({"a": [1, 2, {"b": true}], "c": {"d": null}})");
+  const json::Array& a = doc.find("a")->asArray();
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_DOUBLE_EQ(a[1].asNumber(), 2.0);
+  EXPECT_TRUE(a[2].find("b")->asBool());
+  EXPECT_TRUE(doc.find("c")->find("d")->isNull());
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  const json::Value v = json::parse(R"("a\"b\\c\/d\n\t\r\b\f")");
+  EXPECT_EQ(v.asString(), "a\"b\\c/d\n\t\r\b\f");
+  // \uXXXX decodes to UTF-8: U+00E9 (é) and U+2713 (✓).
+  EXPECT_EQ(json::parse("\"\\u00e9\"").asString(), "\xc3\xa9");
+  EXPECT_EQ(json::parse("\"\\u2713\"").asString(), "\xe2\x9c\x93");
+  // Raw UTF-8 bytes pass through untouched.
+  EXPECT_EQ(json::parse("\"\xc3\xa9\"").asString(), "\xc3\xa9");
+}
+
+TEST(JsonParseTest, PreservesObjectOrder) {
+  const json::Value doc = json::parse(R"({"z": 1, "a": 2, "m": 3})");
+  const json::Object& obj = doc.asObject();
+  ASSERT_EQ(obj.size(), 3u);
+  EXPECT_EQ(obj[0].first, "z");
+  EXPECT_EQ(obj[1].first, "a");
+  EXPECT_EQ(obj[2].first, "m");
+}
+
+TEST(JsonParseTest, DumpRoundTrip) {
+  const std::string text =
+      R"({"name":"x","values":[1,2.5,true,null],"nested":{"k":"v"}})";
+  const json::Value doc = json::parse(text);
+  EXPECT_EQ(json::parse(doc.dump()).dump(), doc.dump());
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  EXPECT_THROW(json::parse(""), InvalidArgument);
+  EXPECT_THROW(json::parse("{"), InvalidArgument);
+  EXPECT_THROW(json::parse("[1,]"), InvalidArgument);
+  EXPECT_THROW(json::parse("{\"a\" 1}"), InvalidArgument);
+  EXPECT_THROW(json::parse("\"unterminated"), InvalidArgument);
+  EXPECT_THROW(json::parse("nul"), InvalidArgument);
+  EXPECT_THROW(json::parse("1 2"), InvalidArgument);  // trailing garbage
+  EXPECT_THROW(json::parse("\"bad\\q\""), InvalidArgument);
+}
+
+TEST(JsonParseTest, RejectsExcessiveNesting) {
+  std::string deep;
+  for (int i = 0; i < 300; ++i) deep += '[';
+  for (int i = 0; i < 300; ++i) deep += ']';
+  EXPECT_THROW(json::parse(deep), InvalidArgument);
+}
+
+TEST(JsonParseTest, TypeMismatchThrows) {
+  const json::Value v = json::parse("42");
+  EXPECT_THROW(v.asString(), InvalidArgument);
+  EXPECT_THROW(v.asArray(), InvalidArgument);
+  EXPECT_THROW(v.asBool(), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace omt

@@ -1,0 +1,174 @@
+#include "omt/obs/metrics.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "omt/common/error.h"
+#include "omt/io/json.h"
+#include "omt/obs/obs.h"
+
+namespace omt {
+namespace {
+
+/// Every test records, so flip recording on (and restore after) — the
+/// registry is process-global and other suites expect the default. The
+/// whole suite is moot in a -DOMT_OBS=OFF build (instruments are inert).
+class ObsMetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!obs::compiledIn()) GTEST_SKIP() << "observability compiled out";
+    wasEnabled_ = obs::enabled();
+    obs::setEnabled(true);
+  }
+  void TearDown() override { obs::setEnabled(wasEnabled_); }
+
+  bool wasEnabled_ = false;
+};
+
+TEST_F(ObsMetricsTest, CounterAccumulates) {
+  auto& c = obs::MetricsRegistry::global().counter("omt_test_counter_total");
+  const std::int64_t before = c.value();
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), before + 42);
+}
+
+TEST_F(ObsMetricsTest, CounterIgnoredWhenDisabled) {
+  auto& c = obs::MetricsRegistry::global().counter("omt_test_disabled_total");
+  obs::setEnabled(false);
+  const std::int64_t before = c.value();
+  c.add(100);
+  EXPECT_EQ(c.value(), before);
+  obs::setEnabled(true);
+  c.add(1);
+  EXPECT_EQ(c.value(), before + 1);
+}
+
+TEST_F(ObsMetricsTest, GaugeHoldsLastValue) {
+  auto& g = obs::MetricsRegistry::global().gauge("omt_test_gauge");
+  g.set(3.5);
+  g.set(-1.25);
+  EXPECT_DOUBLE_EQ(g.value(), -1.25);
+}
+
+TEST_F(ObsMetricsTest, SameNameReturnsSameInstrument) {
+  auto& registry = obs::MetricsRegistry::global();
+  auto& a = registry.counter("omt_test_same_total");
+  auto& b = registry.counter("omt_test_same_total");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST_F(ObsMetricsTest, RejectsBadNamesAndKindMismatch) {
+  auto& registry = obs::MetricsRegistry::global();
+  EXPECT_THROW(registry.counter("no_prefix_total"), InvalidArgument);
+  EXPECT_THROW(registry.counter("omt_Upper_total"), InvalidArgument);
+  EXPECT_THROW(registry.counter("omt_sp ace_total"), InvalidArgument);
+  registry.counter("omt_test_kind_total");
+  EXPECT_THROW(registry.gauge("omt_test_kind_total"), InvalidArgument);
+  registry.counter("omt_test_det_total", obs::Determinism::kDeterministic);
+  EXPECT_THROW(registry.counter("omt_test_det_total",
+                                obs::Determinism::kNondeterministic),
+               InvalidArgument);
+}
+
+TEST_F(ObsMetricsTest, HistogramQuantiles) {
+  auto& h = obs::MetricsRegistry::global().histogram(
+      "omt_test_quantiles_seconds", {1.0, 2.0, 4.0, 8.0});
+  // 100 samples in (0,1], 100 in (1,2]: p50 at the 1.0/2.0 boundary region,
+  // p99 inside (1,2], everything <= 2.
+  for (int i = 0; i < 100; ++i) h.observe(0.5);
+  for (int i = 0; i < 100; ++i) h.observe(1.5);
+  EXPECT_EQ(h.count(), 200);
+  EXPECT_NEAR(h.sum(), 200.0, 1e-9);
+  EXPECT_LE(h.p50(), 1.0 + 1e-9);
+  EXPECT_GT(h.p99(), 1.0);
+  EXPECT_LE(h.p99(), 2.0 + 1e-9);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+}
+
+TEST_F(ObsMetricsTest, HistogramOverflowBucketReportsLastFiniteBound) {
+  auto& h = obs::MetricsRegistry::global().histogram(
+      "omt_test_overflow_seconds", {1.0, 2.0});
+  h.observe(50.0);  // lands in +Inf
+  EXPECT_EQ(h.bucketCount(2), 1);
+  EXPECT_DOUBLE_EQ(h.p99(), 2.0);  // PromQL convention: last finite bound
+}
+
+TEST_F(ObsMetricsTest, HistogramThreadSafeTotals) {
+  auto& h = obs::MetricsRegistry::global().histogram(
+      "omt_test_threads_seconds", {0.5, 1.5});
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < 1000; ++i) h.observe(1.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), 8000);
+  EXPECT_EQ(h.bucketCount(1), 8000);
+}
+
+TEST_F(ObsMetricsTest, PrometheusTextFormat) {
+  auto& registry = obs::MetricsRegistry::global();
+  registry.counter("omt_test_expo_total").add(3);
+  registry.histogram("omt_test_expo_seconds", {1.0}).observe(0.5);
+  const std::string text = registry.prometheusText();
+  EXPECT_NE(text.find("# TYPE omt_test_expo_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("omt_test_expo_total 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE omt_test_expo_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("omt_test_expo_seconds_bucket{le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("omt_test_expo_seconds_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("omt_test_expo_seconds_count 1"), std::string::npos);
+}
+
+TEST_F(ObsMetricsTest, DeterministicTextExcludesNondeterministic) {
+  auto& registry = obs::MetricsRegistry::global();
+  registry
+      .counter("omt_test_sched_total", obs::Determinism::kNondeterministic)
+      .add();
+  registry.counter("omt_test_logic_total").add();
+  const std::string det = registry.deterministicText();
+  EXPECT_EQ(det.find("omt_test_sched_total"), std::string::npos);
+  EXPECT_NE(det.find("omt_test_logic_total"), std::string::npos);
+  const std::string all = registry.prometheusText();
+  EXPECT_NE(all.find("omt_test_sched_total"), std::string::npos);
+}
+
+TEST_F(ObsMetricsTest, JsonSnapshotParses) {
+  auto& registry = obs::MetricsRegistry::global();
+  registry.counter("omt_test_snap_total").add(7);
+  registry.gauge("omt_test_snap_gauge").set(2.5);
+  registry.histogram("omt_test_snap_seconds", {1.0}).observe(0.25);
+  const json::Value doc = json::parse(registry.jsonSnapshot());
+  EXPECT_DOUBLE_EQ(
+      doc.find("counters")->find("omt_test_snap_total")->asNumber(), 7.0);
+  EXPECT_DOUBLE_EQ(
+      doc.find("gauges")->find("omt_test_snap_gauge")->asNumber(), 2.5);
+  const json::Value* h =
+      doc.find("histograms")->find("omt_test_snap_seconds");
+  ASSERT_NE(h, nullptr);
+  EXPECT_GE(h->find("count")->asNumber(), 1.0);
+  EXPECT_NE(h->find("p99"), nullptr);
+  EXPECT_TRUE(h->find("buckets")->isArray());
+}
+
+TEST_F(ObsMetricsTest, ResetValuesKeepsRegistrations) {
+  auto& registry = obs::MetricsRegistry::global();
+  auto& c = registry.counter("omt_test_reset_total");
+  c.add(5);
+  registry.resetValues();
+  EXPECT_EQ(c.value(), 0);
+  EXPECT_EQ(&registry.counter("omt_test_reset_total"), &c);
+  c.add(2);
+  EXPECT_EQ(c.value(), 2);
+}
+
+}  // namespace
+}  // namespace omt

@@ -1,0 +1,106 @@
+// Property tests for the observability determinism contract: the
+// deterministic slice of the metrics registry must not depend on the
+// construction worker count, and the trace export must round-trip through
+// the repo's own JSON parser.
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "omt/core/polar_grid_tree.h"
+#include "omt/io/json.h"
+#include "omt/obs/metrics.h"
+#include "omt/obs/obs.h"
+#include "omt/obs/trace.h"
+#include "omt/random/rng.h"
+#include "omt/random/samplers.h"
+
+namespace omt {
+namespace {
+
+class ObsPropertyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!obs::compiledIn()) GTEST_SKIP() << "observability compiled out";
+    wasEnabled_ = obs::enabled();
+    obs::setEnabled(true);
+  }
+  void TearDown() override {
+    if (obs::compiledIn()) {
+      obs::TraceRecorder::global().clear();
+      obs::MetricsRegistry::global().resetValues();
+      obs::setEnabled(wasEnabled_);
+    }
+  }
+
+  bool wasEnabled_ = false;
+};
+
+/// Build the same instance under one worker count and return the
+/// deterministic metrics slice recorded by that construction alone.
+std::string deterministicSliceForWorkers(const std::vector<Point>& points,
+                                         int degree, int workers) {
+  auto& registry = obs::MetricsRegistry::global();
+  auto& recorder = obs::TraceRecorder::global();
+  registry.resetValues();
+  recorder.clear();
+  const PolarGridResult result = buildPolarGridTree(
+      points, 0, {.maxOutDegree = degree, .workers = workers});
+  EXPECT_GT(result.tree.size(), 0);
+  return registry.deterministicText();
+}
+
+TEST_F(ObsPropertyTest, DeterministicMetricsIndependentOfWorkerCount) {
+  Rng rng(20260805);
+  const std::vector<Point> points = sampleDiskWithCenterSource(rng, 4000, 2);
+  const std::string one = deterministicSliceForWorkers(points, 6, 1);
+  const std::string two = deterministicSliceForWorkers(points, 6, 2);
+  const std::string eight = deterministicSliceForWorkers(points, 6, 8);
+  EXPECT_FALSE(one.empty());
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, eight);
+  // Sanity: the slice actually carries construction counters, so the
+  // equality above is not an empty-vs-empty pass.
+  EXPECT_NE(one.find("omt_core_nodes_total"), std::string::npos);
+}
+
+TEST_F(ObsPropertyTest, DeterministicMetricsIndependentOfWorkersAtDegree2) {
+  Rng rng(7);
+  const std::vector<Point> points = sampleDiskWithCenterSource(rng, 2000, 2);
+  const std::string one = deterministicSliceForWorkers(points, 2, 1);
+  const std::string eight = deterministicSliceForWorkers(points, 2, 8);
+  EXPECT_EQ(one, eight);
+}
+
+TEST_F(ObsPropertyTest, TraceExportRoundTripsThroughIoJson) {
+  obs::TraceRecorder::global().clear();
+  Rng rng(11);
+  const std::vector<Point> points = sampleDiskWithCenterSource(rng, 3000, 2);
+  (void)buildPolarGridTree(points, 0, {.maxOutDegree = 6, .workers = 4});
+
+  std::ostringstream out;
+  obs::TraceRecorder::global().writeChromeTrace(out);
+  const json::Value doc = json::parse(out.str());
+  EXPECT_EQ(doc.find("displayTimeUnit")->asString(), "ms");
+  const json::Array& events = doc.find("traceEvents")->asArray();
+  ASSERT_FALSE(events.empty());
+
+  bool sawConstruction = false;
+  for (const json::Value& event : events) {
+    EXPECT_EQ(event.find("ph")->asString(), "X");
+    EXPECT_GE(event.find("dur")->asNumber(), 0.0);
+    EXPECT_GT(event.find("args")->find("id")->asNumber(), 0.0);
+    if (event.find("name")->asString() == "build_polar_grid_tree")
+      sawConstruction = true;
+  }
+  EXPECT_TRUE(sawConstruction);
+
+  // Two exports of the same recorded set are byte-identical.
+  std::ostringstream again;
+  obs::TraceRecorder::global().writeChromeTrace(again);
+  EXPECT_EQ(out.str(), again.str());
+}
+
+}  // namespace
+}  // namespace omt

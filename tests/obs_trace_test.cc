@@ -1,0 +1,147 @@
+#include "omt/obs/trace.h"
+
+#include <algorithm>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "omt/io/json.h"
+#include "omt/obs/obs.h"
+
+namespace omt {
+namespace {
+
+class ObsTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!obs::compiledIn()) GTEST_SKIP() << "observability compiled out";
+    wasEnabled_ = obs::enabled();
+    obs::setEnabled(true);
+    obs::TraceRecorder::global().clear();
+  }
+  void TearDown() override {
+    if (obs::compiledIn()) {
+      obs::TraceRecorder::global().clear();
+      obs::setEnabled(wasEnabled_);
+    }
+  }
+
+  bool wasEnabled_ = false;
+};
+
+TEST_F(ObsTraceTest, SpanRecordsOnDestruction) {
+  {
+    obs::TraceSpan span("unit_span", "test");
+    EXPECT_NE(span.id(), 0u);
+  }
+  auto& recorder = obs::TraceRecorder::global();
+  EXPECT_EQ(recorder.eventCount(), 1);
+  const auto events = recorder.sortedEvents();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "unit_span");
+  EXPECT_STREQ(events[0].category, "test");
+  EXPECT_EQ(events[0].parent, 0u);
+  EXPECT_GE(events[0].durationNs, 0);
+}
+
+TEST_F(ObsTraceTest, ExplicitParentage) {
+  obs::TraceSpan root("root", "test");
+  const obs::SpanId rootId = root.id();
+  {
+    obs::TraceSpan child("child", "test", rootId);
+    obs::TraceSpan grandchild("grandchild", "test", child.id());
+  }
+  root.end();
+  const auto events = obs::TraceRecorder::global().sortedEvents();
+  ASSERT_EQ(events.size(), 3u);
+  std::uint64_t childParent = 0, grandchildParent = 0, childId = 0;
+  for (const auto& e : events) {
+    if (std::string_view(e.name) == "child") {
+      childParent = e.parent;
+      childId = e.id;
+    }
+    if (std::string_view(e.name) == "grandchild") grandchildParent = e.parent;
+  }
+  EXPECT_EQ(childParent, rootId);
+  EXPECT_EQ(grandchildParent, childId);
+}
+
+TEST_F(ObsTraceTest, EndIsIdempotent) {
+  obs::TraceSpan span("once", "test");
+  span.end();
+  span.end();  // second end records nothing
+  EXPECT_EQ(span.id(), 0u);
+  EXPECT_EQ(obs::TraceRecorder::global().eventCount(), 1);
+}
+
+TEST_F(ObsTraceTest, DisabledSpanIsInactive) {
+  obs::setEnabled(false);
+  {
+    obs::TraceSpan span("ghost", "test");
+    EXPECT_EQ(span.id(), 0u);
+  }
+  EXPECT_EQ(obs::TraceRecorder::global().eventCount(), 0);
+  obs::setEnabled(true);
+}
+
+TEST_F(ObsTraceTest, MergeOrderIsDeterministic) {
+  // Spans recorded from several threads: two exports of the same recorded
+  // set must agree byte-for-byte (merge by shard slot, then sequence).
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < 50; ++i) obs::TraceSpan span("worker_span", "test");
+    });
+  }
+  for (auto& t : threads) t.join();
+  auto& recorder = obs::TraceRecorder::global();
+  EXPECT_EQ(recorder.eventCount(), 200);
+  std::ostringstream a, b;
+  recorder.writeChromeTrace(a);
+  recorder.writeChromeTrace(b);
+  EXPECT_EQ(a.str(), b.str());
+  // Events from the same shard keep their per-shard sequence order.
+  const auto events = recorder.sortedEvents();
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    if (events[i - 1].shard == events[i].shard)
+      EXPECT_LT(events[i - 1].sequence, events[i].sequence);
+    else
+      EXPECT_LT(events[i - 1].shard, events[i].shard);
+  }
+}
+
+TEST_F(ObsTraceTest, ChromeExportRoundTripsThroughJsonParser) {
+  obs::TraceSpan outer("outer", "test");
+  { obs::TraceSpan inner("inner", "test", outer.id()); }
+  outer.end();
+  std::ostringstream out;
+  obs::TraceRecorder::global().writeChromeTrace(out);
+  const json::Value doc = json::parse(out.str());
+  const json::Array& events = doc.find("traceEvents")->asArray();
+  ASSERT_EQ(events.size(), 2u);
+  for (const json::Value& event : events) {
+    EXPECT_EQ(event.find("ph")->asString(), "X");
+    EXPECT_GE(event.find("dur")->asNumber(), 0.0);
+    EXPECT_DOUBLE_EQ(event.find("pid")->asNumber(), 1.0);
+    ASSERT_NE(event.find("args"), nullptr);
+    EXPECT_GT(event.find("args")->find("id")->asNumber(), 0.0);
+  }
+  // The inner span (recorded first) carries the outer span's id as parent.
+  EXPECT_EQ(events[0].find("name")->asString(), "inner");
+  EXPECT_DOUBLE_EQ(events[0].find("args")->find("parent")->asNumber(),
+                   events[1].find("args")->find("id")->asNumber());
+}
+
+TEST_F(ObsTraceTest, ClearEmptiesTheBuffers) {
+  { obs::TraceSpan span("gone", "test"); }
+  auto& recorder = obs::TraceRecorder::global();
+  EXPECT_EQ(recorder.eventCount(), 1);
+  recorder.clear();
+  EXPECT_EQ(recorder.eventCount(), 0);
+  EXPECT_TRUE(recorder.sortedEvents().empty());
+}
+
+}  // namespace
+}  // namespace omt

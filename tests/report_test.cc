@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "omt/common/error.h"
+#include "omt/io/json.h"
 #include "omt/random/rng.h"
 #include "omt/report/csv.h"
 #include "omt/report/stats.h"
@@ -129,6 +130,90 @@ TEST(CsvWriterTest, QuotesSpecialCells) {
 
 TEST(CsvWriterTest, RejectsUnwritablePath) {
   EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv"), InvalidArgument);
+}
+
+TEST(PercentileTest, EmptyInputThrows) {
+  EXPECT_THROW(percentile({}, 0.5), InvalidArgument);
+}
+
+TEST(PercentileTest, SingleSampleIsEveryQuantile) {
+  const std::vector<double> one{3.25};
+  EXPECT_DOUBLE_EQ(percentile(one, 0.0), 3.25);
+  EXPECT_DOUBLE_EQ(percentile(one, 0.5), 3.25);
+  EXPECT_DOUBLE_EQ(percentile(one, 1.0), 3.25);
+}
+
+TEST(PercentileTest, AllEqualSamples) {
+  const std::vector<double> same(17, -2.0);
+  EXPECT_DOUBLE_EQ(percentile(same, 0.01), -2.0);
+  EXPECT_DOUBLE_EQ(percentile(same, 0.99), -2.0);
+}
+
+TEST(PercentileTest, NanSampleThrows) {
+  const std::vector<double> bad{1.0, std::nan(""), 2.0};
+  EXPECT_THROW(percentile(bad, 0.5), InvalidArgument);
+}
+
+TEST(PercentileTest, QuantileOutOfRangeThrows) {
+  const std::vector<double> v{1.0, 2.0};
+  EXPECT_THROW(percentile(v, -0.1), InvalidArgument);
+  EXPECT_THROW(percentile(v, 1.1), InvalidArgument);
+}
+
+TEST(PercentileTest, LinearInterpolationUnsortedInput) {
+  // rank = q * (n - 1); the input arrives unsorted on purpose.
+  const std::vector<double> v{40.0, 10.0, 30.0, 20.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 17.5);
+}
+
+TEST(CsvEscapeTest, HostNamesWithSpecials) {
+  EXPECT_EQ(csvEscape("plain-host"), "plain-host");
+  EXPECT_EQ(csvEscape("host,rack-7"), "\"host,rack-7\"");
+  EXPECT_EQ(csvEscape("host \"prod\""), "\"host \"\"prod\"\"\"");
+  EXPECT_EQ(csvEscape("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(csvEscape(""), "");
+}
+
+TEST(BenchJsonWriterTest, EmitsParseableTrajectoryFile) {
+  const std::string path = ::testing::TempDir() + "/omt_bench_writer.json";
+  {
+    BenchJsonWriter json(path, "unit_test");
+    json.beginRow();
+    json.field("n", std::int64_t{100});
+    json.field("seconds", 0.5);
+    json.field("label", std::string("with \"quotes\" and\nnewline"));
+    json.endRow();
+    json.beginRow();
+    json.field("n", std::int64_t{200});
+    json.field("seconds", 1.25);
+    json.endRow();
+    json.topLevel("scaling", 2.5);
+    json.close();
+  }
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const json::Value doc = json::parse(buffer.str());
+  EXPECT_EQ(doc.find("bench")->asString(), "unit_test");
+  const json::Array& rows = doc.find("rows")->asArray();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(rows[0].find("n")->asNumber(), 100.0);
+  EXPECT_EQ(rows[0].find("label")->asString(), "with \"quotes\" and\nnewline");
+  EXPECT_DOUBLE_EQ(rows[1].find("seconds")->asNumber(), 1.25);
+  EXPECT_DOUBLE_EQ(doc.find("scaling")->asNumber(), 2.5);
+}
+
+TEST(BenchJsonWriterTest, NoRowsStillParses) {
+  const std::string path = ::testing::TempDir() + "/omt_bench_empty.json";
+  { BenchJsonWriter json(path, "empty"); }  // destructor closes
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const json::Value doc = json::parse(buffer.str());
+  EXPECT_TRUE(doc.find("rows")->asArray().empty());
 }
 
 TEST(StopwatchTest, MeasuresElapsedTime) {

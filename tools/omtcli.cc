@@ -15,9 +15,14 @@
 //                   [--loss 0.3] [--heartbeat-loss 0.1] [--attempts 4]
 //                   [--partition-rate 0.1] [--audit-period 0.5] [--rpc 1]
 //
+// Any command additionally accepts --trace <file> (Chrome trace_event JSON
+// of the run's spans) and --metrics <file> (Prometheus text exposition);
+// either flag switches the observability runtime on for the process.
+//
 // Every command prints a short human-readable report to stdout; failures
 // (malformed files, invalid trees) exit non-zero with a message on stderr.
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
@@ -30,6 +35,9 @@
 #include "omt/core/polar_grid_tree.h"
 #include "omt/grid/assignment.h"
 #include "omt/io/serialization.h"
+#include "omt/obs/metrics.h"
+#include "omt/obs/obs.h"
+#include "omt/obs/trace.h"
 #include "omt/random/samplers.h"
 #include "omt/report/table.h"
 #include "omt/sim/multicast_sim.h"
@@ -313,14 +321,39 @@ int run(int argc, char** argv) {
   }
   const std::string command = argv[1];
   const Flags flags(argc, argv, 2);
-  if (command == "generate") return cmdGenerate(flags);
-  if (command == "build") return cmdBuild(flags);
-  if (command == "metrics") return cmdMetrics(flags);
-  if (command == "simulate") return cmdSimulate(flags);
-  if (command == "render") return cmdRender(flags);
-  if (command == "chaos") return cmdChaos(flags);
-  std::cerr << "unknown command '" << command << "'\n";
-  return 2;
+
+  const std::string tracePath = flags.get("trace", "");
+  const std::string metricsPath = flags.get("metrics", "");
+  if (!tracePath.empty() || !metricsPath.empty()) {
+    OMT_CHECK(obs::compiledIn(),
+              "--trace/--metrics need a build with OMT_OBS=ON");
+    obs::setEnabled(true);
+  }
+
+  int rc = 2;
+  if (command == "generate") rc = cmdGenerate(flags);
+  else if (command == "build") rc = cmdBuild(flags);
+  else if (command == "metrics") rc = cmdMetrics(flags);
+  else if (command == "simulate") rc = cmdSimulate(flags);
+  else if (command == "render") rc = cmdRender(flags);
+  else if (command == "chaos") rc = cmdChaos(flags);
+  else {
+    std::cerr << "unknown command '" << command << "'\n";
+    return 2;
+  }
+
+  if (!tracePath.empty()) {
+    obs::TraceRecorder::global().writeChromeTraceFile(tracePath);
+    std::cout << "trace written to " << tracePath << " ("
+              << obs::TraceRecorder::global().eventCount() << " spans)\n";
+  }
+  if (!metricsPath.empty()) {
+    std::ofstream out(metricsPath);
+    OMT_CHECK(out.good(), "cannot open metrics file '" + metricsPath + "'");
+    out << obs::MetricsRegistry::global().prometheusText();
+    std::cout << "metrics written to " << metricsPath << "\n";
+  }
+  return rc;
 }
 
 }  // namespace
