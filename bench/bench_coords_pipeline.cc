@@ -5,13 +5,216 @@
 // coordinates; everything is evaluated on the TRUE delays. Shape to check:
 // tree quality degrades gracefully with embedding error, and trees on
 // recovered coordinates stay close to trees on the hidden truth.
+//
+// The run also times the batched coordinate kernels (omt/kernels) against
+// the scalar point -> cell pipeline they replace — single-threaded, with
+// bitwise verification of the outputs — and writes the breakdown to
+// BENCH_kernels.json at the repo root. --kernels-only runs just that
+// section (the CI perf-smoke mode); --enforce-kernel-speedup exits
+// non-zero if the kernel path is >10% slower than the scalar path.
+#include <bit>
+#include <cmath>
+
 #include "common.h"
 #include "omt/coords/embedding.h"
+#include "omt/geometry/sin_power_integral.h"
+#include "omt/grid/polar_grid.h"
+#include "omt/kernels/kernels.h"
+#include "omt/kernels/polar_batch.h"
+#include "omt/kernels/sin_power_table.h"
+#include "omt/parallel/scratch_arena.h"
+
+namespace omt::bench {
+namespace {
+
+struct KernelTimes {
+  double scalarPolar = 0.0;
+  double kernelPolar = 0.0;
+  double scalarClassify = 0.0;
+  double kernelClassify = 0.0;
+  double scalarTotal() const { return scalarPolar + scalarClassify; }
+  double kernelTotal() const { return kernelPolar + kernelClassify; }
+};
+
+/// Single-threaded A/B of the point -> cell pipeline at dimension `dim`:
+/// scalar (toPolar + ringOf/cellOf per point) vs batched kernels
+/// (polarOfPointsBatch + ringCellBatch over SoA lanes). Outputs are
+/// verified bitwise identical before any number is reported.
+KernelTimes timePointToCell(std::int64_t n, int dim, int repeats,
+                            BenchJsonWriter& json) {
+  Rng rng(deriveSeed(7100, static_cast<std::uint64_t>(dim)));
+  const std::vector<Point> points = sampleDiskWithCenterSource(rng, n, dim);
+  const Point& origin = points[0];
+  const auto un = static_cast<std::size_t>(n);
+
+  // --- scalar pass 1: polar conversion ------------------------------------
+  std::vector<PolarCoords> scalarPolar(un);
+  KernelTimes times;
+  double maxRadius = 0.0;
+  for (int r = 0; r < repeats; ++r) {
+    Stopwatch watch;
+    double localMax = 0.0;
+    for (std::size_t i = 0; i < un; ++i) {
+      scalarPolar[i] = toPolar(points[i], origin);
+      localMax = std::max(localMax, scalarPolar[i].radius);
+    }
+    times.scalarPolar += watch.seconds();
+    maxRadius = localMax;
+  }
+  if (maxRadius == 0.0) maxRadius = 1.0;
+  const int rings =
+      std::min<int>(PolarGrid::kMaxRings,
+                    std::max<int>(1, static_cast<int>(std::log2(n)) + 1));
+  const PolarGrid grid(dim, rings, maxRadius);
+
+  // --- scalar pass 2: classification --------------------------------------
+  std::vector<std::int32_t> scalarRing(un);
+  std::vector<std::uint64_t> scalarCell(un);
+  for (int r = 0; r < repeats; ++r) {
+    Stopwatch watch;
+    for (std::size_t i = 0; i < un; ++i) {
+      const int ring =
+          grid.ringOf(std::min(scalarPolar[i].radius, maxRadius));
+      scalarRing[i] = ring;
+      scalarCell[i] = grid.cellOf(scalarPolar[i], ring);
+    }
+    times.scalarClassify += watch.seconds();
+  }
+
+  // --- kernel passes over arena-backed SoA lanes ---------------------------
+  ScratchArena& arena = workerArena();
+  ScratchArena::Scope scope(arena);
+  kernels::PolarLanes lanes;
+  lanes.radius = arena.alloc<double>(un);
+  for (int j = 0; j < dim - 1; ++j)
+    lanes.cube[static_cast<std::size_t>(j)] = arena.alloc<double>(un);
+  std::vector<PolarCoords> kernelPolar(un);
+  for (int r = 0; r < repeats; ++r) {
+    Stopwatch watch;
+    kernels::polarOfPointsBatch(points, origin, lanes, kernelPolar);
+    times.kernelPolar += watch.seconds();
+  }
+
+  std::vector<double> ringRadii(static_cast<std::size_t>(rings) + 1);
+  for (int i = 0; i <= rings; ++i)
+    ringRadii[static_cast<std::size_t>(i)] = grid.ringRadius(i);
+  std::vector<std::int32_t> kernelRing(un);
+  std::vector<std::uint64_t> kernelCell(un);
+  for (int r = 0; r < repeats; ++r) {
+    Stopwatch watch;
+    const kernels::ClassifyTable table =
+        kernels::makeClassifyTable(dim, rings, maxRadius, ringRadii);
+    kernels::ringCellBatch(table, lanes.radius, lanes, kernelRing, kernelCell);
+    times.kernelClassify += watch.seconds();
+  }
+
+  // --- bitwise verification ------------------------------------------------
+  for (std::size_t i = 0; i < un; ++i) {
+    OMT_CHECK(std::bit_cast<std::uint64_t>(kernelPolar[i].radius) ==
+                  std::bit_cast<std::uint64_t>(scalarPolar[i].radius),
+              "kernel polar radius diverged from scalar");
+    for (int j = 0; j < dim - 1; ++j) {
+      OMT_CHECK(
+          std::bit_cast<std::uint64_t>(
+              kernelPolar[i].cube[static_cast<std::size_t>(j)]) ==
+              std::bit_cast<std::uint64_t>(
+                  scalarPolar[i].cube[static_cast<std::size_t>(j)]),
+          "kernel polar cube diverged from scalar");
+    }
+    OMT_CHECK(kernelRing[i] == scalarRing[i] && kernelCell[i] == scalarCell[i],
+              "kernel classification diverged from scalar");
+  }
+
+  const double perPoint = 1e9 / (static_cast<double>(n) * repeats);
+  const auto emit = [&](const std::string& stage, double scalarSec,
+                        double kernelSec) {
+    json.beginRow();
+    json.field("dim", static_cast<std::int64_t>(dim));
+    json.field("n", n);
+    json.field("stage", stage);
+    json.field("scalar_ns_per_point", scalarSec * perPoint);
+    json.field("kernel_ns_per_point", kernelSec * perPoint);
+    json.field("speedup", scalarSec / kernelSec);
+    json.endRow();
+  };
+  emit("polar", times.scalarPolar, times.kernelPolar);
+  emit("classify", times.scalarClassify, times.kernelClassify);
+  emit("point_to_cell", times.scalarTotal(), times.kernelTotal());
+  return times;
+}
+
+/// Table-seeded vs cold quantile inversion (the per-call cost the tables
+/// remove), reported per call.
+void timeQuantileInversion(BenchJsonWriter& json) {
+  constexpr int kCalls = 20000;
+  constexpr int k = 2;  // the 3D polar-angle power, the common hot case
+  std::vector<double> us(kCalls);
+  Rng rng(7200);
+  for (double& u : us) u = rng.uniform();
+
+  double sink = 0.0;
+  Stopwatch cold;
+  for (const double u : us) sink += sinPowerQuantile(k, u);
+  const double coldSec = cold.seconds();
+  Stopwatch tabled;
+  for (const double u : us) sink += kernels::sinPowerQuantileTabled(k, u);
+  const double tabledSec = tabled.seconds();
+  OMT_CHECK(sink != -1.0, "keep the compiler from eliding the loops");
+
+  json.beginRow();
+  json.field("dim", static_cast<std::int64_t>(3));
+  json.field("n", static_cast<std::int64_t>(kCalls));
+  json.field("stage", std::string("sin_power_quantile"));
+  json.field("scalar_ns_per_point", coldSec * 1e9 / kCalls);
+  json.field("kernel_ns_per_point", tabledSec * 1e9 / kCalls);
+  json.field("speedup", coldSec / tabledSec);
+  json.endRow();
+}
+
+/// Returns true when the kernel path meets the "not >10% slower" gate.
+bool runKernelSection(const Args& args) {
+  const std::int64_t n = args.maxN.value_or(1000000);
+  const int repeats = n <= 200000 ? 5 : 2;
+  std::cout << "\nBatched kernel A/B (single-threaded, n = " << n
+            << ", bitwise-verified):\n";
+  BenchJsonWriter json(benchOutputPath("BENCH_kernels.json"), "kernels");
+  TextTable table({"Dim", "Stage", "Scalar ns/pt", "Kernel ns/pt", "Speedup"});
+  bool gateOk = true;
+  for (const int dim : {2, 3}) {
+    const KernelTimes t = timePointToCell(n, dim, repeats, json);
+    const double perPoint = 1e9 / (static_cast<double>(n) * repeats);
+    const auto addRow = [&](const std::string& stage, double s, double kk) {
+      table.addRow({std::to_string(dim), stage, TextTable::num(s * perPoint, 1),
+                    TextTable::num(kk * perPoint, 1),
+                    TextTable::num(s / kk, 2) + "x"});
+    };
+    addRow("polar", t.scalarPolar, t.kernelPolar);
+    addRow("classify", t.scalarClassify, t.kernelClassify);
+    addRow("point_to_cell", t.scalarTotal(), t.kernelTotal());
+    if (t.kernelTotal() > 1.10 * t.scalarTotal()) gateOk = false;
+  }
+  timeQuantileInversion(json);
+  json.close();
+  std::cout << table.str() << "(wrote "
+            << benchOutputPath("BENCH_kernels.json") << ")\n";
+  return gateOk;
+}
+
+}  // namespace
+}  // namespace omt::bench
 
 int main(int argc, char** argv) {
   using namespace omt;
   using namespace omt::bench;
   const Args args = parseArgs(argc, argv);
+  if (args.kernelsOnly) {
+    const bool gateOk = runKernelSection(args);
+    if (args.enforceKernelSpeedup && !gateOk) {
+      std::cerr << "FAIL: kernel path >10% slower than scalar path\n";
+      return 1;
+    }
+    return 0;
+  }
   const std::int64_t n = args.maxN.value_or(args.full ? 600 : 250);
   const int trials = args.trials.value_or(args.full ? 10 : 3);
 
@@ -85,5 +288,10 @@ int main(int argc, char** argv) {
   std::cout << "\nShape check: embedding error grows with the noise sigma; "
                "tree radii on recovered coordinates track the truth-built "
                "radius and degrade gracefully, staying well above R(LB).\n";
+  const bool gateOk = runKernelSection(args);
+  if (args.enforceKernelSpeedup && !gateOk) {
+    std::cerr << "FAIL: kernel path >10% slower than scalar path\n";
+    return 1;
+  }
   return 0;
 }

@@ -124,7 +124,8 @@ int main(int argc, char** argv) {
              "recovery_latency_mean", "disconnected_node_seconds",
              "false_positives", "reinstatements", "sweep_repairs"});
 
-  BenchJsonWriter json("BENCH_fault_recovery.json", "fault_recovery");
+  BenchJsonWriter json(benchOutputPath("BENCH_fault_recovery.json"),
+                       "fault_recovery");
 
   const double lossRates[] = {0.0, 0.05, 0.2};
   for (std::size_t i = 0; i < std::size(lossRates); ++i) {
@@ -189,7 +190,8 @@ int main(int argc, char** argv) {
   json.topLevel("contacts_per_orphan_sweep", ab.sweepPerOrphan.mean());
   json.topLevel("backup_hit_rate", ab.backupHitRate.mean());
   json.close();
-  maybeWriteMetricsSnapshot("BENCH_fault_recovery.metrics.json");
+  maybeWriteMetricsSnapshot(
+      benchOutputPath("BENCH_fault_recovery.metrics.json"));
   std::cout << tableB.str() << "\n(wrote BENCH_fault_recovery.json)\n";
 
   // The acceptance gate: local backup-first repair must beat the sweep on

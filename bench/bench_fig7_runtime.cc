@@ -22,7 +22,8 @@ int main(int argc, char** argv) {
   auto csv = openCsv(args, {"n", "seconds", "ns_per_node", "threads",
                             "scaling"});
   auto trialsCsv = openTrialsCsv(args);
-  BenchJsonWriter json("BENCH_construction.json", "fig7_construction");
+  BenchJsonWriter json(benchOutputPath("BENCH_construction.json"),
+                       "fig7_construction");
 
   double prevSeconds = 0.0;
   std::int64_t prevN = 0;
@@ -57,7 +58,7 @@ int main(int argc, char** argv) {
     prevN = spec.n;
   }
   json.close();
-  maybeWriteMetricsSnapshot("BENCH_construction.metrics.json");
+  maybeWriteMetricsSnapshot(benchOutputPath("BENCH_construction.metrics.json"));
   std::cout << table.str();
   std::cout << "\nShape check: ns/node stays roughly flat (near-linear "
                "runtime; paper Figure 7). Paper: 0.02s @ 1k, 2.0s @ 100k, "

@@ -7,7 +7,13 @@
 #include "omt/bisection/bisection.h"
 #include "omt/core/polar_grid_tree.h"
 #include "omt/geometry/enclosing_ball.h"
+#include "omt/geometry/sin_power_integral.h"
 #include "omt/grid/assignment.h"
+#include "omt/grid/polar_grid.h"
+#include "omt/kernels/kernels.h"
+#include "omt/kernels/polar_batch.h"
+#include "omt/kernels/sin_power_table.h"
+#include "omt/parallel/scratch_arena.h"
 #include "omt/random/rng.h"
 #include "omt/random/samplers.h"
 #include "omt/sim/multicast_sim.h"
@@ -143,6 +149,126 @@ void BM_DelaunayTriangulate(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_DelaunayTriangulate)->Arg(2000);
+
+// --- kernel layer: table-seeded inversion and SoA batch transforms --------
+
+void BM_SinPowerQuantileCold(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Rng rng(99);
+  std::vector<double> us(4096);
+  for (double& u : us) u = rng.uniform();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sinPowerQuantile(k, us[i]));
+    i = (i + 1) % us.size();
+  }
+}
+BENCHMARK(BM_SinPowerQuantileCold)->Arg(2)->Arg(6);
+
+void BM_SinPowerQuantileTabled(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  kernels::quantileTable(k);  // build outside the timed region
+  Rng rng(99);
+  std::vector<double> us(4096);
+  for (double& u : us) u = rng.uniform();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::sinPowerQuantileTabled(k, us[i]));
+    i = (i + 1) % us.size();
+  }
+}
+BENCHMARK(BM_SinPowerQuantileTabled)->Arg(2)->Arg(6);
+
+void BM_ToPolarBatchSoA(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  const auto points = diskPoints(65536, dim);
+  const Point& origin = points[0];
+  ScratchArena& arena = workerArena();
+  ScratchArena::Scope scope(arena);
+  kernels::PolarLanes lanes;
+  lanes.radius = arena.alloc<double>(points.size());
+  for (int j = 0; j < dim - 1; ++j)
+    lanes.cube[static_cast<std::size_t>(j)] =
+        arena.alloc<double>(points.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        kernels::polarOfPointsBatch(points, origin, lanes, {}));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(points.size()));
+}
+BENCHMARK(BM_ToPolarBatchSoA)->Arg(2)->Arg(3)->Arg(8);
+
+void BM_ToPolarLoopAoS(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  const auto points = diskPoints(65536, dim);
+  const Point& origin = points[0];
+  std::vector<PolarCoords> out(points.size());
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < points.size(); ++i)
+      out[i] = toPolar(points[i], origin);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(points.size()));
+}
+BENCHMARK(BM_ToPolarLoopAoS)->Arg(2)->Arg(3)->Arg(8);
+
+void BM_PointToCellScalar(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  const auto points = diskPoints(65536, dim);
+  const Point& origin = points[0];
+  std::vector<PolarCoords> polar(points.size());
+  double maxRadius = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    polar[i] = toPolar(points[i], origin);
+    maxRadius = std::max(maxRadius, polar[i].radius);
+  }
+  const PolarGrid grid(dim, 17, maxRadius);
+  std::vector<std::int32_t> ring(points.size());
+  std::vector<std::uint64_t> cell(points.size());
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const int r = grid.ringOf(std::min(polar[i].radius, maxRadius));
+      ring[i] = r;
+      cell[i] = grid.cellOf(polar[i], r);
+    }
+    benchmark::DoNotOptimize(cell.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(points.size()));
+}
+BENCHMARK(BM_PointToCellScalar)->Arg(2)->Arg(3);
+
+void BM_PointToCellKernel(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  const auto points = diskPoints(65536, dim);
+  const Point& origin = points[0];
+  ScratchArena& arena = workerArena();
+  ScratchArena::Scope scope(arena);
+  kernels::PolarLanes lanes;
+  lanes.radius = arena.alloc<double>(points.size());
+  for (int j = 0; j < dim - 1; ++j)
+    lanes.cube[static_cast<std::size_t>(j)] =
+        arena.alloc<double>(points.size());
+  const double maxRadius =
+      kernels::polarOfPointsBatch(points, origin, lanes, {});
+  const PolarGrid grid(dim, 17, maxRadius);
+  std::vector<double> ringRadii(18);
+  for (int i = 0; i <= 17; ++i)
+    ringRadii[static_cast<std::size_t>(i)] = grid.ringRadius(i);
+  const kernels::ClassifyTable table =
+      kernels::makeClassifyTable(dim, 17, maxRadius, ringRadii);
+  std::vector<std::int32_t> ring(points.size());
+  std::vector<std::uint64_t> cell(points.size());
+  for (auto _ : state) {
+    kernels::ringCellBatch(table, lanes.radius, lanes, ring, cell);
+    benchmark::DoNotOptimize(cell.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(points.size()));
+}
+BENCHMARK(BM_PointToCellKernel)->Arg(2)->Arg(3);
 
 }  // namespace
 

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -55,6 +56,12 @@ struct Args {
   /// Worker threads for independent trials; 1 keeps builds timed without
   /// trial-level contention (the default), --full runs benefit from more.
   int threads = 1;
+  /// bench_coords_pipeline: run only the kernel A/B section (the CI
+  /// perf-smoke mode; skips the embedding pipeline).
+  bool kernelsOnly = false;
+  /// bench_coords_pipeline: exit non-zero if the batched kernel path is
+  /// more than 10% slower than the scalar path it replaces.
+  bool enforceKernelSpeedup = false;
 };
 
 inline Args parseArgs(int argc, char** argv) {
@@ -74,14 +81,38 @@ inline Args parseArgs(int argc, char** argv) {
     } else if (arg == "--threads" && i + 1 < argc) {
       args.threads = std::atoi(argv[++i]);
       if (args.threads <= 0) args.threads = resolveWorkers(0);
+    } else if (arg == "--kernels-only") {
+      args.kernelsOnly = true;
+    } else if (arg == "--enforce-kernel-speedup") {
+      args.enforceKernelSpeedup = true;
     } else {
       std::cerr << "usage: " << argv[0]
                 << " [--full] [--max-n N] [--trials T] [--csv PATH]"
-                   " [--trials-csv PATH] [--threads T|0]\n";
+                   " [--trials-csv PATH] [--threads T|0]"
+                   " [--kernels-only] [--enforce-kernel-speedup]\n";
       std::exit(2);
     }
   }
   return args;
+}
+
+/// Where the perf-trajectory files (BENCH_*.json) belong: the repository
+/// root, regardless of the cwd the bench was launched from (benches usually
+/// run from build/bench, which used to scatter the JSON under build/).
+/// OMT_BENCH_DIR overrides; otherwise walk up from the cwd looking for
+/// ROADMAP.md (the repo-root marker) and fall back to the cwd.
+inline std::string benchOutputPath(const std::string& filename) {
+  if (const char* dir = std::getenv("OMT_BENCH_DIR"); dir && *dir) {
+    return std::string(dir) + "/" + filename;
+  }
+  std::string prefix;
+  std::string probe = "ROADMAP.md";
+  for (int depth = 0; depth < 6; ++depth) {
+    if (std::ifstream(prefix + probe).good()) return prefix + filename;
+    prefix += "../";
+    probe = "ROADMAP.md";
+  }
+  return filename;
 }
 
 struct RowSpec {

@@ -11,6 +11,64 @@ namespace {
 
 constexpr double kPi = std::numbers::pi;
 
+using sin_power_detail::kQuantileGridIntervals;
+using sin_power_detail::kSmallAngleCut;
+
+/// Two-term small-angle series for I_k(t), k >= 2:
+///   I_k(t) = t^(k+1)/(k+1) * (1 - k(k+1) t^2 / (6(k+3)) + O(k^2 t^4)).
+/// For t <= kSmallAngleCut the dropped term is below 1e-16 relative for all
+/// k <= 7 (and shrinks with t^4), so this is exact to double precision
+/// exactly where the closed-form recurrence loses every digit to the
+/// 1 - cos(t) cancellation.
+double smallAngleIntegral(int k, double t) {
+  const double kk = static_cast<double>(k);
+  const double correction = kk * (kk + 1.0) / (6.0 * (kk + 3.0));
+  return std::pow(t, k + 1) / (kk + 1.0) * (1.0 - correction * t * t);
+}
+
+/// Inverse of the two-term series: t with I_k(t) = target for targets in
+/// the small-angle regime. First-order inversion of the series above:
+///   t = T0 * (1 + k T0^2 / (6(k+3))),  T0 = ((k+1) target)^(1/(k+1)).
+double smallAngleInverse(int k, double target) {
+  const double kk = static_cast<double>(k);
+  const double t0 = std::pow((kk + 1.0) * target, 1.0 / (kk + 1.0));
+  return t0 * (1.0 + kk * t0 * t0 / (6.0 * (kk + 3.0)));
+}
+
+/// Largest integral value still inverted by the series: the one-term value
+/// at the cut angle. A (slight) lower bound on I_k(kSmallAngleCut), so any
+/// target at or below it has its root inside the series' validity region.
+double tailThreshold(int k) {
+  return std::pow(kSmallAngleCut, k + 1) / static_cast<double>(k + 1);
+}
+
+/// The legacy full-range safeguarded Newton solve (cold start t = pi*u,
+/// bracket [0, pi]). Only evaluated at the canonical seed-grid u values
+/// now — per-point inversion goes through quantileCore — but its exact
+/// iteration sequence still defines the grid quantiles, and through them
+/// every bracketed solve. Requires k >= 2 and u in (0, 1).
+double fullRangeQuantile(int k, double u) {
+  const double total = sinPowerTotal(k);
+  const double target = u * total;
+  double lo = 0.0;
+  double hi = kPi;
+  double t = kPi * u;
+  for (int iter = 0; iter < 128; ++iter) {
+    const double g = sinPowerIntegral(k, t) - target;
+    if (g > 0.0) {
+      hi = t;
+    } else {
+      lo = t;
+    }
+    const double deriv = std::pow(std::sin(t), k);
+    double next = (deriv > 1e-300) ? t - g / deriv : (lo + hi) / 2.0;
+    if (!(next > lo && next < hi)) next = (lo + hi) / 2.0;
+    if (std::abs(next - t) < 1e-15) return next;
+    t = next;
+  }
+  return t;
+}
+
 }  // namespace
 
 double sinPowerIntegral(int k, double t) {
@@ -18,7 +76,22 @@ double sinPowerIntegral(int k, double t) {
   OMT_CHECK(t >= -1e-9 && t <= kPi + 1e-9, "angle outside [0, pi]");
   t = std::clamp(t, 0.0, kPi);
   if (k == 0) return t;
-  if (k == 1) return 1.0 - std::cos(t);
+  if (k == 1) {
+    // 1 - cos(t) loses all digits below t ~ 1e-8 (cos rounds to 1); the
+    // half-angle identity is exact and agrees to the ulp above the cut.
+    if (t < kSmallAngleCut) {
+      const double s = std::sin(0.5 * t);
+      return 2.0 * s * s;
+    }
+    return 1.0 - std::cos(t);
+  }
+  if (t < kSmallAngleCut) return smallAngleIntegral(k, t);
+  if (kPi - t < kSmallAngleCut) {
+    // The subtraction pi - t is exact (Sterbenz) and I_k is symmetric:
+    // I_k(t) = T_k - I_k(pi - t); the recurrence's ~1e-16 absolute noise
+    // would otherwise swamp the (pi-t)^(k+1) tail entirely.
+    return sinPowerTotal(k) - smallAngleIntegral(k, kPi - t);
+  }
   // I_k = ((k-1) I_{k-2} - sin^{k-1}(t) cos(t)) / k, unrolled iteratively
   // from the base case of matching parity.
   double prev = (k % 2 == 0) ? t : 1.0 - std::cos(t);
@@ -46,24 +119,75 @@ double sinPowerCdf(int k, double t) {
   return sinPowerIntegral(k, t) / sinPowerTotal(k);
 }
 
-double sinPowerQuantile(int k, double u) {
-  OMT_CHECK(k >= 0, "sin power must be non-negative");
-  OMT_CHECK(u >= -1e-12 && u <= 1.0 + 1e-12, "quantile outside [0, 1]");
-  u = std::clamp(u, 0.0, 1.0);
-  if (u == 0.0) return 0.0;
-  if (u == 1.0) return kPi;
-  if (k == 0) return u * kPi;
-  if (k == 1) return std::acos(1.0 - 2.0 * u);
+namespace sin_power_detail {
+
+double gridQuantile(int k, int j) {
+  OMT_CHECK(k >= 2, "grid quantiles are defined for k >= 2");
+  OMT_CHECK(j >= 0 && j <= kQuantileGridIntervals, "grid index out of range");
+  if (j == 0) return 0.0;
+  if (j == kQuantileGridIntervals) return kPi;
+  // j / kQuantileGridIntervals is exact: the denominator is a power of two.
+  const double u =
+      static_cast<double>(j) / static_cast<double>(kQuantileGridIntervals);
+  return fullRangeQuantile(k, u);
+}
+
+double quantileCore(int k, double u, double target, const double* brackets,
+                    int* iterations) {
+  if (target <= 0.0) return 0.0;
+  if (k == 0) return target;  // I_0(t) = t
+  if (k == 1) {
+    // I_1(t) = 2 sin^2(t/2), total 2. In both tails acos(1 - 2u) has
+    // already rounded its argument to +-1; the half-angle form inverts
+    // with full relative precision down to the smallest positive target.
+    // (sinPowerQuantile's own k == 1 branch returns before reaching here,
+    // so this changes only the unnormalised inverse.)
+    if (target <= tailThreshold(1))
+      return 2.0 * std::asin(std::sqrt(0.5 * target));
+    const double oneTail = 2.0 - target;
+    if (oneTail <= tailThreshold(1))
+      return kPi - 2.0 * std::asin(std::sqrt(0.5 * oneTail));
+    return std::acos(1.0 - 2.0 * u);
+  }
 
   const double total = sinPowerTotal(k);
-  const double target = u * total;
-  // Newton iteration on g(t) = I_k(t) - target, g'(t) = sin^k(t), safeguarded
-  // by a shrinking bisection bracket: near t = 0 and t = pi the derivative
-  // vanishes for k >= 2, so unguarded Newton can escape the domain.
-  double lo = 0.0;
-  double hi = kPi;
-  double t = kPi * u;  // reasonable initial guess
-  for (int iter = 0; iter < 128; ++iter) {
+  if (target >= total) return kPi;
+  const double threshold = tailThreshold(k);
+  if (target <= threshold) return smallAngleInverse(k, target);
+  // total - target is exact for target >= total/2 (Sterbenz), preserving
+  // the tail's relative precision down to one ulp of the total.
+  const double tail = total - target;
+  if (tail <= threshold) return kPi - smallAngleInverse(k, tail);
+
+  int j = static_cast<int>(u * kQuantileGridIntervals);
+  j = std::clamp(j, 0, kQuantileGridIntervals - 1);
+  const double tLo = brackets ? brackets[j] : gridQuantile(k, j);
+  const double tHi = brackets ? brackets[j + 1] : gridQuantile(k, j + 1);
+
+  // Canonical seed: asymptotic inversion in the edge intervals (where the
+  // quantile has infinite slope and linear interpolation is poor), linear
+  // interpolation across the bracket in the interior. Either way the
+  // safeguard below forces the seed into (tLo, tHi), so the result is a
+  // pure function of (k, u, target) and the canonical bracket values.
+  double seed;
+  if (j == 0) {
+    seed = smallAngleInverse(k, target);
+  } else if (j == kQuantileGridIntervals - 1) {
+    seed = kPi - smallAngleInverse(k, tail);
+  } else {
+    const double frac = u * kQuantileGridIntervals - static_cast<double>(j);
+    seed = tLo + frac * (tHi - tLo);
+  }
+  if (!(seed > tLo && seed < tHi)) seed = 0.5 * (tLo + tHi);
+
+  // Safeguarded Newton inside the bracket; the seed is within O(1e-6) of
+  // the root (bracket width ~1e-3, quadratic interpolation error), so
+  // quadratic convergence reaches the 1e-15 step tolerance in ~2-3 steps.
+  double lo = tLo;
+  double hi = tHi;
+  double t = seed;
+  for (int iter = 0; iter < 64; ++iter) {
+    if (iterations) ++*iterations;
     const double g = sinPowerIntegral(k, t) - target;
     if (g > 0.0) {
       hi = t;
@@ -77,6 +201,33 @@ double sinPowerQuantile(int k, double u) {
     t = next;
   }
   return t;
+}
+
+}  // namespace sin_power_detail
+
+double sinPowerQuantile(int k, double u) {
+  OMT_CHECK(k >= 0, "sin power must be non-negative");
+  OMT_CHECK(u >= -1e-12 && u <= 1.0 + 1e-12, "quantile outside [0, 1]");
+  u = std::clamp(u, 0.0, 1.0);
+  if (u == 0.0) return 0.0;
+  if (u == 1.0) return kPi;
+  if (k == 0) return u * kPi;
+  if (k == 1) return std::acos(1.0 - 2.0 * u);
+  const double target = u * sinPowerTotal(k);
+  return sin_power_detail::quantileCore(k, u, target, nullptr, nullptr);
+}
+
+double sinPowerIntegralInverse(int k, double value) {
+  OMT_CHECK(k >= 0, "sin power must be non-negative");
+  const double total = sinPowerTotal(k);
+  OMT_CHECK(value >= -1e-12 * total && value <= total * (1.0 + 1e-12),
+            "integral value outside [0, total]");
+  value = std::clamp(value, 0.0, total);
+  // Unlike the normalised quantile, the u here only selects the seed-grid
+  // interval; the Newton target keeps the full precision of `value`, which
+  // is what makes the near-endpoint round trips accurate.
+  const double u = value / total;
+  return sin_power_detail::quantileCore(k, u, value, nullptr, nullptr);
 }
 
 }  // namespace omt

@@ -11,10 +11,23 @@
 //
 // This header provides the CDFs and their inverses:
 //   sinPowerIntegral(k, t)  =  integral_0^t sin^k(x) dx   (closed-form
-//       recurrence I_k = ((k-1) I_{k-2} - sin^{k-1} t cos t) / k)
+//       recurrence I_k = ((k-1) I_{k-2} - sin^{k-1} t cos t) / k, switching
+//       to the small-angle series near t = 0 and t = pi where the
+//       recurrence cancels catastrophically)
 //   sinPowerCdf(k, t)       =  I_k(t) / I_k(pi), monotone [0,pi] -> [0,1]
-//   sinPowerQuantile(k, u)  =  the inverse of sinPowerCdf (Newton iteration
-//       with bisection fallback, accurate to ~1e-14)
+//   sinPowerQuantile(k, u)  =  the inverse of sinPowerCdf
+//   sinPowerIntegralInverse(k, v) = the inverse of sinPowerIntegral
+//
+// Inversion is *canonical*: the returned double is a pure function of the
+// arguments, independent of how the Newton iteration was seeded. The
+// interior is solved by a safeguarded Newton iteration inside the bracket
+// [T_j, T_{j+1}] of a fixed 1/kQuantileGridIntervals-resolution u-grid,
+// where T_j is the (deterministic) full-range solve at the grid point; the
+// tails use a closed-form series inversion. The kernels layer
+// (omt/kernels/sin_power_table.h) precomputes the T_j per k once and passes
+// them into the same core, so the table-seeded fast path returns results
+// bitwise identical to this scalar path — the property the byte-identical
+// tree contract rests on.
 #pragma once
 
 namespace omt {
@@ -30,5 +43,42 @@ double sinPowerCdf(int k, double t);
 
 /// Inverse of sinPowerCdf: the t in [0, pi] with F_k(t) = u, u in [0, 1].
 double sinPowerQuantile(int k, double u);
+
+/// Inverse of the unnormalised integral: the t in [0, pi] with
+/// I_k(t) = value, value in [0, sinPowerTotal(k)]. Accurate in *relative*
+/// terms near t = 0 (where the old cold-start Newton lost all digits);
+/// near t = pi the double representation of I itself caps what any inverse
+/// can recover (the tail (pi-t)^(k+1)/(k+1) drops below one ulp of T_k).
+double sinPowerIntegralInverse(int k, double value);
+
+namespace sin_power_detail {
+
+/// Resolution of the canonical seed grid over u in [0, 1]. A power of two
+/// so grid u-values j/kQuantileGridIntervals are exact doubles.
+inline constexpr int kQuantileGridIntervals = 1024;
+
+/// Below this angle (from either endpoint) the closed-form recurrence for
+/// I_k cancels catastrophically and the two-term series is exact to double
+/// precision; forward evaluation and inversion both switch over here.
+inline constexpr double kSmallAngleCut = 1e-4;
+
+/// The canonical value of the j-th grid quantile (j in
+/// [0, kQuantileGridIntervals]): the legacy full-range safeguarded Newton
+/// solve at u = j/kQuantileGridIntervals. Table builders must store exactly
+/// these doubles for the fast path to stay bitwise-identical.
+double gridQuantile(int k, int j);
+
+/// Canonical quantile core shared by the cold scalar path and the
+/// table-seeded kernels path. `u` selects the seed-grid interval and
+/// `target` is the unnormalised integral value to invert (callers pass
+/// u*total or value as appropriate). `brackets`, when non-null, must hold
+/// the kQuantileGridIntervals + 1 canonical grid quantiles (gridQuantile);
+/// when null they are solved on the fly — same doubles, ~2 extra full-range
+/// solves per call. `iterations`, when non-null, accumulates the Newton
+/// step count (for the kernel obs counters).
+double quantileCore(int k, double u, double target, const double* brackets,
+                    int* iterations);
+
+}  // namespace sin_power_detail
 
 }  // namespace omt

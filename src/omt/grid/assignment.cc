@@ -3,11 +3,15 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstring>
 
 #include "omt/common/error.h"
+#include "omt/kernels/kernels.h"
+#include "omt/kernels/polar_batch.h"
 #include "omt/obs/metrics.h"
 #include "omt/obs/trace.h"
 #include "omt/parallel/parallel_for.h"
+#include "omt/parallel/scratch_arena.h"
 
 namespace omt {
 namespace {
@@ -49,7 +53,7 @@ int candidateRings(std::int64_t n, int cap) {
 /// S_delta is 1 across ring j. One fold level costs half the previous one,
 /// so the whole selection is O(heapIds) — the old per-candidate block scan
 /// was O(2^kMax * kMax) when every candidate failed near the end.
-int selectRings(std::vector<std::uint8_t> fold, int kMax) {
+int selectRings(std::span<std::uint8_t> fold, int kMax) {
   // ringFull[delta * kMax + (j - 1)] for j in 1..kMax - delta - 1.
   std::vector<std::uint8_t> ringFull(
       static_cast<std::size_t>(kMax) * static_cast<std::size_t>(kMax), 0);
@@ -113,25 +117,60 @@ GridAssignment assignToGrid(std::span<const Point> points, NodeId source,
   gridMetrics().points.add(n);
 
   const Point& origin = points[static_cast<std::size_t>(source)];
+  const bool useKernels = kernels::enabled();
+
+  // Build-lifetime scratch: SoA lanes and classification intermediates come
+  // from the caller thread's arena, so repeated builds stop reallocating
+  // them (workers only write into disjoint slices of these spans).
+  ScratchArena& arena = workerArena();
+  ScratchArena::Scope arenaScope(arena);
+  const auto un = static_cast<std::size_t>(n);
+  kernels::PolarLanes lanes;
+  if (useKernels) {
+    lanes.radius = arena.alloc<double>(un);
+    for (int j = 0; j < d - 1; ++j)
+      lanes.cube[static_cast<std::size_t>(j)] = arena.alloc<double>(un);
+  }
 
   // Pass 1 (parallel): polar coordinates; outer radius R by per-slot max
   // reduction (max is order-independent, so the result does not depend on
-  // the chunking).
+  // the chunking). The batched kernel writes the SoA lanes for pass 2 and
+  // the AoS polarOfPoint output in one sweep; the scalar fallback is the
+  // legacy per-point path (OMT_KERNEL_TABLES=0).
   std::vector<PolarCoords> polar(points.size());
   std::vector<double> slotMax(slots, 0.0);
   obs::TraceSpan polarSpan("polar_pass", "grid", span.id());
-  parallelForChunks(0, n, workers,
-                    [&](std::int64_t lo, std::int64_t hi, int slot) {
-                      double localMax = slotMax[static_cast<std::size_t>(slot)];
-                      for (std::int64_t i = lo; i < hi; ++i) {
-                        const auto idx = static_cast<std::size_t>(i);
-                        OMT_CHECK(points[idx].dim() == d,
-                                  "mixed dimensions in point set");
-                        polar[idx] = toPolar(points[idx], origin);
-                        localMax = std::max(localMax, polar[idx].radius);
-                      }
-                      slotMax[static_cast<std::size_t>(slot)] = localMax;
-                    });
+  if (useKernels) {
+    parallelForChunks(
+        0, n, workers, [&](std::int64_t lo, std::int64_t hi, int slot) {
+          const auto ulo = static_cast<std::size_t>(lo);
+          const auto len = static_cast<std::size_t>(hi - lo);
+          kernels::PolarLanes slice;
+          slice.radius = lanes.radius.subspan(ulo, len);
+          for (int j = 0; j < d - 1; ++j) {
+            slice.cube[static_cast<std::size_t>(j)] =
+                lanes.cube[static_cast<std::size_t>(j)].subspan(ulo, len);
+          }
+          const double chunkMax = kernels::polarOfPointsBatch(
+              points.subspan(ulo, len), origin, slice,
+              std::span<PolarCoords>(polar).subspan(ulo, len));
+          auto& localMax = slotMax[static_cast<std::size_t>(slot)];
+          localMax = std::max(localMax, chunkMax);
+        });
+  } else {
+    parallelForChunks(0, n, workers,
+                      [&](std::int64_t lo, std::int64_t hi, int slot) {
+                        double localMax = slotMax[static_cast<std::size_t>(slot)];
+                        for (std::int64_t i = lo; i < hi; ++i) {
+                          const auto idx = static_cast<std::size_t>(i);
+                          OMT_CHECK(points[idx].dim() == d,
+                                    "mixed dimensions in point set");
+                          polar[idx] = toPolar(points[idx], origin);
+                          localMax = std::max(localMax, polar[idx].radius);
+                        }
+                        slotMax[static_cast<std::size_t>(slot)] = localMax;
+                      });
+  }
   polarSpan.end();
   double maxRadius = 0.0;
   for (const double m : slotMax) maxRadius = std::max(maxRadius, m);
@@ -142,24 +181,58 @@ GridAssignment assignToGrid(std::span<const Point> points, NodeId source,
 
   // Pass 2 (parallel): classify every point at the largest candidate k and
   // mark cell occupancy. The bitmap only ever receives 1s, so relaxed
-  // atomic stores keep it race-free and order-independent.
+  // atomic stores keep it race-free and order-independent. The batched
+  // kernel classifies straight off the SoA lanes with the grid constants
+  // hoisted into a ClassifyTable (no per-point log2/exp2 or modulo).
   const int kMax = candidateRings(n, options.maxRings);
   const PolarGrid gridMax(d, kMax, outerRadius);
-  std::vector<std::int32_t> ringMax(points.size());
-  std::vector<std::uint64_t> cellMax(points.size());
-  std::vector<std::uint8_t> occMax(gridMax.heapIdCount(), 0);
+  std::span<std::int32_t> ringMax = arena.alloc<std::int32_t>(un);
+  std::span<std::uint64_t> cellMax = arena.alloc<std::uint64_t>(un);
+  std::span<std::uint8_t> occMax =
+      arena.alloc<std::uint8_t>(gridMax.heapIdCount());
+  std::memset(occMax.data(), 0, occMax.size());
   obs::TraceSpan classifySpan("classification", "grid", span.id());
-  parallelFor(0, n, workers, [&](std::int64_t i) {
-    const auto idx = static_cast<std::size_t>(i);
-    const int ring = gridMax.ringOf(std::min(polar[idx].radius, outerRadius));
-    ringMax[idx] = ring;
-    cellMax[idx] = gridMax.cellOf(polar[idx], ring);
-    std::atomic_ref<std::uint8_t>(
-        occMax[static_cast<std::size_t>(gridMax.heapId(ring, cellMax[idx]))])
-        .store(1, std::memory_order_relaxed);
-  });
+  if (useKernels) {
+    std::array<double, PolarGrid::kMaxRings + 1> radii{};
+    for (int i = 0; i <= kMax; ++i)
+      radii[static_cast<std::size_t>(i)] = gridMax.ringRadius(i);
+    const kernels::ClassifyTable classifyTable = kernels::makeClassifyTable(
+        d, kMax, outerRadius,
+        std::span<const double>(radii.data(),
+                                static_cast<std::size_t>(kMax) + 1));
+    parallelForChunks(
+        0, n, workers, [&](std::int64_t lo, std::int64_t hi, int) {
+          const auto ulo = static_cast<std::size_t>(lo);
+          const auto len = static_cast<std::size_t>(hi - lo);
+          kernels::PolarLanes slice;
+          slice.radius = lanes.radius.subspan(ulo, len);
+          for (int j = 0; j < d - 1; ++j) {
+            slice.cube[static_cast<std::size_t>(j)] =
+                lanes.cube[static_cast<std::size_t>(j)].subspan(ulo, len);
+          }
+          kernels::ringCellBatch(classifyTable, slice.radius, slice,
+                                 ringMax.subspan(ulo, len),
+                                 cellMax.subspan(ulo, len));
+          for (std::size_t i = ulo; i < ulo + len; ++i) {
+            const std::uint64_t h =
+                gridMax.heapId(ringMax[i], cellMax[i]);
+            std::atomic_ref<std::uint8_t>(occMax[static_cast<std::size_t>(h)])
+                .store(1, std::memory_order_relaxed);
+          }
+        });
+  } else {
+    parallelFor(0, n, workers, [&](std::int64_t i) {
+      const auto idx = static_cast<std::size_t>(i);
+      const int ring = gridMax.ringOf(std::min(polar[idx].radius, outerRadius));
+      ringMax[idx] = ring;
+      cellMax[idx] = gridMax.cellOf(polar[idx], ring);
+      std::atomic_ref<std::uint8_t>(
+          occMax[static_cast<std::size_t>(gridMax.heapId(ring, cellMax[idx]))])
+          .store(1, std::memory_order_relaxed);
+    });
+  }
 
-  const int chosen = selectRings(std::move(occMax), kMax);
+  const int chosen = selectRings(occMax, kMax);
   classifySpan.end();
   gridMetrics().rings.set(static_cast<double>(chosen));
 
@@ -204,8 +277,8 @@ GridAssignment assignToGrid(std::span<const Point> points, NodeId source,
   gridMetrics().occupiedCells.set(static_cast<double>(occupied));
 
   out.cellMembers.resize(points.size());
-  std::vector<std::int64_t> cursor(out.cellStart.begin(),
-                                   out.cellStart.end() - 1);
+  std::span<std::int64_t> cursor = arena.alloc<std::int64_t>(heapIds);
+  std::copy(out.cellStart.begin(), out.cellStart.end() - 1, cursor.begin());
   parallelFor(0, n, workers, [&](std::int64_t i) {
     const auto idx = static_cast<std::size_t>(i);
     const std::uint64_t h =

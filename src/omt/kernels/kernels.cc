@@ -1,0 +1,26 @@
+#include "omt/kernels/kernels.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace omt::kernels {
+namespace {
+
+std::atomic<bool>& enabledFlag() {
+  static std::atomic<bool> flag = [] {
+    const char* env = std::getenv("OMT_KERNEL_TABLES");
+    return !(env != nullptr && std::strcmp(env, "0") == 0);
+  }();
+  return flag;
+}
+
+}  // namespace
+
+bool enabled() { return enabledFlag().load(std::memory_order_relaxed); }
+
+bool setEnabled(bool on) {
+  return enabledFlag().exchange(on, std::memory_order_relaxed);
+}
+
+}  // namespace omt::kernels

@@ -1,0 +1,36 @@
+// Batched coordinate-kernel layer: runtime toggle and shared metrics.
+//
+// The kernels subsystem makes the point -> cell pipeline a batched,
+// cache-friendly kernel instead of per-point scalar calls:
+//   * sin_power_table.h — table-seeded sin^k quantile inversion (the
+//     per-point Newton solve drops from a cold full-range start to ~2-3
+//     steps inside a precomputed bracket);
+//   * polar_batch.h — SoA batch transforms (polarOfPointsBatch,
+//     ringCellBatch, angularCubeBatch) over contiguous per-dimension lanes.
+//
+// Everything here is an implementation strategy, not a semantic change:
+// every kernel returns doubles bitwise identical to the scalar geometry /
+// grid path it replaces (the tables store the exact doubles the cold path
+// computes, and the batch loops replay the scalar operation sequences), so
+// the pinned golden tree fingerprints and the byte-identical determinism
+// contract hold with the kernels on or off. kernels_test.cc and the
+// extended core_polar_grid_parallel_test goldens enforce this.
+//
+// The layer is on by default; OMT_KERNEL_TABLES=0 in the environment (or
+// setEnabled(false)) forces every call site back onto the legacy scalar
+// path — the escape hatch for A/B timing and for bisecting any future
+// divergence.
+#pragma once
+
+namespace omt::kernels {
+
+/// Whether call sites should take the batched kernel path. Initialised
+/// from the environment on first use: OMT_KERNEL_TABLES=0 disables, any
+/// other value (or absence) enables.
+bool enabled();
+
+/// Override the kernel toggle at runtime (tests, A/B benches). Returns the
+/// previous value.
+bool setEnabled(bool on);
+
+}  // namespace omt::kernels

@@ -1,0 +1,253 @@
+#include "omt/kernels/polar_batch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "omt/common/error.h"
+#include "omt/geometry/sin_power_integral.h"
+#include "omt/kernels/sin_power_table.h"
+#include "omt/obs/metrics.h"
+
+namespace omt::kernels {
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+obs::Counter& batchPointsCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::global().counter(
+      "omt_kernel_batch_points_total");
+  return counter;
+}
+
+void checkLanes(const PolarLanes& lanes, int dim, std::size_t n) {
+  OMT_CHECK(lanes.radius.size() == n, "radius lane size mismatch");
+  for (int j = 0; j < dim - 1; ++j) {
+    OMT_CHECK(lanes.cube[static_cast<std::size_t>(j)].size() == n,
+              "cube lane size mismatch");
+  }
+}
+
+}  // namespace
+
+double polarOfPointsBatch(std::span<const Point> points, const Point& origin,
+                          const PolarLanes& lanes,
+                          std::span<PolarCoords> aosOut) {
+  const int d = origin.dim();
+  OMT_CHECK(d >= 2 && d <= kMaxDim, "polar coordinates require dimension >= 2");
+  const std::size_t n = points.size();
+  checkLanes(lanes, d, n);
+  OMT_CHECK(aosOut.empty() || aosOut.size() == n,
+            "AoS output size mismatch");
+  batchPointsCounter().add(static_cast<std::int64_t>(n));
+
+  const double* o = origin.coords().data();
+  double maxRadius = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point& p = points[i];
+    OMT_CHECK(p.dim() == d, "dimension mismatch");
+    const double* pc = p.coords().data();
+
+    // Mirrors toPolar exactly: difference, front-to-back norm accumulation,
+    // back-to-front suffix norms, atan2 angles through the sin^k CDFs.
+    double v[kMaxDim];
+    for (int j = 0; j < d; ++j) v[j] = pc[j] - o[j];
+    double acc = 0.0;
+    for (int j = 0; j < d; ++j) acc += v[j] * v[j];
+    const double radius = std::sqrt(acc);
+    lanes.radius[i] = radius;
+    maxRadius = std::max(maxRadius, radius);
+
+    double cube[kMaxDim - 1] = {};  // all-zero cube when radius == 0
+    if (radius > 0.0) {
+      double suffix[kMaxDim];
+      double sacc = 0.0;
+      for (int j = d - 1; j >= 0; --j) {
+        sacc += v[j] * v[j];
+        suffix[j] = std::sqrt(sacc);
+      }
+      for (int j = 0; j < d - 2; ++j) {
+        const double theta = std::atan2(suffix[j + 1], v[j]);
+        cube[j] = sinPowerCdf(d - 2 - j, theta);
+      }
+      double phi = std::atan2(v[d - 1], v[d - 2]);
+      if (phi < 0.0) phi += kTwoPi;
+      cube[d - 2] = phi / kTwoPi;
+    }
+    for (int j = 0; j < d - 1; ++j)
+      lanes.cube[static_cast<std::size_t>(j)][i] = cube[j];
+    if (!aosOut.empty()) {
+      PolarCoords& out = aosOut[i];
+      out.radius = radius;
+      out.dim = d;
+      for (int j = 0; j < d - 1; ++j)
+        out.cube[static_cast<std::size_t>(j)] = cube[j];
+      for (int j = d - 1; j < kMaxDim - 1; ++j)
+        out.cube[static_cast<std::size_t>(j)] = 0.0;
+    }
+  }
+  return maxRadius;
+}
+
+ClassifyTable makeClassifyTable(int dim, int rings, double outerRadius,
+                                std::span<const double> ringRadii) {
+  OMT_CHECK(dim >= 2 && dim <= kMaxDim, "grid dimension out of range");
+  OMT_CHECK(rings >= 1 && rings <= 40, "ring count out of range");
+  OMT_CHECK(outerRadius > 0.0, "outer radius must be positive");
+  OMT_CHECK(ringRadii.size() == static_cast<std::size_t>(rings) + 1,
+            "one boundary radius per ring required");
+  ClassifyTable table;
+  table.dim = dim;
+  table.rings = rings;
+  table.outerRadius = outerRadius;
+  for (int i = 0; i <= rings; ++i) {
+    table.ringRadius[static_cast<std::size_t>(i)] =
+        ringRadii[static_cast<std::size_t>(i)];
+    // 2^i as a double is exact for i <= 40.
+    table.pow2[static_cast<std::size_t>(i)] =
+        static_cast<double>(std::uint64_t{1} << i);
+  }
+  const int axes = dim - 1;
+  for (int ring = 0; ring <= rings; ++ring) {
+    for (int axis = 0; axis < axes; ++axis) {
+      // Splits s = 0..ring-1 cycle through the axes; axis a is hit by
+      // s = a, a + axes, a + 2*axes, ...
+      table.splits[static_cast<std::size_t>(ring)]
+                  [static_cast<std::size_t>(axis)] =
+          static_cast<std::uint8_t>(
+              ring > axis ? (ring - 1 - axis) / axes + 1 : 0);
+    }
+  }
+  return table;
+}
+
+void ringCellBatch(const ClassifyTable& table, std::span<const double> radius,
+                   const PolarLanes& lanes, std::span<std::int32_t> ringOut,
+                   std::span<std::uint64_t> cellOut) {
+  const std::size_t n = radius.size();
+  const int rings = table.rings;
+  const int axes = table.dim - 1;
+  checkLanes(lanes, table.dim, n);
+  OMT_CHECK(ringOut.size() == n && cellOut.size() == n,
+            "classification output size mismatch");
+  const double* boundary = table.ringRadius.data();
+
+  if (axes == 1) {
+    // d = 2 fast path: every split lands on the single (azimuth) axis, so
+    // the cell address is just the first `ring` binary digits of u.
+    const double* u0 = lanes.cube[0].data();
+    for (std::size_t i = 0; i < n; ++i) {
+      const double r = std::min(radius[i], table.outerRadius);
+      // Descending scan = the canonical "smallest i with r <= r_i" index
+      // (identical to PolarGrid::ringOf); uniform-in-volume point sets put
+      // half the points in the outermost shell, so it ends in ~2 steps.
+      int ring = rings;
+      while (ring > 0 && r <= boundary[ring - 1]) --ring;
+      const double scaled = u0[i] * table.pow2[static_cast<std::size_t>(ring)];
+      const std::uint64_t cap = (std::uint64_t{1} << ring) - 1;
+      const auto digits = static_cast<std::uint64_t>(scaled);
+      ringOut[i] = ring;
+      cellOut[i] = digits > cap ? cap : digits;
+    }
+    return;
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const double r = std::min(radius[i], table.outerRadius);
+    int ring = rings;
+    while (ring > 0 && r <= boundary[ring - 1]) --ring;
+    std::uint64_t cell = 0;
+    if (ring > 0) {
+      // Per-axis digit extraction: the scalar digit loop's doubling and
+      // f - 1 steps are exact, so its bit sequence for axis a equals
+      // floor(u_a * 2^n_a) (clamped to all-ones at u == 1). Extract every
+      // axis's digits with one multiply, then interleave in split order.
+      std::uint64_t bits[kMaxDim - 1];
+      int rem[kMaxDim - 1];
+      const auto& splits = table.splits[static_cast<std::size_t>(ring)];
+      for (int a = 0; a < axes; ++a) {
+        const int na = splits[static_cast<std::size_t>(a)];
+        rem[a] = na;
+        if (na == 0) {
+          bits[a] = 0;
+          continue;
+        }
+        const double scaled = lanes.cube[static_cast<std::size_t>(a)][i] *
+                              table.pow2[static_cast<std::size_t>(na)];
+        const std::uint64_t cap = (std::uint64_t{1} << na) - 1;
+        const auto digits = static_cast<std::uint64_t>(scaled);
+        bits[a] = digits > cap ? cap : digits;
+      }
+      int a = 0;
+      for (int s = 0; s < ring; ++s) {
+        cell = (cell << 1) | ((bits[a] >> --rem[a]) & 1);
+        if (++a == axes) a = 0;
+      }
+    }
+    ringOut[i] = ring;
+    cellOut[i] = cell;
+  }
+}
+
+void angularCubeBatch(int dim, const Point& origin,
+                      std::span<const double> radius, const PolarLanes& cube,
+                      std::span<Point> out) {
+  OMT_CHECK(origin.dim() == dim, "dimension mismatch");
+  OMT_CHECK(dim >= 2 && dim <= kMaxDim, "dimension out of range");
+  const std::size_t n = radius.size();
+  OMT_CHECK(out.size() == n, "output size mismatch");
+  for (int j = 0; j < dim - 1; ++j) {
+    OMT_CHECK(cube.cube[static_cast<std::size_t>(j)].size() == n,
+              "cube lane size mismatch");
+  }
+  const double* o = origin.coords().data();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (radius[i] == 0.0) {
+      out[i] = origin;
+      continue;
+    }
+    // Mirrors directionFromCube + fromPolar: quantile cascade, azimuth,
+    // then per-coordinate origin + radius * direction.
+    double u[kMaxDim];
+    double sinProduct = 1.0;
+    for (int j = 0; j < dim - 2; ++j) {
+      const double theta = sinPowerQuantileTabled(
+          dim - 2 - j, cube.cube[static_cast<std::size_t>(j)][i]);
+      u[j] = sinProduct * std::cos(theta);
+      sinProduct *= std::sin(theta);
+    }
+    const double phi =
+        kTwoPi * cube.cube[static_cast<std::size_t>(dim - 2)][i];
+    u[dim - 2] = sinProduct * std::cos(phi);
+    u[dim - 1] = sinProduct * std::sin(phi);
+    double coords[kMaxDim];
+    for (int j = 0; j < dim; ++j) coords[j] = o[j] + radius[i] * u[j];
+    out[i] = Point(std::span<const double>(coords,
+                                           static_cast<std::size_t>(dim)));
+  }
+}
+
+Point directionFromCubeTabled(const std::array<double, kMaxDim - 1>& cube,
+                              int dim) {
+  OMT_CHECK(dim >= 2 && dim <= kMaxDim, "dimension out of range");
+  Point u(dim);
+  double sinProduct = 1.0;
+  for (int j = 0; j < dim - 2; ++j) {
+    const double theta =
+        sinPowerQuantileTabled(dim - 2 - j, cube[static_cast<std::size_t>(j)]);
+    u[j] = sinProduct * std::cos(theta);
+    sinProduct *= std::sin(theta);
+  }
+  const double phi = kTwoPi * cube[static_cast<std::size_t>(dim - 2)];
+  u[dim - 2] = sinProduct * std::cos(phi);
+  u[dim - 1] = sinProduct * std::sin(phi);
+  return u;
+}
+
+Point fromPolarTabled(const PolarCoords& polar, const Point& origin) {
+  OMT_CHECK(polar.dim == origin.dim(), "dimension mismatch");
+  if (polar.radius == 0.0) return origin;
+  return origin + polar.radius * directionFromCubeTabled(polar.cube, polar.dim);
+}
+
+}  // namespace omt::kernels

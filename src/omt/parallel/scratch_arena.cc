@@ -1,0 +1,95 @@
+#include "omt/parallel/scratch_arena.h"
+
+#include <algorithm>
+
+#include "omt/common/error.h"
+
+namespace omt {
+namespace {
+
+/// First block size; small enough that idle worker threads cost little,
+/// large enough that toy builds never grow.
+constexpr std::size_t kMinBlockBytes = std::size_t{64} * 1024;
+
+std::size_t alignUp(std::size_t value, std::size_t align) {
+  return (value + align - 1) & ~(align - 1);
+}
+
+}  // namespace
+
+// Invariant: offset_ is always a multiple of kAlignment past the current
+// block's aligned base (start), and every request is rounded up to a
+// multiple of kAlignment, so returned pointers are kAlignment-aligned
+// without per-allocation re-alignment.
+void* ScratchArena::allocBytes(std::size_t bytes, std::size_t align) {
+  OMT_ASSERT(align <= kAlignment, "over-aligned arena allocation");
+  bytes = alignUp(bytes, kAlignment);
+  // Advance past blocks that cannot fit the request. Their remainders are
+  // wasted until the scope unwinds, but consolidation makes multi-block
+  // states transient, so the waste is bounded to the warm-up build.
+  while (currentBlock_ < blocks_.size()) {
+    Block& block = blocks_[currentBlock_];
+    if (offset_ + bytes <= block.size) {
+      void* p = block.data.get() + offset_;
+      offset_ += bytes;
+      highWater_ = std::max(highWater_, block.prefix + offset_);
+      return p;
+    }
+    ++currentBlock_;
+    if (currentBlock_ < blocks_.size())
+      offset_ = blocks_[currentBlock_].start;
+  }
+  // Map a fresh block: geometric growth keeps the block count logarithmic
+  // in the final footprint.
+  const std::size_t prev = blocks_.empty() ? 0 : blocks_.back().size;
+  const std::size_t size =
+      std::max({kMinBlockBytes, prev * 2, bytes + kAlignment});
+  Block block;
+  block.data = std::make_unique<std::byte[]>(size);
+  block.size = size;
+  block.prefix = capacity_;
+  const auto raw = reinterpret_cast<std::size_t>(block.data.get());
+  block.start = alignUp(raw, kAlignment) - raw;
+  capacity_ += size;
+  ++growCount_;
+  blocks_.push_back(std::move(block));
+  currentBlock_ = blocks_.size() - 1;
+  offset_ = blocks_.back().start;
+  void* p = blocks_.back().data.get() + offset_;
+  offset_ += bytes;
+  highWater_ = std::max(highWater_, blocks_.back().prefix + offset_);
+  return p;
+}
+
+void ScratchArena::consolidate() {
+  if (blocks_.size() <= 1) return;
+  OMT_ASSERT(scopeDepth_ == 0, "consolidating a live arena");
+  const std::size_t size =
+      alignUp(std::max(capacity_, highWater_), kAlignment) + kAlignment;
+  blocks_.clear();
+  Block block;
+  block.data = std::make_unique<std::byte[]>(size);
+  block.size = size;
+  block.prefix = 0;
+  const auto raw = reinterpret_cast<std::size_t>(block.data.get());
+  block.start = alignUp(raw, kAlignment) - raw;
+  blocks_.push_back(std::move(block));
+  capacity_ = size;
+  currentBlock_ = 0;
+  offset_ = blocks_.front().start;
+}
+
+void ScratchArena::release() {
+  OMT_CHECK(scopeDepth_ == 0, "releasing a live arena");
+  blocks_.clear();
+  currentBlock_ = 0;
+  offset_ = 0;
+  capacity_ = 0;
+}
+
+ScratchArena& workerArena() {
+  thread_local ScratchArena arena;
+  return arena;
+}
+
+}  // namespace omt

@@ -1,0 +1,125 @@
+// Per-thread bump arena for transient build intermediates.
+//
+// The batched kernel pipeline (omt/kernels) carves its SoA lanes, per-chunk
+// gather buffers, and CSR cursors out of one of these instead of allocating
+// fresh vectors on every build, so repeated constructions (churn benches,
+// the chaos runner, anti-entropy re-grids) stop paying malloc/page-fault
+// churn: after the first build the arena holds its high-water footprint and
+// every later build is pure pointer bumps.
+//
+// Memory is organised as a list of geometrically growing blocks, so a span
+// handed out earlier in a scope is never invalidated by later growth (a
+// resize would dangle it; a new block does not). When the outermost Scope
+// unwinds and more than one block exists, the blocks are consolidated into
+// a single contiguous one of the combined size — the steady state is one
+// block and zero allocations per build.
+//
+// Usage:
+//   ScratchArena& arena = workerArena();      // this thread's arena
+//   ScratchArena::Scope scope(arena);         // RAII: frees on exit
+//   std::span<double> lane = arena.alloc<double>(n);
+//
+// Scopes nest (a build-level scope on the caller thread, chunk-level scopes
+// on workers); each restores the arena to where it found it. Spans are
+// valid until their enclosing scope exits. Contents are uninitialised.
+// Not thread-safe: an arena belongs to exactly one thread, which is what
+// workerArena() (a thread_local) enforces by construction.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace omt {
+
+class ScratchArena {
+ public:
+  /// Every allocation is aligned to this many bytes (cache line; also
+  /// satisfies std::atomic_ref alignment for any lane element type).
+  static constexpr std::size_t kAlignment = 64;
+
+  ScratchArena() = default;
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+  /// Uninitialised span of n elements of trivially-destructible T.
+  template <typename T>
+  std::span<T> alloc(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is never destructed");
+    if (n == 0) return {};
+    void* p = allocBytes(n * sizeof(T), alignof(T));
+    return {static_cast<T*>(p), n};
+  }
+
+  /// RAII allocation scope; restores the arena on destruction.
+  class Scope {
+   public:
+    explicit Scope(ScratchArena& arena)
+        : arena_(&arena),
+          savedBlock_(arena.currentBlock_),
+          savedOffset_(arena.offset_),
+          savedDepth_(arena.scopeDepth_++) {}
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    ~Scope() {
+      arena_->scopeDepth_ = savedDepth_;
+      arena_->currentBlock_ = savedBlock_;
+      arena_->offset_ = savedOffset_;
+      // A scope opened on a then-empty arena saved offset 0; blocks mapped
+      // since then have an aligned base the offset must not fall below.
+      if (savedBlock_ < arena_->blocks_.size()) {
+        arena_->offset_ =
+            std::max(savedOffset_, arena_->blocks_[savedBlock_].start);
+      }
+      if (savedDepth_ == 0) arena_->consolidate();
+    }
+
+   private:
+    ScratchArena* arena_;
+    std::size_t savedBlock_;
+    std::size_t savedOffset_;
+    int savedDepth_;
+  };
+
+  /// Total backing capacity across all blocks.
+  std::size_t capacityBytes() const { return capacity_; }
+  /// Largest simultaneous footprint ever handed out.
+  std::size_t highWaterBytes() const { return highWater_; }
+  /// Times a fresh block had to be mapped (steady state: stops growing).
+  std::int64_t growCount() const { return growCount_; }
+  /// Free all backing memory (only valid outside any Scope).
+  void release();
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+    /// Bytes in all earlier blocks (so in-use = prefix + offset_).
+    std::size_t prefix = 0;
+    /// Padding to the first kAlignment-aligned byte of `data`.
+    std::size_t start = 0;
+  };
+
+  void* allocBytes(std::size_t bytes, std::size_t align);
+  void consolidate();
+
+  std::vector<Block> blocks_;
+  std::size_t currentBlock_ = 0;
+  std::size_t offset_ = 0;
+  std::size_t capacity_ = 0;
+  std::size_t highWater_ = 0;
+  std::int64_t growCount_ = 0;
+  int scopeDepth_ = 0;
+};
+
+/// The calling thread's arena (thread-local, lazily created). Thread-pool
+/// workers and the caller thread each get their own, so chunk kernels can
+/// take scratch without synchronisation.
+ScratchArena& workerArena();
+
+}  // namespace omt

@@ -127,5 +127,71 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(0, 1, 2, 4, 6),
                        ::testing::Values(0.05, 0.2, 0.5, 0.8, 0.95)));
 
+/// Angle-domain tolerance for inverting I_k at angle t: the forward
+/// integral's own rounding noise caps what any inverse can recover. Below
+/// the series cut the value carries full *relative* precision, so the
+/// round trip is relatively tight. Elsewhere the recurrence (and, near pi,
+/// the representation of I itself) leaves ~a few ulp of absolute noise,
+/// which maps to an angle error of noise / I'(t) = noise / sin^k(t) —
+/// enormous where sin^k is pinched (small t with large k, or t near pi),
+/// tight in the bulk where all the probability mass lives.
+double roundTripTolerance(int k, double t) {
+  if (t <= 1e-4) return 1e-11 * t + 1e-15;
+  const double deriv = std::pow(std::sin(t), k);
+  return std::min(kPi, 1e-13 + 2e-15 / std::max(deriv, 1e-300));
+}
+
+class SinPowerIntegralInverseRoundTrip : public ::testing::TestWithParam<int> {
+};
+
+TEST_P(SinPowerIntegralInverseRoundTrip, InverseRecoversAngle) {
+  const int k = GetParam();
+  const double total = sinPowerTotal(k);
+  // Angles across [0, pi] with heavy sampling of both endpoint regions,
+  // down to within 1e-12 of 0 and pi — where the pre-table cold-start
+  // Newton used to lose every digit.
+  const double fractions[] = {0.0,    1e-12, 1e-9,  1e-6,  1e-4,  1e-3,
+                              0.01,   0.1,   0.25,  0.5,   0.75,  0.9,
+                              0.99,   0.999, 1.0 - 1e-4, 1.0 - 1e-6,
+                              1.0 - 1e-9, 1.0 - 1e-12, 1.0};
+  for (const double frac : fractions) {
+    const double t = kPi * frac;
+    const double value = sinPowerIntegral(k, t);
+    const double back = sinPowerIntegralInverse(k, value);
+    EXPECT_NEAR(back, t, roundTripTolerance(k, t))
+        << "k=" << k << " frac=" << frac;
+    // Value-domain check: the recovered angle reproduces the integral to
+    // ~10 ulp of the total (Newton's 1e-15 angle tolerance times the
+    // density, plus forward-evaluation rounding) even where the angle
+    // itself is pinched.
+    EXPECT_NEAR(sinPowerIntegral(k, back), value, 1e-14 * total)
+        << "k=" << k << " frac=" << frac;
+  }
+}
+
+TEST_P(SinPowerIntegralInverseRoundTrip, HandlesEndpointTargets) {
+  const int k = GetParam();
+  const double total = sinPowerTotal(k);
+  EXPECT_DOUBLE_EQ(sinPowerIntegralInverse(k, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(sinPowerIntegralInverse(k, total), kPi);
+  // Values within 1e-12 (relative) of both endpoints stay inverted in the
+  // correct tail, and mild out-of-range rounding noise is clamped, not
+  // rejected.
+  const double tiny = 1e-12 * total;
+  const double low = sinPowerIntegralInverse(k, tiny);
+  EXPECT_GT(low, 0.0);
+  EXPECT_NEAR(sinPowerIntegral(k, low), tiny, 4e-16 * total);
+  const double high = sinPowerIntegralInverse(k, total - tiny);
+  EXPECT_LT(high, kPi);
+  EXPECT_NEAR(sinPowerIntegral(k, high), total - tiny, 4e-16 * total);
+  EXPECT_DOUBLE_EQ(sinPowerIntegralInverse(k, -1e-13 * total), 0.0);
+  EXPECT_DOUBLE_EQ(sinPowerIntegralInverse(k, total * (1.0 + 1e-13)), kPi);
+  EXPECT_THROW(sinPowerIntegralInverse(k, -0.1), InvalidArgument);
+  EXPECT_THROW(sinPowerIntegralInverse(k, total * 1.1), InvalidArgument);
+}
+
+INSTANTIATE_TEST_SUITE_P(Powers, SinPowerIntegralInverseRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7));
+
 }  // namespace
 }  // namespace omt
