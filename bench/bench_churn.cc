@@ -1,24 +1,165 @@
-// Extension bench: tree quality under sustained churn. Poisson arrivals
-// with exponential or heavy-tailed (Pareto) lifetimes replayed through the
-// online session at several churn intensities. Shape to check: the sampled
-// radius/lower-bound ratio stays bounded (no quality collapse) across
-// intensities and tail shapes, and control cost per operation stays flat.
+// Extension bench: tree quality under sustained churn.
+//
+// Default mode — Poisson arrivals with exponential or heavy-tailed
+// (Pareto) lifetimes replayed through the online session at several churn
+// intensities. Shape to check: the sampled radius/lower-bound ratio stays
+// bounded (no quality collapse) across intensities and tail shapes, and
+// control cost per operation stays flat. The Contacts/op denominator
+// counts every operation the protocol actually performed: joins, leaves,
+// crashes, AND the orphan re-homings done by detectAndRepair() sweeps
+// (repairs used to be omitted, understating cost under high crash
+// fractions).
+//
+// --steady-state — the sustained-load mode (ISSUE 6): sharded incremental
+// sessions held at a stationary population under join/leave/crash churn
+// with the radius watchdog in the loop, auditing invariants every sweep.
+// Emits BENCH_churn.json with per-sweep radius-drift and per-event
+// tail-latency curves, prints aggregate events/s, and exits non-zero when
+// the invariant verdict, the escalation-monotonicity verdict, the ratio
+// bound (vs. a fresh static build), or --min-events-per-sec fails.
 #include "common.h"
+#include "omt/fault/steady_churn.h"
 #include "omt/protocol/churn.h"
 
-int main(int argc, char** argv) {
-  using namespace omt;
-  using namespace omt::bench;
-  const Args args = parseArgs(argc, argv);
+namespace {
+
+using namespace omt;
+using namespace omt::bench;
+
+int runSteadyState(const Args& args) {
+  const int shards =
+      args.shards.value_or(0) > 0 ? *args.shards : resolveWorkers(0);
+  const std::int64_t totalEvents =
+      args.events.value_or(args.full ? 2000000 : 400000);
+  const std::int64_t eventsPerShard =
+      std::max<std::int64_t>(1, totalEvents / shards);
+
+  // Quality yardstick: what a fresh static Polar_Grid build achieves on a
+  // same-scale membership (source at the center, same sampler family).
+  SteadyChurnOptions base;
+  base.warmupHosts = 1024;
+  base.sweepEvery = 512;
+  base.crashFraction = 0.25;
+  base.events = eventsPerShard;
+  Rng baselineRng(deriveSeed(args.seed, 0xbabe));
+  const std::vector<Point> baselinePoints = sampleDiskWithCenterSource(
+      baselineRng, base.warmupHosts, base.dim);
+  const double staticRatio =
+      staticRadiusRatio(baselinePoints, 0, base.session.maxOutDegree);
+
+  std::cout << "Steady-state churn: " << shards << " shards x "
+            << eventsPerShard << " events (warmup " << base.warmupHosts
+            << ", sweep every " << base.sweepEvery << ", static R/LB "
+            << staticRatio << ")\n\n";
+
+  std::vector<SteadyChurnResult> results(static_cast<std::size_t>(shards));
+  Stopwatch watch;
+  parallelFor(0, shards, shards, [&](std::int64_t shard) {
+    SteadyChurnOptions options = base;
+    options.seed = deriveSeed(args.seed, static_cast<std::uint64_t>(shard));
+    options.baselineRatio = staticRatio;
+    results[static_cast<std::size_t>(shard)] = runSteadyChurn(options);
+  });
+  const double elapsed = watch.seconds();
+
+  BenchJsonWriter json(benchOutputPath("BENCH_churn.json"), "churn_steady");
+  std::int64_t events = 0;
+  std::int64_t parkedJoins = 0;
+  std::int64_t unrepaired = 0;
+  double maxRatio = 0.0;
+  double maxP99 = 0.0;
+  RunningStats ratio;
+  bool ok = true;
+  bool monotone = true;
+  for (int shard = 0; shard < shards; ++shard) {
+    const SteadyChurnResult& r = results[static_cast<std::size_t>(shard)];
+    events += r.events;
+    parkedJoins += r.parkedJoins;
+    unrepaired += r.unrepairedOrphans;
+    maxRatio = std::max(maxRatio, r.maxRatio);
+    ratio.merge(r.radiusRatio);
+    ok = ok && r.ok;
+    monotone = monotone && r.escalationMonotone;
+    if (!r.ok) {
+      std::cerr << "shard " << shard << " invariant violation: "
+                << r.firstViolation << "\n";
+    }
+    for (const SteadySweepSample& s : r.sweepLog) {
+      maxP99 = std::max(maxP99, s.p99Latency);
+      json.beginRow();
+      json.field("shard", static_cast<std::int64_t>(shard));
+      json.field("events_done", s.eventsDone);
+      json.field("live", s.liveCount);
+      json.field("radius_ratio", s.radiusRatio);
+      json.field("max_skew", s.maxSkew);
+      json.field("p50_latency_us", s.p50Latency * 1e6);
+      json.field("p99_latency_us", s.p99Latency * 1e6);
+      json.field("max_latency_us", s.maxLatency * 1e6);
+      json.field("mode", std::string(toString(s.mode)));
+      json.field("action", std::string(toString(s.action)));
+      json.endRow();
+    }
+  }
+  const double eventsPerSec =
+      elapsed > 0.0 ? static_cast<double>(events) / elapsed : 0.0;
+  // Bound asserted by the gate: the worst sampled post-sweep ratio stays
+  // within a constant factor of the static build (floored so a tiny
+  // static ratio cannot make small-population noise fail the gate).
+  const double ratioBound = std::max(4.0 * staticRatio, 8.0);
+  const bool ratioOk = maxRatio <= ratioBound;
+  json.topLevel("shards", static_cast<double>(shards));
+  json.topLevel("events", static_cast<double>(events));
+  json.topLevel("elapsed_seconds", elapsed);
+  json.topLevel("events_per_second", eventsPerSec);
+  json.topLevel("parked_joins", static_cast<double>(parkedJoins));
+  json.topLevel("static_radius_ratio", staticRatio);
+  json.topLevel("mean_radius_ratio", ratio.count() > 0 ? ratio.mean() : 0.0);
+  json.topLevel("max_radius_ratio", maxRatio);
+  json.topLevel("radius_ratio_bound", ratioBound);
+  json.topLevel("max_p99_latency_us", maxP99 * 1e6);
+  json.topLevel("invariants_ok", ok ? 1.0 : 0.0);
+  json.topLevel("escalation_monotone", monotone ? 1.0 : 0.0);
+  json.topLevel("unrepaired_orphans", static_cast<double>(unrepaired));
+  json.close();
+  maybeWriteMetricsSnapshot(benchOutputPath("BENCH_churn_metrics.json"));
+
+  std::cout << "events            " << events << "\n"
+            << "elapsed           " << elapsed << " s\n"
+            << "events/s          " << eventsPerSec << "\n"
+            << "parked joins      " << parkedJoins << "\n"
+            << "R/LB mean         " << (ratio.count() > 0 ? ratio.mean() : 0.0)
+            << "\n"
+            << "R/LB max          " << maxRatio << "  (bound " << ratioBound
+            << ", static " << staticRatio << ")\n"
+            << "p99 latency       " << maxP99 * 1e6 << " us (worst window)\n"
+            << "invariants        " << (ok ? "ok" : "VIOLATED") << "\n"
+            << "escalation        " << (monotone ? "monotone" : "NON-MONOTONE")
+            << "\n"
+            << "unrepaired        " << unrepaired << "\n";
+
+  bool pass = ok && monotone && ratioOk && unrepaired == 0;
+  if (args.minEventsPerSec > 0.0 && eventsPerSec < args.minEventsPerSec) {
+    std::cerr << "FAIL: " << eventsPerSec << " events/s below the required "
+              << args.minEventsPerSec << "\n";
+    pass = false;
+  }
+  if (!ratioOk) {
+    std::cerr << "FAIL: max R/LB " << maxRatio << " exceeds the bound "
+              << ratioBound << "\n";
+  }
+  return pass ? 0 : 1;
+}
+
+int runReplayTable(const Args& args) {
   const double duration = args.full ? 120.0 : 40.0;
 
   std::cout << "Churn replay through the online session (out-degree 6)\n\n";
   TextTable table({"Arrivals/s", "Lifetime", "Tail", "PeakLive", "Joins",
-                   "Leaves", "Crashes", "R/LB mean", "R/LB max",
+                   "Leaves", "Crashes", "Repairs", "R/LB mean", "R/LB max",
                    "Contacts/op"});
   auto csv = openCsv(args, {"rate", "lifetime", "tail", "peak", "joins",
-                            "leaves", "crashes", "ratio_mean", "ratio_max",
-                            "contacts_per_op"});
+                            "leaves", "crashes", "repairs", "ratio_mean",
+                            "ratio_max", "contacts_per_op"});
 
   for (const double rate : {20.0, 80.0, 320.0}) {
     for (const double shape : {0.0, 1.5}) {
@@ -33,13 +174,17 @@ int main(int argc, char** argv) {
       const auto trace = generateChurnTrace(options);
       const ChurnReplayResult result =
           replayChurnTrace(trace, 2, {.maxOutDegree = 6}, 20);
+      // Every operation the protocol performed: membership events plus the
+      // orphan re-homings done by the repair sweeps.
       const double ops = static_cast<double>(result.joins + result.leaves +
-                                             result.crashes);
+                                             result.crashes +
+                                             result.repairedSubtrees);
       table.addRow(
           {TextTable::num(rate, 0), TextTable::num(options.meanLifetime, 1),
            shape == 0.0 ? "exp" : "pareto",
            TextTable::count(result.peakLive), TextTable::count(result.joins),
            TextTable::count(result.leaves), TextTable::count(result.crashes),
+           TextTable::count(result.repairedSubtrees),
            TextTable::num(result.radiusOverLowerBound.mean(), 3),
            TextTable::num(result.radiusOverLowerBound.max(), 3),
            TextTable::num(
@@ -53,6 +198,7 @@ int main(int argc, char** argv) {
                        std::to_string(result.joins),
                        std::to_string(result.leaves),
                        std::to_string(result.crashes),
+                       std::to_string(result.repairedSubtrees),
                        std::to_string(result.radiusOverLowerBound.mean()),
                        std::to_string(result.radiusOverLowerBound.max()),
                        std::to_string(
@@ -67,4 +213,12 @@ int main(int argc, char** argv) {
                "and tail, improving as the live population grows; "
                "Contacts/op grows only mildly with the rate.\n";
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parseArgs(argc, argv);
+  if (args.steadyState) return runSteadyState(args);
+  return runReplayTable(args);
 }

@@ -62,6 +62,18 @@ struct Args {
   /// bench_coords_pipeline: exit non-zero if the batched kernel path is
   /// more than 10% slower than the scalar path it replaces.
   bool enforceKernelSpeedup = false;
+  /// bench_churn: sustained-churn steady-state mode (sharded sessions,
+  /// watchdog, invariant audits, BENCH_churn.json curves).
+  bool steadyState = false;
+  /// bench_churn --steady-state: total membership events across shards.
+  std::optional<std::int64_t> events;
+  /// bench_churn --steady-state: independent sharded sessions (0 = auto).
+  std::optional<int> shards;
+  /// bench_churn --steady-state: exit non-zero below this throughput
+  /// (0 disables the enforcement, the default).
+  double minEventsPerSec = 0.0;
+  /// bench_churn --steady-state: base seed for the shard RNG streams.
+  std::uint64_t seed = 1401;
 };
 
 inline Args parseArgs(int argc, char** argv) {
@@ -85,11 +97,23 @@ inline Args parseArgs(int argc, char** argv) {
       args.kernelsOnly = true;
     } else if (arg == "--enforce-kernel-speedup") {
       args.enforceKernelSpeedup = true;
+    } else if (arg == "--steady-state") {
+      args.steadyState = true;
+    } else if (arg == "--events" && i + 1 < argc) {
+      args.events = std::atoll(argv[++i]);
+    } else if (arg == "--shards" && i + 1 < argc) {
+      args.shards = std::atoi(argv[++i]);
+    } else if (arg == "--min-events-per-sec" && i + 1 < argc) {
+      args.minEventsPerSec = std::atof(argv[++i]);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      args.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else {
       std::cerr << "usage: " << argv[0]
                 << " [--full] [--max-n N] [--trials T] [--csv PATH]"
                    " [--trials-csv PATH] [--threads T|0]"
-                   " [--kernels-only] [--enforce-kernel-speedup]\n";
+                   " [--kernels-only] [--enforce-kernel-speedup]"
+                   " [--steady-state] [--events N] [--shards S]"
+                   " [--min-events-per-sec X] [--seed S]\n";
       std::exit(2);
     }
   }

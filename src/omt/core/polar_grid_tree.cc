@@ -10,6 +10,7 @@
 #include "omt/grid/assignment.h"
 #include "omt/kernels/kernels.h"
 #include "omt/kernels/polar_batch.h"
+#include "omt/tree/metrics.h"
 #include "omt/obs/metrics.h"
 #include "omt/obs/trace.h"
 #include "omt/parallel/parallel_for.h"
@@ -330,6 +331,18 @@ PolarGridResult buildPolarGridTree(std::span<const Point> points,
   tree.finalize();
   result.upperBound = upperBoundEq7(grid, 0, relayLayers(d, fanOut));
   return result;
+}
+
+double staticRadiusRatio(std::span<const Point> points, NodeId source,
+                         int maxOutDegree) {
+  if (points.size() <= 1) return 1.0;
+  const double bound = radiusLowerBound(points, source);
+  if (bound <= 0.0) return 1.0;
+  PolarGridOptions options;
+  options.maxOutDegree = maxOutDegree;
+  const PolarGridResult result = buildPolarGridTree(points, source, options);
+  const TreeMetrics metrics = computeMetrics(result.tree, points);
+  return metrics.maxDelay / bound;
 }
 
 }  // namespace omt

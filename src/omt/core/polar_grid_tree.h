@@ -71,4 +71,11 @@ PolarGridResult buildPolarGridTree(std::span<const Point> points,
 /// min(D - 2, 2^d) for D >= 4, otherwise 2.
 int cellBisectionFanOut(int dim, int maxOutDegree);
 
+/// radius / radiusLowerBound of a fresh static Polar_Grid build over
+/// `points` — the quality yardstick the churn watchdog and the steady-state
+/// gate compare a long-lived incremental session against. Returns 1.0 when
+/// n <= 1 (both radius and bound are then zero).
+double staticRadiusRatio(std::span<const Point> points, NodeId source,
+                         int maxOutDegree);
+
 }  // namespace omt

@@ -106,11 +106,16 @@ class ChaosRun {
     }
   }
 
-  /// A regrid re-places every live host; refresh their detector state so
-  /// stale leases do not trigger a storm of false suspicions.
+  /// A regrid re-places every live host — and the incremental structural
+  /// moves (splits, merges, scoped rebuilds) can re-home representatives —
+  /// so refresh detector state after any of them to keep stale leases from
+  /// triggering a storm of false suspicions.
   void retrackAfterRegrid() {
-    if (session_.stats().regrids == regridsSeen_) return;
-    regridsSeen_ = session_.stats().regrids;
+    const SessionStats& s = session_.stats();
+    const std::int64_t structural =
+        s.regrids + s.splits + s.merges + s.scopedRebuilds;
+    if (structural == regridsSeen_) return;
+    regridsSeen_ = structural;
     for (NodeId id = 0; id < session_.hostCount(); ++id) {
       if (session_.isLive(id)) detector_.track(id, now_);
     }

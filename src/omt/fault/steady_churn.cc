@@ -1,0 +1,183 @@
+#include "omt/fault/steady_churn.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "omt/common/error.h"
+#include "omt/fault/invariants.h"
+#include "omt/obs/metrics.h"
+#include "omt/random/rng.h"
+#include "omt/random/samplers.h"
+
+namespace omt {
+namespace {
+
+struct SteadyMetrics {
+  obs::Counter& events;
+  obs::Counter& parkedJoins;
+  obs::Gauge& eventsPerSecond;
+  obs::Histogram& latency;
+};
+
+SteadyMetrics& steadyMetrics() {
+  auto& registry = obs::MetricsRegistry::global();
+  static SteadyMetrics metrics{
+      registry.counter("omt_fault_steady_events_total"),
+      registry.counter("omt_fault_steady_parked_joins_total"),
+      registry.gauge("omt_fault_steady_events_per_second",
+                     obs::Determinism::kNondeterministic),
+      registry.histogram("omt_fault_steady_event_latency_seconds", {},
+                         obs::Determinism::kNondeterministic)};
+  return metrics;
+}
+
+double secondsBetween(std::chrono::steady_clock::time_point a,
+                      std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+SteadyChurnResult runSteadyChurn(const SteadyChurnOptions& options) {
+  OMT_CHECK(options.dim >= 2 && options.dim <= kMaxDim,
+            "dimension out of range");
+  OMT_CHECK(options.warmupHosts >= 1, "need at least one warmup host");
+  OMT_CHECK(options.events >= 0, "negative event count");
+  OMT_CHECK(options.departureFraction >= 0.0 &&
+                options.departureFraction <= 1.0,
+            "departure fraction outside [0, 1]");
+  OMT_CHECK(options.crashFraction >= 0.0 && options.crashFraction <= 1.0,
+            "crash fraction outside [0, 1]");
+  OMT_CHECK(options.sweepEvery >= 1, "sweep cadence must be positive");
+  OMT_CHECK(options.minLive >= 1, "population floor must be positive");
+
+  auto& metrics = steadyMetrics();
+  OverlaySession session(Point(options.dim), options.session);
+  RadiusWatchdog watchdog(session, options.watchdog);
+  watchdog.setBaselineRatio(options.baselineRatio);
+  Rng rng(options.seed);
+  SteadyChurnResult result;
+
+  // Live non-source hosts, swap-removed on departure for O(1) picks.
+  std::vector<NodeId> pool;
+  pool.reserve(static_cast<std::size_t>(options.warmupHosts));
+  for (std::int64_t i = 0; i < options.warmupHosts; ++i)
+    pool.push_back(session.join(sampleUnitBall(rng, options.dim)));
+  session.detectAndRepair();
+
+  // Per-episode flag mirroring the watchdog's ladder, so the gate verdict
+  // is computed from the observed action sequence rather than trusted.
+  bool scopedSeen = false;
+  std::vector<double> window;  // latencies since the previous sweep
+
+  const auto audit = [&](bool requireRepaired) {
+    if (!options.checkInvariants) return;
+    const InvariantReport report = checkSessionInvariants(
+        session, {.requireRepaired = requireRepaired});
+    if (!report.ok && result.ok) {
+      result.ok = false;
+      result.firstViolation = report.message;
+    }
+  };
+
+  const auto sweep = [&]() {
+    ++result.sweeps;
+    result.repairedSubtrees += session.detectAndRepair();
+    const WatchdogReport wr = watchdog.check();
+    if (wr.action == WatchdogAction::kScopedRebuild) {
+      scopedSeen = true;
+    } else if (wr.action == WatchdogAction::kFullRegrid) {
+      if (!scopedSeen) result.escalationMonotone = false;
+      scopedSeen = false;
+    } else if (wr.mode == WatchdogMode::kNormal &&
+               wr.action == WatchdogAction::kDeescalate) {
+      scopedSeen = false;
+    }
+
+    SteadySweepSample sample;
+    sample.eventsDone = result.events;
+    sample.liveCount = session.liveCount();
+    sample.radiusRatio = wr.ratio;
+    sample.maxSkew = wr.maxSkew;
+    sample.mode = wr.mode;
+    sample.action = wr.action;
+    if (wr.ratio > 0.0) {
+      result.radiusRatio.add(wr.ratio);
+      result.maxRatio = std::max(result.maxRatio, wr.ratio);
+    }
+    if (!window.empty()) {
+      sample.p50Latency = percentile(window, 0.50);
+      sample.p99Latency = percentile(window, 0.99);
+      sample.maxLatency = *std::max_element(window.begin(), window.end());
+      window.clear();
+    }
+    result.sweepLog.push_back(sample);
+    // detectAndRepair() healed every pending crash and parked host, so the
+    // sweep state must satisfy the full fully-repaired obligations.
+    audit(/*requireRepaired=*/true);
+  };
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::int64_t i = 0; i < options.events; ++i) {
+    const bool departure =
+        static_cast<std::int64_t>(pool.size()) > options.minLive &&
+        rng.uniform() < options.departureFraction;
+    const auto eventStart = std::chrono::steady_clock::now();
+    if (departure) {
+      const std::size_t pick =
+          static_cast<std::size_t>(rng.uniformInt(pool.size()));
+      const NodeId who = pool[pick];
+      pool[pick] = pool.back();
+      pool.pop_back();
+      if (rng.uniform() < options.crashFraction) {
+        session.crash(who);
+        ++result.crashes;
+      } else {
+        session.leave(who);
+        ++result.leaves;
+      }
+    } else {
+      const Point position = sampleUnitBall(rng, options.dim);
+      if (watchdog.parkNewJoins()) {
+        // Watchdog step 2: admit-and-park; the next sweep batches the
+        // placement together with every other deferred attach.
+        pool.push_back(session.admit(position));
+        ++result.parkedJoins;
+        metrics.parkedJoins.add();
+      } else {
+        pool.push_back(session.join(position));
+      }
+      ++result.joins;
+    }
+    ++result.events;
+    metrics.events.add();
+    if (options.measureLatency) {
+      const double seconds =
+          secondsBetween(eventStart, std::chrono::steady_clock::now());
+      result.latencySeconds.add(seconds);
+      window.push_back(seconds);
+      metrics.latency.observe(seconds);
+    }
+    if (result.events % options.sweepEvery == 0) sweep();
+  }
+  // Final quiesce sweep, even when the loop just swept: the gate's
+  // zero-unrepaired-orphans verdict is measured on this state.
+  sweep();
+  result.elapsedSeconds = secondsBetween(t0, std::chrono::steady_clock::now());
+  if (result.elapsedSeconds > 0.0 && result.events > 0) {
+    result.eventsPerSecond =
+        static_cast<double>(result.events) / result.elapsedSeconds;
+    metrics.eventsPerSecond.set(result.eventsPerSecond);
+  }
+
+  result.unrepairedOrphans = countDisconnectedLiveHosts(session) +
+                             session.undetectedCrashes() +
+                             session.parkedCount();
+  result.watchdog = watchdog.stats();
+  result.session = session.stats();
+  if (options.captureSnapshot) result.finalSnapshot = session.snapshot();
+  return result;
+}
+
+}  // namespace omt

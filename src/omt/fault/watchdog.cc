@@ -1,0 +1,235 @@
+#include "omt/fault/watchdog.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "omt/common/error.h"
+#include "omt/obs/metrics.h"
+
+namespace omt {
+namespace {
+
+struct WatchdogMetrics {
+  obs::Counter& checks;
+  obs::Counter& alarms;
+  obs::Counter& sheds;
+  obs::Counter& parks;
+  obs::Counter& scopedRebuilds;
+  obs::Counter& fullRegrids;
+  obs::Gauge& radiusDrift;
+  obs::Gauge& cellSkew;
+};
+
+WatchdogMetrics& watchdogMetrics() {
+  auto& registry = obs::MetricsRegistry::global();
+  static WatchdogMetrics metrics{
+      registry.counter("omt_fault_watchdog_checks_total"),
+      registry.counter("omt_fault_watchdog_alarms_total"),
+      registry.counter("omt_fault_watchdog_sheds_total"),
+      registry.counter("omt_fault_watchdog_parks_total"),
+      registry.counter("omt_fault_watchdog_scoped_rebuilds_total"),
+      registry.counter("omt_fault_watchdog_full_regrids_total"),
+      registry.gauge("omt_fault_watchdog_radius_drift"),
+      registry.gauge("omt_fault_watchdog_cell_skew")};
+  return metrics;
+}
+
+/// Root-path delays over the source-connected live membership (children
+/// walk; hosts behind a crashed or parked ancestor are simply not reached,
+/// matching what the data plane can actually deliver to mid-degradation).
+void connectedDelays(const OverlaySession& session, std::vector<double>& delay,
+                     std::vector<NodeId>& order) {
+  delay.assign(static_cast<std::size_t>(session.hostCount()), -1.0);
+  order.clear();
+  delay[0] = 0.0;
+  order.push_back(0);
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    const NodeId v = order[head];
+    for (const NodeId c : session.childrenOf(v)) {
+      if (!session.isLive(c)) continue;
+      delay[static_cast<std::size_t>(c)] =
+          delay[static_cast<std::size_t>(v)] +
+          distance(session.positionOf(v), session.positionOf(c));
+      order.push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+const char* toString(WatchdogMode mode) {
+  switch (mode) {
+    case WatchdogMode::kNormal: return "normal";
+    case WatchdogMode::kShed: return "shed";
+    case WatchdogMode::kParkJoins: return "park_joins";
+  }
+  return "unknown";
+}
+
+const char* toString(WatchdogAction action) {
+  switch (action) {
+    case WatchdogAction::kNone: return "none";
+    case WatchdogAction::kShed: return "shed";
+    case WatchdogAction::kParkJoins: return "park_joins";
+    case WatchdogAction::kScopedRebuild: return "scoped_rebuild";
+    case WatchdogAction::kFullRegrid: return "full_regrid";
+    case WatchdogAction::kDeescalate: return "deescalate";
+  }
+  return "unknown";
+}
+
+RadiusWatchdog::RadiusWatchdog(OverlaySession& session,
+                               const WatchdogOptions& options)
+    : session_(session), options_(options) {
+  OMT_CHECK(options.ratioSlack >= 1.0, "ratio slack must be >= 1");
+  OMT_CHECK(options.minRatioAlarm > 1.0, "ratio alarm floor must exceed 1");
+  OMT_CHECK(options.skewSlack >= 1.0, "skew slack must be >= 1");
+  OMT_CHECK(options.healthyChecksToClear >= 1,
+            "hysteresis needs at least one healthy check");
+  OMT_CHECK(options.maxScopedCells >= 1, "scoped rebuild needs a cell budget");
+}
+
+double RadiusWatchdog::measureRatio() const {
+  if (session_.liveCount() < 2) return 0.0;
+  std::vector<double> delay;
+  std::vector<NodeId> order;
+  connectedDelays(session_, delay, order);
+  double radius = 0.0;
+  double lower = 0.0;
+  const Point& origin = session_.positionOf(0);
+  for (const NodeId v : order) {
+    radius = std::max(radius, delay[static_cast<std::size_t>(v)]);
+    lower = std::max(lower, distance(session_.positionOf(v), origin));
+  }
+  if (lower <= kGeomEps) return 0.0;
+  return radius / lower;
+}
+
+double RadiusWatchdog::measureSkew(
+    std::vector<std::uint64_t>& violating) const {
+  violating.clear();
+  std::int64_t occupied = 0;
+  std::int64_t largest = 0;
+  std::vector<std::pair<std::int64_t, std::uint64_t>> sizes;
+  for (std::uint64_t h = 1; h < session_.cellCount(); ++h) {
+    std::int64_t live = 0;
+    for (const NodeId member : session_.cellMembersOf(h)) {
+      if (session_.isLive(member)) ++live;
+    }
+    if (live == 0) continue;
+    ++occupied;
+    largest = std::max(largest, live);
+    sizes.emplace_back(live, h);
+  }
+  if (occupied == 0) return 0.0;
+  const double fairShare = static_cast<double>(session_.liveCount()) /
+                           static_cast<double>(occupied);
+  const double limit =
+      options_.skewSlack * fairShare + static_cast<double>(options_.skewSlop);
+  std::sort(sizes.begin(), sizes.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (const auto& [live, h] : sizes) {
+    if (static_cast<double>(live) <= limit) break;
+    if (static_cast<std::int64_t>(violating.size()) >=
+        options_.maxScopedCells) {
+      break;
+    }
+    violating.push_back(h);
+  }
+  return static_cast<double>(largest) / fairShare;
+}
+
+void RadiusWatchdog::enterMode(WatchdogMode next) {
+  mode_ = next;
+  session_.setShedOptionalWork(mode_ != WatchdogMode::kNormal);
+}
+
+WatchdogReport RadiusWatchdog::check() {
+  auto& metrics = watchdogMetrics();
+  ++stats_.checks;
+  metrics.checks.add();
+
+  WatchdogReport report;
+  std::vector<std::uint64_t> violating;
+  report.ratio = measureRatio();
+  report.maxSkew = measureSkew(violating);
+  metrics.radiusDrift.set(report.ratio);
+  metrics.cellSkew.set(report.maxSkew);
+
+  const double ratioAlarm =
+      std::max(baselineRatio_ * options_.ratioSlack, options_.minRatioAlarm);
+  const bool skewed = !violating.empty();
+  report.healthy = report.ratio <= ratioAlarm && !skewed;
+
+  if (report.healthy) {
+    if (mode_ != WatchdogMode::kNormal &&
+        ++healthyStreak_ >= options_.healthyChecksToClear) {
+      healthyStreak_ = 0;
+      enterMode(mode_ == WatchdogMode::kParkJoins ? WatchdogMode::kShed
+                                                  : WatchdogMode::kNormal);
+      if (mode_ == WatchdogMode::kNormal) scopedAttempted_ = false;
+      ++stats_.deescalations;
+      report.action = WatchdogAction::kDeescalate;
+    }
+    report.mode = mode_;
+    return report;
+  }
+
+  ++stats_.alarms;
+  metrics.alarms.add();
+  healthyStreak_ = 0;
+
+  switch (mode_) {
+    case WatchdogMode::kNormal:
+      enterMode(WatchdogMode::kShed);
+      ++stats_.shedEntries;
+      metrics.sheds.add();
+      report.action = WatchdogAction::kShed;
+      break;
+    case WatchdogMode::kShed:
+      enterMode(WatchdogMode::kParkJoins);
+      ++stats_.parkEntries;
+      metrics.parks.add();
+      report.action = WatchdogAction::kParkJoins;
+      break;
+    case WatchdogMode::kParkJoins:
+      if (!scopedAttempted_) {
+        // Step 3: rebuild only the violating cells. A pure drift alarm
+        // (no skewed cell) scopes to the cell of the worst-delay host.
+        if (violating.empty()) {
+          std::vector<double> delay;
+          std::vector<NodeId> order;
+          connectedDelays(session_, delay, order);
+          NodeId worst = kNoNode;
+          double worstDelay = -1.0;
+          for (const NodeId v : order) {
+            if (v == 0) continue;
+            if (delay[static_cast<std::size_t>(v)] > worstDelay) {
+              worstDelay = delay[static_cast<std::size_t>(v)];
+              worst = v;
+            }
+          }
+          if (worst != kNoNode)
+            violating.push_back(session_.heapIdOf(worst));
+        }
+        scopedAttempted_ = true;
+        report.rebuiltHosts = session_.rebuildCells(violating);
+        ++stats_.scopedRebuilds;
+        metrics.scopedRebuilds.add();
+        report.action = WatchdogAction::kScopedRebuild;
+      } else {
+        // Step 4, only ever after a scoped attempt this episode.
+        session_.forceRegrid();
+        ++stats_.fullRegrids;
+        metrics.fullRegrids.add();
+        report.action = WatchdogAction::kFullRegrid;
+        scopedAttempted_ = false;
+        enterMode(WatchdogMode::kNormal);
+      }
+      break;
+  }
+  report.mode = mode_;
+  return report;
+}
+
+}  // namespace omt

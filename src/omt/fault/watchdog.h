@@ -1,0 +1,129 @@
+// Radius-guarantee watchdog for a long-lived incremental OverlaySession.
+//
+// Incremental maintenance (splits/merges/extends, ROADMAP item 3) keeps
+// per-event cost O(polylog) but, unlike a full regrid, never *measures*
+// what churn has done to the paper's radius guarantee. This watchdog closes
+// the loop: each check() measures
+//  * radius drift — the overlay radius (longest root path over the live,
+//    attached membership) divided by the instance lower bound (the largest
+//    source-to-host distance), compared against a configurable multiple of
+//    a baseline ratio (e.g. what a fresh static Polar_Grid build achieves);
+//  * per-cell occupancy skew — the largest live cell population relative
+//    to the fair share live/occupiedCells, which catches the grid frame
+//    drifting away from the membership distribution even while the radius
+//    still looks healthy.
+//
+// On violation it escalates ONE step per check through a strictly ordered
+// degraded-mode ladder, and de-escalates one step after a run of healthy
+// checks (hysteresis):
+//   kNormal -> kShed       shed optional re-optimisation (representative
+//                          re-homing after splits) — cheapest relief;
+//   kShed -> kParkJoins    ask the driver to admit-and-park new joins so
+//                          the next sweep batches their placement;
+//   kParkJoins -> scoped   rebuildCells() on just the violating cells;
+//   scoped -> full regrid  only if a scoped rebuild was already attempted
+//                          this episode — by construction the ladder is
+//                          monotone and a full regrid can never be the
+//                          first structural response (the steady-state
+//                          chaos gate asserts exactly this).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "omt/protocol/overlay_session.h"
+
+namespace omt {
+
+enum class WatchdogMode : std::uint8_t { kNormal, kShed, kParkJoins };
+
+enum class WatchdogAction : std::uint8_t {
+  kNone,           ///< healthy, or still waiting out the hysteresis
+  kShed,           ///< entered kShed
+  kParkJoins,      ///< entered kParkJoins
+  kScopedRebuild,  ///< rebuilt the violating cells
+  kFullRegrid,     ///< last resort: full regrid (episode resets)
+  kDeescalate,     ///< one step back down after healthy checks
+};
+
+/// Short stable names for logs, CSV, and BENCH json rows.
+const char* toString(WatchdogMode mode);
+const char* toString(WatchdogAction action);
+
+struct WatchdogOptions {
+  /// Alarm when ratio > max(baselineRatio * ratioSlack, minRatioAlarm).
+  double ratioSlack = 2.0;
+  /// Absolute alarm floor; guards against a tiny baseline making ordinary
+  /// small-membership noise look like drift.
+  double minRatioAlarm = 4.0;
+  /// Alarm when the largest live cell exceeds skewSlack * fair share
+  /// + skewSlop members (the slop forgives small-cell integer effects).
+  double skewSlack = 8.0;
+  std::int64_t skewSlop = 16;
+  /// Healthy checks required before each single de-escalation step.
+  int healthyChecksToClear = 3;
+  /// Cap on cells rebuilt by one scoped-rebuild escalation.
+  int maxScopedCells = 16;
+};
+
+struct WatchdogReport {
+  double ratio = 0.0;        ///< measured radius / lower bound (0: n < 2)
+  double maxSkew = 0.0;      ///< largest cell / fair share
+  bool healthy = true;
+  WatchdogMode mode = WatchdogMode::kNormal;  ///< mode AFTER this check
+  WatchdogAction action = WatchdogAction::kNone;
+  std::int64_t rebuiltHosts = 0;  ///< hosts re-placed by a scoped rebuild
+};
+
+struct WatchdogStats {
+  std::int64_t checks = 0;
+  std::int64_t alarms = 0;         ///< checks that measured a violation
+  std::int64_t shedEntries = 0;
+  std::int64_t parkEntries = 0;
+  std::int64_t scopedRebuilds = 0;
+  std::int64_t fullRegrids = 0;
+  std::int64_t deescalations = 0;
+};
+
+class RadiusWatchdog {
+ public:
+  explicit RadiusWatchdog(OverlaySession& session,
+                          const WatchdogOptions& options = {});
+
+  /// Quality yardstick for the drift alarm, typically
+  /// staticRadiusRatio() over a comparable membership; 0 (the default)
+  /// falls back to the absolute minRatioAlarm floor alone.
+  void setBaselineRatio(double ratio) { baselineRatio_ = ratio; }
+  double baselineRatio() const { return baselineRatio_; }
+
+  /// Measure drift and skew, then escalate or de-escalate at most one
+  /// ladder step. O(hosts + cells).
+  WatchdogReport check();
+
+  WatchdogMode mode() const { return mode_; }
+  /// Whether the driver should admit-and-park new joins instead of
+  /// attaching them inline (mode >= kParkJoins).
+  bool parkNewJoins() const { return mode_ == WatchdogMode::kParkJoins; }
+  const WatchdogStats& stats() const { return stats_; }
+
+  /// Measured radius / lower bound of the current overlay (also performed
+  /// by check(); exposed for benches sampling between checks).
+  double measureRatio() const;
+
+ private:
+  /// Largest cell / fair share; fills `violating` with the over-threshold
+  /// cells, worst first, capped at maxScopedCells.
+  double measureSkew(std::vector<std::uint64_t>& violating) const;
+
+  void enterMode(WatchdogMode next);
+
+  OverlaySession& session_;
+  WatchdogOptions options_;
+  double baselineRatio_ = 0.0;
+  WatchdogMode mode_ = WatchdogMode::kNormal;
+  bool scopedAttempted_ = false;  ///< scoped rebuild done this episode
+  int healthyStreak_ = 0;
+  WatchdogStats stats_;
+};
+
+}  // namespace omt

@@ -98,6 +98,49 @@ RingSegment PolarGrid::cellSegment(int ring, std::uint64_t cell) const {
       std::span<const Interval>(cube.data(), static_cast<std::size_t>(axes)));
 }
 
+PolarGrid PolarGrid::afterSplit() const {
+  OMT_CHECK(rings_ < kMaxRings, "split exceeds kMaxRings");
+  return PolarGrid(dim_, rings_ + 1, outerRadius_);
+}
+
+PolarGrid PolarGrid::afterMerge() const {
+  OMT_CHECK(rings_ >= 2, "merge needs at least two rings");
+  return PolarGrid(dim_, rings_ - 1, outerRadius_);
+}
+
+PolarGrid PolarGrid::afterExtend(int extraRings) const {
+  OMT_CHECK(extraRings >= 1, "extend needs at least one extra ring");
+  OMT_CHECK(rings_ + extraRings <= kMaxRings, "extend exceeds kMaxRings");
+  const double grown =
+      outerRadius_ *
+      std::exp2(static_cast<double>(extraRings) / static_cast<double>(dim_));
+  return PolarGrid(dim_, rings_ + extraRings, grown);
+}
+
+std::uint64_t PolarGrid::splitTargetOf(std::uint64_t id,
+                                       const PolarCoords& polar,
+                                       double radius) const {
+  const int ring = ringOfHeapId(id);
+  if (ring == 0) {
+    // The old central ball covers new rings 0 and 1: the new r'_0 equals
+    // this grid's would-be boundary below r_0.
+    const double innerBoundary =
+        outerRadius_ * std::exp2(-static_cast<double>(rings_ + 1) /
+                                 static_cast<double>(dim_));
+    if (radius <= innerBoundary) return 1;
+    return 2 + (cellOf(polar, 1) & 1);
+  }
+  // One more angular bit; the top `ring` bits are the old cell, so the new
+  // heap id is 2*id + lastBit. The bit is evaluated against the split grid
+  // (ring + 1 exceeds this grid's ring range for outermost-ring cells).
+  return (id << 1) | (afterSplit().cellOf(polar, ring + 1) & 1);
+}
+
+std::uint64_t PolarGrid::mergeTargetOf(std::uint64_t id) const {
+  OMT_ASSERT(id >= 1 && id < heapIdCount(), "heap id out of range");
+  return id <= 3 ? 1 : id >> 1;
+}
+
 double PolarGrid::arcLength(int ring) const {
   OMT_ASSERT(ring >= 0 && ring <= rings_, "ring index out of range");
   // Azimuth axis receives ceil((ring - azimuthAxis) / axes) of the `ring`

@@ -74,6 +74,40 @@ class PolarGrid {
   /// azimuthal arc of a cell at the outer boundary radius.
   double arcLength(int ring) const;
 
+  // --- Incremental maintenance algebra (ROADMAP item 3) -------------------
+  //
+  // Because r_i = R * 2^{-(k-i)/d}, the three structural moves below reuse
+  // the existing boundary radii instead of re-deriving them, which is what
+  // makes cell-local host relabelling sound:
+  //  * split  (k -> k+1, R fixed): every old boundary r_i equals the new
+  //    boundary r'_{i+1} *bitwise* (identical exp2 expression), so ring-i
+  //    hosts land in ring i+1 and each cell gains one angular bit;
+  //  * merge  (k -> k-1, R fixed): the inverse; sibling cells 2h and 2h+1
+  //    coalesce into h, rings 0..1 collapse into the new central ball;
+  //  * extend (k -> k+j, R -> R * 2^{j/d}): every existing boundary keeps
+  //    its value (up to fp ulps) and every existing heap id is unchanged —
+  //    j fresh outer shells are appended, no host moves at all.
+
+  /// The k+1-ring grid over the same outer radius.
+  PolarGrid afterSplit() const;
+
+  /// The k-1-ring grid over the same outer radius; requires rings() >= 2.
+  PolarGrid afterMerge() const;
+
+  /// The k+extraRings grid whose inner boundaries coincide with this grid's
+  /// (outer radius grows by 2^{extraRings/d}); extraRings >= 1.
+  PolarGrid afterExtend(int extraRings) const;
+
+  /// Heap id of the cell a host moves to under afterSplit(). `polar` and
+  /// `radius` describe the host; `id` is its current cell. Ring-0 hosts
+  /// split radially into {1, 2, 3}; all others map to 2*id or 2*id + 1.
+  std::uint64_t splitTargetOf(std::uint64_t id, const PolarCoords& polar,
+                              double radius) const;
+
+  /// Heap id of the cell a host moves to under afterMerge(): 1 for ids
+  /// 1..3, id/2 otherwise.
+  std::uint64_t mergeTargetOf(std::uint64_t id) const;
+
  private:
   int dim_;
   int rings_;

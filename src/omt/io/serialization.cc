@@ -137,6 +137,57 @@ MulticastTree loadTree(std::istream& in) {
   return tree;
 }
 
+void saveSessionSnapshot(std::ostream& out, const MulticastTree& tree,
+                         std::span<const NodeId> sessionIds,
+                         std::span<const Point> positions) {
+  OMT_CHECK(static_cast<std::size_t>(tree.size()) == sessionIds.size() &&
+                sessionIds.size() == positions.size(),
+            "snapshot components disagree on the host count");
+  out << "omt-session " << kFormatVersion << ' ' << sessionIds.size() << '\n';
+  for (const NodeId id : sessionIds) {
+    OMT_CHECK(id >= 0, "negative session id");
+    out << id << '\n';
+  }
+  saveTree(out, tree);
+  savePoints(out, positions);
+  OMT_CHECK(out.good(), "write failure while saving session snapshot");
+}
+
+LoadedSessionSnapshot loadSessionSnapshot(std::istream& in) {
+  std::string line;
+  OMT_CHECK(nextRecord(in, line), "missing session header");
+  std::istringstream header(line);
+  std::string magic;
+  int version = 0;
+  std::int64_t n = 0;
+  header >> magic >> version >> n;
+  OMT_CHECK(!header.fail() && magic == "omt-session",
+            "not an omt-session stream");
+  OMT_CHECK(version == kFormatVersion, "unsupported session format version");
+  OMT_CHECK(n >= 1, "session host count must be positive");
+
+  std::vector<NodeId> sessionIds;
+  sessionIds.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    OMT_CHECK(nextRecord(in, line),
+              "truncated session stream at id " + std::to_string(i));
+    std::istringstream row(line);
+    NodeId id = kNoNode;
+    row >> id;
+    OMT_CHECK(!row.fail() && id >= 0,
+              "malformed session id at record " + std::to_string(i));
+    sessionIds.push_back(id);
+  }
+
+  LoadedSessionSnapshot snapshot{.tree = loadTree(in),
+                                 .sessionIds = std::move(sessionIds),
+                                 .positions = loadPoints(in)};
+  OMT_CHECK(static_cast<std::int64_t>(snapshot.tree.size()) == n &&
+                static_cast<std::int64_t>(snapshot.positions.size()) == n,
+            "session snapshot components disagree on the host count");
+  return snapshot;
+}
+
 void savePointsFile(const std::string& path, std::span<const Point> points) {
   auto out = openOutput(path);
   savePoints(out, points);
@@ -155,6 +206,19 @@ void saveTreeFile(const std::string& path, const MulticastTree& tree) {
 MulticastTree loadTreeFile(const std::string& path) {
   auto in = openInput(path);
   return loadTree(in);
+}
+
+void saveSessionSnapshotFile(const std::string& path,
+                             const MulticastTree& tree,
+                             std::span<const NodeId> sessionIds,
+                             std::span<const Point> positions) {
+  auto out = openOutput(path);
+  saveSessionSnapshot(out, tree, sessionIds, positions);
+}
+
+LoadedSessionSnapshot loadSessionSnapshotFile(const std::string& path) {
+  auto in = openInput(path);
+  return loadSessionSnapshot(in);
 }
 
 }  // namespace omt

@@ -6,6 +6,11 @@
 //   points:  "omt-points 1 <n> <dim>"  then n lines of <dim> coordinates
 //   tree:    "omt-tree 1 <n> <root>"   then n lines "<parent> <kind>"
 //            (parent -1 for the root; kind 0 = core, 1 = local)
+//   session: "omt-session 1 <n>"       then n lines "<sessionId>", then an
+//            embedded omt-tree record and an embedded omt-points record
+//            (tree index i <-> sessionIds[i] <-> positions[i] — exactly the
+//            protocol layer's SessionSnapshot, spelled out as components so
+//            this layer needs no protocol dependency)
 // Loading validates counts, ranges, and (for trees) structural integrity
 // via finalize(); malformed input throws omt::InvalidArgument.
 #pragma once
@@ -32,5 +37,25 @@ void saveTreeFile(const std::string& path, const MulticastTree& tree);
 /// should still run validate() if they need the spanning/degree checks.
 MulticastTree loadTree(std::istream& in);
 MulticastTree loadTreeFile(const std::string& path);
+
+/// An overlay-session snapshot as its components (what
+/// OverlaySession::snapshot() produces: the live tree in compact index
+/// space plus, per tree index, the permanent session id and position).
+void saveSessionSnapshot(std::ostream& out, const MulticastTree& tree,
+                         std::span<const NodeId> sessionIds,
+                         std::span<const Point> positions);
+void saveSessionSnapshotFile(const std::string& path,
+                             const MulticastTree& tree,
+                             std::span<const NodeId> sessionIds,
+                             std::span<const Point> positions);
+
+struct LoadedSessionSnapshot {
+  MulticastTree tree;
+  std::vector<NodeId> sessionIds;
+  std::vector<Point> positions;
+};
+
+LoadedSessionSnapshot loadSessionSnapshot(std::istream& in);
+LoadedSessionSnapshot loadSessionSnapshotFile(const std::string& path);
 
 }  // namespace omt

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "omt/common/error.h"
+#include "omt/obs/metrics.h"
 
 namespace omt {
 namespace {
@@ -15,6 +16,29 @@ int onlineTargetRings(std::int64_t liveCount) {
   int log2n = 0;
   while ((std::int64_t{1} << (log2n + 1)) <= liveCount) ++log2n;
   return std::clamp(log2n - 3, 1, PolarGrid::kMaxRings);
+}
+
+/// Structural-maintenance instruments. Counters are per logical event and
+/// the moves themselves are deterministic for a fixed call sequence.
+struct SessionMetrics {
+  obs::Counter& splits;
+  obs::Counter& merges;
+  obs::Counter& extends;
+  obs::Counter& scopedRebuilds;
+  obs::Counter& regrids;
+  obs::Gauge& rings;
+};
+
+SessionMetrics& sessionMetrics() {
+  auto& registry = obs::MetricsRegistry::global();
+  static SessionMetrics metrics{
+      registry.counter("omt_protocol_splits_total"),
+      registry.counter("omt_protocol_merges_total"),
+      registry.counter("omt_protocol_extends_total"),
+      registry.counter("omt_protocol_scoped_rebuilds_total"),
+      registry.counter("omt_protocol_regrids_total"),
+      registry.gauge("omt_protocol_rings")};
+  return metrics;
 }
 
 }  // namespace
@@ -244,14 +268,26 @@ void OverlaySession::attachParked(NodeId node) {
     // Fresh admit (never placed under any grid): the join placement path.
     const double radius = self.polar.radius;
     const bool outside = radius > grid_.outerRadius();
-    const bool grown =
-        static_cast<double>(liveCount_) >
-        static_cast<double>(lastRegridCount_) * options_.regridGrowthFactor;
-    if (outside || (grown && onlineTargetRings(liveCount_) != grid_.rings())) {
+    if (options_.incremental) {
+      if (outside && !extendRadius(radius)) {
+        // Extreme outlier beyond the ring-slack memory guard: the one
+        // remaining growth-path regrid (places everyone, including us).
+        regrid(radius * 1.5);
+        return;
+      }
+      growRingsToTarget();
+      // Unlike a regrid, the structural moves above never place the
+      // joiner itself — fall through to normal placement.
+    } else if (outside ||
+               (static_cast<double>(liveCount_) >
+                    static_cast<double>(lastRegridCount_) *
+                        options_.regridGrowthFactor &&
+                onlineTargetRings(liveCount_) != grid_.rings())) {
       regrid(outside ? radius * 1.5 : grid_.outerRadius());
       return;
     }
-    const int ring = grid_.ringOf(self.polar.radius);
+    const int ring =
+        grid_.ringOf(std::min(self.polar.radius, grid_.outerRadius()));
     self.heapId = grid_.heapId(ring, grid_.cellOf(self.polar, ring));
     cellMembers_[self.heapId].push_back(node);
     place(node);
@@ -372,6 +408,16 @@ void OverlaySession::purgeDeadHost(NodeId dead, std::vector<NodeId>& orphans) {
 }
 
 void OverlaySession::maybeShrinkRegrid() {
+  if (options_.incremental) {
+    // Merge with a full-doubling hysteresis: a ring earned at membership n
+    // is only given back once the membership falls below n/2, so a count
+    // oscillating around a power of two cannot thrash O(n) relabellings.
+    while (grid_.rings() >= 2 &&
+           onlineTargetRings(liveCount_ * 2) < grid_.rings()) {
+      if (!mergeRings()) break;
+    }
+    return;
+  }
   const bool shrunk =
       static_cast<double>(liveCount_) * options_.regridGrowthFactor <
       static_cast<double>(lastRegridCount_);
@@ -467,6 +513,9 @@ RepairReport OverlaySession::repairCrashed(NodeId dead) {
 RepairReport OverlaySession::migrate(NodeId node) {
   OMT_CHECK(isLive(node), "host is not live");
   OMT_CHECK(node != 0, "the source cannot migrate");
+  // A parked host has no attachment to walk away from; attachParked() is
+  // the operation that completes its placement (and clears the flag).
+  OMT_CHECK(!isParked(node), "host is parked");
   const std::int64_t contactsBefore = stats_.contactCost;
   ++stats_.contactCost;  // goodbye message to the old parent (best effort)
   detach(node);
@@ -476,8 +525,186 @@ RepairReport OverlaySession::migrate(NodeId node) {
   return report;
 }
 
+void OverlaySession::replaceHost(NodeId node) {
+  detach(node);
+  place(node);
+  ++stats_.maintenanceCost;
+}
+
+bool OverlaySession::splitRings() {
+  if (grid_.rings() >= PolarGrid::kMaxRings) return false;
+  const PolarGrid next = grid_.afterSplit();
+
+  // Cell-local relabel: every placed host gains one angular bit (ring-0
+  // hosts additionally resolve radially into {1, 2, 3}). Fresh parked
+  // admits (heapId 0) are in no cell and are untouched; crashed-but-
+  // unpurged members relabel like everyone else.
+  std::vector<std::vector<NodeId>> nextMembers(next.heapIdCount());
+  std::vector<NodeId> nextRep(next.heapIdCount(), kNoNode);
+  for (std::uint64_t h = 1; h < grid_.heapIdCount(); ++h) {
+    for (const NodeId member : cellMembers_[h]) {
+      Host& host = hosts_[static_cast<std::size_t>(member)];
+      host.heapId = grid_.splitTargetOf(h, host.polar, host.polar.radius);
+      nextMembers[host.heapId].push_back(member);
+      ++stats_.maintenanceCost;
+    }
+    // Distinct old cells map to disjoint new-cell sets, so the old
+    // representative keeps representing whichever sibling it landed in —
+    // and its attachment (toward an ancestor of both siblings) stays
+    // aligned, so it is not re-homed.
+    const NodeId rep = cellRep_[h];
+    if (rep != kNoNode)
+      nextRep[hosts_[static_cast<std::size_t>(rep)].heapId] = rep;
+  }
+  grid_ = next;
+  cellMembers_ = std::move(nextMembers);
+  cellRep_ = std::move(nextRep);
+  cellRep_[1] = 0;
+  ++stats_.splits;
+  sessionMetrics().splits.add();
+  sessionMetrics().rings.set(static_cast<double>(grid_.rings()));
+
+  // Lazy representative re-selection: only sibling cells left without a
+  // representative elect one, in ascending heap order so ancestor
+  // representatives exist before descendants re-home toward them. The
+  // re-homing itself is the optional quality work the watchdog sheds.
+  for (std::uint64_t h = 2; h < grid_.heapIdCount(); ++h) {
+    if (cellRep_[h] != kNoNode || cellMembers_[h].empty()) continue;
+    promoteRepresentative(h);
+    const NodeId rep = cellRep_[h];
+    if (rep == kNoNode) continue;  // every member crashed, unpurged
+    if (shedOptionalWork_ || isParked(rep)) continue;
+    ++stats_.rehomedReps;
+    replaceHost(rep);
+  }
+  return true;
+}
+
+bool OverlaySession::mergeRings() {
+  if (grid_.rings() < 2) return false;
+  const PolarGrid next = grid_.afterMerge();
+
+  // Sibling cells coalesce (rings 0..1 collapse into the new central
+  // ball). The surviving representative is whichever sibling's was alive
+  // (ties favour the lower heap id); losers simply stay attached as
+  // ordinary members — no host is re-homed.
+  std::vector<std::vector<NodeId>> nextMembers(next.heapIdCount());
+  std::vector<NodeId> nextRep(next.heapIdCount(), kNoNode);
+  for (std::uint64_t h = 1; h < grid_.heapIdCount(); ++h) {
+    const std::uint64_t target = grid_.mergeTargetOf(h);
+    for (const NodeId member : cellMembers_[h]) {
+      hosts_[static_cast<std::size_t>(member)].heapId = target;
+      nextMembers[target].push_back(member);
+      ++stats_.maintenanceCost;
+    }
+    const NodeId rep = cellRep_[h];
+    if (rep == kNoNode) continue;
+    NodeId& slot = nextRep[target];
+    if (slot == kNoNode ||
+        (!hosts_[static_cast<std::size_t>(slot)].alive &&
+         hosts_[static_cast<std::size_t>(rep)].alive)) {
+      slot = rep;
+    }
+  }
+  grid_ = next;
+  cellMembers_ = std::move(nextMembers);
+  cellRep_ = std::move(nextRep);
+  cellRep_[1] = 0;
+  ++stats_.merges;
+  sessionMetrics().merges.add();
+  sessionMetrics().rings.set(static_cast<double>(grid_.rings()));
+  return true;
+}
+
+bool OverlaySession::extendRadius(double needed) {
+  if (needed <= grid_.outerRadius()) return true;
+  // Smallest j with R * 2^{j/d} >= needed, with an fp guard loop: the
+  // analytic j can undershoot by one ulp.
+  int extra = static_cast<int>(std::ceil(
+      static_cast<double>(grid_.dim()) *
+      std::log2(needed / grid_.outerRadius())));
+  extra = std::max(extra, 1);
+  if (grid_.rings() + extra > PolarGrid::kMaxRings) return false;
+  PolarGrid next = grid_.afterExtend(extra);
+  while (next.outerRadius() < needed) {
+    if (next.rings() >= PolarGrid::kMaxRings) return false;
+    next = grid_.afterExtend(++extra);
+  }
+  // Memory guard: heap ids address 2^(rings+1) slots, so refuse to chase an
+  // extreme outlier far past the online target — the caller regrids.
+  if (next.rings() > onlineTargetRings(liveCount_) + options_.maxRingSlack)
+    return false;
+
+  // Every existing boundary radius and heap id is preserved; only the
+  // tables grow to cover the appended outer shells. No host moves.
+  cellMembers_.resize(next.heapIdCount());
+  cellRep_.resize(next.heapIdCount(), kNoNode);
+  grid_ = next;
+  ++stats_.extends;
+  sessionMetrics().extends.add();
+  sessionMetrics().rings.set(static_cast<double>(grid_.rings()));
+  return true;
+}
+
+void OverlaySession::growRingsToTarget() {
+  while (onlineTargetRings(liveCount_) > grid_.rings()) {
+    if (!splitRings()) break;
+  }
+}
+
+std::int64_t OverlaySession::rebuildCells(
+    std::span<const std::uint64_t> heapIds) {
+  std::int64_t replaced = 0;
+  for (const std::uint64_t h : heapIds) {
+    OMT_CHECK(h >= 1 && h < grid_.heapIdCount(), "heap id out of range");
+    ++stats_.scopedRebuilds;
+    sessionMetrics().scopedRebuilds.add();
+
+    // Purge this cell's pending crashes first (their orphans re-home
+    // backup-first, wherever they live).
+    std::vector<NodeId> deadHere;
+    for (const NodeId member : cellMembers_[h]) {
+      if (hosts_[static_cast<std::size_t>(member)].pendingCrash)
+        deadHere.push_back(member);
+    }
+    for (const NodeId dead : deadHere) {
+      std::vector<NodeId> orphans;
+      purgeDeadHost(dead, orphans);
+      crashedPending_.erase(
+          std::find(crashedPending_.begin(), crashedPending_.end(), dead));
+      --undetectedCrashes_;
+      RepairReport report;
+      for (const NodeId orphan : orphans) rehomeOrphan(orphan, report);
+      replaced += report.orphansReplaced;
+    }
+
+    // Re-elect, then re-place the representative and every other attached
+    // member one at a time (each re-place completes before the next
+    // starts, so the source-reachable component always has a spare slot).
+    // Ring 0 keeps the source as its permanent representative.
+    if (h != 1) promoteRepresentative(h);
+    const std::vector<NodeId> members = cellMembers_[h];
+    const NodeId rep = cellRep_[h];
+    const auto replaceable = [&](NodeId m) {
+      return m != 0 && hosts_[static_cast<std::size_t>(m)].alive &&
+             !hosts_[static_cast<std::size_t>(m)].parked;
+    };
+    if (rep != kNoNode && replaceable(rep)) {
+      replaceHost(rep);
+      ++replaced;
+    }
+    for (const NodeId member : members) {
+      if (member == rep || !replaceable(member)) continue;
+      replaceHost(member);
+      ++replaced;
+    }
+  }
+  return replaced;
+}
+
 void OverlaySession::regrid(double newRadius) {
   ++stats_.regrids;
+  sessionMetrics().regrids.add();
   stats_.regridCost += liveCount_;
   lastRegridCount_ = liveCount_;
   // A regrid rebuilds the overlay from live hosts only, which repairs any
@@ -492,6 +719,7 @@ void OverlaySession::regrid(double newRadius) {
     if (host.alive) maxRadius = std::max(maxRadius, host.polar.radius);
   }
   grid_ = PolarGrid(grid_.dim(), onlineTargetRings(liveCount_), maxRadius);
+  sessionMetrics().rings.set(static_cast<double>(grid_.rings()));
   cellMembers_.assign(grid_.heapIdCount(), {});
   cellRep_.assign(grid_.heapIdCount(), kNoNode);
 

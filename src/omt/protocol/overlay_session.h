@@ -5,8 +5,14 @@
 // rebuilding from scratch:
 //  * The grid frame is fixed by the source position; the ring count k
 //    tracks the live membership (k ~ log2 n) and the outer radius grows
-//    geometrically when a joiner lands outside — both trigger a *regrid*,
-//    the only global operation, amortised O(log n) times over a session.
+//    geometrically when a joiner lands outside. In incremental mode (the
+//    default) both are handled by cell-local moves — splitRings() /
+//    mergeRings() relabel cells in place and extendRadius() appends outer
+//    shells without moving a single host — and a full *regrid* survives
+//    only as the watchdog's last-resort escalation. With
+//    SessionOptions::incremental = false both instead trigger a regrid,
+//    amortised O(log n) times over a session (the pre-incremental
+//    behaviour, kept for A/B comparison).
 //  * A joiner computes its own (ring, cell). If the cell is empty it
 //    becomes the cell representative and attaches toward the representative
 //    of the nearest occupied *ancestor* cell (parent cell c/2 in ring i-1,
@@ -43,6 +49,16 @@ struct SessionOptions {
   /// Initial outer radius of the grid frame; grows (with a regrid) when a
   /// joiner lands outside.
   double initialRadius = 1.0;
+  /// Maintain the grid incrementally: ring-count changes become cell-local
+  /// split/merge relabellings and radius growth becomes an O(1) extend, so
+  /// a full regrid is demoted from routine maintenance to the watchdog's
+  /// last-resort escalation. `false` restores the regrid-on-every-drift
+  /// behaviour of earlier revisions (kept for A/B benchmarking).
+  bool incremental = true;
+  /// Memory guard for incremental mode: heap ids address 2^(rings+1) cell
+  /// slots, so an extend that would leave the ring count more than this
+  /// many rings above the online target falls back to a full regrid.
+  int maxRingSlack = 10;
 };
 
 struct SessionStats {
@@ -50,11 +66,25 @@ struct SessionStats {
   std::int64_t leaves = 0;
   std::int64_t crashes = 0;
   std::int64_t regrids = 0;
+  /// Incremental structural moves (incremental mode only): ring splits
+  /// (k -> k+1, cell-local relabel), merges (k -> k-1, sibling coalesce),
+  /// radius extends (outer shells appended, no host moves), and
+  /// watchdog-scoped rebuilds of individual violating cells.
+  std::int64_t splits = 0;
+  std::int64_t merges = 0;
+  std::int64_t extends = 0;
+  std::int64_t scopedRebuilds = 0;
+  /// Newly-elected sibling representatives re-homed after a split (the
+  /// optional re-optimisation shed under watchdog pressure).
+  std::int64_t rehomedReps = 0;
   /// Hosts contacted by join/leave handling (protocol control cost),
   /// excluding regrids.
   std::int64_t contactCost = 0;
   /// Hosts touched by regrids (each regrid touches every live host).
   std::int64_t regridCost = 0;
+  /// Hosts relabelled or re-placed by incremental maintenance (splits,
+  /// merges, scoped rebuilds) — the incremental analogue of regridCost.
+  std::int64_t maintenanceCost = 0;
   /// Orphans re-homed in O(1) contacts via their precomputed backup parent.
   std::int64_t backupHits = 0;
   /// Orphans whose backup was unusable (dead, saturated, or a cycle risk)
@@ -172,8 +202,53 @@ class OverlaySession {
 
   /// Shrink-triggered regrid check; exposed so a driver completing a
   /// decomposed repair can apply the same membership-halved rule as
-  /// leave()/repairCrashed().
+  /// leave()/repairCrashed(). In incremental mode this merges rings
+  /// (with a full-doubling hysteresis) instead of regridding.
   void maybeShrinkRegrid();
+
+  // --- Incremental grid maintenance (incremental mode) ---------------------
+  // Cell-local structural moves replacing the full regrid. All three keep
+  // every invariant (degree caps, acyclicity, cell-membership consistency)
+  // at every intermediate step; none of them touches pending crashes or
+  // parked hosts, so unlike regrid() they compose with the decomposed RPC
+  // operations without healing state behind the driver's back.
+
+  /// k -> k+1 over the same radius: O(live) cell relabel (each host gains
+  /// one angular bit), then lazy representative re-selection — only the
+  /// newly-created sibling cells elect (and, unless shedding, re-home) a
+  /// representative. Returns false at kMaxRings.
+  bool splitRings();
+
+  /// k -> k-1 over the same radius: sibling cells coalesce; the surviving
+  /// representative is kept as-is, so no host is re-homed at all. Returns
+  /// false when fewer than two rings remain.
+  bool mergeRings();
+
+  /// Grow the outer radius to cover `needed` by appending outer shells
+  /// (existing cells, heap ids, and attachments are untouched — the O(1)
+  /// amortised answer to out-of-radius joiners). Returns false, leaving
+  /// the session unchanged, when the ring count would exceed kMaxRings or
+  /// the options_.maxRingSlack memory guard; the caller then regrids.
+  bool extendRadius(double needed);
+
+  /// Scoped rebuild — the watchdog's step-3 escalation. For each listed
+  /// cell: purge its pending crashes (re-homing their orphans), re-elect
+  /// the representative, and re-place the representative then every other
+  /// attached member through the normal placement path. Hosts outside the
+  /// listed cells are untouched. Returns the number of hosts re-placed.
+  std::int64_t rebuildCells(std::span<const std::uint64_t> heapIds);
+
+  /// Full regrid at the current radius — the watchdog's last-resort
+  /// escalation (and the only way the grid coarsens its radius frame).
+  void forceRegrid() { regrid(grid_.outerRadius()); }
+
+  /// Shed optional re-optimisation (watchdog step-1 degradation): while
+  /// set, splits skip re-homing newly-elected representatives — structure
+  /// stays valid, quality recovery is deferred until pressure clears.
+  void setShedOptionalWork(bool shed) { shedOptionalWork_ = shed; }
+  bool shedOptionalWork() const { return shedOptionalWork_; }
+
+  double outerRadius() const { return grid_.outerRadius(); }
 
   NodeId sourceId() const { return 0; }
   std::int64_t liveCount() const { return liveCount_; }
@@ -264,6 +339,14 @@ class OverlaySession {
   /// re-place every host. The only global operation.
   void regrid(double newRadius);
 
+  /// Split until the ring count reaches the online target (incremental
+  /// growth path; no-op in non-incremental mode).
+  void growRingsToTarget();
+
+  /// Detach + re-place one attached live host (its subtree rides along,
+  /// exactly like migrate() but through the cell placement path).
+  void replaceHost(NodeId node);
+
   int targetRings() const;
 
   SessionOptions options_;
@@ -275,6 +358,7 @@ class OverlaySession {
   std::int64_t lastRegridCount_ = 1;
   std::int64_t undetectedCrashes_ = 0;
   std::int64_t parkedCount_ = 0;
+  bool shedOptionalWork_ = false;
   std::vector<NodeId> crashedPending_;
   SessionStats stats_;
 };

@@ -1,0 +1,117 @@
+// Steady-state chaos gate: 100 fixed seeds of sustained join/leave/crash
+// churn through the incremental session with the radius watchdog in the
+// loop. Every seed must finish with
+//   * zero invariant violations at every audited sweep,
+//   * zero unrepaired orphans after the final quiesce sweep,
+//   * a monotone escalation history (a full regrid never fires before a
+//     scoped rebuild was attempted in the same episode), and
+//   * the worst sampled radius/lower-bound ratio within a constant factor
+//     of what a fresh static Polar_Grid build achieves at the same scale.
+#include "omt/fault/steady_churn.h"
+
+#include <gtest/gtest.h>
+
+#include "omt/core/polar_grid_tree.h"
+#include "omt/random/samplers.h"
+#include "omt/tree/validation.h"
+
+namespace omt {
+namespace {
+
+constexpr int kSeeds = 100;
+
+/// Small per-seed workload so the whole gate stays seconds-long.
+SteadyChurnOptions gateOptions(std::uint64_t seed) {
+  SteadyChurnOptions options;
+  options.warmupHosts = 128;
+  options.events = 2000;
+  options.sweepEvery = 64;
+  options.minLive = 32;
+  options.crashFraction = 0.3;
+  options.seed = seed;
+  options.measureLatency = false;  // the gate asserts structure, not time
+  return options;
+}
+
+TEST(SteadyChurnGateTest, HundredSeedsSurviveSustainedChurn) {
+  // The static-build yardstick at the gate's population scale.
+  Rng baselineRng(deriveSeed(4242, 0xbabe));
+  const std::vector<Point> baselinePoints =
+      sampleDiskWithCenterSource(baselineRng, 128, 2);
+  const double staticRatio = staticRadiusRatio(baselinePoints, 0, 6);
+  ASSERT_GT(staticRatio, 0.0);
+  const double ratioBound = std::max(4.0 * staticRatio, 8.0);
+
+  for (int seed = 1; seed <= kSeeds; ++seed) {
+    SteadyChurnOptions options =
+        gateOptions(static_cast<std::uint64_t>(seed));
+    options.baselineRatio = staticRatio;
+    const SteadyChurnResult result = runSteadyChurn(options);
+
+    ASSERT_TRUE(result.ok) << "seed " << seed << ": "
+                           << result.firstViolation;
+    EXPECT_TRUE(result.escalationMonotone) << "seed " << seed;
+    EXPECT_EQ(result.unrepairedOrphans, 0) << "seed " << seed;
+    EXPECT_LE(result.maxRatio, ratioBound)
+        << "seed " << seed << " drifted to " << result.maxRatio
+        << " (static " << staticRatio << ")";
+    EXPECT_EQ(result.events, options.events) << "seed " << seed;
+    EXPECT_GT(result.sweeps, 0) << "seed " << seed;
+  }
+}
+
+TEST(SteadyChurnTest, ResultAccountingIsConsistent) {
+  SteadyChurnOptions options = gateOptions(7);
+  const SteadyChurnResult result = runSteadyChurn(options);
+  EXPECT_EQ(result.events, result.joins + result.leaves + result.crashes);
+  EXPECT_GE(result.radiusRatio.count(), result.sweeps - 1);
+  EXPECT_EQ(result.maxRatio,
+            result.radiusRatio.count() > 0 ? result.radiusRatio.max() : 0.0);
+  EXPECT_GE(result.sweeps,
+            options.events / options.sweepEvery);  // plus the quiesce sweep
+  EXPECT_FALSE(result.finalSnapshot.has_value());
+}
+
+TEST(SteadyChurnTest, SnapshotCaptureYieldsAValidTree) {
+  SteadyChurnOptions options = gateOptions(8);
+  options.captureSnapshot = true;
+  const SteadyChurnResult result = runSteadyChurn(options);
+  ASSERT_TRUE(result.finalSnapshot.has_value());
+  const SessionSnapshot& snap = *result.finalSnapshot;
+  EXPECT_TRUE(validate(snap.tree, {.maxOutDegree = 6}));
+  EXPECT_EQ(snap.sessionIds.size(), snap.positions.size());
+}
+
+TEST(SteadyChurnTest, ParkedJoinsAreHealedByTheNextSweep) {
+  // Harsh watchdog thresholds force kParkJoins quickly; the runner must
+  // admit-and-park joins while in that mode and end with none left over.
+  SteadyChurnOptions options = gateOptions(9);
+  options.watchdog.ratioSlack = 1.0;
+  options.watchdog.minRatioAlarm = 1.0 + 1e-12;
+  options.watchdog.skewSlack = 1.0;
+  options.watchdog.skewSlop = 0;
+  const SteadyChurnResult result = runSteadyChurn(options);
+  EXPECT_GT(result.parkedJoins, 0);
+  EXPECT_GT(result.watchdog.alarms, 0);
+  EXPECT_TRUE(result.ok) << result.firstViolation;
+  EXPECT_TRUE(result.escalationMonotone);
+  EXPECT_EQ(result.unrepairedOrphans, 0);
+}
+
+TEST(SteadyChurnTest, RejectsBadOptions) {
+  SteadyChurnOptions bad = gateOptions(10);
+  bad.events = -1;
+  EXPECT_THROW(runSteadyChurn(bad), InvalidArgument);
+  bad = gateOptions(10);
+  bad.departureFraction = 1.5;
+  EXPECT_THROW(runSteadyChurn(bad), InvalidArgument);
+  bad = gateOptions(10);
+  bad.crashFraction = -0.1;
+  EXPECT_THROW(runSteadyChurn(bad), InvalidArgument);
+  bad = gateOptions(10);
+  bad.warmupHosts = 0;
+  EXPECT_THROW(runSteadyChurn(bad), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace omt

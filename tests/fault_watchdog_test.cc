@@ -1,0 +1,198 @@
+// The radius-guarantee watchdog: alarm thresholds, the escalation ladder
+// (shed -> park joins -> scoped rebuild -> full regrid, strictly in that
+// order), and the hysteresis that walks back down one step at a time.
+#include "omt/fault/watchdog.h"
+
+#include <gtest/gtest.h>
+
+#include "omt/random/samplers.h"
+#include "omt/tree/validation.h"
+
+namespace omt {
+namespace {
+
+SessionOptions degree(int d) {
+  SessionOptions options;
+  options.maxOutDegree = d;
+  return options;
+}
+
+OverlaySession& populate(OverlaySession& session, int n, std::uint64_t seed) {
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) session.join(sampleUnitBall(rng, 2));
+  return session;
+}
+
+TEST(WatchdogTest, HealthySessionStaysNormal) {
+  OverlaySession session(Point{0.0, 0.0}, degree(6));
+  populate(session, 300, 90);
+  RadiusWatchdog watchdog(session);
+  for (int i = 0; i < 5; ++i) {
+    const WatchdogReport report = watchdog.check();
+    EXPECT_TRUE(report.healthy);
+    EXPECT_EQ(report.action, WatchdogAction::kNone);
+    EXPECT_EQ(report.mode, WatchdogMode::kNormal);
+  }
+  EXPECT_EQ(watchdog.stats().checks, 5);
+  EXPECT_EQ(watchdog.stats().alarms, 0);
+  EXPECT_FALSE(watchdog.parkNewJoins());
+}
+
+TEST(WatchdogTest, MeasureRatioMatchesTreeGeometry) {
+  // A single host at distance 0.5 attached to the source: radius == lower
+  // bound, so the ratio is exactly 1.
+  OverlaySession session(Point{0.0, 0.0}, degree(6));
+  session.join(Point{0.5, 0.0});
+  RadiusWatchdog watchdog(session);
+  EXPECT_NEAR(watchdog.measureRatio(), 1.0, 1e-12);
+}
+
+TEST(WatchdogTest, DegenerateSessionsMeasureZero) {
+  OverlaySession session(Point{0.0, 0.0}, degree(6));
+  RadiusWatchdog watchdog(session);
+  EXPECT_EQ(watchdog.measureRatio(), 0.0);  // n < 2: nothing to measure
+  const WatchdogReport report = watchdog.check();
+  EXPECT_TRUE(report.healthy);
+}
+
+/// Options that make every check alarm (any measurable session violates
+/// an impossible ratio floor just above zero is not allowed, so instead
+/// drive skew: a slack of 1 and no slop flags the largest cell whenever
+/// occupancy is uneven at all, which churned sessions always are).
+WatchdogOptions alwaysAlarm() {
+  WatchdogOptions options;
+  options.ratioSlack = 1.0;
+  options.minRatioAlarm = 1.0 + 1e-12;  // any real tree exceeds this
+  options.skewSlack = 1.0;
+  options.skewSlop = 0;
+  return options;
+}
+
+TEST(WatchdogTest, EscalationLadderIsStrictlyOrdered) {
+  OverlaySession session(Point{0.0, 0.0}, degree(6));
+  populate(session, 400, 91);
+  RadiusWatchdog watchdog(session, alwaysAlarm());
+
+  // Step 1: shed.
+  WatchdogReport report = watchdog.check();
+  EXPECT_FALSE(report.healthy);
+  EXPECT_EQ(report.action, WatchdogAction::kShed);
+  EXPECT_EQ(watchdog.mode(), WatchdogMode::kShed);
+  EXPECT_TRUE(session.shedOptionalWork());
+  EXPECT_FALSE(watchdog.parkNewJoins());
+
+  // Step 2: park new joins.
+  report = watchdog.check();
+  EXPECT_EQ(report.action, WatchdogAction::kParkJoins);
+  EXPECT_TRUE(watchdog.parkNewJoins());
+
+  // Step 3: scoped rebuild, never a full regrid first.
+  const std::int64_t regridsBefore = session.stats().regrids;
+  report = watchdog.check();
+  EXPECT_EQ(report.action, WatchdogAction::kScopedRebuild);
+  EXPECT_EQ(session.stats().regrids, regridsBefore);
+  EXPECT_GE(session.stats().scopedRebuilds, 1);
+
+  // Step 4: full regrid, only now, and the episode resets.
+  report = watchdog.check();
+  EXPECT_EQ(report.action, WatchdogAction::kFullRegrid);
+  EXPECT_EQ(session.stats().regrids, regridsBefore + 1);
+  EXPECT_EQ(watchdog.mode(), WatchdogMode::kNormal);
+  EXPECT_FALSE(session.shedOptionalWork());
+
+  EXPECT_EQ(watchdog.stats().alarms, 4);
+  EXPECT_EQ(watchdog.stats().scopedRebuilds, 1);
+  EXPECT_EQ(watchdog.stats().fullRegrids, 1);
+
+  const SessionSnapshot snap = session.snapshot();
+  EXPECT_TRUE(validate(snap.tree, {.maxOutDegree = 6}));
+}
+
+TEST(WatchdogTest, HysteresisWalksBackOneStepAtATime) {
+  // Drive a watchdog to kParkJoins with a ratio-only alarm, then model
+  // recovery by raising the baseline so the same measured ratio reads
+  // healthy: de-escalation must wait out healthyChecksToClear checks and
+  // step down exactly one level at a time.
+  OverlaySession session(Point{0.0, 0.0}, degree(6));
+  populate(session, 300, 93);
+  WatchdogOptions options;
+  options.ratioSlack = 1.0;
+  options.minRatioAlarm = 1.0 + 1e-12;  // alarm while baseline is absurd
+  options.skewSlack = 1e9;              // never skew-alarm
+  options.skewSlop = 1 << 30;
+  options.healthyChecksToClear = 2;
+  RadiusWatchdog watchdog(session, options);
+
+  watchdog.check();  // -> shed
+  watchdog.check();  // -> park
+  ASSERT_EQ(watchdog.mode(), WatchdogMode::kParkJoins);
+
+  // Recovery: raise the baseline so the same measured ratio is healthy.
+  watchdog.setBaselineRatio(1e9);
+  WatchdogReport report = watchdog.check();  // healthy 1: no change yet
+  EXPECT_TRUE(report.healthy);
+  EXPECT_EQ(report.action, WatchdogAction::kNone);
+  EXPECT_EQ(watchdog.mode(), WatchdogMode::kParkJoins);
+
+  report = watchdog.check();  // healthy 2: park -> shed
+  EXPECT_EQ(report.action, WatchdogAction::kDeescalate);
+  EXPECT_EQ(watchdog.mode(), WatchdogMode::kShed);
+  EXPECT_TRUE(session.shedOptionalWork());
+
+  watchdog.check();                     // healthy 1 of the next step
+  report = watchdog.check();            // healthy 2: shed -> normal
+  EXPECT_EQ(report.action, WatchdogAction::kDeescalate);
+  EXPECT_EQ(watchdog.mode(), WatchdogMode::kNormal);
+  EXPECT_FALSE(session.shedOptionalWork());
+  EXPECT_EQ(watchdog.stats().deescalations, 2);
+}
+
+TEST(WatchdogTest, ScopedRebuildTargetsWorstCellOnPureDrift) {
+  // Ratio-only alarm (skew disabled): the scoped rebuild must still find
+  // a target cell (the worst-delay host's) rather than regridding.
+  OverlaySession session(Point{0.0, 0.0}, degree(6));
+  populate(session, 300, 94);
+  WatchdogOptions options;
+  options.ratioSlack = 1.0;
+  options.minRatioAlarm = 1.0 + 1e-12;
+  options.skewSlack = 1e9;
+  options.skewSlop = 1 << 30;
+  RadiusWatchdog watchdog(session, options);
+  watchdog.check();  // shed
+  watchdog.check();  // park
+  const WatchdogReport report = watchdog.check();  // scoped
+  EXPECT_EQ(report.action, WatchdogAction::kScopedRebuild);
+  EXPECT_GE(report.rebuiltHosts, 1);
+  EXPECT_EQ(session.stats().regrids, 0);
+}
+
+TEST(WatchdogTest, RejectsBadOptions) {
+  OverlaySession session(Point{0.0, 0.0}, degree(6));
+  WatchdogOptions bad;
+  bad.ratioSlack = 0.5;
+  EXPECT_THROW(RadiusWatchdog(session, bad), InvalidArgument);
+  bad = {};
+  bad.minRatioAlarm = 1.0;
+  EXPECT_THROW(RadiusWatchdog(session, bad), InvalidArgument);
+  bad = {};
+  bad.healthyChecksToClear = 0;
+  EXPECT_THROW(RadiusWatchdog(session, bad), InvalidArgument);
+  bad = {};
+  bad.maxScopedCells = 0;
+  EXPECT_THROW(RadiusWatchdog(session, bad), InvalidArgument);
+}
+
+TEST(WatchdogTest, ToStringNamesAreStable) {
+  EXPECT_STREQ(toString(WatchdogMode::kNormal), "normal");
+  EXPECT_STREQ(toString(WatchdogMode::kShed), "shed");
+  EXPECT_STREQ(toString(WatchdogMode::kParkJoins), "park_joins");
+  EXPECT_STREQ(toString(WatchdogAction::kNone), "none");
+  EXPECT_STREQ(toString(WatchdogAction::kShed), "shed");
+  EXPECT_STREQ(toString(WatchdogAction::kParkJoins), "park_joins");
+  EXPECT_STREQ(toString(WatchdogAction::kScopedRebuild), "scoped_rebuild");
+  EXPECT_STREQ(toString(WatchdogAction::kFullRegrid), "full_regrid");
+  EXPECT_STREQ(toString(WatchdogAction::kDeescalate), "deescalate");
+}
+
+}  // namespace
+}  // namespace omt

@@ -182,6 +182,95 @@ TEST(PolarGridTest, ConstructionErrors) {
   EXPECT_THROW(PolarGrid(2, 3, 0.0), InvalidArgument);
 }
 
+TEST(PolarGridIncrementalTest, SplitPreservesBoundaryRadiiBitwise) {
+  // Splitting k -> k+1 at fixed R reuses every old boundary: old circle i
+  // IS new circle i+1, exactly (same floating-point value), which is what
+  // makes cell-local relabelling sound.
+  for (int d = 2; d <= 5; ++d) {
+    const PolarGrid grid(d, 6, 1.7);
+    const PolarGrid split = grid.afterSplit();
+    EXPECT_EQ(split.rings(), 7);
+    EXPECT_EQ(split.outerRadius(), grid.outerRadius());
+    for (int i = 0; i <= 6; ++i) {
+      EXPECT_EQ(split.ringRadius(i + 1), grid.ringRadius(i))
+          << "d=" << d << " i=" << i;
+    }
+  }
+}
+
+TEST(PolarGridIncrementalTest, MergeOfSplitIsIdentity) {
+  const PolarGrid grid(3, 5, 0.8);
+  const PolarGrid back = grid.afterSplit().afterMerge();
+  EXPECT_EQ(back.dim(), grid.dim());
+  EXPECT_EQ(back.rings(), grid.rings());
+  EXPECT_EQ(back.outerRadius(), grid.outerRadius());
+  EXPECT_THROW(PolarGrid(2, 1, 1.0).afterMerge(), InvalidArgument);
+  EXPECT_THROW(PolarGrid(2, PolarGrid::kMaxRings, 1.0).afterSplit(),
+               InvalidArgument);
+}
+
+TEST(PolarGridIncrementalTest, ExtendKeepsExistingBoundariesAndIds) {
+  // Extending appends outer shells: old circle i keeps (up to ulps) its
+  // radius, and heap ids don't move at all — no host re-homing needed.
+  for (int d = 2; d <= 4; ++d) {
+    const PolarGrid grid(d, 5, 1.0);
+    for (int extra = 1; extra <= 3; ++extra) {
+      const PolarGrid big = grid.afterExtend(extra);
+      EXPECT_EQ(big.rings(), 5 + extra);
+      EXPECT_NEAR(big.outerRadius(),
+                  std::exp2(static_cast<double>(extra) / d), 1e-12);
+      for (int i = 0; i <= 5; ++i) {
+        EXPECT_NEAR(big.ringRadius(i), grid.ringRadius(i), 1e-12)
+            << "d=" << d << " extra=" << extra << " i=" << i;
+      }
+    }
+  }
+  EXPECT_THROW(PolarGrid(2, 3, 1.0).afterExtend(0), InvalidArgument);
+  EXPECT_THROW(
+      PolarGrid(2, PolarGrid::kMaxRings, 1.0).afterExtend(1), InvalidArgument);
+}
+
+TEST(PolarGridIncrementalTest, SplitTargetMatchesFreshAssignment) {
+  // For random points, relabelling via splitTargetOf lands every host in
+  // exactly the cell a from-scratch assignment on the split grid would
+  // choose.
+  Rng rng(23);
+  for (int d = 2; d <= 4; ++d) {
+    const PolarGrid grid(d, 5, 1.0);
+    const PolarGrid split = grid.afterSplit();
+    const Point origin(d);
+    for (int trial = 0; trial < 500; ++trial) {
+      const PolarCoords polar = toPolar(sampleUnitBall(rng, d), origin);
+      const int ring = grid.ringOf(polar.radius);
+      const std::uint64_t id = grid.heapId(ring, grid.cellOf(polar, ring));
+      const int newRing = split.ringOf(polar.radius);
+      const std::uint64_t fresh =
+          split.heapId(newRing, split.cellOf(polar, newRing));
+      EXPECT_EQ(grid.splitTargetOf(id, polar, polar.radius), fresh)
+          << "d=" << d << " trial=" << trial;
+    }
+  }
+}
+
+TEST(PolarGridIncrementalTest, MergeTargetMatchesFreshAssignment) {
+  Rng rng(24);
+  for (int d = 2; d <= 4; ++d) {
+    const PolarGrid grid(d, 6, 1.0);
+    const PolarGrid merged = grid.afterMerge();
+    const Point origin(d);
+    for (int trial = 0; trial < 500; ++trial) {
+      const PolarCoords polar = toPolar(sampleUnitBall(rng, d), origin);
+      const int ring = grid.ringOf(polar.radius);
+      const std::uint64_t id = grid.heapId(ring, grid.cellOf(polar, ring));
+      const int newRing = merged.ringOf(polar.radius);
+      const std::uint64_t fresh =
+          merged.heapId(newRing, merged.cellOf(polar, newRing));
+      EXPECT_EQ(grid.mergeTargetOf(id), fresh)
+          << "d=" << d << " trial=" << trial;
+    }
+  }
+}
+
 class GridScaling : public ::testing::TestWithParam<std::tuple<int, double>> {};
 
 TEST_P(GridScaling, RadiiScaleWithOuterRadius) {

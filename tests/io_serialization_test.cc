@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "omt/core/polar_grid_tree.h"
+#include "omt/protocol/overlay_session.h"
 #include "omt/random/samplers.h"
 #include "omt/tree/validation.h"
 
@@ -103,6 +104,122 @@ TEST(FileIoTest, FileRoundTrip) {
   const MulticastTree tree = loadTreeFile(dir + "/omt_tree_test.txt");
   EXPECT_EQ(tree.size(), built.tree.size());
   EXPECT_THROW(loadPointsFile(dir + "/does_not_exist.txt"), InvalidArgument);
+}
+
+/// A small deterministic churned session: joins, leaves, and repaired
+/// crashes with a fixed seed, so its snapshot is reproducible bit-for-bit.
+SessionSnapshot churnedSnapshot() {
+  Rng rng(77);
+  SessionOptions options;
+  options.maxOutDegree = 4;
+  OverlaySession session(Point{0.0, 0.0}, options);
+  std::vector<NodeId> live;
+  for (int step = 0; step < 400; ++step) {
+    const double dice = rng.uniform();
+    if (live.size() < 20 || dice < 0.55) {
+      live.push_back(session.join(sampleUnitBall(rng, 2)));
+    } else if (dice < 0.8) {
+      const std::size_t pick = rng.uniformInt(live.size());
+      session.leave(live[pick]);
+      live[pick] = live.back();
+      live.pop_back();
+    } else {
+      const std::size_t pick = rng.uniformInt(live.size());
+      session.crash(live[pick]);
+      live[pick] = live.back();
+      live.pop_back();
+    }
+  }
+  session.detectAndRepair();
+  return session.snapshot();
+}
+
+TEST(SessionIoTest, RoundTripPreservesAllComponents) {
+  const SessionSnapshot snap = churnedSnapshot();
+  std::stringstream stream;
+  saveSessionSnapshot(stream, snap.tree, snap.sessionIds, snap.positions);
+  const LoadedSessionSnapshot loaded = loadSessionSnapshot(stream);
+
+  ASSERT_EQ(loaded.tree.size(), snap.tree.size());
+  EXPECT_EQ(loaded.tree.root(), snap.tree.root());
+  for (NodeId v = 0; v < loaded.tree.size(); ++v) {
+    EXPECT_EQ(loaded.tree.parentOf(v), snap.tree.parentOf(v));
+    if (v != loaded.tree.root()) {
+      EXPECT_EQ(loaded.tree.edgeKindOf(v), snap.tree.edgeKindOf(v));
+    }
+  }
+  ASSERT_EQ(loaded.sessionIds.size(), snap.sessionIds.size());
+  ASSERT_EQ(loaded.positions.size(), snap.positions.size());
+  for (std::size_t i = 0; i < snap.sessionIds.size(); ++i) {
+    EXPECT_EQ(loaded.sessionIds[i], snap.sessionIds[i]) << "index " << i;
+    EXPECT_EQ(loaded.positions[i], snap.positions[i]) << "index " << i;
+  }
+  EXPECT_TRUE(validate(loaded.tree, {.maxOutDegree = 4}));
+}
+
+TEST(SessionIoTest, FileRoundTrip) {
+  const SessionSnapshot snap = churnedSnapshot();
+  const std::string path =
+      ::testing::TempDir() + "/omt_session_snapshot_test.txt";
+  saveSessionSnapshotFile(path, snap.tree, snap.sessionIds, snap.positions);
+  const LoadedSessionSnapshot loaded = loadSessionSnapshotFile(path);
+  EXPECT_EQ(loaded.sessionIds, snap.sessionIds);
+  EXPECT_EQ(loaded.tree.size(), snap.tree.size());
+  EXPECT_THROW(loadSessionSnapshotFile(::testing::TempDir() + "/missing.txt"),
+               InvalidArgument);
+}
+
+TEST(SessionIoTest, RejectsMalformedInput) {
+  const auto load = [](const std::string& text) {
+    std::stringstream stream(text);
+    return loadSessionSnapshot(stream);
+  };
+  EXPECT_THROW(load(""), InvalidArgument);
+  EXPECT_THROW(load("omt-tree 1 1 0\n-1 1\n"), InvalidArgument);  // not a session
+  EXPECT_THROW(load("omt-session 9 1\n0\nomt-tree 1 1 0\n-1 1\n"
+                    "omt-points 1 1 2\n0 0\n"),
+               InvalidArgument);  // version
+  EXPECT_THROW(load("omt-session 1 1\n-3\nomt-tree 1 1 0\n-1 1\n"
+                    "omt-points 1 1 2\n0 0\n"),
+               InvalidArgument);  // negative session id
+  EXPECT_THROW(load("omt-session 1 2\n0\n1\nomt-tree 1 1 0\n-1 1\n"
+                    "omt-points 1 1 2\n0 0\n"),
+               InvalidArgument);  // tree size disagrees with n
+  EXPECT_THROW(load("omt-session 1 1\n0\nomt-tree 1 1 0\n-1 1\n"
+                    "omt-points 1 2 2\n0 0\n1 1\n"),
+               InvalidArgument);  // points count disagrees with n
+}
+
+/// FNV-1a over the snapshot's structural content (session ids, parents in
+/// tree-index space, edge kinds) — the golden fingerprint below pins the
+/// save/load/churn pipeline end to end.
+std::uint64_t fingerprint(const LoadedSessionSnapshot& snap) {
+  std::uint64_t hash = 1469598103934665603ULL;
+  const auto mix = [&hash](std::int64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= static_cast<std::uint64_t>(value >> (8 * byte)) & 0xffULL;
+      hash *= 1099511628211ULL;
+    }
+  };
+  for (NodeId v = 0; v < snap.tree.size(); ++v) {
+    mix(snap.sessionIds[static_cast<std::size_t>(v)]);
+    mix(snap.tree.parentOf(v));
+    mix(v == snap.tree.root()
+            ? -1
+            : static_cast<std::int64_t>(snap.tree.edgeKindOf(v)));
+  }
+  return hash;
+}
+
+TEST(SessionIoTest, GoldenFingerprintIsStable) {
+  // Churned session -> snapshot -> text -> loaded: the structural
+  // fingerprint must never drift without a deliberate format or protocol
+  // change (update the constant when one happens, with a CHANGES.md note).
+  const SessionSnapshot snap = churnedSnapshot();
+  std::stringstream stream;
+  saveSessionSnapshot(stream, snap.tree, snap.sessionIds, snap.positions);
+  const LoadedSessionSnapshot loaded = loadSessionSnapshot(stream);
+  EXPECT_EQ(fingerprint(loaded), 0x5f87d4c42151bae9ULL);
 }
 
 }  // namespace

@@ -1,0 +1,203 @@
+// Degenerate-session edge cases for repairCrashed() and migrate(): crashes
+// adjacent to the root, the last remaining host, and hosts caught in the
+// parked state mid-operation. These are the configurations where a repair
+// has the fewest candidate parents to work with, so any ordering bug in
+// purge/re-home shows up as a validation failure or a stranded host.
+#include <gtest/gtest.h>
+
+#include "omt/protocol/overlay_session.h"
+#include "omt/random/samplers.h"
+#include "omt/tree/metrics.h"
+#include "omt/tree/validation.h"
+
+namespace omt {
+namespace {
+
+SessionOptions degree(int d) {
+  SessionOptions options;
+  options.maxOutDegree = d;
+  return options;
+}
+
+void expectValid(const OverlaySession& session, int maxDegree) {
+  const SessionSnapshot snap = session.snapshot();
+  const ValidationResult valid =
+      validate(snap.tree, {.maxOutDegree = maxDegree});
+  EXPECT_TRUE(valid.ok) << valid.message;
+}
+
+TEST(RepairEdgeTest, CrashLastRemainingHost) {
+  // The session degenerates back to just the source; every per-host
+  // structure must be fully cleared.
+  OverlaySession session(Point{0.0, 0.0}, degree(6));
+  const NodeId only = session.join(Point{0.4, 0.0});
+  session.crash(only);
+  const RepairReport report = session.repairCrashed(only);
+  EXPECT_EQ(report.orphansReplaced, 0);  // no subtree below it
+  EXPECT_EQ(session.liveCount(), 1);
+  EXPECT_EQ(session.undetectedCrashes(), 0);
+  EXPECT_FALSE(session.isLive(only));
+  EXPECT_EQ(session.parentOf(only), kNoNode);
+  const SessionSnapshot snap = session.snapshot();
+  EXPECT_EQ(snap.tree.size(), 1);
+  // The session keeps working afterwards.
+  session.join(Point{0.2, 0.1});
+  expectValid(session, 6);
+}
+
+TEST(RepairEdgeTest, CrashEveryRootChildSimultaneously) {
+  // All of the source's direct children die at once: every orphaned
+  // subtree must re-home through the source again, and the source's
+  // degree bound must still hold.
+  Rng rng(80);
+  OverlaySession session(Point{0.0, 0.0}, degree(3));
+  for (int i = 0; i < 60; ++i) session.join(sampleUnitBall(rng, 2));
+
+  std::vector<NodeId> rootChildren(session.childrenOf(0).begin(),
+                                   session.childrenOf(0).end());
+  ASSERT_FALSE(rootChildren.empty());
+  for (const NodeId child : rootChildren) session.crash(child);
+  EXPECT_EQ(session.undetectedCrashes(),
+            static_cast<std::int64_t>(rootChildren.size()));
+  session.detectAndRepair();
+  EXPECT_EQ(session.undetectedCrashes(), 0);
+  EXPECT_EQ(session.liveCount(),
+            61 - static_cast<std::int64_t>(rootChildren.size()));
+  expectValid(session, 3);
+}
+
+TEST(RepairEdgeTest, RepeatedRootAdjacentCrashesDegreeTwo) {
+  // Degree 2 gives the root the fewest slots; crashing a root child over
+  // and over exercises the re-home path when the best candidate is nearly
+  // always saturated.
+  Rng rng(81);
+  OverlaySession session(Point{0.0, 0.0}, degree(2));
+  for (int i = 0; i < 40; ++i) session.join(sampleUnitBall(rng, 2));
+  for (int round = 0; round < 10; ++round) {
+    const auto& children = session.childrenOf(0);
+    if (children.empty()) break;
+    const NodeId victim = children.front();
+    session.crash(victim);
+    session.repairCrashed(victim);
+    expectValid(session, 2);
+  }
+  EXPECT_EQ(session.undetectedCrashes(), 0);
+}
+
+TEST(RepairEdgeTest, CrashParkedHostMidAdmission) {
+  // A host admitted but not yet attached (parked) crashes before
+  // attachParked() ever runs: the sweep must purge it without ever having
+  // placed it, and the parked counter must return to zero.
+  Rng rng(82);
+  OverlaySession session(Point{0.0, 0.0}, degree(6));
+  for (int i = 0; i < 30; ++i) session.join(sampleUnitBall(rng, 2));
+
+  const NodeId parked = session.admit(Point{0.3, 0.2});
+  EXPECT_TRUE(session.isParked(parked));
+  EXPECT_EQ(session.parkedCount(), 1);
+  session.crash(parked);
+  session.detectAndRepair();
+  EXPECT_FALSE(session.isLive(parked));
+  EXPECT_EQ(session.parkedCount(), 0);
+  EXPECT_EQ(session.undetectedCrashes(), 0);
+  expectValid(session, 6);
+}
+
+TEST(RepairEdgeTest, CrashParentOfParkedHost) {
+  // park() detaches a live host; while it waits, its old parent crashes.
+  // The sweep must repair the crash and re-attach the parked host without
+  // double-placing it.
+  Rng rng(83);
+  OverlaySession session(Point{0.0, 0.0}, degree(4));
+  std::vector<NodeId> ids;
+  for (int i = 0; i < 50; ++i)
+    ids.push_back(session.join(sampleUnitBall(rng, 2)));
+
+  NodeId waiting = kNoNode;
+  NodeId oldParent = kNoNode;
+  for (const NodeId id : ids) {
+    const NodeId p = session.parentOf(id);
+    if (p != kNoNode && p != 0 && session.isLive(p)) {
+      waiting = id;
+      oldParent = p;
+      break;
+    }
+  }
+  ASSERT_NE(waiting, kNoNode);
+  session.park(waiting);
+  EXPECT_TRUE(session.isParked(waiting));
+  session.crash(oldParent);
+  session.detectAndRepair();
+  EXPECT_TRUE(session.isLive(waiting));
+  EXPECT_FALSE(session.isParked(waiting));
+  EXPECT_NE(session.parentOf(waiting), kNoNode);
+  EXPECT_EQ(session.parkedCount(), 0);
+  expectValid(session, 4);
+}
+
+TEST(RepairEdgeTest, MigrateOnlyHost) {
+  // Migrating the single non-source host can only land it back under the
+  // source; membership and validity must be untouched.
+  OverlaySession session(Point{0.0, 0.0}, degree(6));
+  const NodeId only = session.join(Point{0.5, 0.0});
+  const RepairReport report = session.migrate(only);
+  EXPECT_EQ(report.orphansReplaced, 1);
+  EXPECT_TRUE(session.isLive(only));
+  EXPECT_EQ(session.parentOf(only), 0);
+  EXPECT_EQ(session.liveCount(), 2);
+  expectValid(session, 6);
+}
+
+TEST(RepairEdgeTest, MigrateRootChildWithDeepSubtree) {
+  // Migrating a root-adjacent host carries its whole subtree along; the
+  // subtree must stay below it and the tree must stay acyclic.
+  Rng rng(84);
+  OverlaySession session(Point{0.0, 0.0}, degree(2));
+  for (int i = 0; i < 40; ++i) session.join(sampleUnitBall(rng, 2));
+  const auto& children = session.childrenOf(0);
+  ASSERT_FALSE(children.empty());
+  const NodeId mover = children.front();
+  const std::int64_t liveBefore = session.liveCount();
+  session.migrate(mover);
+  EXPECT_TRUE(session.isLive(mover));
+  EXPECT_EQ(session.liveCount(), liveBefore);
+  expectValid(session, 2);
+}
+
+TEST(RepairEdgeTest, MigrateRejectsParkedHost) {
+  // A parked host has no attachment to walk away from.
+  OverlaySession session(Point{0.0, 0.0}, degree(6));
+  session.join(Point{0.4, 0.0});
+  const NodeId parked = session.admit(Point{0.2, 0.2});
+  EXPECT_THROW(session.migrate(parked), InvalidArgument);
+  session.attachParked(parked);
+  EXPECT_FALSE(session.isParked(parked));
+  session.migrate(parked);  // attached now: fine
+  expectValid(session, 6);
+}
+
+TEST(RepairEdgeTest, RepairEdgeCasesComposeUnderIncrementalMaintenance) {
+  // The same degenerate operations interleaved with enough joins to cross
+  // split thresholds: incremental relabelling must never strand a parked
+  // or crashed host.
+  Rng rng(85);
+  OverlaySession session(Point{0.0, 0.0}, degree(3));
+  std::vector<NodeId> parked;
+  for (int wave = 0; wave < 6; ++wave) {
+    for (int i = 0; i < 200; ++i) session.join(sampleUnitBall(rng, 2));
+    parked.push_back(session.admit(sampleUnitBall(rng, 2)));
+    const auto& rootChildren = session.childrenOf(0);
+    if (!rootChildren.empty()) {
+      const NodeId victim = rootChildren.front();
+      session.crash(victim);
+    }
+    session.detectAndRepair();
+    EXPECT_EQ(session.parkedCount(), 0) << "wave " << wave;
+    expectValid(session, 3);
+  }
+  EXPECT_GE(session.stats().splits, 1);  // thresholds actually crossed
+  for (const NodeId id : parked) EXPECT_TRUE(session.isLive(id));
+}
+
+}  // namespace
+}  // namespace omt

@@ -14,6 +14,10 @@
 //   omtcli chaos    [--seed 42] [--duration 10] [--arrival 10] [--degree 6]
 //                   [--loss 0.3] [--heartbeat-loss 0.1] [--attempts 4]
 //                   [--partition-rate 0.1] [--audit-period 0.5] [--rpc 1]
+//   omtcli churn    [--events 20000] [--warmup 512] [--sweep-every 256]
+//                   [--departure-fraction 0.5] [--crash-fraction 0.3]
+//                   [--degree 6] [--dim 2] [--seed 1] [--min-live 64]
+//                   [--incremental 1] [--snapshot out.txt]
 //
 // Any command additionally accepts --trace <file> (Chrome trace_event JSON
 // of the run's spans) and --metrics <file> (Prometheus text exposition);
@@ -30,6 +34,7 @@
 
 #include "omt/baselines/baselines.h"
 #include "omt/fault/chaos.h"
+#include "omt/fault/steady_churn.h"
 #include "omt/bisection/bisection.h"
 #include "omt/core/bounds.h"
 #include "omt/core/polar_grid_tree.h"
@@ -313,10 +318,90 @@ int cmdChaos(const Flags& flags) {
   return 0;
 }
 
+int cmdChurn(const Flags& flags) {
+  SteadyChurnOptions options;
+  options.dim = static_cast<int>(flags.getInt("dim", 2));
+  options.session.maxOutDegree = static_cast<int>(flags.getInt("degree", 6));
+  options.session.incremental = flags.getInt("incremental", 1) != 0;
+  options.warmupHosts = flags.getInt("warmup", 512);
+  options.events = flags.getInt("events", 20000);
+  options.departureFraction = flags.getDouble("departure-fraction", 0.5);
+  options.crashFraction = flags.getDouble("crash-fraction", 0.3);
+  options.sweepEvery = flags.getInt("sweep-every", 256);
+  options.minLive = flags.getInt("min-live", 64);
+  options.seed = static_cast<std::uint64_t>(flags.getInt("seed", 1));
+  const std::string snapshotPath = flags.get("snapshot", "");
+  options.captureSnapshot = !snapshotPath.empty();
+
+  // Quality yardstick: a fresh static build on a comparable membership.
+  Rng baselineRng(deriveSeed(options.seed, 0xbabe));
+  const std::vector<Point> baselinePoints = sampleDiskWithCenterSource(
+      baselineRng, std::max<std::int64_t>(options.warmupHosts, 2),
+      options.dim);
+  options.baselineRatio =
+      staticRadiusRatio(baselinePoints, 0, options.session.maxOutDegree);
+
+  const SteadyChurnResult result = runSteadyChurn(options);
+
+  TextTable table({"metric", "value"});
+  table.addRow({"events", TextTable::count(result.events)});
+  table.addRow({"joins", TextTable::count(result.joins)});
+  table.addRow({"leaves", TextTable::count(result.leaves)});
+  table.addRow({"crashes", TextTable::count(result.crashes)});
+  table.addRow({"parked joins", TextTable::count(result.parkedJoins)});
+  table.addRow({"sweeps", TextTable::count(result.sweeps)});
+  table.addRow({"repaired subtrees",
+                TextTable::count(result.repairedSubtrees)});
+  table.addRow({"splits", TextTable::count(result.session.splits)});
+  table.addRow({"merges", TextTable::count(result.session.merges)});
+  table.addRow({"extends", TextTable::count(result.session.extends)});
+  table.addRow({"scoped rebuilds",
+                TextTable::count(result.session.scopedRebuilds)});
+  table.addRow({"full regrids", TextTable::count(result.session.regrids)});
+  table.addRow({"events/s", TextTable::num(result.eventsPerSecond, 0)});
+  table.addRow({"R/LB mean", TextTable::num(result.radiusRatio.count() > 0
+                                                ? result.radiusRatio.mean()
+                                                : 0.0,
+                                            3)});
+  table.addRow({"R/LB max", TextTable::num(result.maxRatio, 3)});
+  table.addRow(
+      {"R/LB static", TextTable::num(options.baselineRatio, 3)});
+  table.addRow({"watchdog alarms", TextTable::count(result.watchdog.alarms)});
+  table.addRow({"final live",
+                TextTable::count(result.session.joins - result.session.leaves -
+                                 result.session.crashes)});
+  std::cout << table.str();
+
+  if (!snapshotPath.empty() && result.finalSnapshot) {
+    const SessionSnapshot& snap = *result.finalSnapshot;
+    saveSessionSnapshotFile(snapshotPath, snap.tree, snap.sessionIds,
+                            snap.positions);
+    std::cout << "snapshot (" << snap.sessionIds.size()
+              << " hosts) written to " << snapshotPath << "\n";
+  }
+  if (!result.ok) {
+    std::cerr << "INVARIANTS VIOLATED: " << result.firstViolation << "\n";
+    return 1;
+  }
+  if (!result.escalationMonotone) {
+    std::cerr << "ESCALATION NON-MONOTONE: a full regrid ran before a "
+                 "scoped rebuild was attempted\n";
+    return 1;
+  }
+  if (result.unrepairedOrphans != 0) {
+    std::cerr << "UNREPAIRED ORPHANS: " << result.unrepairedOrphans
+              << " hosts still detached after the quiesce sweep\n";
+    return 1;
+  }
+  std::cout << "INVARIANTS OK: every sweep audit passed, escalation "
+               "monotone, no orphans left behind\n";
+  return 0;
+}
+
 int run(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: omtcli <generate|build|metrics|simulate|render|"
-                 "chaos> --flag value ...\n";
+                 "chaos|churn> --flag value ...\n";
     return 2;
   }
   const std::string command = argv[1];
@@ -337,6 +422,7 @@ int run(int argc, char** argv) {
   else if (command == "simulate") rc = cmdSimulate(flags);
   else if (command == "render") rc = cmdRender(flags);
   else if (command == "chaos") rc = cmdChaos(flags);
+  else if (command == "churn") rc = cmdChurn(flags);
   else {
     std::cerr << "unknown command '" << command << "'\n";
     return 2;
