@@ -171,6 +171,123 @@ void timeQuantileInversion(BenchJsonWriter& json) {
   json.endRow();
 }
 
+/// Thread counts for the fused sweep: 1, powers of two, and the requested
+/// maximum. --threads 1 (the default) keeps just the single-thread row.
+std::vector<int> threadSweep(int maxThreads) {
+  std::vector<int> sweep{1};
+  for (int t = 2; t < maxThreads; t *= 2) sweep.push_back(t);
+  if (maxThreads > 1) sweep.push_back(maxThreads);
+  return sweep;
+}
+
+/// Times the fused polar+classify+count kernel (polarClassifyBatch, the
+/// assignToGrid front half) against the PR 5 unfused two-pass kernel path,
+/// across the --threads sweep, and — when compiled in — with the fast-math
+/// tier on. The single-thread exact fused run is verified bitwise against
+/// the unfused path before any number is reported. Returns true when the
+/// exact fused path is not >10% slower than the unfused path it replaces.
+bool timeFusedPointToCell(std::int64_t n, int dim, int repeats, int maxThreads,
+                          BenchJsonWriter& json, TextTable& out) {
+  Rng rng(deriveSeed(7300, static_cast<std::uint64_t>(dim)));
+  const std::vector<Point> points = sampleDiskWithCenterSource(rng, n, dim);
+  const Point& origin = points[0];
+  const auto un = static_cast<std::size_t>(n);
+
+  double maxRadius = kernels::radiusMaxBatch(points, origin);
+  if (maxRadius == 0.0) maxRadius = 1.0;
+  const int rings =
+      std::min<int>(PolarGrid::kMaxRings,
+                    std::max<int>(1, static_cast<int>(std::log2(n)) + 1));
+  const PolarGrid grid(dim, rings, maxRadius);
+  std::vector<double> ringRadii(static_cast<std::size_t>(rings) + 1);
+  for (int i = 0; i <= rings; ++i)
+    ringRadii[static_cast<std::size_t>(i)] = grid.ringRadius(i);
+  const kernels::ClassifyTable table =
+      kernels::makeClassifyTable(dim, rings, maxRadius, ringRadii);
+
+  // Unfused single-thread baseline: the PR 5 two-pass kernel path (polar
+  // into full SoA lanes, then classify off the lanes).
+  ScratchArena& arena = workerArena();
+  ScratchArena::Scope scope(arena);
+  kernels::PolarLanes lanes;
+  lanes.radius = arena.alloc<double>(un);
+  for (int j = 0; j < dim - 1; ++j)
+    lanes.cube[static_cast<std::size_t>(j)] = arena.alloc<double>(un);
+  std::vector<PolarCoords> basePolar(un);
+  std::vector<std::int32_t> baseRing(un);
+  std::vector<std::uint64_t> baseCell(un);
+  double unfusedSec = 0.0;
+  for (int r = 0; r < repeats; ++r) {
+    Stopwatch watch;
+    kernels::polarOfPointsBatch(points, origin, lanes, basePolar);
+    kernels::ringCellBatch(table, lanes.radius, lanes, baseRing, baseCell);
+    unfusedSec += watch.seconds();
+  }
+
+  std::vector<PolarCoords> fusedPolar(un);
+  std::vector<std::int32_t> fusedRing(un);
+  std::vector<std::uint64_t> fusedCell(un);
+  const auto runFused = [&](int threads) {
+    parallelForChunks(0, n, threads,
+                      [&](std::int64_t lo, std::int64_t hi, int) {
+                        const auto ulo = static_cast<std::size_t>(lo);
+                        const auto len = static_cast<std::size_t>(hi - lo);
+                        kernels::polarClassifyBatch(
+                            std::span<const Point>(points).subspan(ulo, len),
+                            origin, table,
+                            std::span<PolarCoords>(fusedPolar)
+                                .subspan(ulo, len),
+                            std::span<std::int32_t>(fusedRing)
+                                .subspan(ulo, len),
+                            std::span<std::uint64_t>(fusedCell)
+                                .subspan(ulo, len));
+                      });
+  };
+  const double perPoint = 1e9 / (static_cast<double>(n) * repeats);
+  bool gateOk = true;
+  for (const bool fast : {false, true}) {
+    if (fast && !kernels::fast_math::compiledIn()) continue;
+    const bool prev = kernels::fast_math::setEnabled(fast);
+    const std::string stage =
+        fast ? "fused_point_to_cell_fast_math" : "fused_point_to_cell";
+    for (const int threads : threadSweep(maxThreads)) {
+      double fusedSec = 0.0;
+      for (int r = 0; r < repeats; ++r) {
+        Stopwatch watch;
+        runFused(threads);
+        fusedSec += watch.seconds();
+      }
+      if (!fast && threads == 1) {
+        // Exact mode is contract-bound to the unfused kernels to the bit.
+        for (std::size_t i = 0; i < un; ++i) {
+          OMT_CHECK(std::bit_cast<std::uint64_t>(fusedPolar[i].radius) ==
+                        std::bit_cast<std::uint64_t>(basePolar[i].radius),
+                    "fused polar radius diverged from unfused");
+          OMT_CHECK(fusedRing[i] == baseRing[i] &&
+                        fusedCell[i] == baseCell[i],
+                    "fused classification diverged from unfused");
+        }
+        if (fusedSec > 1.10 * unfusedSec) gateOk = false;
+      }
+      json.beginRow();
+      json.field("dim", static_cast<std::int64_t>(dim));
+      json.field("n", n);
+      json.field("stage", stage);
+      json.field("threads", static_cast<std::int64_t>(threads));
+      json.field("scalar_ns_per_point", unfusedSec * perPoint);
+      json.field("kernel_ns_per_point", fusedSec * perPoint);
+      json.field("speedup", unfusedSec / fusedSec);
+      json.endRow();
+      out.addRow({std::to_string(dim), stage + " (t=" + std::to_string(threads) + ")",
+                  TextTable::num(unfusedSec * perPoint, 1),
+                  TextTable::num(fusedSec * perPoint, 1),
+                  TextTable::num(unfusedSec / fusedSec, 2) + "x"});
+    }
+    kernels::fast_math::setEnabled(prev);
+  }
+  return gateOk;
+}
+
 /// Returns true when the kernel path meets the "not >10% slower" gate.
 bool runKernelSection(const Args& args) {
   const std::int64_t n = args.maxN.value_or(1000000);
@@ -192,6 +309,10 @@ bool runKernelSection(const Args& args) {
     addRow("classify", t.scalarClassify, t.kernelClassify);
     addRow("point_to_cell", t.scalarTotal(), t.kernelTotal());
     if (t.kernelTotal() > 1.10 * t.scalarTotal()) gateOk = false;
+    // Fused-vs-unfused (with the --threads sweep and the fast-math tier):
+    // its "Scalar" column is the unfused kernel baseline, not raw scalar.
+    if (!timeFusedPointToCell(n, dim, repeats, args.threads, json, table))
+      gateOk = false;
   }
   timeQuantileInversion(json);
   json.close();

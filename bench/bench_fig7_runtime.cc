@@ -9,7 +9,10 @@
 // timed seconds are honest). Besides the table/CSV, the run always writes
 // BENCH_construction.json so successive PRs can track the perf trajectory:
 //   {"bench": "fig7_construction", "rows": [{"n": ..., "seconds": ...,
-//    "ns_per_node": ..., "threads": ...}, ...]}
+//    "ns_per_node": ..., "threads": ..., "fast_math": 0|1}, ...]}
+// --fast-math (or OMT_FAST_MATH=1) times the construction with the
+// approximate kernel tier; --max-n 5000000 reaches the paper's largest size
+// without the rest of the --full protocol.
 #include "common.h"
 
 int main(int argc, char** argv) {
@@ -53,6 +56,8 @@ int main(int argc, char** argv) {
     json.field("seconds", seconds);
     json.field("ns_per_node", perNode);
     json.field("threads", static_cast<std::int64_t>(row.buildWorkers));
+    json.field("fast_math",
+               static_cast<std::int64_t>(kernels::fast_math::enabled() ? 1 : 0));
     json.endRow();
     prevSeconds = seconds;
     prevN = spec.n;

@@ -33,6 +33,7 @@
 
 #include "omt/core/bounds.h"
 #include "omt/core/polar_grid_tree.h"
+#include "omt/kernels/fast_math.h"
 #include "omt/obs/metrics.h"
 #include "omt/obs/obs.h"
 #include "omt/parallel/parallel_for.h"
@@ -74,6 +75,9 @@ struct Args {
   double minEventsPerSec = 0.0;
   /// bench_churn --steady-state: base seed for the shard RNG streams.
   std::uint64_t seed = 1401;
+  /// Enable the opt-in fast-math kernel tier for every timed construction
+  /// (same switch as OMT_FAST_MATH=1 / omtcli build --fast-math).
+  bool fastMath = false;
 };
 
 inline Args parseArgs(int argc, char** argv) {
@@ -107,16 +111,19 @@ inline Args parseArgs(int argc, char** argv) {
       args.minEventsPerSec = std::atof(argv[++i]);
     } else if (arg == "--seed" && i + 1 < argc) {
       args.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--fast-math") {
+      args.fastMath = true;
     } else {
       std::cerr << "usage: " << argv[0]
                 << " [--full] [--max-n N] [--trials T] [--csv PATH]"
                    " [--trials-csv PATH] [--threads T|0]"
                    " [--kernels-only] [--enforce-kernel-speedup]"
                    " [--steady-state] [--events N] [--shards S]"
-                   " [--min-events-per-sec X] [--seed S]\n";
+                   " [--min-events-per-sec X] [--seed S] [--fast-math]\n";
       std::exit(2);
     }
   }
+  if (args.fastMath) kernels::fast_math::setEnabled(true);
   return args;
 }
 
@@ -154,7 +161,9 @@ inline std::vector<RowSpec> tableOneSizes(const Args& args) {
                                         50000,  100000,  500000, 1000000,
                                         5000000};
   for (const std::int64_t n : sizes) {
-    if (!args.full && n > 1000000) continue;
+    // Paper-scale rows (> 1M) need --full, or an explicit --max-n that
+    // reaches them — so `--max-n 5000000` alone runs the full-size row.
+    if (!args.full && n > 1000000 && !(args.maxN && *args.maxN >= n)) continue;
     if (args.maxN && n > *args.maxN) continue;
     int trials;
     if (args.full) {

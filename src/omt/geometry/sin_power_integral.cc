@@ -121,6 +121,10 @@ double sinPowerCdf(int k, double t) {
 
 namespace sin_power_detail {
 
+double seriesInverse(int k, double target) { return smallAngleInverse(k, target); }
+
+double seriesThreshold(int k) { return tailThreshold(k); }
+
 double gridQuantile(int k, int j) {
   OMT_CHECK(k >= 2, "grid quantiles are defined for k >= 2");
   OMT_CHECK(j >= 0 && j <= kQuantileGridIntervals, "grid index out of range");

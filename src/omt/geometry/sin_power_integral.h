@@ -79,6 +79,16 @@ double gridQuantile(int k, int j);
 double quantileCore(int k, double u, double target, const double* brackets,
                     int* iterations);
 
+/// Closed-form series inversion of the deep lower tail (k >= 2): the t with
+/// I_k(t) = target, valid for target <= seriesThreshold(k). Exposed for the
+/// fast-math tier, whose table-hybrid quantile reuses the exact tail so the
+/// two paths agree bitwise where the series applies.
+double seriesInverse(int k, double target);
+
+/// Largest integral value the series inversion handles (see quantileCore's
+/// tail switch); symmetric about pi via total - target.
+double seriesThreshold(int k);
+
 }  // namespace sin_power_detail
 
 }  // namespace omt

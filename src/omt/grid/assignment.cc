@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstring>
+#include <limits>
 
 #include "omt/common/error.h"
 #include "omt/kernels/kernels.h"
@@ -82,6 +83,26 @@ int selectRings(std::span<std::uint8_t> fold, int kMax) {
   return 1;
 }
 
+/// Per-worker ClassifyTable cache: rebuilt only when the grid key changes,
+/// so the bisection driver's repeated builds (same dim / ring count /
+/// radius family) reuse each worker's table instead of re-deriving the
+/// split layout per build. Thread-local so workers never share a cache
+/// line of hot per-point constants.
+const kernels::ClassifyTable& workerClassifyTable(
+    int dim, int rings, double outerRadius, std::span<const double> radii) {
+  struct Cache {
+    kernels::ClassifyTable table;
+    bool valid = false;
+  };
+  thread_local Cache cache;
+  if (!cache.valid || cache.table.dim != dim || cache.table.rings != rings ||
+      cache.table.outerRadius != outerRadius) {
+    cache.table = kernels::makeClassifyTable(dim, rings, outerRadius, radii);
+    cache.valid = true;
+  }
+  return cache.table;
+}
+
 }  // namespace
 
 std::int64_t GridAssignment::occupiedCells() const {
@@ -119,44 +140,40 @@ GridAssignment assignToGrid(std::span<const Point> points, NodeId source,
   const Point& origin = points[static_cast<std::size_t>(source)];
   const bool useKernels = kernels::enabled();
 
-  // Build-lifetime scratch: SoA lanes and classification intermediates come
-  // from the caller thread's arena, so repeated builds stop reallocating
-  // them (workers only write into disjoint slices of these spans).
+  // Build-lifetime scratch: classification intermediates come from the
+  // caller thread's arena, so repeated builds stop reallocating them
+  // (workers only write into disjoint slices of these spans).
   ScratchArena& arena = workerArena();
   ScratchArena::Scope arenaScope(arena);
   const auto un = static_cast<std::size_t>(n);
-  kernels::PolarLanes lanes;
-  if (useKernels) {
-    lanes.radius = arena.alloc<double>(un);
-    for (int j = 0; j < d - 1; ++j)
-      lanes.cube[static_cast<std::size_t>(j)] = arena.alloc<double>(un);
-  }
 
-  // Pass 1 (parallel): polar coordinates; outer radius R by per-slot max
-  // reduction (max is order-independent, so the result does not depend on
-  // the chunking). The batched kernel writes the SoA lanes for pass 2 and
-  // the AoS polarOfPoint output in one sweep; the scalar fallback is the
-  // legacy per-point path (OMT_KERNEL_TABLES=0).
   std::vector<PolarCoords> polar(points.size());
   std::vector<double> slotMax(slots, 0.0);
+  double maxRadius = 0.0;
+  double outerRadius = 0.0;
+
+  // Outer radius R. The fused kernel path classifies during the polar walk,
+  // which needs the ring radii — so when R is not supplied it runs a
+  // radius-only prepass (one max reduction, no stores) instead of spilling
+  // full polar lanes. The scalar path keeps its legacy shape: full polar
+  // pass first, R from its max.
   obs::TraceSpan polarSpan("polar_pass", "grid", span.id());
   if (useKernels) {
-    parallelForChunks(
-        0, n, workers, [&](std::int64_t lo, std::int64_t hi, int slot) {
-          const auto ulo = static_cast<std::size_t>(lo);
-          const auto len = static_cast<std::size_t>(hi - lo);
-          kernels::PolarLanes slice;
-          slice.radius = lanes.radius.subspan(ulo, len);
-          for (int j = 0; j < d - 1; ++j) {
-            slice.cube[static_cast<std::size_t>(j)] =
-                lanes.cube[static_cast<std::size_t>(j)].subspan(ulo, len);
-          }
-          const double chunkMax = kernels::polarOfPointsBatch(
-              points.subspan(ulo, len), origin, slice,
-              std::span<PolarCoords>(polar).subspan(ulo, len));
-          auto& localMax = slotMax[static_cast<std::size_t>(slot)];
-          localMax = std::max(localMax, chunkMax);
-        });
+    if (options.outerRadius.has_value()) {
+      outerRadius = *options.outerRadius;
+    } else {
+      parallelForChunks(
+          0, n, workers, [&](std::int64_t lo, std::int64_t hi, int slot) {
+            const double chunkMax = kernels::radiusMaxBatch(
+                points.subspan(static_cast<std::size_t>(lo),
+                               static_cast<std::size_t>(hi - lo)),
+                origin);
+            auto& localMax = slotMax[static_cast<std::size_t>(slot)];
+            localMax = std::max(localMax, chunkMax);
+          });
+      for (const double m : slotMax) outerRadius = std::max(outerRadius, m);
+      std::fill(slotMax.begin(), slotMax.end(), 0.0);
+    }
   } else {
     parallelForChunks(0, n, workers,
                       [&](std::int64_t lo, std::int64_t hi, int slot) {
@@ -170,57 +187,77 @@ GridAssignment assignToGrid(std::span<const Point> points, NodeId source,
                         }
                         slotMax[static_cast<std::size_t>(slot)] = localMax;
                       });
+    for (const double m : slotMax) maxRadius = std::max(maxRadius, m);
+    outerRadius = options.outerRadius.value_or(maxRadius);
   }
-  polarSpan.end();
-  double maxRadius = 0.0;
-  for (const double m : slotMax) maxRadius = std::max(maxRadius, m);
-  double outerRadius = options.outerRadius.value_or(maxRadius);
   if (outerRadius <= 0.0) outerRadius = 1.0;  // all points at the source
-  OMT_CHECK(maxRadius <= outerRadius * (1.0 + 1e-9),
-            "a point lies outside the requested outer radius");
+  polarSpan.end();
 
-  // Pass 2 (parallel): classify every point at the largest candidate k and
-  // mark cell occupancy. The bitmap only ever receives 1s, so relaxed
-  // atomic stores keep it race-free and order-independent. The batched
-  // kernel classifies straight off the SoA lanes with the grid constants
-  // hoisted into a ClassifyTable (no per-point log2/exp2 or modulo).
+  // Classify every point at the largest candidate k. The fused kernel path
+  // does polar conversion, ring/cell classification, and per-cell counting
+  // in ONE walk over the points (cache-resident blocks inside
+  // polarClassifyBatch; the count array replaces the old occupancy bitmap
+  // AND the later CSR counting pass — integer sums are order-independent,
+  // so relaxed atomics keep the result identical for any worker count).
   const int kMax = candidateRings(n, options.maxRings);
   const PolarGrid gridMax(d, kMax, outerRadius);
+  const std::size_t heapIdsMax = gridMax.heapIdCount();
   std::span<std::int32_t> ringMax = arena.alloc<std::int32_t>(un);
   std::span<std::uint64_t> cellMax = arena.alloc<std::uint64_t>(un);
-  std::span<std::uint8_t> occMax =
-      arena.alloc<std::uint8_t>(gridMax.heapIdCount());
-  std::memset(occMax.data(), 0, occMax.size());
+  std::span<std::uint8_t> occMax = arena.alloc<std::uint8_t>(heapIdsMax);
+  std::span<std::int32_t> countMax;
   obs::TraceSpan classifySpan("classification", "grid", span.id());
   if (useKernels) {
+    // Per-cell member counts fit int32: a count is at most n, and a point
+    // set anywhere near 2^31 points could not have been materialised.
+    OMT_CHECK(n <= std::numeric_limits<std::int32_t>::max(),
+              "fused kernel path supports at most 2^31 - 1 points");
+    countMax = arena.alloc<std::int32_t>(heapIdsMax);
+    std::memset(countMax.data(), 0, countMax.size() * sizeof(std::int32_t));
     std::array<double, PolarGrid::kMaxRings + 1> radii{};
     for (int i = 0; i <= kMax; ++i)
       radii[static_cast<std::size_t>(i)] = gridMax.ringRadius(i);
-    const kernels::ClassifyTable classifyTable = kernels::makeClassifyTable(
-        d, kMax, outerRadius,
-        std::span<const double>(radii.data(),
-                                static_cast<std::size_t>(kMax) + 1));
+    const std::span<const double> radiiSpan(
+        radii.data(), static_cast<std::size_t>(kMax) + 1);
     parallelForChunks(
-        0, n, workers, [&](std::int64_t lo, std::int64_t hi, int) {
+        0, n, workers, [&](std::int64_t lo, std::int64_t hi, int slot) {
+          const kernels::ClassifyTable& table =
+              workerClassifyTable(d, kMax, outerRadius, radiiSpan);
           const auto ulo = static_cast<std::size_t>(lo);
           const auto len = static_cast<std::size_t>(hi - lo);
-          kernels::PolarLanes slice;
-          slice.radius = lanes.radius.subspan(ulo, len);
-          for (int j = 0; j < d - 1; ++j) {
-            slice.cube[static_cast<std::size_t>(j)] =
-                lanes.cube[static_cast<std::size_t>(j)].subspan(ulo, len);
-          }
-          kernels::ringCellBatch(classifyTable, slice.radius, slice,
-                                 ringMax.subspan(ulo, len),
-                                 cellMax.subspan(ulo, len));
+          const double chunkMax = kernels::polarClassifyBatch(
+              points.subspan(ulo, len), origin, table,
+              std::span<PolarCoords>(polar).subspan(ulo, len),
+              ringMax.subspan(ulo, len), cellMax.subspan(ulo, len));
+          auto& localMax = slotMax[static_cast<std::size_t>(slot)];
+          localMax = std::max(localMax, chunkMax);
           for (std::size_t i = ulo; i < ulo + len; ++i) {
-            const std::uint64_t h =
-                gridMax.heapId(ringMax[i], cellMax[i]);
-            std::atomic_ref<std::uint8_t>(occMax[static_cast<std::size_t>(h)])
-                .store(1, std::memory_order_relaxed);
+            // The heap id is two cheap integer ops, so recompute it for the
+            // lookahead and prefetch the count entry — the only random
+            // access in this loop.
+            if (i + 16 < ulo + len) {
+              __builtin_prefetch(
+                  &countMax[static_cast<std::size_t>(
+                      gridMax.heapId(ringMax[i + 16], cellMax[i + 16]))],
+                  1);
+            }
+            const std::uint64_t h = gridMax.heapId(ringMax[i], cellMax[i]);
+            std::atomic_ref<std::int32_t>(countMax[static_cast<std::size_t>(h)])
+                .fetch_add(1, std::memory_order_relaxed);
           }
         });
+    for (const double m : slotMax) maxRadius = std::max(maxRadius, m);
+    // Occupancy for ring selection, derived from the counts (selectRings
+    // folds its input destructively, so it gets its own byte array).
+    parallelForChunks(0, static_cast<std::int64_t>(heapIdsMax), workers,
+                      [&](std::int64_t lo, std::int64_t hi, int) {
+                        for (std::int64_t h = lo; h < hi; ++h) {
+                          const auto hs = static_cast<std::size_t>(h);
+                          occMax[hs] = countMax[hs] != 0 ? 1 : 0;
+                        }
+                      });
   } else {
+    std::memset(occMax.data(), 0, occMax.size());
     parallelFor(0, n, workers, [&](std::int64_t i) {
       const auto idx = static_cast<std::size_t>(i);
       const int ring = gridMax.ringOf(std::min(polar[idx].radius, outerRadius));
@@ -231,6 +268,8 @@ GridAssignment assignToGrid(std::span<const Point> points, NodeId source,
           .store(1, std::memory_order_relaxed);
     });
   }
+  OMT_CHECK(maxRadius <= outerRadius * (1.0 + 1e-9),
+            "a point lies outside the requested outer radius");
 
   const int chosen = selectRings(occMax, kMax);
   classifySpan.end();
@@ -248,26 +287,44 @@ GridAssignment assignToGrid(std::span<const Point> points, NodeId source,
   out.ringOfPoint.resize(points.size());
   out.cellOfPoint.resize(points.size());
 
-  // Counting sort into the CSR, in parallel:
-  //  (a) count members per heap id with relaxed atomic increments (the
-  //      final counts are order-independent);
-  //  (b) sequential prefix sum over the O(heapIds) counts, counting
-  //      occupied cells along the way;
-  //  (c) scatter with per-cell atomic cursors, then sort every cell's
-  //      member list — members end up in increasing point index, exactly
-  //      the order a sequential scatter produces.
+  // Counting sort into the CSR. The kernel path already holds per-cell
+  // counts at kMax, and a chosen-k cell's members are exactly the points in
+  // its depth-delta descendant block at kMax — so the chosen counts fall
+  // out of delta levels of the same bottom-up heap fold selectRings uses
+  // (ascending h reads children 2h, 2h+1 before overwriting them; integer
+  // sums, so the result equals the per-point count to the bit). The fold
+  // overwrites the sub-delta rings' own counts on its way up, so the ring-0
+  // total (kMax-rings 0..delta collapse into chosen ring 0) is recovered by
+  // subtraction from n. The scalar path keeps the per-point counting pass.
   const obs::TraceSpan csrSpan("csr_build", "grid", span.id());
   const std::size_t heapIds = out.grid.heapIdCount();
   out.cellStart.assign(heapIds + 1, 0);
-  parallelFor(0, n, workers, [&](std::int64_t i) {
-    const auto idx = static_cast<std::size_t>(i);
-    const int ring = std::max(0, ringMax[idx] - delta);
-    out.ringOfPoint[idx] = ring;
-    out.cellOfPoint[idx] = ring == 0 ? 0 : (cellMax[idx] >> delta);
-    const std::uint64_t h = out.grid.heapId(ring, out.cellOfPoint[idx]);
-    std::atomic_ref<std::int64_t>(out.cellStart[static_cast<std::size_t>(h) + 1])
-        .fetch_add(1, std::memory_order_relaxed);
-  });
+  if (useKernels) {
+    for (int lvl = 0; lvl < delta; ++lvl) {
+      const std::uint64_t next = std::uint64_t{1} << (kMax - lvl);
+      for (std::uint64_t h = 1; h < next; ++h) {
+        countMax[static_cast<std::size_t>(h)] =
+            countMax[static_cast<std::size_t>(2 * h)] +
+            countMax[static_cast<std::size_t>(2 * h + 1)];
+      }
+    }
+    std::int64_t outerTotal = 0;
+    for (std::size_t h = 2; h < heapIds; ++h) {
+      out.cellStart[h + 1] = countMax[h];
+      outerTotal += countMax[h];
+    }
+    out.cellStart[2] = n - outerTotal;  // ring 0 lives at heap id 1
+  } else {
+    parallelFor(0, n, workers, [&](std::int64_t i) {
+      const auto idx = static_cast<std::size_t>(i);
+      const int ring = std::max(0, ringMax[idx] - delta);
+      const std::uint64_t cell = ring == 0 ? 0 : (cellMax[idx] >> delta);
+      const std::uint64_t h = out.grid.heapId(ring, cell);
+      std::atomic_ref<std::int64_t>(
+          out.cellStart[static_cast<std::size_t>(h) + 1])
+          .fetch_add(1, std::memory_order_relaxed);
+    });
+  }
   std::int64_t occupied = 0;
   for (std::size_t h = 0; h < heapIds; ++h) {
     if (out.cellStart[h + 1] > 0) ++occupied;
@@ -276,17 +333,36 @@ GridAssignment assignToGrid(std::span<const Point> points, NodeId source,
   out.occupiedCellCount = occupied;
   gridMetrics().occupiedCells.set(static_cast<double>(occupied));
 
+  // Fused scatter: materialise the chosen-k ring/cell of every point and
+  // place it through its cell's atomic cursor in the same walk. The cursor
+  // entry is the one random access, so it gets a software prefetch from
+  // the cheap-to-recompute lookahead heap id.
   out.cellMembers.resize(points.size());
   std::span<std::int64_t> cursor = arena.alloc<std::int64_t>(heapIds);
   std::copy(out.cellStart.begin(), out.cellStart.end() - 1, cursor.begin());
-  parallelFor(0, n, workers, [&](std::int64_t i) {
-    const auto idx = static_cast<std::size_t>(i);
-    const std::uint64_t h =
-        out.grid.heapId(out.ringOfPoint[idx], out.cellOfPoint[idx]);
-    const std::int64_t pos =
-        std::atomic_ref<std::int64_t>(cursor[static_cast<std::size_t>(h)])
-            .fetch_add(1, std::memory_order_relaxed);
-    out.cellMembers[static_cast<std::size_t>(pos)] = static_cast<NodeId>(i);
+  parallelForChunks(0, n, workers, [&](std::int64_t lo, std::int64_t hi, int) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      if (i + 16 < hi) {
+        const auto ahead = static_cast<std::size_t>(i + 16);
+        const int ringAhead = std::max(0, ringMax[ahead] - delta);
+        const std::uint64_t cellAhead =
+            ringAhead == 0 ? 0 : (cellMax[ahead] >> delta);
+        __builtin_prefetch(
+            &cursor[static_cast<std::size_t>(
+                out.grid.heapId(ringAhead, cellAhead))],
+            1);
+      }
+      const int ring = std::max(0, ringMax[idx] - delta);
+      const std::uint64_t cell = ring == 0 ? 0 : (cellMax[idx] >> delta);
+      out.ringOfPoint[idx] = ring;
+      out.cellOfPoint[idx] = cell;
+      const std::uint64_t h = out.grid.heapId(ring, cell);
+      const std::int64_t pos =
+          std::atomic_ref<std::int64_t>(cursor[static_cast<std::size_t>(h)])
+              .fetch_add(1, std::memory_order_relaxed);
+      out.cellMembers[static_cast<std::size_t>(pos)] = static_cast<NodeId>(i);
+    }
   });
   parallelForChunks(
       0, static_cast<std::int64_t>(heapIds), workers,

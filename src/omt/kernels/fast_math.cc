@@ -1,0 +1,405 @@
+#include "omt/kernels/fast_math.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <mutex>
+#include <numbers>
+
+#include "omt/common/error.h"
+#include "omt/common/types.h"
+#include "omt/geometry/sin_power_integral.h"
+#include "omt/kernels/fast_math_coeffs.h"
+#include "omt/kernels/sin_power_table.h"
+
+namespace omt::kernels::fast_math {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+constexpr double kPiOver2 = 0x1.921fb54442d18p+0;
+constexpr double kPiOver4 = 0x1.921fb54442d18p-1;
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+constexpr double kInvTwoPi = 1.0 / (2.0 * std::numbers::pi);
+
+bool envEnabled() {
+  const char* env = std::getenv("OMT_FAST_MATH");
+  return env != nullptr && env[0] == '1' && env[1] == '\0';
+}
+
+bool envForceScalar() {
+  const char* env = std::getenv("OMT_FAST_MATH_SIMD");
+  return env != nullptr && env[0] == '0' && env[1] == '\0';
+}
+
+std::atomic<bool>& enabledFlag() {
+  static std::atomic<bool> flag{envEnabled()};
+  return flag;
+}
+
+std::atomic<bool>& forceScalarFlag() {
+  static std::atomic<bool> flag{envForceScalar()};
+  return flag;
+}
+
+bool cpuHasAvx2Fma() {
+#if defined(OMT_FAST_MATH_HAS_AVX2_LANES)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+bool useSimd() {
+#if defined(OMT_FAST_MATH_DISABLED)
+  return false;
+#else
+  static const bool hasCpu = cpuHasAvx2Fma();
+  return hasCpu && !forceScalarFlag().load(std::memory_order_relaxed);
+#endif
+}
+
+/// sinPowerTotal(k) for k in [0, 8], evaluated once (the recurrence is
+/// cheap but sits on per-point paths in the fast CDF).
+double cachedTotal(int k) {
+  static const auto totals = [] {
+    std::array<double, 9> t{};
+    for (int i = 0; i < 9; ++i) t[static_cast<std::size_t>(i)] = sinPowerTotal(i);
+    return t;
+  }();
+  OMT_CHECK(k >= 0 && k <= 8, "sin power out of cached range");
+  return totals[static_cast<std::size_t>(k)];
+}
+
+}  // namespace
+
+bool compiledIn() {
+#if defined(OMT_FAST_MATH_DISABLED)
+  return false;
+#else
+  return true;
+#endif
+}
+
+bool enabled() {
+#if defined(OMT_FAST_MATH_DISABLED)
+  return false;
+#else
+  return enabledFlag().load(std::memory_order_relaxed);
+#endif
+}
+
+bool setEnabled(bool on) {
+#if defined(OMT_FAST_MATH_DISABLED)
+  (void)on;
+  return false;
+#else
+  return enabledFlag().exchange(on, std::memory_order_relaxed);
+#endif
+}
+
+bool simdActive() { return compiledIn() && useSimd(); }
+
+bool setForceScalar(bool force) {
+  return forceScalarFlag().exchange(force, std::memory_order_relaxed);
+}
+
+double fastAtan2(double y, double x) {
+  const double ay = std::fabs(y);
+  const double ax = std::fabs(x);
+  const double mn = std::min(ax, ay);
+  const double mx = std::max(ax, ay);
+  const double t = mx > 0.0 ? mn / mx : 0.0;
+  // Second reduction: fold [tan(pi/8), 1] onto [-tan(pi/8), 0] via
+  // atan(t) = pi/4 + atan((t - 1)/(t + 1)).
+  const bool fold = t > detail::kTanPiOver8;
+  const double w = fold ? (t - 1.0) / (t + 1.0) : t;
+  const double s = w * w;
+  double z = w * detail::horner<detail::kAtanTerms>(detail::kAtanCoeffs, s);
+  if (fold) z += kPiOver4;
+  if (ay > ax) z = kPiOver2 - z;
+  // signbit (not x < 0) so atan2(y, -0.0) lands on the pi side, matching
+  // the IEEE branch-cut conventions of libm's atan2.
+  if (std::signbit(x)) z = kPi - z;
+  return std::copysign(z, y);
+}
+
+double fastAcos(double x) {
+  const double ax = std::fabs(x);
+  if (ax <= 0.5) {
+    const double s = x * x;
+    const double asinX =
+        x + x * s * detail::horner<detail::kAsinTerms>(detail::kAsinCoeffs, s);
+    return kPiOver2 - asinX;
+  }
+  // acos(x) = 2 asin(sqrt((1 - x)/2)) keeps full relative precision at the
+  // pole x -> 1 (1 - x is exact there); mirror through pi for x -> -1.
+  const double z = 0.5 * (1.0 - ax);  // in [0, 0.25]; negative -> NaN below
+  const double r = std::sqrt(z);
+  const double asinR =
+      r + r * z * detail::horner<detail::kAsinTerms>(detail::kAsinCoeffs, z);
+  const double res = 2.0 * asinR;
+  return x < 0.0 ? kPi - res : res;
+}
+
+void fastSinCosTwoPi(double u, double& sinOut, double& cosOut) {
+  // Quarter-turn reduction: 2*pi*u = q*(pi/2) + r with q the nearest
+  // integer to 4u (nearest-even, matching the AVX2 lane's rounding) and
+  // |r| <= pi/4. The reduction is exact in u-space — 4u and 4u - q are
+  // exact — so the only argument error is the single rounding in r.
+  const double x = 4.0 * u;
+  const double q = std::nearbyint(x);
+  const double r = (x - q) * kPiOver2;
+  const double s2 = r * r;
+  const double sinR =
+      r * detail::horner<detail::kSinTerms>(detail::kSinCoeffs, s2);
+  const double cosR = detail::horner<detail::kCosTerms>(detail::kCosCoeffs, s2);
+  switch (static_cast<long long>(q) & 3) {
+    case 0: sinOut = sinR; cosOut = cosR; break;
+    case 1: sinOut = cosR; cosOut = -sinR; break;
+    case 2: sinOut = -sinR; cosOut = -cosR; break;
+    default: sinOut = -cosR; cosOut = sinR; break;
+  }
+}
+
+double fastSinPowerCdf(int k, double cosT, double sinT) {
+  OMT_CHECK(k >= 1 && k <= kMaxDim - 2, "sin power out of range");
+  OMT_CHECK(sinT >= 0.0, "sine of a [0, pi] angle must be non-negative");
+  if (k == 1) {
+    // (1 - c)/2 == s^2 / (2(1 + c)): the right-hand form is
+    // cancellation-free for c >= 0 (small angles), the left for c < 0.
+    return cosT >= 0.0 ? sinT * sinT / (2.0 * (1.0 + cosT))
+                       : 0.5 * (1.0 - cosT);
+  }
+  const double total = cachedTotal(k);
+  if (sinT < sin_power_detail::kSmallAngleCut) {
+    // Near either endpoint the recurrence cancels; use the same two-term
+    // series as the exact path, with theta recovered from asin's series.
+    const double theta = sinT * (1.0 + sinT * sinT * (1.0 / 6.0));
+    const double kk = static_cast<double>(k);
+    const double corr = kk * (kk + 1.0) / (6.0 * (kk + 3.0));
+    const double integral =
+        std::pow(theta, k + 1) / (kk + 1.0) * (1.0 - corr * theta * theta);
+    return cosT > 0.0 ? integral / total : (total - integral) / total;
+  }
+  // Recurrence I_j = ((j-1) I_{j-2} - s^{j-1} c) / j from the parity base:
+  // I_0 = theta (one fastAcos), I_1 = 1 - c in its stable form.
+  double prev;
+  double sPow;  // s^{j-1} entering the first recurrence step
+  int j0;
+  if (k % 2 == 0) {
+    prev = fastAcos(std::clamp(cosT, -1.0, 1.0));
+    sPow = sinT;
+    j0 = 2;
+  } else {
+    prev = cosT >= 0.0 ? sinT * sinT / (1.0 + cosT) : 1.0 - cosT;
+    sPow = sinT * sinT;
+    j0 = 3;
+  }
+  const double s2 = sinT * sinT;
+  for (int j = j0; j <= k; j += 2) {
+    prev = ((j - 1) * prev - sPow * cosT) / static_cast<double>(j);
+    sPow *= s2;
+  }
+  return prev / total;
+}
+
+namespace detail {
+
+const QuantileTableView& quantileView(int k) {
+  OMT_CHECK(k >= 2 && k <= kMaxTabledPower, "no quantile table for this k");
+  struct Entry {
+    std::once_flag once;
+    QuantileTableView view;
+    double derivs[sin_power_detail::kQuantileGridIntervals + 1];
+  };
+  static Entry entries[kMaxTabledPower + 1];
+  Entry& entry = entries[k];
+  std::call_once(entry.once, [&entry, k] {
+    const std::span<const double> nodes = quantileTable(k);
+    const double total = sinPowerTotal(k);
+    entry.derivs[0] = 0.0;
+    entry.derivs[sin_power_detail::kQuantileGridIntervals] = 0.0;
+    for (int j = 1; j < sin_power_detail::kQuantileGridIntervals; ++j) {
+      // dq/du = T_k / sin^k(q(u)): exact slope of the quantile at the node.
+      entry.derivs[j] =
+          total / std::pow(std::sin(nodes[static_cast<std::size_t>(j)]), k);
+    }
+    entry.view.nodes = nodes.data();
+    entry.view.derivs = entry.derivs;
+    entry.view.total = total;
+    entry.view.tailThreshold = sin_power_detail::seriesThreshold(k);
+    entry.view.k = k;
+  });
+  return entry.view;
+}
+
+double quantileFromView(const QuantileTableView& view, double u) {
+  constexpr int kIntervals = sin_power_detail::kQuantileGridIntervals;
+  constexpr double kH = 1.0 / kIntervals;
+  u = std::clamp(u, 0.0, 1.0);
+  if (u == 0.0) return 0.0;
+  if (u == 1.0) return kPi;
+  const double target = u * view.total;
+  if (target <= view.tailThreshold)
+    return sin_power_detail::seriesInverse(view.k, target);
+  const double tail = view.total - target;
+  if (tail <= view.tailThreshold)
+    return kPi - sin_power_detail::seriesInverse(view.k, tail);
+  const double x = u * kIntervals;
+  int j = static_cast<int>(x);
+  j = std::clamp(j, 0, kIntervals - 1);
+  if (j < detail::kHermiteEdgeIntervals ||
+      j >= kIntervals - detail::kHermiteEdgeIntervals) {
+    // Outermost grid intervals: the quantile's curvature is too steep for
+    // the Hermite patch; run the exact bracketed Newton (still ~2-3 steps).
+    return sin_power_detail::quantileCore(view.k, u, target, view.nodes,
+                                          nullptr);
+  }
+  // Cubic Hermite on [T_j, T_{j+1}] with the exact endpoint derivatives:
+  // interpolation error (h/2)^4 |q''''| / 384 ~ 1e-10 radians worst case.
+  const double f = x - static_cast<double>(j);
+  const double f2 = f * f;
+  const double f3 = f2 * f;
+  const double t0 = view.nodes[j];
+  const double t1 = view.nodes[j + 1];
+  const double d0 = view.derivs[j] * kH;
+  const double d1 = view.derivs[j + 1] * kH;
+  return (2.0 * f3 - 3.0 * f2 + 1.0) * t0 + (f3 - 2.0 * f2 + f) * d0 +
+         (3.0 * f2 - 2.0 * f3) * t1 + (f3 - f2) * d1;
+}
+
+}  // namespace detail
+
+double fastSinPowerQuantile(int k, double u) {
+  OMT_CHECK(k >= 0, "sin power must be non-negative");
+  u = std::clamp(u, 0.0, 1.0);
+  if (k == 0) return u * kPi;
+  if (k == 1) {
+    if (u == 0.0) return 0.0;
+    if (u == 1.0) return kPi;
+    return fastAcos(1.0 - 2.0 * u);
+  }
+  if (k > kMaxTabledPower) return sinPowerQuantile(k, u);
+  return detail::quantileFromView(detail::quantileView(k), u);
+}
+
+void fastAtan2Batch(std::span<const double> y, std::span<const double> x,
+                    std::span<double> out) {
+  const std::size_t n = y.size();
+  OMT_CHECK(x.size() == n && out.size() == n, "batch lane size mismatch");
+#if defined(OMT_FAST_MATH_HAS_AVX2_LANES)
+  if (useSimd()) {
+    detail::atan2BatchAvx2(y.data(), x.data(), out.data(), n);
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < n; ++i) out[i] = fastAtan2(y[i], x[i]);
+}
+
+void fastAcosBatch(std::span<const double> x, std::span<double> out) {
+  const std::size_t n = x.size();
+  OMT_CHECK(out.size() == n, "batch lane size mismatch");
+#if defined(OMT_FAST_MATH_HAS_AVX2_LANES)
+  if (useSimd()) {
+    detail::acosBatchAvx2(x.data(), out.data(), n);
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < n; ++i) out[i] = fastAcos(x[i]);
+}
+
+void fastSinCosTwoPiBatch(std::span<const double> u, std::span<double> sinOut,
+                          std::span<double> cosOut) {
+  const std::size_t n = u.size();
+  OMT_CHECK(sinOut.size() == n && cosOut.size() == n,
+            "batch lane size mismatch");
+#if defined(OMT_FAST_MATH_HAS_AVX2_LANES)
+  if (useSimd()) {
+    detail::sinCosTwoPiBatchAvx2(u.data(), sinOut.data(), cosOut.data(), n);
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < n; ++i) fastSinCosTwoPi(u[i], sinOut[i], cosOut[i]);
+}
+
+void fastSinPowerQuantileBatch(int k, std::span<const double> u,
+                               std::span<double> out) {
+  const std::size_t n = u.size();
+  OMT_CHECK(out.size() == n, "batch lane size mismatch");
+  if (k < 2 || k > kMaxTabledPower) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = fastSinPowerQuantile(k, u[i]);
+    return;
+  }
+  const detail::QuantileTableView& view = detail::quantileView(k);
+#if defined(OMT_FAST_MATH_HAS_AVX2_LANES)
+  if (useSimd()) {
+    detail::sinPowerQuantileBatchAvx2(view, u.data(), out.data(), n);
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = detail::quantileFromView(view, u[i]);
+}
+
+double fastPolar2DBatch(std::span<const double> dx, std::span<const double> dy,
+                        std::span<double> radius, std::span<double> cube0) {
+  const std::size_t n = dx.size();
+  OMT_CHECK(dy.size() == n && radius.size() == n && cube0.size() == n,
+            "batch lane size mismatch");
+#if defined(OMT_FAST_MATH_HAS_AVX2_LANES)
+  if (useSimd())
+    return detail::polar2DBatchAvx2(dx.data(), dy.data(), radius.data(),
+                                    cube0.data(), n);
+#endif
+  double maxRadius = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double r = std::sqrt(dx[i] * dx[i] + dy[i] * dy[i]);
+    radius[i] = r;
+    maxRadius = std::max(maxRadius, r);
+    double u = fastAtan2(dy[i], dx[i]) * kInvTwoPi;
+    if (u < 0.0) u += 1.0;
+    if (u >= 1.0) u = 0.0;
+    cube0[i] = u;
+  }
+  return maxRadius;
+}
+
+double fastPolar3DBatch(std::span<const double> dx, std::span<const double> dy,
+                        std::span<const double> dz, std::span<double> radius,
+                        std::span<double> cube0, std::span<double> cube1) {
+  const std::size_t n = dx.size();
+  OMT_CHECK(dy.size() == n && dz.size() == n && radius.size() == n &&
+                cube0.size() == n && cube1.size() == n,
+            "batch lane size mismatch");
+#if defined(OMT_FAST_MATH_HAS_AVX2_LANES)
+  if (useSimd())
+    return detail::polar3DBatchAvx2(dx.data(), dy.data(), dz.data(),
+                                    radius.data(), cube0.data(), cube1.data(),
+                                    n);
+#endif
+  double maxRadius = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double s2 = dy[i] * dy[i] + dz[i] * dz[i];
+    const double r = std::sqrt(dx[i] * dx[i] + s2);
+    radius[i] = r;
+    maxRadius = std::max(maxRadius, r);
+    if (r == 0.0) {
+      cube0[i] = 0.0;
+      cube1[i] = 0.0;
+      continue;
+    }
+    // (1 - dx/r)/2 in the form that avoids cancellation on whichever side
+    // of the pole dx sits: s2/(2r(r+dx)) for dx >= 0, direct otherwise.
+    cube0[i] = dx[i] >= 0.0 ? s2 / (2.0 * r * (r + dx[i]))
+                            : 0.5 - 0.5 * (dx[i] / r);
+    double u = fastAtan2(dz[i], dy[i]) * kInvTwoPi;
+    if (u < 0.0) u += 1.0;
+    if (u >= 1.0) u = 0.0;
+    cube1[i] = u;
+  }
+  return maxRadius;
+}
+
+}  // namespace omt::kernels::fast_math

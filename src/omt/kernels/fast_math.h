@@ -1,0 +1,170 @@
+// Opt-in fast-math kernel tier: vectorizable polynomial / table-hybrid
+// replacements for the transcendental hot path of the coordinate kernels.
+//
+// The exact kernel layer (polar_batch.h) is bitwise-faithful to the scalar
+// geometry path, which pins every transcendental to libm: one atan2 per
+// angular axis per point in the polar pass, an acos or a Newton-refined
+// sin^k quantile inversion per axis in the inverse. Those calls are the
+// scalar wall the batch layer cannot vectorize past. This tier trades a
+// *bounded* amount of last-ulp exactness for math the compiler and the
+// explicit AVX2 lanes can stream:
+//
+//   fastAtan2            octant reduction + odd minimax polynomial
+//                        (|w| <= tan(pi/8), 13 terms, < 5e-20 poly error)
+//   fastAcos             asin-core minimax with the sqrt((1-|x|)/2) fold
+//                        (full relative precision at the poles x -> +-1)
+//   fastSinCosTwoPi      sin/cos of 2*pi*u, quarter-turn reduction +
+//                        short even/odd polynomials (absolute-error
+//                        contract: the azimuth axis is periodic in u)
+//   fastSinPowerCdf      forward sin^k CDF from (cos t, sin t) pairs the
+//                        norm cascade already produces — no atan2 at all;
+//                        even powers take one fastAcos for the base case
+//   fastSinPowerQuantile table-hybrid inversion: cubic Hermite between
+//                        the canonical 1025-entry bracket nodes (exact
+//                        derivative 1/q' = sin^k(t)/T at each node), the
+//                        closed-form series in the deep tails, and the
+//                        exact bracketed Newton only in the two outermost
+//                        grid intervals where the quantile's slope blows up
+//
+// Accuracy contract (asserted by tests/kernels_fast_math_test.cc in both
+// the AVX2 and forced-scalar lanes, and documented in docs/performance.md):
+// atan2 and acos within a few ulp of libm, sincos within ~1 ulp absolute,
+// the CDF within ~1e-15 absolute, the quantile within 1e-9 radians.
+//
+// The tier is OFF by default: trees built with it can differ from the
+// exact path when a point sits within the error bound of a cell boundary
+// (the golden fingerprints are pinned with the tier off). Enable with
+// OMT_FAST_MATH=1 in the environment, setEnabled(true), or
+// `omtcli build --fast-math 1`. The AVX2 lanes engage only when the CPU
+// reports AVX2+FMA at runtime; OMT_FAST_MATH_SIMD=0 (or
+// setForceScalar(true)) pins the scalar-polynomial fallback, which is what
+// the CI fallback leg runs. Building with -DOMT_FAST_MATH=OFF compiles the
+// tier out entirely (enabled() is constant false).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace omt::kernels::fast_math {
+
+/// False when the tier was compiled out (-DOMT_FAST_MATH=OFF).
+bool compiledIn();
+
+/// Whether fast-math call sites should take the approximate path.
+/// Initialised from the environment on first use: OMT_FAST_MATH=1 enables;
+/// absent or any other value leaves the exact path (opt-in tier).
+bool enabled();
+
+/// Override the tier toggle at runtime (tests, benches, omtcli). Returns
+/// the previous value; a no-op returning false when compiled out.
+bool setEnabled(bool on);
+
+/// True when the batch entry points will dispatch to the AVX2 lanes:
+/// compiled in, CPU reports AVX2+FMA, and the scalar fallback is not
+/// forced (OMT_FAST_MATH_SIMD=0 / setForceScalar).
+bool simdActive();
+
+/// Force the scalar-polynomial fallback lanes (differential testing of
+/// both lanes on one machine). Returns the previous force state.
+bool setForceScalar(bool force);
+
+// --- scalar fast functions (the fallback lane) ----------------------------
+
+/// atan2(y, x) within a few ulp, including the signed-zero conventions at
+/// |x| -> 0 and |y| -> 0 (atan2(+-0, -0) = +-pi, atan2(y, +-0) = +-pi/2).
+double fastAtan2(double y, double x);
+
+/// acos(x) for x in [-1, 1] within a few ulp; full *relative* precision at
+/// the poles (acos(1 - e) ~ sqrt(2e)). NaN outside the domain, like libm.
+double fastAcos(double x);
+
+/// sinOut = sin(2*pi*u), cosOut = cos(2*pi*u) for u in [0, 1], within
+/// ~1 ulp absolute (of 1). Exact zeros at the quarter points u = j/4.
+void fastSinCosTwoPi(double u, double& sinOut, double& cosOut);
+
+/// Normalised CDF of sin^k on [0, pi] evaluated from the cosine/sine pair
+/// of the angle (k >= 1; the polar cascade produces cosT = v_j / s_j and
+/// sinT = s_{j+1} / s_j directly from the suffix norms, so the forward
+/// transform needs no inverse trig for odd k and one fastAcos for even k).
+/// sinT must be >= 0 (angles live in [0, pi]).
+double fastSinPowerCdf(int k, double cosT, double sinT);
+
+/// Inverse of the sin^k CDF (k >= 0, u in [0, 1]) under the table-hybrid
+/// scheme described above. Requires no Newton iteration outside the two
+/// outermost grid intervals.
+double fastSinPowerQuantile(int k, double u);
+
+// --- batch entry points (AVX2 when simdActive(), else scalar loops) -------
+
+void fastAtan2Batch(std::span<const double> y, std::span<const double> x,
+                    std::span<double> out);
+
+void fastAcosBatch(std::span<const double> x, std::span<double> out);
+
+void fastSinCosTwoPiBatch(std::span<const double> u, std::span<double> sinOut,
+                          std::span<double> cosOut);
+
+void fastSinPowerQuantileBatch(int k, std::span<const double> u,
+                               std::span<double> out);
+
+/// Fused fast polar conversion, d = 2: radius[i] = hypot of (dx, dy)[i],
+/// cube0[i] = azimuth-cube coordinate atan2(dy, dx)/2pi wrapped into
+/// [0, 1). Returns the batch max radius. Zero vectors get cube 0.
+double fastPolar2DBatch(std::span<const double> dx, std::span<const double> dy,
+                        std::span<double> radius, std::span<double> cube0);
+
+/// Fused fast polar conversion, d = 3: radius, the equal-area polar-angle
+/// coordinate cube0 = (1 - dx/r)/2 in its cancellation-free form, and the
+/// azimuth cube coordinate cube1 from atan2(dz, dy). Returns the max radius.
+double fastPolar3DBatch(std::span<const double> dx, std::span<const double> dy,
+                        std::span<const double> dz, std::span<double> radius,
+                        std::span<double> cube0, std::span<double> cube1);
+
+namespace detail {
+
+/// Per-k view of the table-hybrid quantile data: the canonical bracket
+/// nodes (shared with the exact table registry) plus dq/du at each interior
+/// node and the tail/series cutovers. Built lazily, immortal.
+struct QuantileTableView {
+  const double* nodes = nullptr;   ///< 1025 canonical grid quantiles.
+  const double* derivs = nullptr;  ///< dq/du = T / sin^k(node); 0 at ends.
+  double total = 0.0;              ///< T_k = integral of sin^k over [0,pi].
+  double tailThreshold = 0.0;      ///< series regime: target <= threshold.
+  int k = 0;
+};
+
+/// Grid intervals on each end of the u-table routed to the exact bracketed
+/// Newton instead of the Hermite patch. The quantile behaves like
+/// u^(1/(k+1)) near the endpoints, so its fourth derivative — and with it
+/// the cubic interpolation error — blows up as j^(1/(k+1) - 4); 40
+/// intervals pushes the patch error below ~1e-9 rad for every tabled k
+/// while leaving ~92% of uniform draws on the Newton-free path.
+inline constexpr int kHermiteEdgeIntervals = 40;
+
+/// The view for k in [2, kMaxTabledPower]; checked otherwise.
+const QuantileTableView& quantileView(int k);
+
+/// Scalar Hermite/tail/edge quantile core given a prefetched view —
+/// the piece the AVX2 gather lane shares with fastSinPowerQuantile.
+double quantileFromView(const QuantileTableView& view, double u);
+
+#if !defined(OMT_FAST_MATH_DISABLED) && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define OMT_FAST_MATH_HAS_AVX2_LANES 1
+void atan2BatchAvx2(const double* y, const double* x, double* out,
+                    std::size_t n);
+void acosBatchAvx2(const double* x, double* out, std::size_t n);
+void sinCosTwoPiBatchAvx2(const double* u, double* sinOut, double* cosOut,
+                          std::size_t n);
+void sinPowerQuantileBatchAvx2(const QuantileTableView& view, const double* u,
+                               double* out, std::size_t n);
+double polar2DBatchAvx2(const double* dx, const double* dy, double* radius,
+                        double* cube0, std::size_t n);
+double polar3DBatchAvx2(const double* dx, const double* dy, const double* dz,
+                        double* radius, double* cube0, double* cube1,
+                        std::size_t n);
+#endif
+
+}  // namespace detail
+
+}  // namespace omt::kernels::fast_math

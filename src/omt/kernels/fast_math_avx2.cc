@@ -1,0 +1,339 @@
+// AVX2+FMA lanes of the fast-math tier. This translation unit is compiled
+// without any global -mavx2 flag — every function carries a
+// target("avx2,fma") attribute, so the binary stays runnable on any x86-64
+// and the dispatch in fast_math.cc only calls in here after
+// __builtin_cpu_supports confirms the ISA at runtime.
+//
+// The lanes evaluate the same minimax cores as the scalar fallback
+// (fast_math_coeffs.h) with explicit FMA chains; results can differ from
+// the fallback in the last ulp (FMA contraction), which is why the
+// differential tests bound each lane against libm independently instead of
+// asserting bitwise equality between lanes.
+#include "omt/kernels/fast_math.h"
+
+#if defined(OMT_FAST_MATH_HAS_AVX2_LANES)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "omt/geometry/sin_power_integral.h"
+#include "omt/kernels/fast_math_coeffs.h"
+
+namespace omt::kernels::fast_math::detail {
+namespace {
+
+#define OMT_AVX2 __attribute__((target("avx2,fma")))
+
+constexpr double kPi = std::numbers::pi;
+constexpr double kPiOver2 = 0x1.921fb54442d18p+0;
+constexpr double kPiOver4 = 0x1.921fb54442d18p-1;
+constexpr double kInvTwoPi = 1.0 / (2.0 * std::numbers::pi);
+
+template <int N>
+OMT_AVX2 inline __m256d hornerV(const double (&c)[N], __m256d s) {
+  __m256d r = _mm256_set1_pd(c[N - 1]);
+  for (int i = N - 2; i >= 0; --i)
+    r = _mm256_fmadd_pd(r, s, _mm256_set1_pd(c[i]));
+  return r;
+}
+
+OMT_AVX2 inline __m256d absV(__m256d x) {
+  return _mm256_andnot_pd(_mm256_set1_pd(-0.0), x);
+}
+
+/// True (all-ones) lanes where the sign bit of x is set — including -0.0,
+/// which an ordered compare against zero would miss. Doubles with the top
+/// bit set are exactly the negative int64s.
+OMT_AVX2 inline __m256d signBitSet(__m256d x) {
+  return _mm256_castsi256_pd(
+      _mm256_cmpgt_epi64(_mm256_setzero_si256(), _mm256_castpd_si256(x)));
+}
+
+OMT_AVX2 inline __m256d atan2V(__m256d y, __m256d x) {
+  const __m256d ay = absV(y);
+  const __m256d ax = absV(x);
+  const __m256d mn = _mm256_min_pd(ax, ay);
+  const __m256d mx = _mm256_max_pd(ax, ay);
+  __m256d t = _mm256_div_pd(mn, mx);
+  // mx == 0 lanes produced 0/0 = NaN; the scalar path defines them as 0.
+  t = _mm256_blendv_pd(t, _mm256_setzero_pd(),
+                       _mm256_cmp_pd(mx, _mm256_setzero_pd(), _CMP_EQ_OQ));
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d foldMask =
+      _mm256_cmp_pd(t, _mm256_set1_pd(kTanPiOver8), _CMP_GT_OQ);
+  const __m256d folded =
+      _mm256_div_pd(_mm256_sub_pd(t, one), _mm256_add_pd(t, one));
+  const __m256d w = _mm256_blendv_pd(t, folded, foldMask);
+  const __m256d s = _mm256_mul_pd(w, w);
+  __m256d z = _mm256_mul_pd(w, hornerV(kAtanCoeffs, s));
+  z = _mm256_blendv_pd(z, _mm256_add_pd(z, _mm256_set1_pd(kPiOver4)),
+                       foldMask);
+  const __m256d swapMask = _mm256_cmp_pd(ay, ax, _CMP_GT_OQ);
+  z = _mm256_blendv_pd(z, _mm256_sub_pd(_mm256_set1_pd(kPiOver2), z),
+                       swapMask);
+  const __m256d negX = signBitSet(x);
+  z = _mm256_blendv_pd(z, _mm256_sub_pd(_mm256_set1_pd(kPi), z), negX);
+  // copysign(z, y): z is non-negative here.
+  const __m256d sign = _mm256_set1_pd(-0.0);
+  return _mm256_or_pd(_mm256_andnot_pd(sign, z), _mm256_and_pd(sign, y));
+}
+
+OMT_AVX2 inline __m256d acosV(__m256d x) {
+  const __m256d ax = absV(x);
+  const __m256d half = _mm256_set1_pd(0.5);
+  const __m256d smallMask = _mm256_cmp_pd(ax, half, _CMP_LE_OQ);
+  const __m256d z =
+      _mm256_mul_pd(half, _mm256_sub_pd(_mm256_set1_pd(1.0), ax));
+  // One shared polynomial evaluation: argument x^2 on the small branch,
+  // z = (1-|x|)/2 on the pole branch.
+  const __m256d sArg = _mm256_blendv_pd(z, _mm256_mul_pd(x, x), smallMask);
+  const __m256d p = hornerV(kAsinCoeffs, sArg);
+  // small: pi/2 - (x + x*s*p)
+  const __m256d asinX =
+      _mm256_fmadd_pd(_mm256_mul_pd(x, sArg), p, x);
+  const __m256d resSmall = _mm256_sub_pd(_mm256_set1_pd(kPiOver2), asinX);
+  // pole: 2*(r + r*z*p), mirrored through pi for negative x.
+  const __m256d r = _mm256_sqrt_pd(z);
+  const __m256d asinR = _mm256_fmadd_pd(_mm256_mul_pd(r, sArg), p, r);
+  __m256d resPole = _mm256_add_pd(asinR, asinR);
+  resPole = _mm256_blendv_pd(
+      resPole, _mm256_sub_pd(_mm256_set1_pd(kPi), resPole), signBitSet(x));
+  return _mm256_blendv_pd(resPole, resSmall, smallMask);
+}
+
+OMT_AVX2 inline void sinCosTwoPiV(__m256d u, __m256d& sinOut,
+                                  __m256d& cosOut) {
+  const __m256d x = _mm256_mul_pd(u, _mm256_set1_pd(4.0));
+  const __m256d q =
+      _mm256_round_pd(x, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  const __m256d r =
+      _mm256_mul_pd(_mm256_sub_pd(x, q), _mm256_set1_pd(kPiOver2));
+  const __m256d s2 = _mm256_mul_pd(r, r);
+  const __m256d sinR = _mm256_mul_pd(r, hornerV(kSinCoeffs, s2));
+  const __m256d cosR = hornerV(kCosCoeffs, s2);
+  const __m256i qi = _mm256_cvtepi32_epi64(_mm256_cvtpd_epi32(q));
+  const __m256i one = _mm256_set1_epi64x(1);
+  const __m256i two = _mm256_set1_epi64x(2);
+  const __m256d swapMask = _mm256_castsi256_pd(
+      _mm256_cmpeq_epi64(_mm256_and_si256(qi, one), one));
+  const __m256d negSin = _mm256_castsi256_pd(
+      _mm256_cmpeq_epi64(_mm256_and_si256(qi, two), two));
+  const __m256d negCos = _mm256_castsi256_pd(_mm256_cmpeq_epi64(
+      _mm256_and_si256(_mm256_add_epi64(qi, one), two), two));
+  const __m256d sign = _mm256_set1_pd(-0.0);
+  sinOut = _mm256_xor_pd(_mm256_blendv_pd(sinR, cosR, swapMask),
+                         _mm256_and_pd(negSin, sign));
+  cosOut = _mm256_xor_pd(_mm256_blendv_pd(cosR, sinR, swapMask),
+                         _mm256_and_pd(negCos, sign));
+}
+
+/// Azimuth cube coordinate from an atan2 result: phi/2pi wrapped to [0, 1).
+OMT_AVX2 inline __m256d wrapTurnV(__m256d phi) {
+  __m256d u = _mm256_mul_pd(phi, _mm256_set1_pd(kInvTwoPi));
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d neg = _mm256_cmp_pd(u, _mm256_setzero_pd(), _CMP_LT_OQ);
+  u = _mm256_add_pd(u, _mm256_and_pd(neg, one));
+  const __m256d over = _mm256_cmp_pd(u, one, _CMP_GE_OQ);
+  return _mm256_andnot_pd(over, u);
+}
+
+OMT_AVX2 inline double horizontalMax(__m256d v) {
+  const __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  const __m128d m2 = _mm_max_pd(lo, hi);
+  const __m128d m1 = _mm_max_sd(m2, _mm_unpackhi_pd(m2, m2));
+  return _mm_cvtsd_f64(m1);
+}
+
+}  // namespace
+
+OMT_AVX2 void atan2BatchAvx2(const double* y, const double* x, double* out,
+                             std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(out + i,
+                     atan2V(_mm256_loadu_pd(y + i), _mm256_loadu_pd(x + i)));
+  }
+  for (; i < n; ++i) out[i] = fastAtan2(y[i], x[i]);
+}
+
+OMT_AVX2 void acosBatchAvx2(const double* x, double* out, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    _mm256_storeu_pd(out + i, acosV(_mm256_loadu_pd(x + i)));
+  for (; i < n; ++i) out[i] = fastAcos(x[i]);
+}
+
+OMT_AVX2 void sinCosTwoPiBatchAvx2(const double* u, double* sinOut,
+                                   double* cosOut, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d s;
+    __m256d c;
+    sinCosTwoPiV(_mm256_loadu_pd(u + i), s, c);
+    _mm256_storeu_pd(sinOut + i, s);
+    _mm256_storeu_pd(cosOut + i, c);
+  }
+  for (; i < n; ++i) fastSinCosTwoPi(u[i], sinOut[i], cosOut[i]);
+}
+
+OMT_AVX2 void sinPowerQuantileBatchAvx2(const QuantileTableView& view,
+                                        const double* u, double* out,
+                                        std::size_t n) {
+  constexpr int kIntervals = sin_power_detail::kQuantileGridIntervals;
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d scale = _mm256_set1_pd(static_cast<double>(kIntervals));
+  const __m256d total = _mm256_set1_pd(view.total);
+  const __m256d thr = _mm256_set1_pd(view.tailThreshold);
+  const __m256d h = _mm256_set1_pd(1.0 / kIntervals);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d uu =
+        _mm256_min_pd(one, _mm256_max_pd(zero, _mm256_loadu_pd(u + i)));
+    const __m256d x = _mm256_mul_pd(uu, scale);
+    __m256d jf = _mm256_floor_pd(x);
+    jf = _mm256_min_pd(jf, _mm256_set1_pd(static_cast<double>(kIntervals - 1)));
+    // Interior lanes: Hermite patch applies away from the two outermost
+    // grid intervals and outside both series tails.
+    const __m256d target = _mm256_mul_pd(uu, total);
+    const __m256d tail = _mm256_sub_pd(total, target);
+    __m256d interior = _mm256_and_pd(
+        _mm256_cmp_pd(
+            jf, _mm256_set1_pd(static_cast<double>(kHermiteEdgeIntervals)),
+            _CMP_GE_OQ),
+        _mm256_cmp_pd(jf,
+                      _mm256_set1_pd(static_cast<double>(
+                          kIntervals - 1 - kHermiteEdgeIntervals)),
+                      _CMP_LE_OQ));
+    interior = _mm256_and_pd(interior, _mm256_cmp_pd(target, thr, _CMP_GT_OQ));
+    interior = _mm256_and_pd(interior, _mm256_cmp_pd(tail, thr, _CMP_GT_OQ));
+    const __m128i j = _mm256_cvtpd_epi32(jf);
+    const __m128i j1 = _mm_add_epi32(j, _mm_set1_epi32(1));
+    // Masked gathers with an explicit zero source: the plain gather
+    // intrinsics read an undefined register, which trips
+    // -Wmaybe-uninitialized under -Werror.
+    const __m256d gatherAll = _mm256_castsi256_pd(_mm256_set1_epi64x(-1));
+    const __m256d src = _mm256_setzero_pd();
+    const __m256d t0 = _mm256_mask_i32gather_pd(src, view.nodes, j, gatherAll, 8);
+    const __m256d t1 =
+        _mm256_mask_i32gather_pd(src, view.nodes, j1, gatherAll, 8);
+    const __m256d d0 = _mm256_mul_pd(
+        _mm256_mask_i32gather_pd(src, view.derivs, j, gatherAll, 8), h);
+    const __m256d d1 = _mm256_mul_pd(
+        _mm256_mask_i32gather_pd(src, view.derivs, j1, gatherAll, 8), h);
+    const __m256d f = _mm256_sub_pd(x, jf);
+    const __m256d f2 = _mm256_mul_pd(f, f);
+    const __m256d f3 = _mm256_mul_pd(f2, f);
+    // (2f^3 - 3f^2 + 1) t0 + (f^3 - 2f^2 + f) d0
+    //   + (3f^2 - 2f^3) t1 + (f^3 - f^2) d1
+    __m256d acc = _mm256_mul_pd(
+        _mm256_add_pd(_mm256_fmadd_pd(_mm256_set1_pd(2.0), f3,
+                                      _mm256_mul_pd(_mm256_set1_pd(-3.0), f2)),
+                      one),
+        t0);
+    acc = _mm256_fmadd_pd(
+        _mm256_add_pd(_mm256_fmadd_pd(_mm256_set1_pd(-2.0), f2, f3), f), d0,
+        acc);
+    acc = _mm256_fmadd_pd(_mm256_fmadd_pd(_mm256_set1_pd(-2.0), f3,
+                                          _mm256_mul_pd(_mm256_set1_pd(3.0),
+                                                        f2)),
+                          t1, acc);
+    acc = _mm256_fmadd_pd(_mm256_sub_pd(f3, f2), d1, acc);
+    _mm256_storeu_pd(out + i, acc);
+    const int miss = (~_mm256_movemask_pd(interior)) & 0xf;
+    if (miss != 0) {
+      for (int lane = 0; lane < 4; ++lane) {
+        if (miss & (1 << lane))
+          out[i + static_cast<std::size_t>(lane)] =
+              quantileFromView(view, u[i + static_cast<std::size_t>(lane)]);
+      }
+    }
+  }
+  for (; i < n; ++i) out[i] = quantileFromView(view, u[i]);
+}
+
+OMT_AVX2 double polar2DBatchAvx2(const double* dx, const double* dy,
+                                 double* radius, double* cube0,
+                                 std::size_t n) {
+  __m256d vmax = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d vx = _mm256_loadu_pd(dx + i);
+    const __m256d vy = _mm256_loadu_pd(dy + i);
+    const __m256d r =
+        _mm256_sqrt_pd(_mm256_fmadd_pd(vx, vx, _mm256_mul_pd(vy, vy)));
+    _mm256_storeu_pd(radius + i, r);
+    vmax = _mm256_max_pd(vmax, r);
+    _mm256_storeu_pd(cube0 + i, wrapTurnV(atan2V(vy, vx)));
+  }
+  double maxRadius = horizontalMax(vmax);
+  for (; i < n; ++i) {
+    const double r = std::sqrt(dx[i] * dx[i] + dy[i] * dy[i]);
+    radius[i] = r;
+    maxRadius = std::max(maxRadius, r);
+    double uu = fastAtan2(dy[i], dx[i]) * kInvTwoPi;
+    if (uu < 0.0) uu += 1.0;
+    if (uu >= 1.0) uu = 0.0;
+    cube0[i] = uu;
+  }
+  return maxRadius;
+}
+
+OMT_AVX2 double polar3DBatchAvx2(const double* dx, const double* dy,
+                                 const double* dz, double* radius,
+                                 double* cube0, double* cube1,
+                                 std::size_t n) {
+  const __m256d half = _mm256_set1_pd(0.5);
+  __m256d vmax = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d vx = _mm256_loadu_pd(dx + i);
+    const __m256d vy = _mm256_loadu_pd(dy + i);
+    const __m256d vz = _mm256_loadu_pd(dz + i);
+    const __m256d s2 = _mm256_fmadd_pd(vy, vy, _mm256_mul_pd(vz, vz));
+    const __m256d r = _mm256_sqrt_pd(_mm256_fmadd_pd(vx, vx, s2));
+    _mm256_storeu_pd(radius + i, r);
+    vmax = _mm256_max_pd(vmax, r);
+    const __m256d rZero = _mm256_cmp_pd(r, _mm256_setzero_pd(), _CMP_EQ_OQ);
+    // (1 - vx/r)/2, cancellation-free on either side of the pole.
+    const __m256d stable = _mm256_div_pd(
+        s2, _mm256_mul_pd(_mm256_add_pd(r, r), _mm256_add_pd(r, vx)));
+    const __m256d direct = _mm256_fnmadd_pd(
+        half, _mm256_div_pd(vx, r), half);
+    const __m256d posMask =
+        _mm256_cmp_pd(vx, _mm256_setzero_pd(), _CMP_GE_OQ);
+    __m256d c0 = _mm256_blendv_pd(direct, stable, posMask);
+    c0 = _mm256_andnot_pd(rZero, c0);
+    _mm256_storeu_pd(cube0 + i, c0);
+    _mm256_storeu_pd(cube1 + i, wrapTurnV(atan2V(vz, vy)));
+  }
+  double maxRadius = horizontalMax(vmax);
+  for (; i < n; ++i) {
+    const double s2 = dy[i] * dy[i] + dz[i] * dz[i];
+    const double r = std::sqrt(dx[i] * dx[i] + s2);
+    radius[i] = r;
+    maxRadius = std::max(maxRadius, r);
+    if (r == 0.0) {
+      cube0[i] = 0.0;
+      cube1[i] = 0.0;
+      continue;
+    }
+    cube0[i] = dx[i] >= 0.0 ? s2 / (2.0 * r * (r + dx[i]))
+                            : 0.5 - 0.5 * (dx[i] / r);
+    double uu = fastAtan2(dz[i], dy[i]) * kInvTwoPi;
+    if (uu < 0.0) uu += 1.0;
+    if (uu >= 1.0) uu = 0.0;
+    cube1[i] = uu;
+  }
+  return maxRadius;
+}
+
+#undef OMT_AVX2
+
+}  // namespace omt::kernels::fast_math::detail
+
+#endif  // OMT_FAST_MATH_HAS_AVX2_LANES

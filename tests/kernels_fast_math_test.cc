@@ -1,0 +1,330 @@
+// Differential tests for the opt-in fast-math kernel tier: every function
+// is checked against its libm / exact-geometry reference at random inputs
+// AND at the domain edges where polynomial or table schemes typically fall
+// apart (|x| -> 0 and the branch cut for atan2, the poles of acos, the
+// u -> 0 / u -> 1 tails of the quantile), in BOTH dispatch lanes — the
+// AVX2 batch lane (when the CPU has it) and the forced-scalar polynomial
+// fallback. The asserted bounds are the documented accuracy contract
+// (docs/performance.md) with margin over the measured maxima.
+#include "omt/kernels/fast_math.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <numbers>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "omt/core/polar_grid_tree.h"
+#include "omt/geometry/sin_power_integral.h"
+#include "omt/kernels/sin_power_table.h"
+#include "omt/random/rng.h"
+#include "omt/random/samplers.h"
+#include "omt/tree/validation.h"
+
+namespace omt::kernels {
+namespace {
+
+namespace fm = fast_math;
+
+constexpr double kPi = std::numbers::pi;
+
+/// Monotone integer image of a double: equal-value (including -0.0 vs
+/// +0.0) maps to equal keys, adjacent representable values differ by 1.
+std::int64_t orderedRep(double x) {
+  const auto i = std::bit_cast<std::int64_t>(x);
+  return i >= 0 ? i : std::numeric_limits<std::int64_t>::min() - i;
+}
+
+std::int64_t ulpDiff(double a, double b) {
+  if (a == b) return 0;
+  if (std::isnan(a) && std::isnan(b)) return 0;
+  return std::abs(orderedRep(a) - orderedRep(b));
+}
+
+/// Runs `body` once per dispatch lane: the default lane (AVX2 on capable
+/// CPUs) and the forced-scalar polynomial fallback. The tier is enabled
+/// for the duration and every toggle is restored afterwards.
+template <typename Body>
+void forEachLane(Body&& body) {
+  if (!fm::compiledIn()) GTEST_SKIP() << "fast-math tier compiled out";
+  const bool wasEnabled = fm::setEnabled(true);
+  for (const bool forceScalar : {false, true}) {
+    const bool wasForced = fm::setForceScalar(forceScalar);
+    body(forceScalar ? "scalar" : "simd");
+    fm::setForceScalar(wasForced);
+  }
+  fm::setEnabled(wasEnabled);
+}
+
+TEST(FastMathDispatch, TogglesReportAndRestore) {
+  if (!fm::compiledIn()) GTEST_SKIP() << "fast-math tier compiled out";
+  const bool prev = fm::setEnabled(true);
+  EXPECT_TRUE(fm::enabled());
+  EXPECT_TRUE(fm::setEnabled(false));
+  EXPECT_FALSE(fm::enabled());
+  fm::setEnabled(prev);
+}
+
+TEST(FastMathDispatch, FallsBackWhenSimdForcedOff) {
+  if (!fm::compiledIn()) GTEST_SKIP() << "fast-math tier compiled out";
+  const bool wasForced = fm::setForceScalar(true);
+  // With the scalar lane pinned, the batch entry points must not report —
+  // or use — the SIMD lane, whatever the CPU supports.
+  EXPECT_FALSE(fm::simdActive());
+  std::vector<double> y{1.0, -2.0, 0.5}, x{0.5, 0.25, -1.0}, out(3);
+  fm::fastAtan2Batch(y, x, out);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(out[i]),
+              std::bit_cast<std::uint64_t>(fm::fastAtan2(y[i], x[i])))
+        << "forced-scalar batch must replay the scalar function exactly";
+  }
+  fm::setForceScalar(wasForced);
+}
+
+TEST(FastMathAtan2, WithinUlpsIncludingBranchCutAndTinyArgs) {
+  forEachLane([](const char* lane) {
+    std::vector<double> ys, xs;
+    // The branch cut (x < 0, y -> +-0), signed zeros, the axes, and
+    // magnitude extremes that overflow a naive y/x.
+    const double specials[] = {0.0,    -0.0,   1.0,     -1.0,   0.5,
+                               -0.5,   1e-300, -1e-300, 5e-324, -5e-324,
+                               1e308,  -1e308, 1e-17,   -1e-17, 0.99999,
+                               kPi,    -kPi,   3.0,     -3.0,   7e102};
+    for (const double y : specials)
+      for (const double x : specials) {
+        ys.push_back(y);
+        xs.push_back(x);
+      }
+    Rng rng(90101);
+    for (int i = 0; i < 20000; ++i) {
+      const double scale = std::exp2(rng.uniform() * 60.0 - 30.0);
+      ys.push_back((rng.uniform() * 2.0 - 1.0) * scale);
+      xs.push_back((rng.uniform() * 2.0 - 1.0));
+    }
+    std::vector<double> out(ys.size());
+    fm::fastAtan2Batch(ys, xs, out);
+    for (std::size_t i = 0; i < ys.size(); ++i) {
+      const double ref = std::atan2(ys[i], xs[i]);
+      EXPECT_LE(ulpDiff(out[i], ref), 4)
+          << lane << " atan2(" << ys[i] << ", " << xs[i] << ") = " << out[i]
+          << " vs libm " << ref;
+    }
+  });
+}
+
+TEST(FastMathAcos, WithinUlpsIncludingPoles) {
+  forEachLane([](const char* lane) {
+    std::vector<double> xs = {1.0,
+                              -1.0,
+                              0.0,
+                              -0.0,
+                              0.5,
+                              -0.5,
+                              1.0 - std::ldexp(1.0, -53),
+                              -1.0 + std::ldexp(1.0, -53),
+                              1.0 - std::ldexp(1.0, -30),
+                              -1.0 + std::ldexp(1.0, -30),
+                              std::nextafter(1.0, 0.0),
+                              std::nextafter(-1.0, 0.0),
+                              1e-300,
+                              -1e-300};
+    Rng rng(90102);
+    for (int i = 0; i < 20000; ++i) xs.push_back(rng.uniform() * 2.0 - 1.0);
+    std::vector<double> out(xs.size());
+    fm::fastAcosBatch(xs, out);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const double ref = std::acos(xs[i]);
+      EXPECT_LE(ulpDiff(out[i], ref), 2)
+          << lane << " acos(" << xs[i] << ") = " << out[i] << " vs libm "
+          << ref;
+    }
+    // Out-of-domain behaves like libm: NaN.
+    EXPECT_TRUE(std::isnan(fm::fastAcos(1.0 + 1e-9)));
+    EXPECT_TRUE(std::isnan(fm::fastAcos(-1.0 - 1e-9)));
+  });
+}
+
+TEST(FastMathSinCos, AbsoluteBoundAndExactQuarterPoints) {
+  forEachLane([](const char* lane) {
+    std::vector<double> us = {0.0,  0.25, 0.5,     0.75,    1.0,
+                              0.125, 0.375, 1e-300, 1e-17,  0.9999999,
+                              std::nextafter(1.0, 0.0)};
+    Rng rng(90103);
+    for (int i = 0; i < 20000; ++i) us.push_back(rng.uniform());
+    std::vector<double> sinOut(us.size()), cosOut(us.size());
+    fm::fastSinCosTwoPiBatch(us, sinOut, cosOut);
+    for (std::size_t i = 0; i < us.size(); ++i) {
+      const double refS = std::sin(2.0 * kPi * us[i]);
+      const double refC = std::cos(2.0 * kPi * us[i]);
+      EXPECT_NEAR(sinOut[i], refS, 2e-15) << lane << " sin at u = " << us[i];
+      EXPECT_NEAR(cosOut[i], refC, 2e-15) << lane << " cos at u = " << us[i];
+    }
+    // Quarter turns are exact: sin(2*pi * j/4) = 0 or +-1 with no residue
+    // (libm's argument pi is rounded, so it cannot hit these exactly).
+    double s, c;
+    fm::fastSinCosTwoPi(0.5, s, c);
+    EXPECT_EQ(s, 0.0);
+    EXPECT_EQ(c, -1.0);
+    fm::fastSinCosTwoPi(0.25, s, c);
+    EXPECT_EQ(s, 1.0);
+    EXPECT_EQ(c, 0.0);
+  });
+}
+
+TEST(FastMathQuantile, AbsoluteBoundAtTailsEdgesAndInterior) {
+  forEachLane([](const char* lane) {
+    for (int k = 0; k <= kMaxTabledPower; ++k) {
+      std::vector<double> us = {0.0,     1.0,      1e-300,  1e-17,
+                                1e-9,    1e-4,     0.5,     1.0 - 1e-16,
+                                1.0 - 1e-9, 1.0 - 1e-4,
+                                // the Hermite/Newton routing boundaries
+                                40.0 / 1024.0, 40.0 / 1024.0 - 1e-12,
+                                1.0 - 40.0 / 1024.0,
+                                1.0 - 40.0 / 1024.0 + 1e-12};
+      Rng rng(90104 + static_cast<std::uint64_t>(k));
+      for (int i = 0; i < 5000; ++i) us.push_back(rng.uniform());
+      std::vector<double> out(us.size());
+      fm::fastSinPowerQuantileBatch(k, us, out);
+      for (std::size_t i = 0; i < us.size(); ++i) {
+        const double ref = sinPowerQuantile(k, us[i]);
+        EXPECT_NEAR(out[i], ref, 2e-9)
+            << lane << " quantile k = " << k << " u = " << us[i];
+      }
+    }
+  });
+}
+
+TEST(FastMathCdf, AbsoluteBoundIncludingEndpoints) {
+  forEachLane([](const char* lane) {
+    for (int k = 1; k <= kMaxTabledPower; ++k) {
+      std::vector<double> thetas = {0.0,        1e-300, 1e-9,      1e-5,
+                                    kPi / 2.0,  kPi - 1e-9, kPi,   0.1,
+                                    kPi - 1e-5, 2.0};
+      Rng rng(90105 + static_cast<std::uint64_t>(k));
+      for (int i = 0; i < 5000; ++i) thetas.push_back(rng.uniform() * kPi);
+      for (const double theta : thetas) {
+        const double got =
+            fm::fastSinPowerCdf(k, std::cos(theta), std::sin(theta));
+        EXPECT_NEAR(got, sinPowerCdf(k, theta), 1e-12)
+            << lane << " cdf k = " << k << " theta = " << theta;
+      }
+    }
+  });
+}
+
+TEST(FastMathBatch, TailsMatchScalarFastFunctionsBitwise) {
+  forEachLane([](const char*) {
+    // Odd batch length: the vector lanes cover the first multiple of 4 and
+    // the scalar tail handles the rest — tail outputs must be bitwise equal
+    // to the scalar fast functions regardless of the lane.
+    std::vector<double> u{0.013, 0.42, 0.77, 0.5, 0.991, 0.25, 0.6180339};
+    std::vector<double> s(u.size()), c(u.size()), q(u.size());
+    fm::fastSinCosTwoPiBatch(u, s, c);
+    fm::fastSinPowerQuantileBatch(2, u, q);
+    for (std::size_t i = 4; i < u.size(); ++i) {
+      double es, ec;
+      fm::fastSinCosTwoPi(u[i], es, ec);
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(s[i]),
+                std::bit_cast<std::uint64_t>(es));
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(c[i]),
+                std::bit_cast<std::uint64_t>(ec));
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(q[i]),
+                std::bit_cast<std::uint64_t>(fm::fastSinPowerQuantile(2, u[i])));
+    }
+  });
+}
+
+TEST(FastMathPolarBatch, MatchesExactConversionWithinBounds) {
+  forEachLane([](const char* lane) {
+    Rng rng(90106);
+    constexpr std::size_t kN = 4001;  // odd: exercises the scalar tail
+    std::vector<double> dx(kN), dy(kN), dz(kN);
+    for (std::size_t i = 0; i < kN; ++i) {
+      dx[i] = rng.uniform() * 2.0 - 1.0;
+      dy[i] = rng.uniform() * 2.0 - 1.0;
+      dz[i] = rng.uniform() * 2.0 - 1.0;
+    }
+    dx[0] = dy[0] = dz[0] = 0.0;  // the source itself
+    dx[1] = -1.0; dy[1] = 0.0; dz[1] = 0.0;      // the atan2 branch cut
+    dx[2] = -1.0; dy[2] = -0.0; dz[2] = -0.0;    // ... from below
+    dx[3] = 1.0; dy[3] = 0.0; dz[3] = 0.0;       // polar axis (theta = 0)
+    {
+      std::vector<double> radius(kN), cube0(kN);
+      const double maxR = fm::fastPolar2DBatch(dx, dy, radius, cube0);
+      double expectMax = 0.0;
+      for (std::size_t i = 0; i < kN; ++i) {
+        const double r = std::sqrt(dx[i] * dx[i] + dy[i] * dy[i]);
+        expectMax = std::max(expectMax, radius[i]);
+        EXPECT_NEAR(radius[i], r, 4.0 * r * 1e-16) << lane << " 2d radius";
+        double phi = std::atan2(dy[i], dx[i]);
+        if (phi < 0.0) phi += 2.0 * kPi;
+        double u = r == 0.0 ? 0.0 : phi / (2.0 * kPi);
+        if (u >= 1.0) u = 0.0;
+        EXPECT_NEAR(cube0[i], u, 1e-15) << lane << " 2d azimuth at " << i;
+        EXPECT_GE(cube0[i], 0.0);
+        EXPECT_LT(cube0[i], 1.0);
+      }
+      EXPECT_EQ(maxR, expectMax);
+    }
+    {
+      std::vector<double> radius(kN), cube0(kN), cube1(kN);
+      const double maxR =
+          fm::fastPolar3DBatch(dx, dy, dz, radius, cube0, cube1);
+      double expectMax = 0.0;
+      for (std::size_t i = 0; i < kN; ++i) {
+        const double r =
+            std::sqrt(dx[i] * dx[i] + dy[i] * dy[i] + dz[i] * dz[i]);
+        expectMax = std::max(expectMax, radius[i]);
+        EXPECT_NEAR(radius[i], r, 4.0 * r * 1e-16) << lane << " 3d radius";
+        // Equal-area polar coordinate (1 - cos theta)/2 via the exact CDF.
+        const double ref =
+            r == 0.0 ? 0.0 : sinPowerCdf(1, std::acos(dx[i] / r));
+        EXPECT_NEAR(cube0[i], ref, 1e-13) << lane << " 3d polar cube at " << i;
+        EXPECT_GE(cube1[i], 0.0);
+        EXPECT_LT(cube1[i], 1.0);
+      }
+      EXPECT_EQ(maxR, expectMax);
+    }
+  });
+}
+
+/// The tier's end-to-end contract on real builds: same seeded point set,
+/// exact build vs fast-math build, in both dispatch lanes. The tree can
+/// differ only when a point sits within the (sub-1e-9) error bound of a
+/// cell boundary, which these seeds do not produce — so the topology must
+/// match node for node, and the delay metrics to high precision.
+TEST(FastMathTree, TopologyMatchesExactBuild) {
+  if (!fm::compiledIn()) GTEST_SKIP() << "fast-math tier compiled out";
+  for (const int dim : {2, 3}) {
+    Rng rng(deriveSeed(90200, static_cast<std::uint64_t>(dim)));
+    const std::vector<Point> points =
+        sampleDiskWithCenterSource(rng, 20000, dim);
+    const PolarGridResult exact =
+        buildPolarGridTree(points, 0, {.maxOutDegree = 6});
+    for (const bool forceScalar : {false, true}) {
+      const bool wasEnabled = fm::setEnabled(true);
+      const bool wasForced = fm::setForceScalar(forceScalar);
+      const PolarGridResult fast =
+          buildPolarGridTree(points, 0, {.maxOutDegree = 6});
+      fm::setForceScalar(wasForced);
+      fm::setEnabled(wasEnabled);
+
+      const ValidationResult valid = validate(fast.tree, {.maxOutDegree = 6});
+      ASSERT_TRUE(valid.ok) << valid.message;
+      ASSERT_EQ(fast.tree.size(), exact.tree.size());
+      for (NodeId v = 0; v < exact.tree.size(); ++v) {
+        ASSERT_EQ(fast.tree.parentOf(v), exact.tree.parentOf(v))
+            << "dim " << dim << (forceScalar ? " scalar" : " simd")
+            << " lane: tree topology diverged at node " << v;
+      }
+      EXPECT_NEAR(fast.upperBound, exact.upperBound,
+                  1e-9 * std::abs(exact.upperBound));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace omt::kernels

@@ -4,7 +4,7 @@
 //                   [--seed 42] --out points.txt
 //   omtcli build    --points points.txt [--algo polar|bisection|greedy|
 //                   nearest|star|chain] [--degree 6] [--source 0]
-//                   [--threads T|0] [--out tree.txt]
+//                   [--threads T|0] [--fast-math 0|1] [--out tree.txt]
 //   omtcli metrics  --points points.txt --tree tree.txt [--degree D]
 //   omtcli simulate --points points.txt --tree tree.txt
 //                   [--serialization 0.01] [--overhead 0]
@@ -40,6 +40,7 @@
 #include "omt/core/polar_grid_tree.h"
 #include "omt/grid/assignment.h"
 #include "omt/io/serialization.h"
+#include "omt/kernels/fast_math.h"
 #include "omt/obs/metrics.h"
 #include "omt/obs/obs.h"
 #include "omt/obs/trace.h"
@@ -131,6 +132,14 @@ int cmdBuild(const Flags& flags) {
   const NodeId source = flags.getInt("source", 0);
   // 0 = auto (OMT_THREADS or hardware); the tree is identical either way.
   const int threads = static_cast<int>(flags.getInt("threads", 0));
+  // Opt-in approximate kernel tier (same switch as OMT_FAST_MATH=1); the
+  // tree may differ from the exact build within the tier's error bounds.
+  if (flags.getInt("fast-math", 0) != 0) {
+    OMT_CHECK(kernels::fast_math::compiledIn(),
+              "this build compiled the fast-math tier out "
+              "(-DOMT_FAST_MATH=OFF)");
+    kernels::fast_math::setEnabled(true);
+  }
   Rng rng(static_cast<std::uint64_t>(flags.getInt("seed", 42)));
 
   std::optional<MulticastTree> tree;
