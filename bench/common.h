@@ -75,6 +75,15 @@ struct Args {
   double minEventsPerSec = 0.0;
   /// bench_churn --steady-state: base seed for the shard RNG streams.
   std::uint64_t seed = 1401;
+  /// bench_dataplane: hosts in the goodput tree (0 = bench default).
+  std::int64_t hosts = 0;
+  /// bench_dataplane: packets per session (0 = bench default).
+  std::int64_t packets = 0;
+  /// bench_dataplane: exit non-zero if the zero-loss goodput row falls
+  /// below this packets-per-second floor (0 disables, the default). CI
+  /// passes a floor well under the expected rate so only a real (>10%)
+  /// regression trips it.
+  double minGoodput = 0.0;
   /// Enable the opt-in fast-math kernel tier for every timed construction
   /// (same switch as OMT_FAST_MATH=1 / omtcli build --fast-math).
   bool fastMath = false;
@@ -113,13 +122,20 @@ inline Args parseArgs(int argc, char** argv) {
       args.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else if (arg == "--fast-math") {
       args.fastMath = true;
+    } else if (arg == "--hosts" && i + 1 < argc) {
+      args.hosts = std::atoll(argv[++i]);
+    } else if (arg == "--packets" && i + 1 < argc) {
+      args.packets = std::atoll(argv[++i]);
+    } else if (arg == "--min-goodput" && i + 1 < argc) {
+      args.minGoodput = std::atof(argv[++i]);
     } else {
       std::cerr << "usage: " << argv[0]
                 << " [--full] [--max-n N] [--trials T] [--csv PATH]"
                    " [--trials-csv PATH] [--threads T|0]"
                    " [--kernels-only] [--enforce-kernel-speedup]"
                    " [--steady-state] [--events N] [--shards S]"
-                   " [--min-events-per-sec X] [--seed S] [--fast-math]\n";
+                   " [--min-events-per-sec X] [--seed S] [--fast-math]"
+                   " [--hosts N] [--packets N] [--min-goodput X]\n";
       std::exit(2);
     }
   }

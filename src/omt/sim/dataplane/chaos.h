@@ -1,0 +1,104 @@
+// Data-plane chaos driver: one seeded end-to-end robustness scenario.
+//
+// Samples a host set, builds the Polar_Grid tree, samples a crash schedule
+// over the non-root nodes, projects a PR 1 control-plane disruption
+// schedule's loss-burst windows onto the data plane, runs the packet engine
+// (engine.h), and then audits the hard delivery invariants the CI gate
+// enforces across 100 seeds:
+//   * exactly-once, in-order: every live receiver's delivery log hashes to
+//     the canonical in-order hash of [first, first + packetCount) and its
+//     delivery head sits exactly at the end of the stream;
+//   * bounded buffers: peak reorder-window occupancy, retransmit-ring
+//     occupancy, and uplink-queue depth never exceed their configured
+//     capacities;
+//   * deterministic replay: a second run with identical inputs reproduces
+//     the same delivery-log hash, event count, and traffic counters (the
+//     chaos *test* additionally replays under different OMT_THREADS values).
+// A scenario whose faults leave no feasible recovery path ends `stalled`
+// with undelivered > 0 and fails the audit loudly — the gate's job is to
+// prove the default envelope always converges.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "omt/fault/injector.h"
+#include "omt/sim/dataplane/engine.h"
+
+namespace omt::dataplane {
+
+/// Sample `round(fraction * (n - 1))` distinct non-root crash victims with
+/// crash times uniform in [0, window). Deterministic in (seed, tree shape).
+std::vector<CrashEvent> sampleCrashSchedule(std::uint64_t seed,
+                                            const MulticastTree& tree,
+                                            double fraction, double window);
+
+/// Project a control-plane disruption schedule onto the data plane: every
+/// window with a positive loss boost becomes a data-plane loss burst
+/// (partition and delay windows have no packet-level analogue here).
+std::vector<LossBurstWindow> lossBurstsFromDisruption(
+    const std::vector<DisruptionWindow>& windows);
+
+/// FNV-1a hash of the canonical in-order delivery log
+/// [first, first + count): what every live receiver's log must equal.
+std::uint64_t expectedLogHash(std::uint32_t firstSequence,
+                              std::int64_t count);
+
+/// The chaos envelope's engine defaults: 400 packets under 2% i.i.d. loss,
+/// a mild Gilbert–Elliott burst chain (~5% stationary bad state dropping
+/// 40%), and 1% control loss.
+DataplaneOptions defaultChaosEngineOptions();
+
+/// The chaos envelope's disruption defaults: frequent short loss bursts
+/// boosting data loss by 30% while active.
+DisruptionOptions defaultChaosDisruption();
+
+struct DataplaneChaosOptions {
+  std::int64_t hostCount = 200;
+  int dim = 2;
+  int maxOutDegree = 6;  ///< Polar_Grid degree cap (paper 2D default)
+  std::uint64_t seed = 1;
+
+  /// Engine knobs. `crashes`, `lossBursts`, `maxOutDegree`, and `seed` are
+  /// overwritten by the driver; everything else passes through.
+  DataplaneOptions engine = defaultChaosEngineOptions();
+
+  /// Fraction of non-root nodes crashed mid-stream.
+  double crashFraction = 0.05;
+  /// Crash times fall within this fraction of the emission span, so
+  /// recovery always has live stream time left to exercise re-homing.
+  double crashWindowFraction = 0.6;
+
+  /// Generate loss-burst windows with generateDisruption (duration is
+  /// overridden to cover the stream) and apply them to the data plane.
+  bool injectDisruption = true;
+  DisruptionOptions disruption = defaultChaosDisruption();
+
+  /// Sample per-node retransmit rings from {64, 256, 1024} (the root gets
+  /// max(4096, packetCount) so recovery stays feasible). Small rings under
+  /// loss and crashes are what drive eviction misses and the recursive
+  /// upward refetch path. Ignored when engine.retransmitBufferPerNode is
+  /// already set.
+  bool heterogeneousBuffers = true;
+
+  /// Re-run the engine and require bit-identical results.
+  bool verifyDeterminism = true;
+};
+
+struct DataplaneChaosResult {
+  DataplaneResult run;
+  std::int64_t crashesScheduled = 0;
+  std::int64_t burstWindows = 0;
+  bool deterministic = true;
+  bool ok = true;
+  std::string failure;  ///< first violated invariant, empty when ok
+
+  explicit operator bool() const { return ok; }
+};
+
+/// Run one seeded data-plane chaos scenario end to end and audit it.
+/// Deterministic in the options.
+DataplaneChaosResult runDataplaneChaos(const DataplaneChaosOptions& options);
+
+}  // namespace omt::dataplane

@@ -16,16 +16,33 @@ void checkInputs(const MulticastTree& tree, std::span<const Point> points,
             "loss probability outside [0, 1)");
   OMT_CHECK(options.retransmitDelay >= 0.0, "negative retransmit delay");
   OMT_CHECK(options.perHopOverhead >= 0.0, "negative overhead");
+  validateGilbertElliott(options.burst);
 }
 
 }  // namespace
+
+double expectedAttemptsPerHop(const LossOptions& options) {
+  const double pG = options.lossProbability;
+  if (!options.burst.enabled()) return 1.0 / (1.0 - pG);
+  // Two coupled renewal equations for the expected attempt count starting
+  // the next draw in the good (EG) / bad (EB) state; the chain advances
+  // one transition per attempt, after the loss draw:
+  //   EG = 1 + pG ((1 - a) EG + a EB)
+  //   EB = 1 + pB (b EG + (1 - b) EB)
+  // with a = burstStart, b = burstStop, pB = burstLoss. Eliminating EB:
+  const double a = options.burst.burstStartProbability;
+  const double b = options.burst.burstStopProbability;
+  const double pB = options.burst.burstLossProbability;
+  const double d = 1.0 - pB * (1.0 - b);
+  return (d + pG * a) / ((1.0 - pG * (1.0 - a)) * d - pG * a * pB * b);
+}
 
 LossyDeliveryReport analyzeLossyDelivery(const MulticastTree& tree,
                                          std::span<const Point> points,
                                          const LossOptions& options) {
   checkInputs(tree, points, options);
-  const double p = options.lossProbability;
-  const double perHopRetry = options.retransmitDelay * p / (1.0 - p);
+  const double perHopRetry =
+      options.retransmitDelay * (expectedAttemptsPerHop(options) - 1.0);
 
   LossyDeliveryReport report;
   report.expectedDelay.assign(points.size(), 0.0);
@@ -41,9 +58,9 @@ LossyDeliveryReport analyzeLossyDelivery(const MulticastTree& tree,
         std::max(report.expectedMaxDelay,
                  report.expectedDelay[static_cast<std::size_t>(v)]);
   }
-  // Each of the n - 1 edges needs 1 / (1 - p) attempts in expectation.
+  // Each of the n - 1 edges needs the same expected attempt count.
   report.expectedTransmissions =
-      static_cast<double>(tree.size() - 1) / (1.0 - p);
+      static_cast<double>(tree.size() - 1) * expectedAttemptsPerHop(options);
   return report;
 }
 
@@ -58,8 +75,12 @@ LossySimResult simulateLossyMulticast(const MulticastTree& tree,
   for (const NodeId v : tree.bfsOrder()) {
     if (v == tree.root()) continue;
     const NodeId parent = tree.parentOf(v);
+    // Fresh chain per edge: retries on one link burst together, links stay
+    // independent. Disabled chain == the historical geometric loop, draw
+    // for draw.
+    GilbertElliottChain chain;
     std::int64_t attempts = 1;
-    while (p > 0.0 && rng.uniform() < p) ++attempts;
+    while (chain.roll(rng, options.burst, p, 0.0)) ++attempts;
     result.transmissions += attempts;
     result.deliveryTime[static_cast<std::size_t>(v)] =
         result.deliveryTime[static_cast<std::size_t>(parent)] +

@@ -5,7 +5,15 @@
 // geometric: E[extra] = T * p / (1 - p), so expected delivery times are a
 // per-edge constant shift — computable exactly in one pass. The Monte-Carlo
 // simulator draws the actual geometric retry counts and cross-checks the
-// analysis (and is the extension point for correlated-loss models).
+// analysis.
+//
+// Correlated loss: `burst` attaches the data plane's Gilbert–Elliott chain
+// (sim/dataplane/link.h) to each hop, so retry counts burst instead of
+// being i.i.d. geometric. With the chain disabled the RNG consumption is
+// bit-identical to the historical plain-geometric path (exactly one uniform
+// draw per attempt when p > 0, none at p == 0), and the analysis still
+// solves the chain's expected attempt count in closed form, so the
+// Monte-Carlo mean converges to the analytic answer either way.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +22,7 @@
 
 #include "omt/geometry/point.h"
 #include "omt/random/rng.h"
+#include "omt/sim/dataplane/link.h"
 #include "omt/tree/multicast_tree.h"
 
 namespace omt {
@@ -25,7 +34,18 @@ struct LossOptions {
   double retransmitDelay = 0.5;
   /// Fixed per-hop forwarding overhead (as in SimOptions).
   double perHopOverhead = 0.0;
+  /// Optional Gilbert–Elliott bursty-loss chain, applied per hop (each
+  /// edge gets a fresh chain starting in the good state, so retries on one
+  /// link burst together but links stay independent). Disabled by default,
+  /// which leaves the geometric draw sequence bit-identical to the
+  /// pre-burst implementation.
+  GilbertElliottOptions burst;
 };
+
+/// Expected transmission attempts per hop under `options` (the closed-form
+/// solution of the two-state chain started in the good state; reduces to
+/// 1 / (1 - p) when the chain is disabled).
+double expectedAttemptsPerHop(const LossOptions& options);
 
 struct LossyDeliveryReport {
   /// Expected delivery time per node under geometric retransmission.

@@ -236,6 +236,58 @@ TEST(LossTest, HigherLossMeansMoreTransmissions) {
   EXPECT_GT(highTx.mean(), 1.4 * lowTx.mean());
 }
 
+TEST(LossTest, DisabledBurstChainKeepsGeometricDrawsBitIdentical) {
+  // The historical contract: one uniform draw per attempt while p > 0,
+  // none at p == 0. A replay of the exact draw sequence against a twin RNG
+  // must reproduce the simulator's transmission count draw for draw.
+  const Fixture f(200, 48);
+  LossOptions options;
+  options.lossProbability = 0.15;
+  Rng rng(49);
+  const LossySimResult sim =
+      simulateLossyMulticast(f.built.tree, f.points, options, rng);
+  Rng twin(49);
+  std::int64_t expected = 0;
+  for (NodeId v = 0; v < f.built.tree.size(); ++v) {
+    if (v == f.built.tree.root()) continue;
+    std::int64_t attempts = 1;
+    while (twin.uniform() < options.lossProbability) ++attempts;
+    expected += attempts;
+  }
+  EXPECT_EQ(sim.transmissions, expected);
+
+  // And at zero loss the simulator must not consume the RNG at all.
+  options.lossProbability = 0.0;
+  Rng before(50);
+  Rng after(50);
+  simulateLossyMulticast(f.built.tree, f.points, options, before);
+  EXPECT_DOUBLE_EQ(before.uniform(), after.uniform());
+}
+
+TEST(LossTest, BurstyMonteCarloMatchesChainAnalysis) {
+  const Fixture f(600, 51);
+  LossOptions options;
+  options.lossProbability = 0.05;
+  options.retransmitDelay = 0.4;
+  options.burst.burstStartProbability = 0.1;
+  options.burst.burstStopProbability = 0.3;
+  options.burst.burstLossProbability = 0.6;
+  const LossyDeliveryReport report =
+      analyzeLossyDelivery(f.built.tree, f.points, options);
+  // Bursts strictly inflate the expected attempt count over plain i.i.d.
+  const double perHop = expectedAttemptsPerHop(options);
+  EXPECT_GT(perHop, 1.0 / (1.0 - options.lossProbability));
+
+  Rng rng(52);
+  RunningStats transmissions;
+  for (int trial = 0; trial < 400; ++trial)
+    transmissions.add(static_cast<double>(
+        simulateLossyMulticast(f.built.tree, f.points, options, rng)
+            .transmissions));
+  EXPECT_NEAR(transmissions.mean(), report.expectedTransmissions,
+              0.02 * report.expectedTransmissions);
+}
+
 TEST(LossTest, ValidatesOptions) {
   const Fixture f(10, 46);
   Rng rng(47);
@@ -247,6 +299,11 @@ TEST(LossTest, ValidatesOptions) {
                InvalidArgument);
   bad = {};
   bad.retransmitDelay = -1.0;
+  EXPECT_THROW(analyzeLossyDelivery(f.built.tree, f.points, bad),
+               InvalidArgument);
+  bad = {};
+  bad.burst.burstStartProbability = 0.2;
+  bad.burst.burstStopProbability = 0.0;  // enabled chain that can never exit
   EXPECT_THROW(analyzeLossyDelivery(f.built.tree, f.points, bad),
                InvalidArgument);
 }

@@ -103,6 +103,37 @@ TEST(StreamingTest, ChainIsAlwaysSustainableButSlow) {
   EXPECT_GT(result.firstMessageMaxDelay, 299 * 0.1);
 }
 
+TEST(StreamingTest, SingleNodeTreeStreamsTrivially) {
+  // Degenerate session: the root is the only receiver. No sends happen,
+  // every delay is zero, and the zero out-degree is trivially sustainable.
+  const std::vector<Point> points = {{{0.0, 0.0}}};
+  MulticastTree tree(1, 0);
+  tree.finalize();
+  StreamOptions stream;
+  stream.messageCount = 16;
+  const StreamResult result = simulateStream(tree, points, stream);
+  EXPECT_DOUBLE_EQ(result.firstMessageMaxDelay, 0.0);
+  EXPECT_DOUBLE_EQ(result.lastMessageMaxDelay, 0.0);
+  EXPECT_DOUBLE_EQ(result.backlogGrowthPerMessage, 0.0);
+  EXPECT_DOUBLE_EQ(result.bottleneckLoad, 0.0);
+  EXPECT_TRUE(result.sustainable);
+}
+
+TEST(StreamingTest, OneMessageHasNoBacklogSlope) {
+  // messageCount == 1 exercises the division guard: the slope is defined
+  // as 0 rather than 0/0, even on an over-subscribed tree.
+  const auto points = workload(64, 7);
+  const MulticastTree star = buildStarTree(points, 0);
+  StreamOptions stream;
+  stream.messageCount = 1;
+  stream.messageInterval = 0.1;
+  stream.transmissionTime = 0.1;  // 63 * 0.1 >> 0.1: hopelessly oversubscribed
+  const StreamResult result = simulateStream(star, points, stream);
+  EXPECT_FALSE(result.sustainable);
+  EXPECT_DOUBLE_EQ(result.backlogGrowthPerMessage, 0.0);
+  EXPECT_DOUBLE_EQ(result.firstMessageMaxDelay, result.lastMessageMaxDelay);
+}
+
 TEST(StreamingTest, ValidatesOptions) {
   const auto points = workload(10, 6);
   const PolarGridResult built = buildPolarGridTree(points, 0);

@@ -18,6 +18,11 @@
 //                   [--departure-fraction 0.5] [--crash-fraction 0.3]
 //                   [--degree 6] [--dim 2] [--seed 1] [--min-live 64]
 //                   [--incremental 1] [--snapshot out.txt]
+//   omtcli dataplane --points points.txt --tree tree.txt [--packets 1000]
+//                   [--interval 1e-4] [--loss 0.01] [--burst-start 0]
+//                   [--burst-stop 0.25] [--burst-loss 0.5]
+//                   [--control-loss 0] [--queue 128] [--retx-buffer 4096]
+//                   [--crash-fraction 0] [--degree 0] [--seed 1]
 //
 // Any command additionally accepts --trace <file> (Chrome trace_event JSON
 // of the run's spans) and --metrics <file> (Prometheus text exposition);
@@ -25,6 +30,7 @@
 //
 // Every command prints a short human-readable report to stdout; failures
 // (malformed files, invalid trees) exit non-zero with a message on stderr.
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -46,6 +52,7 @@
 #include "omt/obs/trace.h"
 #include "omt/random/samplers.h"
 #include "omt/report/table.h"
+#include "omt/sim/dataplane/engine.h"
 #include "omt/sim/multicast_sim.h"
 #include "omt/tree/metrics.h"
 #include "omt/tree/validation.h"
@@ -407,10 +414,90 @@ int cmdChurn(const Flags& flags) {
   return 0;
 }
 
+int cmdDataplane(const Flags& flags) {
+  const auto points = loadPointsFile(flags.require("points"));
+  const MulticastTree tree = loadTreeFile(flags.require("tree"));
+  OMT_CHECK(tree.size() == static_cast<NodeId>(points.size()),
+            "tree and point set sizes differ");
+
+  const auto seed = static_cast<std::uint64_t>(flags.getInt("seed", 1));
+  dataplane::DataplaneOptions options;
+  options.seed = deriveSeed(seed, 0xDA7AULL);
+  options.packetCount = flags.getInt("packets", 1000);
+  options.packetInterval = flags.getDouble("interval", 1e-4);
+  options.lossProbability = flags.getDouble("loss", 0.0);
+  options.burst.burstStartProbability = flags.getDouble("burst-start", 0.0);
+  options.burst.burstStopProbability = flags.getDouble("burst-stop", 0.25);
+  options.burst.burstLossProbability = flags.getDouble("burst-loss", 0.5);
+  options.controlLoss = flags.getDouble("control-loss", 0.0);
+  options.queueCapacity = static_cast<int>(flags.getInt("queue", 128));
+  options.retransmitBuffer = flags.getInt("retx-buffer", 4096);
+  options.maxOutDegree = static_cast<int>(flags.getInt("degree", 0));
+
+  // Optional crash schedule: each non-root node crashes independently with
+  // probability --crash-fraction at a uniform time inside the emit window.
+  const double crashFraction = flags.getDouble("crash-fraction", 0.0);
+  OMT_CHECK(crashFraction >= 0.0 && crashFraction < 1.0,
+            "crash fraction outside [0, 1)");
+  if (crashFraction > 0.0) {
+    Rng crashRng(deriveSeed(seed, 0xDA7AC));
+    const double window = static_cast<double>(options.packetCount) *
+                          options.packetInterval;
+    for (NodeId v = 0; v < tree.size(); ++v) {
+      if (v == tree.root() || crashRng.uniform() >= crashFraction) continue;
+      options.crashes.push_back({v, crashRng.uniform() * window});
+    }
+    std::sort(options.crashes.begin(), options.crashes.end(),
+              [](const dataplane::CrashEvent& a,
+                 const dataplane::CrashEvent& b) { return a.time < b.time; });
+  }
+
+  const dataplane::DataplaneResult result =
+      runDataplane(tree, points, options);
+  const double goodput =
+      result.wallSeconds > 0.0
+          ? static_cast<double>(result.deliveries) / result.wallSeconds
+          : 0.0;
+  TextTable table({"metric", "value"});
+  table.addRow({"hosts", TextTable::count(tree.size())});
+  table.addRow({"packets sent", TextTable::count(result.packetsSent)});
+  table.addRow({"deliveries", TextTable::count(result.deliveries)});
+  table.addRow({"goodput pkt/s",
+                TextTable::count(static_cast<long long>(goodput))});
+  table.addRow({"p50 latency ms",
+                TextTable::num(result.deliveryLatency.p50() * 1e3, 3)});
+  table.addRow({"p99 latency ms",
+                TextTable::num(result.deliveryLatency.p99() * 1e3, 3)});
+  table.addRow({"link losses", TextTable::count(result.linkLosses)});
+  table.addRow({"queue drops", TextTable::count(result.queueDrops)});
+  table.addRow({"dups suppressed",
+                TextTable::count(result.duplicatesSuppressed)});
+  table.addRow({"NACKs sent", TextTable::count(result.nacksSent)});
+  table.addRow({"retransmits", TextTable::count(result.retransmits)});
+  table.addRow({"eviction misses", TextTable::count(result.evictionMisses)});
+  table.addRow({"refetches", TextTable::count(result.refetches)});
+  table.addRow({"crashed nodes", TextTable::count(result.crashedNodes)});
+  table.addRow({"re-homed children",
+                TextTable::count(result.rehomedChildren)});
+  table.addRow({"events processed",
+                TextTable::count(result.eventsProcessed)});
+  table.addRow({"sim end time s", TextTable::num(result.simEndTime, 3)});
+  std::cout << table.str();
+  if (!result.completed) {
+    std::cerr << "INCOMPLETE: " << result.undelivered
+              << " packets undelivered at live receivers"
+              << (result.stalled ? " (stall detector fired)" : "") << "\n";
+    return 1;
+  }
+  std::cout << "DELIVERY OK: every live receiver got every packet "
+               "exactly once, in order\n";
+  return 0;
+}
+
 int run(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: omtcli <generate|build|metrics|simulate|render|"
-                 "chaos|churn> --flag value ...\n";
+                 "chaos|churn|dataplane> --flag value ...\n";
     return 2;
   }
   const std::string command = argv[1];
@@ -432,6 +519,7 @@ int run(int argc, char** argv) {
   else if (command == "render") rc = cmdRender(flags);
   else if (command == "chaos") rc = cmdChaos(flags);
   else if (command == "churn") rc = cmdChurn(flags);
+  else if (command == "dataplane") rc = cmdDataplane(flags);
   else {
     std::cerr << "unknown command '" << command << "'\n";
     return 2;
