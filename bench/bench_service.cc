@@ -1,0 +1,154 @@
+// Extension bench: the sharded multi-group tree service (ISSUE 9).
+//
+// Generates a deterministic multi-group membership script over a shared
+// host population and replays it through GroupManager in two transport
+// modes — direct session calls and the reliable RPC layer with disruption
+// windows — measuring sustained event throughput and the wall-clock
+// event-to-route latency (batch ingress to the owning group's snapshot
+// swap). Emits BENCH_service.json with one row per mode (events/s,
+// groups, publishes, p50/p95/p99 latency) and prints the same as a table.
+//
+// Exits non-zero when a replay fails to converge (degraded or
+// inconsistent groups after quiesce) or when the direct-mode throughput
+// falls below --min-events-per-sec (the CI perf floor; 0 disables).
+#include "common.h"
+#include "omt/service/replay.h"
+
+namespace {
+
+using namespace omt;
+using namespace omt::bench;
+
+double percentileOf(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+struct ModeResult {
+  std::string mode;
+  ReplayResult replay;
+  double eventsPerSec = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+ModeResult runMode(const std::string& mode,
+                   const std::vector<MembershipEvent>& events,
+                   const Args& args, std::int64_t batch) {
+  ServiceOptions service;
+  service.shards = args.shards.value_or(0);
+  service.seed = args.seed;
+  service.measureLatency = true;
+  if (mode == "rpc") {
+    service.useRpc = true;
+    service.injectDisruption = true;
+  }
+  GroupManager manager(service);
+
+  ReplayOptions replay;
+  replay.batchSize = batch;
+  ModeResult result;
+  result.mode = mode;
+  result.replay = replayScript(manager, events, replay);
+  result.eventsPerSec =
+      result.replay.applySeconds > 0.0
+          ? static_cast<double>(result.replay.events) /
+                result.replay.applySeconds
+          : 0.0;
+  std::vector<double> latencies = result.replay.eventLatencies;
+  std::sort(latencies.begin(), latencies.end());
+  result.p50 = percentileOf(latencies, 0.50);
+  result.p95 = percentileOf(latencies, 0.95);
+  result.p99 = percentileOf(latencies, 0.99);
+  return result;
+}
+
+int runBench(const Args& args) {
+  ScriptOptions script;
+  script.groups = args.groups > 0 ? args.groups : (args.full ? 1000 : 500);
+  script.hosts = args.hosts > 0 ? args.hosts : (args.full ? 20000 : 10000);
+  script.events =
+      args.events.value_or(args.full ? 1000000 : 200000);
+  script.seed = args.seed;
+  const std::int64_t batch = 1024;
+
+  std::cout << "Multi-group service replay: " << script.events << " events, "
+            << script.groups << " groups, " << script.hosts
+            << " hosts, batch " << batch << "\n\n";
+  const std::vector<MembershipEvent> events =
+      generateMembershipScript(script);
+
+  BenchJsonWriter json(benchOutputPath("BENCH_service.json"), "service");
+  TextTable table({"mode", "events/s", "groups", "publishes", "degraded",
+                   "p50 ms", "p95 ms", "p99 ms"});
+  bool converged = true;
+  double directRate = 0.0;
+  for (const std::string mode : {"direct", "rpc"}) {
+    const ModeResult r = runMode(mode, events, args, batch);
+    converged = converged && r.replay.converged();
+    if (mode == "direct") directRate = r.eventsPerSec;
+    if (!r.replay.converged()) {
+      std::cerr << "FAIL (" << mode << "): " << r.replay.degradedGroups
+                << " degraded / " << r.replay.inconsistentGroups
+                << " inconsistent group(s)";
+      if (!r.replay.firstInconsistency.empty())
+        std::cerr << " — " << r.replay.firstInconsistency;
+      std::cerr << "\n";
+    }
+    table.addRow({r.mode,
+                  TextTable::count(static_cast<long long>(r.eventsPerSec)),
+                  TextTable::count(r.replay.groups),
+                  TextTable::count(r.replay.publishes),
+                  TextTable::count(r.replay.degradedGroups),
+                  TextTable::num(r.p50 * 1e3, 3),
+                  TextTable::num(r.p95 * 1e3, 3),
+                  TextTable::num(r.p99 * 1e3, 3)});
+    json.beginRow();
+    json.field("mode", r.mode);
+    json.field("events", r.replay.events);
+    json.field("groups", r.replay.groups);
+    json.field("publishes", r.replay.publishes);
+    json.field("degraded_groups", r.replay.degradedGroups);
+    json.field("inconsistent_groups", r.replay.inconsistentGroups);
+    json.field("apply_seconds", r.replay.applySeconds);
+    json.field("events_per_second", r.eventsPerSec);
+    json.field("p50_latency_ms", r.p50 * 1e3);
+    json.field("p95_latency_ms", r.p95 * 1e3);
+    json.field("p99_latency_ms", r.p99 * 1e3);
+    json.endRow();
+  }
+  json.topLevel("events", static_cast<double>(script.events));
+  json.topLevel("groups", static_cast<double>(script.groups));
+  json.topLevel("hosts", static_cast<double>(script.hosts));
+  json.topLevel("batch", static_cast<double>(batch));
+  json.topLevel("direct_events_per_second", directRate);
+  json.topLevel("converged", converged ? 1.0 : 0.0);
+  json.close();
+  maybeWriteMetricsSnapshot(benchOutputPath("BENCH_service_metrics.json"));
+
+  std::cout << table.str();
+  bool pass = converged;
+  if (args.minEventsPerSec > 0.0 && directRate < args.minEventsPerSec) {
+    std::cerr << "FAIL: direct-mode " << directRate
+              << " events/s below the required " << args.minEventsPerSec
+              << "\n";
+    pass = false;
+  }
+  if (pass) std::cout << "\nSERVICE OK: both modes converged\n";
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parseArgs(argc, argv);
+  try {
+    return runBench(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

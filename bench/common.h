@@ -76,7 +76,10 @@ struct Args {
   /// bench_churn --steady-state: base seed for the shard RNG streams.
   std::uint64_t seed = 1401;
   /// bench_dataplane: hosts in the goodput tree (0 = bench default).
+  /// bench_service: shared host population size (0 = bench default).
   std::int64_t hosts = 0;
+  /// bench_service: concurrent multicast groups (0 = bench default).
+  std::int64_t groups = 0;
   /// bench_dataplane: packets per session (0 = bench default).
   std::int64_t packets = 0;
   /// bench_dataplane: exit non-zero if the zero-loss goodput row falls
@@ -124,6 +127,8 @@ inline Args parseArgs(int argc, char** argv) {
       args.fastMath = true;
     } else if (arg == "--hosts" && i + 1 < argc) {
       args.hosts = std::atoll(argv[++i]);
+    } else if (arg == "--groups" && i + 1 < argc) {
+      args.groups = std::atoll(argv[++i]);
     } else if (arg == "--packets" && i + 1 < argc) {
       args.packets = std::atoll(argv[++i]);
     } else if (arg == "--min-goodput" && i + 1 < argc) {
@@ -135,7 +140,8 @@ inline Args parseArgs(int argc, char** argv) {
                    " [--kernels-only] [--enforce-kernel-speedup]"
                    " [--steady-state] [--events N] [--shards S]"
                    " [--min-events-per-sec X] [--seed S] [--fast-math]"
-                   " [--hosts N] [--packets N] [--min-goodput X]\n";
+                   " [--hosts N] [--groups N] [--packets N]"
+                   " [--min-goodput X]\n";
       std::exit(2);
     }
   }

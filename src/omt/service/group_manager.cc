@@ -1,0 +1,495 @@
+#include "omt/service/group_manager.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "omt/common/error.h"
+#include "omt/obs/metrics.h"
+#include "omt/parallel/parallel_for.h"
+#include "omt/random/rng.h"
+#include "omt/rpc/reliable_session.h"
+
+namespace omt {
+
+namespace {
+
+constexpr std::int64_t kPageBits = 10;
+constexpr std::int64_t kPageSize = std::int64_t{1} << kPageBits;
+
+/// Per-logical-event counters are deterministic; the latency histogram is
+/// wall clock and is registered accordingly.
+struct ServiceMetrics {
+  obs::Counter& events;
+  obs::Counter& joins;
+  obs::Counter& leaves;
+  obs::Counter& crashes;
+  obs::Counter& publishes;
+  obs::Counter& teardowns;
+  obs::Counter& audits;
+  obs::Gauge& groups;
+  obs::Histogram& eventToRoute;
+};
+
+ServiceMetrics& serviceMetrics() {
+  auto& registry = obs::MetricsRegistry::global();
+  static ServiceMetrics metrics{
+      registry.counter("omt_service_events_total"),
+      registry.counter("omt_service_joins_total"),
+      registry.counter("omt_service_leaves_total"),
+      registry.counter("omt_service_crashes_total"),
+      registry.counter("omt_service_publishes_total"),
+      registry.counter("omt_service_teardowns_total"),
+      registry.counter("omt_service_audits_total"),
+      registry.gauge("omt_service_groups"),
+      registry.histogram("omt_service_event_to_route_seconds", {},
+                         obs::Determinism::kNondeterministic)};
+  return metrics;
+}
+
+double wallNow() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+/// Builder-side state of one live group; owned by the group's shard.
+struct GroupManager::GroupState {
+  explicit GroupState(const Point& origin, const SessionOptions& options)
+      : session(origin, options) {
+    hostOf.push_back(kNoHost);  // session id 0 = the virtual root
+  }
+
+  OverlaySession session;
+  std::vector<HostId> hostOf;  ///< session id -> service host id
+  std::unordered_map<HostId, NodeId> nodeOf;  ///< current members
+  // RPC transport (ServiceOptions::useRpc); unique_ptrs keep the session
+  // reference stable if the state object moves.
+  std::unique_ptr<RpcLayer> rpc;
+  std::unique_ptr<ReliableSessionDriver> driver;
+  double lastAudit = 0.0;
+  double lastEventTime = 0.0;
+};
+
+/// Atomic snapshot pointer with explicit acquire/release on both the load
+/// and store paths. libstdc++ 12's std::atomic<std::shared_ptr> unlocks
+/// its internal lock bit with a *relaxed* RMW after a load, so the plain
+/// pointer word it guards has no release edge to the next publisher's
+/// write — a formal data race that ThreadSanitizer reports on the
+/// publish/routes pair. This guard runs the same pointer-swap protocol
+/// with correct ordering: a reader spins only for the handful of
+/// instructions a concurrent swap or refcount bump holds the flag, and a
+/// retired table is released outside the critical section so readers
+/// holding an old epoch keep it alive by refcount.
+class GroupManager::SnapshotPtr {
+ public:
+  std::shared_ptr<const RouteTable> load() const {
+    lock();
+    std::shared_ptr<const RouteTable> copy = ptr_;
+    unlock();
+    return copy;
+  }
+
+  void store(std::shared_ptr<const RouteTable> next) {
+    lock();
+    ptr_.swap(next);
+    unlock();
+    // `next` now holds the retired table; it dies here, off the lock.
+  }
+
+ private:
+  void lock() const {
+    while (busy_.exchange(1, std::memory_order_acquire) != 0)
+      std::this_thread::yield();
+  }
+  void unlock() const { busy_.store(0, std::memory_order_release); }
+
+  mutable std::atomic<unsigned> busy_{0};
+  std::shared_ptr<const RouteTable> ptr_;
+};
+
+/// One group's reader/builder rendezvous. The snapshot table pointer is
+/// the ONLY field readers touch; everything else belongs to the owning
+/// shard.
+struct GroupManager::GroupSlot {
+  SnapshotPtr table;
+  std::unique_ptr<GroupState> state;  ///< null until created / after teardown
+  std::uint64_t epoch = 0;  ///< survives teardown: epochs stay monotone
+  GroupStats stats;
+  bool created = false;
+  bool dirty = false;  ///< touched since last publish (owning shard only)
+};
+
+/// Deterministic per-shard accumulator, merged in shard order.
+struct GroupManager::ShardReport {
+  ServiceStats stats;
+  std::vector<GroupId> published;
+  /// Wall-clock publish stamp per published group (measureLatency only).
+  std::vector<double> publishStamp;
+};
+
+GroupManager::GroupManager(const ServiceOptions& options)
+    : options_(options), shards_(resolveWorkers(options.shards)) {
+  OMT_CHECK(options_.maxGroups >= 1, "need a positive group-id space");
+  OMT_CHECK(options_.auditPeriod > 0.0, "audit period must be positive");
+  pageCount_ = (options_.maxGroups + kPageSize - 1) / kPageSize;
+  pages_ = std::make_unique<std::atomic<GroupSlot*>[]>(
+      static_cast<std::size_t>(pageCount_));
+  for (std::int64_t p = 0; p < pageCount_; ++p)
+    pages_[static_cast<std::size_t>(p)].store(nullptr,
+                                              std::memory_order_relaxed);
+}
+
+GroupManager::~GroupManager() {
+  for (std::int64_t p = 0; p < pageCount_; ++p)
+    delete[] pages_[static_cast<std::size_t>(p)].load(
+        std::memory_order_acquire);
+}
+
+GroupManager::GroupSlot* GroupManager::slotFor(GroupId group) const {
+  if (group < 0 || group >= options_.maxGroups) return nullptr;
+  GroupSlot* page = pages_[static_cast<std::size_t>(group >> kPageBits)].load(
+      std::memory_order_acquire);
+  if (!page) return nullptr;
+  return &page[group & (kPageSize - 1)];
+}
+
+GroupManager::GroupSlot& GroupManager::ensureSlot(GroupId group) {
+  OMT_CHECK(group >= 0 && group < options_.maxGroups,
+            "group id " + std::to_string(group) + " outside [0, " +
+                std::to_string(options_.maxGroups) + ")");
+  auto& pageRef = pages_[static_cast<std::size_t>(group >> kPageBits)];
+  GroupSlot* page = pageRef.load(std::memory_order_acquire);
+  if (!page) {
+    page = new GroupSlot[kPageSize];
+    pageRef.store(page, std::memory_order_release);
+  }
+  GroupSlot& slot = page[group & (kPageSize - 1)];
+  if (!slot.created) {
+    slot.created = true;
+    createdGroups_.push_back(group);
+  }
+  return slot;
+}
+
+void GroupManager::createState(GroupSlot& slot, GroupId group, int dim) {
+  OMT_CHECK(dim >= 1, "cannot create a group from a dimensionless event");
+  // The session's source is a virtual rendezvous root at the origin of the
+  // population's coordinate space — never a real host, so the last real
+  // member can always leave and single-host groups are unremarkable.
+  slot.state = std::make_unique<GroupState>(Point(dim), options_.session);
+  if (options_.useRpc) {
+    RpcOptions rpcOptions = options_.rpc;
+    rpcOptions.channel.seed =
+        deriveSeed(deriveSeed(options_.seed, 0x5e17ULL),
+                   static_cast<std::uint64_t>(group));
+    DisruptionSchedule disruption;
+    if (options_.injectDisruption) {
+      DisruptionOptions d = options_.disruption;
+      d.seed = deriveSeed(deriveSeed(options_.seed, 0xd15eULL),
+                          static_cast<std::uint64_t>(group));
+      disruption = DisruptionSchedule(generateDisruption(d));
+    }
+    OverlaySession* session = &slot.state->session;
+    slot.state->rpc = std::make_unique<RpcLayer>(
+        rpcOptions, std::move(disruption),
+        [session](std::int64_t id) -> const Point* {
+          if (id < 0 || id >= session->hostCount() || !session->isLive(id))
+            return nullptr;
+          return &session->positionOf(id);
+        });
+    slot.state->driver = std::make_unique<ReliableSessionDriver>(
+        *session, *slot.state->rpc);
+  }
+}
+
+void GroupManager::applyEvent(GroupSlot& slot, const MembershipEvent& event,
+                              ShardReport& report) {
+  auto& metrics = serviceMetrics();
+  if (!slot.state) {
+    OMT_CHECK(event.kind == ServiceEventKind::kJoin,
+              "group " + std::to_string(event.group) +
+                  ": departure event for a group with no members");
+    createState(slot, event.group, event.position.dim());
+  }
+  GroupState& state = *slot.state;
+  state.lastEventTime = event.time;
+  slot.dirty = true;
+  ++slot.stats.events;
+  ++report.stats.events;
+  metrics.events.add();
+
+  switch (event.kind) {
+    case ServiceEventKind::kJoin: {
+      OMT_CHECK(!state.nodeOf.count(event.host),
+                "group " + std::to_string(event.group) + ": host " +
+                    std::to_string(event.host) + " is already a member");
+      NodeId id;
+      if (options_.useRpc) {
+        const auto drive = state.driver->driveJoin(event.position, event.time);
+        id = drive.id;
+        if (!drive.result.completed && !drive.result.applied)
+          ++report.stats.parkedJoins;
+      } else {
+        id = state.session.join(event.position);
+      }
+      OMT_CHECK(id == static_cast<NodeId>(state.hostOf.size()),
+                "session id space diverged from the host map");
+      state.hostOf.push_back(event.host);
+      state.nodeOf.emplace(event.host, id);
+      ++slot.stats.joins;
+      ++report.stats.joins;
+      metrics.joins.add();
+      break;
+    }
+    case ServiceEventKind::kLeave: {
+      const auto it = state.nodeOf.find(event.host);
+      OMT_CHECK(it != state.nodeOf.end(),
+                "group " + std::to_string(event.group) + ": host " +
+                    std::to_string(event.host) + " left without being a member");
+      const NodeId node = it->second;
+      if (options_.useRpc && !state.session.isParked(node)) {
+        state.driver->driveLeave(node, event.time);
+      } else {
+        // A parked host is unattached — its goodbye needs no handshake.
+        state.session.leave(node);
+      }
+      state.nodeOf.erase(it);
+      ++slot.stats.leaves;
+      ++report.stats.leaves;
+      metrics.leaves.add();
+      break;
+    }
+    case ServiceEventKind::kCrash: {
+      const auto it = state.nodeOf.find(event.host);
+      OMT_CHECK(it != state.nodeOf.end(),
+                "group " + std::to_string(event.group) + ": host " +
+                    std::to_string(event.host) + " crashed without being a member");
+      const NodeId node = it->second;
+      const NodeId parent = state.session.parentOf(node);
+      state.session.crash(node);
+      if (options_.useRpc) {
+        const NodeId reporter =
+            parent >= 1 && state.session.isLive(parent) ? parent : kNoNode;
+        state.driver->driveRepair(node, reporter, event.time);
+      } else {
+        state.session.repairCrashed(node);
+      }
+      state.nodeOf.erase(it);
+      ++slot.stats.crashes;
+      ++report.stats.crashes;
+      metrics.crashes.add();
+      break;
+    }
+  }
+
+  // Anti-entropy cadence rides on event time (deterministic).
+  if (options_.useRpc && state.driver->reconcilePending() &&
+      event.time >= state.lastAudit + options_.auditPeriod) {
+    state.driver->runAudit(event.time);
+    state.lastAudit = event.time;
+    ++report.stats.audits;
+    metrics.audits.add();
+  }
+  maybeTearDown(slot, report);
+}
+
+void GroupManager::maybeTearDown(GroupSlot& slot, ShardReport& report) {
+  GroupState* state = slot.state.get();
+  if (!state || !state->nodeOf.empty()) return;
+  // Only a fully clean group tears down: nothing parked, no unrepaired
+  // corpse, no outstanding RPC ledger entry. A degraded empty group keeps
+  // its state until quiesce()/audits drain it.
+  if (state->session.parkedCount() != 0 ||
+      state->session.undetectedCrashes() != 0)
+    return;
+  if (state->driver && state->driver->reconcilePending()) return;
+  slot.state.reset();
+  slot.dirty = true;
+  ++slot.stats.teardowns;
+  ++report.stats.teardowns;
+  serviceMetrics().teardowns.add();
+}
+
+void GroupManager::publish(GroupSlot& slot, GroupId group,
+                           ShardReport& report) {
+  std::shared_ptr<const RouteTable> table;
+  if (slot.state) {
+    table = RouteTable::build(slot.state->session, slot.state->hostOf, group,
+                              ++slot.epoch);
+  } else {
+    table = std::make_shared<const RouteTable>(group, ++slot.epoch);
+  }
+  slot.stats.lastFingerprint = table->fingerprint();
+  ++slot.stats.publishes;
+  slot.table.store(std::move(table));
+  slot.dirty = false;
+  ++report.stats.publishes;
+  serviceMetrics().publishes.add();
+  report.published.push_back(group);
+  report.publishStamp.push_back(options_.measureLatency ? wallNow() : 0.0);
+}
+
+ApplyReport GroupManager::apply(std::span<const MembershipEvent> events) {
+  const double arrival = options_.measureLatency ? wallNow() : 0.0;
+  // Serial pre-pass: install slots (pages) and partition by shard. Doing
+  // slot creation here keeps the parallel phase free of any structural
+  // mutation a concurrent reader could race with.
+  std::vector<std::vector<std::int64_t>> perShard(
+      static_cast<std::size_t>(shards_));
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(events.size()); ++i) {
+    const GroupId group = events[static_cast<std::size_t>(i)].group;
+    ensureSlot(group);
+    perShard[static_cast<std::size_t>(group % shards_)].push_back(i);
+  }
+
+  std::vector<ShardReport> reports(static_cast<std::size_t>(shards_));
+  parallelFor(0, shards_, shards_, [&](std::int64_t shard) {
+    ShardReport& report = reports[static_cast<std::size_t>(shard)];
+    std::vector<GroupId> touched;  // insertion order = deterministic
+    for (const std::int64_t i : perShard[static_cast<std::size_t>(shard)]) {
+      const MembershipEvent& event = events[static_cast<std::size_t>(i)];
+      GroupSlot& slot = *slotFor(event.group);
+      if (!slot.dirty) touched.push_back(event.group);
+      applyEvent(slot, event, report);
+    }
+    for (const GroupId group : touched) {
+      GroupSlot& slot = *slotFor(group);
+      if (slot.dirty) publish(slot, group, report);
+    }
+  });
+
+  ApplyReport result;
+  result.events = static_cast<std::int64_t>(events.size());
+  std::unordered_map<GroupId, double> publishAt;
+  for (const ShardReport& report : reports) {
+    stats_.events += report.stats.events;
+    stats_.joins += report.stats.joins;
+    stats_.leaves += report.stats.leaves;
+    stats_.crashes += report.stats.crashes;
+    stats_.publishes += report.stats.publishes;
+    stats_.teardowns += report.stats.teardowns;
+    stats_.audits += report.stats.audits;
+    stats_.parkedJoins += report.stats.parkedJoins;
+    result.groupsTouched += static_cast<std::int64_t>(report.published.size());
+    result.publishes += static_cast<std::int64_t>(report.published.size());
+    for (std::size_t i = 0; i < report.published.size(); ++i)
+      publishAt[report.published[i]] = report.publishStamp[i];
+  }
+  stats_.groupsCreated = static_cast<std::int64_t>(createdGroups_.size());
+  serviceMetrics().groups.set(static_cast<double>(liveGroupCount()));
+  if (options_.measureLatency) {
+    result.eventLatencies.reserve(events.size());
+    auto& histogram = serviceMetrics().eventToRoute;
+    for (const MembershipEvent& event : events) {
+      const auto it = publishAt.find(event.group);
+      const double latency =
+          it == publishAt.end() ? 0.0 : it->second - arrival;
+      result.eventLatencies.push_back(latency);
+      histogram.observe(latency);
+    }
+  }
+  return result;
+}
+
+bool GroupManager::quiesceGroup(GroupSlot& slot, GroupId group, double now,
+                                int maxRounds, ShardReport& report) {
+  GroupState* state = slot.state.get();
+  if (!state) return true;
+  auto degraded = [&]() {
+    return state->session.undetectedCrashes() != 0 ||
+           state->session.parkedCount() != 0 ||
+           (state->driver && state->driver->reconcilePending());
+  };
+  double t = std::max(now, state->lastEventTime);
+  for (int round = 0; round < maxRounds && degraded(); ++round) {
+    t += options_.auditPeriod;
+    if (state->driver && state->driver->reconcilePending()) {
+      state->driver->runAudit(t);
+      ++report.stats.audits;
+      serviceMetrics().audits.add();
+    }
+    if (state->session.undetectedCrashes() != 0)
+      state->session.detectAndRepair();
+    slot.dirty = true;
+  }
+  maybeTearDown(slot, report);
+  if (slot.dirty) publish(slot, group, report);
+  return slot.state == nullptr || !degraded();
+}
+
+std::int64_t GroupManager::quiesce(double now, int maxRounds) {
+  std::vector<std::vector<GroupId>> perShard(
+      static_cast<std::size_t>(shards_));
+  for (const GroupId group : createdGroups_)
+    perShard[static_cast<std::size_t>(group % shards_)].push_back(group);
+  std::vector<ShardReport> reports(static_cast<std::size_t>(shards_));
+  std::vector<std::int64_t> stillDegraded(static_cast<std::size_t>(shards_),
+                                          0);
+  parallelFor(0, shards_, shards_, [&](std::int64_t shard) {
+    ShardReport& report = reports[static_cast<std::size_t>(shard)];
+    for (const GroupId group : perShard[static_cast<std::size_t>(shard)]) {
+      GroupSlot& slot = *slotFor(group);
+      if (!quiesceGroup(slot, group, now, maxRounds, report))
+        ++stillDegraded[static_cast<std::size_t>(shard)];
+    }
+  });
+  std::int64_t degraded = 0;
+  for (std::int64_t shard = 0; shard < shards_; ++shard) {
+    const ShardReport& report = reports[static_cast<std::size_t>(shard)];
+    stats_.publishes += report.stats.publishes;
+    stats_.teardowns += report.stats.teardowns;
+    stats_.audits += report.stats.audits;
+    degraded += stillDegraded[static_cast<std::size_t>(shard)];
+  }
+  serviceMetrics().groups.set(static_cast<double>(liveGroupCount()));
+  return degraded;
+}
+
+std::shared_ptr<const RouteTable> GroupManager::routes(GroupId group) const {
+  const GroupSlot* slot = slotFor(group);
+  if (!slot) return nullptr;
+  return slot->table.load();
+}
+
+HostId GroupManager::parentOf(GroupId group, HostId host) const {
+  const auto table = routes(group);
+  return table ? table->parentOf(host) : kNotMember;
+}
+
+std::vector<HostId> GroupManager::childrenOf(GroupId group,
+                                             HostId host) const {
+  const auto table = routes(group);
+  if (!table) return {};
+  const auto span = table->childrenOf(host);
+  return {span.begin(), span.end()};
+}
+
+std::uint64_t GroupManager::epochOf(GroupId group) const {
+  const auto table = routes(group);
+  return table ? table->epoch() : 0;
+}
+
+std::int64_t GroupManager::liveGroupCount() const {
+  std::int64_t live = 0;
+  for (const GroupId group : createdGroups_)
+    if (slotFor(group)->state) ++live;
+  return live;
+}
+
+std::int64_t GroupManager::liveMembersOf(GroupId group) const {
+  const GroupSlot* slot = slotFor(group);
+  if (!slot || !slot->state) return 0;
+  return static_cast<std::int64_t>(slot->state->nodeOf.size());
+}
+
+GroupStats GroupManager::groupStats(GroupId group) const {
+  const GroupSlot* slot = slotFor(group);
+  return slot ? slot->stats : GroupStats{};
+}
+
+}  // namespace omt

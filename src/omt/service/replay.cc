@@ -1,0 +1,90 @@
+#include "omt/service/replay.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "omt/common/error.h"
+
+namespace omt {
+
+namespace {
+
+double wallSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h += v + 0x9e3779b97f4a7c15ULL;
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+}  // namespace
+
+ReplayResult replayScript(GroupManager& manager,
+                          std::span<const MembershipEvent> events,
+                          const ReplayOptions& options) {
+  OMT_CHECK(options.batchSize >= 1, "batch size must be positive");
+  ReplayResult result;
+  result.events = static_cast<std::int64_t>(events.size());
+
+  const auto total = static_cast<std::int64_t>(events.size());
+  for (std::int64_t at = 0; at < total; at += options.batchSize) {
+    const auto len = std::min(options.batchSize, total - at);
+    const double t0 = wallSeconds();
+    ApplyReport report = manager.apply(
+        events.subspan(static_cast<std::size_t>(at),
+                       static_cast<std::size_t>(len)));
+    result.applySeconds += wallSeconds() - t0;
+    ++result.batches;
+    result.publishes += report.publishes;
+    for (const double latency : report.eventLatencies)
+      result.eventLatencies.push_back(latency);
+  }
+
+  if (options.quiesceAtEnd) {
+    const double now = total > 0 ? events[events.size() - 1].time : 0.0;
+    const double t0 = wallSeconds();
+    result.degradedGroups = manager.quiesce(now, options.quiesceRounds);
+    result.applySeconds += wallSeconds() - t0;
+  }
+
+  result.groups = manager.groupCount();
+  result.liveGroups = manager.liveGroupCount();
+  if (options.auditTables) {
+    const int cap = manager.options().session.maxOutDegree;
+    for (const GroupId group : manager.createdGroups()) {
+      const auto table = manager.routes(group);
+      if (!table) continue;
+      if (const auto audit = table->checkConsistency(cap); !audit.ok) {
+        ++result.inconsistentGroups;
+        if (result.firstInconsistency.empty())
+          result.firstInconsistency =
+              "group " + std::to_string(group) + ": " + audit.message;
+      }
+    }
+  }
+  return result;
+}
+
+std::uint64_t serviceFingerprint(const GroupManager& manager) {
+  std::vector<GroupId> groups(manager.createdGroups().begin(),
+                              manager.createdGroups().end());
+  std::sort(groups.begin(), groups.end());
+  std::uint64_t h = mix(0x0f1e675e12f1ce5eULL,
+                        static_cast<std::uint64_t>(groups.size()));
+  for (const GroupId group : groups) {
+    h = mix(h, static_cast<std::uint64_t>(group));
+    const auto table = manager.routes(group);
+    h = mix(h, table ? table->fingerprint() : 0);
+  }
+  return h;
+}
+
+}  // namespace omt

@@ -1,0 +1,196 @@
+#include "omt/service/route_table.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+
+#include "omt/common/error.h"
+
+namespace omt {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  // splitmix64 finalizer over the running hash; matches the repo's other
+  // structural fingerprints in spirit (order-sensitive, avalanching).
+  h += v + 0x9e3779b97f4a7c15ULL;
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+}  // namespace
+
+RouteTable::RouteTable(GroupId group, std::uint64_t epoch)
+    : group_(group), epoch_(epoch) {
+  finalize();
+}
+
+std::int64_t RouteTable::indexOf(HostId host) const {
+  const auto it = std::lower_bound(hosts_.begin(), hosts_.end(), host);
+  if (it == hosts_.end() || *it != host) return -1;
+  return it - hosts_.begin();
+}
+
+HostId RouteTable::parentOf(HostId host) const {
+  const std::int64_t i = indexOf(host);
+  return i < 0 ? kNotMember : parent_[static_cast<std::size_t>(i)];
+}
+
+std::span<const HostId> RouteTable::childrenOf(HostId host) const {
+  const std::int64_t i = indexOf(host);
+  if (i < 0) return {};
+  const auto lo = static_cast<std::size_t>(childOffset_[static_cast<std::size_t>(i)]);
+  const auto hi =
+      static_cast<std::size_t>(childOffset_[static_cast<std::size_t>(i) + 1]);
+  return std::span<const HostId>(children_).subspan(lo, hi - lo);
+}
+
+void RouteTable::finalize() {
+  const std::size_t n = hosts_.size();
+  // Children CSR, grouped by parent index with children in ascending
+  // HostId order (hosts_ is sorted, so one counting pass suffices).
+  std::vector<std::int32_t> degree(n, 0);
+  originChildren_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    const HostId p = parent_[i];
+    if (p == kNoHost) {
+      originChildren_.push_back(hosts_[i]);
+      continue;
+    }
+    const std::int64_t pi = indexOf(p);
+    OMT_CHECK(pi >= 0, "route table parent is not a member");
+    ++degree[static_cast<std::size_t>(pi)];
+  }
+  childOffset_.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i)
+    childOffset_[i + 1] = childOffset_[i] + degree[i];
+  children_.assign(static_cast<std::size_t>(childOffset_[n]), 0);
+  std::vector<std::int32_t> cursor(childOffset_.begin(),
+                                   childOffset_.end() - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const HostId p = parent_[i];
+    if (p == kNoHost) continue;
+    const auto pi = static_cast<std::size_t>(indexOf(p));
+    children_[static_cast<std::size_t>(cursor[pi]++)] = hosts_[i];
+  }
+
+  std::uint64_t h = mix(0x0a11c0de5e12f1ceULL,
+                        static_cast<std::uint64_t>(group_));
+  h = mix(h, static_cast<std::uint64_t>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    h = mix(h, static_cast<std::uint64_t>(hosts_[i]));
+    h = mix(h, static_cast<std::uint64_t>(parent_[i]) + 2);  // kNotMember-safe
+  }
+  fingerprint_ = h;
+}
+
+RouteTableAudit RouteTable::checkConsistency(int maxOutDegree) const {
+  auto fail = [](std::string message) {
+    return RouteTableAudit{false, std::move(message)};
+  };
+  const std::size_t n = hosts_.size();
+  if (parent_.size() != n || childOffset_.size() != n + 1)
+    return fail("route table arrays disagree on the member count");
+  for (std::size_t i = 1; i < n; ++i) {
+    if (hosts_[i - 1] >= hosts_[i])
+      return fail("route table hosts are not strictly ascending");
+  }
+
+  // Recompute the fingerprint: a torn or bit-damaged snapshot cannot both
+  // keep its stored hash and re-derive it from its own arrays.
+  RouteTable fresh(group_, epoch_);
+  fresh.hosts_ = hosts_;
+  fresh.parent_ = parent_;
+  fresh.finalize();
+  if (fresh.fingerprint_ != fingerprint_)
+    return fail("stored fingerprint does not match the table contents");
+  if (fresh.children_ != children_ || fresh.childOffset_ != childOffset_ ||
+      fresh.originChildren_ != originChildren_)
+    return fail("children index does not match the parent array");
+
+  // Every member must reach the origin through member parents without a
+  // cycle; walking each parent chain with a visit stamp is O(n) total.
+  std::vector<std::int64_t> state(n, 0);  // 0 unvisited, <0 in progress, 1 done
+  for (std::size_t i = 0; i < n; ++i) {
+    if (state[i] == 1) continue;
+    std::size_t walk = i;
+    const std::int64_t stamp = -static_cast<std::int64_t>(i) - 2;
+    while (true) {
+      if (state[walk] == stamp)
+        return fail("cycle through host " + std::to_string(hosts_[walk]));
+      if (state[walk] == 1) break;
+      state[walk] = stamp;
+      const HostId p = parent_[walk];
+      if (p == kNoHost) break;
+      const std::int64_t pi = indexOf(p);
+      if (pi < 0)
+        return fail("host " + std::to_string(hosts_[walk]) +
+                    " has non-member parent " + std::to_string(p));
+      walk = static_cast<std::size_t>(pi);
+    }
+    // Mark the walked chain resolved.
+    walk = i;
+    while (walk < n && state[walk] == stamp) {
+      state[walk] = 1;
+      const HostId p = parent_[walk];
+      if (p == kNoHost) break;
+      walk = static_cast<std::size_t>(indexOf(p));
+    }
+  }
+
+  if (maxOutDegree > 0) {
+    if (static_cast<std::int64_t>(originChildren_.size()) > maxOutDegree)
+      return fail("origin fan-out " + std::to_string(originChildren_.size()) +
+                  " exceeds the degree cap");
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::int64_t deg = childOffset_[i + 1] - childOffset_[i];
+      if (deg > maxOutDegree)
+        return fail("host " + std::to_string(hosts_[i]) + " out-degree " +
+                    std::to_string(deg) + " exceeds the degree cap");
+    }
+  }
+  return {};
+}
+
+std::shared_ptr<const RouteTable> RouteTable::build(
+    const OverlaySession& session, std::span<const HostId> hostOf,
+    GroupId group, std::uint64_t epoch) {
+  OMT_CHECK(static_cast<std::int64_t>(hostOf.size()) == session.hostCount(),
+            "hostOf does not cover the session id space");
+  auto table = std::make_shared<RouteTable>(group, epoch);
+  // Only the subtree reachable from the virtual root through live,
+  // unparked hosts is routable: a subtree hanging below a parked host or
+  // an unrepaired corpse is attached in session terms but cannot receive
+  // data, so it stays out of the published snapshot until repair re-homes
+  // it (mirroring what the data plane could actually deliver to).
+  std::vector<std::pair<HostId, HostId>> edges;  // (host, parent host)
+  std::vector<NodeId> stack = {0};
+  while (!stack.empty()) {
+    const NodeId node = stack.back();
+    stack.pop_back();
+    for (const NodeId child : session.childrenOf(node)) {
+      if (!session.isLive(child) || session.isParked(child)) continue;
+      edges.emplace_back(hostOf[static_cast<std::size_t>(child)],
+                         node == 0 ? kNoHost
+                                   : hostOf[static_cast<std::size_t>(node)]);
+      stack.push_back(child);
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  table->hosts_.reserve(edges.size());
+  table->parent_.reserve(edges.size());
+  for (const auto& [host, parent] : edges) {
+    OMT_CHECK(table->hosts_.empty() || table->hosts_.back() != host,
+              "duplicate host id in one group");
+    table->hosts_.push_back(host);
+    table->parent_.push_back(parent);
+  }
+  table->finalize();
+  return table;
+}
+
+}  // namespace omt

@@ -1,0 +1,107 @@
+// Immutable per-group route table — the reader half of the service's
+// epoch/snapshot scheme.
+//
+// A GroupManager builder thread materialises one RouteTable per publish
+// from the group's live OverlaySession and swaps it into the group's
+// atomic slot; readers that grabbed the previous table keep a shared_ptr
+// and are never invalidated (RCU-style: old epochs die when the last
+// reader drops them). Everything in a table is immutable after
+// construction, so a reader can walk parents and children without any
+// synchronisation beyond the initial pointer load.
+//
+// Hosts are addressed by their service-wide HostId (the shared host
+// population), not by session-internal node ids. The group's origin (the
+// session's virtual root, which is not a real host) is not listed;
+// members attached directly to it report kNoHost as their parent.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "omt/protocol/overlay_session.h"
+
+namespace omt {
+
+/// Identifier of one multicast group; dense, 0-based.
+using GroupId = std::int64_t;
+
+/// Service-wide host identifier (shared across every group).
+using HostId = std::int64_t;
+
+/// Parent of a member attached directly to the group origin.
+inline constexpr HostId kNoHost = -1;
+
+/// parentOf() result for a host that is not a member of the group.
+inline constexpr HostId kNotMember = -2;
+
+/// Outcome of RouteTable::checkConsistency().
+struct RouteTableAudit {
+  bool ok = true;
+  std::string message;  ///< empty when ok; first violation otherwise
+  explicit operator bool() const { return ok; }
+};
+
+class RouteTable {
+ public:
+  /// An empty table (group exists but has no attached members).
+  RouteTable(GroupId group, std::uint64_t epoch);
+
+  GroupId group() const { return group_; }
+  /// Publish generation: bumped once per swap, strictly monotone per group.
+  std::uint64_t epoch() const { return epoch_; }
+  std::int64_t size() const { return static_cast<std::int64_t>(hosts_.size()); }
+  bool empty() const { return hosts_.empty(); }
+
+  /// Members in ascending HostId order.
+  std::span<const HostId> hosts() const { return hosts_; }
+  bool contains(HostId host) const { return indexOf(host) >= 0; }
+
+  /// kNoHost for a member attached to the group origin, kNotMember for a
+  /// host that is not in this group. O(log size).
+  HostId parentOf(HostId host) const;
+
+  /// The member's children (empty for kNotMember hosts). The span aliases
+  /// the table — keep the shared_ptr alive while using it.
+  std::span<const HostId> childrenOf(HostId host) const;
+
+  /// Members attached directly to the group origin (the delivery roots).
+  std::span<const HostId> originChildren() const { return originChildren_; }
+
+  /// Structure hash over the sorted (host, parent) pairs; equal tables
+  /// (same members, same edges) hash equal regardless of epoch or the
+  /// worker/shard count that built them.
+  std::uint64_t fingerprint() const { return fingerprint_; }
+
+  /// Full structural audit: parent/child symmetry, acyclicity, every
+  /// member reachable from the origin, out-degrees within `maxOutDegree`
+  /// (counting origin fan-out too; pass 0 to skip the cap check), and the
+  /// stored fingerprint matching a recomputation (a torn or corrupted
+  /// snapshot cannot pass). O(size).
+  RouteTableAudit checkConsistency(int maxOutDegree) const;
+
+  /// Build a table from the live, *attached* membership of `session`:
+  /// parked hosts and pending crashes are not routable and are excluded.
+  /// `hostOf[node]` maps session node ids to HostIds (hostOf[0] is the
+  /// virtual root and is ignored).
+  static std::shared_ptr<const RouteTable> build(
+      const OverlaySession& session, std::span<const HostId> hostOf,
+      GroupId group, std::uint64_t epoch);
+
+ private:
+  std::int64_t indexOf(HostId host) const;
+  void finalize();  ///< builds the CSR index and the fingerprint
+
+  GroupId group_ = 0;
+  std::uint64_t epoch_ = 0;
+  std::vector<HostId> hosts_;    ///< sorted ascending
+  std::vector<HostId> parent_;   ///< by index; kNoHost = origin-attached
+  std::vector<std::int32_t> childOffset_;  ///< CSR into children_, size+1
+  std::vector<HostId> children_;
+  std::vector<HostId> originChildren_;
+  std::uint64_t fingerprint_ = 0;
+};
+
+}  // namespace omt

@@ -15,3 +15,11 @@ run(${OMTCLI} metrics --points ${pts} --tree ${tree} --degree 6)
 run(${OMTCLI} simulate --points ${pts} --tree ${tree} --serialization 0.01 --order deepest)
 run(${OMTCLI} dataplane --points ${pts} --tree ${tree} --packets 200 --loss 0.01 --control-loss 0.005 --seed 7)
 run(${OMTCLI} render --points ${pts} --tree ${tree} --grid 1 --out ${svg})
+
+# Multi-group service: generate + save the membership script, then replay
+# the saved artifact through a differently-sharded service; both runs must
+# converge (exit 0) on the same deterministic script.
+set(script ${WORKDIR}/cli_service_script.txt)
+run(${OMTCLI} serve --groups 40 --hosts 800 --events 8000 --seed 11
+    --shards 2 --save-script ${script})
+run(${OMTCLI} serve --script ${script} --shards 1 --rpc 1)

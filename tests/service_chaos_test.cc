@@ -1,0 +1,176 @@
+// 100-seed chaos gate for the multi-group service (ctest label `service`).
+//
+// Each seed composes the PR 1 fault injector with the PR 3 RPC disruption
+// machinery across several concurrent groups: every group gets its own
+// correlated fault schedule (Poisson churn + regional crash bursts +
+// flash crowds) translated into the service's membership-event stream,
+// and the whole merge replays through a GroupManager in RPC mode with
+// per-group disruption windows. The gate asserts, per seed:
+//   * eventual full attachment — after quiesce() no group is degraded and
+//     every group's final table carries exactly its live members;
+//   * zero cross-group leakage — each group's final table is bit-identical
+//     to replaying only that group's event subsequence in a fresh
+//     single-group service (other groups' churn contributed nothing);
+//   * determinism — the service fingerprint is identical for 1 and 3
+//     builder shards (and hence for any OMT_THREADS).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "omt/fault/injector.h"
+#include "omt/random/rng.h"
+#include "omt/service/group_manager.h"
+#include "omt/service/replay.h"
+#include "omt/service/script.h"
+
+namespace omt {
+namespace {
+
+constexpr int kSeeds = 100;
+constexpr GroupId kGroups = 6;
+
+/// Translate one group's fault schedule into service membership events.
+/// Crash-burst victims resolve against the live set with a seeded RNG, so
+/// the translation is deterministic. Host ids are shared across groups
+/// (entity ids collide on purpose — the same HostId living in several
+/// groups at once is exactly what the leakage gate stresses).
+std::vector<MembershipEvent> groupEvents(GroupId group, std::uint64_t seed) {
+  FaultScheduleOptions options;
+  options.duration = 12.0;
+  options.seed = deriveSeed(seed, static_cast<std::uint64_t>(group));
+  options.arrivalRate = 8.0;
+  options.meanLifetime = 6.0;
+  options.crashFraction = 0.3;
+  options.crashBurstRate = 0.1;
+  options.flashCrowdRate = 0.05;
+  options.flashCrowdSize = 12;
+  const auto schedule = generateFaultSchedule(options);
+
+  Rng burstRng(deriveSeed(options.seed, 0xb025));
+  std::unordered_map<std::int64_t, Point> live;  // entity -> position
+  std::vector<MembershipEvent> events;
+  for (const FaultEvent& f : schedule) {
+    switch (f.kind) {
+      case FaultEventKind::kJoin:
+        live.emplace(f.entity, f.position);
+        events.push_back(
+            {f.time, group, ServiceEventKind::kJoin, f.entity, f.position});
+        break;
+      case FaultEventKind::kLeave:
+        if (live.erase(f.entity))
+          events.push_back(
+              {f.time, group, ServiceEventKind::kLeave, f.entity, Point()});
+        break;
+      case FaultEventKind::kCrash:
+        if (live.erase(f.entity))
+          events.push_back(
+              {f.time, group, ServiceEventKind::kCrash, f.entity, Point()});
+        break;
+      case FaultEventKind::kCrashBurst: {
+        // Regional outage: kill live entities inside the disk. Collect
+        // victims first so iteration order cannot touch the RNG stream.
+        std::vector<std::int64_t> victims;
+        for (const auto& [entity, position] : live) {
+          if (distance(position, f.position) <= f.radius)
+            victims.push_back(entity);
+        }
+        std::sort(victims.begin(), victims.end());
+        for (const std::int64_t entity : victims) {
+          if (burstRng.uniform() >= f.killProbability) continue;
+          live.erase(entity);
+          events.push_back(
+              {f.time, group, ServiceEventKind::kCrash, entity, Point()});
+        }
+        break;
+      }
+    }
+  }
+  return events;
+}
+
+std::vector<MembershipEvent> mergedEvents(std::uint64_t seed) {
+  std::vector<MembershipEvent> merged;
+  for (GroupId group = 0; group < kGroups; ++group) {
+    const auto events = groupEvents(group, seed);
+    merged.insert(merged.end(), events.begin(), events.end());
+  }
+  // Stable time order with a (group, host) tie-break keeps the merge
+  // deterministic and every group's subsequence intact.
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const MembershipEvent& a, const MembershipEvent& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     if (a.group != b.group) return a.group < b.group;
+                     return a.host < b.host;
+                   });
+  return merged;
+}
+
+ServiceOptions chaoticOptions(std::uint64_t seed, int shards) {
+  ServiceOptions options;
+  options.shards = shards;
+  options.seed = seed;
+  options.useRpc = true;
+  options.injectDisruption = true;
+  options.disruption.duration = 12.0;
+  options.disruption.partitionRate = 0.08;
+  options.disruption.lossBurstRate = 0.08;
+  return options;
+}
+
+TEST(ServiceChaosTest, HundredSeedsConvergeWithoutLeakageDeterministically) {
+  int convergedSeeds = 0;
+  for (int seed = 1; seed <= kSeeds; ++seed) {
+    const auto base = static_cast<std::uint64_t>(seed) * 1000003ULL;
+    const auto events = mergedEvents(base);
+    ASSERT_FALSE(events.empty());
+
+    GroupManager manager(chaoticOptions(base, 3));
+    const ReplayResult result =
+        replayScript(manager, events, {.batchSize = 256});
+
+    // Eventual full attachment: nothing degraded, and every group's final
+    // table carries exactly its live members.
+    EXPECT_TRUE(result.converged())
+        << "seed " << seed << ": " << result.degradedGroups << " degraded, "
+        << result.firstInconsistency;
+    for (const GroupId group : manager.createdGroups()) {
+      const auto table = manager.routes(group);
+      ASSERT_NE(table, nullptr) << "seed " << seed << " group " << group;
+      EXPECT_EQ(table->size(), manager.liveMembersOf(group))
+          << "seed " << seed << " group " << group
+          << ": attached set != live membership";
+    }
+
+    // Determinism: an independent replay with a different shard count must
+    // land on the identical service fingerprint.
+    GroupManager reshard(chaoticOptions(base, 1));
+    const ReplayResult again =
+        replayScript(reshard, events, {.batchSize = 256});
+    EXPECT_TRUE(again.converged()) << "seed " << seed << " (1 shard)";
+    EXPECT_EQ(serviceFingerprint(manager), serviceFingerprint(reshard))
+        << "seed " << seed << ": shard count changed the outcome";
+
+    // Zero cross-group leakage (sampled per seed to keep the gate fast):
+    // one group replayed alone must reproduce its multi-group table.
+    const GroupId sampled = static_cast<GroupId>(seed) % kGroups;
+    GroupManager alone(chaoticOptions(base, 1));
+    const auto sub = filterGroup(events, sampled);
+    if (!sub.empty()) {
+      replayScript(alone, sub, {.batchSize = 256});
+      const auto multi = manager.routes(sampled);
+      const auto solo = alone.routes(sampled);
+      ASSERT_NE(solo, nullptr);
+      EXPECT_EQ(multi->fingerprint(), solo->fingerprint())
+          << "seed " << seed << " group " << sampled
+          << ": other groups' churn leaked into this tree";
+    }
+    if (result.converged() && again.converged()) ++convergedSeeds;
+  }
+  EXPECT_EQ(convergedSeeds, kSeeds);
+}
+
+}  // namespace
+}  // namespace omt

@@ -1,0 +1,182 @@
+// Differential-oracle gate for the sharded multi-group service.
+//
+// Three oracles, strongest first:
+//  1. Shard invariance — the same script replayed with 1, 2, and 8 builder
+//     shards (direct and RPC transport) must produce bit-identical
+//     per-group route tables, fingerprints, and epochs. The sharded fan-out
+//     is pure parallelism; it must never change results.
+//  2. Serial replay — per group, a naive single-session replay of the
+//     group's own event subsequence (join/leave/crash+repair applied
+//     directly to one OverlaySession) must reproduce the service's final
+//     table exactly. The service's sharding, batching, and slot machinery
+//     add nothing to the semantics.
+//  3. Fresh rebuild — at sampled epochs, a from-scratch tree built over the
+//     group's current live membership must agree on the *member set*; the
+//     edges may differ (documented bounded divergence: the incremental
+//     session preserves attachment history, a fresh build does not) but
+//     both must pass the structural consistency audit under the same
+//     degree cap.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "omt/protocol/overlay_session.h"
+#include "omt/service/group_manager.h"
+#include "omt/service/replay.h"
+#include "omt/service/script.h"
+
+namespace omt {
+namespace {
+
+ScriptOptions testScript(std::uint64_t seed) {
+  ScriptOptions options;
+  options.groups = 40;
+  options.hosts = 800;
+  options.events = 8000;
+  options.seed = seed;
+  options.meanGroupSize = 16.0;
+  options.crashFraction = 0.3;
+  return options;
+}
+
+/// Replay the whole script and return per-group (fingerprint, epoch).
+std::map<GroupId, std::pair<std::uint64_t, std::uint64_t>> replayWithShards(
+    const std::vector<MembershipEvent>& events, int shards, bool rpc) {
+  ServiceOptions options;
+  options.shards = shards;
+  options.useRpc = rpc;
+  options.injectDisruption = rpc;
+  GroupManager manager(options);
+  const ReplayResult result = replayScript(manager, events, {.batchSize = 512});
+  EXPECT_TRUE(result.converged())
+      << "shards=" << shards << " rpc=" << rpc << ": "
+      << result.degradedGroups << " degraded, "
+      << result.firstInconsistency;
+  std::map<GroupId, std::pair<std::uint64_t, std::uint64_t>> out;
+  for (const GroupId group : manager.createdGroups()) {
+    const auto table = manager.routes(group);
+    out[group] = {table ? table->fingerprint() : 0, manager.epochOf(group)};
+  }
+  return out;
+}
+
+TEST(ServiceDifferentialTest, ShardCountNeverChangesAnyGroupsTable) {
+  for (const bool rpc : {false, true}) {
+    const auto events = generateMembershipScript(testScript(77));
+    const auto one = replayWithShards(events, 1, rpc);
+    const auto two = replayWithShards(events, 2, rpc);
+    const auto eight = replayWithShards(events, 8, rpc);
+    ASSERT_EQ(one.size(), two.size());
+    ASSERT_EQ(one.size(), eight.size());
+    for (const auto& [group, fpEpoch] : one) {
+      EXPECT_EQ(two.at(group), fpEpoch)
+          << "group " << group << " diverged at 2 shards (rpc=" << rpc << ")";
+      EXPECT_EQ(eight.at(group), fpEpoch)
+          << "group " << group << " diverged at 8 shards (rpc=" << rpc << ")";
+    }
+  }
+}
+
+// Oracle 2: a naive per-group serial replay — one OverlaySession, events
+// applied directly, no sharding/batching/slot machinery — must agree
+// exactly with the service's final table for that group.
+TEST(ServiceDifferentialTest, NaiveSerialReplayReproducesEveryGroupExactly) {
+  const auto events = generateMembershipScript(testScript(123));
+  ServiceOptions options;
+  options.shards = 8;
+  GroupManager manager(options);
+  replayScript(manager, events, {.batchSize = 512});
+
+  for (const GroupId group : manager.createdGroups()) {
+    const auto sub = filterGroup(events, group);
+    ASSERT_FALSE(sub.empty());
+    OverlaySession session(Point(sub.front().position.dim()),
+                           options.session);
+    std::vector<HostId> hostOf{kNoHost};
+    std::unordered_map<HostId, NodeId> nodeOf;
+    for (const MembershipEvent& e : sub) {
+      switch (e.kind) {
+        case ServiceEventKind::kJoin: {
+          const NodeId id = session.join(e.position);
+          ASSERT_EQ(id, static_cast<NodeId>(hostOf.size()));
+          hostOf.push_back(e.host);
+          nodeOf[e.host] = id;
+          break;
+        }
+        case ServiceEventKind::kLeave:
+          session.leave(nodeOf.at(e.host));
+          nodeOf.erase(e.host);
+          break;
+        case ServiceEventKind::kCrash: {
+          const NodeId node = nodeOf.at(e.host);
+          session.crash(node);
+          session.repairCrashed(node);
+          nodeOf.erase(e.host);
+          break;
+        }
+      }
+    }
+    const auto expected = RouteTable::build(session, hostOf, group, 1);
+    const auto actual = manager.routes(group);
+    ASSERT_NE(actual, nullptr);
+    EXPECT_EQ(actual->fingerprint(), expected->fingerprint())
+        << "group " << group << " diverged from its serial-replay oracle";
+  }
+}
+
+// Oracle 3: at sampled epochs rebuild each sampled group's tree from
+// scratch from the same live membership. Divergence is bounded and
+// documented: identical member sets, both trees structurally valid under
+// the same degree cap — but not necessarily identical edges, because the
+// incremental session keeps history a fresh build has never seen.
+TEST(ServiceDifferentialTest, FreshRebuildAgreesOnMembershipAndValidity) {
+  const auto events = generateMembershipScript(testScript(5));
+  ServiceOptions options;
+  options.shards = 2;
+  GroupManager manager(options);
+
+  // Track live membership alongside the replay.
+  std::map<GroupId, std::map<HostId, Point>> live;
+  const std::int64_t batch = 1000;
+  for (std::size_t at = 0; at < events.size();
+       at += static_cast<std::size_t>(batch)) {
+    const auto len = std::min(static_cast<std::size_t>(batch),
+                              events.size() - at);
+    const std::span<const MembershipEvent> window(events.data() + at, len);
+    manager.apply(window);
+    for (const MembershipEvent& e : window) {
+      if (e.kind == ServiceEventKind::kJoin)
+        live[e.group][e.host] = e.position;
+      else
+        live[e.group].erase(e.host);
+    }
+    // Sample a few groups at this epoch boundary.
+    for (const GroupId group : {GroupId{0}, GroupId{13}, GroupId{39}}) {
+      const auto table = manager.routes(group);
+      if (!table) continue;
+      const auto& members = live[group];
+      ASSERT_EQ(table->size(),
+                static_cast<std::int64_t>(members.size()))
+          << "group " << group << " snapshot disagrees on member count";
+      OverlaySession fresh(Point(2), options.session);
+      std::vector<HostId> hostOf{kNoHost};
+      for (const auto& [host, position] : members) {
+        EXPECT_TRUE(table->contains(host));
+        fresh.join(position);
+        hostOf.push_back(host);
+      }
+      const auto rebuilt = RouteTable::build(fresh, hostOf, group, 1);
+      EXPECT_EQ(rebuilt->size(), table->size());
+      EXPECT_TRUE(table->checkConsistency(options.session.maxOutDegree).ok);
+      EXPECT_TRUE(
+          rebuilt->checkConsistency(options.session.maxOutDegree).ok);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace omt

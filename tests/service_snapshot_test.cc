@@ -1,0 +1,127 @@
+// Snapshot-consistency gate: concurrent readers hammered against
+// builder swaps. Every table a reader observes must be internally
+// consistent — acyclic, degree-capped, every member reachable from the
+// group origin, fingerprint matching a recomputation (a torn snapshot
+// cannot satisfy that) — and per-reader per-group epochs must never go
+// backwards. Runs under the OMT_TSAN CI job (the ctest -R regex includes
+// `Service`), where any racy load in the reader path is a hard failure.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "omt/service/group_manager.h"
+#include "omt/service/replay.h"
+#include "omt/service/script.h"
+
+namespace omt {
+namespace {
+
+struct ReaderOutcome {
+  std::int64_t observations = 0;
+  std::int64_t inconsistencies = 0;
+  std::int64_t epochRegressions = 0;
+  std::string firstMessage;
+};
+
+TEST(ServiceSnapshotTest, ReadersNeverObserveTornOrRegressingTables) {
+  ScriptOptions script;
+  script.groups = 8;
+  script.hosts = 400;
+  script.events = 20000;
+  script.meanGroupSize = 16.0;
+  script.seed = 31;
+  const auto events = generateMembershipScript(script);
+
+  ServiceOptions options;
+  options.shards = 4;
+  GroupManager manager(options);
+
+  std::atomic<bool> done{false};
+  const int readerCount = 4;
+  std::vector<ReaderOutcome> outcomes(static_cast<std::size_t>(readerCount));
+  std::vector<std::thread> readers;
+  readers.reserve(static_cast<std::size_t>(readerCount));
+  for (int r = 0; r < readerCount; ++r) {
+    readers.emplace_back([&, r] {
+      ReaderOutcome& outcome = outcomes[static_cast<std::size_t>(r)];
+      std::vector<std::uint64_t> lastEpoch(
+          static_cast<std::size_t>(script.groups), 0);
+      GroupId group = static_cast<GroupId>(r) % script.groups;
+      while (!done.load(std::memory_order_acquire)) {
+        const auto table = manager.routes(group);
+        if (table) {
+          ++outcome.observations;
+          if (table->epoch() < lastEpoch[static_cast<std::size_t>(group)]) {
+            ++outcome.epochRegressions;
+          }
+          lastEpoch[static_cast<std::size_t>(group)] = table->epoch();
+          const auto audit =
+              table->checkConsistency(options.session.maxOutDegree);
+          if (!audit.ok) {
+            ++outcome.inconsistencies;
+            if (outcome.firstMessage.empty())
+              outcome.firstMessage = audit.message;
+          }
+          // Walk the reader API too: parent chains must terminate at the
+          // origin inside the same snapshot.
+          for (const HostId host : table->originChildren())
+            EXPECT_EQ(table->parentOf(host), kNoHost);
+        }
+        group = (group + 1) % script.groups;
+      }
+    });
+  }
+
+  // Builder: replay in small batches so the swap rate is high.
+  for (std::size_t at = 0; at < events.size(); at += 64) {
+    const auto len = std::min<std::size_t>(64, events.size() - at);
+    manager.apply(std::span<const MembershipEvent>(events.data() + at, len));
+  }
+  manager.quiesce(events.back().time);
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  std::int64_t observations = 0;
+  for (const ReaderOutcome& outcome : outcomes) {
+    observations += outcome.observations;
+    EXPECT_EQ(outcome.inconsistencies, 0) << outcome.firstMessage;
+    EXPECT_EQ(outcome.epochRegressions, 0);
+  }
+  // The readers must actually have raced with the builder.
+  EXPECT_GT(observations, 100);
+}
+
+TEST(ServiceSnapshotTest, OldEpochsSurviveWhileAReaderHoldsThem) {
+  GroupManager manager(ServiceOptions{});
+  std::vector<MembershipEvent> batch;
+  for (int i = 0; i < 10; ++i)
+    batch.push_back({0.0, 0, ServiceEventKind::kJoin, i,
+                     Point{0.05 * (i + 1), 0.0}});
+  manager.apply(batch);
+  const auto held = manager.routes(0);
+  ASSERT_NE(held, nullptr);
+  const std::uint64_t heldEpoch = held->epoch();
+  const std::uint64_t heldFingerprint = held->fingerprint();
+
+  // Churn the group hard; the held snapshot must stay frozen and valid.
+  for (int i = 0; i < 10; ++i) {
+    manager.apply(std::vector<MembershipEvent>{
+        {0.0, 0, ServiceEventKind::kLeave, i, Point()}});
+  }
+  EXPECT_EQ(manager.liveGroupCount(), 0);
+  EXPECT_EQ(held->epoch(), heldEpoch);
+  EXPECT_EQ(held->fingerprint(), heldFingerprint);
+  EXPECT_EQ(held->size(), 10);
+  EXPECT_TRUE(held->checkConsistency(6).ok);
+  // And the slot has moved on.
+  EXPECT_GT(manager.epochOf(0), heldEpoch);
+}
+
+}  // namespace
+}  // namespace omt

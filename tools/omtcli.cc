@@ -23,6 +23,11 @@
 //                   [--burst-stop 0.25] [--burst-loss 0.5]
 //                   [--control-loss 0] [--queue 128] [--retx-buffer 4096]
 //                   [--crash-fraction 0] [--degree 0] [--seed 1]
+//   omtcli serve    [--script trace.txt | --groups 1000 --hosts 20000
+//                   --events 1000000 --dim 2 --seed 1 --mean-size 24
+//                   --crash-fraction 0.3] [--save-script trace.txt]
+//                   [--shards S|0] [--degree 6] [--batch 1024] [--rpc 0|1]
+//                   [--disrupt 0|1] [--audit-period 0.5] [--top 5]
 //
 // Any command additionally accepts --trace <file> (Chrome trace_event JSON
 // of the run's spans) and --metrics <file> (Prometheus text exposition);
@@ -34,9 +39,13 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <map>
 #include <optional>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "omt/baselines/baselines.h"
 #include "omt/fault/chaos.h"
@@ -52,6 +61,7 @@
 #include "omt/obs/trace.h"
 #include "omt/random/samplers.h"
 #include "omt/report/table.h"
+#include "omt/service/replay.h"
 #include "omt/sim/dataplane/engine.h"
 #include "omt/sim/multicast_sim.h"
 #include "omt/tree/metrics.h"
@@ -494,10 +504,129 @@ int cmdDataplane(const Flags& flags) {
   return 0;
 }
 
+int cmdServe(const Flags& flags) {
+  // Obtain the membership script: replay a saved trace or generate one.
+  std::vector<MembershipEvent> events;
+  int dim = static_cast<int>(flags.getInt("dim", 2));
+  const std::string scriptPath = flags.get("script", "");
+  if (!scriptPath.empty()) {
+    events = loadMembershipScript(scriptPath, &dim);
+  } else {
+    ScriptOptions script;
+    script.groups = flags.getInt("groups", 1000);
+    script.hosts = flags.getInt("hosts", 20000);
+    script.events = flags.getInt("events", 1000000);
+    script.dim = dim;
+    script.seed = static_cast<std::uint64_t>(flags.getInt("seed", 1));
+    script.meanGroupSize = flags.getDouble("mean-size", 24.0);
+    script.crashFraction = flags.getDouble("crash-fraction", 0.3);
+    script.meanEventGap = flags.getDouble("event-gap", 1e-3);
+    events = generateMembershipScript(script);
+  }
+  const std::string savePath = flags.get("save-script", "");
+  if (!savePath.empty()) {
+    saveMembershipScript(savePath, events, dim);
+    std::cout << "script (" << events.size() << " events) written to "
+              << savePath << "\n";
+  }
+
+  ServiceOptions service;
+  service.session.maxOutDegree = static_cast<int>(flags.getInt("degree", 6));
+  service.shards = static_cast<int>(flags.getInt("shards", 0));
+  service.seed = static_cast<std::uint64_t>(flags.getInt("seed", 1));
+  service.useRpc = flags.getInt("rpc", 0) != 0;
+  service.injectDisruption = flags.getInt("disrupt", 0) != 0;
+  service.auditPeriod = flags.getDouble("audit-period", 0.5);
+  service.measureLatency = flags.getInt("latency", 0) != 0;
+  GroupManager manager(service);
+
+  ReplayOptions replay;
+  replay.batchSize = flags.getInt("batch", 1024);
+  replay.quiesceRounds = static_cast<int>(flags.getInt("quiesce-rounds", 32));
+  const ReplayResult result = replayScript(manager, events, replay);
+
+  // Per-group convergence distribution over every created group.
+  std::int64_t minEvents = std::numeric_limits<std::int64_t>::max();
+  std::int64_t maxEvents = 0;
+  std::int64_t maxMembers = 0;
+  std::int64_t totalMembers = 0;
+  std::vector<std::pair<std::int64_t, GroupId>> busiest;
+  for (const GroupId group : manager.createdGroups()) {
+    const GroupStats gs = manager.groupStats(group);
+    minEvents = std::min(minEvents, gs.events);
+    maxEvents = std::max(maxEvents, gs.events);
+    const std::int64_t live = manager.liveMembersOf(group);
+    maxMembers = std::max(maxMembers, live);
+    totalMembers += live;
+    busiest.emplace_back(gs.events, group);
+  }
+  if (manager.groupCount() == 0) minEvents = 0;
+  const double rate = result.applySeconds > 0.0
+                          ? static_cast<double>(result.events) /
+                                result.applySeconds
+                          : 0.0;
+
+  TextTable table({"metric", "value"});
+  table.addRow({"events", TextTable::count(result.events)});
+  table.addRow({"batches", TextTable::count(result.batches)});
+  table.addRow({"groups", TextTable::count(result.groups)});
+  table.addRow({"live groups", TextTable::count(result.liveGroups)});
+  table.addRow({"live members", TextTable::count(totalMembers)});
+  table.addRow({"publishes", TextTable::count(result.publishes)});
+  table.addRow({"shards", TextTable::count(manager.shards())});
+  table.addRow({"events/s", TextTable::count(
+                    static_cast<long long>(rate))});
+  table.addRow({"events/group min", TextTable::count(minEvents)});
+  table.addRow({"events/group max", TextTable::count(maxEvents)});
+  table.addRow({"members/group max", TextTable::count(maxMembers)});
+  table.addRow({"parked joins", TextTable::count(
+                    manager.stats().parkedJoins)});
+  table.addRow({"audits", TextTable::count(manager.stats().audits)});
+  table.addRow({"teardowns", TextTable::count(manager.stats().teardowns)});
+  table.addRow({"degraded groups", TextTable::count(result.degradedGroups)});
+  table.addRow({"inconsistent", TextTable::count(result.inconsistentGroups)});
+  std::cout << table.str();
+
+  const auto top = std::min<std::size_t>(
+      static_cast<std::size_t>(flags.getInt("top", 5)), busiest.size());
+  if (top > 0) {
+    std::partial_sort(busiest.begin(), busiest.begin() + static_cast<std::ptrdiff_t>(top),
+                      busiest.end(), std::greater<>());
+    TextTable groups({"group", "events", "members", "epoch", "fingerprint"});
+    for (std::size_t i = 0; i < top; ++i) {
+      const GroupId g = busiest[i].second;
+      std::ostringstream fp;
+      fp << std::hex << manager.groupStats(g).lastFingerprint;
+      groups.addRow({TextTable::count(g), TextTable::count(busiest[i].first),
+                     TextTable::count(manager.liveMembersOf(g)),
+                     TextTable::count(
+                         static_cast<long long>(manager.epochOf(g))),
+                     fp.str()});
+    }
+    std::cout << "busiest groups:\n" << groups.str();
+  }
+  std::ostringstream fp;
+  fp << std::hex << serviceFingerprint(manager);
+  std::cout << "service fingerprint: " << fp.str() << "\n";
+
+  if (!result.converged()) {
+    std::cerr << "NOT CONVERGED: " << result.degradedGroups
+              << " degraded, " << result.inconsistentGroups
+              << " inconsistent group(s)";
+    if (!result.firstInconsistency.empty())
+      std::cerr << " (" << result.firstInconsistency << ")";
+    std::cerr << "\n";
+    return 1;
+  }
+  std::cout << "CONVERGED: every group fully attached, every route table "
+               "consistent\n";
+  return 0;
+}
+
 int run(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: omtcli <generate|build|metrics|simulate|render|"
-                 "chaos|churn|dataplane> --flag value ...\n";
+                 "chaos|churn|dataplane|serve> --flag value ...\n";
     return 2;
   }
   const std::string command = argv[1];
@@ -520,6 +649,7 @@ int run(int argc, char** argv) {
   else if (command == "chaos") rc = cmdChaos(flags);
   else if (command == "churn") rc = cmdChurn(flags);
   else if (command == "dataplane") rc = cmdDataplane(flags);
+  else if (command == "serve") rc = cmdServe(flags);
   else {
     std::cerr << "unknown command '" << command << "'\n";
     return 2;
