@@ -1,16 +1,22 @@
-// Extension bench: the sharded multi-group tree service (ISSUE 9).
+// Extension bench: the sharded multi-group tree service (ISSUE 9/10).
 //
-// Generates a deterministic multi-group membership script over a shared
-// host population and replays it through GroupManager in two transport
-// modes — direct session calls and the reliable RPC layer with disruption
-// windows — measuring sustained event throughput and the wall-clock
-// event-to-route latency (batch ingress to the owning group's snapshot
-// swap). Emits BENCH_service.json with one row per mode (events/s,
-// groups, publishes, p50/p95/p99 latency) and prints the same as a table.
+// Generates deterministic multi-group membership scripts over a shared
+// host population and replays them through GroupManager:
+//   direct       uniform group sizes, direct session calls
+//   direct-skew  Zipf-skewed group sizes (--skew, default 1.0)
+//   rpc          uniform sizes through the reliable RPC layer with
+//                disruption windows
+// measuring sustained event throughput and the wall-clock event-to-route
+// latency (batch ingress to the owning group's snapshot swap). A final
+// section measures the publish cost per epoch against group size for the
+// delta path vs the full rebuild (the delta-publication win: sublinear in
+// group size). Emits BENCH_service.json with one row per mode plus the
+// publish-cost curve, and prints the same as tables.
 //
-// Exits non-zero when a replay fails to converge (degraded or
-// inconsistent groups after quiesce) or when the direct-mode throughput
-// falls below --min-events-per-sec (the CI perf floor; 0 disables).
+// Exits non-zero when a replay fails to converge, when direct-mode
+// throughput (uniform OR skewed) falls below --min-events-per-sec (the CI
+// perf floor; 0 disables), or when the skewed workload's shard
+// utilization (max/mean load) exceeds 1.5x the uniform workload's.
 #include "common.h"
 #include "omt/service/replay.h"
 
@@ -33,6 +39,8 @@ struct ModeResult {
   double p50 = 0.0;
   double p95 = 0.0;
   double p99 = 0.0;
+  double shardUtilization = 1.0;  ///< max/mean cumulative shard load
+  std::int64_t deltaPublishes = 0;
 };
 
 ModeResult runMode(const std::string& mode,
@@ -63,7 +71,53 @@ ModeResult runMode(const std::string& mode,
   result.p50 = percentileOf(latencies, 0.50);
   result.p95 = percentileOf(latencies, 0.95);
   result.p99 = percentileOf(latencies, 0.99);
+  result.deltaPublishes = manager.stats().deltaPublishes;
+  const auto loads = manager.shardLoads();
+  std::int64_t maxLoad = 0;
+  std::int64_t totalLoad = 0;
+  for (const std::int64_t load : loads) {
+    maxLoad = std::max(maxLoad, load);
+    totalLoad += load;
+  }
+  if (totalLoad > 0 && !loads.empty()) {
+    const double mean =
+        static_cast<double>(totalLoad) / static_cast<double>(loads.size());
+    result.shardUtilization = static_cast<double>(maxLoad) / mean;
+  }
   return result;
+}
+
+/// Seconds per publish for one group of `size` members under small
+/// (8-event) churn batches, via the delta path or the full rebuild.
+double publishCost(std::int64_t size, bool delta, std::uint64_t seed) {
+  ServiceOptions service;
+  service.shards = 1;
+  service.deltaPublish = delta;
+  GroupManager manager(service);
+  Rng rng(seed);
+  std::vector<MembershipEvent> seedBatch;
+  for (std::int64_t h = 0; h < size; ++h)
+    seedBatch.push_back({0.0, 0, ServiceEventKind::kJoin, h,
+                         sampleUnitBall(rng, 2)});
+  manager.apply(seedBatch);
+
+  // Steady-state: each batch leaves then re-joins a 4-host tail slice, so
+  // every batch publishes one epoch with a bounded dirty set.
+  const int rounds = 200;
+  std::vector<MembershipEvent> leave4;
+  std::vector<MembershipEvent> join4;
+  for (std::int64_t h = size - 4; h < size; ++h) {
+    leave4.push_back({0.0, 0, ServiceEventKind::kLeave, h, Point()});
+    join4.push_back({0.0, 0, ServiceEventKind::kJoin, h,
+                     sampleUnitBall(rng, 2)});
+  }
+  Stopwatch watch;
+  for (int r = 0; r < rounds; ++r) {
+    manager.apply(leave4);
+    manager.apply(join4);
+  }
+  const double seconds = watch.seconds();
+  return seconds / (2.0 * rounds);
 }
 
 int runBench(const Args& args) {
@@ -74,22 +128,39 @@ int runBench(const Args& args) {
       args.events.value_or(args.full ? 1000000 : 200000);
   script.seed = args.seed;
   const std::int64_t batch = 1024;
+  const double skew = args.skew > 0.0 ? args.skew : 1.0;
 
   std::cout << "Multi-group service replay: " << script.events << " events, "
             << script.groups << " groups, " << script.hosts
-            << " hosts, batch " << batch << "\n\n";
+            << " hosts, batch " << batch << ", skew row at " << skew << "\n\n";
   const std::vector<MembershipEvent> events =
       generateMembershipScript(script);
+  ScriptOptions skewedScript = script;
+  skewedScript.sizeSkew = skew;
+  const std::vector<MembershipEvent> skewedEvents =
+      generateMembershipScript(skewedScript);
 
   BenchJsonWriter json(benchOutputPath("BENCH_service.json"), "service");
-  TextTable table({"mode", "events/s", "groups", "publishes", "degraded",
-                   "p50 ms", "p95 ms", "p99 ms"});
+  TextTable table({"mode", "events/s", "groups", "publishes", "delta",
+                   "degraded", "p50 ms", "p99 ms", "shard util"});
   bool converged = true;
   double directRate = 0.0;
-  for (const std::string mode : {"direct", "rpc"}) {
-    const ModeResult r = runMode(mode, events, args, batch);
+  double skewRate = 0.0;
+  double uniformUtil = 1.0;
+  double skewUtil = 1.0;
+  for (const std::string mode : {"direct", "direct-skew", "rpc"}) {
+    const bool skewed = mode == "direct-skew";
+    const ModeResult r =
+        runMode(skewed ? "direct" : mode, skewed ? skewedEvents : events,
+                args, batch);
     converged = converged && r.replay.converged();
-    if (mode == "direct") directRate = r.eventsPerSec;
+    if (mode == "direct") {
+      directRate = r.eventsPerSec;
+      uniformUtil = r.shardUtilization;
+    } else if (skewed) {
+      skewRate = r.eventsPerSec;
+      skewUtil = r.shardUtilization;
+    }
     if (!r.replay.converged()) {
       std::cerr << "FAIL (" << mode << "): " << r.replay.degradedGroups
                 << " degraded / " << r.replay.inconsistentGroups
@@ -98,46 +169,91 @@ int runBench(const Args& args) {
         std::cerr << " — " << r.replay.firstInconsistency;
       std::cerr << "\n";
     }
-    table.addRow({r.mode,
+    table.addRow({mode,
                   TextTable::count(static_cast<long long>(r.eventsPerSec)),
                   TextTable::count(r.replay.groups),
                   TextTable::count(r.replay.publishes),
+                  TextTable::count(r.deltaPublishes),
                   TextTable::count(r.replay.degradedGroups),
                   TextTable::num(r.p50 * 1e3, 3),
-                  TextTable::num(r.p95 * 1e3, 3),
-                  TextTable::num(r.p99 * 1e3, 3)});
+                  TextTable::num(r.p99 * 1e3, 3),
+                  TextTable::num(r.shardUtilization, 3)});
     json.beginRow();
-    json.field("mode", r.mode);
+    json.field("mode", mode);
     json.field("events", r.replay.events);
     json.field("groups", r.replay.groups);
     json.field("publishes", r.replay.publishes);
+    json.field("delta_publishes", r.deltaPublishes);
     json.field("degraded_groups", r.replay.degradedGroups);
     json.field("inconsistent_groups", r.replay.inconsistentGroups);
     json.field("apply_seconds", r.replay.applySeconds);
     json.field("events_per_second", r.eventsPerSec);
+    json.field("shard_utilization", r.shardUtilization);
     json.field("p50_latency_ms", r.p50 * 1e3);
     json.field("p95_latency_ms", r.p95 * 1e3);
     json.field("p99_latency_ms", r.p99 * 1e3);
     json.endRow();
   }
+  std::cout << table.str();
+
+  // Publish-cost curve: seconds per published epoch for one group of n
+  // members under bounded churn — the delta path must grow sublinearly
+  // where the full rebuild pays its DFS + sort every time.
+  TextTable curve({"group size", "delta us/publish", "full us/publish",
+                   "speedup"});
+  for (const std::int64_t size : {256, 1024, 4096}) {
+    const double deltaCost = publishCost(size, true, args.seed);
+    const double fullCost = publishCost(size, false, args.seed);
+    curve.addRow({TextTable::count(size),
+                  TextTable::num(deltaCost * 1e6, 2),
+                  TextTable::num(fullCost * 1e6, 2),
+                  TextTable::num(fullCost / std::max(1e-12, deltaCost), 2)});
+    json.beginRow();
+    json.field("mode", std::string("publish-cost"));
+    json.field("group_size", size);
+    json.field("delta_seconds_per_publish", deltaCost);
+    json.field("full_seconds_per_publish", fullCost);
+    json.endRow();
+  }
+  std::cout << "\npublish cost (8-event churn batches, one group):\n"
+            << curve.str();
+
   json.topLevel("events", static_cast<double>(script.events));
   json.topLevel("groups", static_cast<double>(script.groups));
   json.topLevel("hosts", static_cast<double>(script.hosts));
   json.topLevel("batch", static_cast<double>(batch));
+  json.topLevel("skew", skew);
   json.topLevel("direct_events_per_second", directRate);
+  json.topLevel("skew_events_per_second", skewRate);
+  json.topLevel("shard_utilization_uniform", uniformUtil);
+  json.topLevel("shard_utilization_skew", skewUtil);
   json.topLevel("converged", converged ? 1.0 : 0.0);
   json.close();
   maybeWriteMetricsSnapshot(benchOutputPath("BENCH_service_metrics.json"));
 
-  std::cout << table.str();
   bool pass = converged;
-  if (args.minEventsPerSec > 0.0 && directRate < args.minEventsPerSec) {
-    std::cerr << "FAIL: direct-mode " << directRate
-              << " events/s below the required " << args.minEventsPerSec
-              << "\n";
+  if (args.minEventsPerSec > 0.0) {
+    if (directRate < args.minEventsPerSec) {
+      std::cerr << "FAIL: direct-mode " << directRate
+                << " events/s below the required " << args.minEventsPerSec
+                << "\n";
+      pass = false;
+    }
+    if (skewRate < args.minEventsPerSec) {
+      std::cerr << "FAIL: skewed direct-mode " << skewRate
+                << " events/s below the required " << args.minEventsPerSec
+                << "\n";
+      pass = false;
+    }
+  }
+  // Rebalancing must keep the skewed workload's shard utilization within
+  // 1.5x of the uniform one (trivially satisfied at one shard).
+  if (skewUtil > 1.5 * uniformUtil + 1e-9) {
+    std::cerr << "FAIL: skewed shard utilization " << skewUtil
+              << " exceeds 1.5x uniform (" << uniformUtil << ")\n";
     pass = false;
   }
-  if (pass) std::cout << "\nSERVICE OK: both modes converged\n";
+  if (pass) std::cout << "\nSERVICE OK: all modes converged\n";
   return pass ? 0 : 1;
 }
 

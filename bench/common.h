@@ -75,6 +75,9 @@ struct Args {
   double minEventsPerSec = 0.0;
   /// bench_churn --steady-state: base seed for the shard RNG streams.
   std::uint64_t seed = 1401;
+  /// bench_service: Zipf exponent for the skewed-workload row (0 keeps the
+  /// bench default of 1.0; the uniform rows are unaffected).
+  double skew = 0.0;
   /// bench_dataplane: hosts in the goodput tree (0 = bench default).
   /// bench_service: shared host population size (0 = bench default).
   std::int64_t hosts = 0;
@@ -123,6 +126,8 @@ inline Args parseArgs(int argc, char** argv) {
       args.minEventsPerSec = std::atof(argv[++i]);
     } else if (arg == "--seed" && i + 1 < argc) {
       args.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--skew" && i + 1 < argc) {
+      args.skew = std::atof(argv[++i]);
     } else if (arg == "--fast-math") {
       args.fastMath = true;
     } else if (arg == "--hosts" && i + 1 < argc) {
@@ -139,7 +144,8 @@ inline Args parseArgs(int argc, char** argv) {
                    " [--trials-csv PATH] [--threads T|0]"
                    " [--kernels-only] [--enforce-kernel-speedup]"
                    " [--steady-state] [--events N] [--shards S]"
-                   " [--min-events-per-sec X] [--seed S] [--fast-math]"
+                   " [--min-events-per-sec X] [--seed S] [--skew Z]"
+                   " [--fast-math]"
                    " [--hosts N] [--groups N] [--packets N]"
                    " [--min-goodput X]\n";
       std::exit(2);

@@ -64,21 +64,6 @@ OverlaySession::OverlaySession(const Point& sourcePosition,
   cellRep_[1] = 0;
 }
 
-bool OverlaySession::isLive(NodeId node) const {
-  return node >= 0 && node < static_cast<NodeId>(hosts_.size()) &&
-         hosts_[static_cast<std::size_t>(node)].alive;
-}
-
-bool OverlaySession::isPendingCrash(NodeId node) const {
-  return node >= 0 && node < static_cast<NodeId>(hosts_.size()) &&
-         hosts_[static_cast<std::size_t>(node)].pendingCrash;
-}
-
-bool OverlaySession::isParked(NodeId node) const {
-  return node >= 0 && node < static_cast<NodeId>(hosts_.size()) &&
-         hosts_[static_cast<std::size_t>(node)].parked;
-}
-
 const Point& OverlaySession::positionOf(NodeId node) const {
   OMT_CHECK(node >= 0 && node < hostCount(), "unknown host");
   return hosts_[static_cast<std::size_t>(node)].position;
@@ -89,17 +74,26 @@ void OverlaySession::unpark(NodeId node) {
   if (host.parked) {
     host.parked = false;
     --parkedCount_;
+    markChanged(node);
   }
 }
 
-NodeId OverlaySession::parentOf(NodeId node) const {
-  OMT_CHECK(node >= 0 && node < hostCount(), "unknown host");
-  return hosts_[static_cast<std::size_t>(node)].parent;
+void OverlaySession::markChanged(NodeId node) {
+  if (!journalOn_) return;
+  const auto i = static_cast<std::size_t>(node);
+  if (changeStamp_.size() <= i) changeStamp_.resize(hosts_.size() + 1, 0);
+  if (changeStamp_[i] == changeEpoch_) return;
+  changeStamp_[i] = changeEpoch_;
+  changedNodes_.push_back(node);
 }
 
-std::span<const NodeId> OverlaySession::childrenOf(NodeId node) const {
-  OMT_CHECK(node >= 0 && node < hostCount(), "unknown host");
-  return hosts_[static_cast<std::size_t>(node)].children;
+void OverlaySession::clearChanges() {
+  changedNodes_.clear();
+  changeOverflow_ = false;
+  if (++changeEpoch_ == 0) {  // stamp wrap: stale stamps must not collide
+    std::fill(changeStamp_.begin(), changeStamp_.end(), 0);
+    changeEpoch_ = 1;
+  }
 }
 
 NodeId OverlaySession::backupParentOf(NodeId node) const {
@@ -134,6 +128,7 @@ void OverlaySession::attach(NodeId child, NodeId parent) {
   // liveness are still revalidated at use time).
   c.backupParent = hosts_[static_cast<std::size_t>(parent)].parent;
   hosts_[static_cast<std::size_t>(parent)].children.push_back(child);
+  markChanged(child);
 }
 
 void OverlaySession::detach(NodeId child) {
@@ -145,6 +140,7 @@ void OverlaySession::detach(NodeId child) {
   const auto it = std::find(siblings.begin(), siblings.end(), child);
   if (it != siblings.end()) siblings.erase(it);
   c.parent = kNoNode;
+  markChanged(child);
 }
 
 NodeId OverlaySession::ancestorRepresentative(std::uint64_t heapId) {
@@ -257,6 +253,7 @@ NodeId OverlaySession::admit(const Point& position) {
   hosts_.push_back(std::move(host));
   ++liveCount_;
   ++parkedCount_;
+  markChanged(id);
   return id;
 }
 
@@ -306,6 +303,7 @@ void OverlaySession::park(NodeId node) {
   detach(node);
   hosts_[static_cast<std::size_t>(node)].parked = true;
   ++parkedCount_;
+  markChanged(node);
 }
 
 void OverlaySession::leave(NodeId node) {
@@ -327,8 +325,10 @@ void OverlaySession::leave(NodeId node) {
   self.children.clear();
   self.alive = false;
   --liveCount_;
+  markChanged(node);
   for (const NodeId orphan : orphans) {
     hosts_[static_cast<std::size_t>(orphan)].parent = kNoNode;
+    markChanged(orphan);
     // A crashed-but-undetected orphan stays detached; the next
     // detectAndRepair() sweep re-homes its own live children.
     if (hosts_[static_cast<std::size_t>(orphan)].alive) place(orphan);
@@ -381,6 +381,7 @@ void OverlaySession::crash(NodeId node) {
   hosts_[static_cast<std::size_t>(node)].alive = false;
   hosts_[static_cast<std::size_t>(node)].pendingCrash = true;
   --liveCount_;
+  markChanged(node);
   ++undetectedCrashes_;
   crashedPending_.push_back(node);
   // Nothing else: the overlay still points at the dead host until
@@ -400,11 +401,13 @@ void OverlaySession::purgeDeadHost(NodeId dead, std::vector<NodeId>& orphans) {
   if (cellRep_[host.heapId] == dead) promoteRepresentative(host.heapId);
   for (const NodeId child : host.children) {
     hosts_[static_cast<std::size_t>(child)].parent = kNoNode;
+    markChanged(child);
     if (hosts_[static_cast<std::size_t>(child)].alive)
       orphans.push_back(child);
   }
   host.children.clear();
   host.pendingCrash = false;
+  markChanged(dead);
 }
 
 void OverlaySession::maybeShrinkRegrid() {
@@ -703,6 +706,9 @@ std::int64_t OverlaySession::rebuildCells(
 }
 
 void OverlaySession::regrid(double newRadius) {
+  // Every host is detached and re-placed below: the journal cannot bound
+  // the change set, so escalate to "everything moved".
+  if (journalOn_) changeOverflow_ = true;
   ++stats_.regrids;
   sessionMetrics().regrids.add();
   stats_.regridCost += liveCount_;

@@ -198,7 +198,10 @@ class OverlaySession {
   /// Number of live hosts currently parked (admitted or orphaned, waiting
   /// for an attach handshake to complete).
   std::int64_t parkedCount() const { return parkedCount_; }
-  bool isParked(NodeId node) const;
+  bool isParked(NodeId node) const {
+    return node >= 0 && node < static_cast<NodeId>(hosts_.size()) &&
+           hosts_[static_cast<std::size_t>(node)].parked;
+  }
 
   /// Shrink-triggered regrid check; exposed so a driver completing a
   /// decomposed repair can apply the same membership-halved rule as
@@ -248,6 +251,26 @@ class OverlaySession {
   void setShedOptionalWork(bool shed) { shedOptionalWork_ = shed; }
   bool shedOptionalWork() const { return shedOptionalWork_; }
 
+  // --- Change journal (service delta publication) --------------------------
+  // When enabled, the session records every node whose attachment, parent
+  // link, or liveness/parked status changed since the last clearChanges().
+  // A consumer that mirrors the session into a derived structure (the
+  // service's RouteTable) can patch only the recorded nodes instead of
+  // re-traversing everything. A regrid moves every host at once and
+  // invalidates the journal — changeOverflow() flags it; the consumer must
+  // then do a full pass before the journal is meaningful again.
+
+  /// Start journalling (idempotent; off by default — marking is a branch
+  /// plus a stamped push per first-touch, so sessions that never publish
+  /// deltas pay nothing).
+  void enableChangeJournal() { journalOn_ = true; }
+  /// Nodes touched since the last clearChanges(), deduplicated, in
+  /// first-touch order. Meaningless while changeOverflow() is set.
+  std::span<const NodeId> changedNodes() const { return changedNodes_; }
+  /// True after a structural escalation (regrid) re-placed every host.
+  bool changeOverflow() const { return changeOverflow_; }
+  void clearChanges();
+
   double outerRadius() const { return grid_.outerRadius(); }
 
   NodeId sourceId() const { return 0; }
@@ -256,17 +279,32 @@ class OverlaySession {
   const SessionStats& stats() const { return stats_; }
   const SessionOptions& options() const { return options_; }
   int rings() const { return grid_.rings(); }
-  bool isLive(NodeId node) const;
+  // The membership/topology accessors are inline: the publication paths
+  // (RouteTable::build/buildDelta) and the repair sweeps call them in
+  // per-node loops, where an out-of-line call per probe dominates.
+  bool isLive(NodeId node) const {
+    return node >= 0 && node < static_cast<NodeId>(hosts_.size()) &&
+           hosts_[static_cast<std::size_t>(node)].alive;
+  }
   /// Whether `node` crashed and has not yet been purged by a repair.
-  bool isPendingCrash(NodeId node) const;
+  bool isPendingCrash(NodeId node) const {
+    return node >= 0 && node < static_cast<NodeId>(hosts_.size()) &&
+           hosts_[static_cast<std::size_t>(node)].pendingCrash;
+  }
 
   // Read-only introspection for failure detectors and invariant checkers.
   // Ids cover every host ever admitted, live or not.
   std::int64_t hostCount() const {
     return static_cast<std::int64_t>(hosts_.size());
   }
-  NodeId parentOf(NodeId node) const;
-  std::span<const NodeId> childrenOf(NodeId node) const;
+  NodeId parentOf(NodeId node) const {
+    OMT_CHECK(node >= 0 && node < hostCount(), "unknown host");
+    return hosts_[static_cast<std::size_t>(node)].parent;
+  }
+  std::span<const NodeId> childrenOf(NodeId node) const {
+    OMT_CHECK(node >= 0 && node < hostCount(), "unknown host");
+    return hosts_[static_cast<std::size_t>(node)].children;
+  }
   /// The host's precomputed fallback parent (kNoNode when none is known);
   /// a hint maintained on every attachment, revalidated at use time.
   NodeId backupParentOf(NodeId node) const;
@@ -349,6 +387,9 @@ class OverlaySession {
 
   int targetRings() const;
 
+  /// Journal a node's structural change (first touch per epoch only).
+  void markChanged(NodeId node);
+
   SessionOptions options_;
   PolarGrid grid_;
   std::vector<Host> hosts_;          // index = session id; 0 = source
@@ -360,6 +401,13 @@ class OverlaySession {
   std::int64_t parkedCount_ = 0;
   bool shedOptionalWork_ = false;
   std::vector<NodeId> crashedPending_;
+  // Change journal: epoch-stamped so clearChanges() is O(1) — a node's
+  // stamp matching changeEpoch_ means it is already in changedNodes_.
+  bool journalOn_ = false;
+  bool changeOverflow_ = false;
+  std::uint32_t changeEpoch_ = 1;
+  std::vector<std::uint32_t> changeStamp_;  ///< by session id
+  std::vector<NodeId> changedNodes_;
   SessionStats stats_;
 };
 

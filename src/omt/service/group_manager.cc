@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <chrono>
 #include <thread>
-#include <unordered_map>
 #include <utility>
 
 #include "omt/common/error.h"
@@ -27,10 +26,19 @@ struct ServiceMetrics {
   obs::Counter& leaves;
   obs::Counter& crashes;
   obs::Counter& publishes;
+  obs::Counter& deltaPublishes;
   obs::Counter& teardowns;
   obs::Counter& audits;
   obs::Gauge& groups;
   obs::Histogram& eventToRoute;
+  // Shard load/steal metrics. The shard count resolves from the
+  // environment (OMT_THREADS / --shards), so everything here is
+  // placement-dependent and registered nondeterministic — unlike the
+  // per-event counters above, which are invariant to it.
+  obs::Counter& shardRebalances;
+  obs::Counter& shardMigrations;
+  obs::Gauge& shardLoadMax;
+  obs::Gauge& shardLoadMin;
 };
 
 ServiceMetrics& serviceMetrics() {
@@ -41,11 +49,20 @@ ServiceMetrics& serviceMetrics() {
       registry.counter("omt_service_leaves_total"),
       registry.counter("omt_service_crashes_total"),
       registry.counter("omt_service_publishes_total"),
+      registry.counter("omt_service_delta_publishes_total"),
       registry.counter("omt_service_teardowns_total"),
       registry.counter("omt_service_audits_total"),
       registry.gauge("omt_service_groups"),
       registry.histogram("omt_service_event_to_route_seconds", {},
-                         obs::Determinism::kNondeterministic)};
+                         obs::Determinism::kNondeterministic),
+      registry.counter("omt_service_shard_rebalances_total",
+                       obs::Determinism::kNondeterministic),
+      registry.counter("omt_service_shard_migrations_total",
+                       obs::Determinism::kNondeterministic),
+      registry.gauge("omt_service_shard_load_max",
+                     obs::Determinism::kNondeterministic),
+      registry.gauge("omt_service_shard_load_min",
+                     obs::Determinism::kNondeterministic)};
   return metrics;
 }
 
@@ -53,6 +70,21 @@ double wallNow() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+/// One batched add per counter per shard pass instead of an atomic RMW
+/// per event — the global registry counters are far too hot to touch
+/// from the per-event path.
+void flushStatsMetrics(const ServiceStats& s) {
+  auto& m = serviceMetrics();
+  if (s.events) m.events.add(s.events);
+  if (s.joins) m.joins.add(s.joins);
+  if (s.leaves) m.leaves.add(s.leaves);
+  if (s.crashes) m.crashes.add(s.crashes);
+  if (s.publishes) m.publishes.add(s.publishes);
+  if (s.deltaPublishes) m.deltaPublishes.add(s.deltaPublishes);
+  if (s.teardowns) m.teardowns.add(s.teardowns);
+  if (s.audits) m.audits.add(s.audits);
 }
 
 }  // namespace
@@ -66,7 +98,7 @@ struct GroupManager::GroupState {
 
   OverlaySession session;
   std::vector<HostId> hostOf;  ///< session id -> service host id
-  std::unordered_map<HostId, NodeId> nodeOf;  ///< current members
+  HostIndex nodeOf;            ///< current members (host -> session node)
   // RPC transport (ServiceOptions::useRpc); unique_ptrs keep the session
   // reference stable if the state object moves.
   std::unique_ptr<RpcLayer> rpc;
@@ -94,11 +126,14 @@ class GroupManager::SnapshotPtr {
     return copy;
   }
 
-  void store(std::shared_ptr<const RouteTable> next) {
+  /// Swap in `next` and hand the retired table back to the caller (who
+  /// releases or recycles it off the lock).
+  [[nodiscard]] std::shared_ptr<const RouteTable> store(
+      std::shared_ptr<const RouteTable> next) {
     lock();
     ptr_.swap(next);
     unlock();
-    // `next` now holds the retired table; it dies here, off the lock.
+    return next;
   }
 
  private:
@@ -120,22 +155,38 @@ struct GroupManager::GroupSlot {
   std::unique_ptr<GroupState> state;  ///< null until created / after teardown
   std::uint64_t epoch = 0;  ///< survives teardown: epochs stay monotone
   GroupStats stats;
+  /// Builder-side copy of the current snapshot: the delta path's patch
+  /// base, read without touching the SnapshotPtr spin flag.
+  std::shared_ptr<const RouteTable> lastTable;
+  /// The epoch retired by the last publish, offered to the next build for
+  /// in-place reuse (slab + control block) once every reader has dropped
+  /// it — the last allocation on the steady-state publish path.
+  std::shared_ptr<const RouteTable> spare;
+  std::int64_t cost = 1;  ///< rebalance weight: last published size + 1
+  double publishStamp = 0.0;  ///< wall clock of last publish (measureLatency)
+  int shard = 0;          ///< owning shard (writer thread re-assigns)
   bool created = false;
   bool dirty = false;  ///< touched since last publish (owning shard only)
+  /// The session's change journal restarted (state freshly created), so
+  /// the next publish cannot trust a delta against lastTable.
+  bool needsFullPublish = true;
 };
 
 /// Deterministic per-shard accumulator, merged in shard order.
 struct GroupManager::ShardReport {
   ServiceStats stats;
-  std::vector<GroupId> published;
-  /// Wall-clock publish stamp per published group (measureLatency only).
-  std::vector<double> publishStamp;
+  std::int64_t load = 0;  ///< work units this pass (events + published hosts)
 };
 
 GroupManager::GroupManager(const ServiceOptions& options)
     : options_(options), shards_(resolveWorkers(options.shards)) {
   OMT_CHECK(options_.maxGroups >= 1, "need a positive group-id space");
   OMT_CHECK(options_.auditPeriod > 0.0, "audit period must be positive");
+  OMT_CHECK(options_.deltaMaxFraction >= 0.0,
+            "delta fraction must be non-negative");
+  shardLoad_.assign(static_cast<std::size_t>(shards_), 0);
+  eventScratch_.resize(static_cast<std::size_t>(shards_));
+  groupScratch_.resize(static_cast<std::size_t>(shards_));
   pageCount_ = (options_.maxGroups + kPageSize - 1) / kPageSize;
   pages_ = std::make_unique<std::atomic<GroupSlot*>[]>(
       static_cast<std::size_t>(pageCount_));
@@ -171,6 +222,7 @@ GroupManager::GroupSlot& GroupManager::ensureSlot(GroupId group) {
   GroupSlot& slot = page[group & (kPageSize - 1)];
   if (!slot.created) {
     slot.created = true;
+    slot.shard = static_cast<int>(group % shards_);
     createdGroups_.push_back(group);
   }
   return slot;
@@ -182,6 +234,10 @@ void GroupManager::createState(GroupSlot& slot, GroupId group, int dim) {
   // population's coordinate space — never a real host, so the last real
   // member can always leave and single-host groups are unremarkable.
   slot.state = std::make_unique<GroupState>(Point(dim), options_.session);
+  slot.state->session.enableChangeJournal();
+  // The fresh journal knows nothing about lastTable's epoch; the first
+  // publish of this incarnation must rebuild from the session.
+  slot.needsFullPublish = true;
   if (options_.useRpc) {
     RpcOptions rpcOptions = options_.rpc;
     rpcOptions.channel.seed =
@@ -209,7 +265,6 @@ void GroupManager::createState(GroupSlot& slot, GroupId group, int dim) {
 
 void GroupManager::applyEvent(GroupSlot& slot, const MembershipEvent& event,
                               ShardReport& report) {
-  auto& metrics = serviceMetrics();
   if (!slot.state) {
     OMT_CHECK(event.kind == ServiceEventKind::kJoin,
               "group " + std::to_string(event.group) +
@@ -221,11 +276,11 @@ void GroupManager::applyEvent(GroupSlot& slot, const MembershipEvent& event,
   slot.dirty = true;
   ++slot.stats.events;
   ++report.stats.events;
-  metrics.events.add();
+  ++report.load;
 
   switch (event.kind) {
     case ServiceEventKind::kJoin: {
-      OMT_CHECK(!state.nodeOf.count(event.host),
+      OMT_CHECK(!state.nodeOf.contains(event.host),
                 "group " + std::to_string(event.group) + ": host " +
                     std::to_string(event.host) + " is already a member");
       NodeId id;
@@ -240,36 +295,32 @@ void GroupManager::applyEvent(GroupSlot& slot, const MembershipEvent& event,
       OMT_CHECK(id == static_cast<NodeId>(state.hostOf.size()),
                 "session id space diverged from the host map");
       state.hostOf.push_back(event.host);
-      state.nodeOf.emplace(event.host, id);
+      state.nodeOf.insert(event.host, id);
       ++slot.stats.joins;
       ++report.stats.joins;
-      metrics.joins.add();
       break;
     }
     case ServiceEventKind::kLeave: {
-      const auto it = state.nodeOf.find(event.host);
-      OMT_CHECK(it != state.nodeOf.end(),
+      const NodeId node = state.nodeOf.find(event.host);
+      OMT_CHECK(node != kNoNode,
                 "group " + std::to_string(event.group) + ": host " +
                     std::to_string(event.host) + " left without being a member");
-      const NodeId node = it->second;
       if (options_.useRpc && !state.session.isParked(node)) {
         state.driver->driveLeave(node, event.time);
       } else {
         // A parked host is unattached — its goodbye needs no handshake.
         state.session.leave(node);
       }
-      state.nodeOf.erase(it);
+      state.nodeOf.erase(event.host);
       ++slot.stats.leaves;
       ++report.stats.leaves;
-      metrics.leaves.add();
       break;
     }
     case ServiceEventKind::kCrash: {
-      const auto it = state.nodeOf.find(event.host);
-      OMT_CHECK(it != state.nodeOf.end(),
+      const NodeId node = state.nodeOf.find(event.host);
+      OMT_CHECK(node != kNoNode,
                 "group " + std::to_string(event.group) + ": host " +
                     std::to_string(event.host) + " crashed without being a member");
-      const NodeId node = it->second;
       const NodeId parent = state.session.parentOf(node);
       state.session.crash(node);
       if (options_.useRpc) {
@@ -279,10 +330,9 @@ void GroupManager::applyEvent(GroupSlot& slot, const MembershipEvent& event,
       } else {
         state.session.repairCrashed(node);
       }
-      state.nodeOf.erase(it);
+      state.nodeOf.erase(event.host);
       ++slot.stats.crashes;
       ++report.stats.crashes;
-      metrics.crashes.add();
       break;
     }
   }
@@ -293,7 +343,6 @@ void GroupManager::applyEvent(GroupSlot& slot, const MembershipEvent& event,
     state.driver->runAudit(event.time);
     state.lastAudit = event.time;
     ++report.stats.audits;
-    metrics.audits.add();
   }
   maybeTearDown(slot, report);
 }
@@ -312,52 +361,151 @@ void GroupManager::maybeTearDown(GroupSlot& slot, ShardReport& report) {
   slot.dirty = true;
   ++slot.stats.teardowns;
   ++report.stats.teardowns;
-  serviceMetrics().teardowns.add();
 }
 
 void GroupManager::publish(GroupSlot& slot, GroupId group,
                            ShardReport& report) {
   std::shared_ptr<const RouteTable> table;
+  bool viaDelta = false;
   if (slot.state) {
-    table = RouteTable::build(slot.state->session, slot.state->hostOf, group,
-                              ++slot.epoch);
+    GroupState& state = *slot.state;
+    OverlaySession& session = state.session;
+    if (options_.deltaPublish && slot.lastTable && !slot.needsFullPublish &&
+        !session.changeOverflow()) {
+      const auto dirty = session.changedNodes();
+      const auto maxEdits = static_cast<std::int64_t>(
+          options_.deltaMaxFraction *
+          static_cast<double>(slot.lastTable->size()));
+      if (static_cast<std::int64_t>(dirty.size()) <= maxEdits) {
+        auto patched = RouteTable::buildDelta(
+            *slot.lastTable, session, state.hostOf, state.nodeOf, dirty,
+            slot.epoch + 1, maxEdits, std::move(slot.spare));
+        if (patched) {
+          viaDelta = true;
+          ++slot.epoch;
+          if (options_.deltaVerify) {
+            const auto full =
+                RouteTable::build(session, state.hostOf, group, slot.epoch);
+            OMT_CHECK(patched->identicalTo(*full),
+                      "group " + std::to_string(group) +
+                          ": delta-published table diverged from the full "
+                          "rebuild");
+          }
+          table = std::move(patched);
+        }
+      }
+    }
+    if (!table)
+      table = RouteTable::build(session, state.hostOf, group, ++slot.epoch,
+                                std::move(slot.spare));
+    session.clearChanges();
+    slot.needsFullPublish = false;
   } else {
     table = std::make_shared<const RouteTable>(group, ++slot.epoch);
   }
+  slot.cost = table->size() + 1;
+  report.load += slot.cost;
   slot.stats.lastFingerprint = table->fingerprint();
   ++slot.stats.publishes;
-  slot.table.store(std::move(table));
+  if (viaDelta) {
+    ++slot.stats.deltaPublishes;
+    ++report.stats.deltaPublishes;
+  }
+  slot.lastTable = table;
+  // The swap retires the table published two epochs ago: lastTable held the
+  // only builder-side reference until the line above replaced it, so after
+  // the swap our `spare` reference is the only one left outside readers.
+  slot.spare = slot.table.store(std::move(table));
   slot.dirty = false;
   ++report.stats.publishes;
-  serviceMetrics().publishes.add();
-  report.published.push_back(group);
-  report.publishStamp.push_back(options_.measureLatency ? wallNow() : 0.0);
+  if (options_.measureLatency) slot.publishStamp = wallNow();
+}
+
+void GroupManager::rebalance() {
+  if (!options_.rebalanceShards || shards_ <= 1 || createdGroups_.empty())
+    return;
+  // Deterministic LPT from published sizes: heaviest groups first (ties by
+  // ascending group id) onto the least-loaded shard so far (ties by lowest
+  // shard). Group outcomes are placement-invariant — the differential
+  // oracle's guarantee — so moving ownership is free of correctness risk.
+  costScratch_.clear();
+  for (const GroupId group : createdGroups_)
+    costScratch_.emplace_back(slotFor(group)->cost, group);
+  std::sort(costScratch_.begin(), costScratch_.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  loadScratch_.assign(static_cast<std::size_t>(shards_), 0);
+  std::int64_t migrations = 0;
+  for (const auto& [cost, group] : costScratch_) {
+    int target = 0;
+    for (int s = 1; s < shards_; ++s) {
+      if (loadScratch_[static_cast<std::size_t>(s)] <
+          loadScratch_[static_cast<std::size_t>(target)])
+        target = s;
+    }
+    loadScratch_[static_cast<std::size_t>(target)] += cost;
+    GroupSlot& slot = *slotFor(group);
+    if (slot.shard != target) {
+      slot.shard = target;
+      ++migrations;
+    }
+  }
+  ++stats_.rebalances;
+  stats_.migrations += migrations;
+  serviceMetrics().shardRebalances.add();
+  serviceMetrics().shardMigrations.add(migrations);
+}
+
+void GroupManager::accumulateShardLoads(
+    std::span<const ShardReport> reports) {
+  for (std::size_t s = 0; s < reports.size(); ++s)
+    shardLoad_[s] += reports[s].load;
+  std::int64_t lo = shardLoad_.empty() ? 0 : shardLoad_[0];
+  std::int64_t hi = lo;
+  for (const std::int64_t load : shardLoad_) {
+    lo = std::min(lo, load);
+    hi = std::max(hi, load);
+  }
+  serviceMetrics().shardLoadMax.set(static_cast<double>(hi));
+  serviceMetrics().shardLoadMin.set(static_cast<double>(lo));
+}
+
+int GroupManager::shardOf(GroupId group) const {
+  const GroupSlot* slot = slotFor(group);
+  return slot && slot->created ? slot->shard : -1;
 }
 
 ApplyReport GroupManager::apply(std::span<const MembershipEvent> events) {
   const double arrival = options_.measureLatency ? wallNow() : 0.0;
-  // Serial pre-pass: install slots (pages) and partition by shard. Doing
-  // slot creation here keeps the parallel phase free of any structural
-  // mutation a concurrent reader could race with.
-  std::vector<std::vector<std::int64_t>> perShard(
-      static_cast<std::size_t>(shards_));
+  // Batch boundary: re-balance ownership from last batch's published
+  // sizes, then partition. Doing both on the writer thread keeps the
+  // parallel phase free of any structural mutation a concurrent reader
+  // could race with (slot/page creation happens here too).
+  rebalance();
+  std::vector<std::vector<std::int64_t>>& perShard = eventScratch_;
+  std::vector<ShardReport> reports(static_cast<std::size_t>(shards_));
+  for (auto& shard : perShard) shard.clear();
   for (std::int64_t i = 0; i < static_cast<std::int64_t>(events.size()); ++i) {
-    const GroupId group = events[static_cast<std::size_t>(i)].group;
-    ensureSlot(group);
-    perShard[static_cast<std::size_t>(group % shards_)].push_back(i);
+    const GroupSlot& slot = ensureSlot(events[static_cast<std::size_t>(i)].group);
+    perShard[static_cast<std::size_t>(slot.shard)].push_back(i);
   }
 
-  std::vector<ShardReport> reports(static_cast<std::size_t>(shards_));
+  // groupScratch_ doubles as the per-shard touched list here; apply() and
+  // quiesce() never overlap (single writer), so the reuse is safe.
+  std::vector<std::vector<GroupId>>& touched = groupScratch_;
+  for (auto& shard : touched) shard.clear();
   parallelFor(0, shards_, shards_, [&](std::int64_t shard) {
     ShardReport& report = reports[static_cast<std::size_t>(shard)];
-    std::vector<GroupId> touched;  // insertion order = deterministic
+    std::vector<GroupId>& mine = touched[static_cast<std::size_t>(shard)];
     for (const std::int64_t i : perShard[static_cast<std::size_t>(shard)]) {
       const MembershipEvent& event = events[static_cast<std::size_t>(i)];
       GroupSlot& slot = *slotFor(event.group);
-      if (!slot.dirty) touched.push_back(event.group);
+      if (!slot.dirty) mine.push_back(event.group);
       applyEvent(slot, event, report);
     }
-    for (const GroupId group : touched) {
+    for (const GroupId group : mine) {
       GroupSlot& slot = *slotFor(group);
       if (slot.dirty) publish(slot, group, report);
     }
@@ -365,30 +513,34 @@ ApplyReport GroupManager::apply(std::span<const MembershipEvent> events) {
 
   ApplyReport result;
   result.events = static_cast<std::int64_t>(events.size());
-  std::unordered_map<GroupId, double> publishAt;
   for (const ShardReport& report : reports) {
     stats_.events += report.stats.events;
     stats_.joins += report.stats.joins;
     stats_.leaves += report.stats.leaves;
     stats_.crashes += report.stats.crashes;
     stats_.publishes += report.stats.publishes;
+    stats_.deltaPublishes += report.stats.deltaPublishes;
     stats_.teardowns += report.stats.teardowns;
     stats_.audits += report.stats.audits;
     stats_.parkedJoins += report.stats.parkedJoins;
-    result.groupsTouched += static_cast<std::int64_t>(report.published.size());
-    result.publishes += static_cast<std::int64_t>(report.published.size());
-    for (std::size_t i = 0; i < report.published.size(); ++i)
-      publishAt[report.published[i]] = report.publishStamp[i];
+    result.groupsTouched += report.stats.publishes;
+    result.publishes += report.stats.publishes;
+    result.deltaPublishes += report.stats.deltaPublishes;
+    flushStatsMetrics(report.stats);
   }
+  accumulateShardLoads(reports);
   stats_.groupsCreated = static_cast<std::int64_t>(createdGroups_.size());
   serviceMetrics().groups.set(static_cast<double>(liveGroupCount()));
   if (options_.measureLatency) {
+    // Every event's group publishes by the end of its batch, so the
+    // latency is just that slot's stamp minus batch ingress — no
+    // per-batch map, no per-event hash lookup.
     result.eventLatencies.reserve(events.size());
     auto& histogram = serviceMetrics().eventToRoute;
     for (const MembershipEvent& event : events) {
-      const auto it = publishAt.find(event.group);
+      const GroupSlot* slot = slotFor(event.group);
       const double latency =
-          it == publishAt.end() ? 0.0 : it->second - arrival;
+          slot && slot->publishStamp > 0.0 ? slot->publishStamp - arrival : 0.0;
       result.eventLatencies.push_back(latency);
       histogram.observe(latency);
     }
@@ -411,7 +563,6 @@ bool GroupManager::quiesceGroup(GroupSlot& slot, GroupId group, double now,
     if (state->driver && state->driver->reconcilePending()) {
       state->driver->runAudit(t);
       ++report.stats.audits;
-      serviceMetrics().audits.add();
     }
     if (state->session.undetectedCrashes() != 0)
       state->session.detectAndRepair();
@@ -423,10 +574,11 @@ bool GroupManager::quiesceGroup(GroupSlot& slot, GroupId group, double now,
 }
 
 std::int64_t GroupManager::quiesce(double now, int maxRounds) {
-  std::vector<std::vector<GroupId>> perShard(
-      static_cast<std::size_t>(shards_));
+  rebalance();
+  std::vector<std::vector<GroupId>>& perShard = groupScratch_;
+  for (auto& shard : perShard) shard.clear();
   for (const GroupId group : createdGroups_)
-    perShard[static_cast<std::size_t>(group % shards_)].push_back(group);
+    perShard[static_cast<std::size_t>(slotFor(group)->shard)].push_back(group);
   std::vector<ShardReport> reports(static_cast<std::size_t>(shards_));
   std::vector<std::int64_t> stillDegraded(static_cast<std::size_t>(shards_),
                                           0);
@@ -442,10 +594,13 @@ std::int64_t GroupManager::quiesce(double now, int maxRounds) {
   for (std::int64_t shard = 0; shard < shards_; ++shard) {
     const ShardReport& report = reports[static_cast<std::size_t>(shard)];
     stats_.publishes += report.stats.publishes;
+    stats_.deltaPublishes += report.stats.deltaPublishes;
     stats_.teardowns += report.stats.teardowns;
     stats_.audits += report.stats.audits;
     degraded += stillDegraded[static_cast<std::size_t>(shard)];
+    flushStatsMetrics(report.stats);
   }
+  accumulateShardLoads(reports);
   serviceMetrics().groups.set(static_cast<double>(liveGroupCount()));
   return degraded;
 }

@@ -38,6 +38,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "omt/fault/injector.h"
@@ -78,6 +79,26 @@ struct ServiceOptions {
   /// it is inherently nondeterministic and costs a clock read per batch
   /// plus one per published group.
   bool measureLatency = false;
+
+  // --- Publication path ---------------------------------------------------
+  /// Publish by patching the previous epoch from the session's change
+  /// journal when the batch touched at most deltaMaxFraction of the group;
+  /// falls back to the full DFS+sort rebuild above the threshold, on
+  /// structural escalations (regrids), and on the first publish after a
+  /// group (re)creates its state. Either path produces bit-identical
+  /// tables; the choice only moves cost.
+  bool deltaPublish = true;
+  double deltaMaxFraction = 0.5;
+  /// Oracle belt: on every delta publish ALSO run the full rebuild and
+  /// assert the two tables identical (arrays, fingerprint, epoch). Debug /
+  /// differential-test only — it defeats the point of the delta path.
+  bool deltaVerify = false;
+
+  /// Re-assign group -> shard ownership at batch boundaries from published
+  /// per-group sizes (deterministic LPT, heaviest groups first). Group
+  /// outcomes (tables, epochs, fingerprints) are placement-invariant, so
+  /// migration is purely a load-balance move. Off: static group % shards.
+  bool rebalanceShards = true;
 };
 
 /// Cumulative per-group accounting; survives group teardown/re-creation.
@@ -87,6 +108,7 @@ struct GroupStats {
   std::int64_t leaves = 0;
   std::int64_t crashes = 0;
   std::int64_t publishes = 0;
+  std::int64_t deltaPublishes = 0;  ///< publishes that took the patch path
   std::int64_t teardowns = 0;
   std::uint64_t lastFingerprint = 0;  ///< of the last published table
 };
@@ -98,16 +120,20 @@ struct ServiceStats {
   std::int64_t leaves = 0;
   std::int64_t crashes = 0;
   std::int64_t publishes = 0;
+  std::int64_t deltaPublishes = 0;  ///< publishes via the patch path
   std::int64_t teardowns = 0;
   std::int64_t groupsCreated = 0;
   std::int64_t audits = 0;        ///< anti-entropy sweeps (RPC mode)
   std::int64_t parkedJoins = 0;   ///< joins left parked by a drive (RPC mode)
+  std::int64_t rebalances = 0;    ///< shard-rebalance passes run
+  std::int64_t migrations = 0;    ///< groups that changed owning shard
 };
 
 struct ApplyReport {
   std::int64_t events = 0;
   std::int64_t groupsTouched = 0;
   std::int64_t publishes = 0;
+  std::int64_t deltaPublishes = 0;
   /// Wall-clock seconds from batch ingress to the owning group's publish,
   /// one entry per event in batch order (ServiceOptions::measureLatency).
   std::vector<double> eventLatencies;
@@ -168,6 +194,11 @@ class GroupManager {
   int shards() const { return shards_; }
   /// Group ids in creation order (deterministic).
   std::span<const GroupId> createdGroups() const { return createdGroups_; }
+  /// Cumulative work units per shard (events applied + hosts published) —
+  /// the load-balance signal the bench's utilization check reads.
+  std::span<const std::int64_t> shardLoads() const { return shardLoad_; }
+  /// The shard currently owning `group` (-1 when the group was never seen).
+  int shardOf(GroupId group) const;
 
  private:
   class SnapshotPtr;
@@ -185,6 +216,11 @@ class GroupManager {
   /// One quiesce pass over a group; true when nothing is left degraded.
   bool quiesceGroup(GroupSlot& slot, GroupId group, double now,
                     int maxRounds, ShardReport& report);
+  /// Deterministic cost-driven LPT re-assignment of groups to shards
+  /// (writer thread, batch boundary). No-op unless rebalanceShards.
+  void rebalance();
+  /// Merge per-shard load tallies and refresh the shard gauges.
+  void accumulateShardLoads(std::span<const ShardReport> reports);
 
   ServiceOptions options_;
   int shards_ = 1;
@@ -195,6 +231,13 @@ class GroupManager {
   std::unique_ptr<std::atomic<GroupSlot*>[]> pages_;
   std::vector<GroupId> createdGroups_;
   ServiceStats stats_;
+  std::vector<std::int64_t> shardLoad_;  ///< cumulative, by shard
+  // Writer-side scratch reused across apply()/quiesce() calls so the
+  // steady-state batch path stops re-allocating its partition buffers.
+  std::vector<std::vector<std::int64_t>> eventScratch_;
+  std::vector<std::vector<GroupId>> groupScratch_;
+  std::vector<std::pair<std::int64_t, GroupId>> costScratch_;
+  std::vector<std::int64_t> loadScratch_;
 };
 
 }  // namespace omt

@@ -34,6 +34,26 @@ std::vector<MembershipEvent> generateMembershipScript(
   OMT_CHECK(options.crashFraction >= 0.0 && options.crashFraction <= 1.0,
             "crash fraction outside [0, 1]");
   OMT_CHECK(options.meanEventGap > 0.0, "event gap must be positive");
+  OMT_CHECK(options.sizeSkew >= 0.0, "size skew must be non-negative");
+
+  // Per-group drift targets: uniform (= meanGroupSize) or Zipf over group
+  // ids, normalised so the mean target stays meanGroupSize and no single
+  // group can claim more than half the population.
+  std::vector<double> targetSize(static_cast<std::size_t>(options.groups),
+                                 options.meanGroupSize);
+  if (options.sizeSkew > 0.0) {
+    double total = 0.0;
+    for (GroupId g = 0; g < options.groups; ++g) {
+      const double w = std::pow(static_cast<double>(g + 1), -options.sizeSkew);
+      targetSize[static_cast<std::size_t>(g)] = w;
+      total += w;
+    }
+    const double scale =
+        options.meanGroupSize * static_cast<double>(options.groups) / total;
+    const double cap =
+        std::max(1.0, static_cast<double>(options.hosts) / 2.0);
+    for (double& t : targetSize) t = std::min(cap, std::max(1.0, t * scale));
+  }
 
   Rng rng(options.seed);
   std::vector<Point> positions;
@@ -92,8 +112,8 @@ std::vector<MembershipEvent> generateMembershipScript(
         rng.uniformInt(static_cast<std::uint64_t>(options.groups)));
     const auto live =
         static_cast<double>(members[static_cast<std::size_t>(g)].size());
-    double joinProb =
-        0.5 + 0.5 * (options.meanGroupSize - live) / options.meanGroupSize;
+    const double target = targetSize[static_cast<std::size_t>(g)];
+    double joinProb = 0.5 + 0.5 * (target - live) / target;
     joinProb = std::min(0.95, std::max(0.05, joinProb));
     bool join = live == 0.0 || rng.uniform() < joinProb;
     if (join) {

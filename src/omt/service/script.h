@@ -44,6 +44,13 @@ struct ScriptOptions {
   /// events favour joins, above it departures (keeps every group alive
   /// and the population stationary without global coordination).
   double meanGroupSize = 24.0;
+  /// Zipf exponent over group ids for per-group target sizes: group g
+  /// drifts toward a target proportional to (g+1)^-sizeSkew, normalised so
+  /// the population mean stays meanGroupSize (and capped at hosts/2, so a
+  /// hot group cannot exhaust the population). 0 = every group targets the
+  /// mean (the uniform workload); 1.0 is the classic heavy-head shape that
+  /// the shard-rebalance gates stress.
+  double sizeSkew = 0.0;
   /// Fraction of departures that are silent crashes instead of leaves.
   double crashFraction = 0.3;
   /// Mean simulated time between consecutive events (exponential gaps);

@@ -33,3 +33,24 @@ string(JSON first_phase GET "${trace_text}" traceEvents 0 ph)
 if(NOT first_phase STREQUAL "X")
   message(FATAL_ERROR "trace events are not complete ('X') events")
 endif()
+
+# Service shard metrics: a small skewed sharded serve must export the
+# rebalance/migration counters and the cumulative load extrema (the
+# signals the load-balanced shard assignment is judged by).
+set(serve_metrics ${WORKDIR}/obs_gate_serve_metrics.txt)
+run(${OMTCLI} serve --events 20000 --groups 64 --hosts 2000 --shards 4
+    --skew 1.0 --metrics ${serve_metrics})
+
+file(READ ${serve_metrics} serve_text)
+foreach(metric
+    omt_service_shard_rebalances_total
+    omt_service_shard_migrations_total
+    omt_service_shard_load_max
+    omt_service_shard_load_min
+    omt_service_delta_publishes_total)
+  if(NOT serve_text MATCHES "# TYPE ${metric}")
+    message(FATAL_ERROR
+        "service shard metric ${metric} missing from serve dump:\n"
+        "${serve_text}")
+  endif()
+endforeach()

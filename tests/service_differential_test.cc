@@ -4,7 +4,11 @@
 //  1. Shard invariance — the same script replayed with 1, 2, and 8 builder
 //     shards (direct and RPC transport) must produce bit-identical
 //     per-group route tables, fingerprints, and epochs. The sharded fan-out
-//     is pure parallelism; it must never change results.
+//     is pure parallelism; it must never change results. The three replays
+//     deliberately take different publication paths (full rebuilds only,
+//     delta with per-publish verification, delta with an unbounded edit
+//     cap), so the oracle also pins delta/full bit-identity and placement
+//     invariance in one comparison.
 //  2. Serial replay — per group, a naive single-session replay of the
 //     group's own event subsequence (join/leave/crash+repair applied
 //     directly to one OverlaySession) must reproduce the service's final
@@ -43,13 +47,24 @@ ScriptOptions testScript(std::uint64_t seed) {
   return options;
 }
 
+/// How a replay publishes its epochs; results must not depend on this.
+enum class PublishPath {
+  kFullOnly,       ///< deltaPublish off: every epoch is a full rebuild
+  kDeltaVerified,  ///< delta on, every delta checked against a full rebuild
+  kDeltaUncapped,  ///< delta on with deltaMaxFraction 1.0 (maximum engagement)
+};
+
 /// Replay the whole script and return per-group (fingerprint, epoch).
 std::map<GroupId, std::pair<std::uint64_t, std::uint64_t>> replayWithShards(
-    const std::vector<MembershipEvent>& events, int shards, bool rpc) {
+    const std::vector<MembershipEvent>& events, int shards, bool rpc,
+    PublishPath path = PublishPath::kDeltaVerified) {
   ServiceOptions options;
   options.shards = shards;
   options.useRpc = rpc;
   options.injectDisruption = rpc;
+  options.deltaPublish = path != PublishPath::kFullOnly;
+  options.deltaVerify = path == PublishPath::kDeltaVerified;
+  if (path == PublishPath::kDeltaUncapped) options.deltaMaxFraction = 1.0;
   GroupManager manager(options);
   const ReplayResult result = replayScript(manager, events, {.batchSize = 512});
   EXPECT_TRUE(result.converged())
@@ -67,9 +82,11 @@ std::map<GroupId, std::pair<std::uint64_t, std::uint64_t>> replayWithShards(
 TEST(ServiceDifferentialTest, ShardCountNeverChangesAnyGroupsTable) {
   for (const bool rpc : {false, true}) {
     const auto events = generateMembershipScript(testScript(77));
-    const auto one = replayWithShards(events, 1, rpc);
-    const auto two = replayWithShards(events, 2, rpc);
-    const auto eight = replayWithShards(events, 8, rpc);
+    const auto one = replayWithShards(events, 1, rpc, PublishPath::kFullOnly);
+    const auto two =
+        replayWithShards(events, 2, rpc, PublishPath::kDeltaVerified);
+    const auto eight =
+        replayWithShards(events, 8, rpc, PublishPath::kDeltaUncapped);
     ASSERT_EQ(one.size(), two.size());
     ASSERT_EQ(one.size(), eight.size());
     for (const auto& [group, fpEpoch] : one) {

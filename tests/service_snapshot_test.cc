@@ -61,8 +61,16 @@ TEST(ServiceSnapshotTest, ReadersNeverObserveTornOrRegressingTables) {
             ++outcome.epochRegressions;
           }
           lastEpoch[static_cast<std::size_t>(group)] = table->epoch();
+          // kQuick still validates the complete structure (order, CSR,
+          // cycles, reachability, fingerprint) but allocates nothing, so
+          // the hammer keeps its per-observation audit under TSan without
+          // timing out; every 32nd observation pays for the belt-and-
+          // braces rebuild comparison too.
+          const auto mode = outcome.observations % 32 == 0
+                                ? RouteTable::AuditMode::kFull
+                                : RouteTable::AuditMode::kQuick;
           const auto audit =
-              table->checkConsistency(options.session.maxOutDegree);
+              table->checkConsistency(options.session.maxOutDegree, mode);
           if (!audit.ok) {
             ++outcome.inconsistencies;
             if (outcome.firstMessage.empty())

@@ -519,6 +519,7 @@ int cmdServe(const Flags& flags) {
     script.dim = dim;
     script.seed = static_cast<std::uint64_t>(flags.getInt("seed", 1));
     script.meanGroupSize = flags.getDouble("mean-size", 24.0);
+    script.sizeSkew = flags.getDouble("skew", 0.0);
     script.crashFraction = flags.getDouble("crash-fraction", 0.3);
     script.meanEventGap = flags.getDouble("event-gap", 1e-3);
     events = generateMembershipScript(script);
@@ -538,6 +539,9 @@ int cmdServe(const Flags& flags) {
   service.injectDisruption = flags.getInt("disrupt", 0) != 0;
   service.auditPeriod = flags.getDouble("audit-period", 0.5);
   service.measureLatency = flags.getInt("latency", 0) != 0;
+  service.deltaPublish = flags.getInt("delta", 1) != 0;
+  service.deltaVerify = flags.getInt("delta-verify", 0) != 0;
+  service.rebalanceShards = flags.getInt("rebalance", 1) != 0;
   GroupManager manager(service);
 
   ReplayOptions replay;
@@ -573,6 +577,8 @@ int cmdServe(const Flags& flags) {
   table.addRow({"live groups", TextTable::count(result.liveGroups)});
   table.addRow({"live members", TextTable::count(totalMembers)});
   table.addRow({"publishes", TextTable::count(result.publishes)});
+  table.addRow({"delta publishes",
+                TextTable::count(manager.stats().deltaPublishes)});
   table.addRow({"shards", TextTable::count(manager.shards())});
   table.addRow({"events/s", TextTable::count(
                     static_cast<long long>(rate))});
